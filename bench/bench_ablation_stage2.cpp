@@ -1,0 +1,46 @@
+// Beyond-paper ablation rooted in the paper's §II related work (Nickolls
+// et al. name exactly two ways to finish a two-stage reduction): tree
+// kernel vs atomicAdd for stage 2, plus the CPU fallback, across sizes.
+#include <iostream>
+
+#include "common.hpp"
+#include "report/table.hpp"
+
+namespace {
+
+double reduction_us(int size, sharp::Placement stage2,
+                    sharp::Stage2Method method) {
+  sharp::PipelineOptions o = sharp::PipelineOptions::optimized();
+  o.reduction_stage2 = stage2;
+  o.stage2_method = method;
+  sharp::GpuPipeline pipeline(o);
+  return pipeline.run(bench::input(size)).stage_us("reduction");
+}
+
+}  // namespace
+
+int main() {
+  using sharp::report::fmt;
+  sharp::report::banner(
+      std::cout,
+      "Ablation: reduction stage 2 — CPU vs tree kernel vs atomicAdd "
+      "(whole reduction stage, us)");
+  sharp::report::Table t(
+      {"size", "stage2_cpu_us", "tree_kernel_us", "atomic_us"});
+  for (const int size : bench::ablation_sizes()) {
+    const double cpu = reduction_us(size, sharp::Placement::kCpu,
+                                    sharp::Stage2Method::kTreeKernel);
+    const double tree = reduction_us(size, sharp::Placement::kGpu,
+                                     sharp::Stage2Method::kTreeKernel);
+    const double atomic = reduction_us(size, sharp::Placement::kGpu,
+                                       sharp::Stage2Method::kAtomic);
+    t.add_row({sharp::report::size_label(size, size), fmt(cpu, 1),
+               fmt(tree, 1), fmt(atomic, 1)});
+  }
+  t.print(std::cout);
+  std::cout << "\ntakeaway: at small sizes reading the few partials back "
+               "to the CPU is cheapest (the paper's kAuto choice); at "
+               "scale the tree kernel wins and atomicAdd pays "
+               "serialization on the contended cell\n";
+  return 0;
+}

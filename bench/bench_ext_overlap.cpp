@@ -1,0 +1,96 @@
+// Beyond-paper extension: transfer/compute overlap with an out-of-order
+// queue. The paper's §V.F keeps the queue in order (that is what makes
+// dropping clFinish safe); this bench quantifies what a double-buffered,
+// dependency-tracked frame loop would add on top: uploads and downloads
+// of neighboring frames hide behind the current frame's kernels.
+//
+// The workload is the sharpness hot loop reduced to its three dominant
+// commands per frame (upload, fused-sharpness-sized kernel, download),
+// which keeps the dependency graph readable while preserving the real
+// compute/transfer ratio.
+#include <iostream>
+
+#include "common.hpp"
+#include "report/table.hpp"
+
+namespace {
+
+struct FrameLoop {
+  double in_order_ms = 0.0;
+  double overlapped_ms = 0.0;
+};
+
+FrameLoop run(int size, int frames) {
+  const std::size_t bytes =
+      static_cast<std::size_t>(size) * static_cast<std::size_t>(size);
+  std::vector<std::uint8_t> host(bytes, 7);
+  // ALU sized so the kernel time tracks the fused sharpness kernel.
+  const std::uint64_t alu_per_item = 60;
+
+  FrameLoop out;
+  for (const bool overlap : {false, true}) {
+    simcl::Context ctx(simcl::amd_firepro_w8000());
+    simcl::CommandQueue q(ctx, overlap ? simcl::QueueMode::kOutOfOrder
+                                       : simcl::QueueMode::kInOrder);
+    simcl::Buffer in[2] = {ctx.create_buffer("in0", bytes),
+                           ctx.create_buffer("in1", bytes)};
+    simcl::Buffer res[2] = {ctx.create_buffer("out0", bytes),
+                            ctx.create_buffer("out1", bytes)};
+    const simcl::LaunchConfig cfg{
+        .global = simcl::NDRange(bytes / 4), .local = simcl::NDRange(256)};
+    simcl::EventId last_kernel[2] = {0, 0};
+    bool has_last[2] = {false, false};
+    for (int f = 0; f < frames; ++f) {
+      const int slot = f % 2;
+      simcl::Buffer& src = in[slot];
+      simcl::Buffer& dst = res[slot];
+      simcl::Kernel k{.name = "sharpen_frame",
+                      .body = [&src, &dst, alu_per_item](simcl::WorkItem& it) {
+                        auto s = it.global<const std::uint8_t>(src);
+                        auto d = it.global<std::uint8_t>(dst);
+                        const auto i =
+                            static_cast<std::size_t>(it.global_id(0)) * 4;
+                        d.vstore4(s.vload4(i), i);
+                        it.alu(alu_per_item);
+                      }};
+      simcl::WaitList upload_waits;
+      if (has_last[slot]) {
+        upload_waits.push_back(last_kernel[slot]);  // WAR: buffer reuse
+      }
+      const simcl::Event up =
+          q.enqueue_write(src, host.data(), bytes, 0, upload_waits);
+      const simcl::Event kv = q.enqueue_kernel(k, cfg, {up.id});
+      q.enqueue_read(dst, host.data(), bytes, 0, {kv.id});
+      last_kernel[slot] = kv.id;
+      has_last[slot] = true;
+    }
+    const double total = q.finish();
+    (overlap ? out.overlapped_ms : out.in_order_ms) = total / 1e3;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using sharp::report::fmt;
+  constexpr int kFrames = 16;
+  sharp::report::banner(
+      std::cout,
+      "Extension: in-order vs out-of-order double-buffered frame loop "
+      "(16 frames)");
+  sharp::report::Table t({"frame_size", "in_order_ms", "overlapped_ms",
+                          "speedup"});
+  for (const int size : {512, 1024, 2048}) {
+    const FrameLoop r = run(size, kFrames);
+    t.add_row({sharp::report::size_label(size, size), fmt(r.in_order_ms, 3),
+               fmt(r.overlapped_ms, 3),
+               fmt(r.in_order_ms / r.overlapped_ms, 2)});
+  }
+  t.print(std::cout);
+  std::cout << "\ntakeaway: with both PCIe directions and the compute "
+               "engine busy simultaneously, the frame loop approaches the "
+               "slowest lane's time — an optimization orthogonal to the "
+               "paper's five techniques\n";
+  return 0;
+}

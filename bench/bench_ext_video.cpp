@@ -1,0 +1,43 @@
+// Beyond-paper extension: frame-sequence processing. VideoPipeline keeps
+// device buffers alive across frames, amortizing the per-run allocation
+// cost that the single-image pipeline pays; this bench shows per-frame
+// time converging below the single-shot time, and the resulting fps.
+#include <iostream>
+
+#include "common.hpp"
+#include "report/table.hpp"
+#include "sharpen/video.hpp"
+
+int main() {
+  using sharp::report::fmt;
+
+  sharp::report::banner(
+      std::cout, "Extension: single-shot vs frame-sequence (video) runs");
+  sharp::report::Table t({"resolution", "single_ms", "frame1_ms",
+                          "steady_ms", "steady_fps"});
+  struct Res {
+    const char* name;
+    int w, h;
+  };
+  for (const Res res : {Res{"640x480 (VGA)", 640, 480},
+                        Res{"1280x720 (720p)", 1280, 720},
+                        Res{"1920x1080 (1080p)", 1920, 1080}}) {
+    const auto frame = sharp::img::make_natural(res.w, res.h, 3);
+    sharp::GpuPipeline single;
+    const double single_us = single.run(frame).total_modeled_us;
+    sharp::VideoPipeline video(res.w, res.h);
+    const double first_us = video.process_frame(frame).total_modeled_us;
+    double steady_us = 0.0;
+    constexpr int kFrames = 8;
+    for (int f = 0; f < kFrames; ++f) {
+      steady_us = video.process_frame(frame).total_modeled_us;
+    }
+    t.add_row({res.name, fmt(single_us / 1e3, 3), fmt(first_us / 1e3, 3),
+               fmt(steady_us / 1e3, 3), fmt(1e6 / steady_us, 1)});
+  }
+  t.print(std::cout);
+  std::cout << "\ntakeaway: buffer reuse removes the per-run allocation "
+               "overhead; the modeled W8000 sustains 1080p sharpening far "
+               "above real-time rates (the paper's motivating use case)\n";
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Fig. 12: comparison of the CPU version, the base GPU version and the
+// optimized GPU version across square image sizes 256..4096.
+//
+// Paper shape: base GPU 9.8 -> 35.3x over the CPU as size grows; the
+// optimized version a further 1.2 -> 2.0x on top, reaching 10.7~69.3x.
+#include <iostream>
+
+#include "common.hpp"
+#include "report/table.hpp"
+
+int main() {
+  using sharp::report::fmt;
+  using sharp::report::size_label;
+
+  sharp::report::banner(
+      std::cout, "Fig. 12: CPU vs base GPU vs optimized GPU (simulated)");
+  sharp::report::Table t({"size", "cpu_ms", "gpu_base_ms", "gpu_opt_ms",
+                          "speedup_base", "speedup_opt", "opt_vs_base"});
+
+  sharp::CpuPipeline cpu;
+  sharp::GpuPipeline base(sharp::PipelineOptions::naive());
+  sharp::GpuPipeline opt(sharp::PipelineOptions::optimized());
+
+  for (const int size : bench::paper_sizes()) {
+    const auto img = bench::input(size);
+    const double t_cpu = cpu.run(img).total_modeled_us;
+    const double t_base = base.run(img).total_modeled_us;
+    const double t_opt = opt.run(img).total_modeled_us;
+    t.add_row({size_label(size, size), fmt(t_cpu / 1e3, 3),
+               fmt(t_base / 1e3, 3), fmt(t_opt / 1e3, 3),
+               fmt(t_cpu / t_base, 1), fmt(t_cpu / t_opt, 1),
+               fmt(t_base / t_opt, 2)});
+  }
+  t.print(std::cout);
+  std::cout << "\npaper: speedup_base 9.8->35.3, speedup_opt 10.7->69.3, "
+               "opt_vs_base 1.2->2.0\n";
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Fig. 15: unrolling the last one vs the last two wavefronts in the
+// work-group tree reduction (§V.C Algorithms 1 and 2).
+//
+// Paper shape: unrolling ONE wavefront wins — the two-wavefront variant
+// pays an extra barrier after its parallel tails.
+#include <iostream>
+
+#include "common.hpp"
+#include "report/table.hpp"
+
+namespace {
+
+double reduction_us(int size, sharp::ReductionUnroll unroll) {
+  sharp::PipelineOptions o = sharp::PipelineOptions::optimized();
+  o.unroll = unroll;
+  sharp::GpuPipeline pipeline(o);
+  return pipeline.run(bench::input(size)).stage_us("reduction");
+}
+
+}  // namespace
+
+int main() {
+  using sharp::report::fmt;
+  sharp::report::banner(
+      std::cout, "Fig. 15: reduction tail unrolling (reduction stage, us)");
+  sharp::report::Table t(
+      {"size", "no_unroll_us", "one_wavefront_us", "two_wavefronts_us",
+       "one_vs_two"});
+  for (const int size : bench::ablation_sizes()) {
+    const double none = reduction_us(size, sharp::ReductionUnroll::kNone);
+    const double one = reduction_us(size, sharp::ReductionUnroll::kOne);
+    const double two = reduction_us(size, sharp::ReductionUnroll::kTwo);
+    t.add_row({sharp::report::size_label(size, size), fmt(none, 1),
+               fmt(one, 1), fmt(two, 1), fmt(two / one, 3)});
+  }
+  t.print(std::cout);
+  std::cout << "\npaper: unrolling one wavefront beats two (extra barrier "
+               "overhead)\n";
+  return 0;
+}

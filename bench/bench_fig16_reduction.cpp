@@ -1,0 +1,38 @@
+// Fig. 16: the reduction stage on CPU vs GPU. The CPU variant includes
+// the pEdge matrix transfer from device to host, exactly as measured in
+// the paper ("The procedure of reduction on CPU includes transferring the
+// pEdge matrix from GPU to CPU").
+//
+// Paper shape: the GPU reduction is up to ~30.8x faster.
+#include <iostream>
+
+#include "common.hpp"
+#include "report/table.hpp"
+
+namespace {
+
+double reduction_us(int size, sharp::Placement place) {
+  sharp::PipelineOptions o = sharp::PipelineOptions::optimized();
+  o.reduction = place;
+  sharp::GpuPipeline pipeline(o);
+  return pipeline.run(bench::input(size)).stage_us("reduction");
+}
+
+}  // namespace
+
+int main() {
+  using sharp::report::fmt;
+  sharp::report::banner(
+      std::cout,
+      "Fig. 16: reduction on CPU (incl. pEdge transfer) vs on GPU");
+  sharp::report::Table t({"size", "cpu_us", "gpu_us", "gpu_speedup"});
+  for (const int size : bench::ablation_sizes()) {
+    const double cpu = reduction_us(size, sharp::Placement::kCpu);
+    const double gpu = reduction_us(size, sharp::Placement::kGpu);
+    t.add_row({sharp::report::size_label(size, size), fmt(cpu, 1),
+               fmt(gpu, 1), fmt(cpu / gpu, 1)});
+  }
+  t.print(std::cout);
+  std::cout << "\npaper: GPU reduction up to 30.8x faster\n";
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Fig. 17: the upscale-border stage on CPU vs GPU across 448..832. The
+// CPU variant includes its data transfers (downscaled image to host,
+// border strips back to the device), as in the paper.
+//
+// Paper shape: CPU wins at small sizes, GPU above the crossover at
+// 768x768.
+#include <iostream>
+
+#include "common.hpp"
+#include "report/table.hpp"
+
+namespace {
+
+double border_us(int size, sharp::Placement place) {
+  sharp::PipelineOptions o = sharp::PipelineOptions::optimized();
+  o.border = place;
+  sharp::GpuPipeline pipeline(o);
+  return pipeline.run(bench::input(size)).stage_us("border");
+}
+
+}  // namespace
+
+int main() {
+  using sharp::report::fmt;
+  sharp::report::banner(std::cout,
+                        "Fig. 17: upscale border on CPU vs GPU (us)");
+  sharp::report::Table t({"size", "cpu_us", "gpu_us", "winner"});
+  int crossover = -1;
+  for (const int size : {448, 576, 640, 704, 768, 832}) {
+    const double cpu = border_us(size, sharp::Placement::kCpu);
+    const double gpu = border_us(size, sharp::Placement::kGpu);
+    if (crossover < 0 && gpu < cpu) {
+      crossover = size;
+    }
+    t.add_row({sharp::report::size_label(size, size), fmt(cpu, 1),
+               fmt(gpu, 1), gpu < cpu ? "GPU" : "CPU"});
+  }
+  t.print(std::cout);
+  std::cout << "\nmeasured crossover: "
+            << (crossover > 0 ? std::to_string(crossover)
+                              : std::string("none"))
+            << " (paper: 768)\n";
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Real wall-time micro benchmarks of the CPU pipeline stages on this host
+// (complementing the modeled i5 times the figure benches report).
+#include <benchmark/benchmark.h>
+
+#include "image/generate.hpp"
+#include "sharpen/sharpen.hpp"
+
+namespace {
+
+using sharp::img::ImageU8;
+
+const ImageU8& test_image() {
+  static const ImageU8 img = sharp::img::make_natural(512, 512, 42);
+  return img;
+}
+
+void BM_StageDownscale(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sharp::stages::downscale(test_image()));
+  }
+}
+BENCHMARK(BM_StageDownscale);
+
+void BM_StageUpscale(benchmark::State& state) {
+  const auto down = sharp::stages::downscale(test_image());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sharp::stages::upscale(down, 512, 512));
+  }
+}
+BENCHMARK(BM_StageUpscale);
+
+void BM_StageSobel(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sharp::stages::sobel(test_image()));
+  }
+}
+BENCHMARK(BM_StageSobel);
+
+void BM_StageReduction(benchmark::State& state) {
+  const auto edge = sharp::stages::sobel(test_image());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sharp::stages::reduce_sum(edge));
+  }
+}
+BENCHMARK(BM_StageReduction);
+
+void BM_StagePreliminary(benchmark::State& state) {
+  const auto& img = test_image();
+  const auto down = sharp::stages::downscale(img);
+  const auto up = sharp::stages::upscale(down, 512, 512);
+  const auto err = sharp::stages::difference(img, up);
+  const auto edge = sharp::stages::sobel(img);
+  const sharp::SharpenParams params;
+  const float inv_mean = sharp::stages::inverse_mean_edge(
+      sharp::stages::reduce_sum(edge), 512 * 512, params);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sharp::stages::preliminary(up, err, edge, inv_mean, params));
+  }
+}
+BENCHMARK(BM_StagePreliminary);
+
+void BM_StageOvershoot(benchmark::State& state) {
+  const auto& img = test_image();
+  const auto down = sharp::stages::downscale(img);
+  const auto up = sharp::stages::upscale(down, 512, 512);
+  const auto err = sharp::stages::difference(img, up);
+  const auto edge = sharp::stages::sobel(img);
+  const sharp::SharpenParams params;
+  const float inv_mean = sharp::stages::inverse_mean_edge(
+      sharp::stages::reduce_sum(edge), 512 * 512, params);
+  const auto prelim =
+      sharp::stages::preliminary(up, err, edge, inv_mean, params);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sharp::stages::overshoot_control(img, prelim, params));
+  }
+}
+BENCHMARK(BM_StageOvershoot);
+
+void BM_FullCpuPipeline(benchmark::State& state) {
+  const auto size = static_cast<int>(state.range(0));
+  const ImageU8 img = sharp::img::make_natural(size, size, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sharp::sharpen_cpu(img));
+  }
+  state.SetItemsProcessed(state.iterations() * size * size);
+}
+BENCHMARK(BM_FullCpuPipeline)->Arg(256)->Arg(512);
+
+}  // namespace

@@ -1,0 +1,122 @@
+// Real wall-time micro benchmarks of the simulator substrate itself:
+// fiber switching, cache simulation, kernel dispatch. These measure THIS
+// machine (the simulator's own cost), not the modeled device.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "simcl/fiber.hpp"
+#include "simcl/queue.hpp"
+
+namespace {
+
+using namespace simcl;
+
+void BM_FiberSwitch(benchmark::State& state) {
+  FiberStackPool pool(1);
+  struct Ctx {
+    Fiber fiber;
+    bool stop = false;
+  } ctx;
+  ctx.fiber.reset(
+      pool.stack(0), pool.stack_bytes(),
+      [](void* arg) {
+        auto* c = static_cast<Ctx*>(arg);
+        while (!c->stop) {
+          c->fiber.yield();
+        }
+      },
+      &ctx);
+  for (auto _ : state) {
+    ctx.fiber.resume();  // one round trip = two context switches
+  }
+  ctx.stop = true;
+  ctx.fiber.resume();
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_FiberSwitch);
+
+void BM_CacheSimAccess(benchmark::State& state) {
+  LineCacheSim cache(16 * 1024, 64);
+  std::uint64_t addr = 0;
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    sink += cache.access(addr, 4);
+    addr += 4;
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheSimAccess);
+
+void BM_EmptyKernelDispatch(benchmark::State& state) {
+  Context ctx(amd_firepro_w8000());
+  CommandQueue q(ctx);
+  const Kernel k{.name = "noop", .body = [](WorkItem&) {}};
+  const LaunchConfig cfg{.global = NDRange(256), .local = NDRange(64)};
+  for (auto _ : state) {
+    q.enqueue_kernel(k, cfg);
+    q.reset();
+  }
+}
+BENCHMARK(BM_EmptyKernelDispatch);
+
+void BM_PlainKernelThroughput(benchmark::State& state) {
+  Context ctx(amd_firepro_w8000());
+  CommandQueue q(ctx);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Buffer buf = ctx.create_buffer("b", n * sizeof(float));
+  const Kernel k{.name = "scale", .body = [&](WorkItem& it) {
+                   auto p = it.global<float>(buf);
+                   const auto i = static_cast<std::size_t>(it.global_id(0));
+                   p.store(i, p.load(i) * 2.0f);
+                 }};
+  const LaunchConfig cfg{.global = NDRange(n), .local = NDRange(256)};
+  for (auto _ : state) {
+    q.enqueue_kernel(k, cfg);
+    q.reset();
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_PlainKernelThroughput)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_BarrierKernelThroughput(benchmark::State& state) {
+  Context ctx(amd_firepro_w8000());
+  CommandQueue q(ctx);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Buffer in = ctx.create_buffer("in", n * sizeof(std::int32_t));
+  Buffer out = ctx.create_buffer("out", (n / 128) * sizeof(std::int32_t));
+  auto vals = in.backing_as<std::int32_t>();
+  std::iota(vals.begin(), vals.end(), 0);
+  const Kernel k{.name = "reduce",
+                 .uses_barriers = true,
+                 .body = [&](WorkItem& it) {
+                   auto src = it.global<const std::int32_t>(in);
+                   auto dst = it.global<std::int32_t>(out);
+                   auto lds = it.local_array<std::int32_t>(128);
+                   const auto lid =
+                       static_cast<std::size_t>(it.local_id(0));
+                   lds.store(lid, src.load(static_cast<std::size_t>(
+                                      it.global_id(0))));
+                   it.barrier();
+                   for (std::size_t s = 64; s > 0; s /= 2) {
+                     if (lid < s) {
+                       lds.add_from(lid, lid + s);
+                     }
+                     it.barrier();
+                   }
+                   if (lid == 0) {
+                     dst.store(static_cast<std::size_t>(it.group_id(0)),
+                               lds.load(0));
+                   }
+                 }};
+  const LaunchConfig cfg{.global = NDRange(n), .local = NDRange(128)};
+  for (auto _ : state) {
+    q.enqueue_kernel(k, cfg);
+    q.reset();
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_BarrierKernelThroughput)->Arg(1 << 14)->Arg(1 << 17);
+
+}  // namespace

@@ -1,0 +1,36 @@
+// Table I: comparison of experimental hardware platform specifications.
+// Prints the modeled device parameters every other experiment runs on.
+#include <iostream>
+
+#include "report/table.hpp"
+#include "simcl/device.hpp"
+
+int main() {
+  using sharp::report::fmt;
+  const simcl::DeviceSpec gpu = simcl::amd_firepro_w8000();
+  const simcl::DeviceSpec cpu = simcl::intel_core_i5_3470();
+
+  sharp::report::banner(std::cout,
+                        "Table I: experimental hardware platforms (modeled)");
+  sharp::report::Table t({"spec", "AMD W8000", "Intel Core i5-3470"});
+  t.add_row({"Processor main frequency", fmt(gpu.clock_ghz, 2) + " GHz",
+             fmt(cpu.clock_ghz, 2) + " GHz"});
+  t.add_row({"The number of cores", std::to_string(gpu.lanes),
+             std::to_string(cpu.lanes)});
+  t.add_row({"Peak Gflops", fmt(gpu.peak_gflops / 1000.0, 2) + " TFlops",
+             fmt(cpu.peak_gflops, 2) + " GFlops"});
+  t.add_row({"Memory Bandwidth", fmt(gpu.mem_bandwidth_gbps, 0) + " GB/s",
+             fmt(cpu.mem_bandwidth_gbps, 0) + " GB/s"});
+  t.add_row({"(model) ALU efficiency", fmt(gpu.alu_efficiency, 2),
+             fmt(cpu.alu_efficiency, 2)});
+  t.add_row({"(model) DRAM efficiency", fmt(gpu.mem_efficiency, 2),
+             fmt(cpu.mem_efficiency, 2)});
+  t.add_row({"(model) kernel launch",
+             fmt(gpu.kernel_launch_us, 1) + " us", "-"});
+  t.add_row({"(model) PCIe read/write",
+             fmt(gpu.link.readwrite_gbps, 1) + " GB/s", "-"});
+  t.add_row({"(model) PCIe map/unmap",
+             fmt(gpu.link.map_gbps, 1) + " GB/s", "-"});
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Shared helpers for the figure-reproduction benches.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "image/generate.hpp"
+#include "sharpen/sharpen.hpp"
+
+namespace bench {
+
+/// The test image used throughout: deterministic value-noise "natural"
+/// content (the evaluation depends only on size; see DESIGN.md §2).
+inline sharp::img::ImageU8 input(int size) {
+  return sharp::img::make_natural(size, size, 42);
+}
+
+/// Square sizes of Fig. 12/13 (256..4096 in x2 steps).
+inline std::vector<int> paper_sizes() {
+  return {256, 512, 1024, 2048, 4096};
+}
+
+/// Sizes shown in Fig. 14/15/16. SHARP_BENCH_LARGE=1 appends the 8192
+/// endpoint of the §VI.B text (slower to simulate).
+inline std::vector<int> ablation_sizes() {
+  std::vector<int> sizes{256, 1024, 4096};
+  if (const char* env = std::getenv("SHARP_BENCH_LARGE");
+      env != nullptr && env[0] == '1') {
+    sizes.push_back(8192);
+  }
+  return sizes;
+}
+
+/// The cumulative optimization steps of Fig. 14. Each entry applies every
+/// optimization up to and including its own.
+struct Step {
+  std::string name;
+  sharp::PipelineOptions options;
+};
+
+inline std::vector<Step> fig14_steps() {
+  using sharp::Placement;
+  using sharp::PipelineOptions;
+  using sharp::ReductionUnroll;
+  using sharp::TransferMode;
+
+  std::vector<Step> steps;
+  PipelineOptions o = PipelineOptions::naive();
+  steps.push_back({"base", o});
+
+  o.transfer = TransferMode::kReadWrite;
+  o.transfer_padded_only = true;
+  o.fuse_sharpness = true;
+  steps.push_back({"+transfer&fusion", o});
+
+  o.reduction = Placement::kGpu;
+  o.unroll = ReductionUnroll::kOne;
+  o.reduction_stage2 = Placement::kAuto;
+  steps.push_back({"+reduction", o});
+
+  o.vectorize = true;
+  o.border = Placement::kAuto;
+  steps.push_back({"+vector&border", o});
+
+  o.eliminate_clfinish = true;
+  o.use_builtins = true;
+  o.instruction_selection = true;
+  steps.push_back({"+others", o});
+  return steps;
+}
+
+}  // namespace bench

@@ -1,0 +1,56 @@
+// Pipeline profiler: runs the GPU pipeline under a chosen option preset
+// and prints the full simulated command timeline — the same event log the
+// Fig. 13 breakdowns are built from. Useful for understanding where each
+// optimization moves time.
+//
+//   ./examples/profile_pipeline [size] [naive|optimized]
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <string>
+
+#include "image/generate.hpp"
+#include "sharpen/sharpen.hpp"
+
+int main(int argc, char** argv) {
+  const int size = argc > 1 ? std::atoi(argv[1]) : 1024;
+  const std::string preset = argc > 2 ? argv[2] : "optimized";
+  const sharp::PipelineOptions options =
+      preset == "naive" ? sharp::PipelineOptions::naive()
+                        : sharp::PipelineOptions::optimized();
+
+  const auto input = sharp::img::make_natural(size, size, 1);
+  sharp::GpuPipeline pipeline(options);
+  const sharp::PipelineResult result = pipeline.run(input);
+
+  std::cout << "pipeline: " << preset << ", image " << size << "x" << size
+            << ", total " << result.total_modeled_us / 1e3 << " ms, mean "
+            << "edge " << result.mean_edge << "\n\n"
+            << std::left << std::setw(10) << "start_us" << std::setw(10)
+            << "dur_us" << std::setw(12) << "phase" << std::setw(22)
+            << "command" << "detail\n";
+  for (const auto& ev : pipeline.last_events()) {
+    std::cout << std::left << std::setw(10) << std::fixed
+              << std::setprecision(1) << ev.start_us << std::setw(10)
+              << ev.duration_us() << std::setw(12) << ev.phase
+              << std::setw(22) << ev.name;
+    if (ev.kind == simcl::CommandKind::kKernel) {
+      std::cout << "items=" << ev.stats.work_items
+                << " loads=" << ev.stats.global_loads
+                << " stores=" << ev.stats.global_stores
+                << " dramB=" << ev.stats.l1_miss_lines * 64
+                << " barriers=" << ev.stats.barrier_events;
+    } else if (ev.bytes > 0) {
+      std::cout << "bytes=" << ev.bytes;
+    }
+    std::cout << '\n';
+  }
+
+  std::cout << "\nper-phase totals:\n";
+  for (const auto& s : result.stages) {
+    std::cout << "  " << std::left << std::setw(12) << s.stage
+              << std::setw(10) << s.modeled_us << " us  ("
+              << 100.0 * s.modeled_us / result.total_modeled_us << "%)\n";
+  }
+  return 0;
+}

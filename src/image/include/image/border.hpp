@@ -1,0 +1,75 @@
+// Padding / border utilities.
+//
+// The GPU pipeline in the paper transfers a *padded* copy of the original
+// image (1-pixel replicate border) so that the Sobel and overshoot-control
+// kernels never branch on image edges. These helpers produce and validate
+// such padded images on the host; the device-side alternative is the
+// rect-transfer path in simcl (clEnqueueWriteBufferRect analogue).
+#pragma once
+
+#include <cstdint>
+
+#include "image/image.hpp"
+
+namespace sharp::img {
+
+/// Border fill policy for pad().
+enum class BorderMode {
+  kReplicate,  ///< copy the nearest edge pixel (paper's padding for overshoot)
+  kZero,       ///< zero fill (paper's padding for the Sobel result border)
+};
+
+/// Returns a (width + 2*margin) x (height + 2*margin) image whose interior
+/// equals `src` and whose frame follows `mode`.
+template <typename T>
+[[nodiscard]] Image<T> pad(const ImageView<const T>& src, int margin,
+                           BorderMode mode) {
+  if (margin < 0) {
+    throw ImageError("pad: negative margin");
+  }
+  Image<T> dst(src.width() + 2 * margin, src.height() + 2 * margin);
+  auto out = dst.view();
+  for (int y = -margin; y < src.height() + margin; ++y) {
+    for (int x = -margin; x < src.width() + margin; ++x) {
+      T v{};
+      if (mode == BorderMode::kReplicate) {
+        v = src.at_clamped(x, y);
+      } else {
+        const bool inside =
+            x >= 0 && x < src.width() && y >= 0 && y < src.height();
+        v = inside ? src.at(x, y) : T{};
+      }
+      out.at(x + margin, y + margin) = v;
+    }
+  }
+  return dst;
+}
+
+template <typename T>
+[[nodiscard]] Image<T> pad(const Image<T>& src, int margin, BorderMode mode) {
+  return pad<T>(src.view(), margin, mode);
+}
+
+/// Extracts the interior of a padded image (inverse of pad()).
+template <typename T>
+[[nodiscard]] Image<T> unpad(const Image<T>& padded, int margin) {
+  if (margin < 0 || padded.width() < 2 * margin ||
+      padded.height() < 2 * margin) {
+    throw ImageError("unpad: margin larger than image");
+  }
+  Image<T> dst(padded.width() - 2 * margin, padded.height() - 2 * margin);
+  auto in = padded.view();
+  auto out = dst.view();
+  for (int y = 0; y < dst.height(); ++y) {
+    std::copy_n(in.row(y + margin) + margin, dst.width(), out.row(y));
+  }
+  return dst;
+}
+
+/// True when `padded` equals pad(interior, margin, mode). Used by tests and
+/// by debug assertions in the GPU pipeline.
+bool is_padded_copy(const Image<std::uint8_t>& padded,
+                    const Image<std::uint8_t>& interior, int margin,
+                    BorderMode mode);
+
+}  // namespace sharp::img

@@ -1,0 +1,38 @@
+// RGB support. The sharpness algorithm operates on a single luma channel
+// (the paper's setting: TV/camera pipelines sharpen Y); these helpers
+// bridge to color content: extract BT.601 luma, and re-apply a sharpened
+// luma to all three channels as an additive detail delta.
+#pragma once
+
+#include <cstdint>
+
+#include "image/image.hpp"
+
+namespace sharp::img {
+
+struct Rgb {
+  std::uint8_t r = 0;
+  std::uint8_t g = 0;
+  std::uint8_t b = 0;
+
+  friend bool operator==(const Rgb&, const Rgb&) = default;
+};
+
+using ImageRgb = Image<Rgb>;
+
+/// Integer BT.601 luma: (77 R + 150 G + 29 B) >> 8 — the same weights the
+/// PNM reader uses, so read_pgm(P6 file) == luma(read_ppm(P6 file)).
+[[nodiscard]] ImageU8 luma(const ImageRgb& rgb);
+
+/// Applies a luma delta (sharpened Y minus original Y) to every channel,
+/// clamped to [0, 255]. This is how single-channel sharpening results are
+/// carried back to color frames without shifting hue.
+[[nodiscard]] ImageRgb apply_luma_delta(const ImageRgb& original,
+                                        const ImageU8& original_luma,
+                                        const ImageU8& sharpened_luma);
+
+/// Synthetic RGB test image (per-channel value noise with distinct seeds).
+[[nodiscard]] ImageRgb make_rgb_natural(int width, int height,
+                                        std::uint64_t seed);
+
+}  // namespace sharp::img

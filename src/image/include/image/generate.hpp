@@ -1,0 +1,43 @@
+// Deterministic synthetic image generators.
+//
+// The paper's evaluation depends only on image size, not content, and its
+// test images are not published. These generators provide reproducible,
+// content-varied inputs: smooth fields (worst case for sharpening), hard
+// edges (best case for Sobel), and value-noise "natural" images (realistic
+// local statistics). All generators are pure functions of (size, seed).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "image/image.hpp"
+
+namespace sharp::img {
+
+/// Linear horizontal gradient 0..255.
+[[nodiscard]] ImageU8 make_gradient(int width, int height);
+
+/// Axis-aligned checkerboard with `cell` pixel squares.
+[[nodiscard]] ImageU8 make_checkerboard(int width, int height, int cell);
+
+/// Uniform pseudo-random pixels (splitmix64-based, seed-deterministic).
+[[nodiscard]] ImageU8 make_noise(int width, int height, std::uint64_t seed);
+
+/// Multi-octave value noise: smooth large structure + fine detail. The
+/// closest synthetic stand-in for the photographic content a TV/camera
+/// sharpening pipeline sees.
+[[nodiscard]] ImageU8 make_natural(int width, int height, std::uint64_t seed);
+
+/// Constant image (degenerate case used by property tests: Sobel == 0,
+/// upscale(downscale(x)) == x).
+[[nodiscard]] ImageU8 make_constant(int width, int height, std::uint8_t value);
+
+/// Single bright impulse on a dark field (overshoot-control stress case).
+[[nodiscard]] ImageU8 make_impulse(int width, int height, int cx, int cy);
+
+/// Named generator dispatch used by benches and examples ("gradient",
+/// "checker", "noise", "natural", "constant", "impulse").
+[[nodiscard]] ImageU8 make_named(const std::string& name, int width,
+                                 int height, std::uint64_t seed);
+
+}  // namespace sharp::img

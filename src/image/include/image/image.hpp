@@ -1,0 +1,189 @@
+// Core image containers: an owning Image<T> and a non-owning strided
+// ImageView<T>. All pipeline stages in this project operate on these types.
+//
+// Conventions:
+//   * row-major storage, `stride` counted in elements (not bytes);
+//   * (x, y) indexing with x = column in [0, width), y = row in [0, height);
+//   * views never outlive the storage they reference (caller's contract).
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace sharp::img {
+
+/// Error thrown for structurally invalid image operations (bad dimensions,
+/// out-of-range sub-view rectangles, mismatched sizes).
+class ImageError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Non-owning, mutable, strided 2-D view over pixel storage.
+template <typename T>
+class ImageView {
+ public:
+  ImageView() = default;
+
+  ImageView(T* data, int width, int height, int stride)
+      : data_(data), width_(width), height_(height), stride_(stride) {
+    if (width < 0 || height < 0 || stride < width) {
+      throw ImageError("ImageView: invalid geometry");
+    }
+  }
+
+  [[nodiscard]] int width() const { return width_; }
+  [[nodiscard]] int height() const { return height_; }
+  [[nodiscard]] int stride() const { return stride_; }
+  [[nodiscard]] bool empty() const { return width_ == 0 || height_ == 0; }
+  [[nodiscard]] std::size_t pixel_count() const {
+    return static_cast<std::size_t>(width_) * static_cast<std::size_t>(height_);
+  }
+
+  [[nodiscard]] T* data() const { return data_; }
+  [[nodiscard]] T* row(int y) const {
+    assert(y >= 0 && y < height_);
+    return data_ + static_cast<std::ptrdiff_t>(y) * stride_;
+  }
+  [[nodiscard]] std::span<T> row_span(int y) const {
+    return {row(y), static_cast<std::size_t>(width_)};
+  }
+
+  [[nodiscard]] T& at(int x, int y) const {
+    assert(x >= 0 && x < width_ && y >= 0 && y < height_);
+    return row(y)[x];
+  }
+  [[nodiscard]] T& operator()(int x, int y) const { return at(x, y); }
+
+  /// Clamped read: coordinates outside the image are clamped to the edge
+  /// (replicate border). Used by border-handling stage variants.
+  [[nodiscard]] const T& at_clamped(int x, int y) const {
+    const int cx = std::clamp(x, 0, width_ - 1);
+    const int cy = std::clamp(y, 0, height_ - 1);
+    return at(cx, cy);
+  }
+
+  /// Rectangular sub-view sharing the same storage.
+  [[nodiscard]] ImageView subview(int x0, int y0, int w, int h) const {
+    if (x0 < 0 || y0 < 0 || w < 0 || h < 0 || x0 + w > width_ ||
+        y0 + h > height_) {
+      throw ImageError("ImageView::subview: rectangle out of range");
+    }
+    return ImageView(data_ + static_cast<std::ptrdiff_t>(y0) * stride_ + x0, w,
+                     h, stride_);
+  }
+
+  [[nodiscard]] ImageView<const T> as_const() const {
+    return ImageView<const T>(data_, width_, height_, stride_);
+  }
+
+  // Allow ImageView<T> -> ImageView<const T> conversion.
+  operator ImageView<const T>() const
+    requires(!std::is_const_v<T>)
+  {
+    return as_const();
+  }
+
+  void fill(const T& value) const
+    requires(!std::is_const_v<T>)
+  {
+    for (int y = 0; y < height_; ++y) {
+      std::fill_n(row(y), width_, value);
+    }
+  }
+
+ private:
+  T* data_ = nullptr;
+  int width_ = 0;
+  int height_ = 0;
+  int stride_ = 0;
+};
+
+/// Owning row-major image. Storage is contiguous (stride == width).
+template <typename T>
+class Image {
+ public:
+  Image() = default;
+
+  Image(int width, int height) : width_(width), height_(height) {
+    if (width < 0 || height < 0) {
+      throw ImageError("Image: negative dimensions");
+    }
+    pixels_.resize(static_cast<std::size_t>(width) *
+                   static_cast<std::size_t>(height));
+  }
+
+  Image(int width, int height, T fill_value) : Image(width, height) {
+    std::fill(pixels_.begin(), pixels_.end(), fill_value);
+  }
+
+  [[nodiscard]] int width() const { return width_; }
+  [[nodiscard]] int height() const { return height_; }
+  [[nodiscard]] int stride() const { return width_; }
+  [[nodiscard]] bool empty() const { return pixels_.empty(); }
+  [[nodiscard]] std::size_t pixel_count() const { return pixels_.size(); }
+  [[nodiscard]] std::size_t byte_size() const {
+    return pixels_.size() * sizeof(T);
+  }
+
+  [[nodiscard]] T* data() { return pixels_.data(); }
+  [[nodiscard]] const T* data() const { return pixels_.data(); }
+  [[nodiscard]] std::span<T> pixels() { return pixels_; }
+  [[nodiscard]] std::span<const T> pixels() const { return pixels_; }
+
+  [[nodiscard]] T& at(int x, int y) {
+    assert(x >= 0 && x < width_ && y >= 0 && y < height_);
+    return pixels_[static_cast<std::size_t>(y) *
+                       static_cast<std::size_t>(width_) +
+                   static_cast<std::size_t>(x)];
+  }
+  [[nodiscard]] const T& at(int x, int y) const {
+    assert(x >= 0 && x < width_ && y >= 0 && y < height_);
+    return pixels_[static_cast<std::size_t>(y) *
+                       static_cast<std::size_t>(width_) +
+                   static_cast<std::size_t>(x)];
+  }
+  [[nodiscard]] T& operator()(int x, int y) { return at(x, y); }
+  [[nodiscard]] const T& operator()(int x, int y) const { return at(x, y); }
+
+  [[nodiscard]] ImageView<T> view() {
+    return ImageView<T>(pixels_.data(), width_, height_, width_);
+  }
+  [[nodiscard]] ImageView<const T> view() const {
+    return ImageView<const T>(pixels_.data(), width_, height_, width_);
+  }
+  [[nodiscard]] ImageView<const T> cview() const { return view(); }
+
+  friend bool operator==(const Image& a, const Image& b) {
+    return a.width_ == b.width_ && a.height_ == b.height_ &&
+           a.pixels_ == b.pixels_;
+  }
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<T> pixels_;
+};
+
+using ImageU8 = Image<std::uint8_t>;
+using ImageF32 = Image<float>;
+using ImageI32 = Image<std::int32_t>;
+
+/// Element-wise conversion between pixel types (value-preserving cast).
+template <typename Dst, typename Src>
+[[nodiscard]] Image<Dst> convert(const Image<Src>& src) {
+  Image<Dst> dst(src.width(), src.height());
+  const auto in = src.pixels();
+  const auto out = dst.pixels();
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    out[i] = static_cast<Dst>(in[i]);
+  }
+  return dst;
+}
+
+}  // namespace sharp::img

@@ -1,0 +1,26 @@
+// Image comparison metrics used by tests (exactness checks) and examples
+// (before/after sharpness scoring).
+#pragma once
+
+#include <cstdint>
+
+#include "image/image.hpp"
+
+namespace sharp::img {
+
+/// Largest absolute per-pixel difference. 0 means identical.
+[[nodiscard]] int max_abs_diff(const ImageU8& a, const ImageU8& b);
+[[nodiscard]] float max_abs_diff(const ImageF32& a, const ImageF32& b);
+
+/// Mean squared error over all pixels.
+[[nodiscard]] double mse(const ImageU8& a, const ImageU8& b);
+
+/// Peak signal-to-noise ratio in dB (infinity for identical images).
+[[nodiscard]] double psnr(const ImageU8& a, const ImageU8& b);
+
+/// Mean absolute Sobel response |Gx|+|Gy| over interior pixels — the same
+/// edge-energy statistic the sharpness algorithm itself uses, handy for
+/// demonstrating "the output is sharper than the input" in examples.
+[[nodiscard]] double edge_energy(const ImageU8& img);
+
+}  // namespace sharp::img

@@ -1,0 +1,42 @@
+// Minimal PGM (P5) / PPM (P6) reader and writer for 8-bit images.
+//
+// The examples use these to save sharpened output that any image viewer can
+// open, and to let users feed their own photographs through the pipeline.
+// Only binary variants with maxval 255 are supported; everything else is
+// rejected with a descriptive PnmError.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "image/color.hpp"
+#include "image/image.hpp"
+
+namespace sharp::img {
+
+class PnmError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Writes `img` as a binary PGM (P5) stream/file.
+void write_pgm(std::ostream& os, const ImageU8& img);
+void write_pgm(const std::string& path, const ImageU8& img);
+
+/// Reads a binary PGM (P5) stream/file; P6 (RGB) input is converted to
+/// luma with integer BT.601 weights so photos "just work".
+[[nodiscard]] ImageU8 read_pgm(std::istream& is);
+[[nodiscard]] ImageU8 read_pgm(const std::string& path);
+
+/// Writes `img` as a binary PPM (P6) stream/file.
+void write_ppm(std::ostream& os, const ImageRgb& img);
+void write_ppm(const std::string& path, const ImageRgb& img);
+
+/// Reads a binary PPM (P6) stream/file; P5 (gray) input is replicated to
+/// all three channels.
+[[nodiscard]] ImageRgb read_ppm(std::istream& is);
+[[nodiscard]] ImageRgb read_ppm(const std::string& path);
+
+}  // namespace sharp::img

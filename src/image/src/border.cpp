@@ -1,0 +1,16 @@
+#include "image/border.hpp"
+
+namespace sharp::img {
+
+bool is_padded_copy(const Image<std::uint8_t>& padded,
+                    const Image<std::uint8_t>& interior, int margin,
+                    BorderMode mode) {
+  if (padded.width() != interior.width() + 2 * margin ||
+      padded.height() != interior.height() + 2 * margin) {
+    return false;
+  }
+  const Image<std::uint8_t> expect = pad(interior, margin, mode);
+  return expect == padded;
+}
+
+}  // namespace sharp::img

@@ -1,0 +1,57 @@
+#include "image/color.hpp"
+
+#include <algorithm>
+
+#include "image/generate.hpp"
+
+namespace sharp::img {
+
+ImageU8 luma(const ImageRgb& rgb) {
+  ImageU8 out(rgb.width(), rgb.height());
+  const auto in = rgb.pixels();
+  const auto o = out.pixels();
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    o[i] = static_cast<std::uint8_t>(
+        (77 * in[i].r + 150 * in[i].g + 29 * in[i].b) >> 8);
+  }
+  return out;
+}
+
+ImageRgb apply_luma_delta(const ImageRgb& original,
+                          const ImageU8& original_luma,
+                          const ImageU8& sharpened_luma) {
+  if (original.width() != original_luma.width() ||
+      original.width() != sharpened_luma.width() ||
+      original.height() != original_luma.height() ||
+      original.height() != sharpened_luma.height()) {
+    throw ImageError("apply_luma_delta: image shapes differ");
+  }
+  ImageRgb out(original.width(), original.height());
+  const auto in = original.pixels();
+  const auto y0 = original_luma.pixels();
+  const auto y1 = sharpened_luma.pixels();
+  const auto o = out.pixels();
+  const auto clamp8 = [](int v) {
+    return static_cast<std::uint8_t>(std::clamp(v, 0, 255));
+  };
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const int delta = int{y1[i]} - int{y0[i]};
+    o[i] = Rgb{clamp8(in[i].r + delta), clamp8(in[i].g + delta),
+               clamp8(in[i].b + delta)};
+  }
+  return out;
+}
+
+ImageRgb make_rgb_natural(int width, int height, std::uint64_t seed) {
+  const ImageU8 r = make_natural(width, height, seed);
+  const ImageU8 g = make_natural(width, height, seed + 101);
+  const ImageU8 b = make_natural(width, height, seed + 202);
+  ImageRgb out(width, height);
+  const auto o = out.pixels();
+  for (std::size_t i = 0; i < o.size(); ++i) {
+    o[i] = Rgb{r.pixels()[i], g.pixels()[i], b.pixels()[i]};
+  }
+  return out;
+}
+
+}  // namespace sharp::img

@@ -1,0 +1,127 @@
+#include "image/generate.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace sharp::img {
+namespace {
+
+/// splitmix64: tiny, high-quality, seedable mixer. Used instead of <random>
+/// so that pixel values are stable across standard-library versions.
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Hash of a lattice point for value noise.
+float lattice(std::uint64_t seed, int x, int y) {
+  const std::uint64_t h = splitmix64(
+      seed ^ (static_cast<std::uint64_t>(static_cast<std::uint32_t>(x)) << 32 |
+              static_cast<std::uint32_t>(y)));
+  return static_cast<float>(h >> 40) / static_cast<float>(1 << 24);
+}
+
+float smoothstep(float t) { return t * t * (3.0f - 2.0f * t); }
+
+/// One octave of 2-D value noise with `period`-pixel lattice spacing.
+float value_noise(std::uint64_t seed, int x, int y, int period) {
+  const int gx = x / period;
+  const int gy = y / period;
+  const float fx = smoothstep(static_cast<float>(x % period) /
+                              static_cast<float>(period));
+  const float fy = smoothstep(static_cast<float>(y % period) /
+                              static_cast<float>(period));
+  const float v00 = lattice(seed, gx, gy);
+  const float v10 = lattice(seed, gx + 1, gy);
+  const float v01 = lattice(seed, gx, gy + 1);
+  const float v11 = lattice(seed, gx + 1, gy + 1);
+  const float top = v00 + (v10 - v00) * fx;
+  const float bot = v01 + (v11 - v01) * fx;
+  return top + (bot - top) * fy;
+}
+
+}  // namespace
+
+ImageU8 make_gradient(int width, int height) {
+  ImageU8 out(width, height);
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      out(x, y) = static_cast<std::uint8_t>(
+          width > 1 ? (255 * x) / (width - 1) : 0);
+    }
+  }
+  return out;
+}
+
+ImageU8 make_checkerboard(int width, int height, int cell) {
+  if (cell <= 0) {
+    throw ImageError("make_checkerboard: cell must be positive");
+  }
+  ImageU8 out(width, height);
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      const bool on = ((x / cell) + (y / cell)) % 2 == 0;
+      out(x, y) = on ? 255 : 0;
+    }
+  }
+  return out;
+}
+
+ImageU8 make_noise(int width, int height, std::uint64_t seed) {
+  ImageU8 out(width, height);
+  std::uint64_t state = splitmix64(seed);
+  for (auto& px : out.pixels()) {
+    state = splitmix64(state);
+    px = static_cast<std::uint8_t>(state >> 56);
+  }
+  return out;
+}
+
+ImageU8 make_natural(int width, int height, std::uint64_t seed) {
+  ImageU8 out(width, height);
+  // Octave periods chosen so that images down to 16x16 still see more
+  // than one lattice cell in every octave.
+  const int periods[] = {64, 16, 4};
+  const float weights[] = {0.55f, 0.30f, 0.15f};
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      float v = 0.0f;
+      for (int o = 0; o < 3; ++o) {
+        v += weights[o] * value_noise(seed + static_cast<std::uint64_t>(o),
+                                      x, y, periods[o]);
+      }
+      out(x, y) = static_cast<std::uint8_t>(
+          std::lround(std::clamp(v, 0.0f, 1.0f) * 255.0f));
+    }
+  }
+  return out;
+}
+
+ImageU8 make_constant(int width, int height, std::uint8_t value) {
+  return ImageU8(width, height, value);
+}
+
+ImageU8 make_impulse(int width, int height, int cx, int cy) {
+  ImageU8 out(width, height, 16);
+  if (cx >= 0 && cx < width && cy >= 0 && cy < height) {
+    out(cx, cy) = 255;
+  }
+  return out;
+}
+
+ImageU8 make_named(const std::string& name, int width, int height,
+                   std::uint64_t seed) {
+  if (name == "gradient") return make_gradient(width, height);
+  if (name == "checker") return make_checkerboard(width, height, 8);
+  if (name == "noise") return make_noise(width, height, seed);
+  if (name == "natural") return make_natural(width, height, seed);
+  if (name == "constant") return make_constant(width, height, 128);
+  if (name == "impulse") return make_impulse(width, height, width / 2,
+                                             height / 2);
+  throw ImageError("make_named: unknown generator '" + name + "'");
+}
+
+}  // namespace sharp::img

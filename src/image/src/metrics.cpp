@@ -1,0 +1,83 @@
+#include "image/metrics.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+namespace sharp::img {
+namespace {
+
+void require_same_shape(int aw, int ah, int bw, int bh) {
+  if (aw != bw || ah != bh) {
+    throw ImageError("metrics: image shapes differ");
+  }
+}
+
+}  // namespace
+
+int max_abs_diff(const ImageU8& a, const ImageU8& b) {
+  require_same_shape(a.width(), a.height(), b.width(), b.height());
+  int worst = 0;
+  const auto pa = a.pixels();
+  const auto pb = b.pixels();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    worst = std::max(worst, std::abs(int{pa[i]} - int{pb[i]}));
+  }
+  return worst;
+}
+
+float max_abs_diff(const ImageF32& a, const ImageF32& b) {
+  require_same_shape(a.width(), a.height(), b.width(), b.height());
+  float worst = 0.0f;
+  const auto pa = a.pixels();
+  const auto pb = b.pixels();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    worst = std::max(worst, std::abs(pa[i] - pb[i]));
+  }
+  return worst;
+}
+
+double mse(const ImageU8& a, const ImageU8& b) {
+  require_same_shape(a.width(), a.height(), b.width(), b.height());
+  if (a.pixel_count() == 0) {
+    return 0.0;
+  }
+  double acc = 0.0;
+  const auto pa = a.pixels();
+  const auto pb = b.pixels();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    const double d = double{pa[i]} - double{pb[i]};
+    acc += d * d;
+  }
+  return acc / static_cast<double>(pa.size());
+}
+
+double psnr(const ImageU8& a, const ImageU8& b) {
+  const double m = mse(a, b);
+  if (m == 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return 10.0 * std::log10(255.0 * 255.0 / m);
+}
+
+double edge_energy(const ImageU8& img) {
+  if (img.width() < 3 || img.height() < 3) {
+    return 0.0;
+  }
+  double acc = 0.0;
+  const auto v = img.view();
+  for (int y = 1; y < img.height() - 1; ++y) {
+    for (int x = 1; x < img.width() - 1; ++x) {
+      const int gx = (v(x + 1, y - 1) + 2 * v(x + 1, y) + v(x + 1, y + 1)) -
+                     (v(x - 1, y - 1) + 2 * v(x - 1, y) + v(x - 1, y + 1));
+      const int gy = (v(x - 1, y + 1) + 2 * v(x, y + 1) + v(x + 1, y + 1)) -
+                     (v(x - 1, y - 1) + 2 * v(x, y - 1) + v(x + 1, y - 1));
+      acc += std::abs(gx) + std::abs(gy);
+    }
+  }
+  const double count = static_cast<double>(img.width() - 2) *
+                       static_cast<double>(img.height() - 2);
+  return acc / count;
+}
+
+}  // namespace sharp::img

@@ -1,0 +1,162 @@
+#include "image/pnm.hpp"
+
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <ostream>
+
+namespace sharp::img {
+namespace {
+
+/// Skips whitespace and '#'-to-end-of-line comments between header tokens.
+void skip_separators(std::istream& is) {
+  for (;;) {
+    const int c = is.peek();
+    if (c == '#') {
+      is.ignore(std::numeric_limits<std::streamsize>::max(), '\n');
+    } else if (std::isspace(c)) {
+      is.get();
+    } else {
+      return;
+    }
+  }
+}
+
+int read_header_int(std::istream& is, const char* what) {
+  skip_separators(is);
+  int value = 0;
+  if (!(is >> value) || value < 0) {
+    throw PnmError(std::string("pnm: bad header field: ") + what);
+  }
+  return value;
+}
+
+}  // namespace
+
+void write_pgm(std::ostream& os, const ImageU8& img) {
+  os << "P5\n" << img.width() << ' ' << img.height() << "\n255\n";
+  os.write(reinterpret_cast<const char*>(img.data()),
+           static_cast<std::streamsize>(img.byte_size()));
+  if (!os) {
+    throw PnmError("pnm: write failed");
+  }
+}
+
+void write_pgm(const std::string& path, const ImageU8& img) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) {
+    throw PnmError("pnm: cannot open for writing: " + path);
+  }
+  write_pgm(os, img);
+}
+
+ImageU8 read_pgm(std::istream& is) {
+  char magic[2] = {0, 0};
+  is.read(magic, 2);
+  if (!is || magic[0] != 'P' || (magic[1] != '5' && magic[1] != '6')) {
+    throw PnmError("pnm: not a binary PGM/PPM (expected P5 or P6)");
+  }
+  const bool rgb = magic[1] == '6';
+  const int width = read_header_int(is, "width");
+  const int height = read_header_int(is, "height");
+  const int maxval = read_header_int(is, "maxval");
+  if (maxval != 255) {
+    throw PnmError("pnm: only maxval 255 is supported");
+  }
+  is.get();  // single whitespace byte after maxval
+
+  ImageU8 out(width, height);
+  if (rgb) {
+    std::vector<std::uint8_t> row(static_cast<std::size_t>(width) * 3);
+    for (int y = 0; y < height; ++y) {
+      is.read(reinterpret_cast<char*>(row.data()),
+              static_cast<std::streamsize>(row.size()));
+      for (int x = 0; x < width; ++x) {
+        // Integer BT.601 luma: (77 R + 150 G + 29 B) / 256.
+        const int r = row[static_cast<std::size_t>(3 * x)];
+        const int g = row[static_cast<std::size_t>(3 * x) + 1];
+        const int b = row[static_cast<std::size_t>(3 * x) + 2];
+        out(x, y) = static_cast<std::uint8_t>((77 * r + 150 * g + 29 * b) >> 8);
+      }
+    }
+  } else {
+    is.read(reinterpret_cast<char*>(out.data()),
+            static_cast<std::streamsize>(out.byte_size()));
+  }
+  if (!is) {
+    throw PnmError("pnm: truncated pixel data");
+  }
+  return out;
+}
+
+ImageU8 read_pgm(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    throw PnmError("pnm: cannot open for reading: " + path);
+  }
+  return read_pgm(is);
+}
+
+void write_ppm(std::ostream& os, const ImageRgb& img) {
+  static_assert(sizeof(Rgb) == 3, "Rgb must be tightly packed");
+  os << "P6\n" << img.width() << ' ' << img.height() << "\n255\n";
+  os.write(reinterpret_cast<const char*>(img.data()),
+           static_cast<std::streamsize>(img.byte_size()));
+  if (!os) {
+    throw PnmError("pnm: write failed");
+  }
+}
+
+void write_ppm(const std::string& path, const ImageRgb& img) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) {
+    throw PnmError("pnm: cannot open for writing: " + path);
+  }
+  write_ppm(os, img);
+}
+
+ImageRgb read_ppm(std::istream& is) {
+  char magic[2] = {0, 0};
+  is.read(magic, 2);
+  if (!is || magic[0] != 'P' || (magic[1] != '5' && magic[1] != '6')) {
+    throw PnmError("pnm: not a binary PGM/PPM (expected P5 or P6)");
+  }
+  const bool rgb = magic[1] == '6';
+  const int width = read_header_int(is, "width");
+  const int height = read_header_int(is, "height");
+  const int maxval = read_header_int(is, "maxval");
+  if (maxval != 255) {
+    throw PnmError("pnm: only maxval 255 is supported");
+  }
+  is.get();
+
+  ImageRgb out(width, height);
+  if (rgb) {
+    is.read(reinterpret_cast<char*>(out.data()),
+            static_cast<std::streamsize>(out.byte_size()));
+  } else {
+    std::vector<std::uint8_t> row(static_cast<std::size_t>(width));
+    for (int y = 0; y < height; ++y) {
+      is.read(reinterpret_cast<char*>(row.data()),
+              static_cast<std::streamsize>(row.size()));
+      for (int x = 0; x < width; ++x) {
+        const std::uint8_t v = row[static_cast<std::size_t>(x)];
+        out(x, y) = Rgb{v, v, v};
+      }
+    }
+  }
+  if (!is) {
+    throw PnmError("pnm: truncated pixel data");
+  }
+  return out;
+}
+
+ImageRgb read_ppm(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    throw PnmError("pnm: cannot open for reading: " + path);
+  }
+  return read_ppm(is);
+}
+
+}  // namespace sharp::img

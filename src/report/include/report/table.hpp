@@ -1,0 +1,44 @@
+// Console table / CSV formatting shared by the benchmark harness, so every
+// reproduced figure prints in a uniform, parseable layout:
+//
+//   == Fig. 12: CPU vs GPU total time ==
+//   size      cpu_ms   gpu_base_ms  ...
+//   256x256   1.234    0.126
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sharp::report {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row; must have as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Fixed-width aligned text table.
+  void print(std::ostream& os) const;
+  /// Comma-separated form (for plotting scripts).
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant decimals (e.g. fmt(3.14159,2)
+/// == "3.14").
+[[nodiscard]] std::string fmt(double value, int digits = 2);
+
+/// "256x256" style size label.
+[[nodiscard]] std::string size_label(int w, int h);
+
+/// Prints the "== <title> ==" banner used before every reproduced figure.
+void banner(std::ostream& os, const std::string& title);
+
+}  // namespace sharp::report

@@ -1,0 +1,21 @@
+// Color sharpening: extracts BT.601 luma, runs the (GPU or CPU) sharpness
+// pipeline on it, and re-applies the luma delta to all channels — how a
+// TV/camera pipeline deploys a single-channel sharpener on color frames.
+#pragma once
+
+#include "image/color.hpp"
+#include "sharpen/options.hpp"
+#include "sharpen/params.hpp"
+
+namespace sharp {
+
+/// Sharpens a color image via its luma channel on the simulated GPU.
+[[nodiscard]] img::ImageRgb sharpen_rgb(
+    const img::ImageRgb& input, const SharpenParams& params = {},
+    const PipelineOptions& options = PipelineOptions::optimized());
+
+/// CPU-baseline variant (identical pixels; see the test suite).
+[[nodiscard]] img::ImageRgb sharpen_rgb_cpu(const img::ImageRgb& input,
+                                            const SharpenParams& params = {});
+
+}  // namespace sharp

@@ -1,0 +1,24 @@
+// Analytic operation counts of each CPU stage, used to charge the i5-3470
+// roofline model (DESIGN.md §2: this container is not the paper's 4-core
+// i5, so the CPU baseline's *reported* time comes from these counts while
+// its pixels come from really executing stages.cpp).
+//
+// Counts are read straight off the loops in stages.cpp: flops counts
+// arithmetic/compare ops per pixel, bytes counts the streamed traffic.
+#pragma once
+
+#include "simcl/cost_model.hpp"
+
+namespace sharp::cpu_cost {
+
+/// Per-stage work for an `w` x `h` input image.
+[[nodiscard]] simcl::HostWork downscale(int w, int h);
+[[nodiscard]] simcl::HostWork upscale_body(int w, int h);
+[[nodiscard]] simcl::HostWork upscale_border(int w, int h);
+[[nodiscard]] simcl::HostWork difference(int w, int h);
+[[nodiscard]] simcl::HostWork sobel(int w, int h);
+[[nodiscard]] simcl::HostWork reduction(int w, int h);
+[[nodiscard]] simcl::HostWork preliminary(int w, int h);
+[[nodiscard]] simcl::HostWork overshoot(int w, int h);
+
+}  // namespace sharp::cpu_cost

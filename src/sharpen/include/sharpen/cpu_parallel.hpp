@@ -1,0 +1,46 @@
+// Multi-threaded CPU pipeline: the same sharpness stages as CpuPipeline,
+// row-partitioned across worker threads (the "what if the baseline used
+// all four i5 cores" extension — the paper's CPU baseline is
+// single-threaded -O3 code, see DESIGN.md §2).
+//
+// Pixels are bit-identical to the serial pipeline (both call the shared
+// row cores in detail/stage_rows.hpp, and the reduction combines partial
+// sums in deterministic thread order over exact int64 arithmetic).
+// Reported time uses a multi-core scaling of the i5 model.
+#pragma once
+
+#include "image/image.hpp"
+#include "sharpen/params.hpp"
+#include "sharpen/pipeline_result.hpp"
+#include "simcl/cost_model.hpp"
+#include "simcl/device.hpp"
+
+namespace sharp {
+
+/// Scales a single-threaded CPU DeviceSpec to `threads` cores:
+/// compute scales by threads x parallel_efficiency; bandwidth scales the
+/// same way but saturates at `socket_bw_cap` of the socket's peak (the
+/// four i5 cores share one memory controller).
+[[nodiscard]] simcl::DeviceSpec multicore_spec(
+    simcl::DeviceSpec base, int threads, double parallel_efficiency = 0.9,
+    double socket_bw_cap = 0.6);
+
+class ParallelCpuPipeline {
+ public:
+  explicit ParallelCpuPipeline(
+      int threads = 4, simcl::DeviceSpec cpu = simcl::intel_core_i5_3470());
+
+  /// Same stage labels as CpuPipeline (Fig. 13a).
+  [[nodiscard]] PipelineResult run(const img::ImageU8& input,
+                                   const SharpenParams& params = {}) const;
+
+  [[nodiscard]] int threads() const { return threads_; }
+  [[nodiscard]] const simcl::DeviceSpec& device() const { return cpu_; }
+
+ private:
+  int threads_;
+  simcl::DeviceSpec cpu_;  ///< already scaled to `threads_` cores
+  simcl::CostModel model_;
+};
+
+}  // namespace sharp

@@ -1,0 +1,37 @@
+// The paper's CPU baseline: the full sharpness algorithm executed on the
+// host, stage by stage, with per-stage timing. Pixels are computed for
+// real; reported time comes from the i5-3470 roofline model plus measured
+// wall time of this process (see DESIGN.md §2 for why both exist).
+#pragma once
+
+#include "image/image.hpp"
+#include "sharpen/params.hpp"
+#include "sharpen/pipeline_result.hpp"
+#include "simcl/cost_model.hpp"
+#include "simcl/device.hpp"
+
+namespace sharp {
+
+class CpuPipeline {
+ public:
+  /// `cpu` is the device model used for the reported stage times.
+  explicit CpuPipeline(simcl::DeviceSpec cpu = simcl::intel_core_i5_3470());
+
+  /// Sharpens `input` and returns the image plus per-stage timings.
+  /// Stage labels match Fig. 13a: downscale, upscale, pError, sobel,
+  /// reduction, strength, overshoot.
+  [[nodiscard]] PipelineResult run(const img::ImageU8& input,
+                                   const SharpenParams& params = {}) const;
+
+  [[nodiscard]] const simcl::DeviceSpec& device() const { return cpu_; }
+
+ private:
+  simcl::DeviceSpec cpu_;
+  simcl::CostModel model_;
+};
+
+/// One-call convenience API: sharpen on the CPU with default parameters.
+[[nodiscard]] img::ImageU8 sharpen_cpu(const img::ImageU8& input,
+                                       const SharpenParams& params = {});
+
+}  // namespace sharp

@@ -1,0 +1,25 @@
+// Upscale interpolation primitives shared by the CPU stages and the GPU
+// kernels, so both sides evaluate bit-identical float expressions.
+#pragma once
+
+#include "sharpen/params.hpp"
+
+namespace sharp::detail {
+
+/// Decomposes an upscaled coordinate offset t = y-2 into the downscaled
+/// node index r = floor(t/4) (correct for negative t) and phase j = t-4r.
+inline void phase_of(int t, int& r, int& j) {
+  r = (t >= 0) ? t / 4 : -((-t + 3) / 4);
+  j = t - 4 * r;
+}
+
+/// One upscaled sample from its 2x2 downscaled window; the fixed
+/// evaluation order keeps CPU and GPU results bit-identical.
+inline float upscale_sample(float d00, float d01, float d10, float d11,
+                            int jy, int jx) {
+  const float top = d00 * kUpW0[jx] + d01 * kUpW1[jx];
+  const float bot = d10 * kUpW0[jx] + d11 * kUpW1[jx];
+  return kUpW0[jy] * top + kUpW1[jy] * bot;
+}
+
+}  // namespace sharp::detail

@@ -1,0 +1,164 @@
+// Row-range cores of every CPU stage. stages.cpp calls these with full
+// ranges; the parallel CPU pipeline partitions the rows across worker
+// threads. Keeping a single per-pixel implementation guarantees the
+// serial baseline, the parallel baseline and (through the shared helpers
+// in params.hpp / interp.hpp) the GPU kernels all agree bit-exactly.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "image/image.hpp"
+#include "sharpen/detail/interp.hpp"
+#include "sharpen/params.hpp"
+
+namespace sharp::detail {
+
+/// Downscale output rows [r0, r1): 4x4 block means.
+inline void downscale_rows(img::ImageView<const std::uint8_t> src,
+                           img::ImageView<float> out, int r0, int r1) {
+  const int dw = out.width();
+  for (int r = r0; r < r1; ++r) {
+    for (int c = 0; c < dw; ++c) {
+      std::int32_t sum = 0;
+      for (int dy = 0; dy < kScale; ++dy) {
+        const std::uint8_t* row = src.row(r * kScale + dy) + c * kScale;
+        sum += row[0] + row[1] + row[2] + row[3];
+      }
+      out.at(c, r) = static_cast<float>(sum) / 16.0f;
+    }
+  }
+}
+
+/// Upscale an arbitrary rectangle [x0,x1) x [y0,y1) of the output from the
+/// downscaled image, with clamped indices (full-image semantics).
+inline void upscale_rect(img::ImageView<const float> down,
+                         img::ImageView<float> out, int x0, int y0, int x1,
+                         int y1) {
+  const int n_rows = down.height();
+  const int n_cols = down.width();
+  for (int y = y0; y < y1; ++y) {
+    int r = 0, jy = 0;
+    phase_of(y - 2, r, jy);
+    const int rr0 = std::clamp(r, 0, n_rows - 1);
+    const int rr1 = std::clamp(r + 1, 0, n_rows - 1);
+    for (int x = x0; x < x1; ++x) {
+      int c = 0, jx = 0;
+      phase_of(x - 2, c, jx);
+      const int cc0 = std::clamp(c, 0, n_cols - 1);
+      const int cc1 = std::clamp(c + 1, 0, n_cols - 1);
+      out.at(x, y) =
+          upscale_sample(down.at(cc0, rr0), down.at(cc1, rr0),
+                         down.at(cc0, rr1), down.at(cc1, rr1), jy, jx);
+    }
+  }
+}
+
+/// pError rows [y0, y1): float(original) - upscaled.
+inline void difference_rows(img::ImageView<const std::uint8_t> orig,
+                            img::ImageView<const float> up,
+                            img::ImageView<float> out, int y0, int y1) {
+  for (int y = y0; y < y1; ++y) {
+    const std::uint8_t* a = orig.row(y);
+    const float* b = up.row(y);
+    float* o = out.row(y);
+    for (int x = 0; x < out.width(); ++x) {
+      o[x] = static_cast<float>(a[x]) - b[x];
+    }
+  }
+}
+
+/// Sobel rows [y0, y1) (full-image semantics: the outer frame stays 0;
+/// callers must pre-zero frame rows they own).
+inline void sobel_rows(img::ImageView<const std::uint8_t> src,
+                       img::ImageView<std::int32_t> out, int y0, int y1) {
+  const int w = src.width();
+  const int h = src.height();
+  for (int y = std::max(y0, 1); y < std::min(y1, h - 1); ++y) {
+    const std::uint8_t* r0 = src.row(y - 1);
+    const std::uint8_t* r1 = src.row(y);
+    const std::uint8_t* r2 = src.row(y + 1);
+    std::int32_t* o = out.row(y);
+    o[0] = 0;
+    o[w - 1] = 0;
+    for (int x = 1; x < w - 1; ++x) {
+      const std::int32_t gx = (r0[x + 1] + 2 * r1[x + 1] + r2[x + 1]) -
+                              (r0[x - 1] + 2 * r1[x - 1] + r2[x - 1]);
+      const std::int32_t gy = (r2[x - 1] + 2 * r2[x] + r2[x + 1]) -
+                              (r0[x - 1] + 2 * r0[x] + r0[x + 1]);
+      o[x] = std::abs(gx) + std::abs(gy);
+    }
+  }
+  // Frame rows inside the assigned range.
+  if (y0 == 0) {
+    std::fill_n(out.row(0), w, 0);
+  }
+  if (y1 == h) {
+    std::fill_n(out.row(h - 1), w, 0);
+  }
+}
+
+/// Partial Sobel sum of rows [y0, y1) — the per-thread piece of the
+/// reduction stage.
+[[nodiscard]] inline std::int64_t reduce_rows(
+    img::ImageView<const std::int32_t> edge, int y0, int y1) {
+  std::int64_t acc = 0;
+  for (int y = y0; y < y1; ++y) {
+    const std::int32_t* row = edge.row(y);
+    for (int x = 0; x < edge.width(); ++x) {
+      acc += row[x];
+    }
+  }
+  return acc;
+}
+
+/// Strength + preliminary rows [y0, y1).
+inline void preliminary_rows(img::ImageView<const float> up,
+                             img::ImageView<const float> error,
+                             img::ImageView<const std::int32_t> edge,
+                             float inv_mean, const SharpenParams& params,
+                             img::ImageView<float> out, int y0, int y1) {
+  for (int y = y0; y < y1; ++y) {
+    const float* u = up.row(y);
+    const float* e = error.row(y);
+    const std::int32_t* g = edge.row(y);
+    float* o = out.row(y);
+    for (int x = 0; x < out.width(); ++x) {
+      const float s = edge_strength(g[x], inv_mean, params);
+      o[x] = u[x] + s * e[x];
+    }
+  }
+}
+
+/// Overshoot-control rows [y0, y1) (full-image semantics).
+inline void overshoot_rows(img::ImageView<const std::uint8_t> orig,
+                           img::ImageView<const float> prelim,
+                           const SharpenParams& params,
+                           img::ImageView<std::uint8_t> out, int y0,
+                           int y1) {
+  const int w = orig.width();
+  const int h = orig.height();
+  for (int y = y0; y < y1; ++y) {
+    const bool border_row = (y == 0 || y == h - 1);
+    for (int x = 0; x < w; ++x) {
+      if (border_row || x == 0 || x == w - 1) {
+        out.at(x, y) =
+            to_u8(std::min(std::max(prelim.at(x, y), 0.0f), 255.0f));
+        continue;
+      }
+      std::int32_t mx = 0;
+      std::int32_t mn = 255;
+      for (int dy = -1; dy <= 1; ++dy) {
+        const std::uint8_t* row = orig.row(y + dy) + (x - 1);
+        for (int dx = 0; dx < 3; ++dx) {
+          mx = std::max<std::int32_t>(mx, row[dx]);
+          mn = std::min<std::int32_t>(mn, row[dx]);
+        }
+      }
+      out.at(x, y) =
+          to_u8(overshoot_value(prelim.at(x, y), mn, mx, params));
+    }
+  }
+}
+
+}  // namespace sharp::detail

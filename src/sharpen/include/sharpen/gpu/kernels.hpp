@@ -1,0 +1,199 @@
+// Factory functions building the OpenCL-style device kernels of the GPU
+// pipeline. Each returns a simcl::Kernel whose body captures the buffers
+// and scalar arguments, exactly like setting cl_kernel args on the host.
+//
+// Naming and decomposition follow Fig. 13b/c of the paper: downscale,
+// border, center (upscale), sobel, reduction (two stages) and sharpness
+// (the fused pError + strength/preliminary + overshoot kernel), plus the
+// three unfused sub-kernels the naive version uses instead of `sharpness`.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sharpen/options.hpp"
+#include "sharpen/params.hpp"
+#include "simcl/buffer.hpp"
+#include "simcl/kernel.hpp"
+#include "simcl/ndrange.hpp"
+
+namespace sharp::gpu {
+
+/// A kernel's view of the uploaded source image: either the original
+/// buffer (stride = width, offset 0) or the padded buffer
+/// (stride = width + 2, offset = stride + 1 so that (x, y) indexes the
+/// same pixel in both layouts).
+struct SrcView {
+  simcl::Buffer* buf = nullptr;
+  int stride = 0;
+  int offset = 0;
+
+  [[nodiscard]] std::size_t index(int x, int y) const {
+    return static_cast<std::size_t>(offset + y * stride + x);
+  }
+};
+
+/// Models §V.F: without built-ins / instruction selection a kernel spends
+/// more instructions per work-item for identical results.
+struct KernelEnv {
+  double alu_scale = 1.0;
+
+  [[nodiscard]] static KernelEnv from(const PipelineOptions& o) {
+    KernelEnv env;
+    if (!o.use_builtins) {
+      env.alu_scale *= 1.25;
+    }
+    if (!o.instruction_selection) {
+      env.alu_scale *= 1.15;
+    }
+    return env;
+  }
+
+  [[nodiscard]] std::uint64_t alu(double ops) const {
+    return static_cast<std::uint64_t>(ops * alu_scale + 0.5);
+  }
+};
+
+/// Rounds a global size up to a multiple of the work-group size; kernels
+/// early-return for out-of-range ids (standard OpenCL practice).
+[[nodiscard]] constexpr std::size_t round_up(std::size_t v, std::size_t m) {
+  return (v + m - 1) / m * m;
+}
+
+// --- stage kernels -----------------------------------------------------------
+
+/// Downscale: one work-item per output pixel (4x4 block mean).
+[[nodiscard]] simcl::Kernel make_downscale(const SrcView& src,
+                                           simcl::Buffer& down, int dw,
+                                           int dh, const KernelEnv& env);
+
+/// Upscale body ("center"), scalar: one output pixel per work-item.
+[[nodiscard]] simcl::Kernel make_center_scalar(simcl::Buffer& down, int dw,
+                                               int dh, simcl::Buffer& up,
+                                               int w, int h,
+                                               const KernelEnv& env);
+
+/// Upscale body, vectorized: one aligned quad of outputs per work-item
+/// (they share one 2x2 downscaled window), vstore4 result.
+[[nodiscard]] simcl::Kernel make_center_vec4(simcl::Buffer& down, int dw,
+                                             int dh, simcl::Buffer& up,
+                                             int w, int h,
+                                             const KernelEnv& env);
+
+/// Upscale border: 1-D kernel over the 2-pixel frame; conditional-heavy,
+/// declared divergent (§V.E).
+[[nodiscard]] simcl::Kernel make_border(simcl::Buffer& down, int dw, int dh,
+                                        simcl::Buffer& up, int w, int h,
+                                        const KernelEnv& env);
+
+/// Sobel |Gx|+|Gy| with zero frame, scalar variant.
+[[nodiscard]] simcl::Kernel make_sobel_scalar(const SrcView& src,
+                                              simcl::Buffer& edge, int w,
+                                              int h, const KernelEnv& env);
+
+/// Sobel, vectorized: 4 adjacent outputs per work-item from 18 fetched
+/// nodes (§V.D / Fig. 11). Requires the padded source view.
+[[nodiscard]] simcl::Kernel make_sobel_vec4(const SrcView& src,
+                                            simcl::Buffer& edge, int w,
+                                            int h, const KernelEnv& env);
+
+/// Sobel via a local-memory tile (related work [11], Brown et al.): each
+/// (tile x tile) work-group cooperatively stages its (tile+2)^2 padded
+/// neighborhood into LDS, barriers once, and computes from LDS. Requires
+/// the padded source view. `tile` must match the launch's local size.
+[[nodiscard]] simcl::Kernel make_sobel_lds(const SrcView& src,
+                                           simcl::Buffer& edge, int w,
+                                           int h, int tile,
+                                           const KernelEnv& env);
+
+/// Reduction stage 1: per-group tree reduction of the pEdge matrix into
+/// one int32 partial per group, with first-add-during-load and the
+/// selected tail unrolling (§V.C, Algorithms 1/2).
+[[nodiscard]] simcl::Kernel make_reduce_stage1(simcl::Buffer& edge,
+                                               std::int64_t count,
+                                               simcl::Buffer& partials,
+                                               int group_size,
+                                               int items_per_thread,
+                                               ReductionUnroll unroll,
+                                               const KernelEnv& env);
+
+/// Reduction stage 2 on the GPU: one work-group sums all partials into a
+/// single int64.
+[[nodiscard]] simcl::Kernel make_reduce_stage2(simcl::Buffer& partials,
+                                               std::int64_t count,
+                                               simcl::Buffer& sum_out,
+                                               int group_size,
+                                               const KernelEnv& env);
+
+/// Alternative stage 2 (§II related work, Nickolls et al.): every
+/// work-item atomicAdd()s its strided partial sums into sum_out[0]. The
+/// caller must zero sum_out first. Slower than the tree for large partial
+/// counts (atomics serialize on the memory system) — the ablation bench
+/// demonstrates this.
+[[nodiscard]] simcl::Kernel make_reduce_stage2_atomic(
+    simcl::Buffer& partials, std::int64_t count, simcl::Buffer& sum_out,
+    int group_size, const KernelEnv& env);
+
+/// Unfused sub-kernels (naive pipeline): pError, preliminary (strength
+/// applied), overshoot control.
+[[nodiscard]] simcl::Kernel make_perror(const SrcView& src,
+                                        simcl::Buffer& up,
+                                        simcl::Buffer& error, int w, int h,
+                                        const KernelEnv& env);
+
+/// `strength_lut` (optional): a kEdgeLutSize-entry float table of s(e);
+/// when non-null the kernel looks strength up instead of calling pow().
+[[nodiscard]] simcl::Kernel make_preliminary(
+    simcl::Buffer& up, simcl::Buffer& error, simcl::Buffer& edge,
+    float inv_mean, SharpenParams params, int w, int h,
+    simcl::Buffer& prelim, const KernelEnv& env,
+    simcl::Buffer* strength_lut = nullptr);
+
+/// Overshoot control reading the preliminary image; the padded source
+/// supplies the 3x3 neighborhood.
+[[nodiscard]] simcl::Kernel make_overshoot(const SrcView& padded,
+                                           simcl::Buffer& prelim,
+                                           simcl::Buffer& final_out,
+                                           SharpenParams params, int w,
+                                           int h, const KernelEnv& env);
+
+/// The fused `sharpness` kernel (§V.B): pError + strength/preliminary +
+/// overshoot in one pass; the difference value lives in registers.
+/// `strength_lut` as in make_preliminary.
+[[nodiscard]] simcl::Kernel make_sharpness_fused_scalar(
+    const SrcView& padded, simcl::Buffer& up, simcl::Buffer& edge,
+    float inv_mean, SharpenParams params, simcl::Buffer& final_out, int w,
+    int h, const KernelEnv& env, simcl::Buffer* strength_lut = nullptr);
+
+/// Vectorized fused sharpness: 4 adjacent outputs per work-item.
+[[nodiscard]] simcl::Kernel make_sharpness_fused_vec4(
+    const SrcView& padded, simcl::Buffer& up, simcl::Buffer& edge,
+    float inv_mean, SharpenParams params, simcl::Buffer& final_out, int w,
+    int h, const KernelEnv& env, simcl::Buffer* strength_lut = nullptr);
+
+// --- image2d_t variants (PipelineOptions::use_image2d) ----------------------
+// These read the original image through a sampler with CLAMP_TO_EDGE
+// addressing, which replaces the paper's explicit padded-matrix transfer
+// with hardware border handling. Scalar reads only (there is no vload4
+// through the texture path) — the ablation bench quantifies the trade.
+
+[[nodiscard]] simcl::Kernel make_downscale_img(const simcl::Image2D& src,
+                                               simcl::Buffer& down, int dw,
+                                               int dh, const KernelEnv& env);
+
+[[nodiscard]] simcl::Kernel make_sobel_img(const simcl::Image2D& src,
+                                           simcl::Buffer& edge, int w,
+                                           int h, const KernelEnv& env);
+
+[[nodiscard]] simcl::Kernel make_sharpness_fused_img(
+    const simcl::Image2D& src, simcl::Buffer& up, simcl::Buffer& edge,
+    float inv_mean, SharpenParams params, simcl::Buffer& final_out, int w,
+    int h, const KernelEnv& env, simcl::Buffer* strength_lut = nullptr);
+
+/// Builds the host-side strength LUT: lut[e] = s(e) for e in
+/// [0, kMaxEdgeValue], using exactly the kernels' pow-path function, so
+/// LUT and pow evaluation are bit-identical.
+[[nodiscard]] std::vector<float> build_strength_lut(
+    float inv_mean, const SharpenParams& params);
+
+}  // namespace sharp::gpu

@@ -1,0 +1,61 @@
+// The GPU implementation of the sharpness algorithm: host orchestration of
+// the simcl kernels with every optimization of §V toggleable through
+// PipelineOptions. This is the paper's primary artifact.
+#pragma once
+
+#include <vector>
+
+#include "image/image.hpp"
+#include "sharpen/options.hpp"
+#include "sharpen/params.hpp"
+#include "sharpen/pipeline_result.hpp"
+#include "simcl/device.hpp"
+#include "simcl/queue.hpp"
+
+namespace sharp {
+
+class GpuPipeline {
+ public:
+  explicit GpuPipeline(
+      PipelineOptions options = PipelineOptions::optimized(),
+      simcl::DeviceSpec gpu = simcl::amd_firepro_w8000(),
+      simcl::DeviceSpec host = simcl::intel_core_i5_3470(),
+      int engine_threads = 1);
+
+  /// Sharpens `input`; stage labels follow Fig. 13b/c: data_init, padding,
+  /// downscale, border, center, sobel, reduction, sharpness, data_out,
+  /// sync. The per-stage and total times are simulated-device time.
+  [[nodiscard]] PipelineResult run(const img::ImageU8& input,
+                                   const SharpenParams& params = {});
+
+  [[nodiscard]] const PipelineOptions& options() const { return options_; }
+  [[nodiscard]] const simcl::DeviceSpec& device() const { return gpu_; }
+
+  /// Full command log of the last run() (kernel stats, transfer sizes,
+  /// simulated timestamps) — what Fig. 13's breakdowns are computed from.
+  [[nodiscard]] const std::vector<simcl::Event>& last_events() const {
+    return last_events_;
+  }
+
+ private:
+  friend class VideoPipeline;
+
+  /// `charge_allocations` lets VideoPipeline amortize the per-buffer
+  /// clCreateBuffer cost over a frame sequence (buffers are reused).
+  [[nodiscard]] PipelineResult run_impl(const img::ImageU8& input,
+                                        const SharpenParams& params,
+                                        bool charge_allocations);
+
+  PipelineOptions options_;
+  simcl::DeviceSpec gpu_;
+  simcl::DeviceSpec host_;
+  int engine_threads_;
+  std::vector<simcl::Event> last_events_;
+};
+
+/// One-call convenience API mirroring sharpen_cpu().
+[[nodiscard]] img::ImageU8 sharpen_gpu(
+    const img::ImageU8& input, const SharpenParams& params = {},
+    const PipelineOptions& options = PipelineOptions::optimized());
+
+}  // namespace sharp

@@ -1,0 +1,136 @@
+// PipelineOptions: every optimization of the paper's §V as an independent
+// toggle, so the benchmark harness can reproduce the step-wise ablation of
+// Fig. 14 and tests can assert that *all* configurations produce identical
+// pixels.
+#pragma once
+
+namespace sharp {
+
+/// §V.A — how host<->device data moves.
+enum class TransferMode {
+  kMapUnmap,   ///< clEnqueueMapBuffer/Unmap: cheap setup, dispersed-burst
+               ///< bandwidth; the naive choice, good at small sizes.
+  kReadWrite,  ///< clEnqueueRead/WriteBuffer: one bulk DMA per transfer.
+};
+
+/// Where a stage executes (§V.C reduction, §V.E border).
+enum class Placement {
+  kCpu,
+  kGpu,
+  kAuto,  ///< size-dependent choice with a calibrated threshold
+};
+
+/// §V.C — how the tail of the work-group tree reduction is unrolled.
+enum class ReductionUnroll {
+  kNone,  ///< barrier after every tree step
+  kOne,   ///< unroll the last wavefront (paper's Algorithm 1, the winner)
+  kTwo,   ///< unroll the last two wavefronts (Algorithm 2; extra barrier)
+};
+
+/// How stage 2 sums the work-group partials when it runs on the GPU. The
+/// paper's related work (§II, Nickolls et al.) names exactly these two
+/// methods: relaunching a reduction kernel vs atomicAdd.
+enum class Stage2Method {
+  kTreeKernel,  ///< one work-group tree reduction (the §V.C choice)
+  kAtomic,      ///< every item atomicAdd()s its partial into one cell
+};
+
+/// Sobel kernel implementation. The paper's §II contrasts two prior
+/// approaches — shared-memory tiling with padding (Brown et al. [11]) and
+/// vectorization relying on the cache (Zhang et al. [12], the paper's
+/// choice) — all three are available for the ablation bench.
+enum class SobelImpl {
+  kDefault,  ///< follow PipelineOptions::vectorize (the paper's pipeline)
+  kScalar,   ///< one pixel per work-item, global loads
+  kVec4,     ///< §V.D vectorized (4 pixels/item, vload4)
+  kLds,      ///< work-group tile staged through local memory [11]
+};
+
+/// How the brightness-strength response s(e) is evaluated in kernels.
+enum class StrengthEval {
+  kPow,  ///< pow() per pixel (the paper's formulation)
+  kLut,  ///< 2041-entry lookup table built once per image on the host —
+         ///< a beyond-paper extension in the §V.F instruction-selection
+         ///< family; bit-identical results (pEdge is integral).
+};
+
+struct PipelineOptions {
+  // --- §V.A data-transfer optimization ------------------------------------
+  TransferMode transfer = TransferMode::kReadWrite;
+  /// true: upload only the padded image, padding on-transfer via the rect
+  /// write (clEnqueueWriteBufferRect); downscale/Sobel index the padded
+  /// buffer. false (naive): pad on the host and upload BOTH the original
+  /// and the padded image.
+  bool transfer_padded_only = true;
+
+  // --- §V.B kernel fusion ---------------------------------------------------
+  /// true: pError + strength/preliminary + overshoot control fused into
+  /// the single `sharpness` kernel (difference stays in registers).
+  bool fuse_sharpness = true;
+
+  // --- §V.C reduction --------------------------------------------------------
+  Placement reduction = Placement::kGpu;  ///< naive: kCpu (read back pEdge)
+  ReductionUnroll unroll = ReductionUnroll::kOne;
+  /// Stage 2 (summing the work-group partials): CPU below the threshold,
+  /// GPU above (kAuto), as in §V.C.
+  Placement reduction_stage2 = Placement::kAuto;
+  Stage2Method stage2_method = Stage2Method::kTreeKernel;
+  int stage2_gpu_threshold = 20000;  ///< partial count above which GPU wins
+                                     ///< (65536 partials at 8192^2)
+  int reduction_group_size = 128;
+  int reduction_items_per_thread = 8;
+
+  // --- strength evaluation (extension) --------------------------------------
+  StrengthEval strength = StrengthEval::kPow;
+
+  // --- image2d path (extension) -----------------------------------------------
+  /// true: upload the original as an image2d_t and let CLAMP_TO_EDGE
+  /// sampling replace the explicit padded-matrix transfer entirely.
+  /// Requires fuse_sharpness (only the fused kernel has an image
+  /// variant); Sobel/downscale use scalar sampled reads.
+  bool use_image2d = false;
+
+  // --- §V.D vectorization -----------------------------------------------------
+  /// true: Sobel / sharpness / upscale-center kernels compute 4 adjacent
+  /// pixels per work-item with vload4/vstore4.
+  bool vectorize = true;
+  /// Override for the Sobel kernel only (related-work ablation).
+  SobelImpl sobel_impl = SobelImpl::kDefault;
+
+  // --- §V.E border -------------------------------------------------------------
+  Placement border = Placement::kAuto;
+  int border_gpu_threshold = 768;  ///< image width at/above which GPU wins
+
+  // --- §V.F others ---------------------------------------------------------------
+  /// false: call clFinish after every kernel (naive); true: rely on the
+  /// in-order queue and sync once at the end.
+  bool eliminate_clfinish = true;
+  /// OpenCL built-in functions (mad/clamp/select...) instead of open-coded
+  /// sequences; modeled as fewer instructions per work-item.
+  bool use_builtins = true;
+  /// Shift/mask instead of mul/div/mod in index math; modeled likewise.
+  bool instruction_selection = true;
+
+  /// The paper's naive GPU port (§IV): map/unmap, both buffers uploaded,
+  /// no fusion, reduction and border on the CPU, scalar kernels, clFinish
+  /// everywhere, no built-ins or instruction selection.
+  [[nodiscard]] static PipelineOptions naive() {
+    PipelineOptions o;
+    o.transfer = TransferMode::kMapUnmap;
+    o.transfer_padded_only = false;
+    o.fuse_sharpness = false;
+    o.reduction = Placement::kCpu;
+    o.unroll = ReductionUnroll::kNone;
+    o.border = Placement::kCpu;
+    o.vectorize = false;
+    o.eliminate_clfinish = false;
+    o.use_builtins = false;
+    o.instruction_selection = false;
+    return o;
+  }
+
+  /// All optimizations on (the defaults above).
+  [[nodiscard]] static PipelineOptions optimized() { return {}; }
+};
+
+}  // namespace sharp

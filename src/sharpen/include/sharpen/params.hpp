@@ -1,0 +1,104 @@
+// Algorithm parameters and input validation shared by the CPU and GPU
+// pipelines. The formulas are specified in DESIGN.md §5.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+
+namespace sharp {
+
+/// Thrown for inputs the sharpness algorithm cannot process.
+class SharpenError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// User-tunable sharpening parameters (the paper's "user-defined
+/// parameters" of the brightness-strength and overshoot-control steps).
+struct SharpenParams {
+  /// Overall sharpening gain applied to the error (detail) image.
+  float amount = 1.5f;
+  /// Exponent shaping the edge-strength response: values < 1 boost weak
+  /// edges relative to strong ones. The pow() this requires is what makes
+  /// the strength stage the CPU bottleneck (Fig. 13a).
+  float gamma = 0.5f;
+  /// Upper bound on the normalized strength before `amount` is applied.
+  float strength_max = 4.0f;
+  /// Fraction of overshoot beyond the local 3x3 min/max that is allowed
+  /// through by overshoot control (0 = hard clamp to local range).
+  float osc_gain = 0.25f;
+  /// Guard against division by zero for flat images (mean edge == 0).
+  float mean_epsilon = 1e-6f;
+
+  void validate() const {
+    if (!(amount >= 0.0f) || !(gamma > 0.0f) || !(strength_max > 0.0f) ||
+        !(osc_gain >= 0.0f) || !(mean_epsilon > 0.0f)) {
+      throw SharpenError("SharpenParams: parameters out of range");
+    }
+  }
+};
+
+/// Downscale factor of the pipeline's first stage (4x4 block mean); fixed
+/// by the algorithm, named to avoid magic numbers.
+inline constexpr int kScale = 4;
+
+/// Sobel |Gx|+|Gy| of 8-bit input is bounded by 2 * 4 * 255 = 2040, so a
+/// strength lookup table with one entry per possible edge value is exact.
+inline constexpr int kMaxEdgeValue = 2040;
+inline constexpr int kEdgeLutSize = kMaxEdgeValue + 1;
+
+/// Validates the input geometry: both dimensions must be multiples of 4
+/// (the down/upscale tiling) and at least 16 so the downscaled image has
+/// enough rows/columns for the 2x2 interpolation windows.
+inline void validate_size(int width, int height) {
+  if (width < 16 || height < 16) {
+    throw SharpenError("sharpen: image must be at least 16x16");
+  }
+  if (width % kScale != 0 || height % kScale != 0) {
+    throw SharpenError("sharpen: dimensions must be multiples of 4");
+  }
+}
+
+namespace detail {
+
+/// Interpolation weights P (DESIGN.md §5): output phase j of an upscaled
+/// group takes weights {w0[j], w1[j]} of downscaled nodes r and r+1. All
+/// weights are dyadic rationals, so float arithmetic is exact.
+inline constexpr float kUpW0[4] = {1.00f, 0.75f, 0.50f, 0.25f};
+inline constexpr float kUpW1[4] = {0.00f, 0.25f, 0.50f, 0.75f};
+
+/// The brightness-strength response s(e). Shared pixel-level helper used
+/// by the CPU reference and GPU kernels so the two agree bit-exactly;
+/// everything structural (padding, fusion, reduction, vectorization) still
+/// differs between them and is what the tests exercise.
+inline float edge_strength(std::int32_t edge, float inv_mean,
+                           const SharpenParams& p) {
+  const float t = static_cast<float>(edge) * inv_mean;
+  const float raw = std::pow(t, p.gamma);
+  return p.amount * std::min(raw, p.strength_max);
+}
+
+/// Overshoot control for one pixel: preliminary value `pm` against the
+/// 3x3 local min/max of the original image.
+inline float overshoot_value(float pm, std::int32_t local_min,
+                             std::int32_t local_max,
+                             const SharpenParams& p) {
+  const auto mx = static_cast<float>(local_max);
+  const auto mn = static_cast<float>(local_min);
+  if (pm > mx) {
+    return std::min(mx + p.osc_gain * (pm - mx), 255.0f);
+  }
+  if (pm < mn) {
+    return std::max(mn - p.osc_gain * (mn - pm), 0.0f);
+  }
+  return std::min(std::max(pm, 0.0f), 255.0f);
+}
+
+/// Final rounding to 8 bits; values are already in [0, 255].
+inline std::uint8_t to_u8(float v) {
+  return static_cast<std::uint8_t>(v + 0.5f);
+}
+
+}  // namespace detail
+}  // namespace sharp

@@ -1,0 +1,41 @@
+// Result types shared by the CPU and GPU pipelines: the sharpened image
+// plus per-stage timing in *modeled* microseconds (the simulated-hardware
+// timeline, see DESIGN.md §2/§6) and, where meaningful, real wall time of
+// the host-side execution.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "image/image.hpp"
+
+namespace sharp {
+
+struct StageTiming {
+  std::string stage;
+  double modeled_us = 0.0;
+  /// Wall-clock time this process actually spent (CPU pipeline only; the
+  /// GPU pipeline's wall time measures the simulator, not the algorithm).
+  double wall_us = 0.0;
+};
+
+struct PipelineResult {
+  img::ImageU8 output;
+  std::vector<StageTiming> stages;
+  double total_modeled_us = 0.0;
+  double total_wall_us = 0.0;
+  /// Mean Sobel edge value (the reduction result), useful diagnostics.
+  double mean_edge = 0.0;
+
+  [[nodiscard]] double stage_us(const std::string& name) const {
+    double acc = 0.0;
+    for (const auto& s : stages) {
+      if (s.stage == name) {
+        acc += s.modeled_us;
+      }
+    }
+    return acc;
+  }
+};
+
+}  // namespace sharp

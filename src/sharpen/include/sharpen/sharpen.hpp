@@ -1,0 +1,16 @@
+// Umbrella header: the public API of the sharpness library.
+//
+//   sharp::sharpen_cpu(img)               — CPU baseline, one call
+//   sharp::sharpen_gpu(img)               — optimized GPU pipeline, one call
+//   sharp::CpuPipeline / sharp::GpuPipeline — per-stage timing and options
+//   sharp::stages::*                      — individual algorithm stages
+#pragma once
+
+#include "sharpen/color.hpp"         // IWYU pragma: export
+#include "sharpen/cpu_parallel.hpp"  // IWYU pragma: export
+#include "sharpen/cpu_pipeline.hpp"  // IWYU pragma: export
+#include "sharpen/gpu_pipeline.hpp"  // IWYU pragma: export
+#include "sharpen/options.hpp"       // IWYU pragma: export
+#include "sharpen/params.hpp"        // IWYU pragma: export
+#include "sharpen/stages.hpp"        // IWYU pragma: export
+#include "sharpen/video.hpp"         // IWYU pragma: export

@@ -1,0 +1,68 @@
+// The sharpness algorithm, stage by stage, on the CPU.
+//
+// These functions are (a) the paper's CPU baseline, (b) the functional
+// oracle the GPU kernels are tested against, and (c) the building blocks
+// for custom pipelines through the public API. Stage semantics follow
+// DESIGN.md §5 exactly; each function documents its contract.
+#pragma once
+
+#include <cstdint>
+
+#include "image/image.hpp"
+#include "sharpen/params.hpp"
+
+namespace sharp::stages {
+
+using img::ImageF32;
+using img::ImageI32;
+using img::ImageU8;
+
+/// Downscale: each output pixel is the mean of the corresponding 4x4 block
+/// of `src` (exact in float). Output is (W/4) x (H/4).
+[[nodiscard]] ImageF32 downscale(const ImageU8& src);
+
+/// Full upscale of the downscaled image back to `width` x `height`:
+/// separable 4-phase interpolation with clamped indices (DESIGN.md §5).
+[[nodiscard]] ImageF32 upscale(const ImageF32& down, int width, int height);
+
+/// Only the interior ("body") of the upscale: rows/cols in [2, size-3],
+/// where no index clamping occurs — the GPU `center` kernel's region.
+/// Frame pixels of the result are left untouched (zero on a fresh image).
+void upscale_body(const ImageF32& down, img::ImageView<float> out);
+
+/// Only the 2-pixel frame ("border") of the upscale — the conditional-
+/// heavy region the paper moves between CPU and GPU (Fig. 17).
+void upscale_border(const ImageF32& down, img::ImageView<float> out);
+
+/// Difference matrix: pError = float(original) - upscaled.
+[[nodiscard]] ImageF32 difference(const ImageU8& original,
+                                  const ImageF32& upscaled);
+
+/// Sobel edge magnitude |Gx| + |Gy| of the original; the outermost pixel
+/// frame of the result is zero. Values are integers in [0, 2040].
+[[nodiscard]] ImageI32 sobel(const ImageU8& src);
+
+/// Exact sum of the Sobel image (the reduction stage). int64 so the result
+/// is exact for any image up to 2^52 pixels.
+[[nodiscard]] std::int64_t reduce_sum(const ImageI32& edge);
+
+/// Mean edge used by the strength stage, with the epsilon guard applied:
+/// inv_mean = 1 / (sum/N + eps), returned as float for kernel args.
+[[nodiscard]] float inverse_mean_edge(std::int64_t sum, std::int64_t pixels,
+                                      const SharpenParams& params);
+
+/// Brightness strength + preliminary sharpened image:
+/// prelim = upscaled + s(pEdge) * pError, with s() from params.
+[[nodiscard]] ImageF32 preliminary(const ImageF32& upscaled,
+                                   const ImageF32& error,
+                                   const ImageI32& edge, float inv_mean,
+                                   const SharpenParams& params);
+
+/// Overshoot control: body pixels are limited against the 3x3 local
+/// min/max of the original; the 1-pixel frame is the clamped preliminary
+/// value. Output is the final 8-bit sharpened image.
+[[nodiscard]] ImageU8 overshoot_control(const ImageU8& original,
+                                        const ImageF32& prelim,
+                                        const SharpenParams& params);
+
+}  // namespace sharp::stages

@@ -1,0 +1,53 @@
+// Frame-sequence (video) sharpening — the real-time TV/camera use case of
+// the paper's introduction. Device buffers are created once and reused
+// for every frame, so the per-frame cost drops by the buffer-allocation
+// overhead that single-image GpuPipeline::run() pays each call.
+#pragma once
+
+#include "image/image.hpp"
+#include "sharpen/gpu_pipeline.hpp"
+
+namespace sharp {
+
+class VideoPipeline {
+ public:
+  /// Fixes the frame geometry up front (all frames must match it).
+  VideoPipeline(int width, int height,
+                PipelineOptions options = PipelineOptions::optimized(),
+                SharpenParams params = {},
+                simcl::DeviceSpec gpu = simcl::amd_firepro_w8000(),
+                simcl::DeviceSpec host = simcl::intel_core_i5_3470());
+
+  /// Sharpens one frame. The first frame pays buffer allocation; later
+  /// frames reuse the device buffers.
+  [[nodiscard]] PipelineResult process_frame(const img::ImageU8& frame);
+
+  struct Stats {
+    int frames = 0;
+    double total_modeled_us = 0.0;
+    [[nodiscard]] double avg_frame_us() const {
+      return frames > 0 ? total_modeled_us / frames : 0.0;
+    }
+    [[nodiscard]] double fps() const {
+      const double us = avg_frame_us();
+      return us > 0.0 ? 1e6 / us : 0.0;
+    }
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  [[nodiscard]] int width() const { return width_; }
+  [[nodiscard]] int height() const { return height_; }
+  [[nodiscard]] const PipelineOptions& options() const {
+    return inner_.options();
+  }
+
+ private:
+  int width_;
+  int height_;
+  SharpenParams params_;
+  GpuPipeline inner_;
+  bool first_frame_ = true;
+  Stats stats_;
+};
+
+}  // namespace sharp

@@ -1,0 +1,23 @@
+#include "sharpen/color.hpp"
+
+#include "sharpen/cpu_pipeline.hpp"
+#include "sharpen/gpu_pipeline.hpp"
+
+namespace sharp {
+
+img::ImageRgb sharpen_rgb(const img::ImageRgb& input,
+                          const SharpenParams& params,
+                          const PipelineOptions& options) {
+  const img::ImageU8 y = img::luma(input);
+  const img::ImageU8 y_sharp = sharpen_gpu(y, params, options);
+  return img::apply_luma_delta(input, y, y_sharp);
+}
+
+img::ImageRgb sharpen_rgb_cpu(const img::ImageRgb& input,
+                              const SharpenParams& params) {
+  const img::ImageU8 y = img::luma(input);
+  const img::ImageU8 y_sharp = sharpen_cpu(y, params);
+  return img::apply_luma_delta(input, y, y_sharp);
+}
+
+}  // namespace sharp

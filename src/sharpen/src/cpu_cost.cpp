@@ -1,0 +1,69 @@
+#include "sharpen/cpu_cost.hpp"
+
+namespace sharp::cpu_cost {
+namespace {
+
+constexpr double kFixedUs = 1.0;  // loop setup / call overhead per stage
+
+double n(int w, int h) { return static_cast<double>(w) * h; }
+
+}  // namespace
+
+// Counts are per the loops in stages.cpp, for the scalar -O3 baseline the
+// paper describes (see intel_core_i5_3470() for the efficiency rationale).
+
+simcl::HostWork downscale(int w, int h) {
+  // Per 4x4 block: 16 loads, 15 adds, 1 multiply-by-1/16.
+  return {.flops = n(w, h) / 16.0 * 17.0,
+          .bytes = n(w, h) * 1.0 + n(w, h) / 16.0 * 4.0,
+          .fixed_us = kFixedUs};
+}
+
+simcl::HostWork upscale_body(int w, int h) {
+  // Per output pixel: 4 loads, 8 mul/add for P*D*P^T, ~4 ops index math.
+  return {.flops = n(w, h) * 14.0,
+          .bytes = n(w, h) * 8.0,
+          .fixed_us = kFixedUs};
+}
+
+simcl::HostWork upscale_border(int w, int h) {
+  // Border elements only; heavy branching makes each one expensive.
+  const double elems = 4.0 * w + 4.0 * h - 16.0;
+  return {.flops = elems * 30.0, .bytes = elems * 12.0,
+          .fixed_us = kFixedUs};
+}
+
+simcl::HostWork difference(int w, int h) {
+  // Convert + subtract, fully streaming (memory bound).
+  return {.flops = n(w, h) * 2.0, .bytes = n(w, h) * 9.0,
+          .fixed_us = kFixedUs};
+}
+
+simcl::HostWork sobel(int w, int h) {
+  // 8 neighbor loads (cached), ~11 add/shift, 2 abs, 1 add, 1 store.
+  return {.flops = n(w, h) * 15.0, .bytes = n(w, h) * 6.0,
+          .fixed_us = kFixedUs};
+}
+
+simcl::HostWork reduction(int w, int h) {
+  return {.flops = n(w, h) * 1.0, .bytes = n(w, h) * 4.0,
+          .fixed_us = kFixedUs};
+}
+
+simcl::HostWork preliminary(int w, int h) {
+  // Dominated by powf(): ~110 scalar-op equivalents per call in libm,
+  // plus ~8 ops for min/scale/mad. This is why the paper's Fig. 13a shows
+  // the strength-matrix calculation as a CPU bottleneck.
+  return {.flops = n(w, h) * 118.0, .bytes = n(w, h) * 16.0,
+          .fixed_us = kFixedUs};
+}
+
+simcl::HostWork overshoot(int w, int h) {
+  // 3x3 min/max (16 compares) + branchy clamping; branch misprediction
+  // makes the effective op count high (~40) — the paper's other CPU
+  // bottleneck.
+  return {.flops = n(w, h) * 40.0, .bytes = n(w, h) * 8.0,
+          .fixed_us = kFixedUs};
+}
+
+}  // namespace sharp::cpu_cost

@@ -1,0 +1,170 @@
+#include "sharpen/cpu_parallel.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "sharpen/cpu_cost.hpp"
+#include "sharpen/detail/stage_rows.hpp"
+#include "sharpen/stages.hpp"
+
+namespace sharp {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double us_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - t0)
+      .count();
+}
+
+/// Runs fn(y0, y1) on `threads` workers over contiguous row blocks.
+template <typename Fn>
+void parallel_for_rows(int rows, int threads, Fn&& fn) {
+  const int workers = std::clamp(threads, 1, std::max(1, rows));
+  if (workers == 1) {
+    fn(0, rows);
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  const int chunk = (rows + workers - 1) / workers;
+  for (int t = 0; t < workers; ++t) {
+    const int y0 = t * chunk;
+    const int y1 = std::min(rows, y0 + chunk);
+    if (y0 >= y1) {
+      break;
+    }
+    pool.emplace_back([&fn, y0, y1] { fn(y0, y1); });
+  }
+  for (auto& th : pool) {
+    th.join();
+  }
+}
+
+}  // namespace
+
+simcl::DeviceSpec multicore_spec(simcl::DeviceSpec base, int threads,
+                                 double parallel_efficiency,
+                                 double socket_bw_cap) {
+  if (threads < 1) {
+    throw SharpenError("multicore_spec: need at least one thread");
+  }
+  const double scale = threads * parallel_efficiency;
+  base.alu_efficiency = std::min(1.0, base.alu_efficiency * scale);
+  base.mem_efficiency =
+      std::min(socket_bw_cap, base.mem_efficiency * scale);
+  base.name += " x" + std::to_string(threads) + " threads";
+  return base;
+}
+
+ParallelCpuPipeline::ParallelCpuPipeline(int threads, simcl::DeviceSpec cpu)
+    : threads_(threads),
+      cpu_(multicore_spec(std::move(cpu), threads)),
+      model_(cpu_, cpu_) {}
+
+PipelineResult ParallelCpuPipeline::run(const img::ImageU8& input,
+                                        const SharpenParams& params) const {
+  validate_size(input.width(), input.height());
+  params.validate();
+  const int w = input.width();
+  const int h = input.height();
+  const int dh = h / kScale;
+
+  PipelineResult result;
+  const auto record = [&](const char* name, const simcl::HostWork& work,
+                          Clock::time_point t0) {
+    result.stages.push_back(
+        {name, model_.host_compute_us(work), us_since(t0)});
+  };
+
+  auto t0 = Clock::now();
+  img::ImageF32 down(w / kScale, dh);
+  parallel_for_rows(dh, threads_, [&](int r0, int r1) {
+    detail::downscale_rows(input.view(), down.view(), r0, r1);
+  });
+  record("downscale", cpu_cost::downscale(w, h), t0);
+
+  t0 = Clock::now();
+  img::ImageF32 up(w, h);
+  parallel_for_rows(h, threads_, [&](int y0, int y1) {
+    detail::upscale_rect(down.view(), up.view(), 0, y0, w, y1);
+  });
+  simcl::HostWork up_work = cpu_cost::upscale_body(w, h);
+  const simcl::HostWork border = cpu_cost::upscale_border(w, h);
+  up_work.flops += border.flops;
+  up_work.bytes += border.bytes;
+  record("upscale", up_work, t0);
+
+  t0 = Clock::now();
+  img::ImageF32 error(w, h);
+  parallel_for_rows(h, threads_, [&](int y0, int y1) {
+    detail::difference_rows(input.view(), up.view(), error.view(), y0, y1);
+  });
+  record("pError", cpu_cost::difference(w, h), t0);
+
+  t0 = Clock::now();
+  img::ImageI32 edge(w, h, 0);
+  parallel_for_rows(h, threads_, [&](int y0, int y1) {
+    detail::sobel_rows(input.view(), edge.view(), y0, y1);
+  });
+  record("sobel", cpu_cost::sobel(w, h), t0);
+
+  t0 = Clock::now();
+  std::vector<std::int64_t> partials(
+      static_cast<std::size_t>(std::max(1, threads_)), 0);
+  {
+    // Deterministic combination: each worker owns one partial slot.
+    const int workers = std::clamp(threads_, 1, h);
+    const int chunk = (h + workers - 1) / workers;
+    std::vector<std::thread> pool;
+    for (int t = 0; t < workers; ++t) {
+      const int y0 = t * chunk;
+      const int y1 = std::min(h, y0 + chunk);
+      if (y0 >= y1) {
+        break;
+      }
+      pool.emplace_back([&, t, y0, y1] {
+        partials[static_cast<std::size_t>(t)] =
+            detail::reduce_rows(edge.view(), y0, y1);
+      });
+    }
+    for (auto& th : pool) {
+      th.join();
+    }
+  }
+  std::int64_t sum = 0;
+  for (const std::int64_t p : partials) {
+    sum += p;
+  }
+  record("reduction", cpu_cost::reduction(w, h), t0);
+  const float inv_mean = stages::inverse_mean_edge(
+      sum, static_cast<std::int64_t>(w) * h, params);
+  result.mean_edge =
+      static_cast<double>(sum) / (static_cast<double>(w) * h);
+
+  t0 = Clock::now();
+  img::ImageF32 prelim(w, h);
+  parallel_for_rows(h, threads_, [&](int y0, int y1) {
+    detail::preliminary_rows(up.view(), error.view(), edge.view(), inv_mean,
+                             params, prelim.view(), y0, y1);
+  });
+  record("strength", cpu_cost::preliminary(w, h), t0);
+
+  t0 = Clock::now();
+  result.output = img::ImageU8(w, h);
+  parallel_for_rows(h, threads_, [&](int y0, int y1) {
+    detail::overshoot_rows(input.view(), prelim.view(), params,
+                           result.output.view(), y0, y1);
+  });
+  record("overshoot", cpu_cost::overshoot(w, h), t0);
+
+  for (const auto& s : result.stages) {
+    result.total_modeled_us += s.modeled_us;
+    result.total_wall_us += s.wall_us;
+  }
+  return result;
+}
+
+}  // namespace sharp

@@ -1,0 +1,89 @@
+#include "sharpen/cpu_pipeline.hpp"
+
+#include <chrono>
+
+#include "sharpen/cpu_cost.hpp"
+#include "sharpen/stages.hpp"
+
+namespace sharp {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double us_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+CpuPipeline::CpuPipeline(simcl::DeviceSpec cpu)
+    : cpu_(std::move(cpu)), model_(cpu_, cpu_) {}
+
+PipelineResult CpuPipeline::run(const img::ImageU8& input,
+                                const SharpenParams& params) const {
+  validate_size(input.width(), input.height());
+  params.validate();
+  const int w = input.width();
+  const int h = input.height();
+
+  PipelineResult result;
+  const auto record = [&](const char* name, const simcl::HostWork& work,
+                          Clock::time_point t0) {
+    result.stages.push_back(
+        {name, model_.host_compute_us(work), us_since(t0)});
+  };
+
+  auto t0 = Clock::now();
+  const img::ImageF32 down = stages::downscale(input);
+  record("downscale", cpu_cost::downscale(w, h), t0);
+
+  // Upscale: body + border charged together under one Fig. 13a label.
+  t0 = Clock::now();
+  img::ImageF32 up(w, h);
+  stages::upscale_body(down, up.view());
+  stages::upscale_border(down, up.view());
+  simcl::HostWork up_work = cpu_cost::upscale_body(w, h);
+  const simcl::HostWork border = cpu_cost::upscale_border(w, h);
+  up_work.flops += border.flops;
+  up_work.bytes += border.bytes;
+  record("upscale", up_work, t0);
+
+  t0 = Clock::now();
+  const img::ImageF32 error = stages::difference(input, up);
+  record("pError", cpu_cost::difference(w, h), t0);
+
+  t0 = Clock::now();
+  const img::ImageI32 edge = stages::sobel(input);
+  record("sobel", cpu_cost::sobel(w, h), t0);
+
+  t0 = Clock::now();
+  const std::int64_t sum = stages::reduce_sum(edge);
+  record("reduction", cpu_cost::reduction(w, h), t0);
+  const float inv_mean = stages::inverse_mean_edge(
+      sum, static_cast<std::int64_t>(w) * h, params);
+  result.mean_edge =
+      static_cast<double>(sum) / (static_cast<double>(w) * h);
+
+  t0 = Clock::now();
+  const img::ImageF32 prelim =
+      stages::preliminary(up, error, edge, inv_mean, params);
+  record("strength", cpu_cost::preliminary(w, h), t0);
+
+  t0 = Clock::now();
+  result.output = stages::overshoot_control(input, prelim, params);
+  record("overshoot", cpu_cost::overshoot(w, h), t0);
+
+  for (const auto& s : result.stages) {
+    result.total_modeled_us += s.modeled_us;
+    result.total_wall_us += s.wall_us;
+  }
+  return result;
+}
+
+img::ImageU8 sharpen_cpu(const img::ImageU8& input,
+                         const SharpenParams& params) {
+  return CpuPipeline().run(input, params).output;
+}
+
+}  // namespace sharp

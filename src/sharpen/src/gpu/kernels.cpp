@@ -1,0 +1,829 @@
+#include "sharpen/gpu/kernels.hpp"
+
+#include <algorithm>
+
+#include "sharpen/detail/interp.hpp"
+#include "simcl/vec.hpp"
+
+namespace sharp::gpu {
+namespace {
+
+using simcl::Buffer;
+using simcl::Kernel;
+using simcl::WorkItem;
+using simcl::float4;
+using simcl::int4;
+using simcl::uchar4;
+
+/// GCN wavefront width assumed by the unrolled reduction tails.
+constexpr int kWavefront = 64;
+
+}  // namespace
+
+Kernel make_downscale(const SrcView& src, Buffer& down, int dw, int dh,
+                      const KernelEnv& env) {
+  SrcView s = src;
+  Buffer* out = &down;
+  const std::uint64_t alu = env.alu(22.0);  // 15 adds + scale + index math
+  return Kernel{
+      .name = "downscale",
+      .body = [=](WorkItem& it) {
+        const int c = it.global_id(0);
+        const int r = it.global_id(1);
+        if (c >= dw || r >= dh) {
+          return;
+        }
+        auto in = it.global<const std::uint8_t>(*s.buf);
+        auto o = it.global<float>(*out);
+        std::int32_t sum = 0;
+        for (int dy = 0; dy < kScale; ++dy) {
+          const std::size_t row = s.index(c * kScale, r * kScale + dy);
+          sum += in.load(row) + in.load(row + 1) + in.load(row + 2) +
+                 in.load(row + 3);
+        }
+        o.store(static_cast<std::size_t>(r * dw + c),
+                static_cast<float>(sum) / 16.0f);
+        it.alu(alu);
+      }};
+}
+
+Kernel make_center_scalar(Buffer& down, int dw, int dh, Buffer& up, int w,
+                          int h, const KernelEnv& env) {
+  Buffer* d = &down;
+  Buffer* u = &up;
+  const std::uint64_t alu = env.alu(16.0);
+  (void)dh;
+  return Kernel{
+      .name = "center",
+      .body = [=](WorkItem& it) {
+        const int x = 2 + it.global_id(0);
+        const int y = 2 + it.global_id(1);
+        if (x > w - 3 || y > h - 3) {
+          return;
+        }
+        auto dp = it.global<const float>(*d);
+        auto o = it.global<float>(*u);
+        const int r = (y - 2) / 4;
+        const int jy = (y - 2) % 4;
+        const int c = (x - 2) / 4;
+        const int jx = (x - 2) % 4;
+        const std::size_t i0 = static_cast<std::size_t>(r * dw + c);
+        const std::size_t i1 = i0 + static_cast<std::size_t>(dw);
+        const float v = detail::upscale_sample(dp.load(i0), dp.load(i0 + 1),
+                                               dp.load(i1), dp.load(i1 + 1),
+                                               jy, jx);
+        o.store(static_cast<std::size_t>(y * w + x), v);
+        it.alu(alu);
+      }};
+}
+
+Kernel make_center_vec4(Buffer& down, int dw, int dh, Buffer& up, int w,
+                        int h, const KernelEnv& env) {
+  Buffer* d = &down;
+  Buffer* u = &up;
+  const std::uint64_t alu = env.alu(34.0);  // 4 samples + index math
+  (void)dh;
+  return Kernel{
+      .name = "center",
+      .body = [=](WorkItem& it) {
+        const int c = it.global_id(0);  // quad column index
+        const int y = 2 + it.global_id(1);
+        if (c > dw - 2 || y > h - 3) {
+          return;
+        }
+        auto dp = it.global<const float>(*d);
+        auto o = it.global<float>(*u);
+        const int r = (y - 2) / 4;
+        const int jy = (y - 2) % 4;
+        const std::size_t i0 = static_cast<std::size_t>(r * dw + c);
+        const std::size_t i1 = i0 + static_cast<std::size_t>(dw);
+        const float d00 = dp.load(i0);
+        const float d01 = dp.load(i0 + 1);
+        const float d10 = dp.load(i1);
+        const float d11 = dp.load(i1 + 1);
+        float4 v;
+        for (int k = 0; k < 4; ++k) {
+          v[k] = detail::upscale_sample(d00, d01, d10, d11, jy, k);
+        }
+        o.vstore4(v, static_cast<std::size_t>(y * w + 2 + 4 * c));
+        it.alu(alu);
+      }};
+}
+
+Kernel make_border(Buffer& down, int dw, int dh, Buffer& up, int w, int h,
+                   const KernelEnv& env) {
+  Buffer* d = &down;
+  Buffer* u = &up;
+  const int total = 4 * w + 4 * (h - 4);
+  const std::uint64_t alu = env.alu(34.0);  // index decode + clamped sample
+  return Kernel{
+      .name = "border",
+      .divergence_factor = 3.0,
+      .body = [=](WorkItem& it) {
+        const int idx = it.global_id(0);
+        if (idx >= total) {
+          return;
+        }
+        it.divergent();
+        int x = 0;
+        int y = 0;
+        if (idx < 2 * w) {  // top two rows
+          y = idx / w;
+          x = idx % w;
+        } else if (idx < 4 * w) {  // bottom two rows
+          const int i = idx - 2 * w;
+          y = h - 2 + i / w;
+          x = i % w;
+        } else {
+          const int i = idx - 4 * w;
+          const int side = 2 * (h - 4);
+          if (i < side) {  // left two columns
+            x = i % 2;
+            y = 2 + i / 2;
+          } else {  // right two columns
+            const int j = i - side;
+            x = w - 2 + j % 2;
+            y = 2 + j / 2;
+          }
+        }
+        auto dp = it.global<const float>(*d);
+        auto o = it.global<float>(*u);
+        int r = 0, jy = 0, c = 0, jx = 0;
+        detail::phase_of(y - 2, r, jy);
+        detail::phase_of(x - 2, c, jx);
+        const int r0 = std::clamp(r, 0, dh - 1);
+        const int r1 = std::clamp(r + 1, 0, dh - 1);
+        const int c0 = std::clamp(c, 0, dw - 1);
+        const int c1 = std::clamp(c + 1, 0, dw - 1);
+        const auto at = [&](int rr, int cc) {
+          return dp.load(static_cast<std::size_t>(rr * dw + cc));
+        };
+        const float v = detail::upscale_sample(at(r0, c0), at(r0, c1),
+                                               at(r1, c0), at(r1, c1), jy,
+                                               jx);
+        o.store(static_cast<std::size_t>(y * w + x), v);
+        it.alu(alu);
+      }};
+}
+
+Kernel make_sobel_scalar(const SrcView& src, Buffer& edge, int w, int h,
+                         const KernelEnv& env) {
+  SrcView s = src;
+  Buffer* e = &edge;
+  const std::uint64_t alu = env.alu(20.0);
+  return Kernel{
+      .name = "sobel",
+      .body = [=](WorkItem& it) {
+        const int x = it.global_id(0);
+        const int y = it.global_id(1);
+        if (x >= w || y >= h) {
+          return;
+        }
+        auto o = it.global<std::int32_t>(*e);
+        const std::size_t oi = static_cast<std::size_t>(y * w + x);
+        if (x == 0 || x == w - 1 || y == 0 || y == h - 1) {
+          o.store(oi, 0);
+          return;
+        }
+        auto in = it.global<const std::uint8_t>(*s.buf);
+        const auto p = [&](int dx, int dy) {
+          return static_cast<std::int32_t>(in.load(s.index(x + dx, y + dy)));
+        };
+        const std::int32_t gx = (p(1, -1) + 2 * p(1, 0) + p(1, 1)) -
+                                (p(-1, -1) + 2 * p(-1, 0) + p(-1, 1));
+        const std::int32_t gy = (p(-1, 1) + 2 * p(0, 1) + p(1, 1)) -
+                                (p(-1, -1) + 2 * p(0, -1) + p(1, -1));
+        o.store(oi, std::abs(gx) + std::abs(gy));
+        it.alu(alu);
+      }};
+}
+
+Kernel make_sobel_vec4(const SrcView& src, Buffer& edge, int w, int h,
+                       const KernelEnv& env) {
+  SrcView s = src;
+  Buffer* e = &edge;
+  const std::uint64_t alu = env.alu(64.0);  // 4 outputs worth of gradient math
+  return Kernel{
+      .name = "sobel",
+      .body = [=](WorkItem& it) {
+        const int q = it.global_id(0);  // quad index: outputs x0..x0+3
+        const int y = it.global_id(1);
+        const int x0 = 4 * q;
+        if (x0 >= w || y >= h) {
+          return;
+        }
+        auto o = it.global<std::int32_t>(*e);
+        const std::size_t oi = static_cast<std::size_t>(y * w + x0);
+        if (y == 0 || y == h - 1) {
+          o.vstore4(int4(0), oi);
+          return;
+        }
+        auto in = it.global<const std::uint8_t>(*s.buf);
+        // Fetch the 3x6 node window (18 nodes, Fig. 11) covering original
+        // columns x0-1 .. x0+4: one vload4 + two scalar loads per row.
+        // Requires the padded source view so row reads never leave the
+        // buffer.
+        std::int32_t win[3][6];
+        for (int dy = -1; dy <= 1; ++dy) {
+          const std::size_t base = s.index(x0 - 1, y + dy);
+          const uchar4 v = in.vload4(base);
+          std::int32_t* row = win[dy + 1];
+          row[0] = v.x;
+          row[1] = v.y;
+          row[2] = v.z;
+          row[3] = v.w;
+          row[4] = in.load(base + 4);
+          row[5] = in.load(base + 5);
+        }
+        int4 result(0);
+        for (int k = 0; k < 4; ++k) {
+          const int x = x0 + k;
+          if (x == 0 || x == w - 1) {
+            result[k] = 0;
+            continue;
+          }
+          // Window column j corresponds to original column x0-1+j; the
+          // pixel (x+dx) is column k+1+dx.
+          const auto p = [&](int dx, int dy) { return win[dy + 1][k + 1 + dx]; };
+          const std::int32_t gx = (p(1, -1) + 2 * p(1, 0) + p(1, 1)) -
+                                  (p(-1, -1) + 2 * p(-1, 0) + p(-1, 1));
+          const std::int32_t gy = (p(-1, 1) + 2 * p(0, 1) + p(1, 1)) -
+                                  (p(-1, -1) + 2 * p(0, -1) + p(1, -1));
+          result[k] = std::abs(gx) + std::abs(gy);
+        }
+        o.vstore4(result, oi);
+        it.alu(alu);
+      }};
+}
+
+Kernel make_sobel_lds(const SrcView& src, Buffer& edge, int w, int h,
+                      int tile, const KernelEnv& env) {
+  SrcView s = src;
+  Buffer* e = &edge;
+  const std::uint64_t alu = env.alu(26.0);  // gradient math + tile index
+  return Kernel{
+      .name = "sobel",
+      .uses_barriers = true,
+      .body = [=](WorkItem& it) {
+        const int t2 = tile + 2;
+        auto lds = it.local_array<std::int32_t>(
+            static_cast<std::size_t>(t2 * t2));
+        auto in = it.global<const std::uint8_t>(*s.buf);
+        // Cooperative staging: the group's (tile+2)^2 padded window,
+        // clamped so rounded-up groups at the right/bottom stay in
+        // bounds (their out-of-image outputs are skipped below).
+        const int gx0 = it.group_id(0) * tile;
+        const int gy0 = it.group_id(1) * tile;
+        const int items = it.local_size(0) * it.local_size(1);
+        for (int i = it.flat_local_id(); i < t2 * t2; i += items) {
+          const int lx = std::min(gx0 + i % t2, w + 1);
+          const int ly = std::min(gy0 + i / t2, h + 1);
+          // Padded coordinates: output (x,y) reads padded (x+1, y+1);
+          // tile cell (0,0) is padded (gx0, gy0).
+          lds.store(static_cast<std::size_t>(i),
+                    in.load(static_cast<std::size_t>(
+                        s.offset - (s.stride + 1) + ly * s.stride + lx)));
+        }
+        it.barrier();
+
+        const int x = it.global_id(0);
+        const int y = it.global_id(1);
+        if (x >= w || y >= h) {
+          return;
+        }
+        auto o = it.global<std::int32_t>(*e);
+        const std::size_t oi = static_cast<std::size_t>(y * w + x);
+        if (x == 0 || x == w - 1 || y == 0 || y == h - 1) {
+          o.store(oi, 0);
+          return;
+        }
+        // Tile cell of output (x,y): (x - gx0 + 1, y - gy0 + 1).
+        const auto p = [&](int dx, int dy) {
+          const int cx = x - gx0 + 1 + dx;
+          const int cy = y - gy0 + 1 + dy;
+          return lds.load(static_cast<std::size_t>(cy * t2 + cx));
+        };
+        const std::int32_t gx = (p(1, -1) + 2 * p(1, 0) + p(1, 1)) -
+                                (p(-1, -1) + 2 * p(-1, 0) + p(-1, 1));
+        const std::int32_t gy = (p(-1, 1) + 2 * p(0, 1) + p(1, 1)) -
+                                (p(-1, -1) + 2 * p(0, -1) + p(1, -1));
+        o.store(oi, std::abs(gx) + std::abs(gy));
+        it.alu(alu);
+      }};
+}
+
+Kernel make_reduce_stage1(Buffer& edge, std::int64_t count, Buffer& partials,
+                          int group_size, int items_per_thread,
+                          ReductionUnroll unroll, const KernelEnv& env) {
+  Buffer* in = &edge;
+  Buffer* out = &partials;
+  const std::uint64_t load_alu = env.alu(2.0 * items_per_thread + 4.0);
+  const std::uint64_t add_alu = env.alu(2.0);
+  // Unrolling two wavefronts needs at least two of them in the group.
+  if (unroll == ReductionUnroll::kTwo && group_size < 2 * kWavefront) {
+    unroll = ReductionUnroll::kOne;
+  }
+  return Kernel{
+      .name = "reduce_stage1",
+      .uses_barriers = true,
+      .body = [=](WorkItem& it) {
+        const int g = group_size;
+        const int lid = it.local_id(0);
+        auto src = it.global<const std::int32_t>(*in);
+        auto dst = it.global<std::int32_t>(*out);
+        auto lds = it.local_array<std::int32_t>(
+            static_cast<std::size_t>(g));
+        // First add during load (§V.C): each thread pre-sums
+        // items_per_thread strided elements.
+        std::int32_t acc = 0;
+        const std::int64_t base =
+            static_cast<std::int64_t>(it.group_id(0)) * g *
+                items_per_thread + lid;
+        for (int k = 0; k < items_per_thread; ++k) {
+          const std::int64_t idx = base + static_cast<std::int64_t>(k) * g;
+          if (idx < count) {
+            acc += src.load(static_cast<std::size_t>(idx));
+          }
+        }
+        lds.store(static_cast<std::size_t>(lid), acc);
+        it.alu(load_alu);
+        it.barrier();
+
+        const auto fold = [&](int i, int j) {
+          lds.add_from(static_cast<std::size_t>(i),
+                       static_cast<std::size_t>(j));
+          it.alu(add_alu);
+        };
+
+        switch (unroll) {
+          case ReductionUnroll::kNone:
+            for (int s = g / 2; s > 0; s /= 2) {
+              if (lid < s) {
+                fold(lid, lid + s);
+              }
+              it.barrier();
+            }
+            break;
+          case ReductionUnroll::kOne:
+            // Barriers while more than one wavefront is active, then the
+            // last wavefront runs lock-step (Algorithm 1). The fences are
+            // free; see WorkItem::wavefront_fence().
+            for (int s = g / 2; s > kWavefront; s /= 2) {
+              if (lid < s) {
+                fold(lid, lid + s);
+              }
+              it.barrier();
+            }
+            for (int s = std::min(g / 2, kWavefront); s > 0; s /= 2) {
+              if (lid < s) {
+                fold(lid, lid + s);
+              }
+              it.wavefront_fence();
+            }
+            break;
+          case ReductionUnroll::kTwo: {
+            // Two wavefronts reduce independent halves lock-step, then one
+            // extra barrier merges them (Algorithm 2) — the barrier that
+            // makes this variant lose (Fig. 15).
+            for (int s = g / 2; s >= 2 * kWavefront; s /= 2) {
+              if (lid < s) {
+                fold(lid, lid + s);
+              }
+              it.barrier();
+            }
+            const int half = std::min(g, 2 * kWavefront) / 2;
+            const int base_i = (lid < kWavefront) ? 0 : half;
+            const int l2 = (lid < kWavefront) ? lid : lid - kWavefront;
+            if (base_i < g) {
+              for (int s = half / 2; s > 0; s /= 2) {
+                if (l2 < s && base_i + l2 + s < g) {
+                  fold(base_i + l2, base_i + l2 + s);
+                }
+                it.wavefront_fence();
+              }
+            }
+            it.barrier();
+            if (lid == 0) {
+              fold(0, half);
+            }
+            break;
+          }
+        }
+        if (lid == 0) {
+          dst.store(static_cast<std::size_t>(it.group_id(0)),
+                    lds.load(0));
+        }
+      }};
+}
+
+Kernel make_reduce_stage2(Buffer& partials, std::int64_t count,
+                          Buffer& sum_out, int group_size,
+                          const KernelEnv& env) {
+  Buffer* in = &partials;
+  Buffer* out = &sum_out;
+  const std::uint64_t add_alu = env.alu(2.0);
+  return Kernel{
+      .name = "reduce_stage2",
+      .uses_barriers = true,
+      .body = [=](WorkItem& it) {
+        const int g = group_size;
+        const int lid = it.local_id(0);
+        auto src = it.global<const std::int32_t>(*in);
+        auto dst = it.global<std::int64_t>(*out);
+        auto lds = it.local_array<std::int64_t>(
+            static_cast<std::size_t>(g));
+        std::int64_t acc = 0;
+        for (std::int64_t idx = lid; idx < count; idx += g) {
+          acc += src.load(static_cast<std::size_t>(idx));
+          it.alu(add_alu);
+        }
+        lds.store(static_cast<std::size_t>(lid), acc);
+        it.barrier();
+        for (int s = g / 2; s > 0; s /= 2) {
+          if (lid < s) {
+            lds.add_from(static_cast<std::size_t>(lid),
+                         static_cast<std::size_t>(lid + s));
+            it.alu(add_alu);
+          }
+          it.barrier();
+        }
+        if (lid == 0) {
+          dst.store(0, lds.load(0));
+        }
+      }};
+}
+
+Kernel make_reduce_stage2_atomic(Buffer& partials, std::int64_t count,
+                                 Buffer& sum_out, int group_size,
+                                 const KernelEnv& env) {
+  Buffer* in = &partials;
+  Buffer* out = &sum_out;
+  const std::uint64_t add_alu = env.alu(2.0);
+  return Kernel{
+      .name = "reduce_stage2_atomic",
+      .body = [=](WorkItem& it) {
+        const int g = group_size * it.num_groups(0);
+        auto src = it.global<const std::int32_t>(*in);
+        auto dst = it.global<std::int64_t>(*out);
+        std::int64_t acc = 0;
+        for (std::int64_t idx = it.global_id(0); idx < count; idx += g) {
+          acc += src.load(static_cast<std::size_t>(idx));
+          it.alu(add_alu);
+        }
+        if (acc != 0) {
+          dst.atomic_add(0, acc);
+        }
+      }};
+}
+
+Kernel make_downscale_img(const simcl::Image2D& src, Buffer& down, int dw,
+                          int dh, const KernelEnv& env) {
+  const simcl::Image2D* img = &src;
+  Buffer* out = &down;
+  const std::uint64_t alu = env.alu(24.0);
+  return Kernel{
+      .name = "downscale",
+      .body = [=](WorkItem& it) {
+        const int c = it.global_id(0);
+        const int r = it.global_id(1);
+        if (c >= dw || r >= dh) {
+          return;
+        }
+        auto in = it.image<const std::uint8_t>(*img);
+        auto o = it.global<float>(*out);
+        std::int32_t sum = 0;
+        for (int dy = 0; dy < kScale; ++dy) {
+          for (int dx = 0; dx < kScale; ++dx) {
+            sum += in.read(c * kScale + dx, r * kScale + dy);
+          }
+        }
+        o.store(static_cast<std::size_t>(r * dw + c),
+                static_cast<float>(sum) / 16.0f);
+        it.alu(alu);
+      }};
+}
+
+Kernel make_sobel_img(const simcl::Image2D& src, Buffer& edge, int w, int h,
+                      const KernelEnv& env) {
+  const simcl::Image2D* img = &src;
+  Buffer* e = &edge;
+  const std::uint64_t alu = env.alu(20.0);
+  return Kernel{
+      .name = "sobel",
+      .body = [=](WorkItem& it) {
+        const int x = it.global_id(0);
+        const int y = it.global_id(1);
+        if (x >= w || y >= h) {
+          return;
+        }
+        auto o = it.global<std::int32_t>(*e);
+        const std::size_t oi = static_cast<std::size_t>(y * w + x);
+        if (x == 0 || x == w - 1 || y == 0 || y == h - 1) {
+          o.store(oi, 0);
+          return;
+        }
+        auto in = it.image<const std::uint8_t>(*img);
+        const simcl::Sampler clamp_edge;
+        const auto p = [&](int dx, int dy) {
+          return static_cast<std::int32_t>(
+              in.read(x + dx, y + dy, clamp_edge));
+        };
+        const std::int32_t gx = (p(1, -1) + 2 * p(1, 0) + p(1, 1)) -
+                                (p(-1, -1) + 2 * p(-1, 0) + p(-1, 1));
+        const std::int32_t gy = (p(-1, 1) + 2 * p(0, 1) + p(1, 1)) -
+                                (p(-1, -1) + 2 * p(0, -1) + p(1, -1));
+        o.store(oi, std::abs(gx) + std::abs(gy));
+        it.alu(alu);
+      }};
+}
+
+Kernel make_sharpness_fused_img(const simcl::Image2D& src, Buffer& up,
+                                Buffer& edge, float inv_mean,
+                                SharpenParams params, Buffer& final_out,
+                                int w, int h, const KernelEnv& env,
+                                Buffer* strength_lut) {
+  const simcl::Image2D* img = &src;
+  Buffer* u = &up;
+  Buffer* g = &edge;
+  Buffer* f = &final_out;
+  Buffer* lut = strength_lut;
+  const std::uint64_t alu = env.alu(lut != nullptr ? 42.0 : 72.0);
+  return Kernel{
+      .name = "sharpness",
+      .body = [=](WorkItem& it) {
+        const int x = it.global_id(0);
+        const int y = it.global_id(1);
+        if (x >= w || y >= h) {
+          return;
+        }
+        auto in = it.image<const std::uint8_t>(*img);
+        auto uv = it.global<const float>(*u);
+        auto gv = it.global<const std::int32_t>(*g);
+        auto o = it.global<std::uint8_t>(*f);
+        const std::size_t i = static_cast<std::size_t>(y * w + x);
+        const float up_v = uv.load(i);
+        const float err = static_cast<float>(in.read(x, y)) - up_v;
+        const std::int32_t edge_v = gv.load(i);
+        const float st =
+            lut != nullptr
+                ? it.global<const float>(*lut).load(
+                      static_cast<std::size_t>(edge_v))
+                : detail::edge_strength(edge_v, inv_mean, params);
+        const float pm = up_v + st * err;
+        if (x == 0 || x == w - 1 || y == 0 || y == h - 1) {
+          o.store(i, detail::to_u8(std::min(std::max(pm, 0.0f), 255.0f)));
+          it.alu(alu / 2);
+          return;
+        }
+        std::int32_t mx = 0;
+        std::int32_t mn = 255;
+        const simcl::Sampler clamp_edge;
+        for (int dy = -1; dy <= 1; ++dy) {
+          for (int dx = -1; dx <= 1; ++dx) {
+            const std::int32_t v = in.read(x + dx, y + dy, clamp_edge);
+            mx = std::max(mx, v);
+            mn = std::min(mn, v);
+          }
+        }
+        o.store(i, detail::to_u8(detail::overshoot_value(pm, mn, mx, params)));
+        it.alu(alu);
+      }};
+}
+
+std::vector<float> build_strength_lut(float inv_mean,
+                                      const SharpenParams& params) {
+  std::vector<float> lut(static_cast<std::size_t>(kEdgeLutSize));
+  for (int e = 0; e < kEdgeLutSize; ++e) {
+    lut[static_cast<std::size_t>(e)] =
+        detail::edge_strength(e, inv_mean, params);
+  }
+  return lut;
+}
+
+Kernel make_perror(const SrcView& src, Buffer& up, Buffer& error, int w,
+                   int h, const KernelEnv& env) {
+  SrcView s = src;
+  Buffer* u = &up;
+  Buffer* e = &error;
+  const std::uint64_t alu = env.alu(4.0);
+  return Kernel{
+      .name = "pError",
+      .body = [=](WorkItem& it) {
+        const int x = it.global_id(0);
+        const int y = it.global_id(1);
+        if (x >= w || y >= h) {
+          return;
+        }
+        auto in = it.global<const std::uint8_t>(*s.buf);
+        auto uv = it.global<const float>(*u);
+        auto o = it.global<float>(*e);
+        const std::size_t i = static_cast<std::size_t>(y * w + x);
+        o.store(i, static_cast<float>(in.load(s.index(x, y))) - uv.load(i));
+        it.alu(alu);
+      }};
+}
+
+Kernel make_preliminary(Buffer& up, Buffer& error, Buffer& edge,
+                        float inv_mean, SharpenParams params, int w, int h,
+                        Buffer& prelim, const KernelEnv& env,
+                        Buffer* strength_lut) {
+  Buffer* u = &up;
+  Buffer* e = &error;
+  Buffer* g = &edge;
+  Buffer* p = &prelim;
+  Buffer* lut = strength_lut;
+  // pow dominates the pow path; the LUT path is one extra load instead.
+  const std::uint64_t alu = env.alu(lut != nullptr ? 10.0 : 40.0);
+  return Kernel{
+      .name = "preliminary",
+      .body = [=](WorkItem& it) {
+        const int x = it.global_id(0);
+        const int y = it.global_id(1);
+        if (x >= w || y >= h) {
+          return;
+        }
+        auto uv = it.global<const float>(*u);
+        auto ev = it.global<const float>(*e);
+        auto gv = it.global<const std::int32_t>(*g);
+        auto o = it.global<float>(*p);
+        const std::size_t i = static_cast<std::size_t>(y * w + x);
+        const std::int32_t edge_v = gv.load(i);
+        const float s =
+            lut != nullptr
+                ? it.global<const float>(*lut).load(
+                      static_cast<std::size_t>(edge_v))
+                : detail::edge_strength(edge_v, inv_mean, params);
+        o.store(i, uv.load(i) + s * ev.load(i));
+        it.alu(alu);
+      }};
+}
+
+Kernel make_overshoot(const SrcView& padded, Buffer& prelim,
+                      Buffer& final_out, SharpenParams params, int w, int h,
+                      const KernelEnv& env) {
+  SrcView s = padded;
+  Buffer* p = &prelim;
+  Buffer* f = &final_out;
+  const std::uint64_t alu = env.alu(32.0);
+  return Kernel{
+      .name = "overshoot",
+      .body = [=](WorkItem& it) {
+        const int x = it.global_id(0);
+        const int y = it.global_id(1);
+        if (x >= w || y >= h) {
+          return;
+        }
+        auto pv = it.global<const float>(*p);
+        auto o = it.global<std::uint8_t>(*f);
+        const std::size_t i = static_cast<std::size_t>(y * w + x);
+        const float pm = pv.load(i);
+        if (x == 0 || x == w - 1 || y == 0 || y == h - 1) {
+          o.store(i, detail::to_u8(std::min(std::max(pm, 0.0f), 255.0f)));
+          return;
+        }
+        auto in = it.global<const std::uint8_t>(*s.buf);
+        std::int32_t mx = 0;
+        std::int32_t mn = 255;
+        for (int dy = -1; dy <= 1; ++dy) {
+          const std::size_t base = s.index(x - 1, y + dy);
+          for (int dx = 0; dx < 3; ++dx) {
+            const std::int32_t v = in.load(base + static_cast<std::size_t>(dx));
+            mx = std::max(mx, v);
+            mn = std::min(mn, v);
+          }
+        }
+        o.store(i, detail::to_u8(detail::overshoot_value(pm, mn, mx, params)));
+        it.alu(alu);
+      }};
+}
+
+Kernel make_sharpness_fused_scalar(const SrcView& padded, Buffer& up,
+                                   Buffer& edge, float inv_mean,
+                                   SharpenParams params, Buffer& final_out,
+                                   int w, int h, const KernelEnv& env,
+                                   Buffer* strength_lut) {
+  SrcView s = padded;
+  Buffer* u = &up;
+  Buffer* g = &edge;
+  Buffer* f = &final_out;
+  Buffer* lut = strength_lut;
+  const std::uint64_t alu =
+      env.alu(lut != nullptr ? 42.0 : 72.0);  // pow + overshoot + pError
+  return Kernel{
+      .name = "sharpness",
+      .body = [=](WorkItem& it) {
+        const int x = it.global_id(0);
+        const int y = it.global_id(1);
+        if (x >= w || y >= h) {
+          return;
+        }
+        auto in = it.global<const std::uint8_t>(*s.buf);
+        auto uv = it.global<const float>(*u);
+        auto gv = it.global<const std::int32_t>(*g);
+        auto o = it.global<std::uint8_t>(*f);
+        const std::size_t i = static_cast<std::size_t>(y * w + x);
+        // pError lives in a register (the point of the fusion, §V.B).
+        const float up_v = uv.load(i);
+        const float err =
+            static_cast<float>(in.load(s.index(x, y))) - up_v;
+        const std::int32_t edge_v = gv.load(i);
+        const float st =
+            lut != nullptr
+                ? it.global<const float>(*lut).load(
+                      static_cast<std::size_t>(edge_v))
+                : detail::edge_strength(edge_v, inv_mean, params);
+        const float pm = up_v + st * err;
+        if (x == 0 || x == w - 1 || y == 0 || y == h - 1) {
+          o.store(i, detail::to_u8(std::min(std::max(pm, 0.0f), 255.0f)));
+          it.alu(alu / 2);
+          return;
+        }
+        std::int32_t mx = 0;
+        std::int32_t mn = 255;
+        for (int dy = -1; dy <= 1; ++dy) {
+          const std::size_t base = s.index(x - 1, y + dy);
+          for (int dx = 0; dx < 3; ++dx) {
+            const std::int32_t v = in.load(base + static_cast<std::size_t>(dx));
+            mx = std::max(mx, v);
+            mn = std::min(mn, v);
+          }
+        }
+        o.store(i, detail::to_u8(detail::overshoot_value(pm, mn, mx, params)));
+        it.alu(alu);
+      }};
+}
+
+Kernel make_sharpness_fused_vec4(const SrcView& padded, Buffer& up,
+                                 Buffer& edge, float inv_mean,
+                                 SharpenParams params, Buffer& final_out,
+                                 int w, int h, const KernelEnv& env,
+                                 Buffer* strength_lut) {
+  SrcView s = padded;
+  Buffer* u = &up;
+  Buffer* g = &edge;
+  Buffer* f = &final_out;
+  Buffer* lut = strength_lut;
+  const std::uint64_t alu =
+      env.alu(lut != nullptr ? 126.0 : 246.0);  // 4 outputs worth
+  return Kernel{
+      .name = "sharpness",
+      .body = [=](WorkItem& it) {
+        const int q = it.global_id(0);
+        const int y = it.global_id(1);
+        const int x0 = 4 * q;
+        if (x0 >= w || y >= h) {
+          return;
+        }
+        auto in = it.global<const std::uint8_t>(*s.buf);
+        auto uv = it.global<const float>(*u);
+        auto gv = it.global<const std::int32_t>(*g);
+        auto o = it.global<std::uint8_t>(*f);
+        const std::size_t i = static_cast<std::size_t>(y * w + x0);
+        const float4 up_v = uv.vload4(i);
+        const int4 ed = gv.vload4(i);
+        // 3x6 neighborhood window (same fetch pattern as vec4 Sobel).
+        std::int32_t win[3][6];
+        for (int dy = -1; dy <= 1; ++dy) {
+          const std::size_t base = s.index(x0 - 1, y + dy);
+          const uchar4 v = in.vload4(base);
+          std::int32_t* row = win[dy + 1];
+          row[0] = v.x;
+          row[1] = v.y;
+          row[2] = v.z;
+          row[3] = v.w;
+          row[4] = in.load(base + 4);
+          row[5] = in.load(base + 5);
+        }
+        uchar4 result;
+        for (int k = 0; k < 4; ++k) {
+          const int x = x0 + k;
+          const float orig = static_cast<float>(win[1][k + 1]);
+          const float err = orig - up_v[k];
+          const float st =
+              lut != nullptr
+                  ? it.global<const float>(*lut).load(
+                        static_cast<std::size_t>(ed[k]))
+                  : detail::edge_strength(ed[k], inv_mean, params);
+          const float pm = up_v[k] + st * err;
+          if (x == 0 || x == w - 1 || y == 0 || y == h - 1) {
+            result[k] = detail::to_u8(std::min(std::max(pm, 0.0f), 255.0f));
+            continue;
+          }
+          std::int32_t mx = 0;
+          std::int32_t mn = 255;
+          for (int dy = 0; dy < 3; ++dy) {
+            for (int dx = 0; dx < 3; ++dx) {
+              const std::int32_t v = win[dy][k + dx];
+              mx = std::max(mx, v);
+              mn = std::min(mn, v);
+            }
+          }
+          result[k] =
+              detail::to_u8(detail::overshoot_value(pm, mn, mx, params));
+        }
+        o.vstore4(result, i);
+        it.alu(alu);
+      }};
+}
+
+}  // namespace sharp::gpu

@@ -1,0 +1,111 @@
+#include "sharpen/stages.hpp"
+
+#include <algorithm>
+
+#include "sharpen/detail/stage_rows.hpp"
+
+namespace sharp::stages {
+
+ImageF32 downscale(const ImageU8& src) {
+  validate_size(src.width(), src.height());
+  ImageF32 out(src.width() / kScale, src.height() / kScale);
+  detail::downscale_rows(src.view(), out.view(), 0, out.height());
+  return out;
+}
+
+namespace {
+
+void check_upscale_geometry(const ImageF32& down, int width, int height) {
+  validate_size(width, height);
+  if (down.width() != width / kScale || down.height() != height / kScale) {
+    throw SharpenError("upscale: downscaled image has wrong shape");
+  }
+}
+
+}  // namespace
+
+ImageF32 upscale(const ImageF32& down, int width, int height) {
+  check_upscale_geometry(down, width, height);
+  ImageF32 out(width, height);
+  detail::upscale_rect(down.view(), out.view(), 0, 0, width, height);
+  return out;
+}
+
+void upscale_body(const ImageF32& down, img::ImageView<float> out) {
+  check_upscale_geometry(down, out.width(), out.height());
+  detail::upscale_rect(down.view(), out, 2, 2, out.width() - 2,
+                       out.height() - 2);
+}
+
+void upscale_border(const ImageF32& down, img::ImageView<float> out) {
+  check_upscale_geometry(down, out.width(), out.height());
+  const int w = out.width();
+  const int h = out.height();
+  const auto d = down.view();
+  detail::upscale_rect(d, out, 0, 0, w, 2);          // top two rows
+  detail::upscale_rect(d, out, 0, h - 2, w, h);      // bottom two rows
+  detail::upscale_rect(d, out, 0, 2, 2, h - 2);      // left two columns
+  detail::upscale_rect(d, out, w - 2, 2, w, h - 2);  // right two columns
+}
+
+ImageF32 difference(const ImageU8& original, const ImageF32& upscaled) {
+  if (original.width() != upscaled.width() ||
+      original.height() != upscaled.height()) {
+    throw SharpenError("difference: image shapes differ");
+  }
+  ImageF32 out(original.width(), original.height());
+  detail::difference_rows(original.view(), upscaled.view(), out.view(), 0,
+                          out.height());
+  return out;
+}
+
+ImageI32 sobel(const ImageU8& src) {
+  validate_size(src.width(), src.height());
+  ImageI32 out(src.width(), src.height(), 0);
+  detail::sobel_rows(src.view(), out.view(), 0, out.height());
+  return out;
+}
+
+std::int64_t reduce_sum(const ImageI32& edge) {
+  return detail::reduce_rows(edge.view(), 0, edge.height());
+}
+
+float inverse_mean_edge(std::int64_t sum, std::int64_t pixels,
+                        const SharpenParams& params) {
+  if (pixels <= 0) {
+    throw SharpenError("inverse_mean_edge: no pixels");
+  }
+  const double mean =
+      static_cast<double>(sum) / static_cast<double>(pixels);
+  return 1.0f / (static_cast<float>(mean) + params.mean_epsilon);
+}
+
+ImageF32 preliminary(const ImageF32& upscaled, const ImageF32& error,
+                     const ImageI32& edge, float inv_mean,
+                     const SharpenParams& params) {
+  params.validate();
+  if (upscaled.width() != error.width() || error.width() != edge.width() ||
+      upscaled.height() != error.height() ||
+      error.height() != edge.height()) {
+    throw SharpenError("preliminary: image shapes differ");
+  }
+  ImageF32 out(upscaled.width(), upscaled.height());
+  detail::preliminary_rows(upscaled.view(), error.view(), edge.view(),
+                           inv_mean, params, out.view(), 0, out.height());
+  return out;
+}
+
+ImageU8 overshoot_control(const ImageU8& original, const ImageF32& prelim,
+                          const SharpenParams& params) {
+  params.validate();
+  if (original.width() != prelim.width() ||
+      original.height() != prelim.height()) {
+    throw SharpenError("overshoot_control: image shapes differ");
+  }
+  ImageU8 out(original.width(), original.height());
+  detail::overshoot_rows(original.view(), prelim.view(), params, out.view(),
+                         0, out.height());
+  return out;
+}
+
+}  // namespace sharp::stages

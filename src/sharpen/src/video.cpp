@@ -1,0 +1,28 @@
+#include "sharpen/video.hpp"
+
+namespace sharp {
+
+VideoPipeline::VideoPipeline(int width, int height, PipelineOptions options,
+                             SharpenParams params, simcl::DeviceSpec gpu,
+                             simcl::DeviceSpec host)
+    : width_(width),
+      height_(height),
+      params_(params),
+      inner_(options, std::move(gpu), std::move(host)) {
+  validate_size(width, height);
+  params_.validate();
+}
+
+PipelineResult VideoPipeline::process_frame(const img::ImageU8& frame) {
+  if (frame.width() != width_ || frame.height() != height_) {
+    throw SharpenError("VideoPipeline: frame geometry mismatch");
+  }
+  PipelineResult result =
+      inner_.run_impl(frame, params_, /*charge_allocations=*/first_frame_);
+  first_frame_ = false;
+  stats_.frames += 1;
+  stats_.total_modeled_us += result.total_modeled_us;
+  return result;
+}
+
+}  // namespace sharp

@@ -1,0 +1,60 @@
+// Device global-memory buffers.
+//
+// A Buffer is the simcl analogue of a cl_mem: a block of device memory that
+// kernels address through GlobalPtr accessors and the host moves data into
+// and out of through CommandQueue transfer commands. The backing store
+// lives in host memory (this is a simulator) but each buffer also has a
+// unique, stable *device address* so the cache simulation sees a realistic
+// flat address space with no aliasing between buffers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "simcl/error.hpp"
+
+namespace simcl {
+
+class Context;
+
+class Buffer {
+ public:
+  Buffer(const Buffer&) = delete;
+  Buffer& operator=(const Buffer&) = delete;
+  Buffer(Buffer&&) = default;
+  Buffer& operator=(Buffer&&) = default;
+
+  [[nodiscard]] std::size_t size() const { return bytes_.size(); }
+  [[nodiscard]] std::uint64_t device_addr() const { return device_addr_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Raw backing store. Only the runtime (queue, engine, accessors) should
+  /// touch this; host code goes through CommandQueue transfers or map().
+  [[nodiscard]] std::byte* backing() { return bytes_.data(); }
+  [[nodiscard]] const std::byte* backing() const { return bytes_.data(); }
+
+  /// Typed whole-buffer view of the backing store, for tests.
+  template <typename T>
+  [[nodiscard]] std::span<T> backing_as() {
+    return {reinterpret_cast<T*>(bytes_.data()), bytes_.size() / sizeof(T)};
+  }
+  template <typename T>
+  [[nodiscard]] std::span<const T> backing_as() const {
+    return {reinterpret_cast<const T*>(bytes_.data()),
+            bytes_.size() / sizeof(T)};
+  }
+
+ private:
+  friend class Context;
+  Buffer(std::string name, std::size_t size, std::uint64_t device_addr);
+
+  std::string name_;
+  std::vector<std::byte> bytes_;
+  std::uint64_t device_addr_ = 0;
+};
+
+}  // namespace simcl

@@ -1,0 +1,69 @@
+// The timing model: KernelStats + DeviceSpec -> simulated microseconds.
+//
+// Kernel execution time is a multi-resource roofline:
+//
+//   t_exec = max( alu / alu_rate,
+//                 dram_bytes / dram_bw,
+//                 global_issue_slots / issue_rate,
+//                 local_issue_slots / lds_rate )
+//            + barriers and divergence folded into the ALU term
+//   t_total = kernel_launch + t_exec
+//
+// Transfers follow the paper's §V.A taxonomy: bulk read/write (high fixed
+// cost, full link bandwidth), rect writes (adds a per-row descriptor cost),
+// and map/unmap (tiny fixed cost, degraded dispersed-burst bandwidth).
+//
+// Host-side stage costs (border on CPU, reduction stage 2 on CPU, padding
+// memcpy) are charged against a CPU DeviceSpec with the same roofline.
+#pragma once
+
+#include "simcl/device.hpp"
+#include "simcl/stats.hpp"
+
+namespace simcl {
+
+/// A simple flops/bytes work descriptor for host-side (CPU) computations.
+struct HostWork {
+  double flops = 0.0;
+  double bytes = 0.0;
+  /// Fixed overhead (loop setup, thread fork/join for OpenMP sections).
+  double fixed_us = 0.0;
+};
+
+class CostModel {
+ public:
+  CostModel(DeviceSpec device, DeviceSpec host);
+
+  [[nodiscard]] const DeviceSpec& device() const { return device_; }
+  [[nodiscard]] const DeviceSpec& host() const { return host_; }
+
+  /// Kernel execution time (includes launch overhead).
+  [[nodiscard]] double kernel_time_us(const KernelStats& stats,
+                                      double divergence_factor = 1.0) const;
+
+  /// Bulk clEnqueueRead/WriteBuffer-style transfer.
+  [[nodiscard]] double bulk_transfer_us(std::size_t bytes) const;
+
+  /// clEnqueueWriteBufferRect-style transfer of `rows` rows.
+  [[nodiscard]] double rect_transfer_us(std::size_t bytes,
+                                        std::size_t rows) const;
+
+  /// Mapped access to `bytes` of a buffer (charged on map for reads, on
+  /// unmap for writes).
+  [[nodiscard]] double mapped_transfer_us(std::size_t bytes) const;
+
+  /// Host<->device synchronization (clFinish).
+  [[nodiscard]] double clfinish_us() const { return device_.clfinish_us; }
+
+  /// Host-side computation under the CPU roofline.
+  [[nodiscard]] double host_compute_us(const HostWork& work) const;
+
+  /// Host-side memcpy (padding on CPU).
+  [[nodiscard]] double host_memcpy_us(std::size_t bytes) const;
+
+ private:
+  DeviceSpec device_;
+  DeviceSpec host_;
+};
+
+}  // namespace simcl

@@ -1,0 +1,133 @@
+// Device descriptions and the calibration constants of the timing model.
+//
+// simcl executes kernels functionally on the host; *time* is produced by a
+// cost model parameterized by a DeviceSpec. The two presets model the
+// hardware of Table I of the paper:
+//
+//   AMD FirePro W8000 : 0.88 GHz, 1792 lanes, 3.23 TFLOPS, 176 GB/s
+//   Intel Core i5-3470: 3.2 GHz, 4 cores, 57.76 GFLOPS, 25 GB/s
+//
+// Every constant that is not in Table I (efficiencies, launch overhead,
+// PCIe behaviour, barrier cost) is a calibration constant; the rationale for
+// each value is given next to it. DESIGN.md §6 and EXPERIMENTS.md document
+// how these produce the paper's performance *shapes*.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace simcl {
+
+/// Models the CPU<->GPU interconnect (PCIe 2.0/3.0 x16 class link) plus the
+/// behavioural difference between the two OpenCL transfer modes the paper
+/// compares in §V.A.
+struct HostLinkSpec {
+  /// Sustained bandwidth of bulk clEnqueueRead/WriteBuffer transfers
+  /// (PCIe 3.0 x16 with driver overhead).
+  double readwrite_gbps = 5.0;
+  /// Fixed cost of one read/write transfer (driver + DMA setup).
+  double readwrite_latency_us = 26.0;
+  /// clEnqueueWriteBufferRect pays a small per-row DMA descriptor cost.
+  double rect_row_overhead_us = 0.05;
+  /// Mapped (zero-copy) access moves data in small dispersed bursts; the
+  /// paper: "each memory access needs to go through PCI-E". Slightly
+  /// lower effective bandwidth, but almost no fixed cost — which is why
+  /// map/unmap wins at small image sizes (Fig. 14 discussion).
+  double map_gbps = 4.2;
+  double map_latency_us = 0.5;
+  /// Host-side memcpy bandwidth (used when padding is done on the CPU).
+  double host_memcpy_gbps = 10.0;
+};
+
+/// One compute device. `is_cpu` devices have no work-groups/wavefronts in
+/// the model sense; they are used for host-side stage costs and for the
+/// paper's optimized-CPU baseline.
+struct DeviceSpec {
+  std::string name;
+  bool is_cpu = false;
+
+  // --- Table I numbers -----------------------------------------------------
+  double clock_ghz = 1.0;
+  int compute_units = 1;   ///< GCN CUs for the GPU; cores for the CPU.
+  int lanes = 1;           ///< total SIMD lanes ("number of cores" row).
+  double peak_gflops = 1.0;
+  double mem_bandwidth_gbps = 1.0;
+
+  // --- Execution geometry --------------------------------------------------
+  int wavefront_size = 64;
+  int max_workgroup_size = 256;
+  std::size_t local_mem_bytes = 32 * 1024;  ///< LDS per work-group.
+
+  // --- Calibration constants (rationale inline) ----------------------------
+  /// Fraction of peak FLOPS a memory-friendly image kernel sustains.
+  double alu_efficiency = 0.60;
+  /// Fraction of peak DRAM bandwidth sustained by streaming kernels.
+  /// Image kernels with mixed byte/word access patterns sustain well
+  /// under half of the theoretical 176 GB/s.
+  double mem_efficiency = 0.35;
+  /// Aggregate global load/store *issue* rate in 1e9 accesses/s. On GCN a
+  /// vector memory op occupies the CU's L1 path for several cycles,
+  /// regardless of width — narrow (1-byte) scalar loads are therefore
+  /// issue-bound while vload4 moves 4x the data per slot. 28 CUs * 64
+  /// lanes * 0.88 GHz / ~13 cycles per access ~= 120 G accesses/s. This
+  /// is the resource scalar one-load-per-pixel kernels saturate and that
+  /// vectorization relieves — the paper's §V.D win.
+  double global_access_rate_gops = 120.0;
+  /// LDS issue rate (bank-conflict-free): ~2x the global issue rate.
+  double local_access_rate_gops = 788.0;
+  /// Per-CU L1 size used by the line-cache simulation.
+  std::size_t l1_bytes = 16 * 1024;
+  int cache_line_bytes = 64;
+  /// Cost of one kernel dispatch observed by the host (driver + doorbell +
+  /// drain). The paper's §V.B: "Time of launching a kernel can be huge".
+  double kernel_launch_us = 12.0;
+  /// Work-group barrier: every lane pays roughly this many ALU-op
+  /// equivalents per barrier event (wavefront drain + LDS fence). This is
+  /// what makes unrolling the last *two* wavefronts lose to unrolling one
+  /// (Fig. 15): the extra tail barrier costs more than the gained overlap.
+  double barrier_ops_equiv = 96.0;
+  /// clFinish host<->device round trip (paper §V.F, "Eliminate Global
+  /// Synchronization").
+  double clfinish_us = 8.0;
+  /// Extra one-off cost charged to kernels that flag divergent work-items
+  /// (the conditional-heavy upscale-border kernel). Calibrated to the
+  /// flat ~0.25 ms "border on GPU" line of the paper's Fig. 17: branchy
+  /// tiny launches pay driver scheduling/serialization costs that an
+  /// aggregate-throughput roofline cannot produce.
+  double divergent_kernel_overhead_us = 278.0;
+  /// Atomic RMW operations contending on global memory serialize; each
+  /// one adds roughly this much latency on top of its issue slot. This is
+  /// why tree-based stage-2 reduction beats the atomicAdd alternative
+  /// (§II related work, Nickolls et al.).
+  double atomic_serialization_ns = 20.0;
+  /// Host-side cost of one clCreateBuffer-style device allocation.
+  /// Pipelines that keep buffers alive across frames (VideoPipeline)
+  /// amortize this away after the first frame.
+  double buffer_alloc_us = 8.0;
+
+  HostLinkSpec link;
+
+  /// Effective ALU rate in ops/us.
+  [[nodiscard]] double alu_ops_per_us() const {
+    return peak_gflops * 1e3 * alu_efficiency;
+  }
+  /// Effective DRAM bandwidth in bytes/us.
+  [[nodiscard]] double mem_bytes_per_us() const {
+    return mem_bandwidth_gbps * 1e3 * mem_efficiency;
+  }
+  [[nodiscard]] double global_accesses_per_us() const {
+    return global_access_rate_gops * 1e3;
+  }
+  [[nodiscard]] double local_accesses_per_us() const {
+    return local_access_rate_gops * 1e3;
+  }
+};
+
+/// The GPU of the paper's evaluation (Table I).
+[[nodiscard]] DeviceSpec amd_firepro_w8000();
+
+/// The CPU of the paper's evaluation (Table I). Peak GFLOPS corresponds to
+/// 4 cores x 3.2 GHz x 4-wide SSE + FMA-less mul/add mix as reported.
+[[nodiscard]] DeviceSpec intel_core_i5_3470();
+
+}  // namespace simcl

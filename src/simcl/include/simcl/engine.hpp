@@ -1,0 +1,38 @@
+// The NDRange execution engine.
+//
+// Functionally executes a Kernel over a LaunchConfig and returns the
+// KernelStats the cost model consumes. Work-groups are independent (as on
+// real hardware) and may be executed by a pool of host threads; within a
+// group, barrier-free kernels run as a plain loop over work-items while
+// kernels with barriers run on cooperative fibers so that true OpenCL
+// barrier semantics hold (see fiber.hpp).
+#pragma once
+
+#include <cstdint>
+
+#include "simcl/device.hpp"
+#include "simcl/kernel.hpp"
+#include "simcl/ndrange.hpp"
+
+namespace simcl {
+
+class Engine {
+ public:
+  /// `num_threads` host threads execute work-groups; 0 = hardware
+  /// concurrency. Statistics are identical regardless of thread count.
+  explicit Engine(DeviceSpec spec, int num_threads = 1);
+
+  /// Runs the kernel and returns aggregate statistics. Any exception
+  /// thrown by the kernel body (including accessor KernelFaults) aborts
+  /// the launch and is rethrown on the calling thread.
+  KernelStats run(const Kernel& kernel, const LaunchConfig& cfg);
+
+  [[nodiscard]] const DeviceSpec& spec() const { return spec_; }
+  [[nodiscard]] int num_threads() const { return num_threads_; }
+
+ private:
+  DeviceSpec spec_;
+  int num_threads_;
+};
+
+}  // namespace simcl

@@ -1,0 +1,38 @@
+// Error types for the simcl runtime. Mirrors the way OpenCL host code
+// surfaces CL_INVALID_* conditions, but as typed C++ exceptions.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace simcl {
+
+/// Base class for all simcl failures.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Invalid argument to a runtime call (bad sizes, null buffers, offsets out
+/// of range) — the analogue of CL_INVALID_VALUE / CL_INVALID_BUFFER_SIZE.
+class InvalidArgument : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Invalid kernel launch configuration (work-group larger than the device
+/// maximum, global size not divisible by local size, ...).
+class InvalidLaunch : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A kernel misused the execution environment: barrier() inside a kernel
+/// not declared `uses_barriers`, local-memory arena overflow, out-of-bounds
+/// device memory access detected by an accessor.
+class KernelFault : public Error {
+ public:
+  using Error::Error;
+};
+
+}  // namespace simcl

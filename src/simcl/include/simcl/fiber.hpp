@@ -1,0 +1,94 @@
+// Cooperative fibers used to give every work-item in a work-group its own
+// execution context, so that OpenCL `barrier(CLK_LOCAL_MEM_FENCE)` semantics
+// can be executed faithfully: all work-items of a group run their code
+// between two barriers before any of them proceeds past the barrier.
+//
+// Two backends:
+//   * x86-64: a ~10-instruction assembly context switch (fiber_x86_64.S),
+//     callee-saved registers + stack pointer only. A work-group of 256
+//     items with a dozen barrier segments costs microseconds, which keeps
+//     4096x4096 reduction launches tractable on the host.
+//   * portable: POSIX ucontext (swapcontext), selected automatically on
+//     other architectures or with -DSIMCL_FORCE_UCONTEXT=ON.
+//
+// Fibers here are deliberately minimal: fixed-size caller-owned stacks, no
+// exceptions across switches (kernel faults are captured and rethrown by
+// the engine on the scheduler side).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace simcl {
+
+/// One schedulable fiber. The entry function receives an opaque argument
+/// and must call yield() (via its FiberRef) instead of returning control by
+/// other means; returning from the entry function finishes the fiber.
+class Fiber {
+ public:
+  using Entry = void (*)(void* arg);
+
+  Fiber() = default;
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+  // Movable only while idle: reset() bakes `this` into the boot frame, so
+  // a fiber must not be moved between reset() and completion.
+  Fiber(Fiber&&) = default;
+  Fiber& operator=(Fiber&&) = default;
+
+  /// (Re)initializes the fiber to run `entry(arg)` on `stack` (size bytes).
+  /// The stack is owned by the caller and may be reused after finished().
+  void reset(void* stack, std::size_t stack_size, Entry entry, void* arg);
+
+  /// Switches from the scheduler into the fiber. Returns when the fiber
+  /// yields or finishes.
+  void resume();
+
+  /// Switches from inside the fiber back to the scheduler. Must only be
+  /// called on the currently running fiber.
+  void yield();
+
+  [[nodiscard]] bool started() const { return started_; }
+  [[nodiscard]] bool finished() const { return finished_; }
+
+  /// First-run entry shim; public so the ucontext backend's C entry hook
+  /// can reach it. Not part of the user-facing API.
+  static void trampoline(void* self);
+
+ private:
+
+  void* fiber_sp_ = nullptr;      // saved SP of the fiber (asm backend)
+  void* scheduler_sp_ = nullptr;  // saved SP of the scheduler (asm backend)
+  Entry entry_ = nullptr;
+  void* arg_ = nullptr;
+  bool started_ = false;
+  bool finished_ = false;
+
+#if !defined(SIMCL_ASM_FIBER)
+  struct UcontextState;
+  std::unique_ptr<UcontextState> uctx_;
+#endif
+};
+
+/// A reusable pool of fiber stacks (one per work-item slot of the largest
+/// work-group). Allocation happens once; groups reuse the same stacks.
+class FiberStackPool {
+ public:
+  explicit FiberStackPool(std::size_t stack_count,
+                          std::size_t stack_bytes = kDefaultStackBytes);
+
+  [[nodiscard]] void* stack(std::size_t i);
+  [[nodiscard]] std::size_t stack_bytes() const { return stack_bytes_; }
+  [[nodiscard]] std::size_t size() const { return count_; }
+
+  static constexpr std::size_t kDefaultStackBytes = 64 * 1024;
+
+ private:
+  std::size_t count_;
+  std::size_t stack_bytes_;
+  std::vector<std::uint8_t> storage_;
+};
+
+}  // namespace simcl

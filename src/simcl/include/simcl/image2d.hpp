@@ -1,0 +1,81 @@
+// OpenCL image objects (image2d_t) with nearest-filter samplers.
+//
+// Images differ from buffers in two ways that matter to this project:
+// they are addressed in 2-D texel coordinates through a sampler whose
+// address mode handles out-of-bounds reads in hardware (CLAMP_TO_EDGE
+// replicates the border — making the paper's explicit padded-matrix
+// transfer unnecessary), and they are read through the texture path,
+// modeled with the same per-group cache as buffer loads.
+//
+// Only the single-channel formats the sharpness pipeline needs are
+// provided; the accessor (kernel-side) half lives in kernel.hpp's
+// WorkItem::image<T>().
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simcl/error.hpp"
+
+namespace simcl {
+
+class Context;
+
+/// Texel formats (CL_R with UNSIGNED_INT8 / SIGNED_INT32 / FLOAT).
+enum class ChannelFormat : std::uint8_t { kR_U8, kR_I32, kR_F32 };
+
+[[nodiscard]] constexpr std::size_t texel_bytes(ChannelFormat f) {
+  switch (f) {
+    case ChannelFormat::kR_U8: return 1;
+    case ChannelFormat::kR_I32: return 4;
+    case ChannelFormat::kR_F32: return 4;
+  }
+  return 0;
+}
+
+/// Sampler address modes (nearest filtering only).
+enum class AddressMode : std::uint8_t {
+  kClampToEdge,  ///< CL_ADDRESS_CLAMP_TO_EDGE: replicate border texels
+  kClampToZero,  ///< CL_ADDRESS_CLAMP: out-of-range reads return 0
+};
+
+struct Sampler {
+  AddressMode address = AddressMode::kClampToEdge;
+};
+
+class Image2D {
+ public:
+  Image2D(Image2D&&) = default;
+  Image2D& operator=(Image2D&&) = default;
+  Image2D(const Image2D&) = delete;
+  Image2D& operator=(const Image2D&) = delete;
+
+  [[nodiscard]] int width() const { return width_; }
+  [[nodiscard]] int height() const { return height_; }
+  [[nodiscard]] ChannelFormat format() const { return format_; }
+  [[nodiscard]] std::size_t pixel_bytes() const {
+    return texel_bytes(format_);
+  }
+  [[nodiscard]] std::size_t byte_size() const { return bytes_.size(); }
+  [[nodiscard]] std::uint64_t device_addr() const { return device_addr_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  [[nodiscard]] std::byte* backing() { return bytes_.data(); }
+  [[nodiscard]] const std::byte* backing() const { return bytes_.data(); }
+
+ private:
+  friend class Context;
+  Image2D(std::string name, ChannelFormat format, int width, int height,
+          std::uint64_t device_addr);
+
+  std::string name_;
+  ChannelFormat format_ = ChannelFormat::kR_U8;
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<std::byte> bytes_;
+  std::uint64_t device_addr_ = 0;
+};
+
+}  // namespace simcl

@@ -1,0 +1,411 @@
+// Kernel authoring model.
+//
+// A simcl kernel is a C++ callable receiving a WorkItem context, written in
+// the same style as an OpenCL C kernel body:
+//
+//   simcl::Kernel sobel{
+//       .name = "sobel_scalar",
+//       .body = [&](simcl::WorkItem& it) {
+//         auto src = it.global<const std::uint8_t>(src_buf);
+//         auto dst = it.global<std::int32_t>(dst_buf);
+//         const int x = it.global_id(0), y = it.global_id(1);
+//         ...
+//         dst.store(idx, value);
+//         it.alu(20);
+//       }};
+//
+// Memory is only reachable through accessors (GlobalPtr / LocalPtr), which
+// bounds-check every access (KernelFault on violation) and feed the
+// transaction counters + the per-group L1 cache simulation that drive the
+// cost model. `it.alu(n)` reports arithmetic work; `it.barrier()` is the
+// OpenCL work-group barrier and requires `uses_barriers = true`.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "simcl/buffer.hpp"
+#include "simcl/cache_sim.hpp"
+#include "simcl/error.hpp"
+#include "simcl/image2d.hpp"
+#include "simcl/stats.hpp"
+#include "simcl/vec.hpp"
+
+namespace simcl {
+
+class WorkItem;
+class Engine;
+class Fiber;
+
+namespace detail {
+
+/// Shared per-work-group execution state: statistics, the L1 cache model
+/// and the local-memory (LDS) arena.
+struct GroupState {
+  GroupState(std::size_t l1_bytes, std::size_t line_bytes,
+             std::size_t local_mem_bytes)
+      : cache(l1_bytes, line_bytes), arena(local_mem_bytes) {}
+
+  LineCacheSim cache;
+  KernelStats stats;
+  std::vector<std::byte> arena;
+
+  struct LocalAlloc {
+    std::size_t offset;
+    std::size_t bytes;
+  };
+  std::vector<LocalAlloc> allocs;
+  std::size_t arena_used = 0;
+
+  void begin_group() {
+    cache.reset();
+    allocs.clear();
+    arena_used = 0;
+  }
+};
+
+/// Engine-internal initializer with field access to WorkItem; kept out of
+/// the public WorkItem surface.
+struct WorkItemInit;
+
+}  // namespace detail
+
+/// Typed accessor for device global memory. Obtained per work-item via
+/// WorkItem::global<T>(buffer); every access is counted and cache-filtered.
+template <typename T>
+class GlobalPtr {
+ public:
+  using Value = std::remove_const_t<T>;
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+
+  [[nodiscard]] Value load(std::size_t i) const {
+    check(i, 1);
+    note_load(sizeof(Value), addr(i));
+    return data_[i];
+  }
+
+  void store(std::size_t i, Value v) const
+    requires(!std::is_const_v<T>)
+  {
+    check(i, 1);
+    note_store(sizeof(Value), addr(i));
+    data_[i] = v;
+  }
+
+  /// OpenCL vloadn/vstoren: one issue slot for n consecutive elements.
+  [[nodiscard]] Vec4<Value> vload4(std::size_t i) const {
+    check(i, 4);
+    note_load(4 * sizeof(Value), addr(i));
+    return {data_[i], data_[i + 1], data_[i + 2], data_[i + 3]};
+  }
+
+  void vstore4(Vec4<Value> v, std::size_t i) const
+    requires(!std::is_const_v<T>)
+  {
+    check(i, 4);
+    note_store(4 * sizeof(Value), addr(i));
+    data_[i] = v.x;
+    data_[i + 1] = v.y;
+    data_[i + 2] = v.z;
+    data_[i + 3] = v.w;
+  }
+
+  /// Atomic fetch-add on global memory (atomicAdd analogue). Safe under
+  /// the multi-threaded group executor.
+  Value atomic_add(std::size_t i, Value v) const
+    requires(!std::is_const_v<T> && std::is_integral_v<Value>)
+  {
+    check(i, 1);
+    gs_->stats.atomic_ops += 1;
+    gs_->cache.access(addr(i), sizeof(Value));
+    std::atomic_ref<Value> ref(data_[i]);
+    return ref.fetch_add(v, std::memory_order_relaxed);
+  }
+
+ private:
+  friend class WorkItem;
+  GlobalPtr(Value* data, std::size_t count, std::uint64_t dev_addr,
+            detail::GroupState* gs)
+      : data_(data), count_(count), dev_addr_(dev_addr), gs_(gs) {}
+
+  [[nodiscard]] std::uint64_t addr(std::size_t i) const {
+    return dev_addr_ + i * sizeof(Value);
+  }
+
+  void check(std::size_t i, std::size_t n) const {
+    if (i + n > count_) {
+      throw KernelFault("GlobalPtr: out-of-bounds access");
+    }
+  }
+
+  void note_load(std::size_t bytes, std::uint64_t a) const {
+    gs_->stats.global_loads += 1;
+    gs_->stats.global_load_bytes += bytes;
+    gs_->stats.l1_miss_lines +=
+        gs_->cache.access(a, static_cast<std::uint32_t>(bytes));
+  }
+
+  void note_store(std::size_t bytes, std::uint64_t a) const {
+    gs_->stats.global_stores += 1;
+    gs_->stats.global_store_bytes += bytes;
+    gs_->stats.l1_miss_lines +=
+        gs_->cache.access(a, static_cast<std::uint32_t>(bytes));
+  }
+
+  Value* data_;
+  std::size_t count_;
+  std::uint64_t dev_addr_;
+  detail::GroupState* gs_;
+};
+
+/// Typed accessor for image2d_t objects: sampled reads (read_imagef /
+/// read_imageui analogues, nearest filtering) and in-bounds writes.
+/// Reads go through the texture path, modeled with the same per-group
+/// cache as buffer loads.
+template <typename T>
+class ImagePtr {
+ public:
+  using Value = std::remove_const_t<T>;
+
+  [[nodiscard]] int width() const { return w_; }
+  [[nodiscard]] int height() const { return h_; }
+
+  /// Sampled read: out-of-range coordinates follow the sampler's address
+  /// mode (the hardware border handling that replaces explicit padding).
+  [[nodiscard]] Value read(int x, int y, const Sampler& s = {}) const {
+    gs_->stats.global_loads += 1;
+    gs_->stats.global_load_bytes += sizeof(Value);
+    if (x < 0 || x >= w_ || y < 0 || y >= h_) {
+      if (s.address == AddressMode::kClampToZero) {
+        return Value{};
+      }
+      x = std::min(std::max(x, 0), w_ - 1);
+      y = std::min(std::max(y, 0), h_ - 1);
+    }
+    const std::size_t i = static_cast<std::size_t>(y) *
+                              static_cast<std::size_t>(w_) +
+                          static_cast<std::size_t>(x);
+    gs_->stats.l1_miss_lines += gs_->cache.access(
+        dev_addr_ + i * sizeof(Value), sizeof(Value));
+    return data_[i];
+  }
+
+  /// write_image analogue; coordinates must be in range.
+  void write(int x, int y, Value v) const
+    requires(!std::is_const_v<T>)
+  {
+    if (x < 0 || x >= w_ || y < 0 || y >= h_) {
+      throw KernelFault("ImagePtr::write: coordinates out of range");
+    }
+    const std::size_t i = static_cast<std::size_t>(y) *
+                              static_cast<std::size_t>(w_) +
+                          static_cast<std::size_t>(x);
+    gs_->stats.global_stores += 1;
+    gs_->stats.global_store_bytes += sizeof(Value);
+    gs_->stats.l1_miss_lines += gs_->cache.access(
+        dev_addr_ + i * sizeof(Value), sizeof(Value));
+    data_[i] = v;
+  }
+
+ private:
+  friend class WorkItem;
+  ImagePtr(Value* data, int w, int h, std::uint64_t dev_addr,
+           detail::GroupState* gs)
+      : data_(data), w_(w), h_(h), dev_addr_(dev_addr), gs_(gs) {}
+
+  Value* data_;
+  int w_;
+  int h_;
+  std::uint64_t dev_addr_;
+  detail::GroupState* gs_;
+};
+
+/// Typed accessor for work-group local (LDS) memory.
+template <typename T>
+class LocalPtr {
+ public:
+  [[nodiscard]] std::size_t count() const { return count_; }
+
+  [[nodiscard]] T load(std::size_t i) const {
+    check(i);
+    note(sizeof(T));
+    return data_[i];
+  }
+
+  void store(std::size_t i, T v) const {
+    check(i);
+    note(sizeof(T));
+    data_[i] = v;
+  }
+
+  /// data[i] += data[j] — the reduction inner step, two loads + a store.
+  void add_from(std::size_t i, std::size_t j) const {
+    check(i);
+    check(j);
+    note(3 * sizeof(T));
+    gs_->stats.local_accesses += 2;  // note() charged one of the three
+    data_[i] += data_[j];
+  }
+
+ private:
+  friend class WorkItem;
+  LocalPtr(T* data, std::size_t count, detail::GroupState* gs)
+      : data_(data), count_(count), gs_(gs) {}
+
+  void check(std::size_t i) const {
+    if (i >= count_) {
+      throw KernelFault("LocalPtr: out-of-bounds access");
+    }
+  }
+
+  void note(std::size_t bytes) const {
+    gs_->stats.local_accesses += 1;
+    gs_->stats.local_bytes += bytes;
+  }
+
+  T* data_;
+  std::size_t count_;
+  detail::GroupState* gs_;
+};
+
+/// Per-work-item execution context (the `get_global_id` world).
+class WorkItem {
+ public:
+  [[nodiscard]] int global_id(int dim = 0) const {
+    return dim == 0 ? group_id_x_ * local_size_x_ + local_id_x_
+                    : group_id_y_ * local_size_y_ + local_id_y_;
+  }
+  [[nodiscard]] int local_id(int dim = 0) const {
+    return dim == 0 ? local_id_x_ : local_id_y_;
+  }
+  [[nodiscard]] int group_id(int dim = 0) const {
+    return dim == 0 ? group_id_x_ : group_id_y_;
+  }
+  [[nodiscard]] int global_size(int dim = 0) const {
+    return dim == 0 ? local_size_x_ * num_groups_x_
+                    : local_size_y_ * num_groups_y_;
+  }
+  [[nodiscard]] int local_size(int dim = 0) const {
+    return dim == 0 ? local_size_x_ : local_size_y_;
+  }
+  [[nodiscard]] int num_groups(int dim = 0) const {
+    return dim == 0 ? num_groups_x_ : num_groups_y_;
+  }
+  /// Flattened local id (y * local_size_x + x), the common `lid`.
+  [[nodiscard]] int flat_local_id() const {
+    return local_id_y_ * local_size_x_ + local_id_x_;
+  }
+
+  /// Reports `ops` arithmetic operations for the cost model.
+  void alu(std::uint64_t ops) const { gs_->stats.alu_ops += ops; }
+
+  /// Marks this work-item as taking a divergent (branch-heavy) path.
+  void divergent() const { gs_->stats.divergent_items += 1; }
+
+  /// OpenCL barrier(CLK_LOCAL_MEM_FENCE): every work-item of the group
+  /// must reach it before any continues. Requires Kernel::uses_barriers.
+  void barrier();
+
+  /// Wavefront lock-step point. On real hardware, work-items of one
+  /// wavefront execute in lock step, so "warp-synchronous" code (the
+  /// unrolled reduction tails of §V.C) needs no barrier. This simulator
+  /// runs items sequentially, so the implicit synchrony must be made
+  /// explicit — but it costs nothing in the timing model, exactly because
+  /// it is free on hardware. Requires Kernel::uses_barriers.
+  void wavefront_fence();
+
+  /// Global-memory accessor for a buffer. Use `global<const T>` for
+  /// read-only access.
+  template <typename T>
+  [[nodiscard]] GlobalPtr<T> global(Buffer& buf) const {
+    using Value = std::remove_const_t<T>;
+    return GlobalPtr<T>(reinterpret_cast<Value*>(buf.backing()),
+                        buf.size() / sizeof(Value), buf.device_addr(), gs_);
+  }
+  template <typename T>
+  [[nodiscard]] GlobalPtr<T> global(const Buffer& buf) const
+    requires(std::is_const_v<T>)
+  {
+    using Value = std::remove_const_t<T>;
+    return GlobalPtr<T>(
+        reinterpret_cast<Value*>(const_cast<std::byte*>(buf.backing())),
+        buf.size() / sizeof(Value), buf.device_addr(), gs_);
+  }
+
+  /// Image accessor; T's size must match the image's texel format (e.g.
+  /// image<const std::uint8_t> for kR_U8).
+  template <typename T>
+  [[nodiscard]] ImagePtr<T> image(Image2D& img) const {
+    using Value = std::remove_const_t<T>;
+    if (sizeof(Value) != img.pixel_bytes()) {
+      throw KernelFault("WorkItem::image: type does not match texel format");
+    }
+    return ImagePtr<T>(reinterpret_cast<Value*>(img.backing()), img.width(),
+                       img.height(), img.device_addr(), gs_);
+  }
+  template <typename T>
+  [[nodiscard]] ImagePtr<T> image(const Image2D& img) const
+    requires(std::is_const_v<T>)
+  {
+    using Value = std::remove_const_t<T>;
+    if (sizeof(Value) != img.pixel_bytes()) {
+      throw KernelFault("WorkItem::image: type does not match texel format");
+    }
+    return ImagePtr<T>(
+        reinterpret_cast<Value*>(const_cast<std::byte*>(img.backing())),
+        img.width(), img.height(), img.device_addr(), gs_);
+  }
+
+  /// Work-group local array of `n` elements of T. All work-items of the
+  /// group calling in the same order share the same storage, matching
+  /// OpenCL `__local T name[n]`. Throws KernelFault when the group's LDS
+  /// budget is exceeded.
+  template <typename T>
+  [[nodiscard]] LocalPtr<T> local_array(std::size_t n) {
+    const std::size_t idx = local_alloc_cursor_++;
+    auto& allocs = gs_->allocs;
+    const std::size_t bytes = n * sizeof(T);
+    if (idx == allocs.size()) {
+      std::size_t offset = (gs_->arena_used + 15) & ~std::size_t{15};
+      if (offset + bytes > gs_->arena.size()) {
+        throw KernelFault("local_array: LDS budget exceeded");
+      }
+      allocs.push_back({offset, bytes});
+      gs_->arena_used = offset + bytes;
+    } else if (allocs[idx].bytes != bytes) {
+      throw KernelFault("local_array: inconsistent allocation across items");
+    }
+    return LocalPtr<T>(reinterpret_cast<T*>(gs_->arena.data() +
+                                            allocs[idx].offset),
+                       n, gs_);
+  }
+
+ private:
+  friend class Engine;
+  friend struct detail::WorkItemInit;
+
+  detail::GroupState* gs_ = nullptr;
+  Fiber* fiber_ = nullptr;  // null in the barrier-free fast path
+  int local_id_x_ = 0, local_id_y_ = 0;
+  int group_id_x_ = 0, group_id_y_ = 0;
+  int local_size_x_ = 1, local_size_y_ = 1;
+  int num_groups_x_ = 1, num_groups_y_ = 1;
+  std::size_t local_alloc_cursor_ = 0;
+};
+
+/// A compiled kernel: name (for profiling), execution attributes and body.
+struct Kernel {
+  std::string name;
+  /// Must be true for kernels that call WorkItem::barrier(); selects the
+  /// fiber scheduler instead of the fast sequential item loop.
+  bool uses_barriers = false;
+  /// ALU multiplier applied to divergent work-items (border kernels).
+  double divergence_factor = 1.0;
+  std::function<void(WorkItem&)> body;
+};
+
+}  // namespace simcl

@@ -1,0 +1,48 @@
+// Launch geometry: global NDRange and work-group ("local") size, 1-D or
+// 2-D, matching clEnqueueNDRangeKernel semantics (global size must be a
+// multiple of the local size in each dimension).
+#pragma once
+
+#include <cstddef>
+
+#include "simcl/error.hpp"
+
+namespace simcl {
+
+struct NDRange {
+  std::size_t x = 1;
+  std::size_t y = 1;
+
+  constexpr NDRange() = default;
+  constexpr explicit NDRange(std::size_t x_) : x(x_), y(1) {}
+  constexpr NDRange(std::size_t x_, std::size_t y_) : x(x_), y(y_) {}
+
+  [[nodiscard]] constexpr std::size_t count() const { return x * y; }
+};
+
+struct LaunchConfig {
+  NDRange global;
+  NDRange local;
+
+  void validate(int max_workgroup_size) const {
+    if (global.count() == 0 || local.count() == 0) {
+      throw InvalidLaunch("LaunchConfig: empty NDRange");
+    }
+    if (global.x % local.x != 0 || global.y % local.y != 0) {
+      throw InvalidLaunch(
+          "LaunchConfig: global size not divisible by local size");
+    }
+    if (local.count() > static_cast<std::size_t>(max_workgroup_size)) {
+      throw InvalidLaunch(
+          "LaunchConfig: work-group exceeds device maximum");
+    }
+  }
+
+  [[nodiscard]] std::size_t num_groups_x() const { return global.x / local.x; }
+  [[nodiscard]] std::size_t num_groups_y() const { return global.y / local.y; }
+  [[nodiscard]] std::size_t num_groups() const {
+    return num_groups_x() * num_groups_y();
+  }
+};
+
+}  // namespace simcl

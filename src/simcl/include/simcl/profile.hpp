@@ -1,0 +1,40 @@
+// Event-log analysis: aggregates a CommandQueue's event trace into
+// per-name and per-phase summaries. Used by the Fig. 13 breakdown bench,
+// the profile_pipeline example, and tests asserting timeline invariants.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "simcl/queue.hpp"
+
+namespace simcl::profile {
+
+struct Line {
+  std::string key;          ///< kernel/command name or phase label
+  int count = 0;            ///< occurrences
+  double total_us = 0.0;
+  KernelStats stats;        ///< summed over kernel events only
+};
+
+/// One line per distinct event name, in first-appearance order.
+[[nodiscard]] std::vector<Line> by_name(const std::vector<Event>& events);
+
+/// One line per distinct phase label, in first-appearance order.
+[[nodiscard]] std::vector<Line> by_phase(const std::vector<Event>& events);
+
+/// Sum of all event durations (== the queue timeline when the log is
+/// complete and gap-free).
+[[nodiscard]] double total_us(const std::vector<Event>& events);
+
+/// Total bytes moved over the host link (reads + writes + rects +
+/// map/unmap traffic).
+[[nodiscard]] std::size_t transferred_bytes(const std::vector<Event>& events);
+
+/// Verifies the in-order-queue invariant: events abut (each starts where
+/// the previous ended) and never run backwards. Returns false on any gap
+/// or overlap beyond `tolerance_us`.
+[[nodiscard]] bool timeline_consistent(const std::vector<Event>& events,
+                                       double tolerance_us = 1e-9);
+
+}  // namespace simcl::profile

@@ -1,0 +1,226 @@
+// Context and in-order CommandQueue: the host-facing half of simcl,
+// mirroring the OpenCL host API the paper's implementation is built on.
+//
+// Commands execute immediately (functional simulation) while a simulated
+// device timeline advances by the cost model's duration for each command.
+// Every command records an Event carrying profiling data, so pipelines can
+// report per-stage time exactly the way Fig. 13 of the paper does.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "simcl/buffer.hpp"
+#include "simcl/cost_model.hpp"
+#include "simcl/device.hpp"
+#include "simcl/engine.hpp"
+#include "simcl/image2d.hpp"
+#include "simcl/kernel.hpp"
+#include "simcl/ndrange.hpp"
+
+namespace simcl {
+
+enum class CommandKind {
+  kWrite,
+  kRead,
+  kWriteRect,
+  kCopy,
+  kFill,
+  kMap,
+  kUnmap,
+  kKernel,
+  kHostWork,
+  kFinish,
+};
+
+[[nodiscard]] const char* to_string(CommandKind kind);
+
+/// Queue scheduling discipline. In-order queues execute commands back to
+/// back (the paper's setting — its §V.F optimization relies on exactly
+/// this). Out-of-order queues schedule each command onto its hardware
+/// lane (compute engine, H2D DMA, D2H DMA, host) as soon as its explicit
+/// event dependencies allow, which models OpenCL's
+/// CL_QUEUE_OUT_OF_ORDER_EXEC_MODE_ENABLE and lets transfers overlap
+/// kernels (see bench_ext_overlap).
+enum class QueueMode { kInOrder, kOutOfOrder };
+
+using EventId = std::uint32_t;
+/// Event ids a command must wait for (cl_event wait list analogue).
+using WaitList = std::vector<EventId>;
+
+/// Profiling record of one executed command (cl_event analogue).
+struct Event {
+  EventId id = 0;
+  std::string name;
+  std::string phase;  ///< pipeline stage label active when enqueued
+  CommandKind kind = CommandKind::kKernel;
+  double start_us = 0.0;
+  double end_us = 0.0;
+  std::size_t bytes = 0;          ///< transfers only
+  KernelStats stats;              ///< kernels only
+
+  [[nodiscard]] double duration_us() const { return end_us - start_us; }
+};
+
+/// Owns the device model and allocates buffers with unique device
+/// addresses (cl_context analogue).
+class Context {
+ public:
+  explicit Context(DeviceSpec device, DeviceSpec host = intel_core_i5_3470(),
+                   int num_threads = 1);
+
+  [[nodiscard]] Buffer create_buffer(std::string name, std::size_t bytes);
+  [[nodiscard]] Image2D create_image2d(std::string name,
+                                       ChannelFormat format, int width,
+                                       int height);
+
+  [[nodiscard]] const DeviceSpec& device() const { return cost_.device(); }
+  [[nodiscard]] const DeviceSpec& host() const { return cost_.host(); }
+  [[nodiscard]] const CostModel& cost_model() const { return cost_; }
+  [[nodiscard]] Engine& engine() { return engine_; }
+
+ private:
+  CostModel cost_;
+  Engine engine_;
+  std::uint64_t next_device_addr_ = 0x1000;
+};
+
+/// Geometry of a clEnqueueWriteBufferRect-style transfer: `rows` rows of
+/// `row_bytes` each, gathered from a strided host region and scattered to a
+/// strided buffer region. Pitches are in bytes and must be >= row_bytes.
+struct RectRegion {
+  std::size_t row_bytes = 0;
+  std::size_t rows = 0;
+  std::size_t buffer_offset = 0;     ///< byte offset of the first row
+  std::size_t buffer_row_pitch = 0;
+  std::size_t host_offset = 0;
+  std::size_t host_row_pitch = 0;
+};
+
+enum class MapMode { kRead, kWrite, kReadWrite };
+
+class CommandQueue;
+
+/// RAII mapping of a buffer region into host address space. Unmaps (and
+/// charges the write-back cost) on destruction or explicit unmap().
+class Mapping {
+ public:
+  Mapping(Mapping&& o) noexcept;
+  Mapping& operator=(Mapping&&) = delete;
+  Mapping(const Mapping&) = delete;
+  Mapping& operator=(const Mapping&) = delete;
+  ~Mapping();
+
+  [[nodiscard]] std::byte* data() const { return data_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  template <typename T>
+  [[nodiscard]] std::span<T> as() const {
+    return {reinterpret_cast<T*>(data_), size_ / sizeof(T)};
+  }
+
+  void unmap();
+
+ private:
+  friend class CommandQueue;
+  Mapping(CommandQueue* queue, std::byte* data, std::size_t size,
+          MapMode mode);
+
+  CommandQueue* queue_;
+  std::byte* data_;
+  std::size_t size_;
+  MapMode mode_;
+};
+
+/// Command queue with a simulated device timeline (in-order by default;
+/// see QueueMode). Every enqueue accepts an optional wait list; wait
+/// lists only influence scheduling in out-of-order mode, exactly like
+/// cl_event wait lists on an in-order cl_command_queue.
+class CommandQueue {
+ public:
+  explicit CommandQueue(Context& ctx, QueueMode mode = QueueMode::kInOrder);
+
+  // --- transfers -----------------------------------------------------------
+  Event enqueue_write(Buffer& dst, const void* src, std::size_t bytes,
+                      std::size_t offset = 0, const WaitList& waits = {});
+  Event enqueue_read(const Buffer& src, void* dst, std::size_t bytes,
+                     std::size_t offset = 0, const WaitList& waits = {});
+  /// The clEnqueueWriteBufferRect analogue: performs padding-on-transfer.
+  Event enqueue_write_rect(Buffer& dst, const void* src,
+                           const RectRegion& region,
+                           const WaitList& waits = {});
+  /// clEnqueueReadBufferRect: gathers a strided buffer region into a
+  /// strided host region (same geometry conventions as the write form,
+  /// with `host_*` describing the destination).
+  Event enqueue_read_rect(const Buffer& src, void* dst,
+                          const RectRegion& region,
+                          const WaitList& waits = {});
+  /// clEnqueueCopyBuffer: device-to-device copy, charged at device DRAM
+  /// bandwidth (no PCIe involved).
+  Event enqueue_copy(const Buffer& src, Buffer& dst, std::size_t bytes,
+                     std::size_t src_offset = 0, std::size_t dst_offset = 0,
+                     const WaitList& waits = {});
+  /// clEnqueueFillBuffer: fills a region with a repeated pattern.
+  Event enqueue_fill(Buffer& dst, const void* pattern,
+                     std::size_t pattern_bytes, std::size_t offset,
+                     std::size_t bytes, const WaitList& waits = {});
+  /// clEnqueueWriteImage / clEnqueueReadImage (full image, tightly packed
+  /// host layout).
+  Event enqueue_write_image(Image2D& dst, const void* src,
+                            const WaitList& waits = {});
+  Event enqueue_read_image(const Image2D& src, void* dst,
+                           const WaitList& waits = {});
+  /// Maps a buffer region. kRead/kReadWrite charge the transfer now;
+  /// kWrite/kReadWrite charge again at unmap time.
+  [[nodiscard]] Mapping map(Buffer& buf, MapMode mode, std::size_t offset,
+                            std::size_t bytes);
+
+  // --- execution -------------------------------------------------------------
+  Event enqueue_kernel(const Kernel& kernel, const LaunchConfig& cfg,
+                       const WaitList& waits = {});
+  /// Charges host-side (CPU) computation into the pipeline timeline.
+  Event host_work(std::string name, const HostWork& work,
+                  const WaitList& waits = {});
+  /// Charges a host-side memcpy (e.g. padding the image on the CPU).
+  Event host_memcpy(std::string name, std::size_t bytes,
+                    const WaitList& waits = {});
+
+  // --- synchronization & profiling -----------------------------------------
+  /// clFinish: host/device sync with its fixed overhead. In out-of-order
+  /// mode this is a full barrier across all hardware lanes. Returns the
+  /// timeline after the sync.
+  double finish();
+  [[nodiscard]] double timeline_us() const { return timeline_us_; }
+  [[nodiscard]] const std::vector<Event>& events() const { return events_; }
+  [[nodiscard]] QueueMode mode() const { return mode_; }
+  void reset();
+
+  /// Stage label recorded into subsequent events (Fig. 13 breakdowns).
+  void set_phase(std::string phase) { phase_ = std::move(phase); }
+  [[nodiscard]] const std::string& phase() const { return phase_; }
+
+  [[nodiscard]] Context& context() { return *ctx_; }
+
+ private:
+  friend class Mapping;
+  void unmap_internal(std::byte* data, std::size_t size, MapMode mode);
+  Event& push_event(std::string name, CommandKind kind, double duration_us,
+                    const WaitList& waits = {});
+
+  /// Hardware lanes an out-of-order queue schedules onto.
+  enum Lane : std::size_t { kLaneCompute, kLaneH2D, kLaneD2H, kLaneHost,
+                            kLaneCount };
+  static Lane lane_of(CommandKind kind);
+
+  Context* ctx_;
+  QueueMode mode_;
+  double timeline_us_ = 0.0;
+  double lane_avail_[kLaneCount] = {0.0, 0.0, 0.0, 0.0};
+  std::string phase_;
+  std::vector<Event> events_;
+};
+
+}  // namespace simcl

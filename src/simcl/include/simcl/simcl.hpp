@@ -1,0 +1,20 @@
+// Umbrella header for the simcl runtime: a software OpenCL-style GPU
+// simulator (functional execution + calibrated timing model). See
+// DESIGN.md §2 and §6 for how this substitutes for the AMD FirePro W8000
+// used by the paper.
+#pragma once
+
+#include "simcl/buffer.hpp"     // IWYU pragma: export
+#include "simcl/cache_sim.hpp"  // IWYU pragma: export
+#include "simcl/cost_model.hpp" // IWYU pragma: export
+#include "simcl/device.hpp"     // IWYU pragma: export
+#include "simcl/engine.hpp"     // IWYU pragma: export
+#include "simcl/error.hpp"      // IWYU pragma: export
+#include "simcl/fiber.hpp"      // IWYU pragma: export
+#include "simcl/image2d.hpp"    // IWYU pragma: export
+#include "simcl/kernel.hpp"     // IWYU pragma: export
+#include "simcl/profile.hpp"    // IWYU pragma: export
+#include "simcl/ndrange.hpp"    // IWYU pragma: export
+#include "simcl/queue.hpp"      // IWYU pragma: export
+#include "simcl/stats.hpp"      // IWYU pragma: export
+#include "simcl/vec.hpp"        // IWYU pragma: export

@@ -1,0 +1,55 @@
+// Execution statistics accumulated while a kernel runs. These are the
+// inputs to the CostModel; they are also exposed through Event profiling so
+// tests can assert on the memory behaviour of a kernel (e.g. "the vec4
+// Sobel issues ~4.5 loads per output instead of 8").
+#pragma once
+
+#include <cstdint>
+
+namespace simcl {
+
+struct KernelStats {
+  std::uint64_t work_items = 0;
+  std::uint64_t work_groups = 0;
+  /// ALU operations reported by kernels via ctx.alu(n).
+  std::uint64_t alu_ops = 0;
+  /// Global-memory issue slots (one per load/store call; a vload4 is one).
+  std::uint64_t global_loads = 0;
+  std::uint64_t global_stores = 0;
+  std::uint64_t global_load_bytes = 0;
+  std::uint64_t global_store_bytes = 0;
+  /// Cache-line misses from the per-group L1 model = DRAM transactions.
+  std::uint64_t l1_miss_lines = 0;
+  /// Local (LDS) issue slots.
+  std::uint64_t local_accesses = 0;
+  std::uint64_t local_bytes = 0;
+  /// Work-group barrier events (counted once per group per barrier).
+  std::uint64_t barrier_events = 0;
+  /// Work-items that flagged themselves divergent via ctx.divergent().
+  std::uint64_t divergent_items = 0;
+  /// Atomic read-modify-write operations on global memory.
+  std::uint64_t atomic_ops = 0;
+
+  KernelStats& operator+=(const KernelStats& o) {
+    work_items += o.work_items;
+    work_groups += o.work_groups;
+    alu_ops += o.alu_ops;
+    global_loads += o.global_loads;
+    global_stores += o.global_stores;
+    global_load_bytes += o.global_load_bytes;
+    global_store_bytes += o.global_store_bytes;
+    l1_miss_lines += o.l1_miss_lines;
+    local_accesses += o.local_accesses;
+    local_bytes += o.local_bytes;
+    barrier_events += o.barrier_events;
+    divergent_items += o.divergent_items;
+    atomic_ops += o.atomic_ops;
+    return *this;
+  }
+
+  [[nodiscard]] std::uint64_t global_accesses() const {
+    return global_loads + global_stores;
+  }
+};
+
+}  // namespace simcl

@@ -1,0 +1,114 @@
+// OpenCL-style short vector types (float4, int4, ...) used by vectorized
+// kernels. These are plain value types; memory-transaction accounting
+// happens in the accessors (GlobalPtr::vload4/vstore4), mirroring how
+// `vload4`/`vstore4` are single wide accesses on real hardware.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace simcl {
+
+template <typename T>
+struct Vec4 {
+  T x{}, y{}, z{}, w{};
+
+  constexpr Vec4() = default;
+  constexpr Vec4(T xx, T yy, T zz, T ww) : x(xx), y(yy), z(zz), w(ww) {}
+  constexpr explicit Vec4(T splat) : x(splat), y(splat), z(splat), w(splat) {}
+
+  constexpr T& operator[](int i) { return (&x)[i]; }
+  constexpr const T& operator[](int i) const { return (&x)[i]; }
+
+  friend constexpr Vec4 operator+(Vec4 a, Vec4 b) {
+    return {static_cast<T>(a.x + b.x), static_cast<T>(a.y + b.y),
+            static_cast<T>(a.z + b.z), static_cast<T>(a.w + b.w)};
+  }
+  friend constexpr Vec4 operator-(Vec4 a, Vec4 b) {
+    return {static_cast<T>(a.x - b.x), static_cast<T>(a.y - b.y),
+            static_cast<T>(a.z - b.z), static_cast<T>(a.w - b.w)};
+  }
+  friend constexpr Vec4 operator*(Vec4 a, Vec4 b) {
+    return {static_cast<T>(a.x * b.x), static_cast<T>(a.y * b.y),
+            static_cast<T>(a.z * b.z), static_cast<T>(a.w * b.w)};
+  }
+  friend constexpr Vec4 operator*(Vec4 a, T s) {
+    return {static_cast<T>(a.x * s), static_cast<T>(a.y * s),
+            static_cast<T>(a.z * s), static_cast<T>(a.w * s)};
+  }
+  friend constexpr Vec4 operator*(T s, Vec4 a) { return a * s; }
+  friend constexpr bool operator==(const Vec4& a, const Vec4& b) {
+    return a.x == b.x && a.y == b.y && a.z == b.z && a.w == b.w;
+  }
+
+  Vec4& operator+=(Vec4 b) { return *this = *this + b; }
+};
+
+using float4 = Vec4<float>;
+using int4 = Vec4<std::int32_t>;
+using uchar4 = Vec4<std::uint8_t>;
+
+/// Element-wise conversion, e.g. convert_float4(uchar4) as in OpenCL C.
+template <typename Dst, typename Src>
+constexpr Vec4<Dst> convert4(Vec4<Src> v) {
+  return {static_cast<Dst>(v.x), static_cast<Dst>(v.y), static_cast<Dst>(v.z),
+          static_cast<Dst>(v.w)};
+}
+
+// ---------------------------------------------------------------------------
+// OpenCL built-in function analogues. Kernels use these instead of hand
+// written expressions; the paper's "Build-in Function" optimization toggles
+// whether the pipeline uses them (modeled as an ALU-cost discount) — the
+// *results* are identical either way.
+// ---------------------------------------------------------------------------
+
+template <typename T>
+constexpr T cl_clamp(T v, T lo, T hi) {
+  return std::min(std::max(v, lo), hi);
+}
+
+template <typename T>
+constexpr Vec4<T> cl_clamp(Vec4<T> v, T lo, T hi) {
+  return {cl_clamp(v.x, lo, hi), cl_clamp(v.y, lo, hi), cl_clamp(v.z, lo, hi),
+          cl_clamp(v.w, lo, hi)};
+}
+
+/// mad(a, b, c) = a*b + c (fused on hardware; plain here for bit-stable
+/// float results that match the scalar reference exactly).
+template <typename T>
+constexpr T cl_mad(T a, T b, T c) {
+  return a * b + c;
+}
+
+template <typename T>
+constexpr Vec4<T> cl_mad(Vec4<T> a, Vec4<T> b, Vec4<T> c) {
+  return a * b + c;
+}
+
+/// select(a, b, c): c ? b : a, per OpenCL semantics.
+template <typename T>
+constexpr T cl_select(T a, T b, bool c) {
+  return c ? b : a;
+}
+
+template <typename T>
+constexpr Vec4<T> cl_abs(Vec4<T> v) {
+  using std::abs;
+  return {static_cast<T>(abs(v.x)), static_cast<T>(abs(v.y)),
+          static_cast<T>(abs(v.z)), static_cast<T>(abs(v.w))};
+}
+
+template <typename T>
+constexpr Vec4<T> cl_max(Vec4<T> a, Vec4<T> b) {
+  return {std::max(a.x, b.x), std::max(a.y, b.y), std::max(a.z, b.z),
+          std::max(a.w, b.w)};
+}
+
+template <typename T>
+constexpr Vec4<T> cl_min(Vec4<T> a, Vec4<T> b) {
+  return {std::min(a.x, b.x), std::min(a.y, b.y), std::min(a.z, b.z),
+          std::min(a.w, b.w)};
+}
+
+}  // namespace simcl

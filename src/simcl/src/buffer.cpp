@@ -1,0 +1,13 @@
+#include "simcl/buffer.hpp"
+
+namespace simcl {
+
+Buffer::Buffer(std::string name, std::size_t size, std::uint64_t device_addr)
+    : name_(std::move(name)), device_addr_(device_addr) {
+  if (size == 0) {
+    throw InvalidArgument("Buffer: zero-sized allocation");
+  }
+  bytes_.resize(size);
+}
+
+}  // namespace simcl

@@ -1,0 +1,58 @@
+#include "simcl/cache_sim.hpp"
+
+#include <bit>
+
+namespace simcl {
+
+LineCacheSim::LineCacheSim(std::size_t capacity_bytes, std::size_t line_bytes,
+                           std::size_t ways)
+    : line_bytes_(line_bytes), ways_(ways) {
+  if (!std::has_single_bit(capacity_bytes) ||
+      !std::has_single_bit(line_bytes) || !std::has_single_bit(ways) ||
+      line_bytes == 0 || capacity_bytes < line_bytes * ways) {
+    throw InvalidArgument("LineCacheSim: sizes must be powers of two");
+  }
+  line_shift_ = static_cast<std::size_t>(std::countr_zero(line_bytes));
+  const std::size_t sets = capacity_bytes / line_bytes / ways;
+  set_mask_ = sets - 1;
+  tags_.resize(sets * ways);
+}
+
+void LineCacheSim::reset() { ++generation_; }
+
+std::uint32_t LineCacheSim::access(std::uint64_t addr, std::uint32_t size) {
+  if (size == 0) {
+    return 0;
+  }
+  const std::uint64_t first = addr >> line_shift_;
+  const std::uint64_t last = (addr + size - 1) >> line_shift_;
+  std::uint32_t misses = 0;
+  for (std::uint64_t line = first; line <= last; ++line) {
+    Slot* set =
+        &tags_[(static_cast<std::size_t>(line) & set_mask_) * ways_];
+    bool hit = false;
+    for (std::size_t way = 0; way < ways_; ++way) {
+      if (set[way].generation == generation_ && set[way].tag == line) {
+        // Move-to-front LRU within the set.
+        const Slot found = set[way];
+        for (std::size_t k = way; k > 0; --k) {
+          set[k] = set[k - 1];
+        }
+        set[0] = found;
+        hit = true;
+        break;
+      }
+    }
+    if (!hit) {
+      ++misses;
+      // Insert at MRU position, evicting the LRU way.
+      for (std::size_t k = ways_ - 1; k > 0; --k) {
+        set[k] = set[k - 1];
+      }
+      set[0] = {line, generation_};
+    }
+  }
+  return misses;
+}
+
+}  // namespace simcl

@@ -1,0 +1,89 @@
+#include "simcl/cost_model.hpp"
+
+#include <algorithm>
+
+namespace simcl {
+
+CostModel::CostModel(DeviceSpec device, DeviceSpec host)
+    : device_(std::move(device)), host_(std::move(host)) {}
+
+double CostModel::kernel_time_us(const KernelStats& stats,
+                                 double divergence_factor) const {
+  const DeviceSpec& d = device_;
+
+  // Divergent items re-execute both sides of their branches: their ALU
+  // contribution is scaled by divergence_factor.
+  const double items_per_group =
+      stats.work_groups > 0
+          ? static_cast<double>(stats.work_items) /
+                static_cast<double>(stats.work_groups)
+          : 0.0;
+  double alu = static_cast<double>(stats.alu_ops);
+  if (divergence_factor > 1.0 && stats.divergent_items > 0 &&
+      stats.work_items > 0) {
+    const double frac = static_cast<double>(stats.divergent_items) /
+                        static_cast<double>(stats.work_items);
+    alu *= 1.0 + frac * (divergence_factor - 1.0);
+  }
+  // Atomics serialize on the memory system; charge them as expensive
+  // issue slots (RMW ~ 8x a plain access).
+  const double issue_slots =
+      static_cast<double>(stats.global_accesses()) +
+      8.0 * static_cast<double>(stats.atomic_ops);
+
+  const double dram_bytes = static_cast<double>(stats.l1_miss_lines) *
+                            static_cast<double>(d.cache_line_bytes);
+
+  const double t_alu = alu / d.alu_ops_per_us();
+  const double t_dram = dram_bytes / d.mem_bytes_per_us();
+  const double t_issue = issue_slots / d.global_accesses_per_us();
+  const double t_lds =
+      static_cast<double>(stats.local_accesses) / d.local_accesses_per_us();
+
+  const double t_exec = std::max({t_alu, t_dram, t_issue, t_lds});
+  // Barriers are stall latency, not overlappable throughput: every lane of
+  // the group idles for ~barrier_ops_equiv operations per barrier event,
+  // on top of whichever resource bound the kernel. This additive term is
+  // what separates the Fig. 15 unrolling variants.
+  const double t_barrier = static_cast<double>(stats.barrier_events) *
+                           items_per_group * d.barrier_ops_equiv /
+                           d.alu_ops_per_us();
+  // Branch-heavy kernels (the ones flagging divergent items) additionally
+  // pay a flat scheduling/serialization overhead; see DeviceSpec.
+  const double t_divergent =
+      stats.divergent_items > 0 ? d.divergent_kernel_overhead_us : 0.0;
+  // Contending atomics serialize on the memory system.
+  const double t_atomic = static_cast<double>(stats.atomic_ops) *
+                          d.atomic_serialization_ns * 1e-3;
+  return d.kernel_launch_us + t_exec + t_barrier + t_divergent + t_atomic;
+}
+
+double CostModel::bulk_transfer_us(std::size_t bytes) const {
+  const HostLinkSpec& l = device_.link;
+  return l.readwrite_latency_us +
+         static_cast<double>(bytes) / (l.readwrite_gbps * 1e3);
+}
+
+double CostModel::rect_transfer_us(std::size_t bytes, std::size_t rows) const {
+  const HostLinkSpec& l = device_.link;
+  return bulk_transfer_us(bytes) +
+         static_cast<double>(rows) * l.rect_row_overhead_us;
+}
+
+double CostModel::mapped_transfer_us(std::size_t bytes) const {
+  const HostLinkSpec& l = device_.link;
+  return l.map_latency_us + static_cast<double>(bytes) / (l.map_gbps * 1e3);
+}
+
+double CostModel::host_compute_us(const HostWork& work) const {
+  const double t_alu = work.flops / host_.alu_ops_per_us();
+  const double t_mem = work.bytes / host_.mem_bytes_per_us();
+  return work.fixed_us + std::max(t_alu, t_mem);
+}
+
+double CostModel::host_memcpy_us(std::size_t bytes) const {
+  return static_cast<double>(bytes) /
+         (device_.link.host_memcpy_gbps * 1e3);
+}
+
+}  // namespace simcl

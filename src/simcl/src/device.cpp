@@ -1,0 +1,54 @@
+#include "simcl/device.hpp"
+
+namespace simcl {
+
+DeviceSpec amd_firepro_w8000() {
+  DeviceSpec d;
+  d.name = "AMD FirePro W8000 (simulated)";
+  d.is_cpu = false;
+  d.clock_ghz = 0.88;
+  d.compute_units = 28;  // 1792 lanes / 64 lanes per CU
+  d.lanes = 1792;
+  d.peak_gflops = 3230.0;  // 3.23 TFLOPS
+  d.mem_bandwidth_gbps = 176.0;
+  d.wavefront_size = 64;
+  d.max_workgroup_size = 256;
+  d.local_mem_bytes = 32 * 1024;
+  // Calibration defaults are in the struct definition; they were tuned so
+  // that the seven reproduced experiments match the paper's shapes (see
+  // EXPERIMENTS.md for the resulting numbers).
+  return d;
+}
+
+DeviceSpec intel_core_i5_3470() {
+  DeviceSpec d;
+  d.name = "Intel Core i5-3470 (modeled)";
+  d.is_cpu = true;
+  d.clock_ghz = 3.2;
+  d.compute_units = 4;
+  d.lanes = 4;
+  d.peak_gflops = 57.76;
+  d.mem_bandwidth_gbps = 25.0;
+  d.wavefront_size = 1;
+  d.max_workgroup_size = 1;
+  d.local_mem_bytes = 0;
+  // The paper's baseline is "carefully optimized, including using -O3":
+  // compiler-optimized scalar code on one core, not hand-vectorized
+  // OpenMP. One core of four with no SSE width is ~1/16 of the Table I
+  // peak, and the hot loops (powf, branchy clamping) run well under 1
+  // useful op/cycle => ~5% of peak (2.9 GFLOPS) and ~20% of the
+  // four-channel bandwidth (5 GB/s single-core). These are the values
+  // that reconcile the paper's 35-69x speedups with the physical PCIe
+  // floor of the GPU pipeline (see EXPERIMENTS.md).
+  d.alu_efficiency = 0.05;
+  d.mem_efficiency = 0.20;
+  // Irrelevant on a CPU device; set to neutral values.
+  d.global_access_rate_gops = 1e9;
+  d.local_access_rate_gops = 1e9;
+  d.kernel_launch_us = 0.0;
+  d.barrier_ops_equiv = 0.0;
+  d.clfinish_us = 0.0;
+  return d;
+}
+
+}  // namespace simcl

@@ -1,0 +1,227 @@
+#include "simcl/engine.hpp"
+
+#include <exception>
+#include <thread>
+#include <vector>
+
+#include "simcl/fiber.hpp"
+
+namespace simcl {
+
+void WorkItem::barrier() {
+  if (fiber_ == nullptr) {
+    throw KernelFault(
+        "barrier() called in a kernel not declared uses_barriers");
+  }
+  // Counted once per group (not once per item): lane 0 is the scribe.
+  if (flat_local_id() == 0) {
+    gs_->stats.barrier_events += 1;
+  }
+  fiber_->yield();
+}
+
+void WorkItem::wavefront_fence() {
+  if (fiber_ == nullptr) {
+    throw KernelFault(
+        "wavefront_fence() called in a kernel not declared uses_barriers");
+  }
+  fiber_->yield();
+}
+
+namespace detail {
+
+struct WorkItemInit {
+  static void set(WorkItem& it, GroupState* gs, Fiber* fiber, int lx, int ly,
+                  int gx, int gy, int lsx, int lsy, int ngx, int ngy) {
+    it.gs_ = gs;
+    it.fiber_ = fiber;
+    it.local_id_x_ = lx;
+    it.local_id_y_ = ly;
+    it.group_id_x_ = gx;
+    it.group_id_y_ = gy;
+    it.local_size_x_ = lsx;
+    it.local_size_y_ = lsy;
+    it.num_groups_x_ = ngx;
+    it.num_groups_y_ = ngy;
+    it.local_alloc_cursor_ = 0;
+  }
+};
+
+}  // namespace detail
+
+namespace {
+
+/// Everything one work-item needs while scheduled on a fiber.
+struct FiberRunner {
+  const Kernel* kernel = nullptr;
+  WorkItem item;
+  Fiber fiber;
+  std::exception_ptr error;
+};
+
+void fiber_entry(void* arg) {
+  auto* runner = static_cast<FiberRunner*>(arg);
+  try {
+    runner->kernel->body(runner->item);
+  } catch (...) {
+    runner->error = std::current_exception();
+  }
+}
+
+/// Per-thread execution scratch (group state, fibers, stacks) reused
+/// across all groups this thread executes.
+class GroupExecutor {
+ public:
+  GroupExecutor(const DeviceSpec& spec, const Kernel& kernel,
+                const LaunchConfig& cfg)
+      : spec_(spec),
+        kernel_(kernel),
+        cfg_(cfg),
+        gs_(spec.l1_bytes, static_cast<std::size_t>(spec.cache_line_bytes),
+            spec.local_mem_bytes == 0 ? 1 : spec.local_mem_bytes) {
+    if (kernel.uses_barriers) {
+      const std::size_t n = cfg.local.count();
+      stacks_ = std::make_unique<FiberStackPool>(n);
+      runners_.resize(n);
+    }
+  }
+
+  void run_group(std::size_t gx, std::size_t gy) {
+    gs_.begin_group();
+    gs_.stats.work_groups += 1;
+    gs_.stats.work_items += cfg_.local.count();
+    if (kernel_.uses_barriers) {
+      run_group_fibers(gx, gy);
+    } else {
+      run_group_plain(gx, gy);
+    }
+  }
+
+  [[nodiscard]] const KernelStats& stats() const { return gs_.stats; }
+
+ private:
+  void init_item(WorkItem& it, std::size_t gx, std::size_t gy,
+                 std::size_t lx, std::size_t ly, Fiber* fiber) {
+    detail::WorkItemInit::set(
+        it, &gs_, fiber, static_cast<int>(lx), static_cast<int>(ly),
+        static_cast<int>(gx), static_cast<int>(gy),
+        static_cast<int>(cfg_.local.x), static_cast<int>(cfg_.local.y),
+        static_cast<int>(cfg_.num_groups_x()),
+        static_cast<int>(cfg_.num_groups_y()));
+  }
+
+  void run_group_plain(std::size_t gx, std::size_t gy) {
+    WorkItem it;
+    for (std::size_t ly = 0; ly < cfg_.local.y; ++ly) {
+      for (std::size_t lx = 0; lx < cfg_.local.x; ++lx) {
+        init_item(it, gx, gy, lx, ly, nullptr);
+        kernel_.body(it);
+      }
+    }
+  }
+
+  void run_group_fibers(std::size_t gx, std::size_t gy) {
+    const std::size_t n = cfg_.local.count();
+    for (std::size_t i = 0; i < n; ++i) {
+      FiberRunner& r = runners_[i];
+      r.kernel = &kernel_;
+      r.error = nullptr;
+      const std::size_t lx = i % cfg_.local.x;
+      const std::size_t ly = i / cfg_.local.x;
+      init_item(r.item, gx, gy, lx, ly, &r.fiber);
+      r.fiber.reset(stacks_->stack(i), stacks_->stack_bytes(), &fiber_entry,
+                    &r);
+    }
+    std::size_t active = n;
+    while (active > 0) {
+      for (std::size_t i = 0; i < n; ++i) {
+        FiberRunner& r = runners_[i];
+        if (r.fiber.finished()) {
+          continue;
+        }
+        r.fiber.resume();
+        if (r.error != nullptr) {
+          // Abandon the remaining fibers: their (trivially destructible)
+          // stack contents are dropped and the stacks reused next group.
+          std::rethrow_exception(r.error);
+        }
+        if (r.fiber.finished()) {
+          --active;
+        }
+      }
+    }
+  }
+
+  const DeviceSpec& spec_;
+  const Kernel& kernel_;
+  const LaunchConfig& cfg_;
+  detail::GroupState gs_;
+  std::unique_ptr<FiberStackPool> stacks_;
+  std::vector<FiberRunner> runners_;
+};
+
+}  // namespace
+
+Engine::Engine(DeviceSpec spec, int num_threads)
+    : spec_(std::move(spec)),
+      num_threads_(num_threads > 0
+                       ? num_threads
+                       : static_cast<int>(std::thread::hardware_concurrency())) {
+  if (num_threads_ < 1) {
+    num_threads_ = 1;
+  }
+}
+
+KernelStats Engine::run(const Kernel& kernel, const LaunchConfig& cfg) {
+  if (!kernel.body) {
+    throw InvalidArgument("Engine::run: kernel has no body");
+  }
+  cfg.validate(spec_.max_workgroup_size);
+
+  const std::size_t ngx = cfg.num_groups_x();
+  const std::size_t ngy = cfg.num_groups_y();
+  const std::size_t ngroups = ngx * ngy;
+  const std::size_t threads =
+      std::min<std::size_t>(static_cast<std::size_t>(num_threads_), ngroups);
+
+  if (threads <= 1) {
+    GroupExecutor exec(spec_, kernel, cfg);
+    for (std::size_t g = 0; g < ngroups; ++g) {
+      exec.run_group(g % ngx, g / ngx);
+    }
+    return exec.stats();
+  }
+
+  std::vector<KernelStats> partial(threads);
+  std::vector<std::exception_ptr> errors(threads);
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      try {
+        GroupExecutor exec(spec_, kernel, cfg);
+        for (std::size_t g = t; g < ngroups; g += threads) {
+          exec.run_group(g % ngx, g / ngx);
+        }
+        partial[t] = exec.stats();
+      } catch (...) {
+        errors[t] = std::current_exception();
+      }
+    });
+  }
+  for (auto& th : pool) {
+    th.join();
+  }
+  for (const auto& e : errors) {
+    if (e != nullptr) {
+      std::rethrow_exception(e);
+    }
+  }
+  KernelStats total;
+  for (const auto& p : partial) {
+    total += p;
+  }
+  return total;
+}
+
+}  // namespace simcl

@@ -1,0 +1,161 @@
+#include "simcl/fiber.hpp"
+
+#include <cstring>
+
+#include "simcl/error.hpp"
+
+#if defined(SIMCL_ASM_FIBER)
+
+extern "C" {
+// Implemented in fiber_x86_64.S.
+void simcl_fiber_switch(void** save_sp, void* restore_sp);
+void simcl_fiber_boot();
+}
+
+namespace simcl {
+namespace {
+
+// Stack frame consumed by the pops + ret in simcl_fiber_switch when a fiber
+// runs for the first time: r15 r14 r13 r12 rbx rbp, then the return address
+// that lands in simcl_fiber_boot.
+struct BootFrame {
+  void* r15;
+  void* r14;
+  void* r13;  // argument, moved to rdi by simcl_fiber_boot
+  void* r12;  // entry function, called by simcl_fiber_boot
+  void* rbx;
+  void* rbp;
+  void* ret;  // = &simcl_fiber_boot
+};
+static_assert(sizeof(BootFrame) == 56);
+
+}  // namespace
+
+void Fiber::reset(void* stack, std::size_t stack_size, Entry entry,
+                  void* arg) {
+  if (stack == nullptr || stack_size < 4096) {
+    throw InvalidArgument("Fiber::reset: stack too small");
+  }
+  entry_ = entry;
+  arg_ = arg;
+  started_ = false;
+  finished_ = false;
+
+  auto top = reinterpret_cast<std::uintptr_t>(stack) + stack_size;
+  top &= ~std::uintptr_t{15};  // 16-byte align the logical stack top
+  // Placing the frame at top-56 leaves rsp % 16 == 0 at the `call` in
+  // simcl_fiber_boot, which is what the System V ABI requires.
+  auto* frame = reinterpret_cast<BootFrame*>(top - sizeof(BootFrame));
+  std::memset(frame, 0, sizeof(BootFrame));
+  frame->r13 = this;
+  frame->r12 = reinterpret_cast<void*>(&Fiber::trampoline);
+  frame->ret = reinterpret_cast<void*>(&simcl_fiber_boot);
+  fiber_sp_ = frame;
+}
+
+void Fiber::resume() {
+  if (finished_) {
+    throw KernelFault("Fiber::resume: fiber already finished");
+  }
+  started_ = true;
+  simcl_fiber_switch(&scheduler_sp_, fiber_sp_);
+}
+
+void Fiber::yield() { simcl_fiber_switch(&fiber_sp_, scheduler_sp_); }
+
+void Fiber::trampoline(void* self_ptr) {
+  auto* self = static_cast<Fiber*>(self_ptr);
+  self->entry_(self->arg_);
+  self->finished_ = true;
+  self->yield();
+  // Unreachable: a finished fiber is never resumed (enforced in resume()).
+}
+
+}  // namespace simcl
+
+#else  // portable ucontext backend
+
+#include <ucontext.h>
+
+namespace simcl {
+
+struct Fiber::UcontextState {
+  ucontext_t fiber_ctx;
+  ucontext_t sched_ctx;
+};
+
+namespace {
+
+void ucontext_entry(unsigned hi, unsigned lo) {
+  auto ptr = (static_cast<std::uintptr_t>(hi) << 32) |
+             static_cast<std::uintptr_t>(lo);
+  Fiber::trampoline(reinterpret_cast<void*>(ptr));
+}
+
+}  // namespace
+
+void Fiber::reset(void* stack, std::size_t stack_size, Entry entry,
+                  void* arg) {
+  if (stack == nullptr || stack_size < 4096) {
+    throw InvalidArgument("Fiber::reset: stack too small");
+  }
+  entry_ = entry;
+  arg_ = arg;
+  started_ = false;
+  finished_ = false;
+  if (!uctx_) {
+    uctx_ = std::make_unique<UcontextState>();
+  }
+  getcontext(&uctx_->fiber_ctx);
+  uctx_->fiber_ctx.uc_stack.ss_sp = stack;
+  uctx_->fiber_ctx.uc_stack.ss_size = stack_size;
+  uctx_->fiber_ctx.uc_link = nullptr;
+  const auto ptr = reinterpret_cast<std::uintptr_t>(this);
+  makecontext(&uctx_->fiber_ctx, reinterpret_cast<void (*)()>(ucontext_entry),
+              2, static_cast<unsigned>(ptr >> 32),
+              static_cast<unsigned>(ptr & 0xffffffffu));
+}
+
+void Fiber::resume() {
+  if (finished_) {
+    throw KernelFault("Fiber::resume: fiber already finished");
+  }
+  started_ = true;
+  swapcontext(&uctx_->sched_ctx, &uctx_->fiber_ctx);
+}
+
+void Fiber::yield() { swapcontext(&uctx_->fiber_ctx, &uctx_->sched_ctx); }
+
+void Fiber::trampoline(void* self_ptr) {
+  auto* self = static_cast<Fiber*>(self_ptr);
+  self->entry_(self->arg_);
+  self->finished_ = true;
+  self->yield();
+}
+
+}  // namespace simcl
+
+#endif
+
+namespace simcl {
+
+FiberStackPool::FiberStackPool(std::size_t stack_count,
+                               std::size_t stack_bytes)
+    : count_(stack_count), stack_bytes_(stack_bytes) {
+  if (stack_count == 0 || stack_bytes < 4096) {
+    throw InvalidArgument("FiberStackPool: invalid geometry");
+  }
+  storage_.resize(count_ * stack_bytes_ + 64);
+}
+
+void* FiberStackPool::stack(std::size_t i) {
+  if (i >= count_) {
+    throw InvalidArgument("FiberStackPool::stack: index out of range");
+  }
+  // 64-byte align each stack base.
+  auto base = reinterpret_cast<std::uintptr_t>(storage_.data());
+  base = (base + 63) & ~std::uintptr_t{63};
+  return reinterpret_cast<void*>(base + i * stack_bytes_);
+}
+
+}  // namespace simcl

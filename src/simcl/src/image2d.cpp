@@ -1,0 +1,19 @@
+#include "simcl/image2d.hpp"
+
+namespace simcl {
+
+Image2D::Image2D(std::string name, ChannelFormat format, int width,
+                 int height, std::uint64_t device_addr)
+    : name_(std::move(name)),
+      format_(format),
+      width_(width),
+      height_(height),
+      device_addr_(device_addr) {
+  if (width <= 0 || height <= 0) {
+    throw InvalidArgument("Image2D: non-positive dimensions");
+  }
+  bytes_.resize(static_cast<std::size_t>(width) *
+                static_cast<std::size_t>(height) * texel_bytes(format));
+}
+
+}  // namespace simcl

@@ -1,0 +1,78 @@
+#include "simcl/profile.hpp"
+
+#include <cmath>
+#include <map>
+
+namespace simcl::profile {
+namespace {
+
+std::vector<Line> aggregate(const std::vector<Event>& events,
+                            bool use_phase) {
+  std::vector<Line> lines;
+  std::map<std::string, std::size_t> index;
+  for (const Event& ev : events) {
+    const std::string& key = use_phase ? ev.phase : ev.name;
+    auto [it, inserted] = index.emplace(key, lines.size());
+    if (inserted) {
+      lines.push_back(Line{key, 0, 0.0, {}});
+    }
+    Line& line = lines[it->second];
+    line.count += 1;
+    line.total_us += ev.duration_us();
+    if (ev.kind == CommandKind::kKernel) {
+      line.stats += ev.stats;
+    }
+  }
+  return lines;
+}
+
+}  // namespace
+
+std::vector<Line> by_name(const std::vector<Event>& events) {
+  return aggregate(events, /*use_phase=*/false);
+}
+
+std::vector<Line> by_phase(const std::vector<Event>& events) {
+  return aggregate(events, /*use_phase=*/true);
+}
+
+double total_us(const std::vector<Event>& events) {
+  double acc = 0.0;
+  for (const Event& ev : events) {
+    acc += ev.duration_us();
+  }
+  return acc;
+}
+
+std::size_t transferred_bytes(const std::vector<Event>& events) {
+  std::size_t acc = 0;
+  for (const Event& ev : events) {
+    switch (ev.kind) {
+      case CommandKind::kRead:
+      case CommandKind::kWrite:
+      case CommandKind::kWriteRect:
+      case CommandKind::kMap:
+      case CommandKind::kUnmap:
+        acc += ev.bytes;
+        break;
+      default:
+        break;
+    }
+  }
+  return acc;
+}
+
+bool timeline_consistent(const std::vector<Event>& events,
+                         double tolerance_us) {
+  double prev_end = 0.0;
+  for (const Event& ev : events) {
+    if (ev.end_us < ev.start_us ||
+        std::abs(ev.start_us - prev_end) > tolerance_us) {
+      return false;
+    }
+    prev_end = ev.end_us;
+  }
+  return true;
+}
+
+}  // namespace simcl::profile

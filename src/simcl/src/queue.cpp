@@ -1,0 +1,340 @@
+#include "simcl/queue.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace simcl {
+
+const char* to_string(CommandKind kind) {
+  switch (kind) {
+    case CommandKind::kWrite: return "write";
+    case CommandKind::kRead: return "read";
+    case CommandKind::kWriteRect: return "write_rect";
+    case CommandKind::kCopy: return "copy";
+    case CommandKind::kFill: return "fill";
+    case CommandKind::kMap: return "map";
+    case CommandKind::kUnmap: return "unmap";
+    case CommandKind::kKernel: return "kernel";
+    case CommandKind::kHostWork: return "host";
+    case CommandKind::kFinish: return "finish";
+  }
+  return "?";
+}
+
+Context::Context(DeviceSpec device, DeviceSpec host, int num_threads)
+    : cost_(device, std::move(host)), engine_(std::move(device), num_threads) {}
+
+Buffer Context::create_buffer(std::string name, std::size_t bytes) {
+  // 4 KiB-align device addresses so buffers never share a cache line.
+  const std::uint64_t addr = next_device_addr_;
+  next_device_addr_ += (bytes + 4095) & ~std::uint64_t{4095};
+  return Buffer(std::move(name), bytes, addr);
+}
+
+Image2D Context::create_image2d(std::string name, ChannelFormat format,
+                                int width, int height) {
+  const std::size_t bytes = static_cast<std::size_t>(width) *
+                            static_cast<std::size_t>(height) *
+                            texel_bytes(format);
+  const std::uint64_t addr = next_device_addr_;
+  next_device_addr_ += (bytes + 4095) & ~std::uint64_t{4095};
+  return Image2D(std::move(name), format, width, height, addr);
+}
+
+Mapping::Mapping(CommandQueue* queue, std::byte* data, std::size_t size,
+                 MapMode mode)
+    : queue_(queue), data_(data), size_(size), mode_(mode) {}
+
+Mapping::Mapping(Mapping&& o) noexcept
+    : queue_(o.queue_), data_(o.data_), size_(o.size_), mode_(o.mode_) {
+  o.queue_ = nullptr;
+  o.data_ = nullptr;
+}
+
+Mapping::~Mapping() { unmap(); }
+
+void Mapping::unmap() {
+  if (queue_ != nullptr && data_ != nullptr) {
+    queue_->unmap_internal(data_, size_, mode_);
+    data_ = nullptr;
+    queue_ = nullptr;
+  }
+}
+
+CommandQueue::CommandQueue(Context& ctx, QueueMode mode)
+    : ctx_(&ctx), mode_(mode) {}
+
+CommandQueue::Lane CommandQueue::lane_of(CommandKind kind) {
+  switch (kind) {
+    case CommandKind::kWrite:
+    case CommandKind::kWriteRect:
+    case CommandKind::kUnmap:
+      return kLaneH2D;
+    case CommandKind::kRead:
+    case CommandKind::kMap:
+      return kLaneD2H;
+    case CommandKind::kHostWork:
+      return kLaneHost;
+    case CommandKind::kKernel:
+    case CommandKind::kCopy:
+    case CommandKind::kFill:
+    case CommandKind::kFinish:
+      return kLaneCompute;
+  }
+  return kLaneCompute;
+}
+
+Event& CommandQueue::push_event(std::string name, CommandKind kind,
+                                double duration_us, const WaitList& waits) {
+  Event ev;
+  ev.id = static_cast<EventId>(events_.size());
+  ev.name = std::move(name);
+  ev.phase = phase_;
+  ev.kind = kind;
+  if (mode_ == QueueMode::kInOrder) {
+    ev.start_us = timeline_us_;
+    ev.end_us = timeline_us_ + duration_us;
+    timeline_us_ = ev.end_us;
+  } else {
+    double ready = lane_avail_[lane_of(kind)];
+    for (const EventId dep : waits) {
+      if (dep >= events_.size()) {
+        throw InvalidArgument("wait list references an unknown event");
+      }
+      ready = std::max(ready, events_[dep].end_us);
+    }
+    ev.start_us = ready;
+    ev.end_us = ready + duration_us;
+    lane_avail_[lane_of(kind)] = ev.end_us;
+    timeline_us_ = std::max(timeline_us_, ev.end_us);
+  }
+  events_.push_back(std::move(ev));
+  return events_.back();
+}
+
+Event CommandQueue::enqueue_write(Buffer& dst, const void* src,
+                                  std::size_t bytes, std::size_t offset,
+                                  const WaitList& waits) {
+  if (src == nullptr || offset + bytes > dst.size()) {
+    throw InvalidArgument("enqueue_write: range out of bounds");
+  }
+  std::memcpy(dst.backing() + offset, src, bytes);
+  Event& ev = push_event("write:" + dst.name(), CommandKind::kWrite,
+                         ctx_->cost_model().bulk_transfer_us(bytes), waits);
+  ev.bytes = bytes;
+  return ev;
+}
+
+Event CommandQueue::enqueue_read(const Buffer& src, void* dst,
+                                 std::size_t bytes, std::size_t offset,
+                                 const WaitList& waits) {
+  if (dst == nullptr || offset + bytes > src.size()) {
+    throw InvalidArgument("enqueue_read: range out of bounds");
+  }
+  std::memcpy(dst, src.backing() + offset, bytes);
+  Event& ev = push_event("read:" + src.name(), CommandKind::kRead,
+                         ctx_->cost_model().bulk_transfer_us(bytes), waits);
+  ev.bytes = bytes;
+  return ev;
+}
+
+Event CommandQueue::enqueue_write_rect(Buffer& dst, const void* src,
+                                       const RectRegion& r,
+                                       const WaitList& waits) {
+  if (src == nullptr || r.row_bytes == 0 || r.rows == 0) {
+    throw InvalidArgument("enqueue_write_rect: empty region");
+  }
+  if (r.buffer_row_pitch < r.row_bytes || r.host_row_pitch < r.row_bytes) {
+    throw InvalidArgument("enqueue_write_rect: pitch smaller than row");
+  }
+  const std::size_t last_end =
+      r.buffer_offset + (r.rows - 1) * r.buffer_row_pitch + r.row_bytes;
+  if (last_end > dst.size()) {
+    throw InvalidArgument("enqueue_write_rect: buffer region out of bounds");
+  }
+  const auto* host = static_cast<const std::byte*>(src) + r.host_offset;
+  for (std::size_t row = 0; row < r.rows; ++row) {
+    std::memcpy(dst.backing() + r.buffer_offset + row * r.buffer_row_pitch,
+                host + row * r.host_row_pitch, r.row_bytes);
+  }
+  const std::size_t bytes = r.row_bytes * r.rows;
+  Event& ev = push_event("write_rect:" + dst.name(), CommandKind::kWriteRect,
+                         ctx_->cost_model().rect_transfer_us(bytes, r.rows),
+                         waits);
+  ev.bytes = bytes;
+  return ev;
+}
+
+Event CommandQueue::enqueue_read_rect(const Buffer& src, void* dst,
+                                      const RectRegion& r,
+                                      const WaitList& waits) {
+  if (dst == nullptr || r.row_bytes == 0 || r.rows == 0) {
+    throw InvalidArgument("enqueue_read_rect: empty region");
+  }
+  if (r.buffer_row_pitch < r.row_bytes || r.host_row_pitch < r.row_bytes) {
+    throw InvalidArgument("enqueue_read_rect: pitch smaller than row");
+  }
+  const std::size_t last_end =
+      r.buffer_offset + (r.rows - 1) * r.buffer_row_pitch + r.row_bytes;
+  if (last_end > src.size()) {
+    throw InvalidArgument("enqueue_read_rect: buffer region out of bounds");
+  }
+  auto* host = static_cast<std::byte*>(dst) + r.host_offset;
+  for (std::size_t row = 0; row < r.rows; ++row) {
+    std::memcpy(host + row * r.host_row_pitch,
+                src.backing() + r.buffer_offset + row * r.buffer_row_pitch,
+                r.row_bytes);
+  }
+  const std::size_t bytes = r.row_bytes * r.rows;
+  Event& ev = push_event("read_rect:" + src.name(), CommandKind::kRead,
+                         ctx_->cost_model().rect_transfer_us(bytes, r.rows),
+                         waits);
+  ev.bytes = bytes;
+  return ev;
+}
+
+Event CommandQueue::enqueue_copy(const Buffer& src, Buffer& dst,
+                                 std::size_t bytes, std::size_t src_offset,
+                                 std::size_t dst_offset,
+                                 const WaitList& waits) {
+  if (src_offset + bytes > src.size() || dst_offset + bytes > dst.size()) {
+    throw InvalidArgument("enqueue_copy: range out of bounds");
+  }
+  std::memmove(dst.backing() + dst_offset, src.backing() + src_offset,
+               bytes);
+  // Device-local copy: read + write through DRAM, no PCIe.
+  const double us = 2.0 * static_cast<double>(bytes) /
+                    ctx_->device().mem_bytes_per_us();
+  Event& ev = push_event("copy:" + src.name() + "->" + dst.name(),
+                         CommandKind::kCopy, us, waits);
+  ev.bytes = bytes;
+  return ev;
+}
+
+Event CommandQueue::enqueue_fill(Buffer& dst, const void* pattern,
+                                 std::size_t pattern_bytes,
+                                 std::size_t offset, std::size_t bytes,
+                                 const WaitList& waits) {
+  if (pattern == nullptr || pattern_bytes == 0 ||
+      bytes % pattern_bytes != 0 || offset + bytes > dst.size()) {
+    throw InvalidArgument("enqueue_fill: invalid pattern or range");
+  }
+  for (std::size_t i = 0; i < bytes; i += pattern_bytes) {
+    std::memcpy(dst.backing() + offset + i, pattern, pattern_bytes);
+  }
+  const double us =
+      static_cast<double>(bytes) / ctx_->device().mem_bytes_per_us();
+  Event& ev = push_event("fill:" + dst.name(), CommandKind::kFill, us, waits);
+  ev.bytes = bytes;
+  return ev;
+}
+
+Event CommandQueue::enqueue_write_image(Image2D& dst, const void* src,
+                                        const WaitList& waits) {
+  if (src == nullptr) {
+    throw InvalidArgument("enqueue_write_image: null source");
+  }
+  std::memcpy(dst.backing(), src, dst.byte_size());
+  Event& ev =
+      push_event("write_image:" + dst.name(), CommandKind::kWrite,
+                 ctx_->cost_model().bulk_transfer_us(dst.byte_size()), waits);
+  ev.bytes = dst.byte_size();
+  return ev;
+}
+
+Event CommandQueue::enqueue_read_image(const Image2D& src, void* dst,
+                                       const WaitList& waits) {
+  if (dst == nullptr) {
+    throw InvalidArgument("enqueue_read_image: null destination");
+  }
+  std::memcpy(dst, src.backing(), src.byte_size());
+  Event& ev =
+      push_event("read_image:" + src.name(), CommandKind::kRead,
+                 ctx_->cost_model().bulk_transfer_us(src.byte_size()), waits);
+  ev.bytes = src.byte_size();
+  return ev;
+}
+
+Mapping CommandQueue::map(Buffer& buf, MapMode mode, std::size_t offset,
+                          std::size_t bytes) {
+  if (offset + bytes > buf.size()) {
+    throw InvalidArgument("map: range out of bounds");
+  }
+  double cost = 0.0;
+  if (mode == MapMode::kRead || mode == MapMode::kReadWrite) {
+    cost = ctx_->cost_model().mapped_transfer_us(bytes);
+  } else {
+    cost = ctx_->cost_model().mapped_transfer_us(0);  // latency only
+  }
+  Event& ev = push_event("map:" + buf.name(), CommandKind::kMap, cost);
+  ev.bytes = bytes;
+  return Mapping(this, buf.backing() + offset, bytes, mode);
+}
+
+void CommandQueue::unmap_internal(std::byte* /*data*/, std::size_t size,
+                                  MapMode mode) {
+  double cost = 0.0;
+  if (mode == MapMode::kWrite || mode == MapMode::kReadWrite) {
+    cost = ctx_->cost_model().mapped_transfer_us(size);
+  }
+  Event& ev = push_event("unmap", CommandKind::kUnmap, cost);
+  ev.bytes = (mode == MapMode::kRead) ? 0 : size;
+}
+
+Event CommandQueue::enqueue_kernel(const Kernel& kernel,
+                                   const LaunchConfig& cfg,
+                                   const WaitList& waits) {
+  const KernelStats stats = ctx_->engine().run(kernel, cfg);
+  const double t =
+      ctx_->cost_model().kernel_time_us(stats, kernel.divergence_factor);
+  Event& ev = push_event(kernel.name, CommandKind::kKernel, t, waits);
+  ev.stats = stats;
+  return ev;
+}
+
+Event CommandQueue::host_work(std::string name, const HostWork& work,
+                              const WaitList& waits) {
+  return push_event(std::move(name), CommandKind::kHostWork,
+                    ctx_->cost_model().host_compute_us(work), waits);
+}
+
+Event CommandQueue::host_memcpy(std::string name, std::size_t bytes,
+                                const WaitList& waits) {
+  Event& ev = push_event(std::move(name), CommandKind::kHostWork,
+                         ctx_->cost_model().host_memcpy_us(bytes), waits);
+  ev.bytes = bytes;
+  return ev;
+}
+
+double CommandQueue::finish() {
+  if (mode_ == QueueMode::kOutOfOrder) {
+    // Full barrier: the sync starts after every lane drains and leaves
+    // all lanes busy until it completes.
+    double ready = 0.0;
+    for (const double lane : lane_avail_) {
+      ready = std::max(ready, lane);
+    }
+    for (double& lane : lane_avail_) {
+      lane = ready;
+    }
+  }
+  push_event("clFinish", CommandKind::kFinish,
+             ctx_->cost_model().clfinish_us());
+  if (mode_ == QueueMode::kOutOfOrder) {
+    for (double& lane : lane_avail_) {
+      lane = timeline_us_;
+    }
+  }
+  return timeline_us_;
+}
+
+void CommandQueue::reset() {
+  timeline_us_ = 0.0;
+  for (double& lane : lane_avail_) {
+    lane = 0.0;
+  }
+  events_.clear();
+  phase_.clear();
+}
+
+}  // namespace simcl

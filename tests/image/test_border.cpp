@@ -1,0 +1,72 @@
+#include "image/border.hpp"
+
+#include <gtest/gtest.h>
+
+#include "image/generate.hpp"
+
+namespace {
+
+using namespace sharp::img;
+
+TEST(Pad, ReplicateBorderCopiesEdges) {
+  ImageU8 img(3, 3, 0);
+  img(0, 0) = 1;
+  img(2, 0) = 2;
+  img(0, 2) = 3;
+  img(2, 2) = 4;
+  ImageU8 p = pad(img, 1, BorderMode::kReplicate);
+  EXPECT_EQ(p.width(), 5);
+  EXPECT_EQ(p.height(), 5);
+  EXPECT_EQ(p(0, 0), 1);  // corner replicates
+  EXPECT_EQ(p(4, 0), 2);
+  EXPECT_EQ(p(0, 4), 3);
+  EXPECT_EQ(p(4, 4), 4);
+  EXPECT_EQ(p(1, 1), 1);  // interior preserved
+}
+
+TEST(Pad, ZeroBorderIsZero) {
+  ImageU8 img(2, 2, 9);
+  ImageU8 p = pad(img, 2, BorderMode::kZero);
+  EXPECT_EQ(p.width(), 6);
+  for (int x = 0; x < 6; ++x) {
+    EXPECT_EQ(p(x, 0), 0);
+    EXPECT_EQ(p(x, 5), 0);
+  }
+  EXPECT_EQ(p(2, 2), 9);
+}
+
+TEST(Pad, ZeroMarginIsIdentity) {
+  ImageU8 img = make_noise(7, 5, 1);
+  EXPECT_EQ(pad(img, 0, BorderMode::kReplicate), img);
+}
+
+TEST(Pad, NegativeMarginThrows) {
+  ImageU8 img(2, 2);
+  EXPECT_THROW(pad(img, -1, BorderMode::kZero), ImageError);
+}
+
+TEST(Unpad, InvertsPad) {
+  ImageU8 img = make_noise(16, 12, 42);
+  for (int margin : {1, 2, 3}) {
+    EXPECT_EQ(unpad(pad(img, margin, BorderMode::kReplicate), margin), img);
+    EXPECT_EQ(unpad(pad(img, margin, BorderMode::kZero), margin), img);
+  }
+}
+
+TEST(Unpad, RejectsOversizedMargin) {
+  ImageU8 img(4, 4);
+  EXPECT_THROW(unpad(img, 3), ImageError);
+}
+
+TEST(IsPaddedCopy, DetectsCorrectAndCorruptPadding) {
+  ImageU8 img = make_natural(32, 32, 7);
+  ImageU8 p = pad(img, 1, BorderMode::kReplicate);
+  EXPECT_TRUE(is_padded_copy(p, img, 1, BorderMode::kReplicate));
+  EXPECT_FALSE(is_padded_copy(p, img, 1, BorderMode::kZero));
+  p(0, 0) = static_cast<std::uint8_t>(p(0, 0) + 1);
+  EXPECT_FALSE(is_padded_copy(p, img, 1, BorderMode::kReplicate));
+  // Shape mismatch.
+  EXPECT_FALSE(is_padded_copy(img, img, 1, BorderMode::kReplicate));
+}
+
+}  // namespace

@@ -1,0 +1,91 @@
+#include "image/color.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "image/pnm.hpp"
+
+namespace {
+
+using namespace sharp::img;
+
+TEST(Color, LumaUsesBt601Weights) {
+  ImageRgb img(2, 1);
+  img(0, 0) = Rgb{255, 0, 0};
+  img(1, 0) = Rgb{0, 255, 0};
+  const ImageU8 y = luma(img);
+  EXPECT_EQ(y(0, 0), 76);   // 77*255/256
+  EXPECT_EQ(y(1, 0), 149);  // 150*255/256
+}
+
+TEST(Color, LumaOfGrayIsIdentityMinusRounding) {
+  ImageRgb img(4, 4);
+  for (auto& px : img.pixels()) {
+    px = Rgb{200, 200, 200};
+  }
+  const ImageU8 y = luma(img);
+  EXPECT_EQ(y(2, 2), 200);
+}
+
+TEST(Color, ApplyLumaDeltaShiftsAllChannelsEqually) {
+  ImageRgb orig(2, 2);
+  orig(0, 0) = Rgb{100, 150, 200};
+  ImageU8 y0(2, 2, 120);
+  ImageU8 y1(2, 2, 130);  // delta +10
+  const ImageRgb out = apply_luma_delta(orig, y0, y1);
+  EXPECT_EQ(out(0, 0), (Rgb{110, 160, 210}));
+}
+
+TEST(Color, ApplyLumaDeltaClampsChannels) {
+  ImageRgb orig(1, 1);
+  orig(0, 0) = Rgb{250, 5, 128};
+  ImageU8 y0(1, 1, 100);
+  ImageU8 up(1, 1, 140);    // +40
+  ImageU8 down(1, 1, 60);   // -40
+  EXPECT_EQ(apply_luma_delta(orig, y0, up)(0, 0), (Rgb{255, 45, 168}));
+  EXPECT_EQ(apply_luma_delta(orig, y0, down)(0, 0), (Rgb{210, 0, 88}));
+}
+
+TEST(Color, ApplyLumaDeltaValidatesShapes) {
+  EXPECT_THROW(
+      apply_luma_delta(ImageRgb(2, 2), ImageU8(2, 2), ImageU8(4, 4)),
+      ImageError);
+}
+
+TEST(Color, RgbNaturalIsDeterministicAndColorful) {
+  const ImageRgb a = make_rgb_natural(32, 32, 9);
+  EXPECT_EQ(a, make_rgb_natural(32, 32, 9));
+  // Channels differ (distinct seeds).
+  int distinct = 0;
+  for (const auto& px : a.pixels()) {
+    distinct += (px.r != px.g || px.g != px.b);
+  }
+  EXPECT_GT(distinct, 900);
+}
+
+TEST(Color, PpmRoundTrip) {
+  const ImageRgb img = make_rgb_natural(17, 9, 4);
+  std::stringstream ss;
+  write_ppm(ss, img);
+  EXPECT_EQ(read_ppm(ss), img);
+}
+
+TEST(Color, PpmReadsGrayAsReplicatedChannels) {
+  std::stringstream ss;
+  ss << "P5\n2 1\n255\n";
+  ss.write("\x40\x80", 2);
+  const ImageRgb img = read_ppm(ss);
+  EXPECT_EQ(img(0, 0), (Rgb{0x40, 0x40, 0x40}));
+  EXPECT_EQ(img(1, 0), (Rgb{0x80, 0x80, 0x80}));
+}
+
+TEST(Color, PgmReaderAndLumaAgreeOnP6Input) {
+  const ImageRgb img = make_rgb_natural(16, 16, 2);
+  std::stringstream ss;
+  write_ppm(ss, img);
+  const ImageU8 direct = read_pgm(ss);
+  EXPECT_EQ(direct, luma(img));
+}
+
+}  // namespace

@@ -1,0 +1,79 @@
+#include "image/generate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace {
+
+using namespace sharp::img;
+
+TEST(Generate, GradientSpansFullRange) {
+  ImageU8 g = make_gradient(256, 4);
+  EXPECT_EQ(g(0, 0), 0);
+  EXPECT_EQ(g(255, 3), 255);
+  // Monotone non-decreasing along x.
+  for (int x = 1; x < 256; ++x) {
+    EXPECT_GE(g(x, 0), g(x - 1, 0));
+  }
+  // Constant along y.
+  EXPECT_EQ(g(100, 0), g(100, 3));
+}
+
+TEST(Generate, CheckerboardAlternates) {
+  ImageU8 c = make_checkerboard(16, 16, 4);
+  EXPECT_EQ(c(0, 0), 255);
+  EXPECT_EQ(c(4, 0), 0);
+  EXPECT_EQ(c(0, 4), 0);
+  EXPECT_EQ(c(4, 4), 255);
+  EXPECT_THROW(make_checkerboard(8, 8, 0), ImageError);
+}
+
+TEST(Generate, NoiseIsDeterministicPerSeed) {
+  ImageU8 a = make_noise(64, 64, 123);
+  ImageU8 b = make_noise(64, 64, 123);
+  ImageU8 c = make_noise(64, 64, 124);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(Generate, NoiseUsesWideValueRange) {
+  ImageU8 a = make_noise(128, 128, 5);
+  std::set<std::uint8_t> distinct(a.pixels().begin(), a.pixels().end());
+  EXPECT_GT(distinct.size(), 200u);
+}
+
+TEST(Generate, NaturalIsDeterministicAndSmootherThanNoise) {
+  ImageU8 a = make_natural(128, 128, 9);
+  EXPECT_EQ(a, make_natural(128, 128, 9));
+  // Local smoothness: mean |dx| much smaller than white noise's (~85).
+  double acc = 0;
+  for (int y = 0; y < 128; ++y) {
+    for (int x = 1; x < 128; ++x) {
+      acc += std::abs(int{a(x, y)} - int{a(x - 1, y)});
+    }
+  }
+  EXPECT_LT(acc / (127.0 * 128.0), 30.0);
+}
+
+TEST(Generate, ConstantAndImpulse) {
+  ImageU8 k = make_constant(8, 8, 42);
+  for (auto px : k.pixels()) {
+    EXPECT_EQ(px, 42);
+  }
+  ImageU8 imp = make_impulse(9, 9, 4, 4);
+  EXPECT_EQ(imp(4, 4), 255);
+  EXPECT_EQ(imp(0, 0), 16);
+}
+
+TEST(Generate, NamedDispatchCoversAllGenerators) {
+  for (const char* name :
+       {"gradient", "checker", "noise", "natural", "constant", "impulse"}) {
+    ImageU8 img = make_named(name, 32, 32, 1);
+    EXPECT_EQ(img.width(), 32) << name;
+    EXPECT_EQ(img.height(), 32) << name;
+  }
+  EXPECT_THROW(make_named("nope", 32, 32, 1), ImageError);
+}
+
+}  // namespace

@@ -1,0 +1,106 @@
+#include "image/image.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace sharp::img;
+
+TEST(Image, ConstructionAndFill) {
+  ImageU8 img(8, 4, 7);
+  EXPECT_EQ(img.width(), 8);
+  EXPECT_EQ(img.height(), 4);
+  EXPECT_EQ(img.pixel_count(), 32u);
+  EXPECT_EQ(img.byte_size(), 32u);
+  for (auto px : img.pixels()) {
+    EXPECT_EQ(px, 7);
+  }
+  EXPECT_THROW(ImageU8(-1, 4), ImageError);
+}
+
+TEST(Image, IndexingIsRowMajor) {
+  ImageI32 img(4, 3);
+  int v = 0;
+  for (int y = 0; y < 3; ++y) {
+    for (int x = 0; x < 4; ++x) {
+      img(x, y) = v++;
+    }
+  }
+  EXPECT_EQ(img.pixels()[0], 0);
+  EXPECT_EQ(img.pixels()[4], 4);   // start of row 1
+  EXPECT_EQ(img(3, 2), 11);
+}
+
+TEST(Image, EqualityComparesShapeAndPixels) {
+  ImageU8 a(4, 4, 1);
+  ImageU8 b(4, 4, 1);
+  EXPECT_EQ(a, b);
+  b(2, 2) = 9;
+  EXPECT_FALSE(a == b);
+  ImageU8 c(8, 2, 1);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(ImageView, RowAndAtAgree) {
+  ImageF32 img(5, 4);
+  img(3, 2) = 42.0f;
+  auto view = img.view();
+  EXPECT_EQ(view.row(2)[3], 42.0f);
+  EXPECT_EQ(view.at(3, 2), 42.0f);
+  EXPECT_EQ(view.row_span(2).size(), 5u);
+}
+
+TEST(ImageView, SubviewSharesStorage) {
+  ImageU8 img(8, 8, 0);
+  auto sub = img.view().subview(2, 3, 4, 2);
+  EXPECT_EQ(sub.width(), 4);
+  EXPECT_EQ(sub.height(), 2);
+  EXPECT_EQ(sub.stride(), 8);
+  sub.at(1, 1) = 99;
+  EXPECT_EQ(img(3, 4), 99);
+  EXPECT_THROW(img.view().subview(6, 6, 4, 4), ImageError);
+}
+
+TEST(ImageView, ClampedReadsReplicateEdges) {
+  ImageU8 img(3, 3, 0);
+  img(0, 0) = 10;
+  img(2, 2) = 20;
+  auto v = img.view();
+  EXPECT_EQ(v.at_clamped(-5, -5), 10);
+  EXPECT_EQ(v.at_clamped(7, 9), 20);
+  EXPECT_EQ(v.at_clamped(1, 1), 0);
+}
+
+TEST(ImageView, FillWritesWholeRect) {
+  ImageU8 img(6, 6, 0);
+  img.view().subview(1, 1, 4, 4).fill(5);
+  int count = 0;
+  for (auto px : img.pixels()) {
+    count += (px == 5);
+  }
+  EXPECT_EQ(count, 16);
+  EXPECT_EQ(img(0, 0), 0);
+}
+
+TEST(ImageView, ConstConversion) {
+  ImageF32 img(2, 2, 1.5f);
+  ImageView<const float> cv = img.view();
+  EXPECT_EQ(cv.at(1, 1), 1.5f);
+}
+
+TEST(Image, ConvertBetweenTypes) {
+  ImageU8 u(3, 2, 200);
+  auto f = convert<float>(u);
+  EXPECT_EQ(f(2, 1), 200.0f);
+  auto i = convert<std::int32_t>(f);
+  EXPECT_EQ(i(0, 0), 200);
+}
+
+TEST(ImageView, EmptyViewBehaves) {
+  ImageView<float> v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.width(), 0);
+  EXPECT_THROW(ImageView<float>(nullptr, 4, 4, 2), ImageError);
+}
+
+}  // namespace

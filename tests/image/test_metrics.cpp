@@ -1,0 +1,61 @@
+#include "image/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "image/generate.hpp"
+
+namespace {
+
+using namespace sharp::img;
+
+TEST(Metrics, MaxAbsDiffZeroForIdentical) {
+  ImageU8 a = make_noise(32, 32, 3);
+  EXPECT_EQ(max_abs_diff(a, a), 0);
+}
+
+TEST(Metrics, MaxAbsDiffFindsWorstPixel) {
+  ImageU8 a(8, 8, 100);
+  ImageU8 b(8, 8, 100);
+  b(3, 3) = 130;
+  b(5, 5) = 90;
+  EXPECT_EQ(max_abs_diff(a, b), 30);
+}
+
+TEST(Metrics, FloatVariant) {
+  ImageF32 a(4, 4, 1.0f);
+  ImageF32 b(4, 4, 1.0f);
+  b(0, 0) = 1.5f;
+  EXPECT_FLOAT_EQ(max_abs_diff(a, b), 0.5f);
+}
+
+TEST(Metrics, ShapesMustMatch) {
+  ImageU8 a(4, 4);
+  ImageU8 b(4, 5);
+  EXPECT_THROW(max_abs_diff(a, b), ImageError);
+  EXPECT_THROW(mse(a, b), ImageError);
+}
+
+TEST(Metrics, MseAndPsnr) {
+  ImageU8 a(2, 2, 0);
+  ImageU8 b(2, 2, 10);
+  EXPECT_DOUBLE_EQ(mse(a, b), 100.0);
+  EXPECT_NEAR(psnr(a, b), 10.0 * std::log10(255.0 * 255.0 / 100.0), 1e-12);
+  EXPECT_TRUE(std::isinf(psnr(a, a)));
+}
+
+TEST(Metrics, EdgeEnergyOrdersImagesByEdginess) {
+  ImageU8 flat = make_constant(64, 64, 128);
+  ImageU8 soft = make_natural(64, 64, 1);
+  ImageU8 hard = make_checkerboard(64, 64, 2);
+  EXPECT_DOUBLE_EQ(edge_energy(flat), 0.0);
+  EXPECT_GT(edge_energy(soft), 0.0);
+  EXPECT_GT(edge_energy(hard), edge_energy(soft));
+}
+
+TEST(Metrics, EdgeEnergyDegenerateSizes) {
+  EXPECT_DOUBLE_EQ(edge_energy(ImageU8(2, 2, 50)), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,74 @@
+#include "image/pnm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "image/generate.hpp"
+
+namespace {
+
+using namespace sharp::img;
+
+TEST(Pnm, PgmRoundTripsThroughStream) {
+  ImageU8 img = make_noise(33, 17, 77);
+  std::stringstream ss;
+  write_pgm(ss, img);
+  ImageU8 back = read_pgm(ss);
+  EXPECT_EQ(img, back);
+}
+
+TEST(Pnm, HeaderHasExpectedShape) {
+  ImageU8 img(4, 2, 0);
+  std::stringstream ss;
+  write_pgm(ss, img);
+  std::string header;
+  std::getline(ss, header);
+  EXPECT_EQ(header, "P5");
+  std::getline(ss, header);
+  EXPECT_EQ(header, "4 2");
+}
+
+TEST(Pnm, ReadsCommentsInHeader) {
+  std::stringstream ss;
+  ss << "P5\n# a comment\n2 2\n# another\n255\n";
+  ss.write("\x01\x02\x03\x04", 4);
+  ImageU8 img = read_pgm(ss);
+  EXPECT_EQ(img.width(), 2);
+  EXPECT_EQ(img(1, 1), 4);
+}
+
+TEST(Pnm, PpmConvertsToLuma) {
+  std::stringstream ss;
+  ss << "P6\n1 1\n255\n";
+  const unsigned char rgb[3] = {255, 0, 0};  // pure red
+  ss.write(reinterpret_cast<const char*>(rgb), 3);
+  ImageU8 img = read_pgm(ss);
+  // BT.601 red weight: 77*255/256 = 76.
+  EXPECT_EQ(img(0, 0), 76);
+}
+
+TEST(Pnm, RejectsBadMagicAndMaxval) {
+  std::stringstream bad1("P3\n1 1\n255\n0 0 0\n");
+  EXPECT_THROW(read_pgm(bad1), PnmError);
+  std::stringstream bad2("P5\n1 1\n65535\n\0\0");
+  EXPECT_THROW(read_pgm(bad2), PnmError);
+}
+
+TEST(Pnm, RejectsTruncatedPixelData) {
+  std::stringstream ss;
+  ss << "P5\n4 4\n255\n";
+  ss.write("\x01\x02", 2);  // 14 bytes missing
+  EXPECT_THROW(read_pgm(ss), PnmError);
+}
+
+TEST(Pnm, FileRoundTrip) {
+  ImageU8 img = make_gradient(64, 48);
+  const std::string path = ::testing::TempDir() + "/sharp_test.pgm";
+  write_pgm(path, img);
+  EXPECT_EQ(read_pgm(path), img);
+  EXPECT_THROW(read_pgm("/nonexistent/nope.pgm"), PnmError);
+  EXPECT_THROW(write_pgm("/nonexistent/nope.pgm", img), PnmError);
+}
+
+}  // namespace

@@ -1,0 +1,53 @@
+#include "report/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace {
+
+using sharp::report::Table;
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer_name", "22"});
+  std::ostringstream ss;
+  t.print(ss);
+  const std::string out = ss.str();
+  // Header and both rows present, columns padded to the widest cell.
+  EXPECT_NE(out.find("name         value"), std::string::npos);
+  EXPECT_NE(out.find("longer_name  22"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b", "c"});
+  t.add_row({"1", "2", "3"});
+  std::ostringstream ss;
+  t.print_csv(ss);
+  EXPECT_EQ(ss.str(), "a,b,c\n1,2,3\n");
+}
+
+TEST(Table, RejectsMismatchedRowWidth) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), std::invalid_argument);
+}
+
+TEST(Fmt, FormatsWithRequestedPrecision) {
+  EXPECT_EQ(sharp::report::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(sharp::report::fmt(10.0, 0), "10");
+  EXPECT_EQ(sharp::report::fmt(-1.5, 1), "-1.5");
+}
+
+TEST(SizeLabel, Formats) {
+  EXPECT_EQ(sharp::report::size_label(256, 128), "256x128");
+}
+
+TEST(Banner, WrapsTitle) {
+  std::ostringstream ss;
+  sharp::report::banner(ss, "Fig. 1");
+  EXPECT_EQ(ss.str(), "\n== Fig. 1 ==\n");
+}
+
+}  // namespace

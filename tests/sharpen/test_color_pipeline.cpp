@@ -1,0 +1,73 @@
+// Color sharpening through the luma channel.
+#include <gtest/gtest.h>
+
+#include "image/color.hpp"
+#include "image/metrics.hpp"
+#include "sharpen/sharpen.hpp"
+
+namespace {
+
+using namespace sharp;
+using sharp::img::ImageRgb;
+using sharp::img::ImageU8;
+using sharp::img::Rgb;
+
+TEST(ColorPipeline, GpuAndCpuVariantsAgree) {
+  const ImageRgb input = img::make_rgb_natural(64, 48, 5);
+  const ImageRgb a = sharpen_rgb(input);
+  const ImageRgb b = sharpen_rgb_cpu(input);
+  EXPECT_EQ(a, b);
+}
+
+TEST(ColorPipeline, FlatColorImageIsAFixedPoint) {
+  ImageRgb input(32, 32);
+  for (auto& px : input.pixels()) {
+    px = Rgb{90, 140, 20};
+  }
+  EXPECT_EQ(sharpen_rgb(input), input);
+}
+
+TEST(ColorPipeline, LumaOfOutputMatchesSharpenedLumaApproximately) {
+  // Adding the delta to all channels changes luma by ~delta (exact up to
+  // the integer luma rounding and channel clamping).
+  const ImageRgb input = img::make_rgb_natural(64, 64, 8);
+  const ImageU8 y = img::luma(input);
+  const ImageU8 y_sharp = sharpen_gpu(y);
+  const ImageRgb out = sharpen_rgb(input);
+  const ImageU8 y_out = img::luma(out);
+  int clamped = 0;
+  for (int yy = 0; yy < 64; ++yy) {
+    for (int xx = 0; xx < 64; ++xx) {
+      const Rgb px = out(xx, yy);
+      const bool hit_rail = px.r == 0 || px.r == 255 || px.g == 0 ||
+                            px.g == 255 || px.b == 0 || px.b == 255;
+      if (hit_rail) {
+        ++clamped;
+        continue;  // clamping legitimately breaks the delta identity
+      }
+      EXPECT_NEAR(int{y_out(xx, yy)}, int{y_sharp(xx, yy)}, 1)
+          << xx << "," << yy;
+    }
+  }
+  EXPECT_LT(clamped, 64 * 64 / 4);
+}
+
+TEST(ColorPipeline, SharpeningIncreasesLumaEdgeEnergy) {
+  const ImageRgb input = img::make_rgb_natural(96, 96, 3);
+  const ImageRgb out = sharpen_rgb(input);
+  EXPECT_GT(img::edge_energy(img::luma(out)),
+            img::edge_energy(img::luma(input)));
+}
+
+TEST(ColorPipeline, HonorsOptionsAndParams) {
+  const ImageRgb input = img::make_rgb_natural(64, 48, 9);
+  SharpenParams strong;
+  strong.amount = 4.0f;
+  const ImageRgb gentle = sharpen_rgb(input);
+  const ImageRgb heavy = sharpen_rgb(input, strong);
+  EXPECT_FALSE(gentle == heavy);
+  // Naive options produce the same pixels as optimized ones.
+  EXPECT_EQ(sharpen_rgb(input, {}, PipelineOptions::naive()), gentle);
+}
+
+}  // namespace

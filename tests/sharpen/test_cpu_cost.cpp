@@ -1,0 +1,60 @@
+// The analytic CPU cost counts (cpu_cost.*): positivity, linear scaling,
+// and the stage ordering Fig. 13a depends on.
+#include "sharpen/cpu_cost.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace sharp::cpu_cost;
+using simcl::HostWork;
+
+HostWork all_of(int w, int h, HostWork (*fn)(int, int)) { return fn(w, h); }
+
+TEST(CpuCost, EveryStageHasPositiveWork) {
+  for (auto fn : {downscale, upscale_body, upscale_border, difference,
+                  sobel, reduction, preliminary, overshoot}) {
+    const HostWork work = all_of(256, 256, fn);
+    EXPECT_GT(work.flops, 0.0);
+    EXPECT_GT(work.bytes, 0.0);
+    EXPECT_GE(work.fixed_us, 0.0);
+  }
+}
+
+TEST(CpuCost, FullImageStagesScaleWithPixelCount) {
+  for (auto fn : {downscale, upscale_body, difference, sobel, reduction,
+                  preliminary, overshoot}) {
+    const HostWork small = all_of(128, 128, fn);
+    const HostWork big = all_of(256, 256, fn);
+    EXPECT_NEAR(big.flops / small.flops, 4.0, 1e-9);
+    EXPECT_NEAR(big.bytes / small.bytes, 4.0, 1e-9);
+  }
+}
+
+TEST(CpuCost, BorderScalesWithPerimeterNotArea) {
+  const HostWork small = upscale_border(128, 128);
+  const HostWork big = upscale_border(256, 256);
+  EXPECT_LT(big.flops / small.flops, 2.1);
+  EXPECT_GT(big.flops / small.flops, 1.9);
+}
+
+TEST(CpuCost, StrengthStageDominatesAsInFig13a) {
+  const double n = 256.0 * 256.0;
+  (void)n;
+  const HostWork strength = preliminary(256, 256);
+  for (auto fn : {downscale, upscale_body, difference, sobel, reduction}) {
+    EXPECT_GT(strength.flops, 2.0 * all_of(256, 256, fn).flops);
+  }
+  // Overshoot is the second-largest compute stage.
+  const HostWork osc = overshoot(256, 256);
+  EXPECT_GT(osc.flops, all_of(256, 256, sobel).flops);
+  EXPECT_LT(osc.flops, strength.flops);
+}
+
+TEST(CpuCost, NonSquareImagesUseExactPixelCount) {
+  const HostWork a = sobel(512, 128);
+  const HostWork b = sobel(256, 256);
+  EXPECT_DOUBLE_EQ(a.flops, b.flops);
+}
+
+}  // namespace

@@ -1,0 +1,244 @@
+// Extension features: the multi-threaded CPU baseline, the strength LUT,
+// the atomic stage-2 reduction, and the frame-reuse VideoPipeline.
+#include <gtest/gtest.h>
+
+#include "image/generate.hpp"
+#include "image/metrics.hpp"
+#include "sharpen/gpu/kernels.hpp"
+#include "sharpen/sharpen.hpp"
+
+namespace {
+
+using namespace sharp;
+using sharp::img::ImageU8;
+
+// --- ParallelCpuPipeline -----------------------------------------------------
+
+TEST(ParallelCpu, PixelsIdenticalToSerialBaseline) {
+  for (const char* gen : {"natural", "noise", "checker"}) {
+    const ImageU8 input = img::make_named(gen, 96, 64, 5);
+    const PipelineResult serial = CpuPipeline().run(input);
+    for (int threads : {1, 2, 4, 7}) {
+      const PipelineResult par = ParallelCpuPipeline(threads).run(input);
+      EXPECT_EQ(img::max_abs_diff(serial.output, par.output), 0)
+          << gen << " threads=" << threads;
+      EXPECT_DOUBLE_EQ(serial.mean_edge, par.mean_edge);
+    }
+  }
+}
+
+TEST(ParallelCpu, HandlesMoreThreadsThanRows) {
+  const ImageU8 input = img::make_natural(16, 16, 1);
+  const PipelineResult par = ParallelCpuPipeline(64).run(input);
+  EXPECT_EQ(img::max_abs_diff(par.output, sharpen_cpu(input)), 0);
+}
+
+TEST(ParallelCpu, ModeledTimeScalesDownWithCores) {
+  const ImageU8 input = img::make_natural(256, 256, 2);
+  const double t1 = CpuPipeline().run(input).total_modeled_us;
+  const double t4 = ParallelCpuPipeline(4).run(input).total_modeled_us;
+  EXPECT_LT(t4, t1);
+  EXPECT_GT(t4, t1 / 8.0);  // no superlinear magic
+}
+
+TEST(ParallelCpu, MulticoreSpecScalingAndSaturation) {
+  const simcl::DeviceSpec base = simcl::intel_core_i5_3470();
+  const simcl::DeviceSpec quad = multicore_spec(base, 4);
+  EXPECT_NEAR(quad.alu_efficiency, base.alu_efficiency * 4 * 0.9, 1e-12);
+  // Bandwidth saturates at the socket cap rather than scaling forever.
+  const simcl::DeviceSpec many = multicore_spec(base, 64);
+  EXPECT_DOUBLE_EQ(many.mem_efficiency, 0.6);
+  EXPECT_THROW(multicore_spec(base, 0), SharpenError);
+}
+
+TEST(ParallelCpu, FourCoreBaselineShrinksButDoesNotCloseGpuGap) {
+  const ImageU8 input = img::make_natural(512, 512, 3);
+  const double serial = CpuPipeline().run(input).total_modeled_us;
+  const double quad = ParallelCpuPipeline(4).run(input).total_modeled_us;
+  const double gpu = GpuPipeline().run(input).total_modeled_us;
+  EXPECT_LT(quad, serial);
+  EXPECT_GT(quad / gpu, 3.0);  // GPU still wins clearly
+}
+
+// --- Strength LUT --------------------------------------------------------------
+
+TEST(StrengthLut, BitIdenticalToPowPath) {
+  const ImageU8 input = img::make_natural(96, 64, 11);
+  for (const bool fuse : {false, true}) {
+    for (const bool vec : {false, true}) {
+      PipelineOptions pow_opts = PipelineOptions::optimized();
+      pow_opts.fuse_sharpness = fuse;
+      pow_opts.vectorize = vec;
+      PipelineOptions lut_opts = pow_opts;
+      lut_opts.strength = StrengthEval::kLut;
+      EXPECT_EQ(img::max_abs_diff(sharpen_gpu(input, {}, pow_opts),
+                                  sharpen_gpu(input, {}, lut_opts)),
+                0)
+          << "fuse=" << fuse << " vec=" << vec;
+    }
+  }
+}
+
+TEST(StrengthLut, LutTableMatchesStrengthFunction) {
+  SharpenParams p;
+  const float inv_mean = 0.031f;
+  const auto lut = gpu::build_strength_lut(inv_mean, p);
+  ASSERT_EQ(lut.size(), static_cast<std::size_t>(kEdgeLutSize));
+  for (int e : {0, 1, 7, 255, 1024, kMaxEdgeValue}) {
+    EXPECT_EQ(lut[static_cast<std::size_t>(e)],
+              detail::edge_strength(e, inv_mean, p));
+  }
+}
+
+TEST(StrengthLut, UploadsTheTableWithBoundedOverhead) {
+  // Negative result the model makes explicit (see bench_ablation_lut):
+  // the fused sharpness kernel is DRAM-bound on the W8000 model, so
+  // replacing pow() with a lookup cannot win; it costs one small table
+  // upload and an extra load per pixel. Assert the mechanism (upload
+  // happens) and that the overhead stays bounded.
+  const ImageU8 input = img::make_natural(1024, 1024, 1);
+  PipelineOptions pow_opts = PipelineOptions::optimized();
+  PipelineOptions lut_opts = pow_opts;
+  lut_opts.strength = StrengthEval::kLut;
+  GpuPipeline pow_pipe(pow_opts);
+  GpuPipeline lut_pipe(lut_opts);
+  const double pow_sharp = pow_pipe.run(input).stage_us("sharpness");
+  const double lut_sharp = lut_pipe.run(input).stage_us("sharpness");
+  bool saw_lut_upload = false;
+  for (const auto& ev : lut_pipe.last_events()) {
+    saw_lut_upload |= (ev.name == "write:strength_lut");
+  }
+  EXPECT_TRUE(saw_lut_upload);
+  EXPECT_LT(lut_sharp, pow_sharp * 1.5);
+}
+
+// --- Atomic stage-2 reduction -----------------------------------------------------
+
+TEST(AtomicStage2, SameSumAndPixelsAsTreeKernel) {
+  const ImageU8 input = img::make_natural(256, 256, 9);
+  PipelineOptions tree = PipelineOptions::optimized();
+  tree.reduction_stage2 = Placement::kGpu;
+  tree.stage2_method = Stage2Method::kTreeKernel;
+  PipelineOptions atom = tree;
+  atom.stage2_method = Stage2Method::kAtomic;
+  GpuPipeline p_tree(tree);
+  GpuPipeline p_atom(atom);
+  const PipelineResult r_tree = p_tree.run(input);
+  const PipelineResult r_atom = p_atom.run(input);
+  EXPECT_DOUBLE_EQ(r_tree.mean_edge, r_atom.mean_edge);
+  EXPECT_EQ(img::max_abs_diff(r_tree.output, r_atom.output), 0);
+  bool saw_atomic = false;
+  for (const auto& ev : p_atom.last_events()) {
+    saw_atomic |= (ev.name == "reduce_stage2_atomic");
+  }
+  EXPECT_TRUE(saw_atomic);
+}
+
+TEST(AtomicStage2, TreeBeatsAtomicsAtScale) {
+  const ImageU8 input = img::make_natural(2048, 2048, 9);
+  PipelineOptions tree = PipelineOptions::optimized();
+  tree.reduction_stage2 = Placement::kGpu;
+  PipelineOptions atom = tree;
+  atom.stage2_method = Stage2Method::kAtomic;
+  const double t_tree =
+      GpuPipeline(tree).run(input).stage_us("reduction");
+  const double t_atom =
+      GpuPipeline(atom).run(input).stage_us("reduction");
+  EXPECT_LT(t_tree, t_atom);
+}
+
+// --- image2d path ------------------------------------------------------------------
+
+TEST(Image2dPath, PixelsIdenticalToBufferPath) {
+  for (const char* gen : {"natural", "noise", "impulse"}) {
+    const ImageU8 input = img::make_named(gen, 96, 64, 77);
+    PipelineOptions o = PipelineOptions::optimized();
+    o.use_image2d = true;
+    EXPECT_EQ(img::max_abs_diff(sharpen_gpu(input, {}, o),
+                                sharpen_gpu(input)),
+              0)
+        << gen;
+  }
+}
+
+TEST(Image2dPath, WorksWithLutAndMapTransfers) {
+  const ImageU8 input = img::make_natural(64, 48, 3);
+  PipelineOptions o = PipelineOptions::optimized();
+  o.use_image2d = true;
+  o.strength = StrengthEval::kLut;
+  o.transfer = TransferMode::kMapUnmap;  // affects remaining buffer moves
+  EXPECT_EQ(img::max_abs_diff(sharpen_gpu(input, {}, o), sharpen_cpu(input)),
+            0);
+}
+
+TEST(Image2dPath, RequiresFusedSharpness) {
+  PipelineOptions o = PipelineOptions::optimized();
+  o.use_image2d = true;
+  o.fuse_sharpness = false;
+  GpuPipeline pipeline(o);
+  EXPECT_THROW((void)pipeline.run(img::make_natural(64, 64, 1)),
+               SharpenError);
+}
+
+TEST(Image2dPath, UploadsImageInsteadOfPaddedRect) {
+  const ImageU8 input = img::make_natural(64, 64, 1);
+  PipelineOptions o = PipelineOptions::optimized();
+  o.use_image2d = true;
+  GpuPipeline pipeline(o);
+  (void)pipeline.run(input);
+  bool saw_image_write = false;
+  bool saw_rect = false;
+  for (const auto& ev : pipeline.last_events()) {
+    saw_image_write |= (ev.name == "write_image:orig_img");
+    saw_rect |= (ev.kind == simcl::CommandKind::kWriteRect &&
+                 ev.phase == "data_init");
+  }
+  EXPECT_TRUE(saw_image_write);
+  EXPECT_FALSE(saw_rect);
+}
+
+// --- VideoPipeline ---------------------------------------------------------------
+
+TEST(Video, FramesMatchSingleImagePipeline) {
+  VideoPipeline video(64, 48);
+  for (int f = 0; f < 3; ++f) {
+    const ImageU8 frame =
+        img::make_natural(64, 48, 100 + static_cast<std::uint64_t>(f));
+    const PipelineResult r = video.process_frame(frame);
+    EXPECT_EQ(img::max_abs_diff(r.output, sharpen_gpu(frame)), 0) << f;
+  }
+  EXPECT_EQ(video.stats().frames, 3);
+  EXPECT_GT(video.stats().fps(), 0.0);
+}
+
+TEST(Video, FirstFramePaysAllocationLaterFramesDoNot) {
+  VideoPipeline video(256, 256);
+  const ImageU8 frame = img::make_natural(256, 256, 5);
+  const double first = video.process_frame(frame).total_modeled_us;
+  const double second = video.process_frame(frame).total_modeled_us;
+  const double third = video.process_frame(frame).total_modeled_us;
+  EXPECT_GT(first, second);
+  EXPECT_DOUBLE_EQ(second, third);
+  // The gap is exactly the modeled buffer allocations.
+  const double alloc = first - second;
+  EXPECT_GT(alloc, simcl::amd_firepro_w8000().buffer_alloc_us * 4);
+}
+
+TEST(Video, RejectsGeometryMismatchAndBadSizes) {
+  VideoPipeline video(64, 48);
+  EXPECT_THROW((void)video.process_frame(ImageU8(48, 64)), SharpenError);
+  EXPECT_THROW(VideoPipeline(15, 16), SharpenError);
+}
+
+TEST(Video, AverageFrameTimeConvergesBelowSingleShot) {
+  const ImageU8 frame = img::make_natural(256, 256, 5);
+  GpuPipeline single;
+  const double single_us = single.run(frame).total_modeled_us;
+  VideoPipeline video(256, 256);
+  for (int f = 0; f < 10; ++f) {
+    (void)video.process_frame(frame);
+  }
+  EXPECT_LT(video.stats().avg_frame_us(), single_us);
+}
+
+}  // namespace

@@ -1,0 +1,165 @@
+// The central correctness claim of the optimization work: every
+// combination of PipelineOptions computes the exact same image. The
+// optimizations may only move time around, never pixels.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "image/generate.hpp"
+#include "image/metrics.hpp"
+#include "sharpen/sharpen.hpp"
+
+namespace {
+
+using namespace sharp;
+using sharp::img::ImageU8;
+
+struct OptionCase {
+  TransferMode transfer;
+  bool padded_only;
+  bool fuse;
+  Placement reduction;
+  ReductionUnroll unroll;
+  Placement border;
+  bool vectorize;
+  bool clfinish_elim;
+  bool builtins;
+};
+
+std::string case_name(const ::testing::TestParamInfo<OptionCase>& info) {
+  const OptionCase& c = info.param;
+  std::ostringstream ss;
+  ss << (c.transfer == TransferMode::kMapUnmap ? "Map" : "Rw")
+     << (c.padded_only ? "PadRect" : "PadHost") << (c.fuse ? "Fused" : "Split")
+     << "Red" << (c.reduction == Placement::kCpu ? "Cpu" : "Gpu") << "Unr"
+     << static_cast<int>(c.unroll) << "Bor"
+     << (c.border == Placement::kCpu
+             ? "Cpu"
+             : (c.border == Placement::kGpu ? "Gpu" : "Auto"))
+     << (c.vectorize ? "Vec" : "Sca") << (c.clfinish_elim ? "NoFin" : "Fin")
+     << (c.builtins ? "Bi" : "NoBi");
+  return ss.str();
+}
+
+PipelineOptions to_options(const OptionCase& c) {
+  PipelineOptions o;
+  o.transfer = c.transfer;
+  o.transfer_padded_only = c.padded_only;
+  o.fuse_sharpness = c.fuse;
+  o.reduction = c.reduction;
+  o.unroll = c.unroll;
+  o.border = c.border;
+  o.vectorize = c.vectorize;
+  o.eliminate_clfinish = c.clfinish_elim;
+  o.use_builtins = c.builtins;
+  o.instruction_selection = c.builtins;
+  return o;
+}
+
+class OptionsMatrixTest : public ::testing::TestWithParam<OptionCase> {
+ protected:
+  static const ImageU8& input() {
+    static const ImageU8 img = img::make_natural(64, 48, 321);
+    return img;
+  }
+  static const ImageU8& reference() {
+    static const ImageU8 ref = sharpen_cpu(input());
+    return ref;
+  }
+};
+
+TEST_P(OptionsMatrixTest, PixelsIdenticalToCpuReference) {
+  GpuPipeline pipeline(to_options(GetParam()));
+  const PipelineResult r = pipeline.run(input());
+  EXPECT_EQ(img::max_abs_diff(r.output, reference()), 0);
+  EXPECT_GT(r.total_modeled_us, 0.0);
+}
+
+// Full cross of the load-bearing axes (transfer x padding x fusion x
+// reduction placement x vectorization), with the remaining axes covered in
+// the focused list below.
+std::vector<OptionCase> cross_cases() {
+  std::vector<OptionCase> cases;
+  for (TransferMode t : {TransferMode::kMapUnmap, TransferMode::kReadWrite}) {
+    for (bool padded : {false, true}) {
+      for (bool fuse : {false, true}) {
+        for (Placement red : {Placement::kCpu, Placement::kGpu}) {
+          for (bool vec : {false, true}) {
+            cases.push_back({t, padded, fuse, red, ReductionUnroll::kOne,
+                             Placement::kAuto, vec, true, true});
+          }
+        }
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Cross, OptionsMatrixTest,
+                         ::testing::ValuesIn(cross_cases()), case_name);
+
+INSTANTIATE_TEST_SUITE_P(
+    Focused, OptionsMatrixTest,
+    ::testing::Values(
+        // Unroll variants with GPU reduction.
+        OptionCase{TransferMode::kReadWrite, true, true, Placement::kGpu,
+                   ReductionUnroll::kNone, Placement::kAuto, true, true,
+                   true},
+        OptionCase{TransferMode::kReadWrite, true, true, Placement::kGpu,
+                   ReductionUnroll::kTwo, Placement::kAuto, true, true,
+                   true},
+        // Border forced to each side.
+        OptionCase{TransferMode::kReadWrite, true, true, Placement::kGpu,
+                   ReductionUnroll::kOne, Placement::kCpu, true, true, true},
+        OptionCase{TransferMode::kReadWrite, true, true, Placement::kGpu,
+                   ReductionUnroll::kOne, Placement::kGpu, true, true, true},
+        // clFinish after every kernel; no built-ins.
+        OptionCase{TransferMode::kReadWrite, true, true, Placement::kGpu,
+                   ReductionUnroll::kOne, Placement::kAuto, true, false,
+                   false},
+        // The two canonical presets.
+        OptionCase{TransferMode::kMapUnmap, false, false, Placement::kCpu,
+                   ReductionUnroll::kNone, Placement::kCpu, false, false,
+                   false},
+        OptionCase{TransferMode::kReadWrite, true, true, Placement::kGpu,
+                   ReductionUnroll::kOne, Placement::kAuto, true, true,
+                   true}),
+    case_name);
+
+TEST(OptionsStage2, GpuAndCpuStage2AgreeAndAutoSwitches) {
+  const ImageU8 input = img::make_natural(128, 128, 8);
+  PipelineOptions cpu2 = PipelineOptions::optimized();
+  cpu2.reduction_stage2 = Placement::kCpu;
+  PipelineOptions gpu2 = PipelineOptions::optimized();
+  gpu2.reduction_stage2 = Placement::kGpu;
+  const ImageU8 a = sharpen_gpu(input, {}, cpu2);
+  const ImageU8 b = sharpen_gpu(input, {}, gpu2);
+  EXPECT_EQ(img::max_abs_diff(a, b), 0);
+
+  // kAuto picks CPU below the threshold (few partials at this size).
+  PipelineOptions auto2 = PipelineOptions::optimized();
+  auto2.reduction_stage2 = Placement::kAuto;
+  GpuPipeline p(auto2);
+  p.run(input);
+  bool has_stage2_kernel = false;
+  for (const auto& ev : p.last_events()) {
+    has_stage2_kernel |= (ev.name == "reduce_stage2");
+  }
+  EXPECT_FALSE(has_stage2_kernel);
+}
+
+TEST(OptionsBorder, AutoThresholdSwitchesAt768) {
+  for (int size : {256, 768}) {
+    const ImageU8 input = img::make_natural(size, size, 8);
+    GpuPipeline p(PipelineOptions::optimized());
+    p.run(input);
+    bool has_border_kernel = false;
+    for (const auto& ev : p.last_events()) {
+      has_border_kernel |=
+          (ev.kind == simcl::CommandKind::kKernel && ev.name == "border");
+    }
+    EXPECT_EQ(has_border_kernel, size >= 768) << size;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,123 @@
+// Overshoot-control invariants (the Fig. 8 flowchart).
+#include <gtest/gtest.h>
+
+#include "image/generate.hpp"
+#include "sharpen/stages.hpp"
+
+namespace {
+
+using namespace sharp;
+using namespace sharp::stages;
+using sharp::img::ImageF32;
+using sharp::img::ImageU8;
+
+TEST(Overshoot, OutputAlwaysInRange) {
+  const ImageU8 orig = img::make_noise(32, 32, 1);
+  ImageF32 prelim(32, 32);
+  // Wildly out-of-range preliminary values.
+  float v = -500.0f;
+  for (auto& p : prelim.pixels()) {
+    p = v;
+    v += 7.3f;
+  }
+  const ImageU8 out = overshoot_control(orig, prelim, {});
+  for (auto px : out.pixels()) {
+    EXPECT_GE(px, 0);
+    EXPECT_LE(px, 255);
+  }
+}
+
+TEST(Overshoot, InRangeValuesPassThroughRounded) {
+  // prelim within [local min, local max] is untouched apart from
+  // rounding; a checkerboard original gives every body pixel the full
+  // [0, 200] local range.
+  ImageU8 orig(16, 16, 0);
+  for (int y = 0; y < 16; ++y) {
+    for (int x = (y % 2); x < 16; x += 2) {
+      orig(x, y) = 200;
+    }
+  }
+  const ImageF32 prelim(16, 16, 100.4f);
+  const ImageU8 out = overshoot_control(orig, prelim, {});
+  EXPECT_EQ(out(8, 8), 100);
+  const ImageF32 prelim2(16, 16, 100.6f);
+  const ImageU8 out2 = overshoot_control(orig, prelim2, {});
+  EXPECT_EQ(out2(8, 8), 101);
+}
+
+TEST(Overshoot, OvershootIsLimitedToGainFraction) {
+  // Constant original => local max == min == 100. prelim = 140 overshoots
+  // by 40; allowed overshoot is osc_gain * 40.
+  SharpenParams p;
+  p.osc_gain = 0.25f;
+  const ImageU8 orig = img::make_constant(16, 16, 100);
+  const ImageF32 prelim(16, 16, 140.0f);
+  const ImageU8 out = overshoot_control(orig, prelim, p);
+  EXPECT_EQ(out(8, 8), 110);  // 100 + 0.25 * 40
+  const ImageF32 prelim_low(16, 16, 60.0f);
+  const ImageU8 out_low = overshoot_control(orig, prelim_low, p);
+  EXPECT_EQ(out_low(8, 8), 90);  // 100 - 0.25 * 40
+}
+
+TEST(Overshoot, ZeroGainClampsToLocalRange) {
+  SharpenParams p;
+  p.osc_gain = 0.0f;
+  const ImageU8 orig = img::make_constant(16, 16, 50);
+  const ImageF32 prelim(16, 16, 200.0f);
+  const ImageU8 out = overshoot_control(orig, prelim, p);
+  EXPECT_EQ(out(5, 5), 50);
+}
+
+TEST(Overshoot, MonotoneInGain) {
+  // Larger osc_gain admits more overshoot (body pixels).
+  const ImageU8 orig = img::make_natural(32, 32, 9);
+  ImageF32 prelim(32, 32);
+  for (int y = 0; y < 32; ++y) {
+    for (int x = 0; x < 32; ++x) {
+      prelim(x, y) = static_cast<float>(orig(x, y)) + 60.0f;
+    }
+  }
+  SharpenParams lo;
+  lo.osc_gain = 0.1f;
+  SharpenParams hi;
+  hi.osc_gain = 0.9f;
+  const ImageU8 out_lo = overshoot_control(orig, prelim, lo);
+  const ImageU8 out_hi = overshoot_control(orig, prelim, hi);
+  for (int y = 1; y < 31; ++y) {
+    for (int x = 1; x < 31; ++x) {
+      EXPECT_LE(out_lo(x, y), out_hi(x, y));
+    }
+  }
+}
+
+TEST(Overshoot, BorderPixelsAreClampedPreliminary) {
+  const ImageU8 orig = img::make_constant(16, 16, 10);
+  ImageF32 prelim(16, 16, 300.0f);
+  const ImageU8 out = overshoot_control(orig, prelim, {});
+  // Frame: plain clamp (255); body: overshoot-limited far below.
+  EXPECT_EQ(out(0, 0), 255);
+  EXPECT_EQ(out(15, 0), 255);
+  EXPECT_EQ(out(0, 15), 255);
+  EXPECT_LT(out(8, 8), 255);
+}
+
+TEST(Overshoot, UsesLocal3x3Window) {
+  // A bright neighbor raises the local max, letting prelim through.
+  ImageU8 orig(16, 16, 10);
+  orig(8, 8) = 200;
+  const ImageF32 prelim(16, 16, 150.0f);
+  const ImageU8 out = overshoot_control(orig, prelim, {});
+  // (7,7) through (9,9) see the 200 in their window -> prelim 150 passes.
+  EXPECT_EQ(out(7, 7), 150);
+  EXPECT_EQ(out(9, 9), 150);
+  // (5,5) does not: max=10, overshoot limited to 10 + 0.25*140 = 45.
+  EXPECT_EQ(out(5, 5), 45);
+}
+
+TEST(Overshoot, ShapeMismatchThrows) {
+  EXPECT_THROW(
+      overshoot_control(ImageU8(16, 16), ImageF32(16, 20), {}),
+      SharpenError);
+}
+
+}  // namespace

@@ -1,0 +1,179 @@
+// End-to-end pipelines: the GPU pipeline (naive and optimized) must
+// produce exactly the CPU baseline's pixels, and the timing/telemetry
+// surfaces benches rely on must be coherent.
+#include <gtest/gtest.h>
+
+#include "image/generate.hpp"
+#include "image/metrics.hpp"
+#include "sharpen/sharpen.hpp"
+
+namespace {
+
+using namespace sharp;
+using sharp::img::ImageU8;
+
+TEST(CpuPipeline, ProducesAllStageTimings) {
+  const ImageU8 input = img::make_natural(64, 64, 1);
+  CpuPipeline cpu;
+  const PipelineResult r = cpu.run(input);
+  ASSERT_EQ(r.stages.size(), 7u);
+  const char* expected[] = {"downscale", "upscale", "pError",   "sobel",
+                            "reduction", "strength", "overshoot"};
+  for (std::size_t i = 0; i < 7; ++i) {
+    EXPECT_EQ(r.stages[i].stage, expected[i]);
+    EXPECT_GT(r.stages[i].modeled_us, 0.0);
+    EXPECT_GE(r.stages[i].wall_us, 0.0);
+  }
+  EXPECT_GT(r.total_modeled_us, 0.0);
+  EXPECT_GT(r.mean_edge, 0.0);
+  EXPECT_EQ(r.output.width(), 64);
+}
+
+TEST(CpuPipeline, StrengthAndOvershootDominate) {
+  // Fig. 13a: the strength matrix + overshoot control are the CPU
+  // bottlenecks.
+  const ImageU8 input = img::make_natural(256, 256, 3);
+  const PipelineResult r = CpuPipeline().run(input);
+  const double dominant = r.stage_us("strength") + r.stage_us("overshoot");
+  EXPECT_GT(dominant / r.total_modeled_us, 0.5);
+}
+
+TEST(GpuPipeline, OptimizedMatchesCpuExactly) {
+  for (const char* gen : {"natural", "noise", "gradient", "checker"}) {
+    const ImageU8 input = img::make_named(gen, 64, 48, 7);
+    const ImageU8 cpu = sharpen_cpu(input);
+    const ImageU8 gpu = sharpen_gpu(input);
+    EXPECT_EQ(img::max_abs_diff(cpu, gpu), 0) << gen;
+  }
+}
+
+TEST(GpuPipeline, NaiveMatchesCpuExactly) {
+  const ImageU8 input = img::make_natural(64, 48, 99);
+  const ImageU8 cpu = sharpen_cpu(input);
+  const ImageU8 gpu = sharpen_gpu(input, {}, PipelineOptions::naive());
+  EXPECT_EQ(img::max_abs_diff(cpu, gpu), 0);
+}
+
+TEST(GpuPipeline, CustomParamsFlowThrough) {
+  const ImageU8 input = img::make_natural(64, 64, 5);
+  SharpenParams params;
+  params.amount = 3.0f;
+  params.gamma = 0.8f;
+  params.osc_gain = 0.0f;
+  const ImageU8 cpu = sharpen_cpu(input, params);
+  const ImageU8 gpu = sharpen_gpu(input, params);
+  EXPECT_EQ(img::max_abs_diff(cpu, gpu), 0);
+  // And the parameters actually change the output.
+  EXPECT_NE(img::max_abs_diff(cpu, sharpen_cpu(input)), 0);
+}
+
+TEST(GpuPipeline, EventsAndPhasesArePopulated) {
+  const ImageU8 input = img::make_natural(64, 64, 5);
+  GpuPipeline gpu;
+  const PipelineResult r = gpu.run(input);
+  ASSERT_FALSE(gpu.last_events().empty());
+  // All Fig. 13b/c phases appear.
+  for (const char* phase : {"data_init", "downscale", "border", "center",
+                            "sobel", "reduction", "sharpness", "data_out"}) {
+    EXPECT_GT(r.stage_us(phase), 0.0) << phase;
+  }
+  EXPECT_DOUBLE_EQ(
+      r.total_modeled_us,
+      gpu.last_events().back().end_us);
+}
+
+TEST(GpuPipeline, NaivePipelineUsesMoreKernelLaunchesAndSyncs) {
+  const ImageU8 input = img::make_natural(64, 64, 5);
+  GpuPipeline naive(PipelineOptions::naive());
+  GpuPipeline opt(PipelineOptions::optimized());
+  naive.run(input);
+  opt.run(input);
+  const auto count = [](const std::vector<simcl::Event>& evs,
+                        simcl::CommandKind kind) {
+    std::size_t n = 0;
+    for (const auto& e : evs) {
+      n += (e.kind == kind);
+    }
+    return n;
+  };
+  // Naive: 5 kernels (downscale/center/sobel/pError/preliminary/overshoot
+  // minus the fused ones) + clFinish after every step; optimized: fused
+  // sharpness + GPU reduction kernels, one sync.
+  EXPECT_GT(count(naive.last_events(), simcl::CommandKind::kFinish),
+            count(opt.last_events(), simcl::CommandKind::kFinish));
+  EXPECT_GT(count(naive.last_events(), simcl::CommandKind::kMap), 0u);
+  EXPECT_EQ(count(opt.last_events(), simcl::CommandKind::kMap), 0u);
+  // The optimized pipeline pads on-transfer: exactly one rect write in
+  // the data_init phase (border strips at this small size add more).
+  std::size_t init_rects = 0;
+  for (const auto& e : opt.last_events()) {
+    init_rects += (e.kind == simcl::CommandKind::kWriteRect &&
+                   e.phase == "data_init");
+  }
+  EXPECT_EQ(init_rects, 1u);
+}
+
+TEST(GpuPipeline, OptimizedIsFasterThanNaiveAtScale) {
+  const ImageU8 input = img::make_natural(1024, 1024, 5);
+  GpuPipeline naive(PipelineOptions::naive());
+  GpuPipeline opt(PipelineOptions::optimized());
+  const double t_naive = naive.run(input).total_modeled_us;
+  const double t_opt = opt.run(input).total_modeled_us;
+  EXPECT_LT(t_opt, t_naive);
+}
+
+TEST(GpuPipeline, GpuBeatsCpuModelAtAllBenchmarkSizes) {
+  for (int size : {256, 512, 1024}) {
+    const ImageU8 input = img::make_natural(size, size, 5);
+    const double cpu = CpuPipeline().run(input).total_modeled_us;
+    const double gpu =
+        GpuPipeline(PipelineOptions::optimized()).run(input)
+            .total_modeled_us;
+    EXPECT_GT(cpu / gpu, 2.0) << size;
+  }
+}
+
+TEST(GpuPipeline, MultiThreadedEngineIsBitAndTimeDeterministic) {
+  // Work-groups are independent; executing them on several host threads
+  // must change neither pixels nor the simulated time (stats are sums).
+  const ImageU8 input = img::make_natural(128, 96, 21);
+  GpuPipeline serial(PipelineOptions::optimized(),
+                     simcl::amd_firepro_w8000(),
+                     simcl::intel_core_i5_3470(), /*engine_threads=*/1);
+  GpuPipeline threaded(PipelineOptions::optimized(),
+                       simcl::amd_firepro_w8000(),
+                       simcl::intel_core_i5_3470(), /*engine_threads=*/3);
+  const PipelineResult a = serial.run(input);
+  const PipelineResult b = threaded.run(input);
+  EXPECT_EQ(img::max_abs_diff(a.output, b.output), 0);
+  EXPECT_DOUBLE_EQ(a.total_modeled_us, b.total_modeled_us);
+}
+
+TEST(GpuPipeline, RejectsInvalidInputs) {
+  GpuPipeline gpu;
+  EXPECT_THROW(gpu.run(ImageU8(15, 16)), SharpenError);
+  EXPECT_THROW(gpu.run(ImageU8(16, 12)), SharpenError);
+  SharpenParams bad;
+  bad.gamma = -1.0f;
+  EXPECT_THROW(gpu.run(img::make_constant(16, 16, 1), bad), SharpenError);
+}
+
+TEST(Pipelines, FlatImageIsAFixedPoint) {
+  // Constant image: zero edges, zero error -> output equals input.
+  const ImageU8 input = img::make_constant(32, 32, 123);
+  EXPECT_EQ(img::max_abs_diff(sharpen_cpu(input), input), 0);
+  EXPECT_EQ(img::max_abs_diff(sharpen_gpu(input), input), 0);
+}
+
+TEST(Pipelines, SharpeningIncreasesEdgeEnergyOnNaturalImages) {
+  const ImageU8 input = img::make_natural(128, 128, 17);
+  const ImageU8 out = sharpen_cpu(input);
+  EXPECT_GT(img::edge_energy(out), img::edge_energy(input));
+}
+
+TEST(Pipelines, NonSquareImagesWork) {
+  const ImageU8 input = img::make_natural(128, 48, 4);
+  EXPECT_EQ(img::max_abs_diff(sharpen_cpu(input), sharpen_gpu(input)), 0);
+}
+
+}  // namespace

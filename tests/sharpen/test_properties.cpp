@@ -1,0 +1,148 @@
+// Property-based sweeps: invariants that must hold across image sizes,
+// shapes, content classes and parameter settings.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "image/generate.hpp"
+#include "image/metrics.hpp"
+#include "sharpen/sharpen.hpp"
+
+namespace {
+
+using namespace sharp;
+using sharp::img::ImageU8;
+
+// ---------------------------------------------------------------------------
+// CPU == GPU across a (size x generator) sweep.
+// ---------------------------------------------------------------------------
+
+using SizeGen = std::tuple<int, int, const char*>;
+
+class CpuGpuEquivalence : public ::testing::TestWithParam<SizeGen> {};
+
+TEST_P(CpuGpuEquivalence, PixelExact) {
+  const auto [w, h, gen] = GetParam();
+  const ImageU8 input = img::make_named(gen, w, h, 1234);
+  const ImageU8 cpu = sharpen_cpu(input);
+  const ImageU8 gpu = sharpen_gpu(input);
+  EXPECT_EQ(img::max_abs_diff(cpu, gpu), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CpuGpuEquivalence,
+    ::testing::Combine(::testing::Values(16, 32, 64, 128),
+                       ::testing::Values(16, 48, 96),
+                       ::testing::Values("natural", "noise", "impulse")),
+    [](const auto& info) {
+      return std::to_string(std::get<0>(info.param)) + "x" +
+             std::to_string(std::get<1>(info.param)) + "_" +
+             std::get<2>(info.param);
+    });
+
+// ---------------------------------------------------------------------------
+// Output-range and determinism properties.
+// ---------------------------------------------------------------------------
+
+class OutputProperties : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(OutputProperties, DeterministicAcrossRuns) {
+  const ImageU8 input = img::make_named(GetParam(), 64, 64, 5);
+  EXPECT_EQ(img::max_abs_diff(sharpen_gpu(input), sharpen_gpu(input)), 0);
+  EXPECT_EQ(img::max_abs_diff(sharpen_cpu(input), sharpen_cpu(input)), 0);
+}
+
+TEST_P(OutputProperties, AmountZeroReconstructsSmoothPyramid) {
+  // amount = 0 disables the detail injection: the output is overshoot-
+  // clamped upscale(downscale(x)), which for any input stays within the
+  // input's global value range expanded by rounding.
+  const ImageU8 input = img::make_named(GetParam(), 64, 64, 5);
+  SharpenParams p;
+  p.amount = 0.0f;
+  const ImageU8 out = sharpen_cpu(input, p);
+  int in_min = 255, in_max = 0;
+  for (auto v : input.pixels()) {
+    in_min = std::min<int>(in_min, v);
+    in_max = std::max<int>(in_max, v);
+  }
+  for (auto v : out.pixels()) {
+    EXPECT_GE(int{v} + 1, in_min);
+    EXPECT_LE(int{v}, in_max + 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Generators, OutputProperties,
+                         ::testing::Values("natural", "noise", "gradient",
+                                           "checker", "impulse"),
+                         [](const auto& info) { return info.param; });
+
+// ---------------------------------------------------------------------------
+// Parameter monotonicity.
+// ---------------------------------------------------------------------------
+
+TEST(ParamProperties, MoreAmountMeansMoreEdgeEnergy) {
+  // Note: small amounts can produce output *smoother* than the input
+  // (strength < 1 under-reconstructs the detail layer); the invariant is
+  // monotonicity in `amount`, not dominance over the input.
+  const ImageU8 input = img::make_natural(96, 96, 77);
+  double prev = 0.0;
+  for (float amount : {0.5f, 1.5f, 3.0f}) {
+    SharpenParams p;
+    p.amount = amount;
+    const double e = img::edge_energy(sharpen_cpu(input, p));
+    EXPECT_GE(e, prev * 0.999) << amount;
+    prev = e;
+  }
+}
+
+TEST(ParamProperties, MeanEdgeMatchesMetricsDefinition) {
+  const ImageU8 input = img::make_natural(64, 64, 9);
+  const PipelineResult r = CpuPipeline().run(input);
+  // metrics::edge_energy averages over interior pixels only; the pipeline
+  // averages the zero-frame Sobel image over ALL pixels.
+  const double interior = img::edge_energy(input);
+  const double expected =
+      interior * (62.0 * 62.0) / (64.0 * 64.0);
+  EXPECT_NEAR(r.mean_edge, expected, 1e-9);
+}
+
+TEST(ParamProperties, GpuAndCpuAgreeForExtremeParams) {
+  const ImageU8 input = img::make_natural(64, 48, 31);
+  for (const SharpenParams p :
+       {SharpenParams{.amount = 0.0f},
+        SharpenParams{.amount = 10.0f, .gamma = 2.0f},
+        SharpenParams{.gamma = 0.1f, .strength_max = 100.0f},
+        SharpenParams{.osc_gain = 1.0f},
+        SharpenParams{.osc_gain = 0.0f}}) {
+    EXPECT_EQ(
+        img::max_abs_diff(sharpen_cpu(input, p), sharpen_gpu(input, p)), 0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Simulated-time scaling properties (the substrate of every figure).
+// ---------------------------------------------------------------------------
+
+TEST(TimingProperties, CpuTimeScalesRoughlyLinearlyWithPixels) {
+  const double t1 =
+      CpuPipeline().run(img::make_natural(64, 64, 1)).total_modeled_us;
+  const double t4 =
+      CpuPipeline().run(img::make_natural(128, 128, 1)).total_modeled_us;
+  EXPECT_NEAR(t4 / t1, 4.0, 1.2);
+}
+
+TEST(TimingProperties, GpuSpeedupGrowsWithImageSize) {
+  // Fig. 12's defining shape: the CPU/GPU ratio increases with size
+  // because launch and transfer overheads amortize.
+  double prev_ratio = 0.0;
+  for (int size : {64, 256, 1024}) {
+    const ImageU8 input = img::make_natural(size, size, 1);
+    const double cpu = CpuPipeline().run(input).total_modeled_us;
+    const double gpu = GpuPipeline().run(input).total_modeled_us;
+    const double ratio = cpu / gpu;
+    EXPECT_GT(ratio, prev_ratio) << size;
+    prev_ratio = ratio;
+  }
+}
+
+}  // namespace

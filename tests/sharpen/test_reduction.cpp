@@ -1,0 +1,161 @@
+// GPU reduction kernels (§V.C): all unroll variants must produce the exact
+// integer sum for all shapes, and their barrier counts must reflect the
+// Fig. 15 story (unroll-two pays one extra barrier per group).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "sharpen/gpu/kernels.hpp"
+#include "simcl/queue.hpp"
+
+namespace {
+
+using namespace sharp;
+using namespace sharp::gpu;
+using namespace simcl;
+
+class ReductionTest : public ::testing::Test {
+ protected:
+  Context ctx{amd_firepro_w8000()};
+  CommandQueue q{ctx};
+  KernelEnv env;
+
+  /// Runs stage 1 over `values`, returns (partial sums, kernel event).
+  std::pair<std::vector<std::int32_t>, Event> run_stage1(
+      const std::vector<std::int32_t>& values, int g, int ipt,
+      ReductionUnroll unroll) {
+    Buffer in = ctx.create_buffer("in", values.size() * sizeof(std::int32_t));
+    q.enqueue_write(in, values.data(), in.size());
+    const auto n = static_cast<std::int64_t>(values.size());
+    const std::int64_t groups =
+        (n + static_cast<std::int64_t>(g) * ipt - 1) /
+        (static_cast<std::int64_t>(g) * ipt);
+    Buffer partials = ctx.create_buffer(
+        "partials", static_cast<std::size_t>(groups) * sizeof(std::int32_t));
+    Event ev = q.enqueue_kernel(
+        make_reduce_stage1(in, n, partials, g, ipt, unroll, env),
+        {.global = NDRange(static_cast<std::size_t>(groups * g)),
+         .local = NDRange(static_cast<std::size_t>(g))});
+    std::vector<std::int32_t> out(static_cast<std::size_t>(groups));
+    q.enqueue_read(partials, out.data(), partials.size());
+    return {out, ev};
+  }
+};
+
+std::vector<std::int32_t> ramp(std::size_t n) {
+  std::vector<std::int32_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::int32_t>((i * 37 + 11) % 2041);
+  }
+  return v;
+}
+
+std::int64_t exact_sum(const std::vector<std::int32_t>& v) {
+  return std::accumulate(v.begin(), v.end(), std::int64_t{0});
+}
+
+class ReductionUnrollTest
+    : public ReductionTest,
+      public ::testing::WithParamInterface<ReductionUnroll> {};
+
+TEST_P(ReductionUnrollTest, ExactForVariousSizes) {
+  for (std::size_t n : {256u, 1024u, 4096u, 16384u, 65536u}) {
+    const auto values = ramp(n);
+    auto [partials, ev] = run_stage1(values, 128, 8, GetParam());
+    EXPECT_EQ(exact_sum({partials.begin(), partials.end()}),
+              exact_sum(values))
+        << "n=" << n;
+  }
+}
+
+TEST_P(ReductionUnrollTest, ExactForNonDivisibleSizes) {
+  // Sizes that do not fill the last group / last thread.
+  for (std::size_t n : {257u, 1000u, 1025u, 5000u}) {
+    const auto values = ramp(n);
+    auto [partials, ev] = run_stage1(values, 128, 8, GetParam());
+    EXPECT_EQ(exact_sum({partials.begin(), partials.end()}),
+              exact_sum(values))
+        << "n=" << n;
+  }
+}
+
+TEST_P(ReductionUnrollTest, ExactForOtherGroupGeometries) {
+  const auto values = ramp(8192);
+  for (int g : {128, 256}) {
+    for (int ipt : {1, 4, 16}) {
+      auto [partials, ev] = run_stage1(values, g, ipt, GetParam());
+      EXPECT_EQ(exact_sum({partials.begin(), partials.end()}),
+                exact_sum(values))
+          << "g=" << g << " ipt=" << ipt;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllUnrolls, ReductionUnrollTest,
+                         ::testing::Values(ReductionUnroll::kNone,
+                                           ReductionUnroll::kOne,
+                                           ReductionUnroll::kTwo),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case ReductionUnroll::kNone: return "None";
+                             case ReductionUnroll::kOne: return "One";
+                             case ReductionUnroll::kTwo: return "Two";
+                           }
+                           return "?";
+                         });
+
+TEST_F(ReductionTest, BarrierCountsMatchTheUnrollStory) {
+  const auto values = ramp(128 * 8 * 16);  // 16 groups, g=128, ipt=8
+  auto [p_none, ev_none] = run_stage1(values, 128, 8, ReductionUnroll::kNone);
+  auto [p_one, ev_one] = run_stage1(values, 128, 8, ReductionUnroll::kOne);
+  auto [p_two, ev_two] = run_stage1(values, 128, 8, ReductionUnroll::kTwo);
+  // g=128: kNone = 1 load barrier + 7 tree barriers; kOne = load barrier
+  // only (tail is one wavefront); kTwo = load barrier + merge barrier.
+  EXPECT_EQ(ev_none.stats.barrier_events, 16u * 8u);
+  EXPECT_EQ(ev_one.stats.barrier_events, 16u * 1u);
+  EXPECT_EQ(ev_two.stats.barrier_events, 16u * 2u);
+  // Fig. 15: unroll-one beats unroll-two beats no unrolling.
+  EXPECT_LT(ev_one.duration_us(), ev_two.duration_us());
+  EXPECT_LT(ev_two.duration_us(), ev_none.duration_us());
+}
+
+TEST_F(ReductionTest, Stage2GpuSumsPartialsExactly) {
+  const auto partial_values = ramp(16384);
+  Buffer partials = ctx.create_buffer(
+      "p", partial_values.size() * sizeof(std::int32_t));
+  q.enqueue_write(partials, partial_values.data(), partials.size());
+  Buffer sum = ctx.create_buffer("sum", sizeof(std::int64_t));
+  q.enqueue_kernel(
+      make_reduce_stage2(partials,
+                         static_cast<std::int64_t>(partial_values.size()),
+                         sum, 256, env),
+      {.global = NDRange(256), .local = NDRange(256)});
+  std::int64_t result = 0;
+  q.enqueue_read(sum, &result, sizeof(result));
+  EXPECT_EQ(result, exact_sum(partial_values));
+}
+
+TEST_F(ReductionTest, Stage2HandlesFewerPartialsThanGroupSize) {
+  const std::vector<std::int32_t> small{5, 7, 11, 13};
+  Buffer partials = ctx.create_buffer("p", small.size() * sizeof(std::int32_t));
+  q.enqueue_write(partials, small.data(), partials.size());
+  Buffer sum = ctx.create_buffer("sum", sizeof(std::int64_t));
+  q.enqueue_kernel(
+      make_reduce_stage2(partials, 4, sum, 256, env),
+      {.global = NDRange(256), .local = NDRange(256)});
+  std::int64_t result = 0;
+  q.enqueue_read(sum, &result, sizeof(result));
+  EXPECT_EQ(result, 36);
+}
+
+TEST_F(ReductionTest, FirstAddDuringLoadKeepsLdsTrafficLow) {
+  // ipt=8 pre-adds 8 values per thread before touching LDS; the naive
+  // alternative (ipt=1) uses 8x the groups and far more LDS traffic.
+  const auto values = ramp(65536);
+  auto [p8, ev8] = run_stage1(values, 128, 8, ReductionUnroll::kOne);
+  auto [p1, ev1] = run_stage1(values, 128, 1, ReductionUnroll::kOne);
+  EXPECT_LT(ev8.stats.local_accesses, ev1.stats.local_accesses);
+  EXPECT_LT(ev8.duration_us(), ev1.duration_us());
+}
+
+}  // namespace

@@ -1,0 +1,174 @@
+// CPU stage unit tests against hand-computed values — these pin down the
+// algorithm spec (DESIGN.md §5) independently of any implementation
+// sharing between CPU and GPU code paths.
+#include "sharpen/stages.hpp"
+
+#include <gtest/gtest.h>
+
+#include "image/generate.hpp"
+
+namespace {
+
+using namespace sharp;
+using namespace sharp::stages;
+using sharp::img::ImageF32;
+using sharp::img::ImageI32;
+using sharp::img::ImageU8;
+
+TEST(Downscale, ConstantBlocksGiveExactMeans) {
+  ImageU8 in(16, 16);
+  // Fill each 4x4 block with its block index.
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 16; ++x) {
+      in(x, y) = static_cast<std::uint8_t>((y / 4) * 4 + (x / 4));
+    }
+  }
+  ImageF32 d = downscale(in);
+  ASSERT_EQ(d.width(), 4);
+  ASSERT_EQ(d.height(), 4);
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      EXPECT_FLOAT_EQ(d(c, r), static_cast<float>(r * 4 + c));
+    }
+  }
+}
+
+TEST(Downscale, MixedBlockMeanIsExact) {
+  ImageU8 in(16, 16, 0);
+  // One block: top-left 4x4 holds values 1..16 -> mean 8.5 exactly.
+  std::uint8_t v = 1;
+  for (int y = 0; y < 4; ++y) {
+    for (int x = 0; x < 4; ++x) {
+      in(x, y) = v++;
+    }
+  }
+  EXPECT_FLOAT_EQ(downscale(in)(0, 0), 8.5f);
+}
+
+TEST(Downscale, RejectsBadGeometry) {
+  EXPECT_THROW(downscale(ImageU8(15, 16)), SharpenError);
+  EXPECT_THROW(downscale(ImageU8(16, 18)), SharpenError);
+  EXPECT_THROW(downscale(ImageU8(12, 12)), SharpenError);
+}
+
+TEST(Sobel, ZeroOnConstantImage) {
+  ImageI32 e = sobel(img::make_constant(32, 32, 200));
+  for (auto v : e.pixels()) {
+    EXPECT_EQ(v, 0);
+  }
+}
+
+TEST(Sobel, FrameIsAlwaysZero) {
+  ImageI32 e = sobel(img::make_noise(32, 32, 5));
+  for (int x = 0; x < 32; ++x) {
+    EXPECT_EQ(e(x, 0), 0);
+    EXPECT_EQ(e(x, 31), 0);
+  }
+  for (int y = 0; y < 32; ++y) {
+    EXPECT_EQ(e(0, y), 0);
+    EXPECT_EQ(e(31, y), 0);
+  }
+}
+
+TEST(Sobel, VerticalStepEdgeHandComputed) {
+  // Columns 0..7 black, 8..15 white (value 100).
+  ImageU8 in(16, 16, 0);
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 8; x < 16; ++x) {
+      in(x, y) = 100;
+    }
+  }
+  ImageI32 e = sobel(in);
+  // At x=7 (left of edge): gx = (100+200+100) - 0 = 400, gy = 0.
+  EXPECT_EQ(e(7, 8), 400);
+  EXPECT_EQ(e(8, 8), 400);  // right of edge sees the same magnitude
+  EXPECT_EQ(e(5, 8), 0);    // far from the edge
+  EXPECT_EQ(e(10, 8), 0);
+}
+
+TEST(Sobel, DiagonalValuesMatchManualConvolution) {
+  ImageU8 in(16, 16, 0);
+  in(8, 8) = 10;  // single bright pixel
+  ImageI32 e = sobel(in);
+  // Neighbors of an impulse: |gx|+|gy| of the Sobel masks.
+  EXPECT_EQ(e(7, 7), 20);  // corner: |1*10| + |1*10|
+  EXPECT_EQ(e(7, 8), 20);  // left: |2*10| + 0
+  EXPECT_EQ(e(8, 7), 20);  // top: 0 + |2*10|
+  EXPECT_EQ(e(8, 8), 0);   // center: both masks cancel
+}
+
+TEST(Difference, ExactAndShapeChecked) {
+  ImageU8 a(16, 16, 100);
+  ImageF32 b(16, 16, 60.25f);
+  ImageF32 d = difference(a, b);
+  EXPECT_FLOAT_EQ(d(5, 5), 39.75f);
+  EXPECT_THROW(difference(a, ImageF32(16, 20)), SharpenError);
+}
+
+TEST(Reduction, ExactInt64Sum) {
+  ImageI32 e(16, 16, 0);
+  std::int64_t expect = 0;
+  std::int32_t v = 0;
+  for (auto& px : e.pixels()) {
+    px = v;
+    expect += v;
+    v = (v + 137) % 2041;
+  }
+  EXPECT_EQ(reduce_sum(e), expect);
+}
+
+TEST(Reduction, InverseMeanGuardsFlatImages) {
+  SharpenParams p;
+  const float inv = inverse_mean_edge(0, 256, p);
+  EXPECT_FLOAT_EQ(inv, 1.0f / p.mean_epsilon);
+  EXPECT_THROW(inverse_mean_edge(10, 0, p), SharpenError);
+}
+
+TEST(Preliminary, ZeroEdgeMeansNoChange) {
+  // s(0) = 0 for gamma > 0, so prelim == upscaled everywhere.
+  ImageF32 up(16, 16, 50.0f);
+  ImageF32 err(16, 16, 3.0f);
+  ImageI32 edge(16, 16, 0);
+  SharpenParams p;
+  ImageF32 pm = preliminary(up, err, edge, 1.0f, p);
+  for (auto v : pm.pixels()) {
+    EXPECT_FLOAT_EQ(v, 50.0f);
+  }
+}
+
+TEST(Preliminary, StrengthSaturatesAtMax) {
+  ImageF32 up(16, 16, 0.0f);
+  ImageF32 err(16, 16, 1.0f);
+  ImageI32 edge(16, 16, 1000000);  // enormous edge -> strength clamps
+  SharpenParams p;
+  ImageF32 pm = preliminary(up, err, edge, 1.0f, p);
+  EXPECT_FLOAT_EQ(pm(3, 3), p.amount * p.strength_max);
+}
+
+TEST(Preliminary, MatchesScalarFormula) {
+  SharpenParams p;
+  ImageF32 up(16, 16, 10.0f);
+  ImageF32 err(16, 16, 2.0f);
+  ImageI32 edge(16, 16, 9);
+  const float inv_mean = 0.25f;  // mean edge of 4
+  ImageF32 pm = preliminary(up, err, edge, inv_mean, p);
+  const float s = p.amount * std::min(std::pow(9.0f * 0.25f, p.gamma),
+                                      p.strength_max);
+  EXPECT_FLOAT_EQ(pm(0, 0), 10.0f + s * 2.0f);
+}
+
+TEST(Params, ValidationRejectsBadValues) {
+  SharpenParams p;
+  p.gamma = 0.0f;
+  EXPECT_THROW(p.validate(), SharpenError);
+  p = {};
+  p.amount = -1.0f;
+  EXPECT_THROW(p.validate(), SharpenError);
+  p = {};
+  p.mean_epsilon = 0.0f;
+  EXPECT_THROW(p.validate(), SharpenError);
+  p = {};
+  EXPECT_NO_THROW(p.validate());
+}
+
+}  // namespace

@@ -1,0 +1,146 @@
+// Upscale semantics: the reconstruction of the paper's border behaviour
+// (copied first/second and last/penultimate rows/columns), partition into
+// body + border, and interpolation exactness.
+#include <gtest/gtest.h>
+
+#include "image/generate.hpp"
+#include "sharpen/stages.hpp"
+
+namespace {
+
+using namespace sharp;
+using namespace sharp::stages;
+using sharp::img::ImageF32;
+using sharp::img::ImageU8;
+
+ImageF32 ramp_down(int dw, int dh) {
+  ImageF32 d(dw, dh);
+  for (int r = 0; r < dh; ++r) {
+    for (int c = 0; c < dw; ++c) {
+      d(c, r) = static_cast<float>(r * dw + c);
+    }
+  }
+  return d;
+}
+
+TEST(Upscale, ConstantImageStaysConstant) {
+  // Partition of unity: the interpolation weights sum to 1 everywhere.
+  ImageF32 d(8, 8, 42.5f);
+  ImageF32 u = upscale(d, 32, 32);
+  for (auto v : u.pixels()) {
+    EXPECT_FLOAT_EQ(v, 42.5f);
+  }
+}
+
+TEST(Upscale, FirstTwoRowsAreEqualAndLastTwoRowsAreEqual) {
+  // The paper copies row 0 -> row 1 and penultimate -> last; with our
+  // clamped formulation both pairs coincide by construction.
+  ImageF32 d = ramp_down(8, 8);
+  ImageF32 u = upscale(d, 32, 32);
+  for (int x = 0; x < 32; ++x) {
+    EXPECT_FLOAT_EQ(u(x, 0), u(x, 1)) << "x=" << x;
+    EXPECT_FLOAT_EQ(u(x, 30), u(x, 31)) << "x=" << x;
+  }
+  for (int y = 0; y < 32; ++y) {
+    EXPECT_FLOAT_EQ(u(0, y), u(1, y)) << "y=" << y;
+    EXPECT_FLOAT_EQ(u(30, y), u(31, y)) << "y=" << y;
+  }
+}
+
+TEST(Upscale, NodePointsHitDownscaledValues) {
+  // Phase 0 outputs (y = 2 + 4r, x = 2 + 4c) take weight (1, 0): they
+  // reproduce D[r][c] exactly.
+  ImageF32 d = ramp_down(8, 8);
+  ImageF32 u = upscale(d, 32, 32);
+  for (int r = 0; r < 7; ++r) {
+    for (int c = 0; c < 7; ++c) {
+      EXPECT_FLOAT_EQ(u(2 + 4 * c, 2 + 4 * r), d(c, r));
+    }
+  }
+}
+
+TEST(Upscale, LinearRampInterpolatesLinearly) {
+  // D[r][c] = c: along x, the body must reproduce the dyadic fractions.
+  ImageF32 d(8, 8);
+  for (int r = 0; r < 8; ++r) {
+    for (int c = 0; c < 8; ++c) {
+      d(c, r) = static_cast<float>(c);
+    }
+  }
+  ImageF32 u = upscale(d, 32, 32);
+  // Between nodes c=1 (x=6) and c=2 (x=10): 1.0, 1.25, 1.5, 1.75, 2.0.
+  EXPECT_FLOAT_EQ(u(6, 16), 1.0f);
+  EXPECT_FLOAT_EQ(u(7, 16), 1.25f);
+  EXPECT_FLOAT_EQ(u(8, 16), 1.5f);
+  EXPECT_FLOAT_EQ(u(9, 16), 1.75f);
+  EXPECT_FLOAT_EQ(u(10, 16), 2.0f);
+}
+
+TEST(Upscale, BodyPlusBorderEqualsFullUpscale) {
+  const ImageU8 src = img::make_natural(64, 48, 11);
+  const ImageF32 d = downscale(src);
+  const ImageF32 full = upscale(d, 64, 48);
+  ImageF32 split(64, 48, -1.0f);
+  upscale_body(d, split.view());
+  upscale_border(d, split.view());
+  for (int y = 0; y < 48; ++y) {
+    for (int x = 0; x < 64; ++x) {
+      EXPECT_FLOAT_EQ(split(x, y), full(x, y)) << x << "," << y;
+    }
+  }
+}
+
+TEST(Upscale, BodyAndBorderAreDisjointAndComplete) {
+  const ImageF32 d(8, 8, 1.0f);
+  ImageF32 body_only(32, 32, -7.0f);
+  upscale_body(d, body_only.view());
+  ImageF32 border_only(32, 32, -7.0f);
+  upscale_border(d, border_only.view());
+  int body_px = 0;
+  int border_px = 0;
+  for (int y = 0; y < 32; ++y) {
+    for (int x = 0; x < 32; ++x) {
+      const bool body_wrote = body_only(x, y) != -7.0f;
+      const bool border_wrote = border_only(x, y) != -7.0f;
+      EXPECT_NE(body_wrote, border_wrote) << x << "," << y;
+      body_px += body_wrote;
+      border_px += border_wrote;
+    }
+  }
+  EXPECT_EQ(body_px, 28 * 28);
+  EXPECT_EQ(border_px, 32 * 32 - 28 * 28);
+}
+
+TEST(Upscale, RoundTripOfBlockConstantImageIsExact) {
+  // An image constant within every 4x4 block downsamples losslessly; the
+  // upscale reproduces it exactly at phase-0 nodes and interpolates
+  // between block values elsewhere — for a globally constant image the
+  // round trip is the identity.
+  const ImageU8 src = img::make_constant(32, 32, 77);
+  const ImageF32 u = upscale(downscale(src), 32, 32);
+  for (auto v : u.pixels()) {
+    EXPECT_FLOAT_EQ(v, 77.0f);
+  }
+}
+
+TEST(Upscale, GeometryValidation) {
+  ImageF32 d(8, 8);
+  EXPECT_THROW(upscale(d, 36, 32), SharpenError);  // dw mismatch
+  EXPECT_THROW(upscale(d, 32, 36), SharpenError);
+  ImageF32 out(36, 32);
+  EXPECT_THROW(upscale_body(d, out.view()), SharpenError);
+}
+
+TEST(Upscale, NonSquareImages) {
+  const ImageU8 src = img::make_natural(96, 32, 3);
+  const ImageF32 d = downscale(src);
+  EXPECT_EQ(d.width(), 24);
+  EXPECT_EQ(d.height(), 8);
+  const ImageF32 u = upscale(d, 96, 32);
+  EXPECT_EQ(u.width(), 96);
+  EXPECT_EQ(u.height(), 32);
+  // Node exactness still holds off the diagonal.
+  EXPECT_FLOAT_EQ(u(2 + 4 * 10, 2 + 4 * 3), d(10, 3));
+}
+
+}  // namespace

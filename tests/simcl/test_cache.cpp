@@ -1,0 +1,100 @@
+// LineCacheSim: the coalescing/data-reuse model must count transactions
+// exactly, since the vectorization results of Fig. 14 rest on it.
+#include "simcl/cache_sim.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using simcl::LineCacheSim;
+
+TEST(LineCacheSim, FirstTouchMissesOncePerLine) {
+  LineCacheSim cache(16 * 1024, 64);
+  EXPECT_EQ(cache.access(0, 4), 1u);    // cold miss
+  EXPECT_EQ(cache.access(4, 4), 0u);    // same line
+  EXPECT_EQ(cache.access(60, 4), 0u);   // still within line 0
+  EXPECT_EQ(cache.access(64, 4), 1u);   // next line
+}
+
+TEST(LineCacheSim, AccessSpanningTwoLinesCountsBoth) {
+  LineCacheSim cache(16 * 1024, 64);
+  EXPECT_EQ(cache.access(60, 8), 2u);  // straddles lines 0 and 1
+  EXPECT_EQ(cache.access(0, 4), 0u);
+  EXPECT_EQ(cache.access(64, 4), 0u);
+}
+
+TEST(LineCacheSim, SequentialStreamMissesOnceEvery64Bytes) {
+  LineCacheSim cache(16 * 1024, 64);
+  std::uint32_t misses = 0;
+  for (std::uint64_t addr = 0; addr < 4096; addr += 4) {
+    misses += cache.access(addr, 4);
+  }
+  EXPECT_EQ(misses, 4096u / 64u);
+}
+
+TEST(LineCacheSim, ConflictEvictsWhenWaysExhausted) {
+  // 1 KiB, 64 B lines, 2-way => 8 sets. Addresses k*512 share set 0;
+  // two of them fit, the third evicts the LRU.
+  LineCacheSim cache(1024, 64, 2);
+  EXPECT_EQ(cache.access(0, 4), 1u);
+  EXPECT_EQ(cache.access(512, 4), 1u);
+  EXPECT_EQ(cache.access(0, 4), 0u);     // both ways resident
+  EXPECT_EQ(cache.access(1024, 4), 1u);  // evicts LRU (512)
+  EXPECT_EQ(cache.access(0, 4), 0u);     // 0 was MRU, still resident
+  EXPECT_EQ(cache.access(512, 4), 1u);   // was evicted
+}
+
+TEST(LineCacheSim, LruKeepsRecentlyTouchedLines) {
+  LineCacheSim cache(1024, 64, 2);
+  EXPECT_EQ(cache.access(0, 4), 1u);
+  EXPECT_EQ(cache.access(512, 4), 1u);
+  EXPECT_EQ(cache.access(512, 4), 0u);   // refresh 512 -> MRU
+  EXPECT_EQ(cache.access(1024, 4), 1u);  // evicts 0 (now LRU)
+  EXPECT_EQ(cache.access(512, 4), 0u);
+  EXPECT_EQ(cache.access(0, 4), 1u);
+}
+
+TEST(LineCacheSim, RowStridedScansDoNotThrash) {
+  // Image rows one cache-size apart: a direct-mapped model would miss on
+  // every access; associativity must keep the active rows resident.
+  LineCacheSim cache(16 * 1024, 64, 8);
+  std::uint32_t misses = 0;
+  constexpr std::uint64_t kRowStride = 16 * 1024;
+  for (std::uint64_t x = 0; x < 256; x += 4) {
+    for (std::uint64_t row = 0; row < 4; ++row) {
+      misses += cache.access(row * kRowStride + x, 4);
+    }
+  }
+  // 4 rows x 256 bytes = 16 distinct lines; everything else must hit.
+  EXPECT_EQ(misses, 16u);
+}
+
+TEST(LineCacheSim, ResetInvalidatesEverything) {
+  LineCacheSim cache(16 * 1024, 64);
+  EXPECT_EQ(cache.access(128, 4), 1u);
+  EXPECT_EQ(cache.access(128, 4), 0u);
+  cache.reset();
+  EXPECT_EQ(cache.access(128, 4), 1u);
+}
+
+TEST(LineCacheSim, ZeroSizeAccessIsFree) {
+  LineCacheSim cache(16 * 1024, 64);
+  EXPECT_EQ(cache.access(0, 0), 0u);
+}
+
+TEST(LineCacheSim, RejectsNonPowerOfTwoGeometry) {
+  EXPECT_THROW(LineCacheSim(1000, 64), simcl::InvalidArgument);
+  EXPECT_THROW(LineCacheSim(1024, 48), simcl::InvalidArgument);
+  EXPECT_THROW(LineCacheSim(32, 64), simcl::InvalidArgument);
+  EXPECT_THROW(LineCacheSim(1024, 64, 3), simcl::InvalidArgument);
+  EXPECT_THROW(LineCacheSim(256, 64, 8), simcl::InvalidArgument);
+}
+
+TEST(LineCacheSim, GeometryAccessors) {
+  LineCacheSim cache(16 * 1024, 64);
+  EXPECT_EQ(cache.line_bytes(), 64u);
+  EXPECT_EQ(cache.lines(), 256u);
+  EXPECT_EQ(cache.ways(), 8u);
+}
+
+}  // namespace

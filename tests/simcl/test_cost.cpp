@@ -1,0 +1,150 @@
+// Cost model tests: the *relationships* the paper's figures depend on must
+// hold structurally (launch overhead dominates small kernels, map vs
+// read/write crossover, barrier cost grows with barrier count, ...).
+#include "simcl/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "simcl/device.hpp"
+
+namespace {
+
+using namespace simcl;
+
+class CostModelTest : public ::testing::Test {
+ protected:
+  CostModel model{amd_firepro_w8000(), intel_core_i5_3470()};
+};
+
+KernelStats make_stats(std::uint64_t items, std::uint64_t alu_per_item,
+                       std::uint64_t accesses_per_item,
+                       std::uint64_t miss_lines) {
+  KernelStats s;
+  s.work_items = items;
+  s.work_groups = std::max<std::uint64_t>(1, items / 256);
+  s.alu_ops = items * alu_per_item;
+  s.global_loads = items * accesses_per_item;
+  s.global_load_bytes = s.global_loads * 4;
+  s.l1_miss_lines = miss_lines;
+  return s;
+}
+
+TEST_F(CostModelTest, LaunchOverheadDominatesTinyKernels) {
+  const KernelStats tiny = make_stats(64, 10, 2, 8);
+  const double t = model.kernel_time_us(tiny);
+  EXPECT_GE(t, model.device().kernel_launch_us);
+  EXPECT_LT(t, model.device().kernel_launch_us * 1.1);
+}
+
+TEST_F(CostModelTest, KernelTimeScalesWithWork) {
+  const double t1 = model.kernel_time_us(make_stats(1 << 16, 20, 8, 4096));
+  const double t2 = model.kernel_time_us(make_stats(1 << 24, 20, 8, 1 << 20));
+  EXPECT_GT(t2, t1 * 10);
+}
+
+TEST_F(CostModelTest, RooflineTakesTheBindingResource) {
+  // Access-bound kernel: huge issue count, little ALU.
+  KernelStats bound = make_stats(1 << 22, 1, 16, 0);
+  const double t_access = model.kernel_time_us(bound);
+  // Same kernel vectorized: 1/4 the issue slots.
+  KernelStats vec = make_stats(1 << 22, 1, 4, 0);
+  const double t_vec = model.kernel_time_us(vec);
+  EXPECT_GT(t_access, t_vec * 2.0);
+}
+
+TEST_F(CostModelTest, DramMissesCost) {
+  KernelStats hits = make_stats(1 << 20, 4, 4, 1 << 10);
+  KernelStats misses = make_stats(1 << 20, 4, 4, 1 << 22);
+  EXPECT_GT(model.kernel_time_us(misses), model.kernel_time_us(hits) * 5);
+}
+
+TEST_F(CostModelTest, BarriersAddTime) {
+  KernelStats base = make_stats(1 << 20, 16, 2, 1 << 12);
+  KernelStats barried = base;
+  barried.barrier_events = barried.work_groups * 8;
+  EXPECT_GT(model.kernel_time_us(barried), model.kernel_time_us(base));
+}
+
+TEST_F(CostModelTest, DivergencePenalizesOnlyDivergentFraction) {
+  // Zero the flat divergent-kernel overhead so the *scaling* term is
+  // isolated.
+  DeviceSpec gpu = amd_firepro_w8000();
+  gpu.divergent_kernel_overhead_us = 0.0;
+  CostModel m(gpu, intel_core_i5_3470());
+  KernelStats s = make_stats(1 << 20, 100, 1, 1 << 10);
+  const double base = m.kernel_time_us(s, 4.0);
+  s.divergent_items = s.work_items / 2;
+  const double half = m.kernel_time_us(s, 4.0);
+  s.divergent_items = s.work_items;
+  const double full = m.kernel_time_us(s, 4.0);
+  EXPECT_GT(half, base);
+  EXPECT_GT(full, half);
+  // Execution time (net of launch overhead) scales by the full factor
+  // when every item diverges.
+  const double launch = gpu.kernel_launch_us;
+  EXPECT_NEAR((full - launch) / (base - launch), 4.0, 0.2);
+}
+
+TEST_F(CostModelTest, MapBeatsBulkForSmallBuffersOnly) {
+  // The paper (Fig. 14 discussion): map/unmap is effective at small data
+  // sizes; read/write wins as data grows.
+  const std::size_t small = 16 * 1024;
+  EXPECT_LT(model.mapped_transfer_us(small), model.bulk_transfer_us(small));
+  const std::size_t large = 64 * 1024 * 1024;
+  EXPECT_GT(model.mapped_transfer_us(large), model.bulk_transfer_us(large));
+}
+
+TEST_F(CostModelTest, RectTransferAddsPerRowCost) {
+  const std::size_t bytes = 1 << 20;
+  const double bulk = model.bulk_transfer_us(bytes);
+  const double rect_few = model.rect_transfer_us(bytes, 16);
+  const double rect_many = model.rect_transfer_us(bytes, 4096);
+  EXPECT_GT(rect_few, bulk);
+  EXPECT_GT(rect_many, rect_few);
+}
+
+TEST_F(CostModelTest, HostComputeUsesCpuRoofline) {
+  const simcl::DeviceSpec& cpu = model.host();
+  // Pure-compute work lands exactly on the effective ALU rate.
+  const double flops = 4.04e7;
+  const double t = model.host_compute_us({.flops = flops, .bytes = 0.0});
+  EXPECT_NEAR(t, flops / cpu.alu_ops_per_us(), 1e-6);
+  // Memory-bound host work lands on the effective bandwidth.
+  const double bytes = 2e7;
+  const double tm = model.host_compute_us({.flops = 0.0, .bytes = bytes});
+  EXPECT_NEAR(tm, bytes / cpu.mem_bytes_per_us(), 1e-6);
+  // Fixed cost floors everything.
+  const double tf = model.host_compute_us({.fixed_us = 5.0});
+  EXPECT_DOUBLE_EQ(tf, 5.0);
+}
+
+TEST_F(CostModelTest, GpuBeatsCpuOnBigUniformWork) {
+  // Sanity for the headline Fig. 12 shape: the same logical work costs
+  // far less on the W8000 model than on the i5 model.
+  const double flops = 1e9;
+  KernelStats s;
+  s.work_items = 1 << 20;
+  s.work_groups = 1 << 12;
+  s.alu_ops = static_cast<std::uint64_t>(flops);
+  const double gpu = model.kernel_time_us(s);
+  const double cpu = model.host_compute_us({.flops = flops});
+  EXPECT_GT(cpu / gpu, 10.0);
+}
+
+TEST(DeviceSpecTest, PresetsMatchTableI) {
+  const DeviceSpec gpu = amd_firepro_w8000();
+  EXPECT_DOUBLE_EQ(gpu.clock_ghz, 0.88);
+  EXPECT_EQ(gpu.lanes, 1792);
+  EXPECT_DOUBLE_EQ(gpu.peak_gflops, 3230.0);
+  EXPECT_DOUBLE_EQ(gpu.mem_bandwidth_gbps, 176.0);
+  EXPECT_FALSE(gpu.is_cpu);
+
+  const DeviceSpec cpu = intel_core_i5_3470();
+  EXPECT_DOUBLE_EQ(cpu.clock_ghz, 3.2);
+  EXPECT_EQ(cpu.compute_units, 4);
+  EXPECT_DOUBLE_EQ(cpu.peak_gflops, 57.76);
+  EXPECT_DOUBLE_EQ(cpu.mem_bandwidth_gbps, 25.0);
+  EXPECT_TRUE(cpu.is_cpu);
+}
+
+}  // namespace

@@ -1,0 +1,329 @@
+// Engine semantics: NDRange decomposition, accessor accounting, local
+// memory sharing, barrier correctness (the fiber scheduler), atomics and
+// failure injection.
+#include "simcl/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "simcl/queue.hpp"
+
+namespace {
+
+using namespace simcl;
+
+DeviceSpec test_spec() {
+  DeviceSpec d = amd_firepro_w8000();
+  return d;
+}
+
+class EngineTest : public ::testing::Test {
+ protected:
+  Context ctx{test_spec()};
+  Engine& engine{ctx.engine()};
+};
+
+TEST_F(EngineTest, GlobalIdsCoverEveryItemExactlyOnce1D) {
+  Buffer buf = ctx.create_buffer("ids", 1024 * sizeof(std::int32_t));
+  Kernel k{.name = "ids",
+           .body = [&](WorkItem& it) {
+             auto out = it.global<std::int32_t>(buf);
+             const auto i = static_cast<std::size_t>(it.global_id(0));
+             out.store(i, out.load(i) + 1);
+           }};
+  engine.run(k, {.global = NDRange(1024), .local = NDRange(64)});
+  for (std::int32_t v : buf.backing_as<std::int32_t>()) {
+    EXPECT_EQ(v, 1);
+  }
+}
+
+TEST_F(EngineTest, GlobalIdsCoverEveryItemExactlyOnce2D) {
+  constexpr int kW = 64, kH = 48;
+  Buffer buf = ctx.create_buffer("ids2d", kW * kH * sizeof(std::int32_t));
+  Kernel k{.name = "ids2d",
+           .body = [&](WorkItem& it) {
+             auto out = it.global<std::int32_t>(buf);
+             const int x = it.global_id(0);
+             const int y = it.global_id(1);
+             out.store(static_cast<std::size_t>(y * kW + x),
+                       y * kW + x);
+           }};
+  engine.run(k, {.global = NDRange(kW, kH), .local = NDRange(16, 8)});
+  auto vals = buf.backing_as<std::int32_t>();
+  for (int i = 0; i < kW * kH; ++i) {
+    EXPECT_EQ(vals[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST_F(EngineTest, GeometryQueriesAreConsistent) {
+  bool checked = false;
+  Kernel k{.name = "geom",
+           .body = [&](WorkItem& it) {
+             ASSERT_EQ(it.global_size(0), 128);
+             ASSERT_EQ(it.global_size(1), 32);
+             ASSERT_EQ(it.local_size(0), 16);
+             ASSERT_EQ(it.local_size(1), 4);
+             ASSERT_EQ(it.num_groups(0), 8);
+             ASSERT_EQ(it.num_groups(1), 8);
+             ASSERT_EQ(it.global_id(0),
+                       it.group_id(0) * it.local_size(0) + it.local_id(0));
+             ASSERT_EQ(it.global_id(1),
+                       it.group_id(1) * it.local_size(1) + it.local_id(1));
+             ASSERT_EQ(it.flat_local_id(),
+                       it.local_id(1) * it.local_size(0) + it.local_id(0));
+             checked = true;
+           }};
+  engine.run(k, {.global = NDRange(128, 32), .local = NDRange(16, 4)});
+  EXPECT_TRUE(checked);
+}
+
+TEST_F(EngineTest, StatsCountItemsGroupsAluAndAccesses) {
+  Buffer buf = ctx.create_buffer("data", 256 * sizeof(float));
+  Kernel k{.name = "stats",
+           .body = [&](WorkItem& it) {
+             auto p = it.global<float>(buf);
+             const auto i = static_cast<std::size_t>(it.global_id(0));
+             p.store(i, p.load(i) * 2.0f);
+             it.alu(7);
+           }};
+  KernelStats s =
+      engine.run(k, {.global = NDRange(256), .local = NDRange(32)});
+  EXPECT_EQ(s.work_items, 256u);
+  EXPECT_EQ(s.work_groups, 8u);
+  EXPECT_EQ(s.alu_ops, 256u * 7u);
+  EXPECT_EQ(s.global_loads, 256u);
+  EXPECT_EQ(s.global_stores, 256u);
+  EXPECT_EQ(s.global_load_bytes, 256u * 4u);
+  EXPECT_EQ(s.global_store_bytes, 256u * 4u);
+  // 32 items/group * 4 B each = 2 lines per group, store hits the loaded
+  // line -> 2 misses per group, 8 groups.
+  EXPECT_EQ(s.l1_miss_lines, 16u);
+}
+
+TEST_F(EngineTest, VectorLoadIsOneIssueSlot) {
+  Buffer buf = ctx.create_buffer("vec", 256 * sizeof(float));
+  Kernel k{.name = "vec",
+           .body = [&](WorkItem& it) {
+             auto p = it.global<float>(buf);
+             const auto i = static_cast<std::size_t>(it.global_id(0)) * 4;
+             float4 v = p.vload4(i);
+             p.vstore4(v * 2.0f, i);
+           }};
+  KernelStats s = engine.run(k, {.global = NDRange(64), .local = NDRange(64)});
+  EXPECT_EQ(s.global_loads, 64u);
+  EXPECT_EQ(s.global_stores, 64u);
+  EXPECT_EQ(s.global_load_bytes, 64u * 16u);
+  for (std::size_t i = 0; i < 256; ++i) {
+    EXPECT_EQ(buf.backing_as<float>()[i], 0.0f);
+  }
+}
+
+TEST_F(EngineTest, LocalArrayIsSharedWithinGroup) {
+  // Each group writes its local ids into LDS, barriers, then item 0 sums
+  // them and writes the group total: n*(n-1)/2.
+  constexpr std::size_t kGroups = 4, kLocal = 64;
+  Buffer out = ctx.create_buffer("out", kGroups * sizeof(std::int32_t));
+  Kernel k{.name = "lds_sum",
+           .uses_barriers = true,
+           .body = [&](WorkItem& it) {
+             auto lds = it.local_array<std::int32_t>(kLocal);
+             const auto lid = static_cast<std::size_t>(it.local_id(0));
+             lds.store(lid, it.local_id(0));
+             it.barrier();
+             if (lid == 0) {
+               std::int32_t acc = 0;
+               for (std::size_t j = 0; j < kLocal; ++j) {
+                 acc += lds.load(j);
+               }
+               auto o = it.global<std::int32_t>(out);
+               o.store(static_cast<std::size_t>(it.group_id(0)), acc);
+             }
+           }};
+  KernelStats s = engine.run(
+      k, {.global = NDRange(kGroups * kLocal), .local = NDRange(kLocal)});
+  for (std::int32_t v : out.backing_as<std::int32_t>()) {
+    EXPECT_EQ(v, 64 * 63 / 2);
+  }
+  EXPECT_EQ(s.barrier_events, kGroups);
+}
+
+TEST_F(EngineTest, BarrierSeparatesPhasesCorrectly) {
+  // Classic check: every item writes slot lid, barriers, then reads slot
+  // (lid+1) % n. Without real barrier semantics the read sees stale data.
+  constexpr std::size_t kLocal = 128;
+  Buffer out = ctx.create_buffer("out", kLocal * sizeof(std::int32_t));
+  Kernel k{.name = "neighbor",
+           .uses_barriers = true,
+           .body = [&](WorkItem& it) {
+             auto lds = it.local_array<std::int32_t>(kLocal);
+             const auto lid = static_cast<std::size_t>(it.local_id(0));
+             lds.store(lid, static_cast<std::int32_t>(lid) * 10);
+             it.barrier();
+             const std::size_t next = (lid + 1) % kLocal;
+             auto o = it.global<std::int32_t>(out);
+             o.store(lid, lds.load(next));
+           }};
+  engine.run(k, {.global = NDRange(kLocal), .local = NDRange(kLocal)});
+  auto vals = out.backing_as<std::int32_t>();
+  for (std::size_t i = 0; i < kLocal; ++i) {
+    EXPECT_EQ(vals[i], static_cast<std::int32_t>((i + 1) % kLocal) * 10);
+  }
+}
+
+TEST_F(EngineTest, TreeReductionWithBarriersMatchesSerialSum) {
+  constexpr std::size_t kN = 4096, kLocal = 128;
+  Buffer in = ctx.create_buffer("in", kN * sizeof(std::int32_t));
+  Buffer out = ctx.create_buffer("out", (kN / kLocal) * sizeof(std::int32_t));
+  {
+    auto vals = in.backing_as<std::int32_t>();
+    std::iota(vals.begin(), vals.end(), 1);
+  }
+  Kernel k{.name = "tree_reduce",
+           .uses_barriers = true,
+           .body = [&](WorkItem& it) {
+             auto src = it.global<const std::int32_t>(in);
+             auto dst = it.global<std::int32_t>(out);
+             auto lds = it.local_array<std::int32_t>(kLocal);
+             const auto lid = static_cast<std::size_t>(it.local_id(0));
+             lds.store(lid, src.load(
+                 static_cast<std::size_t>(it.global_id(0))));
+             it.barrier();
+             for (std::size_t stride = kLocal / 2; stride > 0; stride /= 2) {
+               if (lid < stride) {
+                 lds.add_from(lid, lid + stride);
+               }
+               it.barrier();
+             }
+             if (lid == 0) {
+               dst.store(static_cast<std::size_t>(it.group_id(0)),
+                         lds.load(0));
+             }
+           }};
+  KernelStats s =
+      engine.run(k, {.global = NDRange(kN), .local = NDRange(kLocal)});
+  std::int64_t total = 0;
+  for (std::int32_t v : out.backing_as<std::int32_t>()) {
+    total += v;
+  }
+  EXPECT_EQ(total, static_cast<std::int64_t>(kN) * (kN + 1) / 2);
+  // log2(128) = 7 reduction barriers + 1 after load, per group.
+  EXPECT_EQ(s.barrier_events, (kN / kLocal) * 8u);
+}
+
+static std::int32_t first_i32(const Buffer& b) {
+  return b.backing_as<std::int32_t>()[0];
+}
+
+TEST_F(EngineTest, AtomicAddAccumulatesAcrossGroups) {
+  Buffer sum = ctx.create_buffer("sum", sizeof(std::int32_t));
+  Kernel k{.name = "atomic",
+           .body = [&](WorkItem& it) {
+             auto p = it.global<std::int32_t>(sum);
+             p.atomic_add(0, it.global_id(0));
+           }};
+  KernelStats s =
+      engine.run(k, {.global = NDRange(512), .local = NDRange(64)});
+  EXPECT_EQ(first_i32(sum), 511 * 512 / 2);
+  EXPECT_EQ(s.atomic_ops, 512u);
+}
+
+TEST_F(EngineTest, MultiThreadedGroupsProduceIdenticalStats) {
+  DeviceSpec spec = test_spec();
+  Context ctx2(spec, intel_core_i5_3470(), 4);
+  Buffer a1 = ctx.create_buffer("a", 4096 * sizeof(float));
+  Buffer a2 = ctx2.create_buffer("a", 4096 * sizeof(float));
+  auto make_kernel = [](Buffer& b) {
+    return Kernel{.name = "scale",
+                  .body = [&b](WorkItem& it) {
+                    auto p = it.global<float>(b);
+                    const auto i =
+                        static_cast<std::size_t>(it.global_id(0));
+                    p.store(i, static_cast<float>(i) * 0.5f);
+                    it.alu(2);
+                  }};
+  };
+  Kernel k1 = make_kernel(a1);
+  Kernel k2 = make_kernel(a2);
+  const LaunchConfig cfg{.global = NDRange(4096), .local = NDRange(64)};
+  KernelStats s1 = ctx.engine().run(k1, cfg);
+  KernelStats s2 = ctx2.engine().run(k2, cfg);
+  EXPECT_EQ(s1.alu_ops, s2.alu_ops);
+  EXPECT_EQ(s1.global_stores, s2.global_stores);
+  EXPECT_EQ(s1.l1_miss_lines, s2.l1_miss_lines);
+  EXPECT_EQ(std::vector<float>(a1.backing_as<float>().begin(),
+                               a1.backing_as<float>().end()),
+            std::vector<float>(a2.backing_as<float>().begin(),
+                               a2.backing_as<float>().end()));
+}
+
+// --- failure injection ------------------------------------------------------
+
+TEST_F(EngineTest, BarrierWithoutDeclarationThrows) {
+  Kernel k{.name = "bad_barrier",
+           .uses_barriers = false,
+           .body = [](WorkItem& it) { it.barrier(); }};
+  EXPECT_THROW(
+      engine.run(k, {.global = NDRange(64), .local = NDRange(64)}),
+      KernelFault);
+}
+
+TEST_F(EngineTest, OutOfBoundsGlobalAccessThrows) {
+  Buffer buf = ctx.create_buffer("small", 16 * sizeof(float));
+  Kernel k{.name = "oob",
+           .body = [&](WorkItem& it) {
+             auto p = it.global<float>(buf);
+             p.store(999, 1.0f);
+           }};
+  EXPECT_THROW(
+      engine.run(k, {.global = NDRange(1), .local = NDRange(1)}),
+      KernelFault);
+}
+
+TEST_F(EngineTest, OutOfBoundsAccessInsideFiberKernelThrows) {
+  Buffer buf = ctx.create_buffer("small", 16 * sizeof(float));
+  Kernel k{.name = "oob_fiber",
+           .uses_barriers = true,
+           .body = [&](WorkItem& it) {
+             it.barrier();
+             auto p = it.global<float>(buf);
+             p.store(999, 1.0f);
+           }};
+  EXPECT_THROW(
+      engine.run(k, {.global = NDRange(64), .local = NDRange(64)}),
+      KernelFault);
+}
+
+TEST_F(EngineTest, LdsOverflowThrows) {
+  Kernel k{.name = "lds_overflow",
+           .body = [&](WorkItem& it) {
+             (void)it.local_array<float>(1 << 20);
+           }};
+  EXPECT_THROW(
+      engine.run(k, {.global = NDRange(1), .local = NDRange(1)}),
+      KernelFault);
+}
+
+TEST_F(EngineTest, InvalidLaunchConfigsRejected) {
+  Kernel k{.name = "noop", .body = [](WorkItem&) {}};
+  EXPECT_THROW(
+      engine.run(k, {.global = NDRange(100), .local = NDRange(64)}),
+      InvalidLaunch);
+  EXPECT_THROW(
+      engine.run(k, {.global = NDRange(1024), .local = NDRange(512)}),
+      InvalidLaunch);
+  EXPECT_THROW(engine.run(k, {.global = NDRange(std::size_t{0}),
+                              .local = NDRange(1)}),
+               InvalidLaunch);
+}
+
+TEST_F(EngineTest, KernelWithoutBodyRejected) {
+  Kernel k{.name = "empty"};
+  EXPECT_THROW(
+      engine.run(k, {.global = NDRange(1), .local = NDRange(1)}),
+      InvalidArgument);
+}
+
+}  // namespace

@@ -1,0 +1,145 @@
+// Image2D objects + samplers: formats, transfers, sampled reads with
+// both address modes, writes, and accounting.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "simcl/queue.hpp"
+
+namespace {
+
+using namespace simcl;
+
+class Image2DTest : public ::testing::Test {
+ protected:
+  Context ctx{amd_firepro_w8000()};
+  CommandQueue q{ctx};
+  Engine& engine{ctx.engine()};
+};
+
+TEST_F(Image2DTest, CreationAndFormats) {
+  Image2D u8 = ctx.create_image2d("u8", ChannelFormat::kR_U8, 8, 4);
+  EXPECT_EQ(u8.width(), 8);
+  EXPECT_EQ(u8.height(), 4);
+  EXPECT_EQ(u8.pixel_bytes(), 1u);
+  EXPECT_EQ(u8.byte_size(), 32u);
+  Image2D f32 = ctx.create_image2d("f32", ChannelFormat::kR_F32, 8, 4);
+  EXPECT_EQ(f32.byte_size(), 128u);
+  EXPECT_NE(u8.device_addr(), f32.device_addr());
+  EXPECT_THROW(ctx.create_image2d("bad", ChannelFormat::kR_U8, 0, 4),
+               InvalidArgument);
+}
+
+TEST_F(Image2DTest, WriteReadRoundTrip) {
+  Image2D img = ctx.create_image2d("img", ChannelFormat::kR_I32, 4, 4);
+  std::vector<std::int32_t> src(16);
+  std::iota(src.begin(), src.end(), 100);
+  q.enqueue_write_image(img, src.data());
+  std::vector<std::int32_t> dst(16, 0);
+  q.enqueue_read_image(img, dst.data());
+  EXPECT_EQ(src, dst);
+  EXPECT_THROW(q.enqueue_write_image(img, nullptr), InvalidArgument);
+  EXPECT_THROW(q.enqueue_read_image(img, nullptr), InvalidArgument);
+}
+
+TEST_F(Image2DTest, SampledReadsInsideImage) {
+  Image2D img = ctx.create_image2d("img", ChannelFormat::kR_U8, 4, 3);
+  std::vector<std::uint8_t> src{1, 2,  3,  4,  //
+                                5, 6,  7,  8,  //
+                                9, 10, 11, 12};
+  q.enqueue_write_image(img, src.data());
+  std::vector<std::int32_t> got;
+  Kernel k{.name = "probe",
+           .body = [&](WorkItem&
+                           it) {
+             auto im = it.image<const std::uint8_t>(img);
+             EXPECT_EQ(im.width(), 4);
+             EXPECT_EQ(im.height(), 3);
+             got.push_back(im.read(0, 0));
+             got.push_back(im.read(3, 0));
+             got.push_back(im.read(2, 2));
+           }};
+  engine.run(k, {.global = NDRange(1), .local = NDRange(1)});
+  EXPECT_EQ(got, (std::vector<std::int32_t>{1, 4, 11}));
+}
+
+TEST_F(Image2DTest, ClampToEdgeReplicatesBorder) {
+  Image2D img = ctx.create_image2d("img", ChannelFormat::kR_U8, 3, 3);
+  const std::uint8_t src[9] = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  q.enqueue_write_image(img, src);
+  std::vector<std::int32_t> got;
+  Kernel k{.name = "probe",
+           .body = [&](WorkItem& it) {
+             auto im = it.image<const std::uint8_t>(img);
+             const Sampler edge{AddressMode::kClampToEdge};
+             got.push_back(im.read(-1, -1, edge));  // -> (0,0)
+             got.push_back(im.read(5, 0, edge));    // -> (2,0)
+             got.push_back(im.read(1, 99, edge));   // -> (1,2)
+             const Sampler zero{AddressMode::kClampToZero};
+             got.push_back(im.read(-1, 0, zero));
+             got.push_back(im.read(0, 3, zero));
+           }};
+  engine.run(k, {.global = NDRange(1), .local = NDRange(1)});
+  EXPECT_EQ(got, (std::vector<std::int32_t>{1, 3, 8, 0, 0}));
+}
+
+TEST_F(Image2DTest, WritesLandAndOutOfRangeWriteFaults) {
+  Image2D img = ctx.create_image2d("img", ChannelFormat::kR_F32, 4, 4);
+  Kernel k{.name = "write",
+           .body = [&](WorkItem& it) {
+             auto im = it.image<float>(img);
+             im.write(it.global_id(0), it.global_id(1),
+                      static_cast<float>(it.global_id(0) * 10 +
+                                         it.global_id(1)));
+           }};
+  engine.run(k, {.global = NDRange(4, 4), .local = NDRange(4, 4)});
+  std::vector<float> out(16);
+  q.enqueue_read_image(img, out.data());
+  EXPECT_FLOAT_EQ(out[0], 0.0f);
+  EXPECT_FLOAT_EQ(out[4 + 2], 21.0f);  // (x=2, y=1)
+
+  Kernel bad{.name = "bad",
+             .body = [&](WorkItem& it) {
+               auto im = it.image<float>(img);
+               im.write(99, 0, 1.0f);
+               (void)it;
+             }};
+  EXPECT_THROW(engine.run(bad, {.global = NDRange(1), .local = NDRange(1)}),
+               KernelFault);
+}
+
+TEST_F(Image2DTest, TypeFormatMismatchFaults) {
+  Image2D img = ctx.create_image2d("img", ChannelFormat::kR_U8, 4, 4);
+  Kernel k{.name = "mismatch",
+           .body = [&](WorkItem& it) {
+             (void)it.image<const float>(img);  // 4 bytes vs 1-byte texels
+           }};
+  EXPECT_THROW(engine.run(k, {.global = NDRange(1), .local = NDRange(1)}),
+               KernelFault);
+}
+
+TEST_F(Image2DTest, ReadsAreCountedAsLoadsAndCacheFiltered) {
+  Image2D img = ctx.create_image2d("img", ChannelFormat::kR_U8, 64, 64);
+  std::vector<std::uint8_t> src(64 * 64, 1);
+  q.enqueue_write_image(img, src.data());
+  Kernel k{.name = "sum3x3",
+           .body = [&](WorkItem& it) {
+             auto im = it.image<const std::uint8_t>(img);
+             std::int32_t acc = 0;
+             for (int dy = -1; dy <= 1; ++dy) {
+               for (int dx = -1; dx <= 1; ++dx) {
+                 acc += im.read(it.global_id(0) + dx,
+                                it.global_id(1) + dy);
+               }
+             }
+             it.alu(static_cast<std::uint64_t>(acc > 0 ? 9 : 9));
+           }};
+  const KernelStats s = engine.run(
+      k, {.global = NDRange(64, 64), .local = NDRange(16, 16)});
+  EXPECT_EQ(s.global_loads, 64u * 64u * 9u);
+  // Texture-cache locality: far fewer DRAM lines than loads.
+  EXPECT_LT(s.l1_miss_lines, s.global_loads / 8);
+}
+
+}  // namespace

@@ -1,0 +1,207 @@
+// CommandQueue semantics: transfers move the right bytes, rect transfers
+// scatter correctly (the padding-on-transfer path), map/unmap aliases the
+// buffer, and the event timeline is consistent.
+#include "simcl/queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+namespace {
+
+using namespace simcl;
+
+class QueueTest : public ::testing::Test {
+ protected:
+  Context ctx{amd_firepro_w8000()};
+  CommandQueue queue{ctx};
+};
+
+TEST_F(QueueTest, WriteThenReadRoundTrips) {
+  Buffer buf = ctx.create_buffer("b", 256);
+  std::vector<std::uint8_t> src(256);
+  std::iota(src.begin(), src.end(), 0);
+  queue.enqueue_write(buf, src.data(), src.size());
+  std::vector<std::uint8_t> dst(256, 0xEE);
+  queue.enqueue_read(buf, dst.data(), dst.size());
+  EXPECT_EQ(src, dst);
+}
+
+TEST_F(QueueTest, WriteWithOffsetLeavesRestUntouched) {
+  Buffer buf = ctx.create_buffer("b", 16);
+  const std::uint8_t payload[4] = {1, 2, 3, 4};
+  queue.enqueue_write(buf, payload, 4, 8);
+  auto bytes = buf.backing_as<std::uint8_t>();
+  for (std::size_t i = 0; i < 16; ++i) {
+    if (i >= 8 && i < 12) {
+      EXPECT_EQ(bytes[i], payload[i - 8]);
+    } else {
+      EXPECT_EQ(bytes[i], 0);
+    }
+  }
+}
+
+TEST_F(QueueTest, OutOfRangeTransfersThrow) {
+  Buffer buf = ctx.create_buffer("b", 16);
+  std::uint8_t tmp[32] = {};
+  EXPECT_THROW(queue.enqueue_write(buf, tmp, 32), InvalidArgument);
+  EXPECT_THROW(queue.enqueue_write(buf, tmp, 8, 12), InvalidArgument);
+  EXPECT_THROW(queue.enqueue_read(buf, tmp, 17), InvalidArgument);
+  EXPECT_THROW(queue.enqueue_write(buf, nullptr, 4), InvalidArgument);
+}
+
+TEST_F(QueueTest, WriteRectScattersRowsWithPitches) {
+  // Host: 4x4 image with row pitch 4; device: 6x6 padded layout (pitch 6),
+  // interior origin (1,1) — exactly the paper's padding-on-transfer.
+  Buffer buf = ctx.create_buffer("padded", 36);
+  std::vector<std::uint8_t> host(16);
+  std::iota(host.begin(), host.end(), 1);
+  RectRegion r;
+  r.row_bytes = 4;
+  r.rows = 4;
+  r.buffer_offset = 6 + 1;  // row 1, col 1
+  r.buffer_row_pitch = 6;
+  r.host_offset = 0;
+  r.host_row_pitch = 4;
+  queue.enqueue_write_rect(buf, host.data(), r);
+  auto b = buf.backing_as<std::uint8_t>();
+  for (int y = 0; y < 4; ++y) {
+    for (int x = 0; x < 4; ++x) {
+      EXPECT_EQ(b[static_cast<std::size_t>((y + 1) * 6 + (x + 1))],
+                host[static_cast<std::size_t>(y * 4 + x)]);
+    }
+  }
+  // Frame untouched (still zero).
+  EXPECT_EQ(b[0], 0);
+  EXPECT_EQ(b[5], 0);
+  EXPECT_EQ(b[35], 0);
+}
+
+TEST_F(QueueTest, WriteRectValidatesGeometry) {
+  Buffer buf = ctx.create_buffer("b", 36);
+  std::uint8_t host[16] = {};
+  RectRegion bad;
+  bad.row_bytes = 8;
+  bad.rows = 2;
+  bad.buffer_row_pitch = 4;  // pitch < row
+  bad.host_row_pitch = 8;
+  EXPECT_THROW(queue.enqueue_write_rect(buf, host, bad), InvalidArgument);
+
+  RectRegion oob;
+  oob.row_bytes = 6;
+  oob.rows = 7;  // 7 rows * pitch 6 overruns 36 bytes
+  oob.buffer_row_pitch = 6;
+  oob.host_row_pitch = 6;
+  EXPECT_THROW(queue.enqueue_write_rect(buf, host, oob), InvalidArgument);
+}
+
+TEST_F(QueueTest, MapAliasesBufferAndUnmapsOnScopeExit) {
+  Buffer buf = ctx.create_buffer("b", 8);
+  {
+    Mapping m = queue.map(buf, MapMode::kWrite, 0, 8);
+    auto span = m.as<std::uint8_t>();
+    for (std::size_t i = 0; i < span.size(); ++i) {
+      span[i] = static_cast<std::uint8_t>(i * 3);
+    }
+  }  // destructor unmaps
+  auto bytes = buf.backing_as<std::uint8_t>();
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(bytes[i], static_cast<std::uint8_t>(i * 3));
+  }
+  ASSERT_EQ(queue.events().size(), 2u);
+  EXPECT_EQ(queue.events()[0].kind, CommandKind::kMap);
+  EXPECT_EQ(queue.events()[1].kind, CommandKind::kUnmap);
+}
+
+TEST_F(QueueTest, ReadMapChargesOnMapWriteMapChargesOnUnmap) {
+  Buffer buf = ctx.create_buffer("b", 1 << 20);
+  {
+    Mapping m = queue.map(buf, MapMode::kRead, 0, 1 << 20);
+  }
+  const auto& ev = queue.events();
+  ASSERT_EQ(ev.size(), 2u);
+  EXPECT_GT(ev[0].duration_us(), ev[1].duration_us());
+
+  queue.reset();
+  {
+    Mapping m = queue.map(buf, MapMode::kWrite, 0, 1 << 20);
+  }
+  const auto& ev2 = queue.events();
+  ASSERT_EQ(ev2.size(), 2u);
+  EXPECT_LT(ev2[0].duration_us(), ev2[1].duration_us());
+}
+
+TEST_F(QueueTest, TimelineIsMonotonicAndEventsAbut) {
+  Buffer buf = ctx.create_buffer("b", 4096);
+  std::vector<std::uint8_t> tmp(4096, 1);
+  queue.enqueue_write(buf, tmp.data(), tmp.size());
+  Kernel k{.name = "touch",
+           .body = [&](WorkItem& it) {
+             auto p = it.global<std::uint8_t>(buf);
+             p.store(static_cast<std::size_t>(it.global_id(0)), 2);
+           }};
+  queue.enqueue_kernel(k, {.global = NDRange(4096), .local = NDRange(64)});
+  queue.enqueue_read(buf, tmp.data(), tmp.size());
+  queue.finish();
+  const auto& ev = queue.events();
+  ASSERT_EQ(ev.size(), 4u);
+  double prev_end = 0.0;
+  for (const auto& e : ev) {
+    EXPECT_DOUBLE_EQ(e.start_us, prev_end);
+    EXPECT_GE(e.end_us, e.start_us);
+    prev_end = e.end_us;
+  }
+  EXPECT_DOUBLE_EQ(queue.timeline_us(), prev_end);
+}
+
+TEST_F(QueueTest, KernelEventCarriesStatsAndPhase) {
+  Buffer buf = ctx.create_buffer("b", 64 * 4);
+  queue.set_phase("sobel");
+  Kernel k{.name = "k",
+           .body = [&](WorkItem& it) {
+             auto p = it.global<float>(buf);
+             p.store(static_cast<std::size_t>(it.global_id(0)), 1.0f);
+             it.alu(3);
+           }};
+  Event ev = queue.enqueue_kernel(
+      k, {.global = NDRange(64), .local = NDRange(64)});
+  EXPECT_EQ(ev.phase, "sobel");
+  EXPECT_EQ(ev.stats.work_items, 64u);
+  EXPECT_EQ(ev.stats.alu_ops, 192u);
+  EXPECT_EQ(ev.name, "k");
+  EXPECT_EQ(ev.kind, CommandKind::kKernel);
+}
+
+TEST_F(QueueTest, HostWorkAndMemcpyChargeTime) {
+  Event w = queue.host_work("border", {.flops = 1e6, .bytes = 1e6});
+  EXPECT_GT(w.duration_us(), 0.0);
+  Event m = queue.host_memcpy("pad", 1 << 20);
+  EXPECT_GT(m.duration_us(), 0.0);
+  EXPECT_EQ(m.bytes, std::size_t{1} << 20);
+}
+
+TEST_F(QueueTest, ResetClearsTimelineAndEvents) {
+  queue.host_work("x", {.flops = 1e6});
+  EXPECT_GT(queue.timeline_us(), 0.0);
+  queue.reset();
+  EXPECT_DOUBLE_EQ(queue.timeline_us(), 0.0);
+  EXPECT_TRUE(queue.events().empty());
+}
+
+TEST_F(QueueTest, BufferDeviceAddressesAreDisjoint) {
+  Buffer a = ctx.create_buffer("a", 100);
+  Buffer b = ctx.create_buffer("b", 100);
+  Buffer c = ctx.create_buffer("c", 5000);
+  EXPECT_GE(b.device_addr(), a.device_addr() + 100);
+  EXPECT_GE(c.device_addr(), b.device_addr() + 100);
+  EXPECT_EQ(a.device_addr() % 64, 0u);
+  EXPECT_EQ(b.device_addr() % 64, 0u);
+}
+
+TEST_F(QueueTest, ZeroSizedBufferRejected) {
+  EXPECT_THROW(ctx.create_buffer("z", 0), InvalidArgument);
+}
+
+}  // namespace

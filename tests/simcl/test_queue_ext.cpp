@@ -1,0 +1,148 @@
+// Extended queue API (read-rect, copy, fill) and the profile helpers.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "simcl/profile.hpp"
+#include "simcl/queue.hpp"
+
+namespace {
+
+using namespace simcl;
+
+class QueueExtTest : public ::testing::Test {
+ protected:
+  Context ctx{amd_firepro_w8000()};
+  CommandQueue queue{ctx};
+};
+
+TEST_F(QueueExtTest, ReadRectGathersStridedRegion) {
+  // Device holds a 6x6 byte image; read the interior 4x4 into a tightly
+  // packed host array.
+  Buffer buf = ctx.create_buffer("b", 36);
+  std::vector<std::uint8_t> all(36);
+  std::iota(all.begin(), all.end(), 0);
+  queue.enqueue_write(buf, all.data(), all.size());
+
+  std::vector<std::uint8_t> host(16, 0xFF);
+  RectRegion r;
+  r.row_bytes = 4;
+  r.rows = 4;
+  r.buffer_offset = 6 + 1;
+  r.buffer_row_pitch = 6;
+  r.host_row_pitch = 4;
+  queue.enqueue_read_rect(buf, host.data(), r);
+  for (int y = 0; y < 4; ++y) {
+    for (int x = 0; x < 4; ++x) {
+      EXPECT_EQ(host[static_cast<std::size_t>(y * 4 + x)],
+                (y + 1) * 6 + (x + 1));
+    }
+  }
+}
+
+TEST_F(QueueExtTest, ReadRectValidatesGeometry) {
+  Buffer buf = ctx.create_buffer("b", 36);
+  std::uint8_t host[64];
+  RectRegion bad;
+  bad.row_bytes = 8;
+  bad.rows = 8;
+  bad.buffer_row_pitch = 8;
+  bad.host_row_pitch = 8;
+  EXPECT_THROW(queue.enqueue_read_rect(buf, host, bad), InvalidArgument);
+  EXPECT_THROW(queue.enqueue_read_rect(buf, nullptr, bad), InvalidArgument);
+}
+
+TEST_F(QueueExtTest, CopyMovesBytesOnDevice) {
+  Buffer a = ctx.create_buffer("a", 64);
+  Buffer b = ctx.create_buffer("b", 64);
+  std::vector<std::uint8_t> payload(64);
+  std::iota(payload.begin(), payload.end(), 1);
+  queue.enqueue_write(a, payload.data(), payload.size());
+  Event ev = queue.enqueue_copy(a, b, 32, 8, 16);
+  EXPECT_EQ(ev.kind, CommandKind::kCopy);
+  auto bb = b.backing_as<std::uint8_t>();
+  for (std::size_t i = 0; i < 32; ++i) {
+    EXPECT_EQ(bb[16 + i], payload[8 + i]);
+  }
+  EXPECT_THROW(queue.enqueue_copy(a, b, 64, 8, 0), InvalidArgument);
+}
+
+TEST_F(QueueExtTest, CopyIsCheaperThanHostRoundTrip) {
+  Buffer a = ctx.create_buffer("a", 1 << 20);
+  Buffer b = ctx.create_buffer("b", 1 << 20);
+  const Event dev = queue.enqueue_copy(a, b, 1 << 20);
+  std::vector<std::uint8_t> host(1 << 20);
+  const Event down = queue.enqueue_read(a, host.data(), host.size());
+  // Device DRAM copy beats even one direction over PCIe.
+  EXPECT_LT(dev.duration_us(), down.duration_us());
+}
+
+TEST_F(QueueExtTest, FillRepeatsPattern) {
+  Buffer buf = ctx.create_buffer("b", 32);
+  const std::uint32_t pattern = 0xA1B2C3D4;
+  Event ev = queue.enqueue_fill(buf, &pattern, sizeof(pattern), 8, 16);
+  EXPECT_EQ(ev.kind, CommandKind::kFill);
+  auto words = buf.backing_as<std::uint32_t>();
+  EXPECT_EQ(words[1], 0u);  // before the region
+  EXPECT_EQ(words[2], pattern);
+  EXPECT_EQ(words[5], pattern);
+  EXPECT_EQ(words[6], 0u);  // after the region
+  // Bad geometry: region not a multiple of the pattern.
+  EXPECT_THROW(queue.enqueue_fill(buf, &pattern, 4, 0, 10),
+               InvalidArgument);
+  EXPECT_THROW(queue.enqueue_fill(buf, nullptr, 4, 0, 16), InvalidArgument);
+}
+
+TEST_F(QueueExtTest, ProfileAggregatesByNameAndPhase) {
+  Buffer buf = ctx.create_buffer("b", 1024);
+  std::vector<std::uint8_t> tmp(1024, 1);
+  queue.set_phase("in");
+  queue.enqueue_write(buf, tmp.data(), tmp.size());
+  queue.enqueue_write(buf, tmp.data(), tmp.size());
+  queue.set_phase("compute");
+  Kernel k{.name = "touch",
+           .body = [&](WorkItem& it) {
+             auto p = it.global<std::uint8_t>(buf);
+             p.store(static_cast<std::size_t>(it.global_id(0)), 2);
+             it.alu(1);
+           }};
+  queue.enqueue_kernel(k, {.global = NDRange(1024), .local = NDRange(64)});
+  queue.set_phase("out");
+  queue.enqueue_read(buf, tmp.data(), tmp.size());
+
+  const auto by_name = simcl::profile::by_name(queue.events());
+  ASSERT_EQ(by_name.size(), 3u);
+  EXPECT_EQ(by_name[0].key, "write:b");
+  EXPECT_EQ(by_name[0].count, 2);
+  EXPECT_EQ(by_name[1].key, "touch");
+  EXPECT_EQ(by_name[1].stats.work_items, 1024u);
+  EXPECT_EQ(by_name[2].key, "read:b");
+
+  const auto by_phase = simcl::profile::by_phase(queue.events());
+  ASSERT_EQ(by_phase.size(), 3u);
+  EXPECT_EQ(by_phase[0].key, "in");
+  EXPECT_EQ(by_phase[0].count, 2);
+  EXPECT_EQ(by_phase[1].key, "compute");
+  EXPECT_EQ(by_phase[2].key, "out");
+
+  EXPECT_NEAR(simcl::profile::total_us(queue.events()),
+              queue.timeline_us(), 1e-9);
+  EXPECT_EQ(simcl::profile::transferred_bytes(queue.events()), 3 * 1024u);
+  EXPECT_TRUE(simcl::profile::timeline_consistent(queue.events()));
+}
+
+TEST_F(QueueExtTest, TimelineConsistencyDetectsTampering) {
+  Buffer buf = ctx.create_buffer("b", 64);
+  std::uint8_t tmp[64] = {};
+  queue.enqueue_write(buf, tmp, 64);
+  queue.enqueue_read(buf, tmp, 64);
+  auto events = queue.events();
+  EXPECT_TRUE(simcl::profile::timeline_consistent(events));
+  events[1].start_us += 1.0;  // introduce a gap
+  EXPECT_FALSE(simcl::profile::timeline_consistent(events));
+  events[1].start_us -= 1.0;
+  events[1].end_us = events[1].start_us - 5.0;  // negative duration
+  EXPECT_FALSE(simcl::profile::timeline_consistent(events));
+}
+
+}  // namespace

@@ -1,0 +1,153 @@
+// Out-of-order queue semantics: lane scheduling, explicit event
+// dependencies (diamond graphs), barrier behaviour of clFinish, and the
+// transfer/compute overlap that motivates the feature.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "simcl/queue.hpp"
+
+namespace {
+
+using namespace simcl;
+
+class OooQueueTest : public ::testing::Test {
+ protected:
+  Context ctx{amd_firepro_w8000()};
+  CommandQueue q{ctx, QueueMode::kOutOfOrder};
+
+  Kernel busy_kernel(Buffer& buf, std::uint64_t alu_per_item) {
+    return Kernel{.name = "busy",
+                  .body = [&buf, alu_per_item](WorkItem& it) {
+                    auto p = it.global<float>(buf);
+                    const auto i =
+                        static_cast<std::size_t>(it.global_id(0));
+                    p.store(i, p.load(i) + 1.0f);
+                    it.alu(alu_per_item);
+                  }};
+  }
+};
+
+TEST_F(OooQueueTest, IndependentTransfersAndKernelsOverlap) {
+  Buffer a = ctx.create_buffer("a", 1 << 20);
+  Buffer b = ctx.create_buffer("b", 1 << 22);
+  std::vector<std::byte> host(1 << 22);
+  // A kernel with no dependencies and an unrelated upload: they run on
+  // different lanes and must overlap in simulated time.
+  Kernel k = busy_kernel(a, 2000);
+  const Event kev =
+      q.enqueue_kernel(k, {.global = NDRange(1 << 18),
+                           .local = NDRange(256)});
+  const Event wev = q.enqueue_write(b, host.data(), host.size());
+  EXPECT_DOUBLE_EQ(kev.start_us, 0.0);
+  EXPECT_DOUBLE_EQ(wev.start_us, 0.0);  // overlapped, not serialized
+  EXPECT_GT(kev.end_us, 0.0);
+  EXPECT_GT(wev.end_us, 0.0);
+}
+
+TEST_F(OooQueueTest, SameLaneCommandsSerialize) {
+  Buffer b = ctx.create_buffer("b", 1 << 20);
+  std::vector<std::byte> host(1 << 20);
+  const Event w1 = q.enqueue_write(b, host.data(), host.size());
+  const Event w2 = q.enqueue_write(b, host.data(), host.size());
+  EXPECT_DOUBLE_EQ(w2.start_us, w1.end_us);  // one H2D DMA engine
+}
+
+TEST_F(OooQueueTest, WaitListsEnforceDiamondDependencies) {
+  Buffer buf = ctx.create_buffer("buf", 4096);
+  std::vector<std::byte> host(4096);
+  Kernel k = busy_kernel(buf, 100);
+  const LaunchConfig cfg{.global = NDRange(1024), .local = NDRange(256)};
+
+  const Event top = q.enqueue_write(buf, host.data(), host.size());
+  const Event left = q.enqueue_kernel(k, cfg, {top.id});
+  const Event right = q.enqueue_read(buf, host.data(), 64, 0, {top.id});
+  const Event bottom = q.enqueue_kernel(k, cfg, {left.id, right.id});
+
+  EXPECT_GE(left.start_us, top.end_us);
+  EXPECT_GE(right.start_us, top.end_us);
+  EXPECT_GE(bottom.start_us, left.end_us);
+  EXPECT_GE(bottom.start_us, right.end_us);
+  // left (compute) and right (D2H) overlap.
+  EXPECT_LT(right.start_us, left.end_us);
+}
+
+TEST_F(OooQueueTest, UnknownWaitIdRejected) {
+  Buffer buf = ctx.create_buffer("buf", 64);
+  std::byte host[64];
+  EXPECT_THROW(q.enqueue_write(buf, host, 64, 0, {42}), InvalidArgument);
+}
+
+TEST_F(OooQueueTest, FinishIsAFullBarrier) {
+  Buffer a = ctx.create_buffer("a", 1 << 20);
+  std::vector<std::byte> host(1 << 20);
+  Kernel k = busy_kernel(a, 5000);
+  q.enqueue_kernel(k, {.global = NDRange(1 << 16), .local = NDRange(256)});
+  q.enqueue_write(a, host.data(), host.size());
+  const double t = q.finish();
+  // Everything after finish starts at/after the barrier.
+  const Event late = q.enqueue_write(a, host.data(), 64);
+  EXPECT_GE(late.start_us, t - ctx.device().clfinish_us);
+  EXPECT_GE(late.start_us, q.events()[0].end_us);
+  EXPECT_GE(late.start_us, q.events()[1].end_us);
+}
+
+TEST_F(OooQueueTest, TimelineIsMakespanNotSum) {
+  Buffer a = ctx.create_buffer("a", 1 << 22);
+  std::vector<std::byte> host(1 << 22);
+  Kernel k = busy_kernel(a, 3000);
+  const Event kev = q.enqueue_kernel(
+      k, {.global = NDRange(1 << 18), .local = NDRange(256)});
+  const Event wev = q.enqueue_write(a, host.data(), host.size());
+  EXPECT_DOUBLE_EQ(q.timeline_us(),
+                   std::max(kev.end_us, wev.end_us));
+}
+
+TEST_F(OooQueueTest, InOrderQueueIgnoresWaitListsForScheduling) {
+  // On an in-order queue, wait lists are redundant (everything serializes
+  // anyway) — they must be accepted and change nothing.
+  CommandQueue in_order(ctx);
+  Buffer buf = ctx.create_buffer("buf", 4096);
+  std::byte host[64];
+  const Event w = in_order.enqueue_write(buf, host, 64);
+  const Event r = in_order.enqueue_read(buf, host, 64, 0, {w.id});
+  EXPECT_DOUBLE_EQ(r.start_us, w.end_us);
+  EXPECT_EQ(in_order.mode(), QueueMode::kInOrder);
+  EXPECT_EQ(q.mode(), QueueMode::kOutOfOrder);
+}
+
+TEST_F(OooQueueTest, DoubleBufferedFramesPipelineTransfersBehindCompute) {
+  // The classic pattern: two buffer sets; frame k+1's upload overlaps
+  // frame k's kernel. Total time approaches max(lane totals), not the
+  // sum of per-frame times.
+  constexpr int kFrames = 6;
+  const std::size_t bytes = 1 << 20;
+  Buffer bufs[2] = {ctx.create_buffer("f0", bytes),
+                    ctx.create_buffer("f1", bytes)};
+  std::vector<std::byte> host(bytes);
+  Kernel kernels[2] = {busy_kernel(bufs[0], 1200),
+                       busy_kernel(bufs[1], 1200)};
+  const LaunchConfig cfg{.global = NDRange(1 << 17),
+                         .local = NDRange(256)};
+
+  EventId last_kernel[2] = {0, 0};
+  bool has_kernel[2] = {false, false};
+  double serial_sum = 0.0;
+  for (int f = 0; f < kFrames; ++f) {
+    const int slot = f % 2;
+    WaitList upload_waits;
+    if (has_kernel[slot]) {
+      upload_waits.push_back(last_kernel[slot]);  // WAR on the buffer
+    }
+    const Event up =
+        q.enqueue_write(bufs[slot], host.data(), bytes, 0, upload_waits);
+    const Event kv = q.enqueue_kernel(kernels[slot], cfg, {up.id});
+    last_kernel[slot] = kv.id;
+    has_kernel[slot] = true;
+    serial_sum += up.duration_us() + kv.duration_us();
+  }
+  // Pipelined makespan clearly beats the serialized sum.
+  EXPECT_LT(q.timeline_us(), 0.8 * serial_sum);
+}
+
+}  // namespace

@@ -1,0 +1,74 @@
+// Vec4 and OpenCL built-in analogues.
+#include "simcl/vec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace simcl;
+
+TEST(Vec4, ConstructionAndIndexing) {
+  float4 v{1.0f, 2.0f, 3.0f, 4.0f};
+  EXPECT_EQ(v[0], 1.0f);
+  EXPECT_EQ(v[3], 4.0f);
+  v[2] = 9.0f;
+  EXPECT_EQ(v.z, 9.0f);
+  float4 splat(5.0f);
+  EXPECT_EQ(splat, (float4{5.0f, 5.0f, 5.0f, 5.0f}));
+}
+
+TEST(Vec4, Arithmetic) {
+  const float4 a{1, 2, 3, 4};
+  const float4 b{10, 20, 30, 40};
+  EXPECT_EQ(a + b, (float4{11, 22, 33, 44}));
+  EXPECT_EQ(b - a, (float4{9, 18, 27, 36}));
+  EXPECT_EQ(a * b, (float4{10, 40, 90, 160}));
+  EXPECT_EQ(a * 2.0f, (float4{2, 4, 6, 8}));
+  EXPECT_EQ(2.0f * a, a * 2.0f);
+  float4 acc{0, 0, 0, 0};
+  acc += a;
+  acc += a;
+  EXPECT_EQ(acc, a * 2.0f);
+}
+
+TEST(Vec4, IntegerVariant) {
+  const int4 a{1, -2, 3, -4};
+  EXPECT_EQ(cl_abs(a), (int4{1, 2, 3, 4}));
+  EXPECT_EQ(a + a, (int4{2, -4, 6, -8}));
+}
+
+TEST(Vec4, Conversion) {
+  const uchar4 u{0, 128, 200, 255};
+  const float4 f = convert4<float>(u);
+  EXPECT_EQ(f, (float4{0.0f, 128.0f, 200.0f, 255.0f}));
+  const int4 i = convert4<std::int32_t>(f);
+  EXPECT_EQ(i, (int4{0, 128, 200, 255}));
+}
+
+TEST(Builtins, ClampScalarAndVector) {
+  EXPECT_EQ(cl_clamp(5, 0, 10), 5);
+  EXPECT_EQ(cl_clamp(-5, 0, 10), 0);
+  EXPECT_EQ(cl_clamp(50, 0, 10), 10);
+  EXPECT_EQ(cl_clamp(float4{-1, 0.5f, 2, 300}, 0.0f, 255.0f),
+            (float4{0, 0.5f, 2, 255}));
+}
+
+TEST(Builtins, MadMatchesMulAdd) {
+  EXPECT_FLOAT_EQ(cl_mad(2.0f, 3.0f, 4.0f), 10.0f);
+  const float4 r = cl_mad(float4{1, 2, 3, 4}, float4(2.0f), float4(1.0f));
+  EXPECT_EQ(r, (float4{3, 5, 7, 9}));
+}
+
+TEST(Builtins, Select) {
+  EXPECT_EQ(cl_select(1, 2, true), 2);
+  EXPECT_EQ(cl_select(1, 2, false), 1);
+}
+
+TEST(Builtins, MinMaxVector) {
+  const float4 a{1, 5, 3, 7};
+  const float4 b{2, 4, 6, 0};
+  EXPECT_EQ(cl_max(a, b), (float4{2, 5, 6, 7}));
+  EXPECT_EQ(cl_min(a, b), (float4{1, 4, 3, 0}));
+}
+
+}  // namespace
