@@ -27,9 +27,10 @@ int main() {
     t.add_row({sharp::report::size_label(size, size),
                fmt(rb.total_modeled_us / 1e3, 3),
                fmt(ri.total_modeled_us / 1e3, 3),
-               fmt(rb.stage_us("data_init"), 1),
-               fmt(ri.stage_us("data_init"), 1),
-               fmt(rb.stage_us("sobel"), 1), fmt(ri.stage_us("sobel"), 1)});
+               fmt(rb.stage_us(sharp::stage::kDataInit), 1),
+               fmt(ri.stage_us(sharp::stage::kDataInit), 1),
+               fmt(rb.stage_us(sharp::stage::kSobel), 1),
+               fmt(ri.stage_us(sharp::stage::kSobel), 1)});
   }
   t.print(std::cout);
   std::cout << "\ntakeaway: the image path initializes slightly faster (no "

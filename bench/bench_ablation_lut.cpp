@@ -16,7 +16,7 @@ double sharpness_us(int size, sharp::StrengthEval strength, bool fuse) {
   o.strength = strength;
   o.fuse_sharpness = fuse;
   sharp::GpuPipeline pipeline(o);
-  return pipeline.run(bench::input(size)).stage_us("sharpness");
+  return pipeline.run(bench::input(size)).stage_us(sharp::stage::kSharpness);
 }
 
 }  // namespace

@@ -14,7 +14,7 @@ double sobel_us(int size, sharp::SobelImpl impl) {
   sharp::PipelineOptions o = sharp::PipelineOptions::optimized();
   o.sobel_impl = impl;
   sharp::GpuPipeline pipeline(o);
-  return pipeline.run(bench::input(size)).stage_us("sobel");
+  return pipeline.run(bench::input(size)).stage_us(sharp::stage::kSobel);
 }
 
 }  // namespace

@@ -14,7 +14,7 @@ double reduction_us(int size, sharp::Placement stage2,
   o.reduction_stage2 = stage2;
   o.stage2_method = method;
   sharp::GpuPipeline pipeline(o);
-  return pipeline.run(bench::input(size)).stage_us("reduction");
+  return pipeline.run(bench::input(size)).stage_us(sharp::stage::kReduction);
 }
 
 }  // namespace

@@ -35,7 +35,8 @@ int border_crossover(const simcl::DeviceSpec& gpu) {
     gpu_side.border = sharp::Placement::kGpu;
     sharp::GpuPipeline pc(cpu_side, gpu);
     sharp::GpuPipeline pg(gpu_side, gpu);
-    if (pg.run(img).stage_us("border") < pc.run(img).stage_us("border")) {
+    if (pg.run(img).stage_us(sharp::stage::kBorder) <
+        pc.run(img).stage_us(sharp::stage::kBorder)) {
       return size;
     }
   }

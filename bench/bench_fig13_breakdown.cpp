@@ -51,13 +51,16 @@ int main() {
     opt_results.push_back(opt.run(img));
   }
 
+  namespace stage = sharp::stage;
   print_breakdown("Fig. 13a: CPU version stage fractions", sizes,
-                  {"downscale", "upscale", "pError", "sobel", "reduction",
-                   "strength", "overshoot"},
+                  {stage::kDownscale, stage::kUpscale, stage::kPError,
+                   stage::kSobel, stage::kReduction, stage::kStrength,
+                   stage::kOvershoot},
                   cpu_results);
   const std::vector<std::string> gpu_stages{
-      "padding", "data_init", "downscale", "border", "center",
-      "sobel",   "reduction", "sharpness", "data_out"};
+      stage::kPadding, stage::kDataInit,  stage::kDownscale,
+      stage::kBorder,  stage::kCenter,    stage::kSobel,
+      stage::kReduction, stage::kSharpness, stage::kDataOut};
   print_breakdown("Fig. 13b: base GPU version stage fractions", sizes,
                   gpu_stages, base_results);
   print_breakdown("Fig. 13c: optimized GPU version stage fractions", sizes,

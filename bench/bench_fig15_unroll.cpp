@@ -14,7 +14,7 @@ double reduction_us(int size, sharp::ReductionUnroll unroll) {
   sharp::PipelineOptions o = sharp::PipelineOptions::optimized();
   o.unroll = unroll;
   sharp::GpuPipeline pipeline(o);
-  return pipeline.run(bench::input(size)).stage_us("reduction");
+  return pipeline.run(bench::input(size)).stage_us(sharp::stage::kReduction);
 }
 
 }  // namespace

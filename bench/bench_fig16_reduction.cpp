@@ -15,7 +15,7 @@ double reduction_us(int size, sharp::Placement place) {
   sharp::PipelineOptions o = sharp::PipelineOptions::optimized();
   o.reduction = place;
   sharp::GpuPipeline pipeline(o);
-  return pipeline.run(bench::input(size)).stage_us("reduction");
+  return pipeline.run(bench::input(size)).stage_us(sharp::stage::kReduction);
 }
 
 }  // namespace

@@ -15,7 +15,7 @@ double border_us(int size, sharp::Placement place) {
   sharp::PipelineOptions o = sharp::PipelineOptions::optimized();
   o.border = place;
   sharp::GpuPipeline pipeline(o);
-  return pipeline.run(bench::input(size)).stage_us("border");
+  return pipeline.run(bench::input(size)).stage_us(sharp::stage::kBorder);
 }
 
 }  // namespace

@@ -1,0 +1,93 @@
+// Serving throughput: sharp::SharpenService (pooled buffers, reused
+// strength LUT, double-buffered upload/compute/readback overlap) against
+// the naive per-frame sharpen_gpu() loop that re-creates the device state
+// for every frame. All times are modeled device time; with several
+// workers the makespan is the busiest worker's timeline.
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "common.hpp"
+#include "report/table.hpp"
+
+namespace {
+
+std::vector<sharp::img::ImageU8> frames_of(int size, int count) {
+  std::vector<sharp::img::ImageU8> frames;
+  frames.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    frames.push_back(sharp::img::make_natural(
+        size, size, static_cast<std::uint64_t>(42 + i)));
+  }
+  return frames;
+}
+
+/// The baseline a service replaces: one-shot GpuPipeline per frame, fresh
+/// context and buffers (and LUT upload) every time.
+double naive_loop_us(const std::vector<sharp::img::ImageU8>& frames) {
+  double total = 0.0;
+  for (const auto& frame : frames) {
+    sharp::GpuPipeline pipeline;
+    total += pipeline.run(frame).total_modeled_us;
+  }
+  return total;
+}
+
+double service_makespan_us(const std::vector<sharp::img::ImageU8>& frames,
+                           int workers, bool overlap) {
+  sharp::ServiceConfig cfg;
+  cfg.workers = workers;
+  cfg.queue_capacity = frames.size();
+  cfg.overlap_transfers = overlap;
+  sharp::SharpenService service(cfg);
+  (void)service.sharpen_batch(frames);
+  service.drain();
+  return service.stats().busy_us;
+}
+
+}  // namespace
+
+int main() {
+  using sharp::report::fmt;
+
+  constexpr int kFrames = 16;
+  sharp::report::banner(
+      std::cout,
+      "Service throughput vs naive per-frame sharpen_gpu() loop");
+  sharp::report::Table t({"size", "mode", "total_ms", "fps", "speedup"});
+  for (const int size : {512, 1024, 2048}) {
+    const auto frames = frames_of(size, kFrames);
+    const double naive_us = naive_loop_us(frames);
+    const auto row = [&](const char* mode, double us) {
+      t.add_row({sharp::report::size_label(size, size), mode,
+                 fmt(us / 1e3, 2), fmt(kFrames * 1e6 / us, 1),
+                 fmt(naive_us / us, 2) + "x"});
+    };
+    row("naive loop", naive_us);
+    row("service w=1 serial",
+        service_makespan_us(frames, /*workers=*/1, /*overlap=*/false));
+    row("service w=1 overlap",
+        service_makespan_us(frames, /*workers=*/1, /*overlap=*/true));
+    row("service w=2 overlap",
+        service_makespan_us(frames, /*workers=*/2, /*overlap=*/true));
+  }
+  t.print(std::cout);
+
+  // One service stats snapshot, the report::Table-consumable surface.
+  {
+    sharp::ServiceConfig cfg;
+    cfg.workers = 2;
+    sharp::SharpenService service(cfg);
+    (void)service.sharpen_batch(frames_of(1024, kFrames));
+    service.drain();
+    std::cout << '\n';
+    sharp::report::banner(std::cout,
+                          "ServiceStats snapshot (w=2 overlap, 1024^2)");
+    service.stats().to_table().print(std::cout);
+  }
+
+  std::cout << "\ntakeaway: buffer pooling + LUT reuse + transfer/compute "
+               "overlap lift single-worker throughput well above the "
+               "per-frame loop; extra workers scale it further\n";
+  return 0;
+}

@@ -1,0 +1,44 @@
+// The unified entry point of the library: sharp::sharpen() with an
+// Execution descriptor selecting where and how the algorithm runs. The
+// historical free functions sharpen_cpu()/sharpen_gpu() are thin wrappers
+// over this (see the umbrella header for their deprecation notes), and
+// SharpenService workers are configured with the same Execution type.
+#pragma once
+
+#include "image/image.hpp"
+#include "sharpen/options.hpp"
+#include "sharpen/params.hpp"
+#include "simcl/device.hpp"
+
+namespace sharp {
+
+/// Which implementation of the algorithm executes a request.
+enum class Backend {
+  kCpu,  ///< the paper's CPU baseline (stage-by-stage host execution)
+  kGpu,  ///< the optimized GPU pipeline (host orchestration over simcl)
+};
+
+/// Everything needed to pick and parameterize an execution path. The
+/// default runs the fully optimized GPU pipeline on the paper's platform
+/// (FirePro W8000 device, Core i5-3470 host).
+struct Execution {
+  Backend backend = Backend::kGpu;
+  /// §V optimization toggles; ignored by Backend::kCpu.
+  PipelineOptions options = PipelineOptions::optimized();
+  /// Device model the kGpu backend runs on.
+  simcl::DeviceSpec device = simcl::amd_firepro_w8000();
+  /// Host model: drives transfers/host stages for kGpu and is the
+  /// execution target for kCpu.
+  simcl::DeviceSpec host = simcl::intel_core_i5_3470();
+  /// Host threads executing simulated work-groups (kGpu only).
+  int engine_threads = 1;
+};
+
+/// Sharpens `input` on the backend selected by `exec`. Every backend and
+/// option combination produces bit-identical pixels; only the modeled
+/// time differs.
+[[nodiscard]] img::ImageU8 sharpen(const img::ImageU8& input,
+                                   const SharpenParams& params = {},
+                                   const Execution& exec = {});
+
+}  // namespace sharp

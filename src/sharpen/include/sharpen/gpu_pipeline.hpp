@@ -16,6 +16,7 @@ namespace sharp {
 
 class GpuPipeline {
  public:
+  /// Throws SharpenError when `options` fails PipelineOptions::validate().
   explicit GpuPipeline(
       PipelineOptions options = PipelineOptions::optimized(),
       simcl::DeviceSpec gpu = simcl::amd_firepro_w8000(),
@@ -38,14 +39,6 @@ class GpuPipeline {
   }
 
  private:
-  friend class VideoPipeline;
-
-  /// `charge_allocations` lets VideoPipeline amortize the per-buffer
-  /// clCreateBuffer cost over a frame sequence (buffers are reused).
-  [[nodiscard]] PipelineResult run_impl(const img::ImageU8& input,
-                                        const SharpenParams& params,
-                                        bool charge_allocations);
-
   PipelineOptions options_;
   simcl::DeviceSpec gpu_;
   simcl::DeviceSpec host_;
@@ -54,6 +47,9 @@ class GpuPipeline {
 };
 
 /// One-call convenience API mirroring sharpen_cpu().
+/// Deprecated: prefer sharp::sharpen() with Execution{.backend = kGpu}
+/// (see execution.hpp); this wrapper forwards there and is kept for
+/// source compatibility.
 [[nodiscard]] img::ImageU8 sharpen_gpu(
     const img::ImageU8& input, const SharpenParams& params = {},
     const PipelineOptions& options = PipelineOptions::optimized());

@@ -4,6 +4,9 @@
 // pixels.
 #pragma once
 
+#include <optional>
+#include <string>
+
 namespace sharp {
 
 /// §V.A — how host<->device data moves.
@@ -131,6 +134,36 @@ struct PipelineOptions {
 
   /// All optimizations on (the defaults above).
   [[nodiscard]] static PipelineOptions optimized() { return {}; }
+
+  /// Checks every inter-option constraint and returns a diagnostic for the
+  /// first violation, or nullopt when the configuration is runnable.
+  /// Pipelines call this at construction so that an invalid combination
+  /// fails fast instead of mid-run.
+  [[nodiscard]] std::optional<std::string> validate() const {
+    if (use_image2d && !fuse_sharpness) {
+      return "use_image2d requires fuse_sharpness (only the fused "
+             "sharpness kernel has an image2d variant)";
+    }
+    if (use_image2d && sobel_impl != SobelImpl::kDefault) {
+      return "use_image2d ignores sobel_impl (the image path always uses "
+             "sampled scalar reads); leave sobel_impl at kDefault";
+    }
+    if (reduction_group_size <= 0 ||
+        (reduction_group_size & (reduction_group_size - 1)) != 0) {
+      return "reduction_group_size must be a positive power of two (the "
+             "stage-1 tree reduction halves the group each step)";
+    }
+    if (reduction_items_per_thread <= 0) {
+      return "reduction_items_per_thread must be positive";
+    }
+    if (stage2_gpu_threshold < 0) {
+      return "stage2_gpu_threshold must be non-negative";
+    }
+    if (border_gpu_threshold < 0) {
+      return "border_gpu_threshold must be non-negative";
+    }
+    return std::nullopt;
+  }
 };
 
 }  // namespace sharp

@@ -11,6 +11,28 @@
 
 namespace sharp {
 
+/// Named stage labels. The pipelines record per-stage timing under these
+/// constants and lookups should use them too (a typo'd literal compiles
+/// to a silent 0.0 from stage_us(); a typo'd constant does not compile).
+namespace stage {
+// GPU pipeline phases (Fig. 13b/c order).
+inline constexpr const char kDataInit[] = "data_init";
+inline constexpr const char kPadding[] = "padding";
+inline constexpr const char kDownscale[] = "downscale";
+inline constexpr const char kBorder[] = "border";
+inline constexpr const char kCenter[] = "center";
+inline constexpr const char kSobel[] = "sobel";
+inline constexpr const char kReduction[] = "reduction";
+inline constexpr const char kSharpness[] = "sharpness";
+inline constexpr const char kDataOut[] = "data_out";
+inline constexpr const char kSync[] = "sync";
+// CPU pipeline stages (Fig. 13a order; downscale/sobel/reduction shared).
+inline constexpr const char kUpscale[] = "upscale";
+inline constexpr const char kPError[] = "pError";
+inline constexpr const char kStrength[] = "strength";
+inline constexpr const char kOvershoot[] = "overshoot";
+}  // namespace stage
+
 struct StageTiming {
   std::string stage;
   double modeled_us = 0.0;

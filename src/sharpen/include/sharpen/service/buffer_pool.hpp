@@ -1,0 +1,82 @@
+// Named device-buffer pool: VideoPipeline's buffer amortization promoted
+// to a first-class object shared by every pooled-run path (GpuPipeline,
+// VideoPipeline, SharpenService workers).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+#include "simcl/buffer.hpp"
+#include "simcl/image2d.hpp"
+#include "simcl/queue.hpp"
+
+namespace sharp::gpu {
+
+/// Pools device buffers by name. get() hands back the existing buffer
+/// when the requested size matches and silently re-creates it otherwise
+/// (a geometry change), so a frame loop allocates each buffer once and
+/// reuses it for every following frame. Contents persist across frames;
+/// the pipeline always fully rewrites a buffer before reading it, so
+/// stale data is never observable.
+class BufferPool {
+ public:
+  explicit BufferPool(simcl::Context& ctx) : ctx_(&ctx) {}
+
+  /// Returns the pooled buffer `name`, creating or re-sizing it to exactly
+  /// `bytes` when needed. References stay valid until the next get() that
+  /// re-creates the same name (size change) or clear().
+  [[nodiscard]] simcl::Buffer& get(const std::string& name,
+                                   std::size_t bytes) {
+    auto it = buffers_.find(name);
+    if (it != buffers_.end() && it->second.size() == bytes) {
+      return it->second;
+    }
+    if (it != buffers_.end()) {
+      buffers_.erase(it);
+    }
+    auto [pos, inserted] =
+        buffers_.emplace(name, ctx_->create_buffer(name, bytes));
+    ++created_;
+    return pos->second;
+  }
+
+  /// Image2D analogue of get().
+  [[nodiscard]] simcl::Image2D& get_image2d(const std::string& name,
+                                            simcl::ChannelFormat format,
+                                            int width, int height) {
+    auto it = images_.find(name);
+    if (it != images_.end() && it->second.width() == width &&
+        it->second.height() == height && it->second.format() == format) {
+      return it->second;
+    }
+    if (it != images_.end()) {
+      images_.erase(it);
+    }
+    auto [pos, inserted] = images_.emplace(
+        name, ctx_->create_image2d(name, format, width, height));
+    ++created_;
+    return pos->second;
+  }
+
+  /// Total create/re-create calls since construction (diagnostics: a
+  /// steady-state frame loop should keep this flat).
+  [[nodiscard]] std::size_t created() const { return created_; }
+  /// Distinct live pooled objects.
+  [[nodiscard]] std::size_t live() const {
+    return buffers_.size() + images_.size();
+  }
+
+  void clear() {
+    buffers_.clear();
+    images_.clear();
+  }
+
+ private:
+  simcl::Context* ctx_;
+  std::map<std::string, simcl::Buffer> buffers_;
+  std::map<std::string, simcl::Image2D> images_;
+  std::size_t created_ = 0;
+};
+
+}  // namespace sharp::gpu

@@ -1,0 +1,92 @@
+// The pooled single-frame execution path of the GPU pipeline, factored
+// out of GpuPipeline::run() so that every frame-serving surface shares it:
+//
+//   GpuPipeline::run()        — fresh pool + one queue per call
+//   VideoPipeline             — persistent pool, one queue, reset per frame
+//   SharpenService workers    — persistent pool, two in-order queues
+//                               (transfer + compute) with double-buffered
+//                               upload/compute/readback overlap
+//
+// A frame is split at its natural pipeline boundary: begin_frame()
+// enqueues the host-to-device upload (data_init/padding) and
+// finish_frame() enqueues kernels, host stages and the result readback.
+// With distinct queues the caller can begin_frame() the NEXT request
+// before finish_frame()ing the current one, which lets the next frame's
+// DMA hide behind this frame's kernels — the bench_ext_overlap technique
+// promoted into the library, built on CommandQueue::enqueue_wait for the
+// cross-queue handoffs.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "image/image.hpp"
+#include "sharpen/options.hpp"
+#include "sharpen/params.hpp"
+#include "sharpen/pipeline_result.hpp"
+#include "sharpen/service/buffer_pool.hpp"
+#include "simcl/queue.hpp"
+
+namespace sharp::service {
+
+class FrameRunner {
+ public:
+  /// `comp` executes kernels and incidental small transfers; `xfer`
+  /// carries the frame upload and the result download. Pass the same
+  /// queue twice for the classic serial pipeline (this reproduces
+  /// GpuPipeline::run() command for command). `slots` > 1 gives each
+  /// in-flight frame its own upload/result buffers so neighboring frames
+  /// never alias (double buffering); intermediates stay shared because
+  /// the in-order compute queue already serializes them.
+  FrameRunner(simcl::Context& ctx, gpu::BufferPool& pool,
+              simcl::CommandQueue& comp, simcl::CommandQueue& xfer,
+              PipelineOptions options, int slots = 1);
+
+  /// Handle to an uploaded-but-not-computed frame.
+  struct Ticket {
+    const img::ImageU8* input = nullptr;
+    int w = 0;
+    int h = 0;
+    int slot = 0;
+    std::size_t comp_events_begin = 0;
+    std::size_t xfer_events_begin = 0;
+    std::size_t xfer_events_after_upload = 0;
+    simcl::Event upload_done;  ///< last H2D event; compute waits on it
+  };
+
+  /// Enqueues the upload of `input` on the transfer queue.
+  /// `charge_allocations` additionally charges the one-time flat buffer
+  /// allocation cost into this frame (first frame of a pool's life).
+  /// `input` must stay alive until finish_frame().
+  [[nodiscard]] Ticket begin_frame(const img::ImageU8& input,
+                                   bool charge_allocations, int slot = 0);
+
+  /// Enqueues kernels, host stages and the readback for an uploaded
+  /// frame and returns the completed result. In overlapped (two-queue)
+  /// mode no blocking finish is issued; call finish() on both queues
+  /// after the last frame to account the final sync.
+  [[nodiscard]] PipelineResult finish_frame(const Ticket& ticket,
+                                            const SharpenParams& params);
+
+  [[nodiscard]] bool overlapped() const { return comp_ != xfer_; }
+  [[nodiscard]] const PipelineOptions& options() const { return options_; }
+  [[nodiscard]] int slots() const { return slots_; }
+
+ private:
+  [[nodiscard]] std::string slot_name(const char* base, int slot) const;
+
+  simcl::Context* ctx_;
+  gpu::BufferPool* pool_;
+  simcl::CommandQueue* comp_;
+  simcl::CommandQueue* xfer_;
+  PipelineOptions options_;
+  int slots_;
+
+  // Strength-LUT reuse across frames: rebuilding + re-uploading is skipped
+  // when the table would be bit-identical to the resident one.
+  bool lut_cached_ = false;
+  float lut_inv_mean_ = 0.0f;
+  SharpenParams lut_params_;
+};
+
+}  // namespace sharp::service

@@ -1,0 +1,174 @@
+// sharp::SharpenService — the frame-serving subsystem: a pool of worker
+// pipelines consuming a bounded MPMC request queue. Each worker owns a
+// persistent simulated device (context + buffer pool + frame runner), so
+// consecutive frames reuse device buffers and the strength LUT, and —
+// with overlap_transfers on — each worker runs two in-order queues with
+// double-buffered upload/compute/readback overlap (the bench_ext_overlap
+// technique as a library feature). Saturation behavior is configurable:
+// block the submitter, reject the request, or degrade it to the CPU
+// baseline in the submitting thread. Results are bit-identical to the
+// one-shot sharpen_gpu() path in every mode.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "image/image.hpp"
+#include "report/table.hpp"
+#include "sharpen/execution.hpp"
+#include "sharpen/pipeline_result.hpp"
+
+namespace sharp::service {
+
+/// What happens to a submit() when the request queue is full.
+enum class BackpressurePolicy {
+  kBlock,    ///< submitter waits for a queue slot (lossless, unbounded wait)
+  kReject,   ///< request fails fast with RequestOutcome::kRejected
+  kDegrade,  ///< request runs the CPU baseline in the submitting thread
+};
+
+enum class RequestOutcome {
+  kOk,        ///< processed by a GPU worker
+  kDegraded,  ///< processed by the CPU fallback (same pixels, host timing)
+  kRejected,  ///< dropped at admission (queue full, kReject policy)
+  kExpired,   ///< deadline passed before a worker picked it up
+};
+
+[[nodiscard]] const char* to_string(RequestOutcome outcome);
+
+struct ServiceResponse {
+  RequestOutcome outcome = RequestOutcome::kOk;
+  /// Populated for kOk and kDegraded; empty otherwise.
+  PipelineResult result;
+  /// Index of the worker that served the request; -1 when no worker did.
+  int worker = -1;
+
+  /// True when `result` holds sharpened pixels.
+  [[nodiscard]] bool ok() const {
+    return outcome == RequestOutcome::kOk ||
+           outcome == RequestOutcome::kDegraded;
+  }
+};
+
+struct SubmitOptions {
+  /// Relative deadline: the request expires if no worker has started it
+  /// this long after submission (checked at dequeue; an expired request
+  /// completes its future with RequestOutcome::kExpired).
+  std::optional<std::chrono::milliseconds> deadline;
+};
+
+struct ServiceConfig {
+  int workers = 2;
+  std::size_t queue_capacity = 16;
+  BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
+  /// Give each worker a second in-order queue for frame uploads and
+  /// result downloads so neighboring frames overlap on the modeled
+  /// timeline (double buffering). Off = one serial queue per worker.
+  bool overlap_transfers = true;
+  /// Worker execution descriptor: options/device/host for Backend::kGpu
+  /// workers, or the host spec for (unusual) Backend::kCpu workers.
+  Execution execution;
+};
+
+/// Point-in-time statistics snapshot; all times are simulated-device time.
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;  ///< served by a worker (kOk)
+  std::uint64_t degraded = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t expired = 0;
+  std::size_t queue_depth = 0;
+  /// Modeled per-request latency percentiles over completed requests.
+  double p50_latency_us = 0.0;
+  double p95_latency_us = 0.0;
+  double p99_latency_us = 0.0;
+  /// Busiest worker's modeled timeline (the makespan when workers run
+  /// concurrently).
+  double busy_us = 0.0;
+  /// completed / busy_us — modeled frames per second of the service.
+  double throughput_fps = 0.0;
+
+  /// Two-column metric/value table for the report harness.
+  [[nodiscard]] report::Table to_table() const;
+};
+
+class SharpenService {
+ public:
+  explicit SharpenService(ServiceConfig config = {});
+  ~SharpenService();  ///< processes everything still queued, then joins
+
+  SharpenService(const SharpenService&) = delete;
+  SharpenService& operator=(const SharpenService&) = delete;
+
+  /// Enqueues one frame; the future resolves when a worker (or the
+  /// backpressure fallback) is done with it. Throws SharpenError after
+  /// shutdown has begun.
+  [[nodiscard]] std::future<ServiceResponse> submit(img::ImageU8 frame,
+                                                    SharpenParams params = {},
+                                                    SubmitOptions opts = {});
+
+  /// Blocking convenience: submits every frame, waits for all responses,
+  /// returns them in input order.
+  [[nodiscard]] std::vector<ServiceResponse> sharpen_batch(
+      const std::vector<img::ImageU8>& frames,
+      const SharpenParams& params = {});
+
+  /// Blocks until the queue is empty and no worker holds an in-flight
+  /// request.
+  void drain();
+
+  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] const ServiceConfig& config() const { return config_; }
+
+ private:
+  struct Job {
+    img::ImageU8 frame;
+    SharpenParams params;
+    std::promise<ServiceResponse> promise;
+    std::optional<std::chrono::steady_clock::time_point> deadline;
+  };
+
+  void worker_loop(int index);
+
+  ServiceConfig config_;
+
+  mutable std::mutex mu_;  ///< guards queue_, stop_, inflight_
+  std::condition_variable cv_not_empty_;
+  std::condition_variable cv_not_full_;
+  std::condition_variable cv_idle_;
+  std::deque<Job> queue_;
+  int inflight_ = 0;  ///< jobs popped by workers but not yet completed
+  bool stop_ = false;
+
+  mutable std::mutex stats_mu_;  ///< guards counters below
+  std::uint64_t submitted_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t degraded_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t expired_ = 0;
+  std::vector<double> latencies_us_;
+  std::vector<double> worker_busy_us_;
+
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace sharp::service
+
+namespace sharp {
+/// The service lives in sharp::service; these aliases keep the common
+/// spellings short at the library surface.
+using service::BackpressurePolicy;
+using service::RequestOutcome;
+using service::ServiceConfig;
+using service::ServiceResponse;
+using service::ServiceStats;
+using service::SharpenService;
+using service::SubmitOptions;
+}  // namespace sharp

@@ -1,16 +1,26 @@
 // Umbrella header: the public API of the sharpness library.
 //
-//   sharp::sharpen_cpu(img)               — CPU baseline, one call
-//   sharp::sharpen_gpu(img)               — optimized GPU pipeline, one call
+//   sharp::sharpen(img, params, exec)     — unified entry point; Execution
+//                                           picks backend/options/devices
+//   sharp::SharpenService                 — pooled async frame serving
 //   sharp::CpuPipeline / sharp::GpuPipeline — per-stage timing and options
+//   sharp::VideoPipeline                  — frame loop with buffer reuse
 //   sharp::stages::*                      — individual algorithm stages
+//
+// Deprecated (kept for source compatibility; prefer sharp::sharpen()):
+//   sharp::sharpen_cpu(img)  == sharpen(img, {}, {.backend = Backend::kCpu})
+//   sharp::sharpen_gpu(img)  == sharpen(img, {}, {.backend = Backend::kGpu})
+// Both forward to the unified entry point and may be removed in a future
+// major version.
 #pragma once
 
-#include "sharpen/color.hpp"         // IWYU pragma: export
-#include "sharpen/cpu_parallel.hpp"  // IWYU pragma: export
-#include "sharpen/cpu_pipeline.hpp"  // IWYU pragma: export
-#include "sharpen/gpu_pipeline.hpp"  // IWYU pragma: export
-#include "sharpen/options.hpp"       // IWYU pragma: export
-#include "sharpen/params.hpp"        // IWYU pragma: export
-#include "sharpen/stages.hpp"        // IWYU pragma: export
-#include "sharpen/video.hpp"         // IWYU pragma: export
+#include "sharpen/color.hpp"            // IWYU pragma: export
+#include "sharpen/cpu_parallel.hpp"     // IWYU pragma: export
+#include "sharpen/cpu_pipeline.hpp"     // IWYU pragma: export
+#include "sharpen/execution.hpp"        // IWYU pragma: export
+#include "sharpen/gpu_pipeline.hpp"     // IWYU pragma: export
+#include "sharpen/options.hpp"          // IWYU pragma: export
+#include "sharpen/params.hpp"           // IWYU pragma: export
+#include "sharpen/service/service.hpp"  // IWYU pragma: export
+#include "sharpen/stages.hpp"           // IWYU pragma: export
+#include "sharpen/video.hpp"            // IWYU pragma: export

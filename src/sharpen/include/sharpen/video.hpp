@@ -1,11 +1,15 @@
 // Frame-sequence (video) sharpening — the real-time TV/camera use case of
-// the paper's introduction. Device buffers are created once and reused
-// for every frame, so the per-frame cost drops by the buffer-allocation
-// overhead that single-image GpuPipeline::run() pays each call.
+// the paper's introduction. The device context, command queue and buffer
+// pool persist across frames, so the per-frame cost drops by the
+// buffer-allocation overhead that single-image GpuPipeline::run() pays
+// each call, and the strength LUT is re-uploaded only when the frame
+// statistics change.
 #pragma once
 
 #include "image/image.hpp"
 #include "sharpen/gpu_pipeline.hpp"
+#include "sharpen/service/buffer_pool.hpp"
+#include "sharpen/service/frame_runner.hpp"
 
 namespace sharp {
 
@@ -19,7 +23,7 @@ class VideoPipeline {
                 simcl::DeviceSpec host = simcl::intel_core_i5_3470());
 
   /// Sharpens one frame. The first frame pays buffer allocation; later
-  /// frames reuse the device buffers.
+  /// frames reuse the pooled device buffers.
   [[nodiscard]] PipelineResult process_frame(const img::ImageU8& frame);
 
   struct Stats {
@@ -38,14 +42,17 @@ class VideoPipeline {
   [[nodiscard]] int width() const { return width_; }
   [[nodiscard]] int height() const { return height_; }
   [[nodiscard]] const PipelineOptions& options() const {
-    return inner_.options();
+    return runner_.options();
   }
 
  private:
   int width_;
   int height_;
   SharpenParams params_;
-  GpuPipeline inner_;
+  simcl::Context ctx_;
+  simcl::CommandQueue queue_;
+  gpu::BufferPool pool_;
+  service::FrameRunner runner_;
   bool first_frame_ = true;
   Stats stats_;
 };

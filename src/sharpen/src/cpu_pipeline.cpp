@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "sharpen/cpu_cost.hpp"
+#include "sharpen/execution.hpp"
 #include "sharpen/stages.hpp"
 
 namespace sharp {
@@ -36,7 +37,7 @@ PipelineResult CpuPipeline::run(const img::ImageU8& input,
 
   auto t0 = Clock::now();
   const img::ImageF32 down = stages::downscale(input);
-  record("downscale", cpu_cost::downscale(w, h), t0);
+  record(stage::kDownscale, cpu_cost::downscale(w, h), t0);
 
   // Upscale: body + border charged together under one Fig. 13a label.
   t0 = Clock::now();
@@ -47,19 +48,19 @@ PipelineResult CpuPipeline::run(const img::ImageU8& input,
   const simcl::HostWork border = cpu_cost::upscale_border(w, h);
   up_work.flops += border.flops;
   up_work.bytes += border.bytes;
-  record("upscale", up_work, t0);
+  record(stage::kUpscale, up_work, t0);
 
   t0 = Clock::now();
   const img::ImageF32 error = stages::difference(input, up);
-  record("pError", cpu_cost::difference(w, h), t0);
+  record(stage::kPError, cpu_cost::difference(w, h), t0);
 
   t0 = Clock::now();
   const img::ImageI32 edge = stages::sobel(input);
-  record("sobel", cpu_cost::sobel(w, h), t0);
+  record(stage::kSobel, cpu_cost::sobel(w, h), t0);
 
   t0 = Clock::now();
   const std::int64_t sum = stages::reduce_sum(edge);
-  record("reduction", cpu_cost::reduction(w, h), t0);
+  record(stage::kReduction, cpu_cost::reduction(w, h), t0);
   const float inv_mean = stages::inverse_mean_edge(
       sum, static_cast<std::int64_t>(w) * h, params);
   result.mean_edge =
@@ -68,11 +69,11 @@ PipelineResult CpuPipeline::run(const img::ImageU8& input,
   t0 = Clock::now();
   const img::ImageF32 prelim =
       stages::preliminary(up, error, edge, inv_mean, params);
-  record("strength", cpu_cost::preliminary(w, h), t0);
+  record(stage::kStrength, cpu_cost::preliminary(w, h), t0);
 
   t0 = Clock::now();
   result.output = stages::overshoot_control(input, prelim, params);
-  record("overshoot", cpu_cost::overshoot(w, h), t0);
+  record(stage::kOvershoot, cpu_cost::overshoot(w, h), t0);
 
   for (const auto& s : result.stages) {
     result.total_modeled_us += s.modeled_us;
@@ -83,7 +84,9 @@ PipelineResult CpuPipeline::run(const img::ImageU8& input,
 
 img::ImageU8 sharpen_cpu(const img::ImageU8& input,
                          const SharpenParams& params) {
-  return CpuPipeline().run(input, params).output;
+  Execution exec;
+  exec.backend = Backend::kCpu;
+  return sharpen(input, params, exec);
 }
 
 }  // namespace sharp

@@ -1,0 +1,22 @@
+#include "sharpen/execution.hpp"
+
+#include "sharpen/cpu_pipeline.hpp"
+#include "sharpen/gpu_pipeline.hpp"
+
+namespace sharp {
+
+img::ImageU8 sharpen(const img::ImageU8& input, const SharpenParams& params,
+                     const Execution& exec) {
+  switch (exec.backend) {
+    case Backend::kCpu:
+      return CpuPipeline(exec.host).run(input, params).output;
+    case Backend::kGpu:
+      return GpuPipeline(exec.options, exec.device, exec.host,
+                         exec.engine_threads)
+          .run(input, params)
+          .output;
+  }
+  throw SharpenError("sharpen: unknown backend");
+}
+
+}  // namespace sharp

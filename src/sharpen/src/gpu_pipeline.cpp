@@ -1,415 +1,35 @@
 #include "sharpen/gpu_pipeline.hpp"
 
-#include <algorithm>
-#include <cstring>
-#include <map>
-#include <optional>
-#include <vector>
-
-#include "image/border.hpp"
-#include "sharpen/cpu_cost.hpp"
-#include "sharpen/gpu/kernels.hpp"
-#include "sharpen/stages.hpp"
+#include "sharpen/execution.hpp"
+#include "sharpen/service/buffer_pool.hpp"
+#include "sharpen/service/frame_runner.hpp"
 
 namespace sharp {
-namespace {
-
-using gpu::KernelEnv;
-using gpu::round_up;
-using gpu::SrcView;
-using simcl::Buffer;
-using simcl::CommandQueue;
-using simcl::LaunchConfig;
-using simcl::MapMode;
-using simcl::NDRange;
-using simcl::RectRegion;
-
-constexpr std::size_t kTile = 16;  // 2-D work-group edge (16x16 = 256)
-
-LaunchConfig grid2d(std::size_t wx, std::size_t wy) {
-  return {.global = NDRange(round_up(wx, kTile), round_up(wy, kTile)),
-          .local = NDRange(kTile, kTile)};
-}
-
-LaunchConfig grid1d(std::size_t n, std::size_t local = 64) {
-  return {.global = NDRange(round_up(n, local)), .local = NDRange(local)};
-}
-
-/// Transfers that honor the §V.A transfer-mode option.
-struct Mover {
-  CommandQueue& q;
-  TransferMode mode;
-
-  void upload(Buffer& dst, const void* src, std::size_t bytes) const {
-    if (mode == TransferMode::kReadWrite) {
-      q.enqueue_write(dst, src, bytes);
-    } else {
-      simcl::Mapping m = q.map(dst, MapMode::kWrite, 0, bytes);
-      std::memcpy(m.data(), src, bytes);
-    }
-  }
-
-  void download(Buffer& src, void* dst, std::size_t bytes) const {
-    if (mode == TransferMode::kReadWrite) {
-      q.enqueue_read(src, dst, bytes);
-    } else {
-      simcl::Mapping m = q.map(src, MapMode::kRead, 0, bytes);
-      std::memcpy(dst, m.data(), bytes);
-    }
-  }
-};
-
-}  // namespace
 
 GpuPipeline::GpuPipeline(PipelineOptions options, simcl::DeviceSpec gpu,
                          simcl::DeviceSpec host, int engine_threads)
     : options_(options),
       gpu_(std::move(gpu)),
       host_(std::move(host)),
-      engine_threads_(engine_threads) {}
+      engine_threads_(engine_threads) {
+  if (auto problem = options_.validate()) {
+    throw SharpenError("PipelineOptions: " + *problem);
+  }
+}
 
 PipelineResult GpuPipeline::run(const img::ImageU8& input,
                                 const SharpenParams& params) {
-  return run_impl(input, params, /*charge_allocations=*/true);
-}
-
-PipelineResult GpuPipeline::run_impl(const img::ImageU8& input,
-                                     const SharpenParams& params,
-                                     bool charge_allocations) {
-  validate_size(input.width(), input.height());
-  params.validate();
-  if (options_.use_image2d && !options_.fuse_sharpness) {
-    throw SharpenError(
-        "PipelineOptions: use_image2d requires fuse_sharpness");
-  }
-  const int w = input.width();
-  const int h = input.height();
-  const int dw = w / kScale;
-  const int dh = h / kScale;
-  const std::int64_t n = static_cast<std::int64_t>(w) * h;
-  const PipelineOptions& opt = options_;
-  const KernelEnv env = KernelEnv::from(opt);
-
+  // One-shot mode: fresh context, fresh pool, single queue. FrameRunner
+  // with comp == xfer reproduces the classic serial pipeline command for
+  // command (pooling and overlap only pay off across frames; see
+  // VideoPipeline and SharpenService for the amortized paths).
   simcl::Context ctx(gpu_, host_, engine_threads_);
-  CommandQueue q(ctx);
-  const Mover mover{q, opt.transfer};
-  const auto sync = [&] {
-    if (!opt.eliminate_clfinish) {
-      q.finish();
-    }
-  };
-
-  // --- device memory ---------------------------------------------------------
-  const int pw = w + 2;
-  Buffer padded = ctx.create_buffer(
-      "padded", static_cast<std::size_t>(pw) * (h + 2));
-  const SrcView padded_view{&padded, pw, pw + 1};
-  std::optional<simcl::Image2D> orig_img;
-  if (opt.use_image2d) {
-    orig_img.emplace(
-        ctx.create_image2d("orig_img", simcl::ChannelFormat::kR_U8, w, h));
-  }
-  std::optional<Buffer> orig;
-  if (!opt.transfer_padded_only) {
-    orig.emplace(ctx.create_buffer("orig", static_cast<std::size_t>(n)));
-  }
-  const SrcView plain_src =
-      opt.transfer_padded_only ? padded_view : SrcView{&*orig, w, 0};
-
-  Buffer down = ctx.create_buffer(
-      "down", static_cast<std::size_t>(dw) * dh * sizeof(float));
-  Buffer up = ctx.create_buffer(
-      "up", static_cast<std::size_t>(n) * sizeof(float));
-  Buffer edge = ctx.create_buffer(
-      "edge", static_cast<std::size_t>(n) * sizeof(std::int32_t));
-  Buffer final_out =
-      ctx.create_buffer("final", static_cast<std::size_t>(n));
-
-  // --- buffer allocation cost (amortized away by VideoPipeline) --------------
-  if (charge_allocations) {
-    // Real host code allocates the full worst-case buffer set once at
-    // startup whatever the option set is, so the charge is configuration
-    // independent: padded/orig, down, up, edge, error, prelim, partials,
-    // sum, lut, final.
-    constexpr int kBufferCount = 10;
-    q.set_phase("data_init");
-    q.host_work("alloc_buffers",
-                {.fixed_us = kBufferCount * gpu_.buffer_alloc_us});
-  }
-
-  // --- data initialization (§V.A) ---------------------------------------------
-  if (opt.use_image2d) {
-    // Image path: upload the unpadded original once; the sampler's
-    // CLAMP_TO_EDGE addressing stands in for the paper's padding.
-    q.set_phase("data_init");
-    q.enqueue_write_image(*orig_img, input.data());
-  } else if (opt.transfer_padded_only &&
-             opt.transfer == TransferMode::kReadWrite) {
-    // Padding happens on-transfer: one rect write of the interior; the
-    // 1-pixel ring is never read by any kernel.
-    q.set_phase("data_init");
-    RectRegion r;
-    r.row_bytes = static_cast<std::size_t>(w);
-    r.rows = static_cast<std::size_t>(h);
-    r.buffer_offset = static_cast<std::size_t>(pw) + 1;
-    r.buffer_row_pitch = static_cast<std::size_t>(pw);
-    r.host_row_pitch = static_cast<std::size_t>(w);
-    q.enqueue_write_rect(padded, input.data(), r);
-  } else {
-    // Naive path: replicate-pad on the host, then upload the padded image
-    // (and, without the padded-only optimization, the original as well).
-    q.set_phase("padding");
-    const img::ImageU8 host_padded =
-        img::pad(input, 1, img::BorderMode::kReplicate);
-    q.host_memcpy("pad_on_host", host_padded.byte_size());
-    q.set_phase("data_init");
-    mover.upload(padded, host_padded.data(), host_padded.byte_size());
-    if (orig.has_value()) {
-      mover.upload(*orig, input.data(), input.byte_size());
-    }
-  }
-  sync();
-
-  // --- downscale ----------------------------------------------------------------
-  q.set_phase("downscale");
-  if (opt.use_image2d) {
-    q.enqueue_kernel(gpu::make_downscale_img(*orig_img, down, dw, dh, env),
-                     grid2d(static_cast<std::size_t>(dw),
-                            static_cast<std::size_t>(dh)));
-  } else {
-    q.enqueue_kernel(gpu::make_downscale(plain_src, down, dw, dh, env),
-                     grid2d(static_cast<std::size_t>(dw),
-                            static_cast<std::size_t>(dh)));
-  }
-  sync();
-
-  // --- upscale border (§V.E) ------------------------------------------------------
-  const bool border_on_gpu =
-      opt.border == Placement::kGpu ||
-      (opt.border == Placement::kAuto && w >= opt.border_gpu_threshold);
-  q.set_phase("border");
-  if (border_on_gpu) {
-    q.enqueue_kernel(gpu::make_border(down, dw, dh, up, w, h, env),
-                     grid1d(static_cast<std::size_t>(4 * w + 4 * (h - 4))));
-  } else {
-    // CPU path: fetch the downscaled image, interpolate the frame on the
-    // host, push the four frame strips back.
-    img::ImageF32 host_down(dw, dh);
-    mover.download(down, host_down.data(), host_down.byte_size());
-    img::ImageF32 host_up(w, h);
-    stages::upscale_border(host_down, host_up.view());
-    q.host_work("border_on_host", cpu_cost::upscale_border(w, h));
-    const std::size_t pitch = static_cast<std::size_t>(w) * sizeof(float);
-    const auto strip = [&](std::size_t row_bytes, std::size_t rows,
-                           std::size_t origin_bytes) {
-      RectRegion r;
-      r.row_bytes = row_bytes;
-      r.rows = rows;
-      r.buffer_offset = origin_bytes;
-      r.buffer_row_pitch = pitch;
-      r.host_offset = origin_bytes;
-      r.host_row_pitch = pitch;
-      q.enqueue_write_rect(up, host_up.data(), r);
-    };
-    strip(pitch, 2, 0);                                      // top rows
-    strip(pitch, 2, static_cast<std::size_t>(h - 2) * pitch);  // bottom
-    strip(2 * sizeof(float), static_cast<std::size_t>(h - 4),
-          2 * pitch);                                        // left cols
-    strip(2 * sizeof(float), static_cast<std::size_t>(h - 4),
-          2 * pitch + (static_cast<std::size_t>(w) - 2) * sizeof(float));
-  }
-  sync();
-
-  // --- upscale body ("center") -----------------------------------------------------
-  q.set_phase("center");
-  if (opt.vectorize) {
-    q.enqueue_kernel(gpu::make_center_vec4(down, dw, dh, up, w, h, env),
-                     grid2d(static_cast<std::size_t>(dw - 1),
-                            static_cast<std::size_t>(h - 4)));
-  } else {
-    q.enqueue_kernel(gpu::make_center_scalar(down, dw, dh, up, w, h, env),
-                     grid2d(static_cast<std::size_t>(w - 4),
-                            static_cast<std::size_t>(h - 4)));
-  }
-  sync();
-
-  // --- Sobel ---------------------------------------------------------------------
-  q.set_phase("sobel");
-  if (opt.use_image2d) {
-    q.enqueue_kernel(gpu::make_sobel_img(*orig_img, edge, w, h, env),
-                     grid2d(static_cast<std::size_t>(w),
-                            static_cast<std::size_t>(h)));
-  } else {
-    SobelImpl sobel_impl = opt.sobel_impl;
-    if (sobel_impl == SobelImpl::kDefault) {
-      sobel_impl = opt.vectorize ? SobelImpl::kVec4 : SobelImpl::kScalar;
-    }
-    switch (sobel_impl) {
-      case SobelImpl::kVec4:
-        q.enqueue_kernel(gpu::make_sobel_vec4(padded_view, edge, w, h, env),
-                         grid2d(static_cast<std::size_t>(w / 4),
-                                static_cast<std::size_t>(h)));
-        break;
-      case SobelImpl::kLds:
-        q.enqueue_kernel(
-            gpu::make_sobel_lds(padded_view, edge, w, h,
-                                static_cast<int>(kTile), env),
-            grid2d(static_cast<std::size_t>(w),
-                   static_cast<std::size_t>(h)));
-        break;
-      case SobelImpl::kScalar:
-      case SobelImpl::kDefault:
-        q.enqueue_kernel(gpu::make_sobel_scalar(plain_src, edge, w, h, env),
-                         grid2d(static_cast<std::size_t>(w),
-                                static_cast<std::size_t>(h)));
-        break;
-    }
-  }
-  sync();
-
-  // --- reduction (§V.C) --------------------------------------------------------------
-  q.set_phase("reduction");
-  std::int64_t edge_sum = 0;
-  if (opt.reduction == Placement::kCpu) {
-    // Naive: read the whole pEdge matrix back and sum on the host.
-    std::vector<std::int32_t> host_edge(static_cast<std::size_t>(n));
-    mover.download(edge, host_edge.data(),
-                   host_edge.size() * sizeof(std::int32_t));
-    for (std::int32_t v : host_edge) {
-      edge_sum += v;
-    }
-    q.host_work("reduce_on_host", cpu_cost::reduction(w, h));
-  } else {
-    const int g = opt.reduction_group_size;
-    const int ipt = opt.reduction_items_per_thread;
-    const std::int64_t groups =
-        (n + static_cast<std::int64_t>(g) * ipt - 1) /
-        (static_cast<std::int64_t>(g) * ipt);
-    Buffer partials = ctx.create_buffer(
-        "partials",
-        static_cast<std::size_t>(groups) * sizeof(std::int32_t));
-    q.enqueue_kernel(
-        gpu::make_reduce_stage1(edge, n, partials, g, ipt, opt.unroll, env),
-        {.global = NDRange(static_cast<std::size_t>(groups * g)),
-         .local = NDRange(static_cast<std::size_t>(g))});
-    sync();
-    const bool stage2_gpu =
-        opt.reduction_stage2 == Placement::kGpu ||
-        (opt.reduction_stage2 == Placement::kAuto &&
-         groups > opt.stage2_gpu_threshold);
-    if (stage2_gpu) {
-      Buffer sum_buf = ctx.create_buffer("sum", sizeof(std::int64_t));
-      const int g2 = 256;
-      if (opt.stage2_method == Stage2Method::kAtomic) {
-        const std::int64_t zero = 0;
-        q.enqueue_fill(sum_buf, &zero, sizeof(zero), 0, sizeof(zero));
-        const std::size_t ngroups = static_cast<std::size_t>(
-            std::clamp<std::int64_t>(groups / (g2 * 4), 1, 64));
-        q.enqueue_kernel(
-            gpu::make_reduce_stage2_atomic(partials, groups, sum_buf, g2,
-                                           env),
-            {.global = NDRange(ngroups * static_cast<std::size_t>(g2)),
-             .local = NDRange(static_cast<std::size_t>(g2))});
-      } else {
-        q.enqueue_kernel(
-            gpu::make_reduce_stage2(partials, groups, sum_buf, g2, env),
-            {.global = NDRange(static_cast<std::size_t>(g2)),
-             .local = NDRange(static_cast<std::size_t>(g2))});
-      }
-      mover.download(sum_buf, &edge_sum, sizeof(edge_sum));
-    } else {
-      std::vector<std::int32_t> host_partials(
-          static_cast<std::size_t>(groups));
-      mover.download(partials, host_partials.data(),
-                     host_partials.size() * sizeof(std::int32_t));
-      for (std::int32_t v : host_partials) {
-        edge_sum += v;
-      }
-      q.host_work("reduce_stage2_on_host",
-                  {.flops = static_cast<double>(groups), .fixed_us = 0.5});
-    }
-  }
-  sync();
-  const float inv_mean = stages::inverse_mean_edge(edge_sum, n, params);
-
-  // --- sharpness (pError + strength/preliminary + overshoot) -------------------------
-  q.set_phase("sharpness");
-  // Optional strength LUT (StrengthEval::kLut): built on the host from the
-  // just-computed mean, uploaded once (8 KiB), bit-identical to pow().
-  std::optional<Buffer> lut_buf;
-  if (opt.strength == StrengthEval::kLut) {
-    const std::vector<float> lut = gpu::build_strength_lut(inv_mean, params);
-    lut_buf.emplace(
-        ctx.create_buffer("strength_lut", lut.size() * sizeof(float)));
-    mover.upload(*lut_buf, lut.data(), lut.size() * sizeof(float));
-  }
-  Buffer* lut_ptr = lut_buf.has_value() ? &*lut_buf : nullptr;
-  if (opt.fuse_sharpness) {
-    if (opt.use_image2d) {
-      q.enqueue_kernel(
-          gpu::make_sharpness_fused_img(*orig_img, up, edge, inv_mean,
-                                        params, final_out, w, h, env,
-                                        lut_ptr),
-          grid2d(static_cast<std::size_t>(w), static_cast<std::size_t>(h)));
-    } else if (opt.vectorize) {
-      q.enqueue_kernel(
-          gpu::make_sharpness_fused_vec4(padded_view, up, edge, inv_mean,
-                                         params, final_out, w, h, env,
-                                         lut_ptr),
-          grid2d(static_cast<std::size_t>(w / 4),
-                 static_cast<std::size_t>(h)));
-    } else {
-      q.enqueue_kernel(
-          gpu::make_sharpness_fused_scalar(padded_view, up, edge, inv_mean,
-                                           params, final_out, w, h, env,
-                                           lut_ptr),
-          grid2d(static_cast<std::size_t>(w), static_cast<std::size_t>(h)));
-    }
-    sync();
-  } else {
-    Buffer error = ctx.create_buffer(
-        "error", static_cast<std::size_t>(n) * sizeof(float));
-    Buffer prelim = ctx.create_buffer(
-        "prelim", static_cast<std::size_t>(n) * sizeof(float));
-    const auto whole = grid2d(static_cast<std::size_t>(w),
-                              static_cast<std::size_t>(h));
-    q.enqueue_kernel(gpu::make_perror(plain_src, up, error, w, h, env),
-                     whole);
-    sync();
-    q.enqueue_kernel(gpu::make_preliminary(up, error, edge, inv_mean,
-                                           params, w, h, prelim, env,
-                                           lut_ptr),
-                     whole);
-    sync();
-    q.enqueue_kernel(gpu::make_overshoot(padded_view, prelim, final_out,
-                                         params, w, h, env),
-                     whole);
-    sync();
-  }
-
-  // --- result download ------------------------------------------------------------
-  q.set_phase("data_out");
-  PipelineResult result;
-  result.output = img::ImageU8(w, h);
-  mover.download(final_out, result.output.data(),
-                 result.output.byte_size());
-  q.set_phase("sync");
-  q.finish();  // the one mandatory end-of-pipeline synchronization
-
-  // --- bookkeeping ------------------------------------------------------------------
-  result.mean_edge = static_cast<double>(edge_sum) / static_cast<double>(n);
-  std::map<std::string, double> by_phase;
-  std::vector<std::string> order;
-  for (const auto& ev : q.events()) {
-    if (by_phase.emplace(ev.phase, 0.0).second) {
-      order.push_back(ev.phase);
-    }
-    by_phase[ev.phase] += ev.duration_us();
-  }
-  for (const auto& phase : order) {
-    result.stages.push_back({phase, by_phase[phase], 0.0});
-  }
-  result.total_modeled_us = q.timeline_us();
+  simcl::CommandQueue q(ctx);
+  gpu::BufferPool pool(ctx);
+  service::FrameRunner runner(ctx, pool, q, q, options_);
+  const service::FrameRunner::Ticket ticket =
+      runner.begin_frame(input, /*charge_allocations=*/true);
+  PipelineResult result = runner.finish_frame(ticket, params);
   last_events_ = q.events();
   return result;
 }
@@ -417,8 +37,10 @@ PipelineResult GpuPipeline::run_impl(const img::ImageU8& input,
 img::ImageU8 sharpen_gpu(const img::ImageU8& input,
                          const SharpenParams& params,
                          const PipelineOptions& options) {
-  GpuPipeline pipeline(options);
-  return pipeline.run(input, params).output;
+  Execution exec;
+  exec.backend = Backend::kGpu;
+  exec.options = options;
+  return sharpen(input, params, exec);
 }
 
 }  // namespace sharp

@@ -1,0 +1,523 @@
+#include "sharpen/service/frame_runner.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "image/border.hpp"
+#include "sharpen/cpu_cost.hpp"
+#include "sharpen/gpu/kernels.hpp"
+#include "sharpen/stages.hpp"
+
+namespace sharp::service {
+namespace {
+
+using gpu::KernelEnv;
+using gpu::round_up;
+using gpu::SrcView;
+using simcl::Buffer;
+using simcl::CommandQueue;
+using simcl::LaunchConfig;
+using simcl::MapMode;
+using simcl::NDRange;
+using simcl::RectRegion;
+
+constexpr std::size_t kTile = 16;  // 2-D work-group edge (16x16 = 256)
+
+LaunchConfig grid2d(std::size_t wx, std::size_t wy) {
+  return {.global = NDRange(round_up(wx, kTile), round_up(wy, kTile)),
+          .local = NDRange(kTile, kTile)};
+}
+
+LaunchConfig grid1d(std::size_t n, std::size_t local = 64) {
+  return {.global = NDRange(round_up(n, local)), .local = NDRange(local)};
+}
+
+/// Transfers that honor the §V.A transfer-mode option.
+struct Mover {
+  CommandQueue& q;
+  TransferMode mode;
+
+  void upload(Buffer& dst, const void* src, std::size_t bytes) const {
+    if (mode == TransferMode::kReadWrite) {
+      q.enqueue_write(dst, src, bytes);
+    } else {
+      simcl::Mapping m = q.map(dst, MapMode::kWrite, 0, bytes);
+      std::memcpy(m.data(), src, bytes);
+    }
+  }
+
+  void download(Buffer& src, void* dst, std::size_t bytes) const {
+    if (mode == TransferMode::kReadWrite) {
+      q.enqueue_read(src, dst, bytes);
+    } else {
+      simcl::Mapping m = q.map(src, MapMode::kRead, 0, bytes);
+      std::memcpy(dst, m.data(), bytes);
+    }
+  }
+};
+
+}  // namespace
+
+FrameRunner::FrameRunner(simcl::Context& ctx, gpu::BufferPool& pool,
+                         simcl::CommandQueue& comp,
+                         simcl::CommandQueue& xfer, PipelineOptions options,
+                         int slots)
+    : ctx_(&ctx),
+      pool_(&pool),
+      comp_(&comp),
+      xfer_(&xfer),
+      options_(options),
+      slots_(slots) {
+  if (auto problem = options_.validate()) {
+    throw SharpenError("PipelineOptions: " + *problem);
+  }
+  if (slots_ < 1) {
+    throw SharpenError("FrameRunner: slots must be >= 1");
+  }
+}
+
+std::string FrameRunner::slot_name(const char* base, int slot) const {
+  if (slots_ == 1) {
+    return base;
+  }
+  return std::string(base) + "@" + std::to_string(slot);
+}
+
+FrameRunner::Ticket FrameRunner::begin_frame(const img::ImageU8& input,
+                                             bool charge_allocations,
+                                             int slot) {
+  validate_size(input.width(), input.height());
+  if (slot < 0 || slot >= slots_) {
+    throw SharpenError("FrameRunner: slot out of range");
+  }
+  const int w = input.width();
+  const int h = input.height();
+  const std::int64_t n = static_cast<std::int64_t>(w) * h;
+  const PipelineOptions& opt = options_;
+
+  Ticket t;
+  t.input = &input;
+  t.w = w;
+  t.h = h;
+  t.slot = slot;
+  t.comp_events_begin = comp_->events().size();
+  t.xfer_events_begin = xfer_->events().size();
+
+  // --- device memory (pooled: created on first use, reused after) ----------
+  const int pw = w + 2;
+  Buffer& padded = pool_->get(
+      slot_name("padded", slot),
+      static_cast<std::size_t>(pw) * static_cast<std::size_t>(h + 2));
+  simcl::Image2D* orig_img = nullptr;
+  if (opt.use_image2d) {
+    orig_img = &pool_->get_image2d(slot_name("orig_img", slot),
+                                   simcl::ChannelFormat::kR_U8, w, h);
+  }
+  Buffer* orig = nullptr;
+  if (!opt.transfer_padded_only) {
+    orig = &pool_->get(slot_name("orig", slot), static_cast<std::size_t>(n));
+  }
+
+  CommandQueue& q = *xfer_;
+  const Mover mover{q, opt.transfer};
+
+  // --- buffer allocation cost (paid once per pool lifetime) ----------------
+  if (charge_allocations) {
+    // Real host code allocates the full worst-case buffer set once at
+    // startup whatever the option set is, so the charge is configuration
+    // independent: padded/orig, down, up, edge, error, prelim, partials,
+    // sum, lut, final.
+    constexpr int kBufferCount = 10;
+    q.set_phase(stage::kDataInit);
+    q.host_work("alloc_buffers",
+                {.fixed_us = kBufferCount * ctx_->device().buffer_alloc_us});
+  }
+
+  // --- data initialization (§V.A) ------------------------------------------
+  if (opt.use_image2d) {
+    // Image path: upload the unpadded original once; the sampler's
+    // CLAMP_TO_EDGE addressing stands in for the paper's padding.
+    q.set_phase(stage::kDataInit);
+    q.enqueue_write_image(*orig_img, input.data());
+  } else if (opt.transfer_padded_only &&
+             opt.transfer == TransferMode::kReadWrite) {
+    // Padding happens on-transfer: one rect write of the interior; the
+    // 1-pixel ring is never read by any kernel.
+    q.set_phase(stage::kDataInit);
+    RectRegion r;
+    r.row_bytes = static_cast<std::size_t>(w);
+    r.rows = static_cast<std::size_t>(h);
+    r.buffer_offset = static_cast<std::size_t>(pw) + 1;
+    r.buffer_row_pitch = static_cast<std::size_t>(pw);
+    r.host_row_pitch = static_cast<std::size_t>(w);
+    q.enqueue_write_rect(padded, input.data(), r);
+  } else {
+    // Naive path: replicate-pad on the host, then upload the padded image
+    // (and, without the padded-only optimization, the original as well).
+    q.set_phase(stage::kPadding);
+    const img::ImageU8 host_padded =
+        img::pad(input, 1, img::BorderMode::kReplicate);
+    q.host_memcpy("pad_on_host", host_padded.byte_size());
+    q.set_phase(stage::kDataInit);
+    mover.upload(padded, host_padded.data(), host_padded.byte_size());
+    if (orig != nullptr) {
+      mover.upload(*orig, input.data(), input.byte_size());
+    }
+  }
+  if (!opt.eliminate_clfinish) {
+    q.finish();
+  }
+
+  t.xfer_events_after_upload = xfer_->events().size();
+  t.upload_done = xfer_->events().back();
+  return t;
+}
+
+PipelineResult FrameRunner::finish_frame(const Ticket& t,
+                                         const SharpenParams& params) {
+  params.validate();
+  const int w = t.w;
+  const int h = t.h;
+  const int dw = w / kScale;
+  const int dh = h / kScale;
+  const std::int64_t n = static_cast<std::int64_t>(w) * h;
+  const PipelineOptions& opt = options_;
+  const KernelEnv env = KernelEnv::from(opt);
+
+  CommandQueue& q = *comp_;
+  const Mover mover{q, opt.transfer};
+  const auto sync = [&] {
+    if (!opt.eliminate_clfinish) {
+      q.finish();
+    }
+  };
+
+  // --- pooled device memory (same names/sizes as begin_frame) --------------
+  const int pw = w + 2;
+  Buffer& padded = pool_->get(
+      slot_name("padded", t.slot),
+      static_cast<std::size_t>(pw) * static_cast<std::size_t>(h + 2));
+  const SrcView padded_view{&padded, pw, pw + 1};
+  simcl::Image2D* orig_img = nullptr;
+  if (opt.use_image2d) {
+    orig_img = &pool_->get_image2d(slot_name("orig_img", t.slot),
+                                   simcl::ChannelFormat::kR_U8, w, h);
+  }
+  Buffer* orig = nullptr;
+  if (!opt.transfer_padded_only) {
+    orig =
+        &pool_->get(slot_name("orig", t.slot), static_cast<std::size_t>(n));
+  }
+  const SrcView plain_src =
+      opt.transfer_padded_only ? padded_view : SrcView{orig, w, 0};
+
+  Buffer& down = pool_->get(
+      "down",
+      static_cast<std::size_t>(dw) * static_cast<std::size_t>(dh) *
+          sizeof(float));
+  Buffer& up =
+      pool_->get("up", static_cast<std::size_t>(n) * sizeof(float));
+  Buffer& edge = pool_->get(
+      "edge", static_cast<std::size_t>(n) * sizeof(std::int32_t));
+  Buffer& final_out =
+      pool_->get(slot_name("final", t.slot), static_cast<std::size_t>(n));
+
+  // --- cross-queue handoff: kernels wait for this frame's upload -----------
+  if (overlapped()) {
+    q.set_phase(stage::kDataInit);
+    q.enqueue_wait(t.upload_done);
+  }
+
+  // --- downscale ------------------------------------------------------------
+  q.set_phase(stage::kDownscale);
+  if (opt.use_image2d) {
+    q.enqueue_kernel(gpu::make_downscale_img(*orig_img, down, dw, dh, env),
+                     grid2d(static_cast<std::size_t>(dw),
+                            static_cast<std::size_t>(dh)));
+  } else {
+    q.enqueue_kernel(gpu::make_downscale(plain_src, down, dw, dh, env),
+                     grid2d(static_cast<std::size_t>(dw),
+                            static_cast<std::size_t>(dh)));
+  }
+  sync();
+
+  // --- upscale border (§V.E) --------------------------------------------------
+  const bool border_on_gpu =
+      opt.border == Placement::kGpu ||
+      (opt.border == Placement::kAuto && w >= opt.border_gpu_threshold);
+  q.set_phase(stage::kBorder);
+  if (border_on_gpu) {
+    q.enqueue_kernel(gpu::make_border(down, dw, dh, up, w, h, env),
+                     grid1d(static_cast<std::size_t>(4 * w + 4 * (h - 4))));
+  } else {
+    // CPU path: fetch the downscaled image, interpolate the frame on the
+    // host, push the four frame strips back.
+    img::ImageF32 host_down(dw, dh);
+    mover.download(down, host_down.data(), host_down.byte_size());
+    img::ImageF32 host_up(w, h);
+    stages::upscale_border(host_down, host_up.view());
+    q.host_work("border_on_host", cpu_cost::upscale_border(w, h));
+    const std::size_t pitch = static_cast<std::size_t>(w) * sizeof(float);
+    const auto strip = [&](std::size_t row_bytes, std::size_t rows,
+                           std::size_t origin_bytes) {
+      RectRegion r;
+      r.row_bytes = row_bytes;
+      r.rows = rows;
+      r.buffer_offset = origin_bytes;
+      r.buffer_row_pitch = pitch;
+      r.host_offset = origin_bytes;
+      r.host_row_pitch = pitch;
+      q.enqueue_write_rect(up, host_up.data(), r);
+    };
+    strip(pitch, 2, 0);                                      // top rows
+    strip(pitch, 2, static_cast<std::size_t>(h - 2) * pitch);  // bottom
+    strip(2 * sizeof(float), static_cast<std::size_t>(h - 4),
+          2 * pitch);                                        // left cols
+    strip(2 * sizeof(float), static_cast<std::size_t>(h - 4),
+          2 * pitch + (static_cast<std::size_t>(w) - 2) * sizeof(float));
+  }
+  sync();
+
+  // --- upscale body ("center") -------------------------------------------------
+  q.set_phase(stage::kCenter);
+  if (opt.vectorize) {
+    q.enqueue_kernel(gpu::make_center_vec4(down, dw, dh, up, w, h, env),
+                     grid2d(static_cast<std::size_t>(dw - 1),
+                            static_cast<std::size_t>(h - 4)));
+  } else {
+    q.enqueue_kernel(gpu::make_center_scalar(down, dw, dh, up, w, h, env),
+                     grid2d(static_cast<std::size_t>(w - 4),
+                            static_cast<std::size_t>(h - 4)));
+  }
+  sync();
+
+  // --- Sobel -----------------------------------------------------------------
+  q.set_phase(stage::kSobel);
+  if (opt.use_image2d) {
+    q.enqueue_kernel(gpu::make_sobel_img(*orig_img, edge, w, h, env),
+                     grid2d(static_cast<std::size_t>(w),
+                            static_cast<std::size_t>(h)));
+  } else {
+    SobelImpl sobel_impl = opt.sobel_impl;
+    if (sobel_impl == SobelImpl::kDefault) {
+      sobel_impl = opt.vectorize ? SobelImpl::kVec4 : SobelImpl::kScalar;
+    }
+    switch (sobel_impl) {
+      case SobelImpl::kVec4:
+        q.enqueue_kernel(gpu::make_sobel_vec4(padded_view, edge, w, h, env),
+                         grid2d(static_cast<std::size_t>(w / 4),
+                                static_cast<std::size_t>(h)));
+        break;
+      case SobelImpl::kLds:
+        q.enqueue_kernel(
+            gpu::make_sobel_lds(padded_view, edge, w, h,
+                                static_cast<int>(kTile), env),
+            grid2d(static_cast<std::size_t>(w),
+                   static_cast<std::size_t>(h)));
+        break;
+      case SobelImpl::kScalar:
+      case SobelImpl::kDefault:
+        q.enqueue_kernel(gpu::make_sobel_scalar(plain_src, edge, w, h, env),
+                         grid2d(static_cast<std::size_t>(w),
+                                static_cast<std::size_t>(h)));
+        break;
+    }
+  }
+  sync();
+
+  // --- reduction (§V.C) --------------------------------------------------------
+  q.set_phase(stage::kReduction);
+  std::int64_t edge_sum = 0;
+  if (opt.reduction == Placement::kCpu) {
+    // Naive: read the whole pEdge matrix back and sum on the host.
+    std::vector<std::int32_t> host_edge(static_cast<std::size_t>(n));
+    mover.download(edge, host_edge.data(),
+                   host_edge.size() * sizeof(std::int32_t));
+    for (std::int32_t v : host_edge) {
+      edge_sum += v;
+    }
+    q.host_work("reduce_on_host", cpu_cost::reduction(w, h));
+  } else {
+    const int g = opt.reduction_group_size;
+    const int ipt = opt.reduction_items_per_thread;
+    const std::int64_t groups =
+        (n + static_cast<std::int64_t>(g) * ipt - 1) /
+        (static_cast<std::int64_t>(g) * ipt);
+    Buffer& partials = pool_->get(
+        "partials",
+        static_cast<std::size_t>(groups) * sizeof(std::int32_t));
+    q.enqueue_kernel(
+        gpu::make_reduce_stage1(edge, n, partials, g, ipt, opt.unroll, env),
+        {.global = NDRange(static_cast<std::size_t>(groups * g)),
+         .local = NDRange(static_cast<std::size_t>(g))});
+    sync();
+    const bool stage2_gpu =
+        opt.reduction_stage2 == Placement::kGpu ||
+        (opt.reduction_stage2 == Placement::kAuto &&
+         groups > opt.stage2_gpu_threshold);
+    if (stage2_gpu) {
+      Buffer& sum_buf = pool_->get("sum", sizeof(std::int64_t));
+      const int g2 = 256;
+      if (opt.stage2_method == Stage2Method::kAtomic) {
+        const std::int64_t zero = 0;
+        q.enqueue_fill(sum_buf, &zero, sizeof(zero), 0, sizeof(zero));
+        const std::size_t ngroups = static_cast<std::size_t>(
+            std::clamp<std::int64_t>(groups / (g2 * 4), 1, 64));
+        q.enqueue_kernel(
+            gpu::make_reduce_stage2_atomic(partials, groups, sum_buf, g2,
+                                           env),
+            {.global = NDRange(ngroups * static_cast<std::size_t>(g2)),
+             .local = NDRange(static_cast<std::size_t>(g2))});
+      } else {
+        q.enqueue_kernel(
+            gpu::make_reduce_stage2(partials, groups, sum_buf, g2, env),
+            {.global = NDRange(static_cast<std::size_t>(g2)),
+             .local = NDRange(static_cast<std::size_t>(g2))});
+      }
+      mover.download(sum_buf, &edge_sum, sizeof(edge_sum));
+    } else {
+      std::vector<std::int32_t> host_partials(
+          static_cast<std::size_t>(groups));
+      mover.download(partials, host_partials.data(),
+                     host_partials.size() * sizeof(std::int32_t));
+      for (std::int32_t v : host_partials) {
+        edge_sum += v;
+      }
+      q.host_work("reduce_stage2_on_host",
+                  {.flops = static_cast<double>(groups), .fixed_us = 0.5});
+    }
+  }
+  sync();
+  const float inv_mean = stages::inverse_mean_edge(edge_sum, n, params);
+
+  // --- sharpness (pError + strength/preliminary + overshoot) -----------------
+  q.set_phase(stage::kSharpness);
+  // Optional strength LUT (StrengthEval::kLut): built on the host from the
+  // just-computed mean, uploaded once (8 KiB), bit-identical to pow().
+  // The table only depends on (inv_mean, params), so a pooled runner skips
+  // the rebuild + re-upload when the resident table is already exact.
+  Buffer* lut_ptr = nullptr;
+  if (opt.strength == StrengthEval::kLut) {
+    Buffer& lut_buf = pool_->get(
+        "strength_lut",
+        static_cast<std::size_t>(kEdgeLutSize) * sizeof(float));
+    const bool resident =
+        lut_cached_ && lut_inv_mean_ == inv_mean &&
+        lut_params_.amount == params.amount &&
+        lut_params_.gamma == params.gamma &&
+        lut_params_.strength_max == params.strength_max;
+    if (!resident) {
+      const std::vector<float> lut =
+          gpu::build_strength_lut(inv_mean, params);
+      mover.upload(lut_buf, lut.data(), lut.size() * sizeof(float));
+      lut_cached_ = true;
+      lut_inv_mean_ = inv_mean;
+      lut_params_ = params;
+    }
+    lut_ptr = &lut_buf;
+  }
+  if (opt.fuse_sharpness) {
+    if (opt.use_image2d) {
+      q.enqueue_kernel(
+          gpu::make_sharpness_fused_img(*orig_img, up, edge, inv_mean,
+                                        params, final_out, w, h, env,
+                                        lut_ptr),
+          grid2d(static_cast<std::size_t>(w), static_cast<std::size_t>(h)));
+    } else if (opt.vectorize) {
+      q.enqueue_kernel(
+          gpu::make_sharpness_fused_vec4(padded_view, up, edge, inv_mean,
+                                         params, final_out, w, h, env,
+                                         lut_ptr),
+          grid2d(static_cast<std::size_t>(w / 4),
+                 static_cast<std::size_t>(h)));
+    } else {
+      q.enqueue_kernel(
+          gpu::make_sharpness_fused_scalar(padded_view, up, edge, inv_mean,
+                                           params, final_out, w, h, env,
+                                           lut_ptr),
+          grid2d(static_cast<std::size_t>(w), static_cast<std::size_t>(h)));
+    }
+    sync();
+  } else {
+    Buffer& error = pool_->get(
+        "error", static_cast<std::size_t>(n) * sizeof(float));
+    Buffer& prelim = pool_->get(
+        "prelim", static_cast<std::size_t>(n) * sizeof(float));
+    const auto whole = grid2d(static_cast<std::size_t>(w),
+                              static_cast<std::size_t>(h));
+    q.enqueue_kernel(gpu::make_perror(plain_src, up, error, w, h, env),
+                     whole);
+    sync();
+    q.enqueue_kernel(gpu::make_preliminary(up, error, edge, inv_mean,
+                                           params, w, h, prelim, env,
+                                           lut_ptr),
+                     whole);
+    sync();
+    q.enqueue_kernel(gpu::make_overshoot(padded_view, prelim, final_out,
+                                         params, w, h, env),
+                     whole);
+    sync();
+  }
+
+  // --- result download --------------------------------------------------------
+  PipelineResult result;
+  result.output = img::ImageU8(w, h);
+  std::size_t download_begin = 0;
+  if (overlapped()) {
+    // Hand off to the transfer queue: the readback may not start before
+    // the sharpness kernel has completed on the compute queue.
+    xfer_->set_phase(stage::kDataOut);
+    download_begin = xfer_->events().size();
+    xfer_->enqueue_wait(q.events().back());
+    const Mover out_mover{*xfer_, opt.transfer};
+    out_mover.download(final_out, result.output.data(),
+                       result.output.byte_size());
+  } else {
+    q.set_phase(stage::kDataOut);
+    mover.download(final_out, result.output.data(),
+                   result.output.byte_size());
+    q.set_phase(stage::kSync);
+    q.finish();  // the one mandatory end-of-pipeline synchronization
+  }
+
+  // --- bookkeeping ------------------------------------------------------------
+  result.mean_edge = static_cast<double>(edge_sum) / static_cast<double>(n);
+  std::map<std::string, double> by_phase;
+  std::vector<std::string> order;
+  double first_start = std::numeric_limits<double>::infinity();
+  double last_end = 0.0;
+  const auto accumulate = [&](const std::vector<simcl::Event>& events,
+                              std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end && i < events.size(); ++i) {
+      const simcl::Event& ev = events[i];
+      if (by_phase.emplace(ev.phase, 0.0).second) {
+        order.push_back(ev.phase);
+      }
+      by_phase[ev.phase] += ev.duration_us();
+      first_start = std::min(first_start, ev.start_us);
+      last_end = std::max(last_end, ev.end_us);
+    }
+  };
+  if (overlapped()) {
+    accumulate(xfer_->events(), t.xfer_events_begin,
+               t.xfer_events_after_upload);
+    accumulate(comp_->events(), t.comp_events_begin,
+               comp_->events().size());
+    accumulate(xfer_->events(), download_begin, xfer_->events().size());
+    // Latency of this frame on the overlapped timeline; queues keep
+    // running, so there is no global finish to read a total from.
+    result.total_modeled_us = last_end - first_start;
+  } else {
+    accumulate(q.events(), t.comp_events_begin, q.events().size());
+    result.total_modeled_us = q.timeline_us();
+  }
+  for (const auto& phase : order) {
+    result.stages.push_back({phase, by_phase[phase], 0.0});
+  }
+  return result;
+}
+
+}  // namespace sharp::service

@@ -1,0 +1,370 @@
+#include "sharpen/service/service.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <exception>
+#include <utility>
+
+#include "sharpen/cpu_pipeline.hpp"
+#include "sharpen/service/buffer_pool.hpp"
+#include "sharpen/service/frame_runner.hpp"
+#include "simcl/queue.hpp"
+
+namespace sharp::service {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Nearest-rank percentile of an already-sorted sample.
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) {
+    return 0.0;
+  }
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  return sorted[std::min(rank == 0 ? 0 : rank - 1, sorted.size() - 1)];
+}
+
+}  // namespace
+
+const char* to_string(RequestOutcome outcome) {
+  switch (outcome) {
+    case RequestOutcome::kOk:
+      return "ok";
+    case RequestOutcome::kDegraded:
+      return "degraded";
+    case RequestOutcome::kRejected:
+      return "rejected";
+    case RequestOutcome::kExpired:
+      return "expired";
+  }
+  return "?";
+}
+
+report::Table ServiceStats::to_table() const {
+  report::Table t({"metric", "value"});
+  t.add_row({"submitted", std::to_string(submitted)});
+  t.add_row({"completed", std::to_string(completed)});
+  t.add_row({"degraded", std::to_string(degraded)});
+  t.add_row({"rejected", std::to_string(rejected)});
+  t.add_row({"expired", std::to_string(expired)});
+  t.add_row({"queue_depth", std::to_string(queue_depth)});
+  t.add_row({"p50_latency_us", report::fmt(p50_latency_us)});
+  t.add_row({"p95_latency_us", report::fmt(p95_latency_us)});
+  t.add_row({"p99_latency_us", report::fmt(p99_latency_us)});
+  t.add_row({"busy_us", report::fmt(busy_us)});
+  t.add_row({"throughput_fps", report::fmt(throughput_fps)});
+  return t;
+}
+
+SharpenService::SharpenService(ServiceConfig config)
+    : config_(std::move(config)) {
+  if (config_.workers < 1) {
+    throw SharpenError("SharpenService: workers must be >= 1");
+  }
+  if (config_.queue_capacity < 1) {
+    throw SharpenError("SharpenService: queue_capacity must be >= 1");
+  }
+  if (auto problem = config_.execution.options.validate()) {
+    throw SharpenError("PipelineOptions: " + *problem);
+  }
+  worker_busy_us_.assign(static_cast<std::size_t>(config_.workers), 0.0);
+  threads_.reserve(static_cast<std::size_t>(config_.workers));
+  for (int i = 0; i < config_.workers; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+SharpenService::~SharpenService() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_not_empty_.notify_all();
+  cv_not_full_.notify_all();
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+}
+
+std::future<ServiceResponse> SharpenService::submit(img::ImageU8 frame,
+                                                    SharpenParams params,
+                                                    SubmitOptions opts) {
+  Job job;
+  job.frame = std::move(frame);
+  job.params = params;
+  if (opts.deadline.has_value()) {
+    job.deadline = Clock::now() + *opts.deadline;
+  }
+  std::future<ServiceResponse> future = job.promise.get_future();
+
+  {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    ++submitted_;
+  }
+
+  std::unique_lock<std::mutex> lk(mu_);
+  if (stop_) {
+    throw SharpenError("SharpenService: submit after shutdown");
+  }
+  if (queue_.size() >= config_.queue_capacity) {
+    switch (config_.backpressure) {
+      case BackpressurePolicy::kBlock:
+        cv_not_full_.wait(lk, [&] {
+          return stop_ || queue_.size() < config_.queue_capacity;
+        });
+        if (stop_) {
+          throw SharpenError("SharpenService: submit after shutdown");
+        }
+        break;
+      case BackpressurePolicy::kReject: {
+        lk.unlock();
+        {
+          std::lock_guard<std::mutex> slk(stats_mu_);
+          ++rejected_;
+        }
+        ServiceResponse response;
+        response.outcome = RequestOutcome::kRejected;
+        job.promise.set_value(std::move(response));
+        return future;
+      }
+      case BackpressurePolicy::kDegrade: {
+        lk.unlock();
+        // CPU fallback in the submitting thread: same pixels as the GPU
+        // pipeline (every backend is bit-identical), host-modeled timing.
+        ServiceResponse response;
+        response.outcome = RequestOutcome::kDegraded;
+        response.result =
+            CpuPipeline(config_.execution.host).run(job.frame, job.params);
+        {
+          std::lock_guard<std::mutex> slk(stats_mu_);
+          ++degraded_;
+        }
+        job.promise.set_value(std::move(response));
+        return future;
+      }
+    }
+  }
+  queue_.push_back(std::move(job));
+  lk.unlock();
+  cv_not_empty_.notify_one();
+  return future;
+}
+
+std::vector<ServiceResponse> SharpenService::sharpen_batch(
+    const std::vector<img::ImageU8>& frames, const SharpenParams& params) {
+  std::vector<std::future<ServiceResponse>> futures;
+  futures.reserve(frames.size());
+  for (const img::ImageU8& frame : frames) {
+    futures.push_back(submit(frame, params));
+  }
+  std::vector<ServiceResponse> responses;
+  responses.reserve(frames.size());
+  for (std::future<ServiceResponse>& f : futures) {
+    responses.push_back(f.get());
+  }
+  return responses;
+}
+
+void SharpenService::drain() {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_idle_.wait(lk, [&] { return queue_.empty() && inflight_ == 0; });
+}
+
+ServiceStats SharpenService::stats() const {
+  ServiceStats s;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    s.queue_depth = queue_.size();
+  }
+  std::lock_guard<std::mutex> lk(stats_mu_);
+  s.submitted = submitted_;
+  s.completed = completed_;
+  s.degraded = degraded_;
+  s.rejected = rejected_;
+  s.expired = expired_;
+  std::vector<double> sorted = latencies_us_;
+  std::sort(sorted.begin(), sorted.end());
+  s.p50_latency_us = percentile(sorted, 0.50);
+  s.p95_latency_us = percentile(sorted, 0.95);
+  s.p99_latency_us = percentile(sorted, 0.99);
+  s.busy_us =
+      *std::max_element(worker_busy_us_.begin(), worker_busy_us_.end());
+  s.throughput_fps = s.busy_us > 0.0
+                         ? static_cast<double>(s.completed) * 1e6 / s.busy_us
+                         : 0.0;
+  return s;
+}
+
+void SharpenService::worker_loop(int index) {
+  // Per-worker simulated device: persistent across requests so buffers,
+  // the strength LUT, and (in overlapped mode) the queue timelines carry
+  // over from frame to frame.
+  const Execution& exec = config_.execution;
+  const bool is_gpu = exec.backend == Backend::kGpu;
+  std::optional<CpuPipeline> cpu;
+  std::optional<simcl::Context> ctx;
+  std::optional<simcl::CommandQueue> comp;
+  std::optional<simcl::CommandQueue> xfer;
+  std::optional<gpu::BufferPool> pool;
+  std::optional<FrameRunner> runner;
+  if (is_gpu) {
+    ctx.emplace(exec.device, exec.host, exec.engine_threads);
+    comp.emplace(*ctx);
+    pool.emplace(*ctx);
+    if (config_.overlap_transfers) {
+      xfer.emplace(*ctx);
+      runner.emplace(*ctx, *pool, *comp, *xfer, exec.options, /*slots=*/2);
+    } else {
+      runner.emplace(*ctx, *pool, *comp, *comp, exec.options, /*slots=*/1);
+    }
+  } else {
+    cpu.emplace(exec.host);
+  }
+
+  struct Pending {
+    Job job;
+    FrameRunner::Ticket ticket;
+  };
+  std::optional<Pending> pending;
+  bool charged = false;
+  int slot = 0;
+  double serial_busy_us = 0.0;
+
+  const auto record_done = [&](double latency_us) {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    ++completed_;
+    latencies_us_.push_back(latency_us);
+    if (is_gpu && runner->overlapped()) {
+      worker_busy_us_[static_cast<std::size_t>(index)] =
+          std::max(comp->timeline_us(), xfer->timeline_us());
+    } else {
+      serial_busy_us += latency_us;
+      worker_busy_us_[static_cast<std::size_t>(index)] = serial_busy_us;
+    }
+  };
+
+  const auto complete = [&](Pending p) {
+    ServiceResponse response;
+    response.worker = index;
+    try {
+      response.result = runner->finish_frame(p.ticket, p.job.params);
+      record_done(response.result.total_modeled_us);
+      p.job.promise.set_value(std::move(response));
+    } catch (...) {
+      p.job.promise.set_exception(std::current_exception());
+    }
+    std::lock_guard<std::mutex> lk(mu_);
+    --inflight_;
+    if (queue_.empty() && inflight_ == 0) {
+      cv_idle_.notify_all();
+    }
+  };
+
+  while (true) {
+    std::optional<Job> job;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      if (!pending.has_value()) {
+        cv_not_empty_.wait(lk, [&] { return stop_ || !queue_.empty(); });
+      }
+      if (!queue_.empty()) {
+        job = std::move(queue_.front());
+        queue_.pop_front();
+        ++inflight_;
+        cv_not_full_.notify_one();
+      } else {
+        if (pending.has_value()) {
+          // No more work queued: stop pipelining and release the result.
+          lk.unlock();
+          complete(std::move(*pending));
+          pending.reset();
+          continue;
+        }
+        if (stop_) {
+          break;
+        }
+        continue;
+      }
+    }
+
+    // Lazily-checked deadline: a request that waited past its deadline is
+    // cancelled here, before any device work is enqueued for it.
+    if (job->deadline.has_value() && Clock::now() > *job->deadline) {
+      {
+        std::lock_guard<std::mutex> lk(stats_mu_);
+        ++expired_;
+      }
+      ServiceResponse response;
+      response.outcome = RequestOutcome::kExpired;
+      job->promise.set_value(std::move(response));
+      std::lock_guard<std::mutex> lk(mu_);
+      --inflight_;
+      if (queue_.empty() && inflight_ == 0) {
+        cv_idle_.notify_all();
+      }
+      continue;
+    }
+
+    if (!is_gpu) {
+      ServiceResponse response;
+      response.worker = index;
+      try {
+        response.result = cpu->run(job->frame, job->params);
+        record_done(response.result.total_modeled_us);
+        job->promise.set_value(std::move(response));
+      } catch (...) {
+        job->promise.set_exception(std::current_exception());
+      }
+      std::lock_guard<std::mutex> lk(mu_);
+      --inflight_;
+      if (queue_.empty() && inflight_ == 0) {
+        cv_idle_.notify_all();
+      }
+      continue;
+    }
+
+    // GPU path. Software pipelining in overlapped mode: enqueue the NEW
+    // frame's upload (transfer queue) before finishing the PREVIOUS frame
+    // (compute queue), so the upload hides behind those kernels on the
+    // modeled timeline. Serial mode begins and finishes immediately.
+    Pending next{std::move(*job), {}};
+    try {
+      if (!runner->overlapped()) {
+        // Fresh modeled timeline per frame (the pool persists), exactly
+        // like VideoPipeline.
+        comp->reset();
+      }
+      next.ticket = runner->begin_frame(next.job.frame, !charged, slot);
+      charged = true;
+    } catch (...) {
+      next.job.promise.set_exception(std::current_exception());
+      std::lock_guard<std::mutex> lk(mu_);
+      --inflight_;
+      if (queue_.empty() && inflight_ == 0) {
+        cv_idle_.notify_all();
+      }
+      continue;
+    }
+    if (runner->overlapped()) {
+      slot = 1 - slot;
+      if (pending.has_value()) {
+        Pending done = std::move(*pending);
+        pending = std::move(next);
+        complete(std::move(done));
+      } else {
+        pending = std::move(next);
+      }
+    } else {
+      complete(std::move(next));
+    }
+  }
+
+  // Shutdown: the queue is already empty; finish any still-pending frame.
+  if (pending.has_value()) {
+    complete(std::move(*pending));
+    pending.reset();
+  }
+}
+
+}  // namespace sharp::service

@@ -8,7 +8,10 @@ VideoPipeline::VideoPipeline(int width, int height, PipelineOptions options,
     : width_(width),
       height_(height),
       params_(params),
-      inner_(options, std::move(gpu), std::move(host)) {
+      ctx_(std::move(gpu), std::move(host)),
+      queue_(ctx_),
+      pool_(ctx_),
+      runner_(ctx_, pool_, queue_, queue_, options) {
   validate_size(width, height);
   params_.validate();
 }
@@ -17,8 +20,12 @@ PipelineResult VideoPipeline::process_frame(const img::ImageU8& frame) {
   if (frame.width() != width_ || frame.height() != height_) {
     throw SharpenError("VideoPipeline: frame geometry mismatch");
   }
-  PipelineResult result =
-      inner_.run_impl(frame, params_, /*charge_allocations=*/first_frame_);
+  // Each frame restarts the modeled timeline at zero; buffers (and the
+  // resident strength LUT) carry over, which is the whole point.
+  queue_.reset();
+  const service::FrameRunner::Ticket ticket =
+      runner_.begin_frame(frame, /*charge_allocations=*/first_frame_);
+  PipelineResult result = runner_.finish_frame(ticket, params_);
   first_frame_ = false;
   stats_.frames += 1;
   stats_.total_modeled_us += result.total_modeled_us;

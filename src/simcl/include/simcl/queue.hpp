@@ -35,6 +35,7 @@ enum class CommandKind {
   kKernel,
   kHostWork,
   kFinish,
+  kMarker,  ///< cross-queue wait marker (see enqueue_wait)
 };
 
 [[nodiscard]] const char* to_string(CommandKind kind);
@@ -189,6 +190,13 @@ class CommandQueue {
                     const WaitList& waits = {});
 
   // --- synchronization & profiling -----------------------------------------
+  /// Cross-queue event wait (clEnqueueBarrierWithWaitList analogue for an
+  /// event of *another* queue on the same context): stalls this queue
+  /// until `ev` has completed on the simulated timeline. Costs nothing
+  /// beyond the stall; records a zero-duration kMarker event. Two in-order
+  /// queues plus this hook are what the double-buffered upload/compute/
+  /// readback overlap of sharp::SharpenService is built from.
+  Event enqueue_wait(const Event& ev);
   /// clFinish: host/device sync with its fixed overhead. In out-of-order
   /// mode this is a full barrier across all hardware lanes. Returns the
   /// timeline after the sync.

@@ -17,6 +17,7 @@ const char* to_string(CommandKind kind) {
     case CommandKind::kKernel: return "kernel";
     case CommandKind::kHostWork: return "host";
     case CommandKind::kFinish: return "finish";
+    case CommandKind::kMarker: return "marker";
   }
   return "?";
 }
@@ -79,6 +80,7 @@ CommandQueue::Lane CommandQueue::lane_of(CommandKind kind) {
     case CommandKind::kCopy:
     case CommandKind::kFill:
     case CommandKind::kFinish:
+    case CommandKind::kMarker:
       return kLaneCompute;
   }
   return kLaneCompute;
@@ -304,6 +306,18 @@ Event CommandQueue::host_memcpy(std::string name, std::size_t bytes,
                          ctx_->cost_model().host_memcpy_us(bytes), waits);
   ev.bytes = bytes;
   return ev;
+}
+
+Event CommandQueue::enqueue_wait(const Event& ev) {
+  if (mode_ == QueueMode::kInOrder) {
+    timeline_us_ = std::max(timeline_us_, ev.end_us);
+  } else {
+    // Barrier-wait semantics: no lane may start new work before `ev`.
+    for (double& lane : lane_avail_) {
+      lane = std::max(lane, ev.end_us);
+    }
+  }
+  return push_event("wait:" + ev.name, CommandKind::kMarker, 0.0);
 }
 
 double CommandQueue::finish() {

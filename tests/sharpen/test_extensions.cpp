@@ -102,8 +102,8 @@ TEST(StrengthLut, UploadsTheTableWithBoundedOverhead) {
   lut_opts.strength = StrengthEval::kLut;
   GpuPipeline pow_pipe(pow_opts);
   GpuPipeline lut_pipe(lut_opts);
-  const double pow_sharp = pow_pipe.run(input).stage_us("sharpness");
-  const double lut_sharp = lut_pipe.run(input).stage_us("sharpness");
+  const double pow_sharp = pow_pipe.run(input).stage_us(stage::kSharpness);
+  const double lut_sharp = lut_pipe.run(input).stage_us(stage::kSharpness);
   bool saw_lut_upload = false;
   for (const auto& ev : lut_pipe.last_events()) {
     saw_lut_upload |= (ev.name == "write:strength_lut");
@@ -141,9 +141,9 @@ TEST(AtomicStage2, TreeBeatsAtomicsAtScale) {
   PipelineOptions atom = tree;
   atom.stage2_method = Stage2Method::kAtomic;
   const double t_tree =
-      GpuPipeline(tree).run(input).stage_us("reduction");
+      GpuPipeline(tree).run(input).stage_us(stage::kReduction);
   const double t_atom =
-      GpuPipeline(atom).run(input).stage_us("reduction");
+      GpuPipeline(atom).run(input).stage_us(stage::kReduction);
   EXPECT_LT(t_tree, t_atom);
 }
 
@@ -175,9 +175,9 @@ TEST(Image2dPath, RequiresFusedSharpness) {
   PipelineOptions o = PipelineOptions::optimized();
   o.use_image2d = true;
   o.fuse_sharpness = false;
-  GpuPipeline pipeline(o);
-  EXPECT_THROW((void)pipeline.run(img::make_natural(64, 64, 1)),
-               SharpenError);
+  // Invalid option combinations are rejected at construction time now
+  // that PipelineOptions::validate() runs in the pipeline constructor.
+  EXPECT_THROW(GpuPipeline pipeline(o), SharpenError);
 }
 
 TEST(Image2dPath, UploadsImageInsteadOfPaddedRect) {
@@ -191,7 +191,7 @@ TEST(Image2dPath, UploadsImageInsteadOfPaddedRect) {
   for (const auto& ev : pipeline.last_events()) {
     saw_image_write |= (ev.name == "write_image:orig_img");
     saw_rect |= (ev.kind == simcl::CommandKind::kWriteRect &&
-                 ev.phase == "data_init");
+                 ev.phase == stage::kDataInit);
   }
   EXPECT_TRUE(saw_image_write);
   EXPECT_FALSE(saw_rect);

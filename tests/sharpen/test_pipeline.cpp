@@ -17,8 +17,10 @@ TEST(CpuPipeline, ProducesAllStageTimings) {
   CpuPipeline cpu;
   const PipelineResult r = cpu.run(input);
   ASSERT_EQ(r.stages.size(), 7u);
-  const char* expected[] = {"downscale", "upscale", "pError",   "sobel",
-                            "reduction", "strength", "overshoot"};
+  const char* expected[] = {stage::kDownscale, stage::kUpscale,
+                            stage::kPError,    stage::kSobel,
+                            stage::kReduction, stage::kStrength,
+                            stage::kOvershoot};
   for (std::size_t i = 0; i < 7; ++i) {
     EXPECT_EQ(r.stages[i].stage, expected[i]);
     EXPECT_GT(r.stages[i].modeled_us, 0.0);
@@ -34,7 +36,8 @@ TEST(CpuPipeline, StrengthAndOvershootDominate) {
   // bottlenecks.
   const ImageU8 input = img::make_natural(256, 256, 3);
   const PipelineResult r = CpuPipeline().run(input);
-  const double dominant = r.stage_us("strength") + r.stage_us("overshoot");
+  const double dominant =
+      r.stage_us(stage::kStrength) + r.stage_us(stage::kOvershoot);
   EXPECT_GT(dominant / r.total_modeled_us, 0.5);
 }
 
@@ -73,8 +76,10 @@ TEST(GpuPipeline, EventsAndPhasesArePopulated) {
   const PipelineResult r = gpu.run(input);
   ASSERT_FALSE(gpu.last_events().empty());
   // All Fig. 13b/c phases appear.
-  for (const char* phase : {"data_init", "downscale", "border", "center",
-                            "sobel", "reduction", "sharpness", "data_out"}) {
+  for (const char* phase :
+       {stage::kDataInit, stage::kDownscale, stage::kBorder, stage::kCenter,
+        stage::kSobel, stage::kReduction, stage::kSharpness,
+        stage::kDataOut}) {
     EXPECT_GT(r.stage_us(phase), 0.0) << phase;
   }
   EXPECT_DOUBLE_EQ(
@@ -108,7 +113,7 @@ TEST(GpuPipeline, NaivePipelineUsesMoreKernelLaunchesAndSyncs) {
   std::size_t init_rects = 0;
   for (const auto& e : opt.last_events()) {
     init_rects += (e.kind == simcl::CommandKind::kWriteRect &&
-                   e.phase == "data_init");
+                   e.phase == stage::kDataInit);
   }
   EXPECT_EQ(init_rects, 1u);
 }

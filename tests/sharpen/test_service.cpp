@@ -1,0 +1,302 @@
+// SharpenService and the unified execution API: pooled/overlapped serving
+// must be bit-identical to the one-shot pipeline, backpressure policies
+// must engage at saturation, and deadline cancellation must leave the
+// worker pool reusable.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "image/generate.hpp"
+#include "image/metrics.hpp"
+#include "sharpen/service/frame_runner.hpp"
+#include "sharpen/sharpen.hpp"
+
+namespace {
+
+using namespace sharp;
+using sharp::img::ImageU8;
+
+std::vector<ImageU8> test_frames(int count, int size) {
+  std::vector<ImageU8> frames;
+  frames.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    frames.push_back(img::make_named(i % 2 == 0 ? "natural" : "gradient",
+                                     size, size,
+                                     static_cast<std::uint64_t>(100 + i)));
+  }
+  return frames;
+}
+
+TEST(OptionsValidate, NaiveAndOptimizedAreClean) {
+  EXPECT_FALSE(PipelineOptions::naive().validate().has_value());
+  EXPECT_FALSE(PipelineOptions::optimized().validate().has_value());
+}
+
+TEST(OptionsValidate, RejectsInconsistentCombinations) {
+  PipelineOptions o = PipelineOptions::optimized();
+  o.use_image2d = true;
+  o.fuse_sharpness = false;
+  EXPECT_TRUE(o.validate().has_value());
+
+  o = PipelineOptions::optimized();
+  o.reduction_group_size = 96;  // not a power of two
+  EXPECT_TRUE(o.validate().has_value());
+  o.reduction_group_size = 0;
+  EXPECT_TRUE(o.validate().has_value());
+
+  o = PipelineOptions::optimized();
+  o.reduction_items_per_thread = 0;
+  EXPECT_TRUE(o.validate().has_value());
+
+  o = PipelineOptions::optimized();
+  o.stage2_gpu_threshold = -1;
+  EXPECT_TRUE(o.validate().has_value());
+
+  o = PipelineOptions::optimized();
+  o.border_gpu_threshold = -5;
+  EXPECT_TRUE(o.validate().has_value());
+}
+
+TEST(OptionsValidate, ServiceRejectsInvalidOptions) {
+  ServiceConfig cfg;
+  cfg.execution.options.use_image2d = true;
+  cfg.execution.options.fuse_sharpness = false;
+  EXPECT_THROW(SharpenService service(cfg), SharpenError);
+}
+
+TEST(UnifiedSharpen, MatchesLegacyFreeFunctions) {
+  const ImageU8 input = img::make_natural(64, 48, 7);
+
+  Execution cpu_exec;
+  cpu_exec.backend = Backend::kCpu;
+  EXPECT_EQ(img::max_abs_diff(sharpen(input, {}, cpu_exec),
+                              sharpen_cpu(input)),
+            0);
+
+  Execution gpu_exec;  // defaults: kGpu, optimized options
+  EXPECT_EQ(img::max_abs_diff(sharpen(input, {}, gpu_exec),
+                              sharpen_gpu(input)),
+            0);
+
+  Execution naive_exec;
+  naive_exec.options = PipelineOptions::naive();
+  EXPECT_EQ(
+      img::max_abs_diff(sharpen(input, {}, naive_exec),
+                        sharpen_gpu(input, {}, PipelineOptions::naive())),
+      0);
+}
+
+TEST(FrameRunner, PooledFramesAreBitIdenticalAndAllocateOnce) {
+  const std::vector<ImageU8> frames = test_frames(3, 64);
+  simcl::Context ctx(simcl::amd_firepro_w8000());
+  simcl::CommandQueue queue(ctx);
+  gpu::BufferPool pool(ctx);
+  service::FrameRunner runner(ctx, pool, queue, queue,
+                              PipelineOptions::optimized());
+
+  std::vector<PipelineResult> results;
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    queue.reset();
+    const auto ticket =
+        runner.begin_frame(frames[i], /*charge_allocations=*/i == 0);
+    results.push_back(runner.finish_frame(ticket, {}));
+  }
+  const std::size_t created_after_first_pass = pool.created();
+
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    EXPECT_EQ(img::max_abs_diff(results[i].output, sharpen_gpu(frames[i])),
+              0)
+        << i;
+  }
+  // Steady state: frame 2 touched no new buffers and skipped the alloc
+  // charge, so it is strictly cheaper than the first frame.
+  queue.reset();
+  const auto ticket = runner.begin_frame(frames[0], false);
+  (void)runner.finish_frame(ticket, {});
+  EXPECT_EQ(pool.created(), created_after_first_pass);
+  EXPECT_LT(results[1].total_modeled_us, results[0].total_modeled_us);
+}
+
+TEST(FrameRunner, OverlappedPipelineMatchesSerialPixelsAndIsFaster) {
+  const std::vector<ImageU8> frames = test_frames(4, 512);
+  const PipelineOptions options = PipelineOptions::optimized();
+
+  // Serial reference: the pooled single-queue frame loop.
+  VideoPipeline video(512, 512, options);
+  std::vector<ImageU8> serial_out;
+  for (const ImageU8& f : frames) {
+    serial_out.push_back(video.process_frame(f).output);
+  }
+  const double serial_total_us = video.stats().total_modeled_us;
+
+  // Overlapped: two in-order queues, software-pipelined begin/finish.
+  simcl::Context ctx(simcl::amd_firepro_w8000());
+  simcl::CommandQueue comp(ctx);
+  simcl::CommandQueue xfer(ctx);
+  gpu::BufferPool pool(ctx);
+  service::FrameRunner runner(ctx, pool, comp, xfer, options, /*slots=*/2);
+  ASSERT_TRUE(runner.overlapped());
+
+  std::vector<PipelineResult> results;
+  service::FrameRunner::Ticket pending =
+      runner.begin_frame(frames[0], /*charge_allocations=*/true, 0);
+  for (std::size_t i = 1; i < frames.size(); ++i) {
+    const service::FrameRunner::Ticket next = runner.begin_frame(
+        frames[i], /*charge_allocations=*/false, static_cast<int>(i % 2));
+    results.push_back(runner.finish_frame(pending, {}));
+    pending = next;
+  }
+  results.push_back(runner.finish_frame(pending, {}));
+
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    EXPECT_EQ(img::max_abs_diff(results[i].output, serial_out[i]), 0) << i;
+  }
+  // The frame uploads hide behind the previous frame's kernels, so the
+  // overlapped makespan beats the serial pooled loop.
+  const double makespan = std::max(comp.timeline_us(), xfer.timeline_us());
+  EXPECT_LT(makespan, serial_total_us);
+}
+
+TEST(Service, BatchIsBitIdenticalToOneShotUnderConcurrency) {
+  const std::vector<ImageU8> frames = test_frames(8, 64);
+  ServiceConfig cfg;
+  cfg.workers = 3;
+  cfg.overlap_transfers = true;
+  SharpenService service(cfg);
+
+  const std::vector<ServiceResponse> responses =
+      service.sharpen_batch(frames);
+  ASSERT_EQ(responses.size(), frames.size());
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    EXPECT_EQ(responses[i].outcome, RequestOutcome::kOk) << i;
+    EXPECT_GE(responses[i].worker, 0);
+    EXPECT_EQ(img::max_abs_diff(responses[i].result.output,
+                                sharpen_gpu(frames[i])),
+              0)
+        << i;
+  }
+}
+
+TEST(Service, SerialWorkersAreBitIdenticalToo) {
+  const std::vector<ImageU8> frames = test_frames(6, 64);
+  ServiceConfig cfg;
+  cfg.workers = 2;
+  cfg.overlap_transfers = false;
+  SharpenService service(cfg);
+
+  const std::vector<ServiceResponse> responses =
+      service.sharpen_batch(frames);
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    EXPECT_EQ(img::max_abs_diff(responses[i].result.output,
+                                sharpen_gpu(frames[i])),
+              0)
+        << i;
+  }
+}
+
+TEST(Service, RejectPolicyDropsRequestsAtSaturation) {
+  const std::vector<ImageU8> frames = test_frames(10, 512);
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.queue_capacity = 1;
+  cfg.backpressure = BackpressurePolicy::kReject;
+  SharpenService service(cfg);
+
+  const std::vector<ServiceResponse> responses =
+      service.sharpen_batch(frames);
+  int rejected = 0;
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    if (responses[i].outcome == RequestOutcome::kRejected) {
+      ++rejected;
+      EXPECT_FALSE(responses[i].ok());
+    } else {
+      EXPECT_EQ(responses[i].outcome, RequestOutcome::kOk);
+      EXPECT_EQ(img::max_abs_diff(responses[i].result.output,
+                                  sharpen_gpu(frames[i])),
+                0)
+          << i;
+    }
+  }
+  EXPECT_GT(rejected, 0);
+  EXPECT_EQ(service.stats().rejected, static_cast<std::uint64_t>(rejected));
+}
+
+TEST(Service, DegradePolicyFallsBackToCpuWithIdenticalPixels) {
+  const std::vector<ImageU8> frames = test_frames(8, 256);
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.queue_capacity = 1;
+  cfg.backpressure = BackpressurePolicy::kDegrade;
+  SharpenService service(cfg);
+
+  const std::vector<ServiceResponse> responses =
+      service.sharpen_batch(frames);
+  int degraded = 0;
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    ASSERT_TRUE(responses[i].ok()) << i;
+    degraded += responses[i].outcome == RequestOutcome::kDegraded;
+    // Degraded requests run the CPU baseline, which is bit-identical to
+    // the GPU pipeline — the caller cannot tell from the pixels.
+    EXPECT_EQ(img::max_abs_diff(responses[i].result.output,
+                                sharpen_gpu(frames[i])),
+              0)
+        << i;
+  }
+  EXPECT_GT(degraded, 0);
+  EXPECT_EQ(service.stats().degraded, static_cast<std::uint64_t>(degraded));
+}
+
+TEST(Service, ExpiredDeadlineCancelsButPoolStaysUsable) {
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.queue_capacity = 16;
+  SharpenService service(cfg);
+
+  // Keep the single worker busy so the deadline request waits in queue.
+  std::vector<std::future<ServiceResponse>> busy;
+  for (const ImageU8& f : test_frames(3, 512)) {
+    busy.push_back(service.submit(f));
+  }
+  const ImageU8 doomed = img::make_natural(64, 64, 3);
+  SubmitOptions opts;
+  opts.deadline = std::chrono::milliseconds(0);  // expired on arrival
+  std::future<ServiceResponse> expired =
+      service.submit(doomed, {}, opts);
+
+  const ServiceResponse r = expired.get();
+  EXPECT_EQ(r.outcome, RequestOutcome::kExpired);
+  EXPECT_FALSE(r.ok());
+  for (auto& f : busy) {
+    EXPECT_EQ(f.get().outcome, RequestOutcome::kOk);
+  }
+
+  // The worker pool survives the cancellation and still serves correctly.
+  const ImageU8 after = img::make_natural(64, 64, 4);
+  const ServiceResponse ok = service.submit(after).get();
+  EXPECT_EQ(ok.outcome, RequestOutcome::kOk);
+  EXPECT_EQ(img::max_abs_diff(ok.result.output, sharpen_gpu(after)), 0);
+  EXPECT_GE(service.stats().expired, 1u);
+}
+
+TEST(Service, StatsSnapshotIsCoherent) {
+  const std::vector<ImageU8> frames = test_frames(6, 64);
+  ServiceConfig cfg;
+  cfg.workers = 2;
+  SharpenService service(cfg);
+  (void)service.sharpen_batch(frames);
+  service.drain();
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.submitted, frames.size());
+  EXPECT_EQ(stats.completed, frames.size());
+  EXPECT_EQ(stats.queue_depth, 0u);
+  EXPECT_GT(stats.p50_latency_us, 0.0);
+  EXPECT_LE(stats.p50_latency_us, stats.p95_latency_us);
+  EXPECT_LE(stats.p95_latency_us, stats.p99_latency_us);
+  EXPECT_GT(stats.busy_us, 0.0);
+  EXPECT_GT(stats.throughput_fps, 0.0);
+  EXPECT_EQ(stats.to_table().rows(), 11u);
+}
+
+}  // namespace
