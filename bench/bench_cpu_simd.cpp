@@ -1,0 +1,153 @@
+// Host hot-path ablation: scalar/SSE4.1/AVX2 x unfused/fused wall time of
+// the full CPU sharpen, against the original scalar stage-by-stage
+// pipeline as baseline. Every variant's output is checked bit-identical
+// to the baseline before its time is reported. Results land in
+// BENCH_cpu_simd.json for machine consumption.
+//
+//   --smoke   512^2 only, one rep (CI sanity run)
+//
+// SHARP_SIMD / SHARP_FORCE_SCALAR cap the variant list the same way they
+// cap dispatch, so `SHARP_SIMD=scalar bench_cpu_simd` exercises exactly
+// the forced-scalar path CI runs.
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "report/json.hpp"
+#include "report/table.hpp"
+#include "sharpen/cpu_pipeline.hpp"
+#include "sharpen/detail/simd/dispatch.hpp"
+
+namespace {
+
+namespace simd = sharp::detail::simd;
+using Clock = std::chrono::steady_clock;
+
+struct Variant {
+  std::string name;
+  sharp::PipelineOptions options;
+  std::optional<simd::Level> pin;  ///< force_level() for the runs
+};
+
+double min_run_ns(const sharp::CpuPipeline& pipe,
+                  const sharp::img::ImageU8& input, int reps,
+                  sharp::img::ImageU8* out) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = Clock::now();
+    auto result = pipe.run(input);
+    const double ns =
+        std::chrono::duration<double, std::nano>(Clock::now() - t0).count();
+    if (r == 0 || ns < best) {
+      best = ns;
+    }
+    if (r == 0 && out != nullptr) {
+      *out = std::move(result.output);
+    }
+  }
+  return best;
+}
+
+bool same_pixels(const sharp::img::ImageU8& a, const sharp::img::ImageU8& b) {
+  if (a.width() != b.width() || a.height() != b.height()) {
+    return false;
+  }
+  const std::size_t n = static_cast<std::size_t>(a.width()) *
+                        static_cast<std::size_t>(a.height());
+  return std::memcmp(a.data(), b.data(), n) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") {
+      smoke = true;
+    }
+  }
+
+  // Capture the dispatch cap once: env overrides shrink the variant list.
+  const simd::Level max_level = simd::active_level();
+
+  std::vector<Variant> variants;
+  {
+    sharp::PipelineOptions base;
+    base.cpu_simd = false;
+    base.cpu_fuse = false;
+    variants.push_back({"unfused/scalar-pow", base, std::nullopt});
+    for (int l = 0; l <= static_cast<int>(max_level); ++l) {
+      const auto level = static_cast<simd::Level>(l);
+      for (const bool fuse : {false, true}) {
+        sharp::PipelineOptions o;
+        o.cpu_simd = true;
+        o.cpu_fuse = fuse;
+        variants.push_back({std::string(fuse ? "fused/" : "unfused/") +
+                                simd::to_string(level),
+                            o, level});
+      }
+    }
+  }
+
+  const std::vector<int> sizes = smoke ? std::vector<int>{512}
+                                       : std::vector<int>{512, 1024, 4096};
+
+  sharp::report::banner(std::cout, "CPU hot path: SIMD x fusion ablation");
+  std::cout << "native level: " << simd::to_string(simd::native_level())
+            << ", dispatch cap: " << simd::to_string(max_level) << "\n\n";
+
+  sharp::report::Table table({"size", "variant", "ms_per_frame", "speedup"});
+  sharp::report::JsonArray json;
+  bool all_identical = true;
+
+  for (const int size : sizes) {
+    const auto input = bench::input(size);
+    const int reps = smoke ? 1 : (size <= 512 ? 5 : size <= 1024 ? 3 : 1);
+
+    double baseline_ns = 0.0;
+    sharp::img::ImageU8 reference;
+    for (const auto& v : variants) {
+      simd::force_level(v.pin);
+      const sharp::CpuPipeline pipe(simcl::intel_core_i5_3470(), v.options);
+      sharp::img::ImageU8 out;
+      const double ns = min_run_ns(pipe, input, reps, &out);
+      simd::force_level(std::nullopt);
+
+      if (v.pin == std::nullopt) {  // the baseline runs first
+        baseline_ns = ns;
+        reference = std::move(out);
+      } else if (!same_pixels(reference, out)) {
+        std::cerr << "FAIL: " << v.name << " at " << size << "^2 is not "
+                  << "bit-identical to the scalar baseline\n";
+        all_identical = false;
+        continue;
+      }
+
+      const double speedup = ns > 0.0 ? baseline_ns / ns : 0.0;
+      table.add_row({sharp::report::size_label(size, size), v.name,
+                     sharp::report::fmt(ns / 1e6, 3),
+                     sharp::report::fmt(speedup, 2)});
+      sharp::report::JsonRecord rec;
+      rec.add("bench", "cpu_simd");
+      rec.add("size", size);
+      rec.add("variant", v.name);
+      rec.add("ns_per_frame", ns);
+      rec.add("speedup", speedup);
+      json.add(std::move(rec));
+    }
+  }
+
+  table.print(std::cout);
+  const std::string path = "BENCH_cpu_simd.json";
+  if (!json.write_file(path)) {
+    std::cerr << "FAIL: could not write " << path << "\n";
+    return 1;
+  }
+  std::cout << "\nwrote " << path << " (" << json.records()
+            << " records)\n";
+  return all_identical ? 0 : 1;
+}

@@ -5,9 +5,11 @@
 // workers the makespan is the busiest worker's timeline.
 #include <cstdint>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "common.hpp"
+#include "report/json.hpp"
 #include "report/table.hpp"
 
 namespace {
@@ -55,6 +57,7 @@ int main() {
       std::cout,
       "Service throughput vs naive per-frame sharpen_gpu() loop");
   sharp::report::Table t({"size", "mode", "total_ms", "fps", "speedup"});
+  sharp::report::JsonArray json;
   for (const int size : {512, 1024, 2048}) {
     const auto frames = frames_of(size, kFrames);
     const double naive_us = naive_loop_us(frames);
@@ -62,6 +65,13 @@ int main() {
       t.add_row({sharp::report::size_label(size, size), mode,
                  fmt(us / 1e3, 2), fmt(kFrames * 1e6 / us, 1),
                  fmt(naive_us / us, 2) + "x"});
+      sharp::report::JsonRecord rec;
+      rec.add("bench", "service_throughput");
+      rec.add("size", size);
+      rec.add("variant", mode);
+      rec.add("ns_per_frame", us * 1e3 / kFrames);
+      rec.add("speedup", naive_us / us);
+      json.add(std::move(rec));
     };
     row("naive loop", naive_us);
     row("service w=1 serial",
@@ -72,6 +82,13 @@ int main() {
         service_makespan_us(frames, /*workers=*/2, /*overlap=*/true));
   }
   t.print(std::cout);
+  const std::string json_path = "BENCH_service_throughput.json";
+  if (json.write_file(json_path)) {
+    std::cout << "\nwrote " << json_path << " (" << json.records()
+              << " records)\n";
+  } else {
+    std::cerr << "warning: could not write " << json_path << "\n";
+  }
 
   // One service stats snapshot, the report::Table-consumable surface.
   {

@@ -108,9 +108,10 @@ int main(int argc, char** argv) {
         std::cout
             << "(no --in given; using a generated 768x512 test image)\n";
       }
+      sharp::Execution exec;
+      exec.backend = use_cpu ? sharp::Backend::kCpu : sharp::Backend::kGpu;
       const sharp::img::ImageU8 result =
-          use_cpu ? sharp::sharpen_cpu(input, params)
-                  : sharp::sharpen_gpu(input, params);
+          sharp::sharpen(input, params, exec);
       sharp::img::write_pgm(out_path, result);
       std::cout << "input:  " << input.width() << "x" << input.height()
                 << "  edge energy " << sharp::img::edge_energy(input)

@@ -1,0 +1,52 @@
+// Minimal machine-readable benchmark output: a flat array of records,
+// each a string/number/bool field map, written as pretty-printed JSON to
+// BENCH_<name>.json files so perf trajectories can be tracked across
+// commits without scraping console tables.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace sharp::report {
+
+/// One benchmark record: ordered field -> value pairs (order is preserved
+/// in the output so diffs stay stable).
+class JsonRecord {
+ public:
+  void add(std::string key, std::string value);
+  void add(std::string key, const char* value);
+  void add(std::string key, double value);
+  void add(std::string key, std::int64_t value);
+  void add(std::string key, int value);
+  void add(std::string key, bool value);
+
+  [[nodiscard]] std::size_t fields() const { return fields_.size(); }
+
+ private:
+  friend class JsonArray;
+  using Value = std::variant<std::string, double, std::int64_t, bool>;
+  std::vector<std::pair<std::string, Value>> fields_;
+};
+
+/// An array of flat records — the whole BENCH_*.json schema.
+class JsonArray {
+ public:
+  void add(JsonRecord record);
+
+  /// Pretty-prints the array ([] when empty). Strings are escaped;
+  /// non-finite doubles are emitted as null (JSON has no NaN/Inf).
+  void print(std::ostream& os) const;
+
+  /// Writes to `path` (truncating), returning false on I/O failure.
+  [[nodiscard]] bool write_file(const std::string& path) const;
+
+  [[nodiscard]] std::size_t records() const { return records_.size(); }
+
+ private:
+  std::vector<JsonRecord> records_;
+};
+
+}  // namespace sharp::report

@@ -1,0 +1,120 @@
+#include "report/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+namespace sharp::report {
+namespace {
+
+void escape_into(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void JsonRecord::add(std::string key, std::string value) {
+  fields_.emplace_back(std::move(key), Value{std::move(value)});
+}
+
+void JsonRecord::add(std::string key, const char* value) {
+  add(std::move(key), std::string(value));
+}
+
+void JsonRecord::add(std::string key, double value) {
+  fields_.emplace_back(std::move(key), Value{value});
+}
+
+void JsonRecord::add(std::string key, std::int64_t value) {
+  fields_.emplace_back(std::move(key), Value{value});
+}
+
+void JsonRecord::add(std::string key, int value) {
+  add(std::move(key), static_cast<std::int64_t>(value));
+}
+
+void JsonRecord::add(std::string key, bool value) {
+  fields_.emplace_back(std::move(key), Value{value});
+}
+
+void JsonArray::add(JsonRecord record) {
+  records_.push_back(std::move(record));
+}
+
+void JsonArray::print(std::ostream& os) const {
+  if (records_.empty()) {
+    os << "[]\n";
+    return;
+  }
+  os << "[\n";
+  for (std::size_t r = 0; r < records_.size(); ++r) {
+    os << "  {";
+    const auto& fields = records_[r].fields_;
+    for (std::size_t f = 0; f < fields.size(); ++f) {
+      if (f != 0) {
+        os << ", ";
+      }
+      escape_into(os, fields[f].first);
+      os << ": ";
+      const auto& v = fields[f].second;
+      if (const auto* s = std::get_if<std::string>(&v)) {
+        escape_into(os, *s);
+      } else if (const auto* d = std::get_if<double>(&v)) {
+        if (std::isfinite(*d)) {
+          std::ostringstream num;
+          num.precision(12);
+          num << *d;
+          os << num.str();
+        } else {
+          os << "null";
+        }
+      } else if (const auto* i = std::get_if<std::int64_t>(&v)) {
+        os << *i;
+      } else {
+        os << (std::get<bool>(v) ? "true" : "false");
+      }
+    }
+    os << (r + 1 < records_.size() ? "},\n" : "}\n");
+  }
+  os << "]\n";
+}
+
+bool JsonArray::write_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return false;
+  }
+  print(out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace sharp::report

@@ -4,12 +4,15 @@
 // single-threaded -O3 code, see DESIGN.md §2).
 //
 // Pixels are bit-identical to the serial pipeline (both call the shared
-// row cores in detail/stage_rows.hpp, and the reduction combines partial
-// sums in deterministic thread order over exact int64 arithmetic).
+// row cores — fused/SIMD by default, per PipelineOptions — and the
+// reduction combines partial sums in deterministic thread order over
+// exact int64 arithmetic; fused bands need no halo exchange, so any row
+// partition reproduces the serial result exactly).
 // Reported time uses a multi-core scaling of the i5 model.
 #pragma once
 
 #include "image/image.hpp"
+#include "sharpen/options.hpp"
 #include "sharpen/params.hpp"
 #include "sharpen/pipeline_result.hpp"
 #include "simcl/cost_model.hpp"
@@ -27,8 +30,10 @@ namespace sharp {
 
 class ParallelCpuPipeline {
  public:
+  /// Only the cpu_* fields of `options` affect this pipeline.
   explicit ParallelCpuPipeline(
-      int threads = 4, simcl::DeviceSpec cpu = simcl::intel_core_i5_3470());
+      int threads = 4, simcl::DeviceSpec cpu = simcl::intel_core_i5_3470(),
+      PipelineOptions options = {});
 
   /// Same stage labels as CpuPipeline (Fig. 13a).
   [[nodiscard]] PipelineResult run(const img::ImageU8& input,
@@ -36,11 +41,18 @@ class ParallelCpuPipeline {
 
   [[nodiscard]] int threads() const { return threads_; }
   [[nodiscard]] const simcl::DeviceSpec& device() const { return cpu_; }
+  [[nodiscard]] const PipelineOptions& options() const { return options_; }
 
  private:
+  [[nodiscard]] PipelineResult run_unfused(const img::ImageU8& input,
+                                           const SharpenParams& params) const;
+  [[nodiscard]] PipelineResult run_fused(const img::ImageU8& input,
+                                         const SharpenParams& params) const;
+
   int threads_;
   simcl::DeviceSpec cpu_;  ///< already scaled to `threads_` cores
   simcl::CostModel model_;
+  PipelineOptions options_;
 };
 
 }  // namespace sharp

@@ -1,10 +1,17 @@
-// The paper's CPU baseline: the full sharpness algorithm executed on the
-// host, stage by stage, with per-stage timing. Pixels are computed for
-// real; reported time comes from the i5-3470 roofline model plus measured
-// wall time of this process (see DESIGN.md §2 for why both exist).
+// The paper's CPU baseline grown into the host hot path: the full
+// sharpness algorithm executed on the host with per-stage timing. By
+// default it runs the fused, cache-tiled, SIMD-dispatched path
+// (PipelineOptions::cpu_fuse / cpu_simd; see detail/fused.hpp and
+// detail/simd/) — bit-identical to the original scalar stage-by-stage
+// execution, which the toggles can restore for ablation. Pixels are
+// computed for real; reported time comes from the i5-3470 roofline model
+// plus measured wall time of this process (see DESIGN.md §2 for why both
+// exist). In fused mode the two sweeps' wall time is split across their
+// fused stages in proportion to the modeled stage costs.
 #pragma once
 
 #include "image/image.hpp"
+#include "sharpen/options.hpp"
 #include "sharpen/params.hpp"
 #include "sharpen/pipeline_result.hpp"
 #include "simcl/cost_model.hpp"
@@ -14,8 +21,10 @@ namespace sharp {
 
 class CpuPipeline {
  public:
-  /// `cpu` is the device model used for the reported stage times.
-  explicit CpuPipeline(simcl::DeviceSpec cpu = simcl::intel_core_i5_3470());
+  /// `cpu` is the device model used for the reported stage times; only
+  /// the cpu_* fields of `options` affect this pipeline.
+  explicit CpuPipeline(simcl::DeviceSpec cpu = simcl::intel_core_i5_3470(),
+                       PipelineOptions options = {});
 
   /// Sharpens `input` and returns the image plus per-stage timings.
   /// Stage labels match Fig. 13a: downscale, upscale, pError, sobel,
@@ -24,10 +33,17 @@ class CpuPipeline {
                                    const SharpenParams& params = {}) const;
 
   [[nodiscard]] const simcl::DeviceSpec& device() const { return cpu_; }
+  [[nodiscard]] const PipelineOptions& options() const { return options_; }
 
  private:
+  [[nodiscard]] PipelineResult run_unfused(const img::ImageU8& input,
+                                           const SharpenParams& params) const;
+  [[nodiscard]] PipelineResult run_fused(const img::ImageU8& input,
+                                         const SharpenParams& params) const;
+
   simcl::DeviceSpec cpu_;
   simcl::CostModel model_;
+  PipelineOptions options_;
 };
 
 /// One-call convenience API: sharpen on the CPU with default parameters.

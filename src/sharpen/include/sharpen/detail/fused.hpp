@@ -1,0 +1,51 @@
+// The fused, cache-tiled CPU execution path: the paper's kernel-fusion
+// idea (§V.B) applied to the host. Instead of materializing five full
+// W x H intermediates (up, pError, pEdge, prelim) between stages, the
+// image is processed in L2-resident row bands:
+//
+//   sweep 1: Sobel + partial reduction fuse into one pass — pEdge never
+//            exists beyond a single scratch row;
+//   sweep 2: upscale + pError + strength(LUT) + preliminary + overshoot
+//            fuse into a second pass — each intermediate lives only as a
+//            band-height buffer that stays cache-resident between stages.
+//
+// Bands are independent (every cross-row read — Sobel and the overshoot
+// 3x3 window — comes from the original image, and upscale reads only the
+// small downscaled image), so a row range can be split across threads or
+// bands at any boundary without halo recomputation, and the output is
+// bit-identical to the stage-by-stage path for every split.
+#pragma once
+
+#include <cstdint>
+
+#include "image/image.hpp"
+#include "sharpen/detail/simd/dispatch.hpp"
+#include "sharpen/params.hpp"
+
+namespace sharp::detail::fused {
+
+/// Band height targeting an L2-resident working set for the given image
+/// width (~18 bytes of band state per pixel column: four float rows plus
+/// the source and output bytes), clamped to [4, 128] rows.
+[[nodiscard]] int auto_band_rows(int width);
+
+/// Sweep 1 over rows [y0, y1): Sobel + partial reduction in one pass,
+/// using one scratch row instead of a pEdge matrix. Exactly equals
+/// reduce_rows(sobel(src), y0, y1) — frame rows are zero and contribute
+/// nothing; integer summation is exact in any order.
+[[nodiscard]] std::int64_t sobel_reduce(
+    img::ImageView<const std::uint8_t> src, int y0, int y1,
+    simd::Level level);
+
+/// Sweep 2 over rows [y0, y1): upscale + pError + strength (through the
+/// `lut` built by simd::strength_lut) + preliminary + overshoot control,
+/// materializing only band-height intermediates. `band_rows` <= 0 picks
+/// auto_band_rows(). Bit-identical to the unfused stages for any band
+/// size and any row split.
+void sharpen_rows(img::ImageView<const std::uint8_t> src,
+                  img::ImageView<const float> down, const float* lut,
+                  const SharpenParams& params,
+                  img::ImageView<std::uint8_t> out, int y0, int y1,
+                  simd::Level level, int band_rows);
+
+}  // namespace sharp::detail::fused

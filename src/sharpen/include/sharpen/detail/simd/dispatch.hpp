@@ -1,0 +1,50 @@
+// Runtime selection of the CPU row-kernel instruction set. The default is
+// the best level both the build and the running CPU support (CPUID), which
+// users can cap with SHARP_SIMD=scalar|sse41|avx2 or SHARP_FORCE_SCALAR=1
+// (read once, at first use) and tests/benches can pin programmatically
+// with force_level(). Every level is bit-identical (see kernels.hpp), so
+// the override is a performance/testing knob, never a correctness one.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "sharpen/detail/simd/kernels.hpp"
+
+namespace sharp::detail::simd {
+
+enum class Level {
+  kScalar = 0,
+  kSse41 = 1,
+  kAvx2 = 2,
+};
+
+[[nodiscard]] const char* to_string(Level level);
+
+/// Parses "scalar"/"sse41"/"avx2" (the SHARP_SIMD spellings); nullopt for
+/// anything else.
+[[nodiscard]] std::optional<Level> parse_level(std::string_view name);
+
+/// Best level this binary AND this CPU support (kScalar on non-x86 builds).
+[[nodiscard]] Level native_level();
+
+/// native_level() capped by the SHARP_SIMD / SHARP_FORCE_SCALAR
+/// environment overrides (parsed once; unknown values are ignored).
+[[nodiscard]] Level env_level();
+
+/// The level dispatch actually uses: force_level()'s value when set,
+/// env_level() otherwise.
+[[nodiscard]] Level active_level();
+
+/// True when `level` can run here (level <= native_level()).
+[[nodiscard]] bool level_available(Level level);
+
+/// Programmatic override for tests and the ablation bench; clamped to
+/// native_level(). nullopt returns control to the environment default.
+void force_level(std::optional<Level> level);
+
+/// Kernel table for `level`, falling back to scalar when the level is not
+/// compiled in or not supported by this CPU.
+[[nodiscard]] const RowKernels& kernels(Level level);
+
+}  // namespace sharp::detail::simd

@@ -1,0 +1,51 @@
+// Per-row CPU kernels of every sharpen stage, in three instruction-set
+// variants (portable scalar, SSE4.1, AVX2). All variants are bit-identical
+// per pixel — the SIMD lanes evaluate exactly the scalar expressions of
+// detail/stage_rows.hpp / pixel_ops.hpp — so dispatch can never change a
+// result, only its speed. Select a table through detail/simd/dispatch.hpp.
+//
+// Row semantics (raw pointers so the fused band pass can target band-local
+// buffers as easily as full images):
+//   * downscale_row    — one downscaled output row from its 4 source rows;
+//   * difference_row   — pError row: float(orig) - upscaled;
+//   * sobel_row        — |Gx|+|Gy| of one *interior* image row; the first
+//                        and last column are set to 0 (frame semantics);
+//   * reduce_row       — exact int64 sum of one Sobel row;
+//   * preliminary_row  — up + lut[edge] * err through the strength LUT;
+//   * overshoot_row    — overshoot control of one *interior* image row;
+//                        the first and last column take the clamp path.
+// Frame rows (y == 0, y == h-1) of sobel/overshoot are the caller's job —
+// the range wrappers in rows.hpp and the fused pass both handle them.
+#pragma once
+
+#include <cstdint>
+
+#include "sharpen/params.hpp"
+
+namespace sharp::detail::simd {
+
+struct RowKernels {
+  void (*downscale_row)(const std::uint8_t* s0, const std::uint8_t* s1,
+                        const std::uint8_t* s2, const std::uint8_t* s3,
+                        float* out, int dw);
+  void (*difference_row)(const std::uint8_t* orig, const float* up,
+                         float* out, int w);
+  void (*sobel_row)(const std::uint8_t* rm1, const std::uint8_t* rmid,
+                    const std::uint8_t* rp1, std::int32_t* out, int w);
+  std::int64_t (*reduce_row)(const std::int32_t* row, int w);
+  void (*preliminary_row)(const float* up, const float* err,
+                          const std::int32_t* edge, const float* lut,
+                          float* out, int w);
+  void (*overshoot_row)(const std::uint8_t* rm1, const std::uint8_t* rmid,
+                        const std::uint8_t* rp1, const float* prelim,
+                        const SharpenParams& params, std::uint8_t* out,
+                        int w);
+};
+
+[[nodiscard]] const RowKernels& scalar_kernels();
+/// Defined only in x86 builds; reach them through dispatch.hpp, which
+/// falls back to scalar_kernels() elsewhere.
+[[nodiscard]] const RowKernels& sse41_kernels();
+[[nodiscard]] const RowKernels& avx2_kernels();
+
+}  // namespace sharp::detail::simd

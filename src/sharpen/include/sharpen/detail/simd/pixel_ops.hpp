@@ -1,0 +1,74 @@
+// Scalar per-pixel helpers shared by the portable-scalar row kernels and
+// the tail loops of the SSE4.1/AVX2 kernels. Every expression here mirrors
+// detail/stage_rows.hpp operation-for-operation (and reuses the pixel
+// helpers in params.hpp), which is what makes the SIMD variants provably
+// bit-identical to the scalar cores: each lane evaluates exactly these
+// formulas.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+
+#include "sharpen/params.hpp"
+
+namespace sharp::detail::simd {
+
+/// 4x4 block mean of one downscaled pixel; `s0..s3` point at the first of
+/// the four source bytes in each of the four source rows.
+inline float downscale_pixel(const std::uint8_t* s0, const std::uint8_t* s1,
+                             const std::uint8_t* s2,
+                             const std::uint8_t* s3) {
+  std::int32_t sum = 0;
+  sum += s0[0] + s0[1] + s0[2] + s0[3];
+  sum += s1[0] + s1[1] + s1[2] + s1[3];
+  sum += s2[0] + s2[1] + s2[2] + s2[3];
+  sum += s3[0] + s3[1] + s3[2] + s3[3];
+  return static_cast<float>(sum) / 16.0f;
+}
+
+/// Sobel |Gx|+|Gy| at interior column x of an interior row; `rm1`, `rmid`,
+/// `rp1` are the rows above / at / below the output row.
+inline std::int32_t sobel_pixel(const std::uint8_t* rm1,
+                                const std::uint8_t* rmid,
+                                const std::uint8_t* rp1, int x) {
+  const std::int32_t gx = (rm1[x + 1] + 2 * rmid[x + 1] + rp1[x + 1]) -
+                          (rm1[x - 1] + 2 * rmid[x - 1] + rp1[x - 1]);
+  const std::int32_t gy = (rp1[x - 1] + 2 * rp1[x] + rp1[x + 1]) -
+                          (rm1[x - 1] + 2 * rm1[x] + rm1[x + 1]);
+  return std::abs(gx) + std::abs(gy);
+}
+
+/// Strength + preliminary for one pixel through the strength LUT
+/// (lut[e] == edge_strength(e, ...) bit-exactly; pEdge is integral).
+inline float preliminary_pixel(float up, float err, std::int32_t edge,
+                               const float* lut) {
+  return up + lut[edge] * err;
+}
+
+/// Overshoot control for one interior pixel: 3x3 min/max of the original
+/// around (x, ·), then the shared overshoot_value() formula.
+inline std::uint8_t overshoot_interior_pixel(const std::uint8_t* rm1,
+                                             const std::uint8_t* rmid,
+                                             const std::uint8_t* rp1, int x,
+                                             float prelim,
+                                             const SharpenParams& params) {
+  std::int32_t mx = 0;
+  std::int32_t mn = 255;
+  for (const std::uint8_t* row : {rm1, rmid, rp1}) {
+    const std::uint8_t* p = row + (x - 1);
+    for (int dx = 0; dx < 3; ++dx) {
+      mx = std::max<std::int32_t>(mx, p[dx]);
+      mn = std::min<std::int32_t>(mn, p[dx]);
+    }
+  }
+  return to_u8(overshoot_value(prelim, mn, mx, params));
+}
+
+/// Frame pixels of the overshoot stage: plain clamp of the preliminary
+/// value (full-image semantics of overshoot_rows).
+inline std::uint8_t overshoot_clamp_pixel(float prelim) {
+  return to_u8(std::min(std::max(prelim, 0.0f), 255.0f));
+}
+
+}  // namespace sharp::detail::simd

@@ -1,0 +1,51 @@
+// Row-range wrappers over the dispatched row kernels, with the exact
+// signatures and full-image semantics of the scalar cores in
+// detail/stage_rows.hpp (frame handling included), so pipelines can swap
+// one for the other freely. `level` is explicit — callers resolve
+// active_level() once per image — and every level is bit-identical to the
+// stage_rows reference.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "image/image.hpp"
+#include "sharpen/detail/simd/dispatch.hpp"
+#include "sharpen/params.hpp"
+
+namespace sharp::detail::simd {
+
+/// The strength LUT the SIMD preliminary kernels index: lut[e] ==
+/// edge_strength(e, inv_mean, params) bit-exactly for every representable
+/// pEdge value (pEdge is integral in [0, kMaxEdgeValue]).
+[[nodiscard]] std::vector<float> strength_lut(float inv_mean,
+                                              const SharpenParams& params);
+
+void downscale_rows(Level level, img::ImageView<const std::uint8_t> src,
+                    img::ImageView<float> out, int r0, int r1);
+
+void difference_rows(Level level, img::ImageView<const std::uint8_t> orig,
+                     img::ImageView<const float> up,
+                     img::ImageView<float> out, int y0, int y1);
+
+void sobel_rows(Level level, img::ImageView<const std::uint8_t> src,
+                img::ImageView<std::int32_t> out, int y0, int y1);
+
+[[nodiscard]] std::int64_t reduce_rows(Level level,
+                                       img::ImageView<const std::int32_t> edge,
+                                       int y0, int y1);
+
+/// Strength + preliminary rows through the LUT (build it with
+/// strength_lut()); bit-identical to the pow-path preliminary_rows.
+void preliminary_rows(Level level, img::ImageView<const float> up,
+                      img::ImageView<const float> error,
+                      img::ImageView<const std::int32_t> edge,
+                      const float* lut, img::ImageView<float> out, int y0,
+                      int y1);
+
+void overshoot_rows(Level level, img::ImageView<const std::uint8_t> orig,
+                    img::ImageView<const float> prelim,
+                    const SharpenParams& params,
+                    img::ImageView<std::uint8_t> out, int y0, int y1);
+
+}  // namespace sharp::detail::simd

@@ -30,27 +30,35 @@ inline void downscale_rows(img::ImageView<const std::uint8_t> src,
   }
 }
 
+/// Upscale columns [x0, x1) of full-image row y into `out` (which points
+/// at the row's x = 0 element, so out[x] is written), with clamped indices
+/// (full-image semantics). The per-row form lets the fused band pass
+/// target band-local buffers.
+inline void upscale_row(img::ImageView<const float> down, float* out,
+                        int y, int x0, int x1) {
+  const int n_rows = down.height();
+  const int n_cols = down.width();
+  int r = 0, jy = 0;
+  phase_of(y - 2, r, jy);
+  const int rr0 = std::clamp(r, 0, n_rows - 1);
+  const int rr1 = std::clamp(r + 1, 0, n_rows - 1);
+  for (int x = x0; x < x1; ++x) {
+    int c = 0, jx = 0;
+    phase_of(x - 2, c, jx);
+    const int cc0 = std::clamp(c, 0, n_cols - 1);
+    const int cc1 = std::clamp(c + 1, 0, n_cols - 1);
+    out[x] = upscale_sample(down.at(cc0, rr0), down.at(cc1, rr0),
+                            down.at(cc0, rr1), down.at(cc1, rr1), jy, jx);
+  }
+}
+
 /// Upscale an arbitrary rectangle [x0,x1) x [y0,y1) of the output from the
 /// downscaled image, with clamped indices (full-image semantics).
 inline void upscale_rect(img::ImageView<const float> down,
                          img::ImageView<float> out, int x0, int y0, int x1,
                          int y1) {
-  const int n_rows = down.height();
-  const int n_cols = down.width();
   for (int y = y0; y < y1; ++y) {
-    int r = 0, jy = 0;
-    phase_of(y - 2, r, jy);
-    const int rr0 = std::clamp(r, 0, n_rows - 1);
-    const int rr1 = std::clamp(r + 1, 0, n_rows - 1);
-    for (int x = x0; x < x1; ++x) {
-      int c = 0, jx = 0;
-      phase_of(x - 2, c, jx);
-      const int cc0 = std::clamp(c, 0, n_cols - 1);
-      const int cc1 = std::clamp(c + 1, 0, n_cols - 1);
-      out.at(x, y) =
-          upscale_sample(down.at(cc0, rr0), down.at(cc1, rr0),
-                         down.at(cc0, rr1), down.at(cc1, rr1), jy, jx);
-    }
+    upscale_row(down, out.row(y), y, x0, x1);
   }
 }
 

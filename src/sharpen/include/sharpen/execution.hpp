@@ -23,7 +23,8 @@ enum class Backend {
 /// (FirePro W8000 device, Core i5-3470 host).
 struct Execution {
   Backend backend = Backend::kGpu;
-  /// §V optimization toggles; ignored by Backend::kCpu.
+  /// §V optimization toggles. Backend::kCpu honours the cpu_* fields
+  /// (SIMD dispatch / fused band pass) and ignores the GPU-only ones.
   PipelineOptions options = PipelineOptions::optimized();
   /// Device model the kGpu backend runs on.
   simcl::DeviceSpec device = simcl::amd_firepro_w8000();

@@ -104,6 +104,18 @@ struct PipelineOptions {
   Placement border = Placement::kAuto;
   int border_gpu_threshold = 768;  ///< image width at/above which GPU wins
 
+  // --- host CPU hot path (extension; CpuPipeline/ParallelCpuPipeline) --------
+  /// true: dispatched SIMD row cores (AVX2/SSE4.1 by CPUID, scalar
+  /// fallback); false: the original scalar stage cores. Bit-identical
+  /// either way.
+  bool cpu_simd = true;
+  /// true: the paper's kernel fusion applied on the host — two band
+  /// sweeps over L2-resident tiles instead of materializing full-image
+  /// up/pError/pEdge/prelim matrices (see detail/fused.hpp).
+  bool cpu_fuse = true;
+  /// Rows per fused band; 0 sizes bands to an L2-resident working set.
+  int cpu_band_rows = 0;
+
   // --- §V.F others ---------------------------------------------------------------
   /// false: call clFinish after every kernel (naive); true: rely on the
   /// in-order queue and sync once at the end.
@@ -161,6 +173,9 @@ struct PipelineOptions {
     }
     if (border_gpu_threshold < 0) {
       return "border_gpu_threshold must be non-negative";
+    }
+    if (cpu_band_rows < 0) {
+      return "cpu_band_rows must be non-negative (0 = auto)";
     }
     return std::nullopt;
   }

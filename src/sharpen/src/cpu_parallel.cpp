@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <chrono>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "sharpen/cpu_cost.hpp"
+#include "sharpen/detail/fused.hpp"
+#include "sharpen/detail/simd/rows.hpp"
 #include "sharpen/detail/stage_rows.hpp"
 #include "sharpen/stages.hpp"
 
@@ -43,6 +46,55 @@ void parallel_for_rows(int rows, int threads, Fn&& fn) {
   }
 }
 
+/// Runs fn(slot, y0, y1) on `threads` workers; each worker owns one
+/// deterministic slot index so partial results combine in a fixed order.
+template <typename Fn>
+void parallel_for_rows_slotted(int rows, int threads, Fn&& fn) {
+  const int workers = std::clamp(threads, 1, std::max(1, rows));
+  const int chunk = (rows + workers - 1) / workers;
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (int t = 0; t < workers; ++t) {
+    const int y0 = t * chunk;
+    const int y1 = std::min(rows, y0 + chunk);
+    if (y0 >= y1) {
+      break;
+    }
+    pool.emplace_back([&fn, t, y0, y1] { fn(t, y0, y1); });
+  }
+  for (auto& th : pool) {
+    th.join();
+  }
+}
+
+/// See cpu_pipeline.cpp: a fused sweep's wall time, split across its
+/// stages in proportion to their (unchanged) modeled costs.
+struct SweepStage {
+  const char* name;
+  double modeled_us;
+  double wall_us = 0.0;
+};
+
+void split_sweep_wall(std::vector<SweepStage>& stages, double wall_us) {
+  double total = 0.0;
+  for (const auto& s : stages) {
+    total += s.modeled_us;
+  }
+  for (auto& s : stages) {
+    s.wall_us = total > 0.0
+                    ? wall_us * (s.modeled_us / total)
+                    : wall_us / static_cast<double>(stages.size());
+  }
+}
+
+simcl::HostWork upscale_work(int w, int h) {
+  simcl::HostWork work = cpu_cost::upscale_body(w, h);
+  const simcl::HostWork border = cpu_cost::upscale_border(w, h);
+  work.flops += border.flops;
+  work.bytes += border.bytes;
+  return work;
+}
+
 }  // namespace
 
 simcl::DeviceSpec multicore_spec(simcl::DeviceSpec base, int threads,
@@ -59,18 +111,38 @@ simcl::DeviceSpec multicore_spec(simcl::DeviceSpec base, int threads,
   return base;
 }
 
-ParallelCpuPipeline::ParallelCpuPipeline(int threads, simcl::DeviceSpec cpu)
+ParallelCpuPipeline::ParallelCpuPipeline(int threads, simcl::DeviceSpec cpu,
+                                         PipelineOptions options)
     : threads_(threads),
       cpu_(multicore_spec(std::move(cpu), threads)),
-      model_(cpu_, cpu_) {}
+      model_(cpu_, cpu_),
+      options_(std::move(options)) {
+  if (auto problem = options_.validate()) {
+    throw SharpenError("PipelineOptions: " + *problem);
+  }
+}
 
 PipelineResult ParallelCpuPipeline::run(const img::ImageU8& input,
                                         const SharpenParams& params) const {
   validate_size(input.width(), input.height());
   params.validate();
+  PipelineResult result = options_.cpu_fuse ? run_fused(input, params)
+                                            : run_unfused(input, params);
+  for (const auto& s : result.stages) {
+    result.total_modeled_us += s.modeled_us;
+    result.total_wall_us += s.wall_us;
+  }
+  return result;
+}
+
+PipelineResult ParallelCpuPipeline::run_unfused(
+    const img::ImageU8& input, const SharpenParams& params) const {
   const int w = input.width();
   const int h = input.height();
   const int dh = h / kScale;
+  const bool use_simd = options_.cpu_simd;
+  const detail::simd::Level lvl =
+      use_simd ? detail::simd::active_level() : detail::simd::Level::kScalar;
 
   PipelineResult result;
   const auto record = [&](const char* name, const simcl::HostWork& work,
@@ -82,63 +154,57 @@ PipelineResult ParallelCpuPipeline::run(const img::ImageU8& input,
   auto t0 = Clock::now();
   img::ImageF32 down(w / kScale, dh);
   parallel_for_rows(dh, threads_, [&](int r0, int r1) {
-    detail::downscale_rows(input.view(), down.view(), r0, r1);
+    if (use_simd) {
+      detail::simd::downscale_rows(lvl, input.view(), down.view(), r0, r1);
+    } else {
+      detail::downscale_rows(input.view(), down.view(), r0, r1);
+    }
   });
-  record("downscale", cpu_cost::downscale(w, h), t0);
+  record(stage::kDownscale, cpu_cost::downscale(w, h), t0);
 
   t0 = Clock::now();
   img::ImageF32 up(w, h);
   parallel_for_rows(h, threads_, [&](int y0, int y1) {
     detail::upscale_rect(down.view(), up.view(), 0, y0, w, y1);
   });
-  simcl::HostWork up_work = cpu_cost::upscale_body(w, h);
-  const simcl::HostWork border = cpu_cost::upscale_border(w, h);
-  up_work.flops += border.flops;
-  up_work.bytes += border.bytes;
-  record("upscale", up_work, t0);
+  record(stage::kUpscale, upscale_work(w, h), t0);
 
   t0 = Clock::now();
   img::ImageF32 error(w, h);
   parallel_for_rows(h, threads_, [&](int y0, int y1) {
-    detail::difference_rows(input.view(), up.view(), error.view(), y0, y1);
+    if (use_simd) {
+      detail::simd::difference_rows(lvl, input.view(), up.view(),
+                                    error.view(), y0, y1);
+    } else {
+      detail::difference_rows(input.view(), up.view(), error.view(), y0, y1);
+    }
   });
-  record("pError", cpu_cost::difference(w, h), t0);
+  record(stage::kPError, cpu_cost::difference(w, h), t0);
 
   t0 = Clock::now();
   img::ImageI32 edge(w, h, 0);
   parallel_for_rows(h, threads_, [&](int y0, int y1) {
-    detail::sobel_rows(input.view(), edge.view(), y0, y1);
+    if (use_simd) {
+      detail::simd::sobel_rows(lvl, input.view(), edge.view(), y0, y1);
+    } else {
+      detail::sobel_rows(input.view(), edge.view(), y0, y1);
+    }
   });
-  record("sobel", cpu_cost::sobel(w, h), t0);
+  record(stage::kSobel, cpu_cost::sobel(w, h), t0);
 
   t0 = Clock::now();
   std::vector<std::int64_t> partials(
       static_cast<std::size_t>(std::max(1, threads_)), 0);
-  {
-    // Deterministic combination: each worker owns one partial slot.
-    const int workers = std::clamp(threads_, 1, h);
-    const int chunk = (h + workers - 1) / workers;
-    std::vector<std::thread> pool;
-    for (int t = 0; t < workers; ++t) {
-      const int y0 = t * chunk;
-      const int y1 = std::min(h, y0 + chunk);
-      if (y0 >= y1) {
-        break;
-      }
-      pool.emplace_back([&, t, y0, y1] {
-        partials[static_cast<std::size_t>(t)] =
-            detail::reduce_rows(edge.view(), y0, y1);
-      });
-    }
-    for (auto& th : pool) {
-      th.join();
-    }
-  }
+  parallel_for_rows_slotted(h, threads_, [&](int slot, int y0, int y1) {
+    partials[static_cast<std::size_t>(slot)] =
+        use_simd ? detail::simd::reduce_rows(lvl, edge.view(), y0, y1)
+                 : detail::reduce_rows(edge.view(), y0, y1);
+  });
   std::int64_t sum = 0;
   for (const std::int64_t p : partials) {
     sum += p;
   }
-  record("reduction", cpu_cost::reduction(w, h), t0);
+  record(stage::kReduction, cpu_cost::reduction(w, h), t0);
   const float inv_mean = stages::inverse_mean_edge(
       sum, static_cast<std::int64_t>(w) * h, params);
   result.mean_edge =
@@ -146,24 +212,113 @@ PipelineResult ParallelCpuPipeline::run(const img::ImageU8& input,
 
   t0 = Clock::now();
   img::ImageF32 prelim(w, h);
+  std::vector<float> lut;
+  if (use_simd) {
+    lut = detail::simd::strength_lut(inv_mean, params);
+  }
   parallel_for_rows(h, threads_, [&](int y0, int y1) {
-    detail::preliminary_rows(up.view(), error.view(), edge.view(), inv_mean,
-                             params, prelim.view(), y0, y1);
+    if (use_simd) {
+      detail::simd::preliminary_rows(lvl, up.view(), error.view(),
+                                     edge.view(), lut.data(), prelim.view(),
+                                     y0, y1);
+    } else {
+      detail::preliminary_rows(up.view(), error.view(), edge.view(),
+                               inv_mean, params, prelim.view(), y0, y1);
+    }
   });
-  record("strength", cpu_cost::preliminary(w, h), t0);
+  record(stage::kStrength, cpu_cost::preliminary(w, h), t0);
 
   t0 = Clock::now();
   result.output = img::ImageU8(w, h);
   parallel_for_rows(h, threads_, [&](int y0, int y1) {
-    detail::overshoot_rows(input.view(), prelim.view(), params,
-                           result.output.view(), y0, y1);
+    if (use_simd) {
+      detail::simd::overshoot_rows(lvl, input.view(), prelim.view(), params,
+                                   result.output.view(), y0, y1);
+    } else {
+      detail::overshoot_rows(input.view(), prelim.view(), params,
+                             result.output.view(), y0, y1);
+    }
   });
-  record("overshoot", cpu_cost::overshoot(w, h), t0);
+  record(stage::kOvershoot, cpu_cost::overshoot(w, h), t0);
+  return result;
+}
 
-  for (const auto& s : result.stages) {
-    result.total_modeled_us += s.modeled_us;
-    result.total_wall_us += s.wall_us;
+PipelineResult ParallelCpuPipeline::run_fused(
+    const img::ImageU8& input, const SharpenParams& params) const {
+  const int w = input.width();
+  const int h = input.height();
+  const int dh = h / kScale;
+  const detail::simd::Level lvl = options_.cpu_simd
+                                      ? detail::simd::active_level()
+                                      : detail::simd::Level::kScalar;
+
+  PipelineResult result;
+
+  auto t0 = Clock::now();
+  img::ImageF32 down(w / kScale, dh);
+  parallel_for_rows(dh, threads_, [&](int r0, int r1) {
+    detail::simd::downscale_rows(lvl, input.view(), down.view(), r0, r1);
+  });
+  const double downscale_wall = us_since(t0);
+
+  // Sweep 1: per-worker Sobel + partial reduction; partials combine in
+  // deterministic slot order (exact in int64 for any order anyway).
+  t0 = Clock::now();
+  std::vector<std::int64_t> partials(
+      static_cast<std::size_t>(std::max(1, threads_)), 0);
+  parallel_for_rows_slotted(h, threads_, [&](int slot, int y0, int y1) {
+    partials[static_cast<std::size_t>(slot)] =
+        detail::fused::sobel_reduce(input.view(), y0, y1, lvl);
+  });
+  std::int64_t sum = 0;
+  for (const std::int64_t p : partials) {
+    sum += p;
   }
+  std::vector<SweepStage> sweep1 = {
+      {stage::kSobel, model_.host_compute_us(cpu_cost::sobel(w, h))},
+      {stage::kReduction, model_.host_compute_us(cpu_cost::reduction(w, h))},
+  };
+  split_sweep_wall(sweep1, us_since(t0));
+
+  const float inv_mean = stages::inverse_mean_edge(
+      sum, static_cast<std::int64_t>(w) * h, params);
+  result.mean_edge =
+      static_cast<double>(sum) / (static_cast<double>(w) * h);
+
+  // Sweep 2: each worker's row partition is processed in L2-resident
+  // bands; bands are independent, so the partition boundaries don't
+  // affect the pixels.
+  t0 = Clock::now();
+  const std::vector<float> lut = detail::simd::strength_lut(inv_mean, params);
+  result.output = img::ImageU8(w, h);
+  parallel_for_rows(h, threads_, [&](int y0, int y1) {
+    detail::fused::sharpen_rows(input.view(), down.view(), lut.data(),
+                                params, result.output.view(), y0, y1, lvl,
+                                options_.cpu_band_rows);
+  });
+  std::vector<SweepStage> sweep2 = {
+      {stage::kUpscale, model_.host_compute_us(upscale_work(w, h))},
+      {stage::kPError, model_.host_compute_us(cpu_cost::difference(w, h))},
+      {stage::kStrength, model_.host_compute_us(cpu_cost::preliminary(w, h))},
+      {stage::kOvershoot, model_.host_compute_us(cpu_cost::overshoot(w, h))},
+  };
+  split_sweep_wall(sweep2, us_since(t0));
+
+  result.stages.push_back({stage::kDownscale,
+                           model_.host_compute_us(cpu_cost::downscale(w, h)),
+                           downscale_wall});
+  result.stages.push_back({sweep2[0].name, sweep2[0].modeled_us,
+                           sweep2[0].wall_us});
+  result.stages.push_back({sweep2[1].name, sweep2[1].modeled_us,
+                           sweep2[1].wall_us});
+  result.stages.push_back({sweep1[0].name, sweep1[0].modeled_us,
+                           sweep1[0].wall_us});
+  result.stages.push_back({sweep1[1].name, sweep1[1].modeled_us,
+                           sweep1[1].wall_us});
+  result.stages.push_back({sweep2[2].name, sweep2[2].modeled_us,
+                           sweep2[2].wall_us});
+  result.stages.push_back({sweep2[3].name, sweep2[3].modeled_us,
+                           sweep2[3].wall_us});
   return result;
 }
 

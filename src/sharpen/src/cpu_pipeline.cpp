@@ -1,8 +1,12 @@
 #include "sharpen/cpu_pipeline.hpp"
 
 #include <chrono>
+#include <utility>
+#include <vector>
 
 #include "sharpen/cpu_cost.hpp"
+#include "sharpen/detail/fused.hpp"
+#include "sharpen/detail/simd/rows.hpp"
 #include "sharpen/execution.hpp"
 #include "sharpen/stages.hpp"
 
@@ -16,17 +20,67 @@ double us_since(Clock::time_point t0) {
       .count();
 }
 
+/// One stage's share of a fused sweep: the modeled cost keeps its unfused
+/// value (fusion changes memory traffic, not the model's per-stage work),
+/// and the sweep's measured wall time is split across its stages in
+/// proportion to those modeled costs.
+struct SweepStage {
+  const char* name;
+  double modeled_us;
+  double wall_us = 0.0;
+};
+
+void split_sweep_wall(std::vector<SweepStage>& stages, double wall_us) {
+  double total = 0.0;
+  for (const auto& s : stages) {
+    total += s.modeled_us;
+  }
+  for (auto& s : stages) {
+    s.wall_us = total > 0.0
+                    ? wall_us * (s.modeled_us / total)
+                    : wall_us / static_cast<double>(stages.size());
+  }
+}
+
+simcl::HostWork upscale_work(int w, int h) {
+  simcl::HostWork work = cpu_cost::upscale_body(w, h);
+  const simcl::HostWork border = cpu_cost::upscale_border(w, h);
+  work.flops += border.flops;
+  work.bytes += border.bytes;
+  return work;
+}
+
 }  // namespace
 
-CpuPipeline::CpuPipeline(simcl::DeviceSpec cpu)
-    : cpu_(std::move(cpu)), model_(cpu_, cpu_) {}
+CpuPipeline::CpuPipeline(simcl::DeviceSpec cpu, PipelineOptions options)
+    : cpu_(std::move(cpu)),
+      model_(cpu_, cpu_),
+      options_(std::move(options)) {
+  if (auto problem = options_.validate()) {
+    throw SharpenError("PipelineOptions: " + *problem);
+  }
+}
 
 PipelineResult CpuPipeline::run(const img::ImageU8& input,
                                 const SharpenParams& params) const {
   validate_size(input.width(), input.height());
   params.validate();
+  PipelineResult result =
+      options_.cpu_fuse ? run_fused(input, params) : run_unfused(input, params);
+  for (const auto& s : result.stages) {
+    result.total_modeled_us += s.modeled_us;
+    result.total_wall_us += s.wall_us;
+  }
+  return result;
+}
+
+PipelineResult CpuPipeline::run_unfused(const img::ImageU8& input,
+                                        const SharpenParams& params) const {
   const int w = input.width();
   const int h = input.height();
+  const bool use_simd = options_.cpu_simd;
+  const detail::simd::Level lvl =
+      use_simd ? detail::simd::active_level() : detail::simd::Level::kScalar;
 
   PipelineResult result;
   const auto record = [&](const char* name, const simcl::HostWork& work,
@@ -36,30 +90,47 @@ PipelineResult CpuPipeline::run(const img::ImageU8& input,
   };
 
   auto t0 = Clock::now();
-  const img::ImageF32 down = stages::downscale(input);
+  img::ImageF32 down(w / kScale, h / kScale);
+  if (use_simd) {
+    detail::simd::downscale_rows(lvl, input.view(), down.view(), 0,
+                                 down.height());
+  } else {
+    down = stages::downscale(input);
+  }
   record(stage::kDownscale, cpu_cost::downscale(w, h), t0);
 
   // Upscale: body + border charged together under one Fig. 13a label.
+  // (No SIMD row core yet — see ROADMAP open items.)
   t0 = Clock::now();
   img::ImageF32 up(w, h);
   stages::upscale_body(down, up.view());
   stages::upscale_border(down, up.view());
-  simcl::HostWork up_work = cpu_cost::upscale_body(w, h);
-  const simcl::HostWork border = cpu_cost::upscale_border(w, h);
-  up_work.flops += border.flops;
-  up_work.bytes += border.bytes;
-  record(stage::kUpscale, up_work, t0);
+  record(stage::kUpscale, upscale_work(w, h), t0);
 
   t0 = Clock::now();
-  const img::ImageF32 error = stages::difference(input, up);
+  img::ImageF32 error(w, h);
+  if (use_simd) {
+    detail::simd::difference_rows(lvl, input.view(), up.view(), error.view(),
+                                  0, h);
+  } else {
+    error = stages::difference(input, up);
+  }
   record(stage::kPError, cpu_cost::difference(w, h), t0);
 
   t0 = Clock::now();
-  const img::ImageI32 edge = stages::sobel(input);
+  img::ImageI32 edge(w, h);
+  if (use_simd) {
+    detail::simd::sobel_rows(lvl, input.view(), edge.view(), 0, h);
+  } else {
+    edge = stages::sobel(input);
+  }
   record(stage::kSobel, cpu_cost::sobel(w, h), t0);
 
   t0 = Clock::now();
-  const std::int64_t sum = stages::reduce_sum(edge);
+  const std::int64_t sum = use_simd
+                               ? detail::simd::reduce_rows(lvl, edge.view(),
+                                                           0, h)
+                               : stages::reduce_sum(edge);
   record(stage::kReduction, cpu_cost::reduction(w, h), t0);
   const float inv_mean = stages::inverse_mean_edge(
       sum, static_cast<std::int64_t>(w) * h, params);
@@ -67,18 +138,91 @@ PipelineResult CpuPipeline::run(const img::ImageU8& input,
       static_cast<double>(sum) / (static_cast<double>(w) * h);
 
   t0 = Clock::now();
-  const img::ImageF32 prelim =
-      stages::preliminary(up, error, edge, inv_mean, params);
+  img::ImageF32 prelim(w, h);
+  if (use_simd) {
+    const std::vector<float> lut =
+        detail::simd::strength_lut(inv_mean, params);
+    detail::simd::preliminary_rows(lvl, up.view(), error.view(), edge.view(),
+                                   lut.data(), prelim.view(), 0, h);
+  } else {
+    prelim = stages::preliminary(up, error, edge, inv_mean, params);
+  }
   record(stage::kStrength, cpu_cost::preliminary(w, h), t0);
 
   t0 = Clock::now();
-  result.output = stages::overshoot_control(input, prelim, params);
-  record(stage::kOvershoot, cpu_cost::overshoot(w, h), t0);
-
-  for (const auto& s : result.stages) {
-    result.total_modeled_us += s.modeled_us;
-    result.total_wall_us += s.wall_us;
+  if (use_simd) {
+    result.output = img::ImageU8(w, h);
+    detail::simd::overshoot_rows(lvl, input.view(), prelim.view(), params,
+                                 result.output.view(), 0, h);
+  } else {
+    result.output = stages::overshoot_control(input, prelim, params);
   }
+  record(stage::kOvershoot, cpu_cost::overshoot(w, h), t0);
+  return result;
+}
+
+PipelineResult CpuPipeline::run_fused(const img::ImageU8& input,
+                                      const SharpenParams& params) const {
+  const int w = input.width();
+  const int h = input.height();
+  const detail::simd::Level lvl = options_.cpu_simd
+                                      ? detail::simd::active_level()
+                                      : detail::simd::Level::kScalar;
+
+  PipelineResult result;
+
+  auto t0 = Clock::now();
+  img::ImageF32 down(w / kScale, h / kScale);
+  detail::simd::downscale_rows(lvl, input.view(), down.view(), 0,
+                               down.height());
+  const double downscale_wall = us_since(t0);
+
+  // Sweep 1: Sobel + reduction over the whole image, one scratch row.
+  t0 = Clock::now();
+  const std::int64_t sum = detail::fused::sobel_reduce(input.view(), 0, h, lvl);
+  std::vector<SweepStage> sweep1 = {
+      {stage::kSobel, model_.host_compute_us(cpu_cost::sobel(w, h))},
+      {stage::kReduction, model_.host_compute_us(cpu_cost::reduction(w, h))},
+  };
+  split_sweep_wall(sweep1, us_since(t0));
+
+  const float inv_mean = stages::inverse_mean_edge(
+      sum, static_cast<std::int64_t>(w) * h, params);
+  result.mean_edge =
+      static_cast<double>(sum) / (static_cast<double>(w) * h);
+
+  // Sweep 2: upscale + pError + strength(LUT) + preliminary + overshoot
+  // over L2-resident row bands.
+  t0 = Clock::now();
+  const std::vector<float> lut = detail::simd::strength_lut(inv_mean, params);
+  result.output = img::ImageU8(w, h);
+  detail::fused::sharpen_rows(input.view(), down.view(), lut.data(), params,
+                              result.output.view(), 0, h, lvl,
+                              options_.cpu_band_rows);
+  std::vector<SweepStage> sweep2 = {
+      {stage::kUpscale, model_.host_compute_us(upscale_work(w, h))},
+      {stage::kPError, model_.host_compute_us(cpu_cost::difference(w, h))},
+      {stage::kStrength, model_.host_compute_us(cpu_cost::preliminary(w, h))},
+      {stage::kOvershoot, model_.host_compute_us(cpu_cost::overshoot(w, h))},
+  };
+  split_sweep_wall(sweep2, us_since(t0));
+
+  // Report in canonical Fig. 13a order regardless of execution order.
+  result.stages.push_back({stage::kDownscale,
+                           model_.host_compute_us(cpu_cost::downscale(w, h)),
+                           downscale_wall});
+  result.stages.push_back({sweep2[0].name, sweep2[0].modeled_us,
+                           sweep2[0].wall_us});
+  result.stages.push_back({sweep2[1].name, sweep2[1].modeled_us,
+                           sweep2[1].wall_us});
+  result.stages.push_back({sweep1[0].name, sweep1[0].modeled_us,
+                           sweep1[0].wall_us});
+  result.stages.push_back({sweep1[1].name, sweep1[1].modeled_us,
+                           sweep1[1].wall_us});
+  result.stages.push_back({sweep2[2].name, sweep2[2].modeled_us,
+                           sweep2[2].wall_us});
+  result.stages.push_back({sweep2[3].name, sweep2[3].modeled_us,
+                           sweep2[3].wall_us});
   return result;
 }
 

@@ -9,7 +9,7 @@ img::ImageU8 sharpen(const img::ImageU8& input, const SharpenParams& params,
                      const Execution& exec) {
   switch (exec.backend) {
     case Backend::kCpu:
-      return CpuPipeline(exec.host).run(input, params).output;
+      return CpuPipeline(exec.host, exec.options).run(input, params).output;
     case Backend::kGpu:
       return GpuPipeline(exec.options, exec.device, exec.host,
                          exec.engine_threads)

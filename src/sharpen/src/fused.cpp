@@ -1,0 +1,92 @@
+#include "sharpen/detail/fused.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "sharpen/detail/simd/pixel_ops.hpp"
+#include "sharpen/detail/stage_rows.hpp"
+
+namespace sharp::detail::fused {
+
+int auto_band_rows(int width) {
+  // ~18 bytes of band state per pixel column (up/err/edge/prelim floats
+  // plus source and output bytes); target ~512 KiB so two workers still
+  // share an L2 comfortably.
+  const std::int64_t bytes_per_row = static_cast<std::int64_t>(width) * 18;
+  const std::int64_t target = 512 * 1024;
+  const std::int64_t rows = target / std::max<std::int64_t>(1, bytes_per_row);
+  return static_cast<int>(std::clamp<std::int64_t>(rows, 4, 128));
+}
+
+std::int64_t sobel_reduce(img::ImageView<const std::uint8_t> src, int y0,
+                          int y1, simd::Level level) {
+  const simd::RowKernels& k = simd::kernels(level);
+  const int w = src.width();
+  const int h = src.height();
+  std::vector<std::int32_t> row(static_cast<std::size_t>(w));
+  std::int64_t acc = 0;
+  for (int y = std::max(y0, 1); y < std::min(y1, h - 1); ++y) {
+    k.sobel_row(src.row(y - 1), src.row(y), src.row(y + 1), row.data(), w);
+    acc += k.reduce_row(row.data(), w);
+  }
+  return acc;
+}
+
+void sharpen_rows(img::ImageView<const std::uint8_t> src,
+                  img::ImageView<const float> down, const float* lut,
+                  const SharpenParams& params,
+                  img::ImageView<std::uint8_t> out, int y0, int y1,
+                  simd::Level level, int band_rows) {
+  const simd::RowKernels& k = simd::kernels(level);
+  const int w = src.width();
+  const int h = src.height();
+  const int band = band_rows > 0 ? band_rows : auto_band_rows(w);
+
+  img::ImageF32 up_band(w, band);
+  img::ImageF32 err_band(w, band);
+  img::ImageI32 edge_band(w, band);
+  img::ImageF32 prelim_band(w, band);
+  const auto up = up_band.view();
+  const auto err = err_band.view();
+  const auto edge = edge_band.view();
+  const auto prelim = prelim_band.view();
+
+  for (int b0 = y0; b0 < y1; b0 += band) {
+    const int b1 = std::min(y1, b0 + band);
+    const int n = b1 - b0;
+    for (int i = 0; i < n; ++i) {
+      detail::upscale_row(down, up.row(i), b0 + i, 0, w);
+    }
+    for (int i = 0; i < n; ++i) {
+      k.difference_row(src.row(b0 + i), up.row(i), err.row(i), w);
+    }
+    for (int i = 0; i < n; ++i) {
+      const int y = b0 + i;
+      if (y == 0 || y == h - 1) {
+        std::fill_n(edge.row(i), w, 0);
+      } else {
+        k.sobel_row(src.row(y - 1), src.row(y), src.row(y + 1),
+                    edge.row(i), w);
+      }
+    }
+    for (int i = 0; i < n; ++i) {
+      k.preliminary_row(up.row(i), err.row(i), edge.row(i), lut,
+                        prelim.row(i), w);
+    }
+    for (int i = 0; i < n; ++i) {
+      const int y = b0 + i;
+      std::uint8_t* o = out.row(y);
+      if (y == 0 || y == h - 1) {
+        const float* pm = prelim.row(i);
+        for (int x = 0; x < w; ++x) {
+          o[x] = simd::overshoot_clamp_pixel(pm[x]);
+        }
+      } else {
+        k.overshoot_row(src.row(y - 1), src.row(y), src.row(y + 1),
+                        prelim.row(i), params, o, w);
+      }
+    }
+  }
+}
+
+}  // namespace sharp::detail::fused

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sharpen/detail/interp.hpp"
+#include "sharpen/detail/simd/rows.hpp"
 #include "simcl/vec.hpp"
 
 namespace sharp::gpu {
@@ -592,12 +593,9 @@ Kernel make_sharpness_fused_img(const simcl::Image2D& src, Buffer& up,
 
 std::vector<float> build_strength_lut(float inv_mean,
                                       const SharpenParams& params) {
-  std::vector<float> lut(static_cast<std::size_t>(kEdgeLutSize));
-  for (int e = 0; e < kEdgeLutSize; ++e) {
-    lut[static_cast<std::size_t>(e)] =
-        detail::edge_strength(e, inv_mean, params);
-  }
-  return lut;
+  // One LUT definition for the whole codebase: the host SIMD path and the
+  // GPU kernels index the same table.
+  return detail::simd::strength_lut(inv_mean, params);
 }
 
 Kernel make_perror(const SrcView& src, Buffer& up, Buffer& error, int w,

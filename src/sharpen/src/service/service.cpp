@@ -135,7 +135,8 @@ std::future<ServiceResponse> SharpenService::submit(img::ImageU8 frame,
         ServiceResponse response;
         response.outcome = RequestOutcome::kDegraded;
         response.result =
-            CpuPipeline(config_.execution.host).run(job.frame, job.params);
+            CpuPipeline(config_.execution.host, config_.execution.options)
+                .run(job.frame, job.params);
         {
           std::lock_guard<std::mutex> slk(stats_mu_);
           ++degraded_;
@@ -219,7 +220,7 @@ void SharpenService::worker_loop(int index) {
       runner.emplace(*ctx, *pool, *comp, *comp, exec.options, /*slots=*/1);
     }
   } else {
-    cpu.emplace(exec.host);
+    cpu.emplace(exec.host, exec.options);
   }
 
   struct Pending {

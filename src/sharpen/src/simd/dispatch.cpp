@@ -1,0 +1,118 @@
+#include "sharpen/detail/simd/dispatch.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace sharp::detail::simd {
+namespace {
+
+Level min_level(Level a, Level b) {
+  return static_cast<int>(a) < static_cast<int>(b) ? a : b;
+}
+
+Level detect_native() {
+#if defined(SHARP_SIMD_X86) && defined(__GNUC__)
+  if (__builtin_cpu_supports("avx2")) {
+    return Level::kAvx2;
+  }
+  if (__builtin_cpu_supports("sse4.1")) {
+    return Level::kSse41;
+  }
+#endif
+  return Level::kScalar;
+}
+
+Level detect_env() {
+  if (const char* force = std::getenv("SHARP_FORCE_SCALAR");
+      force != nullptr && force[0] == '1') {
+    return Level::kScalar;
+  }
+  Level cap = native_level();
+  if (const char* env = std::getenv("SHARP_SIMD"); env != nullptr) {
+    if (const std::optional<Level> requested = parse_level(env)) {
+      cap = min_level(cap, *requested);
+    }
+  }
+  return cap;
+}
+
+/// -1 = no programmatic override; otherwise a Level value.
+std::atomic<int> g_forced{-1};
+
+}  // namespace
+
+const char* to_string(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return "scalar";
+    case Level::kSse41:
+      return "sse41";
+    case Level::kAvx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+std::optional<Level> parse_level(std::string_view name) {
+  if (name == "scalar") {
+    return Level::kScalar;
+  }
+  if (name == "sse41") {
+    return Level::kSse41;
+  }
+  if (name == "avx2") {
+    return Level::kAvx2;
+  }
+  return std::nullopt;
+}
+
+Level native_level() {
+  static const Level level = detect_native();
+  return level;
+}
+
+Level env_level() {
+  static const Level level = detect_env();
+  return level;
+}
+
+Level active_level() {
+  const int forced = g_forced.load(std::memory_order_relaxed);
+  if (forced >= 0) {
+    return static_cast<Level>(forced);
+  }
+  return env_level();
+}
+
+bool level_available(Level level) {
+  return static_cast<int>(level) <= static_cast<int>(native_level());
+}
+
+void force_level(std::optional<Level> level) {
+  if (!level.has_value()) {
+    g_forced.store(-1, std::memory_order_relaxed);
+    return;
+  }
+  g_forced.store(static_cast<int>(min_level(*level, native_level())),
+                 std::memory_order_relaxed);
+}
+
+const RowKernels& kernels(Level level) {
+#if defined(SHARP_SIMD_X86)
+  if (level_available(level)) {
+    switch (level) {
+      case Level::kAvx2:
+        return avx2_kernels();
+      case Level::kSse41:
+        return sse41_kernels();
+      case Level::kScalar:
+        break;
+    }
+  }
+#else
+  (void)level;
+#endif
+  return scalar_kernels();
+}
+
+}  // namespace sharp::detail::simd

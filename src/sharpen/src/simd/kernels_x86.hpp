@@ -1,0 +1,188 @@
+// Shared implementation of the SSE4.1 and AVX2 row kernels: one template
+// over a vector-ops wrapper `V` (rows_sse41.cpp instantiates a 4-lane
+// wrapper, rows_avx2.cpp an 8-lane one — each TU is compiled with the
+// matching -m flags). The kernels use only lane-wise operations in exactly
+// the pixel_ops.hpp order — no FMA contraction, no reassociation of float
+// math — so every lane reproduces the scalar result bit-for-bit; the only
+// cross-lane operation is the integer reduction, which is exact in any
+// order. Tails shorter than a vector run the scalar pixel helpers.
+//
+// The `V` wrapper contract (lane count V::kWidth):
+//   VI load_i / store_i        — int32 lane load/store (unaligned)
+//   VI load_u8                 — kWidth bytes zero-extended to int32 lanes
+//   VB load_b                  — kWidth raw bytes (for epu8 min/max)
+//   VI widen(VB)               — zero-extend raw bytes to int32 lanes
+//   VI sum4_u8(p)              — per lane: p[4k] + p[4k+1] + p[4k+2] + p[4k+3]
+//   add_i/sub_i/abs_i, min_b/max_b, hsum_i64
+//   VF load_f/store_f/broadcast_f, add_f/sub_f/mul_f/min_f/max_f
+//   VF cvt_i_to_f(VI), VI cvtt_f_to_i(VF) (truncating)
+//   VF cmp_gt/cmp_lt, select(mask, t, f)
+//   store_u8(p, VI)            — pack int32 lanes in [0,255] to kWidth bytes
+#pragma once
+
+#include <cstdint>
+
+#include "sharpen/detail/simd/kernels.hpp"
+#include "sharpen/detail/simd/pixel_ops.hpp"
+
+namespace sharp::detail::simd {
+
+template <class V>
+struct KernelsImpl {
+  static void downscale_row(const std::uint8_t* s0, const std::uint8_t* s1,
+                            const std::uint8_t* s2, const std::uint8_t* s3,
+                            float* out, int dw) {
+    const typename V::VF inv16 = V::broadcast_f(0.0625f);
+    int c = 0;
+    for (; c + V::kWidth <= dw; c += V::kWidth) {
+      const int b = 4 * c;
+      const typename V::VI sum =
+          V::add_i(V::add_i(V::sum4_u8(s0 + b), V::sum4_u8(s1 + b)),
+                   V::add_i(V::sum4_u8(s2 + b), V::sum4_u8(s3 + b)));
+      // float(sum) * (1/16) == float(sum) / 16.0f exactly: the sum is an
+      // integer <= 4080 and 1/16 is a power of two.
+      V::store_f(out + c, V::mul_f(V::cvt_i_to_f(sum), inv16));
+    }
+    for (; c < dw; ++c) {
+      out[c] =
+          downscale_pixel(s0 + 4 * c, s1 + 4 * c, s2 + 4 * c, s3 + 4 * c);
+    }
+  }
+
+  static void difference_row(const std::uint8_t* orig, const float* up,
+                             float* out, int w) {
+    int x = 0;
+    for (; x + V::kWidth <= w; x += V::kWidth) {
+      V::store_f(out + x, V::sub_f(V::cvt_i_to_f(V::load_u8(orig + x)),
+                                   V::load_f(up + x)));
+    }
+    for (; x < w; ++x) {
+      out[x] = static_cast<float>(orig[x]) - up[x];
+    }
+  }
+
+  static void sobel_row(const std::uint8_t* rm1, const std::uint8_t* rmid,
+                        const std::uint8_t* rp1, std::int32_t* out, int w) {
+    if (w <= 0) {
+      return;
+    }
+    out[0] = 0;
+    out[w - 1] = 0;
+    int x = 1;
+    // Loads reach index x + kWidth <= w - 1: always in-row.
+    for (; x + V::kWidth <= w - 1; x += V::kWidth) {
+      const typename V::VI am = V::load_u8(rm1 + x - 1);
+      const typename V::VI a0 = V::load_u8(rm1 + x);
+      const typename V::VI ap = V::load_u8(rm1 + x + 1);
+      const typename V::VI bm = V::load_u8(rmid + x - 1);
+      const typename V::VI bp = V::load_u8(rmid + x + 1);
+      const typename V::VI cm = V::load_u8(rp1 + x - 1);
+      const typename V::VI c0 = V::load_u8(rp1 + x);
+      const typename V::VI cp = V::load_u8(rp1 + x + 1);
+      const typename V::VI gx = V::sub_i(
+          V::add_i(V::add_i(ap, V::add_i(bp, bp)), cp),
+          V::add_i(V::add_i(am, V::add_i(bm, bm)), cm));
+      const typename V::VI gy = V::sub_i(
+          V::add_i(V::add_i(cm, V::add_i(c0, c0)), cp),
+          V::add_i(V::add_i(am, V::add_i(a0, a0)), ap));
+      V::store_i(out + x, V::add_i(V::abs_i(gx), V::abs_i(gy)));
+    }
+    for (; x < w - 1; ++x) {
+      out[x] = sobel_pixel(rm1, rmid, rp1, x);
+    }
+  }
+
+  static std::int64_t reduce_row(const std::int32_t* row, int w) {
+    typename V::VI acc = V::zero_i();
+    int x = 0;
+    // Lane partials stay far below int32 range: values are <= 2040 and a
+    // row contributes w / kWidth of them per lane.
+    for (; x + V::kWidth <= w; x += V::kWidth) {
+      acc = V::add_i(acc, V::load_i(row + x));
+    }
+    std::int64_t sum = V::hsum_i64(acc);
+    for (; x < w; ++x) {
+      sum += row[x];
+    }
+    return sum;
+  }
+
+  static void preliminary_row(const float* up, const float* err,
+                              const std::int32_t* edge, const float* lut,
+                              float* out, int w) {
+    int x = 0;
+    for (; x + V::kWidth <= w; x += V::kWidth) {
+      const typename V::VF s = V::gather_f(lut, V::load_i(edge + x));
+      V::store_f(out + x, V::add_f(V::load_f(up + x),
+                                   V::mul_f(s, V::load_f(err + x))));
+    }
+    for (; x < w; ++x) {
+      out[x] = preliminary_pixel(up[x], err[x], edge[x], lut);
+    }
+  }
+
+  static void overshoot_row(const std::uint8_t* rm1,
+                            const std::uint8_t* rmid,
+                            const std::uint8_t* rp1, const float* prelim,
+                            const SharpenParams& params, std::uint8_t* out,
+                            int w) {
+    if (w <= 0) {
+      return;
+    }
+    out[0] = overshoot_clamp_pixel(prelim[0]);
+    if (w == 1) {
+      return;
+    }
+    out[w - 1] = overshoot_clamp_pixel(prelim[w - 1]);
+    const typename V::VF gain = V::broadcast_f(params.osc_gain);
+    const typename V::VF zero = V::broadcast_f(0.0f);
+    const typename V::VF hi = V::broadcast_f(255.0f);
+    const typename V::VF half = V::broadcast_f(0.5f);
+    int x = 1;
+    for (; x + V::kWidth <= w - 1; x += V::kWidth) {
+      typename V::VB mn;
+      typename V::VB mx;
+      bool first = true;
+      for (const std::uint8_t* row : {rm1, rmid, rp1}) {
+        const typename V::VB l = V::load_b(row + x - 1);
+        const typename V::VB m = V::load_b(row + x);
+        const typename V::VB r = V::load_b(row + x + 1);
+        const typename V::VB rmn = V::min_b(V::min_b(l, m), r);
+        const typename V::VB rmx = V::max_b(V::max_b(l, m), r);
+        mn = first ? rmn : V::min_b(mn, rmn);
+        mx = first ? rmx : V::max_b(mx, rmx);
+        first = false;
+      }
+      const typename V::VF fmn = V::cvt_i_to_f(V::widen(mn));
+      const typename V::VF fmx = V::cvt_i_to_f(V::widen(mx));
+      const typename V::VF pm = V::load_f(prelim + x);
+      // The three overshoot_value() branches, computed lane-wise with the
+      // scalar operation order (mul, then add/sub; no FMA) and selected by
+      // the scalar comparison logic.
+      const typename V::VF over =
+          V::min_f(V::add_f(fmx, V::mul_f(gain, V::sub_f(pm, fmx))), hi);
+      const typename V::VF under =
+          V::max_f(V::sub_f(fmn, V::mul_f(gain, V::sub_f(fmn, pm))), zero);
+      const typename V::VF mid = V::min_f(V::max_f(pm, zero), hi);
+      const typename V::VF picked =
+          V::select(V::cmp_gt(pm, fmx), over,
+                    V::select(V::cmp_lt(pm, fmn), under, mid));
+      V::store_u8(out + x, V::cvtt_f_to_i(V::add_f(picked, half)));
+    }
+    for (; x < w - 1; ++x) {
+      out[x] =
+          overshoot_interior_pixel(rm1, rmid, rp1, x, prelim[x], params);
+    }
+  }
+};
+
+template <class V>
+const RowKernels& kernels_for() {
+  static const RowKernels table{
+      &KernelsImpl<V>::downscale_row, &KernelsImpl<V>::difference_row,
+      &KernelsImpl<V>::sobel_row,     &KernelsImpl<V>::reduce_row,
+      &KernelsImpl<V>::preliminary_row, &KernelsImpl<V>::overshoot_row};
+  return table;
+}
+
+}  // namespace sharp::detail::simd

@@ -1,0 +1,104 @@
+#include "sharpen/detail/simd/rows.hpp"
+
+#include <algorithm>
+
+#include "sharpen/detail/simd/pixel_ops.hpp"
+
+namespace sharp::detail::simd {
+
+std::vector<float> strength_lut(float inv_mean,
+                                const SharpenParams& params) {
+  std::vector<float> lut(static_cast<std::size_t>(kEdgeLutSize));
+  for (int e = 0; e < kEdgeLutSize; ++e) {
+    lut[static_cast<std::size_t>(e)] =
+        edge_strength(e, inv_mean, params);
+  }
+  return lut;
+}
+
+void downscale_rows(Level level, img::ImageView<const std::uint8_t> src,
+                    img::ImageView<float> out, int r0, int r1) {
+  const RowKernels& k = kernels(level);
+  const int dw = out.width();
+  for (int r = r0; r < r1; ++r) {
+    k.downscale_row(src.row(r * kScale), src.row(r * kScale + 1),
+                    src.row(r * kScale + 2), src.row(r * kScale + 3),
+                    out.row(r), dw);
+  }
+}
+
+void difference_rows(Level level, img::ImageView<const std::uint8_t> orig,
+                     img::ImageView<const float> up,
+                     img::ImageView<float> out, int y0, int y1) {
+  const RowKernels& k = kernels(level);
+  const int w = out.width();
+  for (int y = y0; y < y1; ++y) {
+    k.difference_row(orig.row(y), up.row(y), out.row(y), w);
+  }
+}
+
+void sobel_rows(Level level, img::ImageView<const std::uint8_t> src,
+                img::ImageView<std::int32_t> out, int y0, int y1) {
+  const RowKernels& k = kernels(level);
+  const int w = src.width();
+  const int h = src.height();
+  for (int y = std::max(y0, 1); y < std::min(y1, h - 1); ++y) {
+    k.sobel_row(src.row(y - 1), src.row(y), src.row(y + 1), out.row(y), w);
+  }
+  // Frame rows inside the assigned range (full-image semantics, exactly
+  // like detail::sobel_rows).
+  if (y0 == 0) {
+    std::fill_n(out.row(0), w, 0);
+  }
+  if (y1 == h) {
+    std::fill_n(out.row(h - 1), w, 0);
+  }
+}
+
+std::int64_t reduce_rows(Level level,
+                         img::ImageView<const std::int32_t> edge, int y0,
+                         int y1) {
+  const RowKernels& k = kernels(level);
+  const int w = edge.width();
+  std::int64_t acc = 0;
+  for (int y = y0; y < y1; ++y) {
+    acc += k.reduce_row(edge.row(y), w);
+  }
+  return acc;
+}
+
+void preliminary_rows(Level level, img::ImageView<const float> up,
+                      img::ImageView<const float> error,
+                      img::ImageView<const std::int32_t> edge,
+                      const float* lut, img::ImageView<float> out, int y0,
+                      int y1) {
+  const RowKernels& k = kernels(level);
+  const int w = out.width();
+  for (int y = y0; y < y1; ++y) {
+    k.preliminary_row(up.row(y), error.row(y), edge.row(y), lut, out.row(y),
+                      w);
+  }
+}
+
+void overshoot_rows(Level level, img::ImageView<const std::uint8_t> orig,
+                    img::ImageView<const float> prelim,
+                    const SharpenParams& params,
+                    img::ImageView<std::uint8_t> out, int y0, int y1) {
+  const RowKernels& k = kernels(level);
+  const int w = orig.width();
+  const int h = orig.height();
+  for (int y = y0; y < y1; ++y) {
+    const float* pm = prelim.row(y);
+    std::uint8_t* o = out.row(y);
+    if (y == 0 || y == h - 1) {
+      for (int x = 0; x < w; ++x) {
+        o[x] = overshoot_clamp_pixel(pm[x]);
+      }
+    } else {
+      k.overshoot_row(orig.row(y - 1), orig.row(y), orig.row(y + 1), pm,
+                      params, o, w);
+    }
+  }
+}
+
+}  // namespace sharp::detail::simd

@@ -1,0 +1,91 @@
+// 8-lane AVX2 instantiation of the shared x86 row kernels (compiled with
+// -mavx2 on x86 builds; reached through runtime dispatch). The strength
+// LUT uses a real vpgatherdps; -mavx2 does not enable FMA, and all float
+// math goes through explicit mul/add intrinsics, so lane results match the
+// scalar cores bit-for-bit.
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+#include "kernels_x86.hpp"
+
+namespace sharp::detail::simd {
+namespace {
+
+struct VecAvx2 {
+  static constexpr int kWidth = 8;
+  using VF = __m256;
+  using VI = __m256i;
+  using VB = __m128i;  // 8 meaningful bytes in the low half
+
+  static VI zero_i() { return _mm256_setzero_si256(); }
+  static VI load_i(const std::int32_t* p) {
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  }
+  static void store_i(std::int32_t* p, VI v) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+  }
+  static VB load_b(const std::uint8_t* p) {
+    std::int64_t bytes = 0;
+    std::memcpy(&bytes, p, 8);
+    return _mm_cvtsi64_si128(bytes);
+  }
+  static VI widen(VB b) { return _mm256_cvtepu8_epi32(b); }
+  static VI load_u8(const std::uint8_t* p) { return widen(load_b(p)); }
+  static VI sum4_u8(const std::uint8_t* p) {
+    const __m256i bytes =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+    const __m256i pairs = _mm256_maddubs_epi16(bytes, _mm256_set1_epi8(1));
+    return _mm256_madd_epi16(pairs, _mm256_set1_epi16(1));
+  }
+  static VI add_i(VI a, VI b) { return _mm256_add_epi32(a, b); }
+  static VI sub_i(VI a, VI b) { return _mm256_sub_epi32(a, b); }
+  static VI abs_i(VI a) { return _mm256_abs_epi32(a); }
+  static VB min_b(VB a, VB b) { return _mm_min_epu8(a, b); }
+  static VB max_b(VB a, VB b) { return _mm_max_epu8(a, b); }
+  static std::int64_t hsum_i64(VI v) {
+    alignas(32) std::int32_t lanes[8];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), v);
+    std::int64_t sum = 0;
+    for (const std::int32_t lane : lanes) {
+      sum += lane;
+    }
+    return sum;
+  }
+
+  static VF load_f(const float* p) { return _mm256_loadu_ps(p); }
+  static void store_f(float* p, VF v) { _mm256_storeu_ps(p, v); }
+  static VF broadcast_f(float v) { return _mm256_set1_ps(v); }
+  static VF add_f(VF a, VF b) { return _mm256_add_ps(a, b); }
+  static VF sub_f(VF a, VF b) { return _mm256_sub_ps(a, b); }
+  static VF mul_f(VF a, VF b) { return _mm256_mul_ps(a, b); }
+  static VF min_f(VF a, VF b) { return _mm256_min_ps(a, b); }
+  static VF max_f(VF a, VF b) { return _mm256_max_ps(a, b); }
+  static VF cvt_i_to_f(VI v) { return _mm256_cvtepi32_ps(v); }
+  static VI cvtt_f_to_i(VF v) { return _mm256_cvttps_epi32(v); }
+  static VF cmp_gt(VF a, VF b) { return _mm256_cmp_ps(a, b, _CMP_GT_OQ); }
+  static VF cmp_lt(VF a, VF b) { return _mm256_cmp_ps(a, b, _CMP_LT_OQ); }
+  static VF select(VF mask, VF t, VF f) {
+    return _mm256_blendv_ps(f, t, mask);
+  }
+  static VF gather_f(const float* base, VI idx) {
+    return _mm256_i32gather_ps(base, idx, 4);
+  }
+  static void store_u8(std::uint8_t* p, VI v) {
+    const __m128i lo = _mm256_castsi256_si128(v);
+    const __m128i hi = _mm256_extracti128_si256(v, 1);
+    const __m128i p16 = _mm_packus_epi32(lo, hi);
+    const __m128i p8 = _mm_packus_epi16(p16, p16);
+    _mm_storel_epi64(reinterpret_cast<__m128i*>(p), p8);
+  }
+};
+
+}  // namespace
+
+const RowKernels& avx2_kernels() { return kernels_for<VecAvx2>(); }
+
+}  // namespace sharp::detail::simd
+
+#endif  // x86

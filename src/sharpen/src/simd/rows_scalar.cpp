@@ -1,0 +1,82 @@
+// Portable-scalar row kernels: the pixel_ops.hpp expressions in plain
+// loops. This table is the always-available dispatch floor (non-x86
+// builds, SHARP_FORCE_SCALAR, CPUs without SSE4.1) and the comparison
+// baseline of the bit-identity property tests.
+#include <algorithm>
+
+#include "sharpen/detail/simd/kernels.hpp"
+#include "sharpen/detail/simd/pixel_ops.hpp"
+
+namespace sharp::detail::simd {
+namespace {
+
+void downscale_row(const std::uint8_t* s0, const std::uint8_t* s1,
+                   const std::uint8_t* s2, const std::uint8_t* s3,
+                   float* out, int dw) {
+  for (int c = 0; c < dw; ++c) {
+    out[c] =
+        downscale_pixel(s0 + 4 * c, s1 + 4 * c, s2 + 4 * c, s3 + 4 * c);
+  }
+}
+
+void difference_row(const std::uint8_t* orig, const float* up, float* out,
+                    int w) {
+  for (int x = 0; x < w; ++x) {
+    out[x] = static_cast<float>(orig[x]) - up[x];
+  }
+}
+
+void sobel_row(const std::uint8_t* rm1, const std::uint8_t* rmid,
+               const std::uint8_t* rp1, std::int32_t* out, int w) {
+  if (w <= 0) {
+    return;
+  }
+  out[0] = 0;
+  out[w - 1] = 0;
+  for (int x = 1; x < w - 1; ++x) {
+    out[x] = sobel_pixel(rm1, rmid, rp1, x);
+  }
+}
+
+std::int64_t reduce_row(const std::int32_t* row, int w) {
+  std::int64_t acc = 0;
+  for (int x = 0; x < w; ++x) {
+    acc += row[x];
+  }
+  return acc;
+}
+
+void preliminary_row(const float* up, const float* err,
+                     const std::int32_t* edge, const float* lut, float* out,
+                     int w) {
+  for (int x = 0; x < w; ++x) {
+    out[x] = preliminary_pixel(up[x], err[x], edge[x], lut);
+  }
+}
+
+void overshoot_row(const std::uint8_t* rm1, const std::uint8_t* rmid,
+                   const std::uint8_t* rp1, const float* prelim,
+                   const SharpenParams& params, std::uint8_t* out, int w) {
+  if (w <= 0) {
+    return;
+  }
+  out[0] = overshoot_clamp_pixel(prelim[0]);
+  if (w == 1) {
+    return;
+  }
+  out[w - 1] = overshoot_clamp_pixel(prelim[w - 1]);
+  for (int x = 1; x < w - 1; ++x) {
+    out[x] = overshoot_interior_pixel(rm1, rmid, rp1, x, prelim[x], params);
+  }
+}
+
+}  // namespace
+
+const RowKernels& scalar_kernels() {
+  static const RowKernels table{&downscale_row, &difference_row, &sobel_row,
+                                &reduce_row,    &preliminary_row,
+                                &overshoot_row};
+  return table;
+}
+
+}  // namespace sharp::detail::simd

@@ -1,0 +1,89 @@
+// 4-lane SSE4.1 instantiation of the shared x86 row kernels. This TU is
+// compiled with -msse4.1 (CMake adds it on x86 builds only); the rest of
+// the library stays at the baseline ISA and reaches these kernels through
+// runtime dispatch.
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+#include "kernels_x86.hpp"
+
+namespace sharp::detail::simd {
+namespace {
+
+struct VecSse {
+  static constexpr int kWidth = 4;
+  using VF = __m128;
+  using VI = __m128i;
+  using VB = __m128i;  // 4 meaningful bytes in the low lanes
+
+  static VI zero_i() { return _mm_setzero_si128(); }
+  static VI load_i(const std::int32_t* p) {
+    return _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+  }
+  static void store_i(std::int32_t* p, VI v) {
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(p), v);
+  }
+  static VB load_b(const std::uint8_t* p) {
+    std::int32_t bytes = 0;
+    std::memcpy(&bytes, p, 4);
+    return _mm_cvtsi32_si128(bytes);
+  }
+  static VI widen(VB b) { return _mm_cvtepu8_epi32(b); }
+  static VI load_u8(const std::uint8_t* p) { return widen(load_b(p)); }
+  static VI sum4_u8(const std::uint8_t* p) {
+    const __m128i bytes =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+    const __m128i pairs = _mm_maddubs_epi16(bytes, _mm_set1_epi8(1));
+    return _mm_madd_epi16(pairs, _mm_set1_epi16(1));
+  }
+  static VI add_i(VI a, VI b) { return _mm_add_epi32(a, b); }
+  static VI sub_i(VI a, VI b) { return _mm_sub_epi32(a, b); }
+  static VI abs_i(VI a) { return _mm_abs_epi32(a); }
+  static VB min_b(VB a, VB b) { return _mm_min_epu8(a, b); }
+  static VB max_b(VB a, VB b) { return _mm_max_epu8(a, b); }
+  static std::int64_t hsum_i64(VI v) {
+    alignas(16) std::int32_t lanes[4];
+    _mm_store_si128(reinterpret_cast<__m128i*>(lanes), v);
+    return static_cast<std::int64_t>(lanes[0]) + lanes[1] + lanes[2] +
+           lanes[3];
+  }
+
+  static VF load_f(const float* p) { return _mm_loadu_ps(p); }
+  static void store_f(float* p, VF v) { _mm_storeu_ps(p, v); }
+  static VF broadcast_f(float v) { return _mm_set1_ps(v); }
+  static VF add_f(VF a, VF b) { return _mm_add_ps(a, b); }
+  static VF sub_f(VF a, VF b) { return _mm_sub_ps(a, b); }
+  static VF mul_f(VF a, VF b) { return _mm_mul_ps(a, b); }
+  static VF min_f(VF a, VF b) { return _mm_min_ps(a, b); }
+  static VF max_f(VF a, VF b) { return _mm_max_ps(a, b); }
+  static VF cvt_i_to_f(VI v) { return _mm_cvtepi32_ps(v); }
+  static VI cvtt_f_to_i(VF v) { return _mm_cvttps_epi32(v); }
+  static VF cmp_gt(VF a, VF b) { return _mm_cmpgt_ps(a, b); }
+  static VF cmp_lt(VF a, VF b) { return _mm_cmplt_ps(a, b); }
+  static VF select(VF mask, VF t, VF f) {
+    return _mm_blendv_ps(f, t, mask);
+  }
+  static VF gather_f(const float* base, VI idx) {
+    alignas(16) std::int32_t lanes[4];
+    _mm_store_si128(reinterpret_cast<__m128i*>(lanes), idx);
+    return _mm_setr_ps(base[lanes[0]], base[lanes[1]], base[lanes[2]],
+                       base[lanes[3]]);
+  }
+  static void store_u8(std::uint8_t* p, VI v) {
+    const __m128i p16 = _mm_packus_epi32(v, v);
+    const __m128i p8 = _mm_packus_epi16(p16, p16);
+    const std::int32_t bytes = _mm_cvtsi128_si32(p8);
+    std::memcpy(p, &bytes, 4);
+  }
+};
+
+}  // namespace
+
+const RowKernels& sse41_kernels() { return kernels_for<VecSse>(); }
+
+}  // namespace sharp::detail::simd
+
+#endif  // x86

@@ -1,15 +1,22 @@
 #include "sharpen/stages.hpp"
 
 #include <algorithm>
+#include <vector>
 
+#include "sharpen/detail/simd/rows.hpp"
 #include "sharpen/detail/stage_rows.hpp"
 
 namespace sharp::stages {
 
+// Single-stage entry points run the dispatched SIMD row cores at the
+// process's active level (bit-identical to the scalar cores at every
+// level; SHARP_SIMD / SHARP_FORCE_SCALAR override the dispatch).
+
 ImageF32 downscale(const ImageU8& src) {
   validate_size(src.width(), src.height());
   ImageF32 out(src.width() / kScale, src.height() / kScale);
-  detail::downscale_rows(src.view(), out.view(), 0, out.height());
+  detail::simd::downscale_rows(detail::simd::active_level(), src.view(),
+                               out.view(), 0, out.height());
   return out;
 }
 
@@ -54,20 +61,23 @@ ImageF32 difference(const ImageU8& original, const ImageF32& upscaled) {
     throw SharpenError("difference: image shapes differ");
   }
   ImageF32 out(original.width(), original.height());
-  detail::difference_rows(original.view(), upscaled.view(), out.view(), 0,
-                          out.height());
+  detail::simd::difference_rows(detail::simd::active_level(),
+                                original.view(), upscaled.view(), out.view(),
+                                0, out.height());
   return out;
 }
 
 ImageI32 sobel(const ImageU8& src) {
   validate_size(src.width(), src.height());
   ImageI32 out(src.width(), src.height(), 0);
-  detail::sobel_rows(src.view(), out.view(), 0, out.height());
+  detail::simd::sobel_rows(detail::simd::active_level(), src.view(),
+                           out.view(), 0, out.height());
   return out;
 }
 
 std::int64_t reduce_sum(const ImageI32& edge) {
-  return detail::reduce_rows(edge.view(), 0, edge.height());
+  return detail::simd::reduce_rows(detail::simd::active_level(), edge.view(),
+                                   0, edge.height());
 }
 
 float inverse_mean_edge(std::int64_t sum, std::int64_t pixels,
@@ -90,8 +100,30 @@ ImageF32 preliminary(const ImageF32& upscaled, const ImageF32& error,
     throw SharpenError("preliminary: image shapes differ");
   }
   ImageF32 out(upscaled.width(), upscaled.height());
-  detail::preliminary_rows(upscaled.view(), error.view(), edge.view(),
-                           inv_mean, params, out.view(), 0, out.height());
+  // pEdge from sobel() is integral in [0, kEdgeLutSize) and takes the LUT
+  // fast path. This function is also a public oracle that accepts
+  // arbitrary edge images; values outside the LUT domain use the pow
+  // formulation directly (same result where both are defined).
+  bool in_lut_domain = true;
+  for (int y = 0; y < edge.height() && in_lut_domain; ++y) {
+    const std::int32_t* g = edge.view().row(y);
+    for (int x = 0; x < edge.width(); ++x) {
+      if (g[x] < 0 || g[x] >= kEdgeLutSize) {
+        in_lut_domain = false;
+        break;
+      }
+    }
+  }
+  if (in_lut_domain) {
+    const std::vector<float> lut =
+        detail::simd::strength_lut(inv_mean, params);
+    detail::simd::preliminary_rows(detail::simd::active_level(),
+                                   upscaled.view(), error.view(), edge.view(),
+                                   lut.data(), out.view(), 0, out.height());
+  } else {
+    detail::preliminary_rows(upscaled.view(), error.view(), edge.view(),
+                             inv_mean, params, out.view(), 0, out.height());
+  }
   return out;
 }
 
@@ -103,8 +135,9 @@ ImageU8 overshoot_control(const ImageU8& original, const ImageF32& prelim,
     throw SharpenError("overshoot_control: image shapes differ");
   }
   ImageU8 out(original.width(), original.height());
-  detail::overshoot_rows(original.view(), prelim.view(), params, out.view(),
-                         0, out.height());
+  detail::simd::overshoot_rows(detail::simd::active_level(), original.view(),
+                               prelim.view(), params, out.view(), 0,
+                               out.height());
   return out;
 }
 

@@ -1,0 +1,192 @@
+// The fused, cache-tiled CPU path against the unfused stage-by-stage
+// reference: bit-identical pixels for every SIMD level, band size, thread
+// count, and cpu_simd x cpu_fuse combination, plus the structural
+// contract of the fused pipeline's stage report.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "image/generate.hpp"
+#include "image/image.hpp"
+#include "sharpen/detail/fused.hpp"
+#include "sharpen/detail/simd/dispatch.hpp"
+#include "sharpen/sharpen.hpp"
+
+namespace {
+
+namespace simd = sharp::detail::simd;
+namespace fused = sharp::detail::fused;
+using sharp::CpuPipeline;
+using sharp::ParallelCpuPipeline;
+using sharp::PipelineOptions;
+using sharp::SharpenParams;
+using sharp::img::ImageU8;
+
+bool same_pixels(const ImageU8& a, const ImageU8& b) {
+  return a.width() == b.width() && a.height() == b.height() &&
+         std::memcmp(a.data(), b.data(), a.view().pixel_count()) == 0;
+}
+
+PipelineOptions opts(bool use_simd, bool fuse, int band_rows = 0) {
+  PipelineOptions o;
+  o.cpu_simd = use_simd;
+  o.cpu_fuse = fuse;
+  o.cpu_band_rows = band_rows;
+  return o;
+}
+
+ImageU8 reference_output(const ImageU8& input, const SharpenParams& params) {
+  return CpuPipeline(simcl::intel_core_i5_3470(), opts(false, false))
+      .run(input, params)
+      .output;
+}
+
+TEST(FusedPipeline, AutoBandRowsStaysInRange) {
+  for (const int w : {16, 512, 4096, 1 << 20}) {
+    const int band = fused::auto_band_rows(w);
+    EXPECT_GE(band, 4) << w;
+    EXPECT_LE(band, 128) << w;
+  }
+}
+
+TEST(FusedPipeline, SobelReduceEqualsSobelThenReduce) {
+  const ImageU8 img = sharp::img::make_natural(64, 48, 5);
+  const auto edge = sharp::stages::sobel(img);
+  const std::int64_t expect = sharp::stages::reduce_sum(edge);
+  for (const auto level :
+       {simd::Level::kScalar, simd::Level::kSse41, simd::Level::kAvx2}) {
+    if (!simd::level_available(level)) {
+      continue;
+    }
+    EXPECT_EQ(fused::sobel_reduce(img.view(), 0, img.height(), level),
+              expect);
+    // Any row split sums to the same total (integer arithmetic is exact).
+    std::int64_t split = 0;
+    for (const int cut : {0, 1, 7, 20, img.height()}) {
+      split = fused::sobel_reduce(img.view(), 0, cut, level) +
+              fused::sobel_reduce(img.view(), cut, img.height(), level);
+      EXPECT_EQ(split, expect) << "cut at " << cut;
+    }
+  }
+}
+
+TEST(FusedPipeline, MatrixOfTogglesIsBitIdentical) {
+  const SharpenParams params;
+  for (const int w : {16, 64}) {
+    for (const int h : {16, 32}) {
+      const ImageU8 input = sharp::img::make_natural(w, h, 7);
+      const ImageU8 ref = reference_output(input, params);
+      for (const bool use_simd : {false, true}) {
+        for (const bool fuse : {false, true}) {
+          const auto out =
+              CpuPipeline(simcl::intel_core_i5_3470(), opts(use_simd, fuse))
+                  .run(input, params)
+                  .output;
+          EXPECT_TRUE(same_pixels(ref, out))
+              << w << "x" << h << " simd=" << use_simd << " fuse=" << fuse;
+        }
+      }
+    }
+  }
+}
+
+TEST(FusedPipeline, OddBandSizesAreBitIdentical) {
+  const SharpenParams params;
+  const ImageU8 input = sharp::img::make_natural(36, 52, 9);
+  const ImageU8 ref = reference_output(input, params);
+  for (const int band : {1, 3, 5, 7, 16, 1000}) {
+    const auto out =
+        CpuPipeline(simcl::intel_core_i5_3470(), opts(true, true, band))
+            .run(input, params)
+            .output;
+    EXPECT_TRUE(same_pixels(ref, out)) << "band_rows=" << band;
+  }
+}
+
+TEST(FusedPipeline, ForcedScalarFusedIsBitIdentical) {
+  const SharpenParams params;
+  const ImageU8 input = sharp::img::make_natural(48, 32, 13);
+  const ImageU8 ref = reference_output(input, params);
+  simd::force_level(simd::Level::kScalar);
+  const auto out = CpuPipeline(simcl::intel_core_i5_3470(), opts(true, true))
+                       .run(input, params)
+                       .output;
+  simd::force_level(std::nullopt);
+  EXPECT_TRUE(same_pixels(ref, out));
+}
+
+TEST(FusedPipeline, ParallelPipelineIsBitIdentical) {
+  const SharpenParams params;
+  const ImageU8 input = sharp::img::make_natural(52, 68, 21);
+  const ImageU8 ref = reference_output(input, params);
+  for (const int threads : {1, 2, 3, 5}) {
+    for (const bool fuse : {false, true}) {
+      const auto out = ParallelCpuPipeline(threads,
+                                           simcl::intel_core_i5_3470(),
+                                           opts(true, fuse, 7))
+                           .run(input, params)
+                           .output;
+      EXPECT_TRUE(same_pixels(ref, out))
+          << "threads=" << threads << " fuse=" << fuse;
+    }
+  }
+}
+
+TEST(FusedPipeline, ParameterSweepIsBitIdentical) {
+  const ImageU8 input = sharp::img::make_natural(32, 32, 3);
+  SharpenParams params;
+  for (const float amount : {0.5f, 1.5f, 3.0f}) {
+    for (const float gamma : {0.3f, 1.0f}) {
+      for (const float osc : {0.0f, 0.25f, 1.0f}) {
+        params.amount = amount;
+        params.gamma = gamma;
+        params.osc_gain = osc;
+        const ImageU8 ref = reference_output(input, params);
+        const auto out =
+            CpuPipeline(simcl::intel_core_i5_3470(), opts(true, true))
+                .run(input, params)
+                .output;
+        EXPECT_TRUE(same_pixels(ref, out))
+            << "amount=" << amount << " gamma=" << gamma << " osc=" << osc;
+      }
+    }
+  }
+}
+
+TEST(FusedPipeline, FusedRunKeepsStageReportContract) {
+  const ImageU8 input = sharp::img::make_natural(64, 64, 1);
+  const auto result =
+      CpuPipeline(simcl::intel_core_i5_3470(), opts(true, true)).run(input);
+  const std::vector<const char*> expected = {
+      sharp::stage::kDownscale, sharp::stage::kUpscale,
+      sharp::stage::kPError,    sharp::stage::kSobel,
+      sharp::stage::kReduction, sharp::stage::kStrength,
+      sharp::stage::kOvershoot};
+  ASSERT_EQ(result.stages.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(result.stages[i].stage, expected[i]);
+    EXPECT_GT(result.stages[i].modeled_us, 0.0);
+    EXPECT_GE(result.stages[i].wall_us, 0.0);
+  }
+  // Modeled stage costs are the unfused model's: fusion changes wall
+  // time, not the simulated-hardware timeline.
+  const auto unfused =
+      CpuPipeline(simcl::intel_core_i5_3470(), opts(false, false)).run(input);
+  ASSERT_EQ(unfused.stages.size(), result.stages.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_DOUBLE_EQ(result.stages[i].modeled_us,
+                     unfused.stages[i].modeled_us);
+  }
+  EXPECT_GT(result.mean_edge, 0.0);
+}
+
+TEST(FusedPipeline, InvalidBandRowsIsRejected) {
+  PipelineOptions o = opts(true, true, -1);
+  EXPECT_THROW(CpuPipeline(simcl::intel_core_i5_3470(), o),
+               sharp::SharpenError);
+  EXPECT_THROW(ParallelCpuPipeline(2, simcl::intel_core_i5_3470(), o),
+               sharp::SharpenError);
+}
+
+}  // namespace
