@@ -1,6 +1,6 @@
 // Serving throughput: sharp::SharpenService (pooled buffers, reused
 // strength LUT, double-buffered upload/compute/readback overlap) against
-// the naive per-frame sharpen_gpu() loop that re-creates the device state
+// the naive per-frame sharp::sharpen() loop that re-creates the device state
 // for every frame. All times are modeled device time; with several
 // workers the makespan is the busiest worker's timeline.
 #include <cstdint>
@@ -55,7 +55,7 @@ int main() {
   constexpr int kFrames = 16;
   sharp::report::banner(
       std::cout,
-      "Service throughput vs naive per-frame sharpen_gpu() loop");
+      "Service throughput vs naive per-frame sharp::sharpen() loop");
   sharp::report::Table t({"size", "mode", "total_ms", "fps", "speedup"});
   sharp::report::JsonArray json;
   for (const int size : {512, 1024, 2048}) {

@@ -46,8 +46,4 @@ class CpuPipeline {
   PipelineOptions options_;
 };
 
-/// One-call convenience API: sharpen on the CPU with default parameters.
-[[nodiscard]] img::ImageU8 sharpen_cpu(const img::ImageU8& input,
-                                       const SharpenParams& params = {});
-
 }  // namespace sharp

@@ -1,8 +1,7 @@
 // The unified entry point of the library: sharp::sharpen() with an
-// Execution descriptor selecting where and how the algorithm runs. The
-// historical free functions sharpen_cpu()/sharpen_gpu() are thin wrappers
-// over this (see the umbrella header for their deprecation notes), and
-// SharpenService workers are configured with the same Execution type.
+// Execution descriptor selecting where and how the algorithm runs.
+// SharpenService workers are configured with the same Execution type, and
+// the sharpen_rgb*() color wrappers layer on top of it.
 #pragma once
 
 #include "image/image.hpp"

@@ -46,12 +46,4 @@ class GpuPipeline {
   std::vector<simcl::Event> last_events_;
 };
 
-/// One-call convenience API mirroring sharpen_cpu().
-/// Deprecated: prefer sharp::sharpen() with Execution{.backend = kGpu}
-/// (see execution.hpp); this wrapper forwards there and is kept for
-/// source compatibility.
-[[nodiscard]] img::ImageU8 sharpen_gpu(
-    const img::ImageU8& input, const SharpenParams& params = {},
-    const PipelineOptions& options = PipelineOptions::optimized());
-
 }  // namespace sharp

@@ -42,9 +42,11 @@ class FrameRunner {
               simcl::CommandQueue& comp, simcl::CommandQueue& xfer,
               PipelineOptions options, int slots = 1);
 
-  /// Handle to an uploaded-but-not-computed frame.
+  /// Handle to an uploaded-but-not-computed frame. Holds no reference to
+  /// the input image: uploads copy at enqueue time, so the caller may
+  /// free or reuse the frame as soon as begin_frame() returns (the
+  /// service moves frames between threads while tickets are in flight).
   struct Ticket {
-    const img::ImageU8* input = nullptr;
     int w = 0;
     int h = 0;
     int slot = 0;
@@ -57,7 +59,6 @@ class FrameRunner {
   /// Enqueues the upload of `input` on the transfer queue.
   /// `charge_allocations` additionally charges the one-time flat buffer
   /// allocation cost into this frame (first frame of a pool's life).
-  /// `input` must stay alive until finish_frame().
   [[nodiscard]] Ticket begin_frame(const img::ImageU8& input,
                                    bool charge_allocations, int slot = 0);
 

@@ -7,7 +7,7 @@
 // technique as a library feature). Saturation behavior is configurable:
 // block the submitter, reject the request, or degrade it to the CPU
 // baseline in the submitting thread. Results are bit-identical to the
-// one-shot sharpen_gpu() path in every mode.
+// one-shot sharp::sharpen() path in every mode.
 #pragma once
 
 #include <chrono>

@@ -7,11 +7,8 @@
 //   sharp::VideoPipeline                  — frame loop with buffer reuse
 //   sharp::stages::*                      — individual algorithm stages
 //
-// Deprecated (kept for source compatibility; prefer sharp::sharpen()):
-//   sharp::sharpen_cpu(img)  == sharpen(img, {}, {.backend = Backend::kCpu})
-//   sharp::sharpen_gpu(img)  == sharpen(img, {}, {.backend = Backend::kGpu})
-// Both forward to the unified entry point and may be removed in a future
-// major version.
+// The historical sharpen_cpu()/sharpen_gpu() free functions were removed;
+// use sharp::sharpen() with Execution{.backend = Backend::kCpu / kGpu}.
 #pragma once
 
 #include "sharpen/color.hpp"            // IWYU pragma: export

@@ -1,7 +1,6 @@
 #include "sharpen/color.hpp"
 
-#include "sharpen/cpu_pipeline.hpp"
-#include "sharpen/gpu_pipeline.hpp"
+#include "sharpen/execution.hpp"
 
 namespace sharp {
 
@@ -9,14 +8,19 @@ img::ImageRgb sharpen_rgb(const img::ImageRgb& input,
                           const SharpenParams& params,
                           const PipelineOptions& options) {
   const img::ImageU8 y = img::luma(input);
-  const img::ImageU8 y_sharp = sharpen_gpu(y, params, options);
+  Execution exec;
+  exec.backend = Backend::kGpu;
+  exec.options = options;
+  const img::ImageU8 y_sharp = sharpen(y, params, exec);
   return img::apply_luma_delta(input, y, y_sharp);
 }
 
 img::ImageRgb sharpen_rgb_cpu(const img::ImageRgb& input,
                               const SharpenParams& params) {
   const img::ImageU8 y = img::luma(input);
-  const img::ImageU8 y_sharp = sharpen_cpu(y, params);
+  Execution exec;
+  exec.backend = Backend::kCpu;
+  const img::ImageU8 y_sharp = sharpen(y, params, exec);
   return img::apply_luma_delta(input, y, y_sharp);
 }
 

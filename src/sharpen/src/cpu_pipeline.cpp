@@ -7,7 +7,6 @@
 #include "sharpen/cpu_cost.hpp"
 #include "sharpen/detail/fused.hpp"
 #include "sharpen/detail/simd/rows.hpp"
-#include "sharpen/execution.hpp"
 #include "sharpen/stages.hpp"
 
 namespace sharp {
@@ -224,13 +223,6 @@ PipelineResult CpuPipeline::run_fused(const img::ImageU8& input,
   result.stages.push_back({sweep2[3].name, sweep2[3].modeled_us,
                            sweep2[3].wall_us});
   return result;
-}
-
-img::ImageU8 sharpen_cpu(const img::ImageU8& input,
-                         const SharpenParams& params) {
-  Execution exec;
-  exec.backend = Backend::kCpu;
-  return sharpen(input, params, exec);
 }
 
 }  // namespace sharp

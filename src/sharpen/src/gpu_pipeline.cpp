@@ -1,6 +1,5 @@
 #include "sharpen/gpu_pipeline.hpp"
 
-#include "sharpen/execution.hpp"
 #include "sharpen/service/buffer_pool.hpp"
 #include "sharpen/service/frame_runner.hpp"
 
@@ -32,15 +31,6 @@ PipelineResult GpuPipeline::run(const img::ImageU8& input,
   PipelineResult result = runner.finish_frame(ticket, params);
   last_events_ = q.events();
   return result;
-}
-
-img::ImageU8 sharpen_gpu(const img::ImageU8& input,
-                         const SharpenParams& params,
-                         const PipelineOptions& options) {
-  Execution exec;
-  exec.backend = Backend::kGpu;
-  exec.options = options;
-  return sharpen(input, params, exec);
 }
 
 }  // namespace sharp

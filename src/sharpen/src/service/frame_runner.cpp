@@ -99,7 +99,6 @@ FrameRunner::Ticket FrameRunner::begin_frame(const img::ImageU8& input,
   const PipelineOptions& opt = options_;
 
   Ticket t;
-  t.input = &input;
   t.w = w;
   t.h = h;
   t.slot = slot;

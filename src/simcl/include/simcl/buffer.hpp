@@ -21,16 +21,28 @@ namespace simcl {
 
 class Context;
 
+namespace detail {
+class ValidationState;
+}
+
 class Buffer {
  public:
   Buffer(const Buffer&) = delete;
   Buffer& operator=(const Buffer&) = delete;
   Buffer(Buffer&&) = default;
-  Buffer& operator=(Buffer&&) = default;
+  Buffer& operator=(Buffer&& o) noexcept;
+  ~Buffer();
 
   [[nodiscard]] std::size_t size() const { return bytes_.size(); }
   [[nodiscard]] std::uint64_t device_addr() const { return device_addr_; }
   [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// clReleaseMemObject analogue: frees the backing store and unregisters
+  /// the buffer from lifetime tracking. Any later use from a kernel or a
+  /// queue is a use-after-release (attributed in checked builds; fails as
+  /// an out-of-bounds/range error in all builds since size() becomes 0).
+  void release();
+  [[nodiscard]] bool released() const { return released_; }
 
   /// Raw backing store. Only the runtime (queue, engine, accessors) should
   /// touch this; host code goes through CommandQueue transfers or map().
@@ -52,9 +64,16 @@ class Buffer {
   friend class Context;
   Buffer(std::string name, std::size_t size, std::uint64_t device_addr);
 
+  /// Unregisters from lifetime tracking (no-op when not tracked).
+  void detach() noexcept;
+
   std::string name_;
   std::vector<std::byte> bytes_;
   std::uint64_t device_addr_ = 0;
+  bool released_ = false;
+  // Lifetime tracking (checked builds only; stays null otherwise).
+  std::shared_ptr<detail::ValidationState> vstate_;
+  std::uint64_t vid_ = 0;
 };
 
 }  // namespace simcl

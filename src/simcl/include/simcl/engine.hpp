@@ -30,9 +30,15 @@ class Engine {
   [[nodiscard]] const DeviceSpec& spec() const { return spec_; }
   [[nodiscard]] int num_threads() const { return num_threads_; }
 
+  /// Wires the owning context's validation state (null = validation off).
+  /// Set by Context in checked builds; launches snapshot the settings and
+  /// run under a per-launch ValidationLaunch when any checker is active.
+  void set_validation_state(detail::ValidationState* vs) { vstate_ = vs; }
+
  private:
   DeviceSpec spec_;
   int num_threads_;
+  detail::ValidationState* vstate_ = nullptr;
 };
 
 }  // namespace simcl

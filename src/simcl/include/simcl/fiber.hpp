@@ -19,7 +19,42 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
+
+// Sanitizer fiber support: ASan must be told about every stack switch
+// (fake-stack handling and the stack unpoisoning done on `throw` both
+// assume the current stack is known), and TSan needs one context per
+// fiber so cross-switch accesses get happens-before edges instead of
+// false races / state corruption. Detected for both GCC and Clang
+// spellings; all hooks compile to nothing in unsanitized builds.
+#if defined(__SANITIZE_ADDRESS__)
+#define SIMCL_FIBER_ASAN 1
+#endif
+#if defined(__SANITIZE_THREAD__)
+#define SIMCL_FIBER_TSAN 1
+#endif
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define SIMCL_FIBER_ASAN 1
+#endif
+#if __has_feature(thread_sanitizer)
+#define SIMCL_FIBER_TSAN 1
+#endif
+#endif
+#ifndef SIMCL_FIBER_ASAN
+#define SIMCL_FIBER_ASAN 0
+#endif
+#ifndef SIMCL_FIBER_TSAN
+#define SIMCL_FIBER_TSAN 0
+#endif
+
+#if SIMCL_FIBER_ASAN
+#include <sanitizer/common_interface_defs.h>
+#endif
+#if SIMCL_FIBER_TSAN
+#include <sanitizer/tsan_interface.h>
+#endif
 
 namespace simcl {
 
@@ -30,13 +65,15 @@ class Fiber {
  public:
   using Entry = void (*)(void* arg);
 
-  Fiber() = default;
+  Fiber();
   Fiber(const Fiber&) = delete;
   Fiber& operator=(const Fiber&) = delete;
   // Movable only while idle: reset() bakes `this` into the boot frame, so
-  // a fiber must not be moved between reset() and completion.
-  Fiber(Fiber&&) = default;
-  Fiber& operator=(Fiber&&) = default;
+  // a fiber must not be moved between reset() and completion. Out of line
+  // because the ucontext backend's state is an incomplete type here.
+  Fiber(Fiber&&) noexcept;
+  Fiber& operator=(Fiber&&) noexcept;
+  ~Fiber();
 
   /// (Re)initializes the fiber to run `entry(arg)` on `stack` (size bytes).
   /// The stack is owned by the caller and may be reused after finished().
@@ -58,13 +95,86 @@ class Fiber {
   static void trampoline(void* self);
 
  private:
+  // Sanitizer switch protocol, called around every context switch:
+  //   scheduler side:  san_before_resume(); <switch>; san_after_resume();
+  //   fiber side:      san_on_first_enter() at trampoline start, then
+  //                    san_before_yield(); <switch>; san_after_yield();
+  // Inline so unsanitized builds pay nothing on the hot switch path.
+  void san_before_resume() {
+#if SIMCL_FIBER_ASAN
+    __sanitizer_start_switch_fiber(&asan_sched_fake_, stack_, stack_size_);
+#endif
+#if SIMCL_FIBER_TSAN
+    if (tsan_sched_ == nullptr) {
+      tsan_sched_ = __tsan_get_current_fiber();
+    }
+    __tsan_switch_to_fiber(tsan_fiber_.handle, 0);
+#endif
+  }
+  void san_after_resume() {
+#if SIMCL_FIBER_ASAN
+    __sanitizer_finish_switch_fiber(asan_sched_fake_, nullptr, nullptr);
+#endif
+  }
+  void san_on_first_enter() {
+#if SIMCL_FIBER_ASAN
+    __sanitizer_finish_switch_fiber(nullptr, &asan_sched_bottom_,
+                                    &asan_sched_size_);
+#endif
+  }
+  void san_before_yield() {
+#if SIMCL_FIBER_ASAN
+    // A finishing fiber passes nullptr so ASan frees its fake stack.
+    __sanitizer_start_switch_fiber(finished_ ? nullptr : &asan_fiber_fake_,
+                                   asan_sched_bottom_, asan_sched_size_);
+#endif
+#if SIMCL_FIBER_TSAN
+    __tsan_switch_to_fiber(tsan_sched_, 0);
+#endif
+  }
+  void san_after_yield() {
+#if SIMCL_FIBER_ASAN
+    __sanitizer_finish_switch_fiber(asan_fiber_fake_, &asan_sched_bottom_,
+                                    &asan_sched_size_);
+#endif
+  }
+  void san_reset();  // (re)create per-fiber sanitizer contexts
 
   void* fiber_sp_ = nullptr;      // saved SP of the fiber (asm backend)
   void* scheduler_sp_ = nullptr;  // saved SP of the scheduler (asm backend)
   Entry entry_ = nullptr;
   void* arg_ = nullptr;
+  void* stack_ = nullptr;
+  std::size_t stack_size_ = 0;
   bool started_ = false;
   bool finished_ = false;
+
+#if SIMCL_FIBER_ASAN
+  void* asan_fiber_fake_ = nullptr;   // fiber's fake stack while parked
+  void* asan_sched_fake_ = nullptr;   // scheduler's, while the fiber runs
+  const void* asan_sched_bottom_ = nullptr;
+  std::size_t asan_sched_size_ = 0;
+#endif
+#if SIMCL_FIBER_TSAN
+  // Owning wrapper so Fiber stays default-movable without leaking or
+  // double-destroying the TSan context (destructor in fiber.cpp).
+  struct TsanFiberHandle {
+    void* handle = nullptr;
+    TsanFiberHandle() = default;
+    TsanFiberHandle(const TsanFiberHandle&) = delete;
+    TsanFiberHandle& operator=(const TsanFiberHandle&) = delete;
+    TsanFiberHandle(TsanFiberHandle&& o) noexcept : handle(o.handle) {
+      o.handle = nullptr;
+    }
+    TsanFiberHandle& operator=(TsanFiberHandle&& o) noexcept {
+      std::swap(handle, o.handle);
+      return *this;
+    }
+    ~TsanFiberHandle();
+  };
+  TsanFiberHandle tsan_fiber_;
+  void* tsan_sched_ = nullptr;
+#endif
 
 #if !defined(SIMCL_ASM_FIBER)
   struct UcontextState;

@@ -14,6 +14,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,10 @@
 namespace simcl {
 
 class Context;
+
+namespace detail {
+class ValidationState;
+}
 
 /// Texel formats (CL_R with UNSIGNED_INT8 / SIGNED_INT32 / FLOAT).
 enum class ChannelFormat : std::uint8_t { kR_U8, kR_I32, kR_F32 };
@@ -48,9 +53,14 @@ struct Sampler {
 class Image2D {
  public:
   Image2D(Image2D&&) = default;
-  Image2D& operator=(Image2D&&) = default;
+  Image2D& operator=(Image2D&& o) noexcept;
   Image2D(const Image2D&) = delete;
   Image2D& operator=(const Image2D&) = delete;
+  ~Image2D();
+
+  /// clReleaseMemObject analogue (see Buffer::release).
+  void release();
+  [[nodiscard]] bool released() const { return released_; }
 
   [[nodiscard]] int width() const { return width_; }
   [[nodiscard]] int height() const { return height_; }
@@ -70,12 +80,18 @@ class Image2D {
   Image2D(std::string name, ChannelFormat format, int width, int height,
           std::uint64_t device_addr);
 
+  void detach() noexcept;
+
   std::string name_;
   ChannelFormat format_ = ChannelFormat::kR_U8;
   int width_ = 0;
   int height_ = 0;
   std::vector<std::byte> bytes_;
   std::uint64_t device_addr_ = 0;
+  bool released_ = false;
+  // Lifetime tracking (checked builds only; stays null otherwise).
+  std::shared_ptr<detail::ValidationState> vstate_;
+  std::uint64_t vid_ = 0;
 };
 
 }  // namespace simcl

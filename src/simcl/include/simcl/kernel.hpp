@@ -19,6 +19,11 @@
 // transaction counters + the per-group L1 cache simulation that drive the
 // cost model. `it.alu(n)` reports arithmetic work; `it.barrier()` is the
 // OpenCL work-group barrier and requires `uses_barriers = true`.
+//
+// In SIMCL_CHECKED builds the accessors additionally feed the validation
+// layer (validation.hpp): attributed out-of-bounds reports, the
+// inter-work-item race detector and use-after-release checks. All of those
+// hooks compile away in unchecked builds.
 #pragma once
 
 #include <atomic>
@@ -32,6 +37,7 @@
 #include "simcl/error.hpp"
 #include "simcl/image2d.hpp"
 #include "simcl/stats.hpp"
+#include "simcl/validation.hpp"
 #include "simcl/vec.hpp"
 
 namespace simcl {
@@ -52,6 +58,8 @@ struct GroupState {
   LineCacheSim cache;
   KernelStats stats;
   std::vector<std::byte> arena;
+  /// Validation context of the current launch (null = validation off).
+  ValidationLaunch* vl = nullptr;
 
   struct LocalAlloc {
     std::size_t offset;
@@ -129,17 +137,39 @@ class GlobalPtr {
  private:
   friend class WorkItem;
   GlobalPtr(Value* data, std::size_t count, std::uint64_t dev_addr,
-            detail::GroupState* gs)
-      : data_(data), count_(count), dev_addr_(dev_addr), gs_(gs) {}
+            detail::GroupState* gs, [[maybe_unused]] const WorkItem* wi)
+      : data_(data),
+        count_(count),
+        dev_addr_(dev_addr),
+        gs_(gs)
+#if SIMCL_CHECKED
+        ,
+        wi_(wi)
+#endif
+  {
+  }
 
   [[nodiscard]] std::uint64_t addr(std::size_t i) const {
     return dev_addr_ + i * sizeof(Value);
   }
 
+  // Overflow-safe: `i` may wrap from a negative index computation, so the
+  // naive `i + n > count_` form would pass and fault on the access.
   void check(std::size_t i, std::size_t n) const {
-    if (i + n > count_) {
-      throw KernelFault("GlobalPtr: out-of-bounds access");
+    if (i > count_ || n > count_ - i) {
+      fail_bounds(i, n);
     }
+  }
+
+  [[noreturn]] void fail_bounds([[maybe_unused]] std::size_t i,
+                                [[maybe_unused]] std::size_t n) const {
+#if SIMCL_CHECKED
+    if (gs_->vl != nullptr && gs_->vl->bounds()) {
+      gs_->vl->fail_oob(iref(), dev_addr_, i * sizeof(Value),
+                        n * sizeof(Value), count_ * sizeof(Value));
+    }
+#endif
+    throw KernelFault("GlobalPtr: out-of-bounds access");
   }
 
   void note_load(std::size_t bytes, std::uint64_t a) const {
@@ -147,6 +177,11 @@ class GlobalPtr {
     gs_->stats.global_load_bytes += bytes;
     gs_->stats.l1_miss_lines +=
         gs_->cache.access(a, static_cast<std::uint32_t>(bytes));
+#if SIMCL_CHECKED
+    if (gs_->vl != nullptr && gs_->vl->races()) {
+      gs_->vl->record_access(iref(), dev_addr_, a - dev_addr_, bytes, false);
+    }
+#endif
   }
 
   void note_store(std::size_t bytes, std::uint64_t a) const {
@@ -154,12 +189,21 @@ class GlobalPtr {
     gs_->stats.global_store_bytes += bytes;
     gs_->stats.l1_miss_lines +=
         gs_->cache.access(a, static_cast<std::uint32_t>(bytes));
+#if SIMCL_CHECKED
+    if (gs_->vl != nullptr && gs_->vl->races()) {
+      gs_->vl->record_access(iref(), dev_addr_, a - dev_addr_, bytes, true);
+    }
+#endif
   }
 
   Value* data_;
   std::size_t count_;
   std::uint64_t dev_addr_;
   detail::GroupState* gs_;
+#if SIMCL_CHECKED
+  [[nodiscard]] detail::ItemRef iref() const;
+  const WorkItem* wi_;
+#endif
 };
 
 /// Typed accessor for image2d_t objects: sampled reads (read_imagef /
@@ -191,6 +235,12 @@ class ImagePtr {
                           static_cast<std::size_t>(x);
     gs_->stats.l1_miss_lines += gs_->cache.access(
         dev_addr_ + i * sizeof(Value), sizeof(Value));
+#if SIMCL_CHECKED
+    if (gs_->vl != nullptr && gs_->vl->races()) {
+      gs_->vl->record_access(iref(), dev_addr_, i * sizeof(Value),
+                             sizeof(Value), false);
+    }
+#endif
     return data_[i];
   }
 
@@ -199,6 +249,11 @@ class ImagePtr {
     requires(!std::is_const_v<T>)
   {
     if (x < 0 || x >= w_ || y < 0 || y >= h_) {
+#if SIMCL_CHECKED
+      if (gs_->vl != nullptr && gs_->vl->bounds()) {
+        gs_->vl->fail_image_oob(iref(), dev_addr_, x, y, w_, h_);
+      }
+#endif
       throw KernelFault("ImagePtr::write: coordinates out of range");
     }
     const std::size_t i = static_cast<std::size_t>(y) *
@@ -208,20 +263,40 @@ class ImagePtr {
     gs_->stats.global_store_bytes += sizeof(Value);
     gs_->stats.l1_miss_lines += gs_->cache.access(
         dev_addr_ + i * sizeof(Value), sizeof(Value));
+#if SIMCL_CHECKED
+    if (gs_->vl != nullptr && gs_->vl->races()) {
+      gs_->vl->record_access(iref(), dev_addr_, i * sizeof(Value),
+                             sizeof(Value), true);
+    }
+#endif
     data_[i] = v;
   }
 
  private:
   friend class WorkItem;
   ImagePtr(Value* data, int w, int h, std::uint64_t dev_addr,
-           detail::GroupState* gs)
-      : data_(data), w_(w), h_(h), dev_addr_(dev_addr), gs_(gs) {}
+           detail::GroupState* gs, [[maybe_unused]] const WorkItem* wi)
+      : data_(data),
+        w_(w),
+        h_(h),
+        dev_addr_(dev_addr),
+        gs_(gs)
+#if SIMCL_CHECKED
+        ,
+        wi_(wi)
+#endif
+  {
+  }
 
   Value* data_;
   int w_;
   int h_;
   std::uint64_t dev_addr_;
   detail::GroupState* gs_;
+#if SIMCL_CHECKED
+  [[nodiscard]] detail::ItemRef iref() const;
+  const WorkItem* wi_;
+#endif
 };
 
 /// Typed accessor for work-group local (LDS) memory.
@@ -318,22 +393,33 @@ class WorkItem {
   /// it is free on hardware. Requires Kernel::uses_barriers.
   void wavefront_fence();
 
+  /// Barrier/fence epoch of this work-item; the race detector's ordering
+  /// token (see validation.hpp).
+  [[nodiscard]] std::uint32_t validation_epoch() const {
+    return validation_epoch_;
+  }
+
   /// Global-memory accessor for a buffer. Use `global<const T>` for
   /// read-only access.
   template <typename T>
   [[nodiscard]] GlobalPtr<T> global(Buffer& buf) const {
     using Value = std::remove_const_t<T>;
+    note_validation(buf.device_addr(), buf.name(), buf.size(),
+                    buf.released());
     return GlobalPtr<T>(reinterpret_cast<Value*>(buf.backing()),
-                        buf.size() / sizeof(Value), buf.device_addr(), gs_);
+                        buf.size() / sizeof(Value), buf.device_addr(), gs_,
+                        this);
   }
   template <typename T>
   [[nodiscard]] GlobalPtr<T> global(const Buffer& buf) const
     requires(std::is_const_v<T>)
   {
     using Value = std::remove_const_t<T>;
+    note_validation(buf.device_addr(), buf.name(), buf.size(),
+                    buf.released());
     return GlobalPtr<T>(
         reinterpret_cast<Value*>(const_cast<std::byte*>(buf.backing())),
-        buf.size() / sizeof(Value), buf.device_addr(), gs_);
+        buf.size() / sizeof(Value), buf.device_addr(), gs_, this);
   }
 
   /// Image accessor; T's size must match the image's texel format (e.g.
@@ -344,8 +430,13 @@ class WorkItem {
     if (sizeof(Value) != img.pixel_bytes()) {
       throw KernelFault("WorkItem::image: type does not match texel format");
     }
+    note_validation(img.device_addr(), img.name(), img.byte_size(),
+                    img.released());
+    if (img.released()) {
+      throw KernelFault("WorkItem::image: image was released");
+    }
     return ImagePtr<T>(reinterpret_cast<Value*>(img.backing()), img.width(),
-                       img.height(), img.device_addr(), gs_);
+                       img.height(), img.device_addr(), gs_, this);
   }
   template <typename T>
   [[nodiscard]] ImagePtr<T> image(const Image2D& img) const
@@ -355,9 +446,14 @@ class WorkItem {
     if (sizeof(Value) != img.pixel_bytes()) {
       throw KernelFault("WorkItem::image: type does not match texel format");
     }
+    note_validation(img.device_addr(), img.name(), img.byte_size(),
+                    img.released());
+    if (img.released()) {
+      throw KernelFault("WorkItem::image: image was released");
+    }
     return ImagePtr<T>(
         reinterpret_cast<Value*>(const_cast<std::byte*>(img.backing())),
-        img.width(), img.height(), img.device_addr(), gs_);
+        img.width(), img.height(), img.device_addr(), gs_, this);
   }
 
   /// Work-group local array of `n` elements of T. All work-items of the
@@ -388,6 +484,21 @@ class WorkItem {
   friend class Engine;
   friend struct detail::WorkItemInit;
 
+  /// Lifetime check + object registration for violation attribution and
+  /// the race detector. Compiles to nothing in unchecked builds.
+  void note_validation([[maybe_unused]] std::uint64_t dev_addr,
+                       [[maybe_unused]] const std::string& name,
+                       [[maybe_unused]] std::size_t bytes,
+                       [[maybe_unused]] bool released) const {
+#if SIMCL_CHECKED
+    if (gs_->vl != nullptr) {
+      gs_->vl->note_object(
+          detail::ItemRef{global_id(0), global_id(1), validation_epoch_},
+          dev_addr, name, bytes, released);
+    }
+#endif
+  }
+
   detail::GroupState* gs_ = nullptr;
   Fiber* fiber_ = nullptr;  // null in the barrier-free fast path
   int local_id_x_ = 0, local_id_y_ = 0;
@@ -395,7 +506,19 @@ class WorkItem {
   int local_size_x_ = 1, local_size_y_ = 1;
   int num_groups_x_ = 1, num_groups_y_ = 1;
   std::size_t local_alloc_cursor_ = 0;
+  std::uint32_t validation_epoch_ = 0;
 };
+
+#if SIMCL_CHECKED
+template <typename T>
+detail::ItemRef GlobalPtr<T>::iref() const {
+  return {wi_->global_id(0), wi_->global_id(1), wi_->validation_epoch()};
+}
+template <typename T>
+detail::ItemRef ImagePtr<T>::iref() const {
+  return {wi_->global_id(0), wi_->global_id(1), wi_->validation_epoch()};
+}
+#endif
 
 /// A compiled kernel: name (for profiling), execution attributes and body.
 struct Kernel {

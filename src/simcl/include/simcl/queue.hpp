@@ -73,6 +73,11 @@ class Context {
  public:
   explicit Context(DeviceSpec device, DeviceSpec host = intel_core_i5_3470(),
                    int num_threads = 1);
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+  /// Reports objects still registered with lifetime tracking as teardown
+  /// leaks (validation::teardown_leaks(); destructors cannot throw).
+  ~Context();
 
   [[nodiscard]] Buffer create_buffer(std::string name, std::size_t bytes);
   [[nodiscard]] Image2D create_image2d(std::string name,
@@ -84,10 +89,23 @@ class Context {
   [[nodiscard]] const CostModel& cost_model() const { return cost_; }
   [[nodiscard]] Engine& engine() { return engine_; }
 
+  // --- validation (checked builds; see validation.hpp) ---------------------
+  /// Initial settings come from $SIMCL_CHECKED at construction; this
+  /// overrides them for objects/launches of this context. No-op in
+  /// unchecked builds (checked_build() == false).
+  void set_validation(ValidationSettings s);
+  [[nodiscard]] ValidationSettings validation() const;
+  /// Throws ValidationError{kLeak} when lifetime tracking is on and
+  /// buffers/images/queues of this context are still registered (i.e. not
+  /// yet released/destroyed) — the throwing pre-teardown leak check.
+  void check_leaks() const;
+
  private:
+  friend class CommandQueue;
   CostModel cost_;
   Engine engine_;
   std::uint64_t next_device_addr_ = 0x1000;
+  std::shared_ptr<detail::ValidationState> vstate_;
 };
 
 /// Geometry of a clEnqueueWriteBufferRect-style transfer: `rows` rows of
@@ -143,6 +161,12 @@ class Mapping {
 class CommandQueue {
  public:
   explicit CommandQueue(Context& ctx, QueueMode mode = QueueMode::kInOrder);
+  CommandQueue(const CommandQueue&) = delete;
+  CommandQueue& operator=(const CommandQueue&) = delete;
+  ~CommandQueue();
+
+  /// Forwards to Context::set_validation (the cl-style entry point).
+  void set_validation(ValidationSettings s);
 
   // --- transfers -----------------------------------------------------------
   Event enqueue_write(Buffer& dst, const void* src, std::size_t bytes,
@@ -218,6 +242,14 @@ class CommandQueue {
   Event& push_event(std::string name, CommandKind kind, double duration_us,
                     const WaitList& waits = {});
 
+  // Lifetime checks at the top of every enqueue. Both reduce to a single
+  // null test when validation is off (vstate_ is never set in unchecked
+  // builds). check_alive must come first: it is the only check safe to
+  // run when the context has been destroyed (ctx_ dangles then).
+  void check_alive(const char* what) const;
+  void check_object(const char* what, const Buffer& buf) const;
+  void check_object(const char* what, const Image2D& img) const;
+
   /// Hardware lanes an out-of-order queue schedules onto.
   enum Lane : std::size_t { kLaneCompute, kLaneH2D, kLaneD2H, kLaneHost,
                             kLaneCount };
@@ -229,6 +261,9 @@ class CommandQueue {
   double lane_avail_[kLaneCount] = {0.0, 0.0, 0.0, 0.0};
   std::string phase_;
   std::vector<Event> events_;
+  // Lifetime tracking (checked builds only; stays null otherwise).
+  std::shared_ptr<detail::ValidationState> vstate_;
+  std::uint64_t vid_ = 0;
 };
 
 }  // namespace simcl

@@ -17,4 +17,5 @@
 #include "simcl/ndrange.hpp"    // IWYU pragma: export
 #include "simcl/queue.hpp"      // IWYU pragma: export
 #include "simcl/stats.hpp"      // IWYU pragma: export
+#include "simcl/validation.hpp" // IWYU pragma: export
 #include "simcl/vec.hpp"        // IWYU pragma: export

@@ -1,0 +1,214 @@
+// Checked-execution (validation) layer for the simcl runtime.
+//
+// Three independent checkers, togglable per Context (or via the
+// SIMCL_CHECKED environment variable, read at Context construction):
+//
+//   * bounds   — accessor out-of-bounds faults are attributed to the
+//                offending kernel, work-item id and byte offset instead of
+//                the bare KernelFault of unchecked builds.
+//   * races    — an inter-work-item write/write and read/write race
+//                detector over global buffers and images, built on
+//                per-byte shadow cells recorded across one NDRange launch.
+//                Work-items of different groups never synchronize, so any
+//                overlap is a race; items of the same group are ordered
+//                only across a barrier()/wavefront_fence() (tracked as a
+//                per-item epoch). Atomics are synchronization and exempt.
+//                Local (LDS) memory is out of scope.
+//   * lifetime — object-lifetime tracking: use of a released buffer/image
+//                from a kernel or a queue, enqueue on a queue whose
+//                context died, and buffers/images/queues still registered
+//                when the context tears down (reported, since destructors
+//                cannot throw, via validation::teardown_leaks()).
+//
+// The kernel-side hooks compile away entirely when the library is built
+// with SIMCL_CHECKED=0 (the cmake option of the same name); host-side
+// queue checks reduce to a single null-pointer test. Violations surface as
+// ValidationError, carrying a structured Violation record.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "simcl/error.hpp"
+
+#ifndef SIMCL_CHECKED
+#define SIMCL_CHECKED 0
+#endif
+
+namespace simcl {
+
+/// True when the library was compiled with validation hooks (cmake option
+/// SIMCL_CHECKED). Runtime settings have no effect in unchecked builds.
+[[nodiscard]] constexpr bool checked_build() { return SIMCL_CHECKED != 0; }
+
+/// Which checkers are active. All default off; the SIMCL_CHECKED
+/// environment variable ("1"/"on"/"full", "0"/"off", or a comma list of
+/// "bounds", "races", "lifetime") provides the initial per-context value.
+struct ValidationSettings {
+  bool bounds = false;
+  bool races = false;
+  bool lifetime = false;
+
+  [[nodiscard]] bool any() const { return bounds || races || lifetime; }
+  [[nodiscard]] static ValidationSettings full() {
+    return {.bounds = true, .races = true, .lifetime = true};
+  }
+  /// Parses an environment-variable-style spec; nullptr/empty = all off.
+  /// Throws InvalidArgument on an unknown token.
+  [[nodiscard]] static ValidationSettings parse(const char* spec);
+  [[nodiscard]] static ValidationSettings from_env();
+};
+
+enum class ViolationKind : std::uint8_t {
+  kOutOfBounds,
+  kWriteWriteRace,
+  kReadWriteRace,
+  kUseAfterRelease,
+  kDeadQueue,
+  kLeak,
+};
+
+[[nodiscard]] const char* to_string(ViolationKind kind);
+
+/// Structured description of one validation failure.
+struct Violation {
+  ViolationKind kind = ViolationKind::kOutOfBounds;
+  std::string kernel;           ///< empty for host-side (queue) violations
+  std::string object;           ///< buffer / image / queue name
+  std::size_t byte_offset = 0;  ///< first offending byte (bounds / races)
+  std::size_t bytes = 0;        ///< access width (bounds/races), size (leak)
+  int global_id[2] = {-1, -1};  ///< offending work-item (kernel-side only)
+  int other_id[2] = {-1, -1};   ///< racing partner (races only)
+  std::string message;          ///< fully formatted report
+};
+
+/// Exception thrown by every checker (kernel- and host-side).
+class ValidationError : public Error {
+ public:
+  explicit ValidationError(Violation v)
+      : Error(v.message), violation_(std::move(v)) {}
+  [[nodiscard]] const Violation& violation() const { return violation_; }
+
+ private:
+  Violation violation_;
+};
+
+namespace validation {
+
+/// Objects reported as unreleased at context teardown since process start
+/// (or the last reset). ~Context cannot throw, so teardown leaks land here
+/// and on stderr; use Context::check_leaks() for a throwing check.
+[[nodiscard]] std::size_t teardown_leaks();
+/// Formatted report of the most recent teardown with leaks ("" if none).
+[[nodiscard]] std::string last_teardown_report();
+void reset_teardown_stats();
+
+}  // namespace validation
+
+namespace detail {
+
+/// Identity of the accessing work-item, captured at the access site.
+struct ItemRef {
+  int gx = 0;
+  int gy = 0;
+  std::uint32_t epoch = 0;  ///< barriers/fences passed so far
+};
+
+/// Per-byte shadow state for the race detector. Item ids are stored as
+/// flat global id + 1 (0 = no access yet).
+struct ShadowCell {
+  std::uint32_t writer = 0;
+  std::uint32_t writer_epoch = 0;
+  std::uint32_t reader = 0;  ///< most recent reader (single-reader approx.)
+  std::uint32_t reader_epoch = 0;
+};
+
+/// Per-context registry behind lifetime tracking and runtime settings.
+/// Shared (via shared_ptr) by the Context, its queues and its objects so
+/// that objects outliving the context can still unregister safely.
+class ValidationState {
+ public:
+  [[nodiscard]] ValidationSettings snapshot() const;
+  void set(ValidationSettings s);
+
+  [[nodiscard]] std::uint64_t on_create(const char* kind, const std::string& name);
+  void on_destroy(std::uint64_t id);
+  void mark_context_dead();
+  [[nodiscard]] bool context_alive() const;
+  /// Still-registered objects, each formatted as `kind 'name'`.
+  [[nodiscard]] std::vector<std::string> live_objects() const;
+
+ private:
+  mutable std::mutex mu_;
+  ValidationSettings settings_;
+  bool alive_ = true;
+  std::uint64_t next_id_ = 1;
+  std::map<std::uint64_t, std::string> live_;
+};
+
+/// Per-NDRange-launch validation context: object registry for violation
+/// attribution plus the shadow memory of the race detector. Created by
+/// Engine::run when any checker is active and shared by all group
+/// executors of the launch (thread-safe).
+class ValidationLaunch {
+ public:
+  ValidationLaunch(std::string kernel, ValidationSettings settings,
+                   int global_size_x, int local_size_x, int local_size_y);
+
+  [[nodiscard]] bool bounds() const { return settings_.bounds; }
+  [[nodiscard]] bool races() const { return settings_.races; }
+  [[nodiscard]] bool lifetime() const { return settings_.lifetime; }
+  [[nodiscard]] const std::string& kernel() const { return kernel_; }
+
+  /// Registers a buffer/image the kernel obtained an accessor for; fails
+  /// with kUseAfterRelease when lifetime checking is on and the object was
+  /// released.
+  void note_object(const ItemRef& it, std::uint64_t dev_addr,
+                   const std::string& name, std::size_t bytes, bool released);
+  /// Race-detector entry: byte range [offset, offset+bytes) of the object
+  /// at dev_addr accessed by `it`. Throws on a detected race.
+  void record_access(const ItemRef& it, std::uint64_t dev_addr,
+                     std::size_t offset, std::size_t bytes, bool is_write);
+  [[noreturn]] void fail_oob(const ItemRef& it, std::uint64_t dev_addr,
+                             std::size_t byte_offset, std::size_t access_bytes,
+                             std::size_t object_bytes) const;
+  [[noreturn]] void fail_image_oob(const ItemRef& it, std::uint64_t dev_addr,
+                                   int x, int y, int w, int h) const;
+
+ private:
+  struct ObjectShadow {
+    std::string name;
+    std::size_t bytes = 0;
+    std::vector<ShadowCell> cells;  ///< sized lazily on first access
+  };
+
+  [[nodiscard]] std::uint32_t flat(const ItemRef& it) const {
+    return static_cast<std::uint32_t>(it.gy) *
+               static_cast<std::uint32_t>(gsx_) +
+           static_cast<std::uint32_t>(it.gx);
+  }
+  [[nodiscard]] bool same_group(std::uint32_t a, std::uint32_t b) const;
+  [[nodiscard]] std::string object_name(std::uint64_t dev_addr) const;
+  [[noreturn]] void fail_race(ViolationKind kind, const ItemRef& it,
+                              const ObjectShadow& os, std::size_t offset,
+                              std::uint32_t other_flat) const;
+
+  std::string kernel_;
+  ValidationSettings settings_;
+  int gsx_;
+  int lsx_;
+  int lsy_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, ObjectShadow> objects_;
+};
+
+/// Records a teardown-time leak report (stderr + validation:: counters).
+void report_teardown_leaks(const std::vector<std::string>& objects);
+
+}  // namespace detail
+}  // namespace simcl

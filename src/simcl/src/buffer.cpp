@@ -1,5 +1,7 @@
 #include "simcl/buffer.hpp"
 
+#include "simcl/validation.hpp"
+
 namespace simcl {
 
 Buffer::Buffer(std::string name, std::size_t size, std::uint64_t device_addr)
@@ -8,6 +10,35 @@ Buffer::Buffer(std::string name, std::size_t size, std::uint64_t device_addr)
     throw InvalidArgument("Buffer: zero-sized allocation");
   }
   bytes_.resize(size);
+}
+
+Buffer& Buffer::operator=(Buffer&& o) noexcept {
+  if (this != &o) {
+    detach();  // the overwritten buffer's registration must not leak
+    name_ = std::move(o.name_);
+    bytes_ = std::move(o.bytes_);
+    device_addr_ = o.device_addr_;
+    released_ = o.released_;
+    vstate_ = std::move(o.vstate_);
+    vid_ = o.vid_;
+  }
+  return *this;
+}
+
+Buffer::~Buffer() { detach(); }
+
+void Buffer::release() {
+  released_ = true;
+  bytes_.clear();
+  bytes_.shrink_to_fit();
+  detach();
+}
+
+void Buffer::detach() noexcept {
+  if (vstate_ != nullptr) {
+    vstate_->on_destroy(vid_);
+    vstate_.reset();
+  }
 }
 
 }  // namespace simcl

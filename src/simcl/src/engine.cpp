@@ -17,6 +17,7 @@ void WorkItem::barrier() {
   if (flat_local_id() == 0) {
     gs_->stats.barrier_events += 1;
   }
+  ++validation_epoch_;
   fiber_->yield();
 }
 
@@ -25,6 +26,7 @@ void WorkItem::wavefront_fence() {
     throw KernelFault(
         "wavefront_fence() called in a kernel not declared uses_barriers");
   }
+  ++validation_epoch_;
   fiber_->yield();
 }
 
@@ -44,6 +46,7 @@ struct WorkItemInit {
     it.num_groups_x_ = ngx;
     it.num_groups_y_ = ngy;
     it.local_alloc_cursor_ = 0;
+    it.validation_epoch_ = 0;
   }
 };
 
@@ -73,12 +76,13 @@ void fiber_entry(void* arg) {
 class GroupExecutor {
  public:
   GroupExecutor(const DeviceSpec& spec, const Kernel& kernel,
-                const LaunchConfig& cfg)
+                const LaunchConfig& cfg, detail::ValidationLaunch* vl)
       : spec_(spec),
         kernel_(kernel),
         cfg_(cfg),
         gs_(spec.l1_bytes, static_cast<std::size_t>(spec.cache_line_bytes),
             spec.local_mem_bytes == 0 ? 1 : spec.local_mem_bytes) {
+    gs_.vl = vl;
     if (kernel.uses_barriers) {
       const std::size_t n = cfg.local.count();
       stacks_ = std::make_unique<FiberStackPool>(n);
@@ -184,8 +188,22 @@ KernelStats Engine::run(const Kernel& kernel, const LaunchConfig& cfg) {
   const std::size_t threads =
       std::min<std::size_t>(static_cast<std::size_t>(num_threads_), ngroups);
 
+  // One validation context per launch, shared by every group executor
+  // (thread-safe). Null when validation is off — the accessors' hot-path
+  // hooks then reduce to a pointer test (and to nothing in unchecked
+  // builds, where vstate_ is never set).
+  std::unique_ptr<detail::ValidationLaunch> vl;
+  if (vstate_ != nullptr) {
+    const ValidationSettings vs = vstate_->snapshot();
+    if (vs.any()) {
+      vl = std::make_unique<detail::ValidationLaunch>(
+          kernel.name, vs, static_cast<int>(cfg.global.x),
+          static_cast<int>(cfg.local.x), static_cast<int>(cfg.local.y));
+    }
+  }
+
   if (threads <= 1) {
-    GroupExecutor exec(spec_, kernel, cfg);
+    GroupExecutor exec(spec_, kernel, cfg, vl.get());
     for (std::size_t g = 0; g < ngroups; ++g) {
       exec.run_group(g % ngx, g / ngx);
     }
@@ -199,7 +217,7 @@ KernelStats Engine::run(const Kernel& kernel, const LaunchConfig& cfg) {
   for (std::size_t t = 0; t < threads; ++t) {
     pool.emplace_back([&, t] {
       try {
-        GroupExecutor exec(spec_, kernel, cfg);
+        GroupExecutor exec(spec_, kernel, cfg, vl.get());
         for (std::size_t g = t; g < ngroups; g += threads) {
           exec.run_group(g % ngx, g / ngx);
         }

@@ -41,6 +41,10 @@ void Fiber::reset(void* stack, std::size_t stack_size, Entry entry,
   started_ = false;
   finished_ = false;
 
+  stack_ = stack;
+  stack_size_ = stack_size;
+  san_reset();
+
   auto top = reinterpret_cast<std::uintptr_t>(stack) + stack_size;
   top &= ~std::uintptr_t{15};  // 16-byte align the logical stack top
   // Placing the frame at top-56 leaves rsp % 16 == 0 at the `call` in
@@ -58,13 +62,20 @@ void Fiber::resume() {
     throw KernelFault("Fiber::resume: fiber already finished");
   }
   started_ = true;
+  san_before_resume();
   simcl_fiber_switch(&scheduler_sp_, fiber_sp_);
+  san_after_resume();
 }
 
-void Fiber::yield() { simcl_fiber_switch(&fiber_sp_, scheduler_sp_); }
+void Fiber::yield() {
+  san_before_yield();
+  simcl_fiber_switch(&fiber_sp_, scheduler_sp_);
+  san_after_yield();
+}
 
 void Fiber::trampoline(void* self_ptr) {
   auto* self = static_cast<Fiber*>(self_ptr);
+  self->san_on_first_enter();
   self->entry_(self->arg_);
   self->finished_ = true;
   self->yield();
@@ -101,8 +112,11 @@ void Fiber::reset(void* stack, std::size_t stack_size, Entry entry,
   }
   entry_ = entry;
   arg_ = arg;
+  stack_ = stack;
+  stack_size_ = stack_size;
   started_ = false;
   finished_ = false;
+  san_reset();
   if (!uctx_) {
     uctx_ = std::make_unique<UcontextState>();
   }
@@ -121,13 +135,20 @@ void Fiber::resume() {
     throw KernelFault("Fiber::resume: fiber already finished");
   }
   started_ = true;
+  san_before_resume();
   swapcontext(&uctx_->sched_ctx, &uctx_->fiber_ctx);
+  san_after_resume();
 }
 
-void Fiber::yield() { swapcontext(&uctx_->fiber_ctx, &uctx_->sched_ctx); }
+void Fiber::yield() {
+  san_before_yield();
+  swapcontext(&uctx_->fiber_ctx, &uctx_->sched_ctx);
+  san_after_yield();
+}
 
 void Fiber::trampoline(void* self_ptr) {
   auto* self = static_cast<Fiber*>(self_ptr);
+  self->san_on_first_enter();
   self->entry_(self->arg_);
   self->finished_ = true;
   self->yield();
@@ -138,6 +159,38 @@ void Fiber::trampoline(void* self_ptr) {
 #endif
 
 namespace simcl {
+
+Fiber::Fiber() = default;
+Fiber::Fiber(Fiber&&) noexcept = default;
+Fiber& Fiber::operator=(Fiber&&) noexcept = default;
+Fiber::~Fiber() = default;
+
+// Per-activation sanitizer state, called from reset() (scheduler side).
+// The ASan fake-stack handle is per-activation and must be dropped. The
+// TSan context is deliberately REUSED across activations: creating and
+// destroying one per work-item makes big NDRanges orders of magnitude
+// slower, and reuse is sound because successive activations of a fiber
+// slot run serially on the scheduler's thread — the happens-before edges
+// a stale context carries all correspond to real program order.
+void Fiber::san_reset() {
+#if SIMCL_FIBER_ASAN
+  asan_fiber_fake_ = nullptr;
+#endif
+#if SIMCL_FIBER_TSAN
+  if (tsan_fiber_.handle == nullptr) {
+    tsan_fiber_.handle = __tsan_create_fiber(0);
+  }
+  tsan_sched_ = nullptr;  // re-captured on next resume (thread may differ)
+#endif
+}
+
+#if SIMCL_FIBER_TSAN
+Fiber::TsanFiberHandle::~TsanFiberHandle() {
+  if (handle != nullptr) {
+    __tsan_destroy_fiber(handle);
+  }
+}
+#endif
 
 FiberStackPool::FiberStackPool(std::size_t stack_count,
                                std::size_t stack_bytes)

@@ -1,5 +1,7 @@
 #include "simcl/image2d.hpp"
 
+#include "simcl/validation.hpp"
+
 namespace simcl {
 
 Image2D::Image2D(std::string name, ChannelFormat format, int width,
@@ -14,6 +16,38 @@ Image2D::Image2D(std::string name, ChannelFormat format, int width,
   }
   bytes_.resize(static_cast<std::size_t>(width) *
                 static_cast<std::size_t>(height) * texel_bytes(format));
+}
+
+Image2D& Image2D::operator=(Image2D&& o) noexcept {
+  if (this != &o) {
+    detach();  // the overwritten image's registration must not leak
+    name_ = std::move(o.name_);
+    format_ = o.format_;
+    width_ = o.width_;
+    height_ = o.height_;
+    bytes_ = std::move(o.bytes_);
+    device_addr_ = o.device_addr_;
+    released_ = o.released_;
+    vstate_ = std::move(o.vstate_);
+    vid_ = o.vid_;
+  }
+  return *this;
+}
+
+Image2D::~Image2D() { detach(); }
+
+void Image2D::release() {
+  released_ = true;
+  bytes_.clear();
+  bytes_.shrink_to_fit();
+  detach();
+}
+
+void Image2D::detach() noexcept {
+  if (vstate_ != nullptr) {
+    vstate_->on_destroy(vid_);
+    vstate_.reset();
+  }
 }
 
 }  // namespace simcl

@@ -23,13 +23,74 @@ const char* to_string(CommandKind kind) {
 }
 
 Context::Context(DeviceSpec device, DeviceSpec host, int num_threads)
-    : cost_(device, std::move(host)), engine_(std::move(device), num_threads) {}
+    : cost_(device, std::move(host)), engine_(std::move(device), num_threads) {
+#if SIMCL_CHECKED
+  vstate_ = std::make_shared<detail::ValidationState>();
+  vstate_->set(ValidationSettings::from_env());
+  engine_.set_validation_state(vstate_.get());
+#endif
+}
+
+Context::~Context() {
+  if (vstate_ == nullptr) {
+    return;
+  }
+  // Objects registered past this point (queues, buffers outliving the
+  // context) are leaks; they can still unregister safely through their
+  // shared ValidationState, but using them through a queue is a
+  // dead-queue violation from now on.
+  vstate_->mark_context_dead();
+  if (vstate_->snapshot().lifetime) {
+    const auto live = vstate_->live_objects();
+    if (!live.empty()) {
+      detail::report_teardown_leaks(live);
+    }
+  }
+}
+
+void Context::set_validation(ValidationSettings s) {
+  if (vstate_ != nullptr) {
+    vstate_->set(s);
+  }
+}
+
+ValidationSettings Context::validation() const {
+  return vstate_ == nullptr ? ValidationSettings{} : vstate_->snapshot();
+}
+
+void Context::check_leaks() const {
+  if (vstate_ == nullptr || !vstate_->snapshot().lifetime) {
+    return;
+  }
+  const auto live = vstate_->live_objects();
+  if (live.empty()) {
+    return;
+  }
+  Violation v;
+  v.kind = ViolationKind::kLeak;
+  v.bytes = live.size();
+  std::string msg = "simcl validation: " + std::to_string(live.size()) +
+                    " object(s) still registered at check_leaks():";
+  for (const auto& o : live) {
+    msg += " " + o + ";";
+    if (v.object.empty()) {
+      v.object = o;
+    }
+  }
+  v.message = std::move(msg);
+  throw ValidationError(std::move(v));
+}
 
 Buffer Context::create_buffer(std::string name, std::size_t bytes) {
   // 4 KiB-align device addresses so buffers never share a cache line.
   const std::uint64_t addr = next_device_addr_;
   next_device_addr_ += (bytes + 4095) & ~std::uint64_t{4095};
-  return Buffer(std::move(name), bytes, addr);
+  Buffer buf(std::move(name), bytes, addr);
+  if (vstate_ != nullptr) {
+    buf.vstate_ = vstate_;
+    buf.vid_ = vstate_->on_create("buffer", buf.name());
+  }
+  return buf;
 }
 
 Image2D Context::create_image2d(std::string name, ChannelFormat format,
@@ -39,7 +100,12 @@ Image2D Context::create_image2d(std::string name, ChannelFormat format,
                             texel_bytes(format);
   const std::uint64_t addr = next_device_addr_;
   next_device_addr_ += (bytes + 4095) & ~std::uint64_t{4095};
-  return Image2D(std::move(name), format, width, height, addr);
+  Image2D img(std::move(name), format, width, height, addr);
+  if (vstate_ != nullptr) {
+    img.vstate_ = vstate_;
+    img.vid_ = vstate_->on_create("image2d", img.name());
+  }
+  return img;
 }
 
 Mapping::Mapping(CommandQueue* queue, std::byte* data, std::size_t size,
@@ -63,7 +129,66 @@ void Mapping::unmap() {
 }
 
 CommandQueue::CommandQueue(Context& ctx, QueueMode mode)
-    : ctx_(&ctx), mode_(mode) {}
+    : ctx_(&ctx), mode_(mode) {
+  if (ctx.vstate_ != nullptr) {
+    vstate_ = ctx.vstate_;
+    vid_ = vstate_->on_create("queue", "CommandQueue");
+  }
+}
+
+CommandQueue::~CommandQueue() {
+  if (vstate_ != nullptr) {
+    vstate_->on_destroy(vid_);
+  }
+}
+
+void CommandQueue::set_validation(ValidationSettings s) {
+  if (vstate_ != nullptr) {
+    vstate_->set(s);
+  }
+}
+
+void CommandQueue::check_alive(const char* what) const {
+  if (vstate_ == nullptr || !vstate_->snapshot().lifetime) {
+    return;
+  }
+  if (!vstate_->context_alive()) {
+    Violation v;
+    v.kind = ViolationKind::kDeadQueue;
+    v.object = "CommandQueue";
+    v.message = std::string("simcl validation: ") + what +
+                " on a queue whose context was destroyed";
+    throw ValidationError(std::move(v));
+  }
+}
+
+void CommandQueue::check_object(const char* what, const Buffer& buf) const {
+  if (vstate_ == nullptr || !vstate_->snapshot().lifetime) {
+    return;
+  }
+  if (buf.released()) {
+    Violation v;
+    v.kind = ViolationKind::kUseAfterRelease;
+    v.object = buf.name();
+    v.message = std::string("simcl validation: ") + what +
+                " on released buffer '" + buf.name() + "'";
+    throw ValidationError(std::move(v));
+  }
+}
+
+void CommandQueue::check_object(const char* what, const Image2D& img) const {
+  if (vstate_ == nullptr || !vstate_->snapshot().lifetime) {
+    return;
+  }
+  if (img.released()) {
+    Violation v;
+    v.kind = ViolationKind::kUseAfterRelease;
+    v.object = img.name();
+    v.message = std::string("simcl validation: ") + what +
+                " on released image '" + img.name() + "'";
+    throw ValidationError(std::move(v));
+  }
+}
 
 CommandQueue::Lane CommandQueue::lane_of(CommandKind kind) {
   switch (kind) {
@@ -117,6 +242,8 @@ Event& CommandQueue::push_event(std::string name, CommandKind kind,
 Event CommandQueue::enqueue_write(Buffer& dst, const void* src,
                                   std::size_t bytes, std::size_t offset,
                                   const WaitList& waits) {
+  check_alive("enqueue_write");
+  check_object("enqueue_write", dst);
   if (src == nullptr || offset + bytes > dst.size()) {
     throw InvalidArgument("enqueue_write: range out of bounds");
   }
@@ -130,6 +257,8 @@ Event CommandQueue::enqueue_write(Buffer& dst, const void* src,
 Event CommandQueue::enqueue_read(const Buffer& src, void* dst,
                                  std::size_t bytes, std::size_t offset,
                                  const WaitList& waits) {
+  check_alive("enqueue_read");
+  check_object("enqueue_read", src);
   if (dst == nullptr || offset + bytes > src.size()) {
     throw InvalidArgument("enqueue_read: range out of bounds");
   }
@@ -143,6 +272,8 @@ Event CommandQueue::enqueue_read(const Buffer& src, void* dst,
 Event CommandQueue::enqueue_write_rect(Buffer& dst, const void* src,
                                        const RectRegion& r,
                                        const WaitList& waits) {
+  check_alive("enqueue_write_rect");
+  check_object("enqueue_write_rect", dst);
   if (src == nullptr || r.row_bytes == 0 || r.rows == 0) {
     throw InvalidArgument("enqueue_write_rect: empty region");
   }
@@ -170,6 +301,8 @@ Event CommandQueue::enqueue_write_rect(Buffer& dst, const void* src,
 Event CommandQueue::enqueue_read_rect(const Buffer& src, void* dst,
                                       const RectRegion& r,
                                       const WaitList& waits) {
+  check_alive("enqueue_read_rect");
+  check_object("enqueue_read_rect", src);
   if (dst == nullptr || r.row_bytes == 0 || r.rows == 0) {
     throw InvalidArgument("enqueue_read_rect: empty region");
   }
@@ -199,6 +332,9 @@ Event CommandQueue::enqueue_copy(const Buffer& src, Buffer& dst,
                                  std::size_t bytes, std::size_t src_offset,
                                  std::size_t dst_offset,
                                  const WaitList& waits) {
+  check_alive("enqueue_copy");
+  check_object("enqueue_copy", src);
+  check_object("enqueue_copy", dst);
   if (src_offset + bytes > src.size() || dst_offset + bytes > dst.size()) {
     throw InvalidArgument("enqueue_copy: range out of bounds");
   }
@@ -217,6 +353,8 @@ Event CommandQueue::enqueue_fill(Buffer& dst, const void* pattern,
                                  std::size_t pattern_bytes,
                                  std::size_t offset, std::size_t bytes,
                                  const WaitList& waits) {
+  check_alive("enqueue_fill");
+  check_object("enqueue_fill", dst);
   if (pattern == nullptr || pattern_bytes == 0 ||
       bytes % pattern_bytes != 0 || offset + bytes > dst.size()) {
     throw InvalidArgument("enqueue_fill: invalid pattern or range");
@@ -233,6 +371,8 @@ Event CommandQueue::enqueue_fill(Buffer& dst, const void* pattern,
 
 Event CommandQueue::enqueue_write_image(Image2D& dst, const void* src,
                                         const WaitList& waits) {
+  check_alive("enqueue_write_image");
+  check_object("enqueue_write_image", dst);
   if (src == nullptr) {
     throw InvalidArgument("enqueue_write_image: null source");
   }
@@ -246,6 +386,8 @@ Event CommandQueue::enqueue_write_image(Image2D& dst, const void* src,
 
 Event CommandQueue::enqueue_read_image(const Image2D& src, void* dst,
                                        const WaitList& waits) {
+  check_alive("enqueue_read_image");
+  check_object("enqueue_read_image", src);
   if (dst == nullptr) {
     throw InvalidArgument("enqueue_read_image: null destination");
   }
@@ -259,6 +401,8 @@ Event CommandQueue::enqueue_read_image(const Image2D& src, void* dst,
 
 Mapping CommandQueue::map(Buffer& buf, MapMode mode, std::size_t offset,
                           std::size_t bytes) {
+  check_alive("map");
+  check_object("map", buf);
   if (offset + bytes > buf.size()) {
     throw InvalidArgument("map: range out of bounds");
   }
@@ -286,6 +430,7 @@ void CommandQueue::unmap_internal(std::byte* /*data*/, std::size_t size,
 Event CommandQueue::enqueue_kernel(const Kernel& kernel,
                                    const LaunchConfig& cfg,
                                    const WaitList& waits) {
+  check_alive("enqueue_kernel");
   const KernelStats stats = ctx_->engine().run(kernel, cfg);
   const double t =
       ctx_->cost_model().kernel_time_us(stats, kernel.divergence_factor);
@@ -296,12 +441,14 @@ Event CommandQueue::enqueue_kernel(const Kernel& kernel,
 
 Event CommandQueue::host_work(std::string name, const HostWork& work,
                               const WaitList& waits) {
+  check_alive("host_work");
   return push_event(std::move(name), CommandKind::kHostWork,
                     ctx_->cost_model().host_compute_us(work), waits);
 }
 
 Event CommandQueue::host_memcpy(std::string name, std::size_t bytes,
                                 const WaitList& waits) {
+  check_alive("host_memcpy");
   Event& ev = push_event(std::move(name), CommandKind::kHostWork,
                          ctx_->cost_model().host_memcpy_us(bytes), waits);
   ev.bytes = bytes;
@@ -309,6 +456,7 @@ Event CommandQueue::host_memcpy(std::string name, std::size_t bytes,
 }
 
 Event CommandQueue::enqueue_wait(const Event& ev) {
+  check_alive("enqueue_wait");
   if (mode_ == QueueMode::kInOrder) {
     timeline_us_ = std::max(timeline_us_, ev.end_us);
   } else {
@@ -321,6 +469,7 @@ Event CommandQueue::enqueue_wait(const Event& ev) {
 }
 
 double CommandQueue::finish() {
+  check_alive("finish");
   if (mode_ == QueueMode::kOutOfOrder) {
     // Full barrier: the sync starts after every lane drains and leaves
     // all lanes busy until it completes.

@@ -1,0 +1,325 @@
+#include "simcl/validation.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace simcl {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+// Teardown-leak bookkeeping. Global (not per-context) because ~Context
+// cannot throw and tests need to observe leaks after the context is gone.
+std::mutex g_teardown_mu;
+std::size_t g_teardown_leaks = 0;
+std::string g_teardown_report;
+
+}  // namespace
+
+ValidationSettings ValidationSettings::parse(const char* spec) {
+  if (spec == nullptr) {
+    return {};
+  }
+  const std::string s = lower(spec);
+  if (s.empty() || s == "0" || s == "off" || s == "false" || s == "none") {
+    return {};
+  }
+  if (s == "1" || s == "on" || s == "true" || s == "full" || s == "all") {
+    return full();
+  }
+  ValidationSettings out;
+  std::string token;
+  std::istringstream in(s);
+  while (std::getline(in, token, ',')) {
+    // Trim surrounding whitespace.
+    const auto b = token.find_first_not_of(" \t");
+    const auto e = token.find_last_not_of(" \t");
+    if (b == std::string::npos) {
+      continue;
+    }
+    token = token.substr(b, e - b + 1);
+    if (token == "bounds") {
+      out.bounds = true;
+    } else if (token == "races" || token == "race") {
+      out.races = true;
+    } else if (token == "lifetime" || token == "leaks") {
+      out.lifetime = true;
+    } else {
+      throw InvalidArgument("SIMCL_CHECKED: unknown validation token '" +
+                            token + "'");
+    }
+  }
+  return out;
+}
+
+ValidationSettings ValidationSettings::from_env() {
+  return parse(std::getenv("SIMCL_CHECKED"));
+}
+
+const char* to_string(ViolationKind kind) {
+  switch (kind) {
+    case ViolationKind::kOutOfBounds: return "out-of-bounds";
+    case ViolationKind::kWriteWriteRace: return "write/write race";
+    case ViolationKind::kReadWriteRace: return "read/write race";
+    case ViolationKind::kUseAfterRelease: return "use-after-release";
+    case ViolationKind::kDeadQueue: return "dead-queue";
+    case ViolationKind::kLeak: return "leak";
+  }
+  return "?";
+}
+
+namespace validation {
+
+std::size_t teardown_leaks() {
+  std::lock_guard<std::mutex> lk(g_teardown_mu);
+  return g_teardown_leaks;
+}
+
+std::string last_teardown_report() {
+  std::lock_guard<std::mutex> lk(g_teardown_mu);
+  return g_teardown_report;
+}
+
+void reset_teardown_stats() {
+  std::lock_guard<std::mutex> lk(g_teardown_mu);
+  g_teardown_leaks = 0;
+  g_teardown_report.clear();
+}
+
+}  // namespace validation
+
+namespace detail {
+
+ValidationSettings ValidationState::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return settings_;
+}
+
+void ValidationState::set(ValidationSettings s) {
+  std::lock_guard<std::mutex> lk(mu_);
+  settings_ = s;
+}
+
+std::uint64_t ValidationState::on_create(const char* kind,
+                                         const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const std::uint64_t id = next_id_++;
+  live_.emplace(id, std::string(kind) + " '" + name + "'");
+  return id;
+}
+
+void ValidationState::on_destroy(std::uint64_t id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  live_.erase(id);
+}
+
+void ValidationState::mark_context_dead() {
+  std::lock_guard<std::mutex> lk(mu_);
+  alive_ = false;
+}
+
+bool ValidationState::context_alive() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return alive_;
+}
+
+std::vector<std::string> ValidationState::live_objects() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<std::string> out;
+  out.reserve(live_.size());
+  for (const auto& [id, desc] : live_) {
+    out.push_back(desc);
+  }
+  return out;
+}
+
+ValidationLaunch::ValidationLaunch(std::string kernel,
+                                   ValidationSettings settings,
+                                   int global_size_x, int local_size_x,
+                                   int local_size_y)
+    : kernel_(std::move(kernel)),
+      settings_(settings),
+      gsx_(global_size_x < 1 ? 1 : global_size_x),
+      lsx_(local_size_x < 1 ? 1 : local_size_x),
+      lsy_(local_size_y < 1 ? 1 : local_size_y) {}
+
+bool ValidationLaunch::same_group(std::uint32_t a, std::uint32_t b) const {
+  const auto gsx = static_cast<std::uint32_t>(gsx_);
+  const std::uint32_t ax = a % gsx, ay = a / gsx;
+  const std::uint32_t bx = b % gsx, by = b / gsx;
+  return ax / static_cast<std::uint32_t>(lsx_) ==
+             bx / static_cast<std::uint32_t>(lsx_) &&
+         ay / static_cast<std::uint32_t>(lsy_) ==
+             by / static_cast<std::uint32_t>(lsy_);
+}
+
+std::string ValidationLaunch::object_name(std::uint64_t dev_addr) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = objects_.find(dev_addr);
+  return it == objects_.end() ? std::string("<unknown object>")
+                              : it->second.name;
+}
+
+void ValidationLaunch::note_object(const ItemRef& it, std::uint64_t dev_addr,
+                                   const std::string& name, std::size_t bytes,
+                                   bool released) {
+  if (settings_.lifetime && released) {
+    Violation v;
+    v.kind = ViolationKind::kUseAfterRelease;
+    v.kernel = kernel_;
+    v.object = name;
+    v.global_id[0] = it.gx;
+    v.global_id[1] = it.gy;
+    std::ostringstream os;
+    os << "simcl validation: use-after-release in kernel '" << kernel_
+       << "': work-item (" << it.gx << "," << it.gy
+       << ") obtained an accessor for released object '" << name << "'";
+    v.message = os.str();
+    throw ValidationError(std::move(v));
+  }
+  if (!settings_.races && !settings_.bounds) {
+    return;
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  auto [pos, inserted] = objects_.try_emplace(dev_addr);
+  if (inserted) {
+    pos->second.name = name;
+    pos->second.bytes = bytes;
+  }
+}
+
+void ValidationLaunch::record_access(const ItemRef& it, std::uint64_t dev_addr,
+                                     std::size_t offset, std::size_t bytes,
+                                     bool is_write) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto pos = objects_.find(dev_addr);
+  if (pos == objects_.end()) {
+    return;
+  }
+  ObjectShadow& os = pos->second;
+  if (os.cells.empty()) {
+    os.cells.resize(os.bytes);
+  }
+  const std::uint32_t id = flat(it) + 1;
+  const std::size_t end = std::min(offset + bytes, os.bytes);
+  for (std::size_t b = offset; b < end; ++b) {
+    ShadowCell& c = os.cells[b];
+    // Two accesses are ordered iff they come from the same work-item, or
+    // from the same group with a barrier/fence between them (different
+    // epochs). Anything else overlapping on a byte is a race.
+    const auto ordered = [&](std::uint32_t prev, std::uint32_t prev_epoch) {
+      return prev == id ||
+             (same_group(prev - 1, id - 1) && prev_epoch != it.epoch);
+    };
+    if (is_write) {
+      if (c.writer != 0 && !ordered(c.writer, c.writer_epoch)) {
+        fail_race(ViolationKind::kWriteWriteRace, it, os, b, c.writer - 1);
+      }
+      if (c.reader != 0 && !ordered(c.reader, c.reader_epoch)) {
+        fail_race(ViolationKind::kReadWriteRace, it, os, b, c.reader - 1);
+      }
+      c.writer = id;
+      c.writer_epoch = it.epoch;
+      // The write supersedes earlier ordered reads: clear so a later
+      // ordered reader does not race against a stale reader record.
+      c.reader = 0;
+      c.reader_epoch = 0;
+    } else {
+      if (c.writer != 0 && !ordered(c.writer, c.writer_epoch)) {
+        fail_race(ViolationKind::kReadWriteRace, it, os, b, c.writer - 1);
+      }
+      c.reader = id;
+      c.reader_epoch = it.epoch;
+    }
+  }
+}
+
+void ValidationLaunch::fail_race(ViolationKind kind, const ItemRef& it,
+                                 const ObjectShadow& shadow,
+                                 std::size_t offset,
+                                 std::uint32_t other_flat) const {
+  const auto gsx = static_cast<std::uint32_t>(gsx_);
+  Violation v;
+  v.kind = kind;
+  v.kernel = kernel_;
+  v.object = shadow.name;
+  v.byte_offset = offset;
+  v.bytes = 1;
+  v.global_id[0] = it.gx;
+  v.global_id[1] = it.gy;
+  v.other_id[0] = static_cast<int>(other_flat % gsx);
+  v.other_id[1] = static_cast<int>(other_flat / gsx);
+  std::ostringstream os;
+  os << "simcl validation: " << to_string(kind) << " in kernel '" << kernel_
+     << "' on '" << shadow.name << "' at byte offset " << offset
+     << ": work-item (" << it.gx << "," << it.gy
+     << ") conflicts with work-item (" << v.other_id[0] << ","
+     << v.other_id[1] << ") with no ordering barrier between them";
+  v.message = os.str();
+  throw ValidationError(std::move(v));
+}
+
+void ValidationLaunch::fail_oob(const ItemRef& it, std::uint64_t dev_addr,
+                                std::size_t byte_offset,
+                                std::size_t access_bytes,
+                                std::size_t object_bytes) const {
+  Violation v;
+  v.kind = ViolationKind::kOutOfBounds;
+  v.kernel = kernel_;
+  v.object = object_name(dev_addr);
+  v.byte_offset = byte_offset;
+  v.bytes = access_bytes;
+  v.global_id[0] = it.gx;
+  v.global_id[1] = it.gy;
+  std::ostringstream os;
+  os << "simcl validation: out-of-bounds access in kernel '" << kernel_
+     << "': work-item (" << it.gx << "," << it.gy << ") accessed '"
+     << v.object << "' at byte offset " << byte_offset << " ("
+     << access_bytes << "-byte access, object is " << object_bytes
+     << " bytes)";
+  v.message = os.str();
+  throw ValidationError(std::move(v));
+}
+
+void ValidationLaunch::fail_image_oob(const ItemRef& it,
+                                      std::uint64_t dev_addr, int x, int y,
+                                      int w, int h) const {
+  Violation v;
+  v.kind = ViolationKind::kOutOfBounds;
+  v.kernel = kernel_;
+  v.object = object_name(dev_addr);
+  v.global_id[0] = it.gx;
+  v.global_id[1] = it.gy;
+  std::ostringstream os;
+  os << "simcl validation: out-of-bounds image write in kernel '" << kernel_
+     << "': work-item (" << it.gx << "," << it.gy << ") wrote '" << v.object
+     << "' at (" << x << "," << y << "), image is " << w << "x" << h;
+  v.message = os.str();
+  throw ValidationError(std::move(v));
+}
+
+void report_teardown_leaks(const std::vector<std::string>& objects) {
+  std::ostringstream os;
+  os << "simcl validation: " << objects.size()
+     << " object(s) never released at context teardown:";
+  for (const auto& o : objects) {
+    os << " " << o << ";";
+  }
+  const std::string report = os.str();
+  std::fputs((report + "\n").c_str(), stderr);
+  std::lock_guard<std::mutex> lk(g_teardown_mu);
+  g_teardown_leaks += objects.size();
+  g_teardown_report = report;
+}
+
+}  // namespace detail
+}  // namespace simcl

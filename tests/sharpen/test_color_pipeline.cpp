@@ -32,7 +32,7 @@ TEST(ColorPipeline, LumaOfOutputMatchesSharpenedLumaApproximately) {
   // the integer luma rounding and channel clamping).
   const ImageRgb input = img::make_rgb_natural(64, 64, 8);
   const ImageU8 y = img::luma(input);
-  const ImageU8 y_sharp = sharpen_gpu(y);
+  const ImageU8 y_sharp = sharpen(y);
   const ImageRgb out = sharpen_rgb(input);
   const ImageU8 y_out = img::luma(out);
   int clamped = 0;

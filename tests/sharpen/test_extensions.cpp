@@ -30,7 +30,7 @@ TEST(ParallelCpu, PixelsIdenticalToSerialBaseline) {
 TEST(ParallelCpu, HandlesMoreThreadsThanRows) {
   const ImageU8 input = img::make_natural(16, 16, 1);
   const PipelineResult par = ParallelCpuPipeline(64).run(input);
-  EXPECT_EQ(img::max_abs_diff(par.output, sharpen_cpu(input)), 0);
+  EXPECT_EQ(img::max_abs_diff(par.output, sharpen(input, {}, {.backend = Backend::kCpu})), 0);
 }
 
 TEST(ParallelCpu, ModeledTimeScalesDownWithCores) {
@@ -71,8 +71,8 @@ TEST(StrengthLut, BitIdenticalToPowPath) {
       pow_opts.vectorize = vec;
       PipelineOptions lut_opts = pow_opts;
       lut_opts.strength = StrengthEval::kLut;
-      EXPECT_EQ(img::max_abs_diff(sharpen_gpu(input, {}, pow_opts),
-                                  sharpen_gpu(input, {}, lut_opts)),
+      EXPECT_EQ(img::max_abs_diff(sharpen(input, {}, {.options = pow_opts}),
+                                  sharpen(input, {}, {.options = lut_opts})),
                 0)
           << "fuse=" << fuse << " vec=" << vec;
     }
@@ -154,8 +154,8 @@ TEST(Image2dPath, PixelsIdenticalToBufferPath) {
     const ImageU8 input = img::make_named(gen, 96, 64, 77);
     PipelineOptions o = PipelineOptions::optimized();
     o.use_image2d = true;
-    EXPECT_EQ(img::max_abs_diff(sharpen_gpu(input, {}, o),
-                                sharpen_gpu(input)),
+    EXPECT_EQ(img::max_abs_diff(sharpen(input, {}, {.options = o}),
+                                sharpen(input)),
               0)
         << gen;
   }
@@ -167,7 +167,7 @@ TEST(Image2dPath, WorksWithLutAndMapTransfers) {
   o.use_image2d = true;
   o.strength = StrengthEval::kLut;
   o.transfer = TransferMode::kMapUnmap;  // affects remaining buffer moves
-  EXPECT_EQ(img::max_abs_diff(sharpen_gpu(input, {}, o), sharpen_cpu(input)),
+  EXPECT_EQ(img::max_abs_diff(sharpen(input, {}, {.options = o}), sharpen(input, {}, {.backend = Backend::kCpu})),
             0);
 }
 
@@ -205,7 +205,7 @@ TEST(Video, FramesMatchSingleImagePipeline) {
     const ImageU8 frame =
         img::make_natural(64, 48, 100 + static_cast<std::uint64_t>(f));
     const PipelineResult r = video.process_frame(frame);
-    EXPECT_EQ(img::max_abs_diff(r.output, sharpen_gpu(frame)), 0) << f;
+    EXPECT_EQ(img::max_abs_diff(r.output, sharpen(frame)), 0) << f;
   }
   EXPECT_EQ(video.stats().frames, 3);
   EXPECT_GT(video.stats().fps(), 0.0);

@@ -63,7 +63,7 @@ class OptionsMatrixTest : public ::testing::TestWithParam<OptionCase> {
     return img;
   }
   static const ImageU8& reference() {
-    static const ImageU8 ref = sharpen_cpu(input());
+    static const ImageU8 ref = sharpen(input(), {}, {.backend = Backend::kCpu});
     return ref;
   }
 };
@@ -132,8 +132,8 @@ TEST(OptionsStage2, GpuAndCpuStage2AgreeAndAutoSwitches) {
   cpu2.reduction_stage2 = Placement::kCpu;
   PipelineOptions gpu2 = PipelineOptions::optimized();
   gpu2.reduction_stage2 = Placement::kGpu;
-  const ImageU8 a = sharpen_gpu(input, {}, cpu2);
-  const ImageU8 b = sharpen_gpu(input, {}, gpu2);
+  const ImageU8 a = sharpen(input, {}, {.options = cpu2});
+  const ImageU8 b = sharpen(input, {}, {.options = gpu2});
   EXPECT_EQ(img::max_abs_diff(a, b), 0);
 
   // kAuto picks CPU below the threshold (few partials at this size).

@@ -44,16 +44,16 @@ TEST(CpuPipeline, StrengthAndOvershootDominate) {
 TEST(GpuPipeline, OptimizedMatchesCpuExactly) {
   for (const char* gen : {"natural", "noise", "gradient", "checker"}) {
     const ImageU8 input = img::make_named(gen, 64, 48, 7);
-    const ImageU8 cpu = sharpen_cpu(input);
-    const ImageU8 gpu = sharpen_gpu(input);
+    const ImageU8 cpu = sharpen(input, {}, {.backend = Backend::kCpu});
+    const ImageU8 gpu = sharpen(input);
     EXPECT_EQ(img::max_abs_diff(cpu, gpu), 0) << gen;
   }
 }
 
 TEST(GpuPipeline, NaiveMatchesCpuExactly) {
   const ImageU8 input = img::make_natural(64, 48, 99);
-  const ImageU8 cpu = sharpen_cpu(input);
-  const ImageU8 gpu = sharpen_gpu(input, {}, PipelineOptions::naive());
+  const ImageU8 cpu = sharpen(input, {}, {.backend = Backend::kCpu});
+  const ImageU8 gpu = sharpen(input, {}, {.options = PipelineOptions::naive()});
   EXPECT_EQ(img::max_abs_diff(cpu, gpu), 0);
 }
 
@@ -63,11 +63,11 @@ TEST(GpuPipeline, CustomParamsFlowThrough) {
   params.amount = 3.0f;
   params.gamma = 0.8f;
   params.osc_gain = 0.0f;
-  const ImageU8 cpu = sharpen_cpu(input, params);
-  const ImageU8 gpu = sharpen_gpu(input, params);
+  const ImageU8 cpu = sharpen(input, params, {.backend = Backend::kCpu});
+  const ImageU8 gpu = sharpen(input, params);
   EXPECT_EQ(img::max_abs_diff(cpu, gpu), 0);
   // And the parameters actually change the output.
-  EXPECT_NE(img::max_abs_diff(cpu, sharpen_cpu(input)), 0);
+  EXPECT_NE(img::max_abs_diff(cpu, sharpen(input, {}, {.backend = Backend::kCpu})), 0);
 }
 
 TEST(GpuPipeline, EventsAndPhasesArePopulated) {
@@ -166,19 +166,19 @@ TEST(GpuPipeline, RejectsInvalidInputs) {
 TEST(Pipelines, FlatImageIsAFixedPoint) {
   // Constant image: zero edges, zero error -> output equals input.
   const ImageU8 input = img::make_constant(32, 32, 123);
-  EXPECT_EQ(img::max_abs_diff(sharpen_cpu(input), input), 0);
-  EXPECT_EQ(img::max_abs_diff(sharpen_gpu(input), input), 0);
+  EXPECT_EQ(img::max_abs_diff(sharpen(input, {}, {.backend = Backend::kCpu}), input), 0);
+  EXPECT_EQ(img::max_abs_diff(sharpen(input), input), 0);
 }
 
 TEST(Pipelines, SharpeningIncreasesEdgeEnergyOnNaturalImages) {
   const ImageU8 input = img::make_natural(128, 128, 17);
-  const ImageU8 out = sharpen_cpu(input);
+  const ImageU8 out = sharpen(input, {}, {.backend = Backend::kCpu});
   EXPECT_GT(img::edge_energy(out), img::edge_energy(input));
 }
 
 TEST(Pipelines, NonSquareImagesWork) {
   const ImageU8 input = img::make_natural(128, 48, 4);
-  EXPECT_EQ(img::max_abs_diff(sharpen_cpu(input), sharpen_gpu(input)), 0);
+  EXPECT_EQ(img::max_abs_diff(sharpen(input, {}, {.backend = Backend::kCpu}), sharpen(input)), 0);
 }
 
 }  // namespace

@@ -24,8 +24,8 @@ class CpuGpuEquivalence : public ::testing::TestWithParam<SizeGen> {};
 TEST_P(CpuGpuEquivalence, PixelExact) {
   const auto [w, h, gen] = GetParam();
   const ImageU8 input = img::make_named(gen, w, h, 1234);
-  const ImageU8 cpu = sharpen_cpu(input);
-  const ImageU8 gpu = sharpen_gpu(input);
+  const ImageU8 cpu = sharpen(input, {}, {.backend = Backend::kCpu});
+  const ImageU8 gpu = sharpen(input);
   EXPECT_EQ(img::max_abs_diff(cpu, gpu), 0);
 }
 
@@ -48,8 +48,8 @@ class OutputProperties : public ::testing::TestWithParam<const char*> {};
 
 TEST_P(OutputProperties, DeterministicAcrossRuns) {
   const ImageU8 input = img::make_named(GetParam(), 64, 64, 5);
-  EXPECT_EQ(img::max_abs_diff(sharpen_gpu(input), sharpen_gpu(input)), 0);
-  EXPECT_EQ(img::max_abs_diff(sharpen_cpu(input), sharpen_cpu(input)), 0);
+  EXPECT_EQ(img::max_abs_diff(sharpen(input), sharpen(input)), 0);
+  EXPECT_EQ(img::max_abs_diff(sharpen(input, {}, {.backend = Backend::kCpu}), sharpen(input, {}, {.backend = Backend::kCpu})), 0);
 }
 
 TEST_P(OutputProperties, AmountZeroReconstructsSmoothPyramid) {
@@ -59,7 +59,7 @@ TEST_P(OutputProperties, AmountZeroReconstructsSmoothPyramid) {
   const ImageU8 input = img::make_named(GetParam(), 64, 64, 5);
   SharpenParams p;
   p.amount = 0.0f;
-  const ImageU8 out = sharpen_cpu(input, p);
+  const ImageU8 out = sharpen(input, p, {.backend = Backend::kCpu});
   int in_min = 255, in_max = 0;
   for (auto v : input.pixels()) {
     in_min = std::min<int>(in_min, v);
@@ -89,7 +89,7 @@ TEST(ParamProperties, MoreAmountMeansMoreEdgeEnergy) {
   for (float amount : {0.5f, 1.5f, 3.0f}) {
     SharpenParams p;
     p.amount = amount;
-    const double e = img::edge_energy(sharpen_cpu(input, p));
+    const double e = img::edge_energy(sharpen(input, p, {.backend = Backend::kCpu}));
     EXPECT_GE(e, prev * 0.999) << amount;
     prev = e;
   }
@@ -115,7 +115,7 @@ TEST(ParamProperties, GpuAndCpuAgreeForExtremeParams) {
         SharpenParams{.osc_gain = 1.0f},
         SharpenParams{.osc_gain = 0.0f}}) {
     EXPECT_EQ(
-        img::max_abs_diff(sharpen_cpu(input, p), sharpen_gpu(input, p)), 0);
+        img::max_abs_diff(sharpen(input, p, {.backend = Backend::kCpu}), sharpen(input, p)), 0);
   }
 }
 

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "image/generate.hpp"
@@ -65,25 +66,28 @@ TEST(OptionsValidate, ServiceRejectsInvalidOptions) {
   EXPECT_THROW(SharpenService service(cfg), SharpenError);
 }
 
-TEST(UnifiedSharpen, MatchesLegacyFreeFunctions) {
+// Field-by-field Execution construction and designated initializers (and
+// the all-defaults call) must select the same path — this pinned the
+// legacy sharpen_cpu()/sharpen_gpu() behavior when those were removed.
+TEST(UnifiedSharpen, ExecutionSpellingsAreEquivalent) {
   const ImageU8 input = img::make_natural(64, 48, 7);
 
   Execution cpu_exec;
   cpu_exec.backend = Backend::kCpu;
   EXPECT_EQ(img::max_abs_diff(sharpen(input, {}, cpu_exec),
-                              sharpen_cpu(input)),
+                              sharpen(input, {}, {.backend = Backend::kCpu})),
             0);
 
   Execution gpu_exec;  // defaults: kGpu, optimized options
   EXPECT_EQ(img::max_abs_diff(sharpen(input, {}, gpu_exec),
-                              sharpen_gpu(input)),
+                              sharpen(input)),
             0);
 
   Execution naive_exec;
   naive_exec.options = PipelineOptions::naive();
   EXPECT_EQ(
       img::max_abs_diff(sharpen(input, {}, naive_exec),
-                        sharpen_gpu(input, {}, PipelineOptions::naive())),
+                        sharpen(input, {}, {.options = PipelineOptions::naive()})),
       0);
 }
 
@@ -105,7 +109,7 @@ TEST(FrameRunner, PooledFramesAreBitIdenticalAndAllocateOnce) {
   const std::size_t created_after_first_pass = pool.created();
 
   for (std::size_t i = 0; i < frames.size(); ++i) {
-    EXPECT_EQ(img::max_abs_diff(results[i].output, sharpen_gpu(frames[i])),
+    EXPECT_EQ(img::max_abs_diff(results[i].output, sharpen(frames[i])),
               0)
         << i;
   }
@@ -116,6 +120,28 @@ TEST(FrameRunner, PooledFramesAreBitIdenticalAndAllocateOnce) {
   (void)runner.finish_frame(ticket, {});
   EXPECT_EQ(pool.created(), created_after_first_pass);
   EXPECT_LT(results[1].total_modeled_us, results[0].total_modeled_us);
+}
+
+// Regression: Ticket once held a pointer to the input image, which
+// dangled when the caller (e.g. SharpenService moving a Pending between
+// threads) destroyed or reused the frame after begin_frame(). Uploads
+// copy at enqueue time, so a ticket must stay valid when the frame dies.
+TEST(FrameRunner, InputFrameMayDieBetweenBeginAndFinish) {
+  const ImageU8 reference =
+      img::make_named("natural", 64, 64, /*seed=*/7);
+  const ImageU8 expected = sharpen(reference);
+
+  simcl::Context ctx(simcl::amd_firepro_w8000());
+  simcl::CommandQueue queue(ctx);
+  gpu::BufferPool pool(ctx);
+  service::FrameRunner runner(ctx, pool, queue, queue,
+                              PipelineOptions::optimized());
+
+  auto frame = std::make_unique<ImageU8>(reference);
+  const auto ticket = runner.begin_frame(*frame, /*charge_allocations=*/true);
+  frame.reset();  // the uploaded frame's storage is gone
+  const PipelineResult result = runner.finish_frame(ticket, {});
+  EXPECT_EQ(img::max_abs_diff(result.output, expected), 0);
 }
 
 TEST(FrameRunner, OverlappedPipelineMatchesSerialPixelsAndIsFaster) {
@@ -172,7 +198,7 @@ TEST(Service, BatchIsBitIdenticalToOneShotUnderConcurrency) {
     EXPECT_EQ(responses[i].outcome, RequestOutcome::kOk) << i;
     EXPECT_GE(responses[i].worker, 0);
     EXPECT_EQ(img::max_abs_diff(responses[i].result.output,
-                                sharpen_gpu(frames[i])),
+                                sharpen(frames[i])),
               0)
         << i;
   }
@@ -189,7 +215,7 @@ TEST(Service, SerialWorkersAreBitIdenticalToo) {
       service.sharpen_batch(frames);
   for (std::size_t i = 0; i < frames.size(); ++i) {
     EXPECT_EQ(img::max_abs_diff(responses[i].result.output,
-                                sharpen_gpu(frames[i])),
+                                sharpen(frames[i])),
               0)
         << i;
   }
@@ -213,7 +239,7 @@ TEST(Service, RejectPolicyDropsRequestsAtSaturation) {
     } else {
       EXPECT_EQ(responses[i].outcome, RequestOutcome::kOk);
       EXPECT_EQ(img::max_abs_diff(responses[i].result.output,
-                                  sharpen_gpu(frames[i])),
+                                  sharpen(frames[i])),
                 0)
           << i;
     }
@@ -239,7 +265,7 @@ TEST(Service, DegradePolicyFallsBackToCpuWithIdenticalPixels) {
     // Degraded requests run the CPU baseline, which is bit-identical to
     // the GPU pipeline — the caller cannot tell from the pixels.
     EXPECT_EQ(img::max_abs_diff(responses[i].result.output,
-                                sharpen_gpu(frames[i])),
+                                sharpen(frames[i])),
               0)
         << i;
   }
@@ -275,7 +301,7 @@ TEST(Service, ExpiredDeadlineCancelsButPoolStaysUsable) {
   const ImageU8 after = img::make_natural(64, 64, 4);
   const ServiceResponse ok = service.submit(after).get();
   EXPECT_EQ(ok.outcome, RequestOutcome::kOk);
-  EXPECT_EQ(img::max_abs_diff(ok.result.output, sharpen_gpu(after)), 0);
+  EXPECT_EQ(img::max_abs_diff(ok.result.output, sharpen(after)), 0);
   EXPECT_GE(service.stats().expired, 1u);
 }
 
