@@ -3,25 +3,30 @@
 //
 // Paper shape: base GPU 9.8 -> 35.3x over the CPU as size grows; the
 // optimized version a further 1.2 -> 2.0x on top, reaching 10.7~69.3x.
+// Results land in BENCH_fig12_speedup.json; --smoke truncates the size
+// sweep for CI.
 #include <iostream>
 
 #include "common.hpp"
+#include "report/json.hpp"
 #include "report/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using sharp::report::fmt;
   using sharp::report::size_label;
 
+  const bool smoke = bench::has_flag(argc, argv, "--smoke");
   sharp::report::banner(
       std::cout, "Fig. 12: CPU vs base GPU vs optimized GPU (simulated)");
   sharp::report::Table t({"size", "cpu_ms", "gpu_base_ms", "gpu_opt_ms",
                           "speedup_base", "speedup_opt", "opt_vs_base"});
+  sharp::report::JsonArray json;
 
   sharp::CpuPipeline cpu;
   sharp::GpuPipeline base(sharp::PipelineOptions::naive());
   sharp::GpuPipeline opt(sharp::PipelineOptions::optimized());
 
-  for (const int size : bench::paper_sizes()) {
+  for (const int size : bench::paper_sizes(smoke)) {
     const auto img = bench::input(size);
     const double t_cpu = cpu.run(img).total_modeled_us;
     const double t_base = base.run(img).total_modeled_us;
@@ -30,9 +35,18 @@ int main() {
                fmt(t_base / 1e3, 3), fmt(t_opt / 1e3, 3),
                fmt(t_cpu / t_base, 1), fmt(t_cpu / t_opt, 1),
                fmt(t_base / t_opt, 2)});
+    sharp::report::JsonRecord rec;
+    rec.add("bench", "fig12_speedup");
+    rec.add("size", size);
+    rec.add("cpu_us", t_cpu);
+    rec.add("gpu_base_us", t_base);
+    rec.add("gpu_opt_us", t_opt);
+    rec.add("speedup_base", t_cpu / t_base);
+    rec.add("speedup_opt", t_cpu / t_opt);
+    json.add(std::move(rec));
   }
   t.print(std::cout);
   std::cout << "\npaper: speedup_base 9.8->35.3, speedup_opt 10.7->69.3, "
                "opt_vs_base 1.2->2.0\n";
-  return 0;
+  return bench::write_json("fig12_speedup", json);
 }

@@ -5,9 +5,15 @@
 // (b) the base GPU's bottlenecks move to upscale-center, Sobel and
 // reduction, with the data-initialization fraction shrinking as the image
 // grows; (c) the optimized version has no prominent bottleneck.
+//
+// Every (version, size, stage) modeled time is emitted verbatim to
+// BENCH_fig13_breakdown.json; with SHARP_TRACE set, the same stage times
+// appear as spans in the Chrome trace, and tools/check_trace.py verifies
+// the two agree. --smoke truncates the size sweep for CI.
 #include <iostream>
 
 #include "common.hpp"
+#include "report/json.hpp"
 #include "report/table.hpp"
 
 namespace {
@@ -33,10 +39,29 @@ void print_breakdown(const char* title, const std::vector<int>& sizes,
   t.print(std::cout);
 }
 
+void add_records(sharp::report::JsonArray& json, const char* version,
+                 const std::vector<int>& sizes,
+                 const std::vector<sharp::PipelineResult>& results) {
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    for (const auto& stage : results[i].stages) {
+      sharp::report::JsonRecord rec;
+      rec.add("bench", "fig13_breakdown");
+      rec.add("version", version);
+      rec.add("size", sizes[i]);
+      rec.add("stage", stage.stage);
+      rec.add("modeled_us", stage.modeled_us);
+      rec.add("fraction",
+              stage.modeled_us / results[i].total_modeled_us);
+      json.add(std::move(rec));
+    }
+  }
+}
+
 }  // namespace
 
-int main() {
-  const std::vector<int> sizes = bench::paper_sizes();
+int main(int argc, char** argv) {
+  const bool smoke = bench::has_flag(argc, argv, "--smoke");
+  const std::vector<int> sizes = bench::paper_sizes(smoke);
 
   std::vector<sharp::PipelineResult> cpu_results;
   std::vector<sharp::PipelineResult> base_results;
@@ -69,5 +94,10 @@ int main() {
   std::cout << "\npaper: (a) strength+overshoot dominate; (b) center/sobel/"
                "reduction dominate, data_init fraction shrinks with size; "
                "(c) no prominent bottleneck\n";
-  return 0;
+
+  sharp::report::JsonArray json;
+  add_records(json, "cpu", sizes, cpu_results);
+  add_records(json, "gpu_base", sizes, base_results);
+  add_records(json, "gpu_opt", sizes, opt_results);
+  return bench::write_json("fig13_breakdown", json);
 }

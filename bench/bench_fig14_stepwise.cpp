@@ -4,21 +4,25 @@
 // Paper shape: reduction and vectorization give the biggest wins; the
 // transfer+fusion step *hurts* below 4096x4096 (map/unmap is effective at
 // small sizes) and helps above; the total stepwise speedup grows with
-// size into the 1.15~9.04x band (256..8192).
+// size into the 1.15~9.04x band (256..8192). Results land in
+// BENCH_fig14_stepwise.json; --smoke truncates the size sweep for CI.
 #include <iostream>
 
 #include "common.hpp"
+#include "report/json.hpp"
 #include "report/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using sharp::report::fmt;
 
+  const bool smoke = bench::has_flag(argc, argv, "--smoke");
+  const std::vector<int> sizes = bench::ablation_sizes(smoke);
   const auto steps = bench::fig14_steps();
   sharp::report::banner(
       std::cout,
       "Fig. 14: step-wise optimizations (time ms; speedup vs base)");
   std::vector<std::string> headers{"step"};
-  for (const int size : bench::ablation_sizes()) {
+  for (const int size : sizes) {
     headers.push_back(sharp::report::size_label(size, size) + "_ms");
     headers.push_back("x");
   }
@@ -27,15 +31,23 @@ int main() {
   std::vector<std::vector<double>> times(steps.size());
   for (std::size_t s = 0; s < steps.size(); ++s) {
     sharp::GpuPipeline pipeline(steps[s].options);
-    for (const int size : bench::ablation_sizes()) {
+    for (const int size : sizes) {
       times[s].push_back(pipeline.run(bench::input(size)).total_modeled_us);
     }
   }
+  sharp::report::JsonArray json;
   for (std::size_t s = 0; s < steps.size(); ++s) {
     std::vector<std::string> row{steps[s].name};
     for (std::size_t i = 0; i < times[s].size(); ++i) {
       row.push_back(fmt(times[s][i] / 1e3, 3));
       row.push_back(fmt(times[0][i] / times[s][i], 2));
+      sharp::report::JsonRecord rec;
+      rec.add("bench", "fig14_stepwise");
+      rec.add("step", steps[s].name);
+      rec.add("size", sizes[i]);
+      rec.add("total_us", times[s][i]);
+      rec.add("speedup_vs_base", times[0][i] / times[s][i]);
+      json.add(std::move(rec));
     }
     t.add_row(std::move(row));
   }
@@ -44,5 +56,5 @@ int main() {
                "and vectorization dominate the gains; final speedup grows "
                "with size (1.15~9.04x over 256..8192; set "
                "SHARP_BENCH_LARGE=1 for the 8192 endpoint)\n";
-  return 0;
+  return bench::write_json("fig14_stepwise", json);
 }

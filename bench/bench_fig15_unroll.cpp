@@ -2,10 +2,12 @@
 // work-group tree reduction (§V.C Algorithms 1 and 2).
 //
 // Paper shape: unrolling ONE wavefront wins — the two-wavefront variant
-// pays an extra barrier after its parallel tails.
+// pays an extra barrier after its parallel tails. Results land in
+// BENCH_fig15_unroll.json; --smoke truncates the size sweep for CI.
 #include <iostream>
 
 #include "common.hpp"
+#include "report/json.hpp"
 #include "report/table.hpp"
 
 namespace {
@@ -19,22 +21,32 @@ double reduction_us(int size, sharp::ReductionUnroll unroll) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using sharp::report::fmt;
+  const bool smoke = bench::has_flag(argc, argv, "--smoke");
   sharp::report::banner(
       std::cout, "Fig. 15: reduction tail unrolling (reduction stage, us)");
   sharp::report::Table t(
       {"size", "no_unroll_us", "one_wavefront_us", "two_wavefronts_us",
        "one_vs_two"});
-  for (const int size : bench::ablation_sizes()) {
+  sharp::report::JsonArray json;
+  for (const int size : bench::ablation_sizes(smoke)) {
     const double none = reduction_us(size, sharp::ReductionUnroll::kNone);
     const double one = reduction_us(size, sharp::ReductionUnroll::kOne);
     const double two = reduction_us(size, sharp::ReductionUnroll::kTwo);
     t.add_row({sharp::report::size_label(size, size), fmt(none, 1),
                fmt(one, 1), fmt(two, 1), fmt(two / one, 3)});
+    sharp::report::JsonRecord rec;
+    rec.add("bench", "fig15_unroll");
+    rec.add("size", size);
+    rec.add("no_unroll_us", none);
+    rec.add("one_wavefront_us", one);
+    rec.add("two_wavefronts_us", two);
+    rec.add("one_vs_two", two / one);
+    json.add(std::move(rec));
   }
   t.print(std::cout);
   std::cout << "\npaper: unrolling one wavefront beats two (extra barrier "
                "overhead)\n";
-  return 0;
+  return bench::write_json("fig15_unroll", json);
 }

@@ -3,10 +3,12 @@
 // the paper ("The procedure of reduction on CPU includes transferring the
 // pEdge matrix from GPU to CPU").
 //
-// Paper shape: the GPU reduction is up to ~30.8x faster.
+// Paper shape: the GPU reduction is up to ~30.8x faster. Results land in
+// BENCH_fig16_reduction.json; --smoke truncates the size sweep for CI.
 #include <iostream>
 
 #include "common.hpp"
+#include "report/json.hpp"
 #include "report/table.hpp"
 
 namespace {
@@ -20,19 +22,28 @@ double reduction_us(int size, sharp::Placement place) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using sharp::report::fmt;
+  const bool smoke = bench::has_flag(argc, argv, "--smoke");
   sharp::report::banner(
       std::cout,
       "Fig. 16: reduction on CPU (incl. pEdge transfer) vs on GPU");
   sharp::report::Table t({"size", "cpu_us", "gpu_us", "gpu_speedup"});
-  for (const int size : bench::ablation_sizes()) {
+  sharp::report::JsonArray json;
+  for (const int size : bench::ablation_sizes(smoke)) {
     const double cpu = reduction_us(size, sharp::Placement::kCpu);
     const double gpu = reduction_us(size, sharp::Placement::kGpu);
     t.add_row({sharp::report::size_label(size, size), fmt(cpu, 1),
                fmt(gpu, 1), fmt(cpu / gpu, 1)});
+    sharp::report::JsonRecord rec;
+    rec.add("bench", "fig16_reduction");
+    rec.add("size", size);
+    rec.add("cpu_us", cpu);
+    rec.add("gpu_us", gpu);
+    rec.add("gpu_speedup", cpu / gpu);
+    json.add(std::move(rec));
   }
   t.print(std::cout);
   std::cout << "\npaper: GPU reduction up to 30.8x faster\n";
-  return 0;
+  return bench::write_json("fig16_reduction", json);
 }

@@ -3,10 +3,12 @@
 // border strips back to the device), as in the paper.
 //
 // Paper shape: CPU wins at small sizes, GPU above the crossover at
-// 768x768.
+// 768x768. Results land in BENCH_fig17_border.json; --smoke keeps the
+// two sizes bracketing the crossover.
 #include <iostream>
 
 #include "common.hpp"
+#include "report/json.hpp"
 #include "report/table.hpp"
 
 namespace {
@@ -20,13 +22,19 @@ double border_us(int size, sharp::Placement place) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using sharp::report::fmt;
+  const bool smoke = bench::has_flag(argc, argv, "--smoke");
   sharp::report::banner(std::cout,
                         "Fig. 17: upscale border on CPU vs GPU (us)");
   sharp::report::Table t({"size", "cpu_us", "gpu_us", "winner"});
+  sharp::report::JsonArray json;
   int crossover = -1;
-  for (const int size : {448, 576, 640, 704, 768, 832}) {
+  const std::vector<int> sizes = smoke
+                                     ? std::vector<int>{704, 768}
+                                     : std::vector<int>{448, 576, 640,
+                                                        704, 768, 832};
+  for (const int size : sizes) {
     const double cpu = border_us(size, sharp::Placement::kCpu);
     const double gpu = border_us(size, sharp::Placement::kGpu);
     if (crossover < 0 && gpu < cpu) {
@@ -34,11 +42,18 @@ int main() {
     }
     t.add_row({sharp::report::size_label(size, size), fmt(cpu, 1),
                fmt(gpu, 1), gpu < cpu ? "GPU" : "CPU"});
+    sharp::report::JsonRecord rec;
+    rec.add("bench", "fig17_border");
+    rec.add("size", size);
+    rec.add("cpu_us", cpu);
+    rec.add("gpu_us", gpu);
+    rec.add("winner", gpu < cpu ? "GPU" : "CPU");
+    json.add(std::move(rec));
   }
   t.print(std::cout);
   std::cout << "\nmeasured crossover: "
             << (crossover > 0 ? std::to_string(crossover)
                               : std::string("none"))
             << " (paper: 768)\n";
-  return 0;
+  return bench::write_json("fig17_border", json);
 }

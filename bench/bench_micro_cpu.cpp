@@ -1,8 +1,10 @@
 // Real wall-time micro benchmarks of the CPU pipeline stages on this host
 // (complementing the modeled i5 times the figure benches report).
+// Results land in BENCH_micro_cpu.json.
 #include <benchmark/benchmark.h>
 
 #include "image/generate.hpp"
+#include "micro_json.hpp"
 #include "sharpen/sharpen.hpp"
 
 namespace {
@@ -91,3 +93,5 @@ void BM_FullCpuPipeline(benchmark::State& state) {
 BENCHMARK(BM_FullCpuPipeline)->Arg(256)->Arg(512);
 
 }  // namespace
+
+SHARP_MICRO_BENCH_MAIN("micro_cpu")

@@ -1,10 +1,12 @@
 // Real wall-time micro benchmarks of the simulator substrate itself:
 // fiber switching, cache simulation, kernel dispatch. These measure THIS
 // machine (the simulator's own cost), not the modeled device.
+// Results land in BENCH_micro_simcl.json.
 #include <benchmark/benchmark.h>
 
 #include <numeric>
 
+#include "micro_json.hpp"
 #include "simcl/fiber.hpp"
 #include "simcl/queue.hpp"
 
@@ -120,3 +122,5 @@ void BM_BarrierKernelThroughput(benchmark::State& state) {
 BENCHMARK(BM_BarrierKernelThroughput)->Arg(1 << 14)->Arg(1 << 17);
 
 }  // namespace
+
+SHARP_MICRO_BENCH_MAIN("micro_simcl")

@@ -2,13 +2,40 @@
 #pragma once
 
 #include <cstdlib>
+#include <cstring>
+#include <iostream>
 #include <string>
 #include <vector>
 
 #include "image/generate.hpp"
+#include "report/json.hpp"
 #include "sharpen/sharpen.hpp"
 
 namespace bench {
+
+/// True when `flag` (e.g. "--smoke") appears among the arguments.
+inline bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Writes BENCH_<name>.json next to the binary and reports the record
+/// count; returns a process exit code (0 on success).
+inline int write_json(const std::string& name,
+                      const sharp::report::JsonArray& json) {
+  const std::string path = "BENCH_" + name + ".json";
+  if (!json.write_file(path)) {
+    std::cerr << "FAIL: could not write " << path << "\n";
+    return 1;
+  }
+  std::cout << "\nwrote " << path << " (" << json.records()
+            << " records)\n";
+  return 0;
+}
 
 /// The test image used throughout: deterministic value-noise "natural"
 /// content (the evaluation depends only on size; see DESIGN.md §2).
@@ -16,14 +43,21 @@ inline sharp::img::ImageU8 input(int size) {
   return sharp::img::make_natural(size, size, 42);
 }
 
-/// Square sizes of Fig. 12/13 (256..4096 in x2 steps).
-inline std::vector<int> paper_sizes() {
+/// Square sizes of Fig. 12/13 (256..4096 in x2 steps); --smoke keeps the
+/// two smallest so CI finishes in seconds.
+inline std::vector<int> paper_sizes(bool smoke = false) {
+  if (smoke) {
+    return {256, 512};
+  }
   return {256, 512, 1024, 2048, 4096};
 }
 
 /// Sizes shown in Fig. 14/15/16. SHARP_BENCH_LARGE=1 appends the 8192
-/// endpoint of the §VI.B text (slower to simulate).
-inline std::vector<int> ablation_sizes() {
+/// endpoint of the §VI.B text (slower to simulate); --smoke keeps 256.
+inline std::vector<int> ablation_sizes(bool smoke = false) {
+  if (smoke) {
+    return {256};
+  }
   std::vector<int> sizes{256, 1024, 4096};
   if (const char* env = std::getenv("SHARP_BENCH_LARGE");
       env != nullptr && env[0] == '1') {

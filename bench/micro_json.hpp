@@ -1,0 +1,77 @@
+// BENCH_*.json emission for the google-benchmark micro suites: a console
+// reporter that also accumulates one JsonRecord per measured run, and a
+// main() replacement that runs the registered benchmarks through it and
+// writes the file. Each micro bench defines SHARP_MICRO_BENCH_MAIN(name)
+// instead of linking benchmark_main.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "report/json.hpp"
+
+namespace bench {
+
+/// ConsoleReporter that mirrors every per-iteration run (aggregates from
+/// --benchmark_repetitions are skipped) into a report::JsonArray.
+class JsonArrayReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonArrayReporter(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    benchmark::ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) {
+        continue;
+      }
+      const double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      sharp::report::JsonRecord rec;
+      rec.add("bench", bench_name_);
+      rec.add("name", run.benchmark_name());
+      rec.add("iterations", static_cast<std::int64_t>(run.iterations));
+      rec.add("ns_per_iter", run.real_accumulated_time / iters * 1e9);
+      rec.add("cpu_ns_per_iter", run.cpu_accumulated_time / iters * 1e9);
+      json_.add(std::move(rec));
+    }
+  }
+
+  [[nodiscard]] const sharp::report::JsonArray& json() const {
+    return json_;
+  }
+
+ private:
+  std::string bench_name_;
+  sharp::report::JsonArray json_;
+};
+
+/// Shared main() body: run everything, then write BENCH_<name>.json.
+inline int micro_bench_main(const char* name, int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  JsonArrayReporter reporter{name};
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  const std::string path = "BENCH_" + std::string(name) + ".json";
+  if (!reporter.json().write_file(path)) {
+    std::cerr << "FAIL: could not write " << path << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << path << " (" << reporter.json().records()
+            << " records)\n";
+  return 0;
+}
+
+}  // namespace bench
+
+#define SHARP_MICRO_BENCH_MAIN(name)                \
+  int main(int argc, char** argv) {                 \
+    return bench::micro_bench_main(name, argc, argv); \
+  }

@@ -4,6 +4,10 @@
 // optimization moves time.
 //
 //   ./examples/profile_pipeline [size] [naive|optimized]
+//
+// With SHARP_TRACE=trace.json set, the same run also lands as a Chrome
+// trace (open in Perfetto or chrome://tracing).
+#include <cstdint>
 #include <cstdlib>
 #include <iomanip>
 #include <iostream>
@@ -11,6 +15,8 @@
 
 #include "image/generate.hpp"
 #include "sharpen/sharpen.hpp"
+#include "sharpen/telemetry/metrics.hpp"
+#include "sharpen/telemetry/telemetry.hpp"
 
 int main(int argc, char** argv) {
   const int size = argc > 1 ? std::atoi(argv[1]) : 1024;
@@ -51,6 +57,22 @@ int main(int argc, char** argv) {
     std::cout << "  " << std::left << std::setw(12) << s.stage
               << std::setw(10) << s.modeled_us << " us  ("
               << 100.0 * s.modeled_us / result.total_modeled_us << "%)\n";
+  }
+
+  // The same totals, as a Prometheus-style scrape.
+  sharp::telemetry::Registry registry;
+  registry.gauge("sharp_pipeline_total_modeled_us")
+      .set(static_cast<std::int64_t>(result.total_modeled_us));
+  for (const auto& s : result.stages) {
+    registry.gauge("sharp_pipeline_stage_modeled_us_" + s.stage)
+        .set(static_cast<std::int64_t>(s.modeled_us));
+  }
+  std::cout << "\nmetrics exposition:\n"
+            << sharp::telemetry::expose_text(registry);
+
+  if (sharp::telemetry::env_trace_path().empty()) {
+    std::cout << "\nhint: SHARP_TRACE=trace.json " << argv[0]
+              << " writes the timeline as a Chrome trace\n";
   }
   return 0;
 }

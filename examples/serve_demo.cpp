@@ -10,6 +10,7 @@
 #include "image/generate.hpp"
 #include "report/table.hpp"
 #include "sharpen/sharpen.hpp"
+#include "sharpen/telemetry/metrics.hpp"
 
 int main() {
   using sharp::report::fmt;
@@ -49,5 +50,10 @@ int main() {
   std::cout << '\n';
   sharp::report::banner(std::cout, "Service stats");
   service.stats().to_table().print(std::cout);
+
+  // The same numbers, as a Prometheus-style scrape a sidecar would serve.
+  std::cout << '\n';
+  sharp::report::banner(std::cout, "Metrics exposition (/metrics)");
+  std::cout << sharp::telemetry::expose_text(service.registry());
   return 0;
 }

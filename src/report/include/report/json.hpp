@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <variant>
 #include <vector>
@@ -13,7 +14,9 @@
 namespace sharp::report {
 
 /// One benchmark record: ordered field -> value pairs (order is preserved
-/// in the output so diffs stay stable).
+/// in the output so diffs stay stable). Values may themselves be records
+/// (one nesting hop per add), which is how Chrome-trace "args" objects
+/// are expressed.
 class JsonRecord {
  public:
   void add(std::string key, std::string value);
@@ -22,12 +25,19 @@ class JsonRecord {
   void add(std::string key, std::int64_t value);
   void add(std::string key, int value);
   void add(std::string key, bool value);
+  void add(std::string key, JsonRecord nested);
 
   [[nodiscard]] std::size_t fields() const { return fields_.size(); }
 
+  /// Prints this record alone as a one-line {...} object.
+  void print(std::ostream& os) const;
+
  private:
   friend class JsonArray;
-  using Value = std::variant<std::string, double, std::int64_t, bool>;
+  // shared_ptr works with the incomplete JsonRecord self-reference and
+  // keeps the variant copyable.
+  using Value = std::variant<std::string, double, std::int64_t, bool,
+                             std::shared_ptr<JsonRecord>>;
   std::vector<std::pair<std::string, Value>> fields_;
 };
 

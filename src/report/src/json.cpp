@@ -66,6 +66,42 @@ void JsonRecord::add(std::string key, bool value) {
   fields_.emplace_back(std::move(key), Value{value});
 }
 
+void JsonRecord::add(std::string key, JsonRecord nested) {
+  fields_.emplace_back(std::move(key),
+                       Value{std::make_shared<JsonRecord>(std::move(nested))});
+}
+
+void JsonRecord::print(std::ostream& os) const {
+  os << '{';
+  for (std::size_t f = 0; f < fields_.size(); ++f) {
+    if (f != 0) {
+      os << ", ";
+    }
+    escape_into(os, fields_[f].first);
+    os << ": ";
+    const auto& v = fields_[f].second;
+    if (const auto* s = std::get_if<std::string>(&v)) {
+      escape_into(os, *s);
+    } else if (const auto* d = std::get_if<double>(&v)) {
+      if (std::isfinite(*d)) {
+        std::ostringstream num;
+        num.precision(12);
+        num << *d;
+        os << num.str();
+      } else {
+        os << "null";
+      }
+    } else if (const auto* i = std::get_if<std::int64_t>(&v)) {
+      os << *i;
+    } else if (const auto* b = std::get_if<bool>(&v)) {
+      os << (*b ? "true" : "false");
+    } else {
+      std::get<std::shared_ptr<JsonRecord>>(v)->print(os);
+    }
+  }
+  os << '}';
+}
+
 void JsonArray::add(JsonRecord record) {
   records_.push_back(std::move(record));
 }
@@ -77,33 +113,9 @@ void JsonArray::print(std::ostream& os) const {
   }
   os << "[\n";
   for (std::size_t r = 0; r < records_.size(); ++r) {
-    os << "  {";
-    const auto& fields = records_[r].fields_;
-    for (std::size_t f = 0; f < fields.size(); ++f) {
-      if (f != 0) {
-        os << ", ";
-      }
-      escape_into(os, fields[f].first);
-      os << ": ";
-      const auto& v = fields[f].second;
-      if (const auto* s = std::get_if<std::string>(&v)) {
-        escape_into(os, *s);
-      } else if (const auto* d = std::get_if<double>(&v)) {
-        if (std::isfinite(*d)) {
-          std::ostringstream num;
-          num.precision(12);
-          num << *d;
-          os << num.str();
-        } else {
-          os << "null";
-        }
-      } else if (const auto* i = std::get_if<std::int64_t>(&v)) {
-        os << *i;
-      } else {
-        os << (std::get<bool>(v) ? "true" : "false");
-      }
-    }
-    os << (r + 1 < records_.size() ? "},\n" : "}\n");
+    os << "  ";
+    records_[r].print(os);
+    os << (r + 1 < records_.size() ? ",\n" : "\n");
   }
   os << "]\n";
 }

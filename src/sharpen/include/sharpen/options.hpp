@@ -116,6 +116,12 @@ struct PipelineOptions {
   /// Rows per fused band; 0 sizes bands to an L2-resident working set.
   int cpu_band_rows = 0;
 
+  // --- observability ---------------------------------------------------------
+  /// true: this pipeline records sharp::telemetry spans (stage dispatch,
+  /// band sweeps, simcl event bridge) even when the process-global
+  /// $SHARP_TRACE switch is off. Pixels are bit-identical either way.
+  bool telemetry = false;
+
   // --- §V.F others ---------------------------------------------------------------
   /// false: call clFinish after every kernel (naive); true: rely on the
   /// in-order queue and sync once at the end.

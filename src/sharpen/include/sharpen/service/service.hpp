@@ -24,6 +24,7 @@
 #include "report/table.hpp"
 #include "sharpen/execution.hpp"
 #include "sharpen/pipeline_result.hpp"
+#include "sharpen/telemetry/metrics.hpp"
 
 namespace sharp::service {
 
@@ -85,7 +86,10 @@ struct ServiceStats {
   std::uint64_t rejected = 0;
   std::uint64_t expired = 0;
   std::size_t queue_depth = 0;
-  /// Modeled per-request latency percentiles over completed requests.
+  /// Deepest the request queue has ever been (admission high-water mark).
+  std::uint64_t queue_depth_hwm = 0;
+  /// Modeled per-request latency percentiles over completed requests,
+  /// read from the service's telemetry::Histogram (bucket-interpolated).
   double p50_latency_us = 0.0;
   double p95_latency_us = 0.0;
   double p99_latency_us = 0.0;
@@ -127,12 +131,19 @@ class SharpenService {
   [[nodiscard]] ServiceStats stats() const;
   [[nodiscard]] const ServiceConfig& config() const { return config_; }
 
+  /// The metrics registry every counter/gauge/histogram of stats() lives
+  /// in — scrape with telemetry::expose_text(service.registry()).
+  [[nodiscard]] const telemetry::Registry& registry() const {
+    return registry_;
+  }
+
  private:
   struct Job {
     img::ImageU8 frame;
     SharpenParams params;
     std::promise<ServiceResponse> promise;
     std::optional<std::chrono::steady_clock::time_point> deadline;
+    double submit_us = 0.0;  ///< telemetry clock at submit (queue-wait split)
   };
 
   void worker_loop(int index);
@@ -147,13 +158,19 @@ class SharpenService {
   int inflight_ = 0;  ///< jobs popped by workers but not yet completed
   bool stop_ = false;
 
-  mutable std::mutex stats_mu_;  ///< guards counters below
-  std::uint64_t submitted_ = 0;
-  std::uint64_t completed_ = 0;
-  std::uint64_t degraded_ = 0;
-  std::uint64_t rejected_ = 0;
-  std::uint64_t expired_ = 0;
-  std::vector<double> latencies_us_;
+  // Counters/gauges/histograms live in the registry (lock-free updates);
+  // the pointers stay valid for the registry's lifetime.
+  telemetry::Registry registry_;
+  telemetry::Counter* submitted_ = nullptr;
+  telemetry::Counter* completed_ = nullptr;
+  telemetry::Counter* degraded_ = nullptr;
+  telemetry::Counter* rejected_ = nullptr;
+  telemetry::Counter* expired_ = nullptr;
+  telemetry::Gauge* queue_depth_ = nullptr;
+  telemetry::Histogram* latency_us_ = nullptr;
+  telemetry::Histogram* queue_wait_us_ = nullptr;
+
+  mutable std::mutex stats_mu_;  ///< guards worker_busy_us_
   std::vector<double> worker_busy_us_;
 
   std::vector<std::thread> threads_;

@@ -1,0 +1,42 @@
+// Chrome trace-event JSON export and the simcl event -> span bridge.
+//
+// write_chrome_trace() serializes every span recorded so far (see
+// telemetry.hpp) as a bare array of complete ("ph":"X") trace events plus
+// thread/process-name metadata, loadable in Perfetto (ui.perfetto.dev) or
+// chrome://tracing. Tracks map 1:1 onto (pid, tid) pairs: host threads
+// under kHostPid, simulated-device queues under kDevicePid, cost-model
+// stage timelines under kModeledCpuPid.
+//
+// bridge_queue_events() lifts a range of a simcl::CommandQueue's Event
+// log onto that queue's kDevicePid track. simcl timestamps are modeled
+// microseconds since queue reset, not wall time, so the bridge anchors
+// the range to the wall clock by aligning its last event's end with
+// now_us() — durations and relative order inside the range are exact,
+// placement against host spans is approximate by construction.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+
+namespace simcl {
+class CommandQueue;
+}
+
+namespace sharp::telemetry {
+
+/// Serializes all recorded spans as Chrome trace-event JSON.
+void write_chrome_trace(std::ostream& os);
+
+/// Writes the trace to `path` (truncating); false on I/O failure.
+[[nodiscard]] bool write_chrome_trace(const std::string& path);
+
+/// Records events [begin, end) of `queue.events()` as spans on the
+/// queue's kDevicePid track (tid = queue.id()); the span category is the
+/// event's pipeline phase (or its command kind when no phase is set).
+/// Records unconditionally — callers gate on enabled() or the pipeline's
+/// trace switch. No-op on an empty/out-of-bounds range.
+void bridge_queue_events(const simcl::CommandQueue& queue, std::size_t begin,
+                         std::size_t end);
+
+}  // namespace sharp::telemetry

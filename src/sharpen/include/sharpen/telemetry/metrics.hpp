@@ -1,0 +1,134 @@
+// sharp::telemetry metrics — counters, gauges and fixed-bucket latency
+// histograms with a Prometheus-style text exposition. ServiceStats is
+// built on a Registry (see sharpen/service/service.hpp); examples expose
+// registries via expose_text().
+//
+// All instruments are updated with relaxed atomics: safe from any thread,
+// no locks on the update path. Reads (value(), percentile(), exposition)
+// are monotonic snapshots, not cross-instrument-consistent cuts.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sharp::telemetry {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-written value plus a monotone high-water mark.
+class Gauge {
+ public:
+  void set(std::int64_t v) {
+    v_.store(v, std::memory_order_relaxed);
+    std::int64_t hwm = hwm_.load(std::memory_order_relaxed);
+    while (v > hwm &&
+           !hwm_.compare_exchange_weak(hwm, v, std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] std::int64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t high_water() const {
+    return hwm_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+  std::atomic<std::int64_t> hwm_{0};
+};
+
+/// Fixed-bucket histogram: `bounds` are strictly increasing bucket upper
+/// bounds; one implicit overflow bucket catches everything above the
+/// last bound. Percentiles interpolate linearly inside the selected
+/// bucket (the overflow bucket reports its lower bound), so their error
+/// is bounded by the local bucket width.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  /// q in [0, 1]: nearest-rank percentile with in-bucket interpolation;
+  /// 0 when the histogram is empty.
+  [[nodiscard]] double percentile(double q) const;
+
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket counts, overflow bucket last (size == bounds().size()+1).
+  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// 2x-spaced microsecond bounds from 1 us to ~8.6 s — the default shape
+/// for modeled-latency histograms.
+[[nodiscard]] std::vector<double> default_latency_bounds_us();
+
+/// Named-instrument registry. Instruments are created on first request
+/// and live as long as the registry; re-requesting a name returns the
+/// same instrument (and throws std::runtime_error on a kind mismatch).
+/// Returned references stay valid for the registry's lifetime.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter& counter(const std::string& name, const std::string& help = "");
+  Gauge& gauge(const std::string& name, const std::string& help = "");
+  Histogram& histogram(const std::string& name, std::vector<double> bounds,
+                       const std::string& help = "");
+
+  /// Prometheus text exposition (counters, gauges + their _hwm series,
+  /// histograms with cumulative _bucket/_sum/_count series).
+  [[nodiscard]] std::string expose_text() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    std::string name;
+    std::string help;
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  Entry& find_or_create(const std::string& name, const std::string& help,
+                        Kind kind);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+/// Process-wide registry (frame counters of the pipelines; anything a
+/// library user wants surfaced in one place).
+[[nodiscard]] Registry& global_registry();
+
+[[nodiscard]] inline std::string expose_text(const Registry& registry) {
+  return registry.expose_text();
+}
+
+}  // namespace sharp::telemetry

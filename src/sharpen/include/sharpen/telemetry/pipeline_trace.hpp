@@ -1,0 +1,32 @@
+// Glue between the pipelines and sharp::telemetry: the per-run trace
+// switch (global flag OR PipelineOptions::telemetry) and the helper that
+// lays a PipelineResult's modeled per-stage times out as spans on a
+// kModeledCpuPid track, so Chrome traces carry the cost model's stage
+// breakdown next to the measured wall-time spans.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sharpen/options.hpp"
+#include "sharpen/pipeline_result.hpp"
+#include "sharpen/telemetry/telemetry.hpp"
+
+namespace sharp::telemetry {
+
+/// True when a pipeline constructed with `options` should record spans.
+[[nodiscard]] inline bool pipeline_trace_on(const PipelineOptions& options) {
+  return options.telemetry || enabled();
+}
+
+/// kModeledCpuPid track owned by the calling thread (allocated and named
+/// on first use).
+[[nodiscard]] std::uint32_t modeled_cpu_track();
+
+/// Records `stages` end-to-end on the calling thread's modeled track with
+/// exact modeled durations, anchored so the last stage ends at now_us().
+/// Span category is "modeled" — exporters and checkers can sum these per
+/// stage name and reproduce the Fig. 13a breakdown from the trace alone.
+void emit_modeled_stages(const std::vector<StageTiming>& stages);
+
+}  // namespace sharp::telemetry

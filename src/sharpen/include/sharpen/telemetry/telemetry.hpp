@@ -1,0 +1,153 @@
+// sharp::telemetry — the tracing half of the observability subsystem: a
+// low-overhead, always-compiled span recorder spanning every layer of the
+// library (CPU stage dispatch, fused band sweeps, the simulated-GPU
+// command timeline, FrameRunner tickets, SharpenService workers).
+//
+// Design:
+//   * Recording is gated on one process-global flag read with a single
+//     relaxed atomic load — a disabled Span costs ~1 ns and allocates
+//     nothing, so instrumentation stays compiled into release builds.
+//     The flag initializes from $SHARP_TRACE (any non-empty value other
+//     than "0"; a value that is not "1" additionally names a Chrome-trace
+//     file written at process exit) and can be flipped at runtime with
+//     set_enabled(). Pipelines also honor PipelineOptions::telemetry.
+//   * Each recording thread owns a fixed-capacity ring buffer; the owner
+//     is the only writer, so pushes are lock-free and allocation-free.
+//     When a ring wraps, the oldest spans are dropped (spans_dropped()
+//     reports how many). snapshot() merges every thread's ring.
+//   * Span names/categories are `const char*` so the hot path never
+//     copies strings; intern() provides stable storage for dynamic names
+//     (the simcl event bridge, worker labels).
+//   * A span lives on a track, addressed as (pid, tid) exactly like the
+//     Chrome trace-event format: kHostPid tracks are real threads carrying
+//     wall time, kDevicePid tracks are simulated-device queues and
+//     kModeledCpuPid tracks carry the cost model's per-stage CPU times.
+//
+// Exporters live in sibling headers: chrome_trace.hpp (Perfetto /
+// chrome://tracing JSON) and metrics.hpp (counters/gauges/histograms with
+// Prometheus-style text exposition).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sharp::telemetry {
+
+/// Track namespaces of the trace (Chrome trace-event "process" ids).
+inline constexpr std::uint32_t kHostPid = 1;     ///< real threads, wall time
+inline constexpr std::uint32_t kDevicePid = 2;   ///< simcl queues, modeled us
+inline constexpr std::uint32_t kModeledCpuPid = 3;  ///< CPU cost-model time
+
+/// Optional numeric argument attached to a span (e.g. rows of a band,
+/// bytes of a transfer). `key` must have static or interned storage.
+struct SpanArg {
+  const char* key = nullptr;
+  std::int64_t value = 0;
+};
+
+/// One completed span. `name`/`category` must outlive the recorder: use
+/// string literals, sharp::stage constants, or intern().
+struct SpanRecord {
+  const char* name = nullptr;
+  const char* category = nullptr;
+  double start_us = 0.0;  ///< trace clock (now_us) or anchored modeled time
+  double dur_us = 0.0;
+  std::uint32_t pid = kHostPid;
+  std::uint32_t tid = 0;  ///< host: this_thread_track(); device: queue id
+  SpanArg arg;
+};
+
+/// True when span recording is on. One relaxed atomic load — callers may
+/// check this per pixel band without measurable cost.
+[[nodiscard]] bool enabled();
+void set_enabled(bool on);
+
+/// Trace file named by $SHARP_TRACE (empty when the variable is unset or
+/// is a bare "0"/"1" switch). When non-empty, the process writes a Chrome
+/// trace there at exit.
+[[nodiscard]] const std::string& env_trace_path();
+
+/// Microseconds on the trace clock (monotonic, zero at first telemetry
+/// use in the process).
+[[nodiscard]] double now_us();
+
+/// Track id of the calling thread on kHostPid (registered on first use).
+[[nodiscard]] std::uint32_t this_thread_track();
+
+/// Allocates a fresh kModeledCpuPid track (cost-model stage timelines).
+[[nodiscard]] std::uint32_t new_modeled_track(std::string name);
+
+/// Names a track in the exported trace ("thread_name" metadata).
+void set_track_name(std::uint32_t pid, std::uint32_t tid, std::string name);
+/// Names the calling thread's kHostPid track.
+void set_thread_name(std::string name);
+
+/// Copies `s` into stable storage and returns the canonical pointer
+/// (same pointer for equal strings). For dynamic span names only — not
+/// the hot path.
+[[nodiscard]] const char* intern(std::string_view s);
+
+/// Pushes one span into the calling thread's ring (unconditional — the
+/// caller has already checked enabled()).
+void record(const SpanRecord& rec);
+
+/// Convenience: record a wall-time span on this thread's host track.
+void emit_complete(const char* name, const char* category, double start_us,
+                   double dur_us, SpanArg arg = {});
+
+/// All spans currently held in every thread's ring, sorted by start time.
+[[nodiscard]] std::vector<SpanRecord> snapshot();
+
+/// Registered track names as ((pid, tid), name) pairs.
+[[nodiscard]] std::vector<
+    std::pair<std::pair<std::uint32_t, std::uint32_t>, std::string>>
+track_names();
+
+/// Total spans ever recorded / dropped to ring wrap-around.
+[[nodiscard]] std::uint64_t spans_recorded();
+[[nodiscard]] std::uint64_t spans_dropped();
+
+/// Empties every ring and zeroes the recorded/dropped counters (track
+/// registrations survive). Test support.
+void reset_for_test();
+
+/// RAII span guard: measures construction-to-destruction wall time on the
+/// calling thread's host track. When `on` is false the constructor reads
+/// nothing but the flag and the destructor is a branch — the guard is
+/// safe to leave in hot loops.
+class Span {
+ public:
+  explicit Span(const char* name, const char* category = "sharp",
+                SpanArg arg = {})
+      : Span(enabled(), name, category, arg) {}
+  Span(bool on, const char* name, const char* category, SpanArg arg = {})
+      : on_(on), name_(name), category_(category), arg_(arg) {
+    if (on_) {
+      start_us_ = now_us();
+    }
+  }
+  ~Span() {
+    if (on_) {
+      emit_complete(name_, category_, start_us_, now_us() - start_us_, arg_);
+    }
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  Span(Span&&) = delete;
+  Span& operator=(Span&&) = delete;
+
+  /// Attaches/overwrites the numeric argument before destruction.
+  void set_arg(const char* key, std::int64_t value) { arg_ = {key, value}; }
+
+ private:
+  bool on_;
+  const char* name_;
+  const char* category_;
+  SpanArg arg_;
+  double start_us_ = 0.0;
+};
+
+}  // namespace sharp::telemetry

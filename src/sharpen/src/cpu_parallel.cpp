@@ -11,6 +11,7 @@
 #include "sharpen/detail/simd/rows.hpp"
 #include "sharpen/detail/stage_rows.hpp"
 #include "sharpen/stages.hpp"
+#include "sharpen/telemetry/pipeline_trace.hpp"
 
 namespace sharp {
 namespace {
@@ -23,10 +24,14 @@ double us_since(Clock::time_point t0) {
 }
 
 /// Runs fn(y0, y1) on `threads` workers over contiguous row blocks.
+/// When `trace` is set, each worker's block is recorded as a span named
+/// `name` on that worker thread's own track.
 template <typename Fn>
-void parallel_for_rows(int rows, int threads, Fn&& fn) {
+void parallel_for_rows(int rows, int threads, bool trace, const char* name,
+                       Fn&& fn) {
   const int workers = std::clamp(threads, 1, std::max(1, rows));
   if (workers == 1) {
+    telemetry::Span span(trace, name, "parallel", {"rows", rows});
     fn(0, rows);
     return;
   }
@@ -39,7 +44,10 @@ void parallel_for_rows(int rows, int threads, Fn&& fn) {
     if (y0 >= y1) {
       break;
     }
-    pool.emplace_back([&fn, y0, y1] { fn(y0, y1); });
+    pool.emplace_back([&fn, trace, name, y0, y1] {
+      telemetry::Span span(trace, name, "parallel", {"rows", y1 - y0});
+      fn(y0, y1);
+    });
   }
   for (auto& th : pool) {
     th.join();
@@ -49,7 +57,8 @@ void parallel_for_rows(int rows, int threads, Fn&& fn) {
 /// Runs fn(slot, y0, y1) on `threads` workers; each worker owns one
 /// deterministic slot index so partial results combine in a fixed order.
 template <typename Fn>
-void parallel_for_rows_slotted(int rows, int threads, Fn&& fn) {
+void parallel_for_rows_slotted(int rows, int threads, bool trace,
+                               const char* name, Fn&& fn) {
   const int workers = std::clamp(threads, 1, std::max(1, rows));
   const int chunk = (rows + workers - 1) / workers;
   std::vector<std::thread> pool;
@@ -60,7 +69,10 @@ void parallel_for_rows_slotted(int rows, int threads, Fn&& fn) {
     if (y0 >= y1) {
       break;
     }
-    pool.emplace_back([&fn, t, y0, y1] { fn(t, y0, y1); });
+    pool.emplace_back([&fn, trace, name, t, y0, y1] {
+      telemetry::Span span(trace, name, "parallel", {"rows", y1 - y0});
+      fn(t, y0, y1);
+    });
   }
   for (auto& th : pool) {
     th.join();
@@ -126,11 +138,20 @@ PipelineResult ParallelCpuPipeline::run(const img::ImageU8& input,
                                         const SharpenParams& params) const {
   validate_size(input.width(), input.height());
   params.validate();
+  const bool trace = telemetry::pipeline_trace_on(options_);
+  telemetry::Span span(
+      trace, options_.cpu_fuse ? "pcpu.run_fused" : "pcpu.run_unfused",
+      "pipeline",
+      {"pixels",
+       static_cast<std::int64_t>(input.width()) * input.height()});
   PipelineResult result = options_.cpu_fuse ? run_fused(input, params)
                                             : run_unfused(input, params);
   for (const auto& s : result.stages) {
     result.total_modeled_us += s.modeled_us;
     result.total_wall_us += s.wall_us;
+  }
+  if (trace) {
+    telemetry::emit_modeled_stages(result.stages);
   }
   return result;
 }
@@ -145,15 +166,21 @@ PipelineResult ParallelCpuPipeline::run_unfused(
       use_simd ? detail::simd::active_level() : detail::simd::Level::kScalar;
 
   PipelineResult result;
+  const bool trace = telemetry::pipeline_trace_on(options_);
   const auto record = [&](const char* name, const simcl::HostWork& work,
                           Clock::time_point t0) {
-    result.stages.push_back(
-        {name, model_.host_compute_us(work), us_since(t0)});
+    const double wall = us_since(t0);
+    result.stages.push_back({name, model_.host_compute_us(work), wall});
+    if (trace) {
+      telemetry::emit_complete(name, "stage", telemetry::now_us() - wall,
+                               wall);
+    }
   };
 
   auto t0 = Clock::now();
   img::ImageF32 down(w / kScale, dh);
-  parallel_for_rows(dh, threads_, [&](int r0, int r1) {
+  parallel_for_rows(dh, threads_, trace, stage::kDownscale,
+                    [&](int r0, int r1) {
     if (use_simd) {
       detail::simd::downscale_rows(lvl, input.view(), down.view(), r0, r1);
     } else {
@@ -164,14 +191,16 @@ PipelineResult ParallelCpuPipeline::run_unfused(
 
   t0 = Clock::now();
   img::ImageF32 up(w, h);
-  parallel_for_rows(h, threads_, [&](int y0, int y1) {
+  parallel_for_rows(h, threads_, trace, stage::kUpscale,
+                    [&](int y0, int y1) {
     detail::upscale_rect(down.view(), up.view(), 0, y0, w, y1);
   });
   record(stage::kUpscale, upscale_work(w, h), t0);
 
   t0 = Clock::now();
   img::ImageF32 error(w, h);
-  parallel_for_rows(h, threads_, [&](int y0, int y1) {
+  parallel_for_rows(h, threads_, trace, stage::kPError,
+                    [&](int y0, int y1) {
     if (use_simd) {
       detail::simd::difference_rows(lvl, input.view(), up.view(),
                                     error.view(), y0, y1);
@@ -183,7 +212,8 @@ PipelineResult ParallelCpuPipeline::run_unfused(
 
   t0 = Clock::now();
   img::ImageI32 edge(w, h, 0);
-  parallel_for_rows(h, threads_, [&](int y0, int y1) {
+  parallel_for_rows(h, threads_, trace, stage::kSobel,
+                    [&](int y0, int y1) {
     if (use_simd) {
       detail::simd::sobel_rows(lvl, input.view(), edge.view(), y0, y1);
     } else {
@@ -195,7 +225,8 @@ PipelineResult ParallelCpuPipeline::run_unfused(
   t0 = Clock::now();
   std::vector<std::int64_t> partials(
       static_cast<std::size_t>(std::max(1, threads_)), 0);
-  parallel_for_rows_slotted(h, threads_, [&](int slot, int y0, int y1) {
+  parallel_for_rows_slotted(h, threads_, trace, stage::kReduction,
+                            [&](int slot, int y0, int y1) {
     partials[static_cast<std::size_t>(slot)] =
         use_simd ? detail::simd::reduce_rows(lvl, edge.view(), y0, y1)
                  : detail::reduce_rows(edge.view(), y0, y1);
@@ -216,7 +247,8 @@ PipelineResult ParallelCpuPipeline::run_unfused(
   if (use_simd) {
     lut = detail::simd::strength_lut(inv_mean, params);
   }
-  parallel_for_rows(h, threads_, [&](int y0, int y1) {
+  parallel_for_rows(h, threads_, trace, stage::kStrength,
+                    [&](int y0, int y1) {
     if (use_simd) {
       detail::simd::preliminary_rows(lvl, up.view(), error.view(),
                                      edge.view(), lut.data(), prelim.view(),
@@ -230,7 +262,8 @@ PipelineResult ParallelCpuPipeline::run_unfused(
 
   t0 = Clock::now();
   result.output = img::ImageU8(w, h);
-  parallel_for_rows(h, threads_, [&](int y0, int y1) {
+  parallel_for_rows(h, threads_, trace, stage::kOvershoot,
+                    [&](int y0, int y1) {
     if (use_simd) {
       detail::simd::overshoot_rows(lvl, input.view(), prelim.view(), params,
                                    result.output.view(), y0, y1);
@@ -253,10 +286,12 @@ PipelineResult ParallelCpuPipeline::run_fused(
                                       : detail::simd::Level::kScalar;
 
   PipelineResult result;
+  const bool trace = telemetry::pipeline_trace_on(options_);
 
   auto t0 = Clock::now();
   img::ImageF32 down(w / kScale, dh);
-  parallel_for_rows(dh, threads_, [&](int r0, int r1) {
+  parallel_for_rows(dh, threads_, trace, stage::kDownscale,
+                    [&](int r0, int r1) {
     detail::simd::downscale_rows(lvl, input.view(), down.view(), r0, r1);
   });
   const double downscale_wall = us_since(t0);
@@ -266,7 +301,8 @@ PipelineResult ParallelCpuPipeline::run_fused(
   t0 = Clock::now();
   std::vector<std::int64_t> partials(
       static_cast<std::size_t>(std::max(1, threads_)), 0);
-  parallel_for_rows_slotted(h, threads_, [&](int slot, int y0, int y1) {
+  parallel_for_rows_slotted(h, threads_, trace, "fused.sobel_reduce",
+                            [&](int slot, int y0, int y1) {
     partials[static_cast<std::size_t>(slot)] =
         detail::fused::sobel_reduce(input.view(), y0, y1, lvl);
   });
@@ -291,7 +327,8 @@ PipelineResult ParallelCpuPipeline::run_fused(
   t0 = Clock::now();
   const std::vector<float> lut = detail::simd::strength_lut(inv_mean, params);
   result.output = img::ImageU8(w, h);
-  parallel_for_rows(h, threads_, [&](int y0, int y1) {
+  parallel_for_rows(h, threads_, trace, "fused.sharpen",
+                    [&](int y0, int y1) {
     detail::fused::sharpen_rows(input.view(), down.view(), lut.data(),
                                 params, result.output.view(), y0, y1, lvl,
                                 options_.cpu_band_rows);

@@ -8,6 +8,7 @@
 #include "sharpen/detail/fused.hpp"
 #include "sharpen/detail/simd/rows.hpp"
 #include "sharpen/stages.hpp"
+#include "sharpen/telemetry/pipeline_trace.hpp"
 
 namespace sharp {
 namespace {
@@ -64,11 +65,20 @@ PipelineResult CpuPipeline::run(const img::ImageU8& input,
                                 const SharpenParams& params) const {
   validate_size(input.width(), input.height());
   params.validate();
+  const bool trace = telemetry::pipeline_trace_on(options_);
+  telemetry::Span span(
+      trace, options_.cpu_fuse ? "cpu.run_fused" : "cpu.run_unfused",
+      "pipeline",
+      {"pixels",
+       static_cast<std::int64_t>(input.width()) * input.height()});
   PipelineResult result =
       options_.cpu_fuse ? run_fused(input, params) : run_unfused(input, params);
   for (const auto& s : result.stages) {
     result.total_modeled_us += s.modeled_us;
     result.total_wall_us += s.wall_us;
+  }
+  if (trace) {
+    telemetry::emit_modeled_stages(result.stages);
   }
   return result;
 }
@@ -82,10 +92,15 @@ PipelineResult CpuPipeline::run_unfused(const img::ImageU8& input,
       use_simd ? detail::simd::active_level() : detail::simd::Level::kScalar;
 
   PipelineResult result;
+  const bool trace = telemetry::pipeline_trace_on(options_);
   const auto record = [&](const char* name, const simcl::HostWork& work,
                           Clock::time_point t0) {
-    result.stages.push_back(
-        {name, model_.host_compute_us(work), us_since(t0)});
+    const double wall = us_since(t0);
+    result.stages.push_back({name, model_.host_compute_us(work), wall});
+    if (trace) {
+      telemetry::emit_complete(name, "stage", telemetry::now_us() - wall,
+                               wall);
+    }
   };
 
   auto t0 = Clock::now();
@@ -169,16 +184,24 @@ PipelineResult CpuPipeline::run_fused(const img::ImageU8& input,
                                       : detail::simd::Level::kScalar;
 
   PipelineResult result;
+  const bool trace = telemetry::pipeline_trace_on(options_);
 
   auto t0 = Clock::now();
   img::ImageF32 down(w / kScale, h / kScale);
-  detail::simd::downscale_rows(lvl, input.view(), down.view(), 0,
-                               down.height());
+  {
+    telemetry::Span span(trace, stage::kDownscale, "stage");
+    detail::simd::downscale_rows(lvl, input.view(), down.view(), 0,
+                                 down.height());
+  }
   const double downscale_wall = us_since(t0);
 
   // Sweep 1: Sobel + reduction over the whole image, one scratch row.
   t0 = Clock::now();
-  const std::int64_t sum = detail::fused::sobel_reduce(input.view(), 0, h, lvl);
+  std::int64_t sum = 0;
+  {
+    telemetry::Span span(trace, "fused.sobel_reduce", "sweep");
+    sum = detail::fused::sobel_reduce(input.view(), 0, h, lvl);
+  }
   std::vector<SweepStage> sweep1 = {
       {stage::kSobel, model_.host_compute_us(cpu_cost::sobel(w, h))},
       {stage::kReduction, model_.host_compute_us(cpu_cost::reduction(w, h))},
@@ -193,11 +216,15 @@ PipelineResult CpuPipeline::run_fused(const img::ImageU8& input,
   // Sweep 2: upscale + pError + strength(LUT) + preliminary + overshoot
   // over L2-resident row bands.
   t0 = Clock::now();
-  const std::vector<float> lut = detail::simd::strength_lut(inv_mean, params);
-  result.output = img::ImageU8(w, h);
-  detail::fused::sharpen_rows(input.view(), down.view(), lut.data(), params,
-                              result.output.view(), 0, h, lvl,
-                              options_.cpu_band_rows);
+  {
+    telemetry::Span span(trace, "fused.sharpen", "sweep");
+    const std::vector<float> lut =
+        detail::simd::strength_lut(inv_mean, params);
+    result.output = img::ImageU8(w, h);
+    detail::fused::sharpen_rows(input.view(), down.view(), lut.data(), params,
+                                result.output.view(), 0, h, lvl,
+                                options_.cpu_band_rows);
+  }
   std::vector<SweepStage> sweep2 = {
       {stage::kUpscale, model_.host_compute_us(upscale_work(w, h))},
       {stage::kPError, model_.host_compute_us(cpu_cost::difference(w, h))},

@@ -5,6 +5,7 @@
 
 #include "sharpen/detail/simd/pixel_ops.hpp"
 #include "sharpen/detail/stage_rows.hpp"
+#include "sharpen/telemetry/telemetry.hpp"
 
 namespace sharp::detail::fused {
 
@@ -51,9 +52,12 @@ void sharpen_rows(img::ImageView<const std::uint8_t> src,
   const auto edge = edge_band.view();
   const auto prelim = prelim_band.view();
 
+  // One relaxed atomic load per whole call, not per band.
+  const bool trace = telemetry::enabled();
   for (int b0 = y0; b0 < y1; b0 += band) {
     const int b1 = std::min(y1, b0 + band);
     const int n = b1 - b0;
+    telemetry::Span span(trace, "fused.band", "sweep", {"rows", n});
     for (int i = 0; i < n; ++i) {
       detail::upscale_row(down, up.row(i), b0 + i, 0, w);
     }

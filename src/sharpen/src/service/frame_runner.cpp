@@ -10,6 +10,8 @@
 #include "sharpen/cpu_cost.hpp"
 #include "sharpen/gpu/kernels.hpp"
 #include "sharpen/stages.hpp"
+#include "sharpen/telemetry/chrome_trace.hpp"
+#include "sharpen/telemetry/pipeline_trace.hpp"
 
 namespace sharp::service {
 namespace {
@@ -77,6 +79,17 @@ FrameRunner::FrameRunner(simcl::Context& ctx, gpu::BufferPool& pool,
   if (slots_ < 1) {
     throw SharpenError("FrameRunner: slots must be >= 1");
   }
+  if (overlapped()) {
+    telemetry::set_track_name(telemetry::kDevicePid, comp_->id(),
+                              "simcl comp queue #" +
+                                  std::to_string(comp_->id()));
+    telemetry::set_track_name(telemetry::kDevicePid, xfer_->id(),
+                              "simcl xfer queue #" +
+                                  std::to_string(xfer_->id()));
+  } else {
+    telemetry::set_track_name(telemetry::kDevicePid, comp_->id(),
+                              "simcl queue #" + std::to_string(comp_->id()));
+  }
 }
 
 std::string FrameRunner::slot_name(const char* base, int slot) const {
@@ -97,6 +110,8 @@ FrameRunner::Ticket FrameRunner::begin_frame(const img::ImageU8& input,
   const int h = input.height();
   const std::int64_t n = static_cast<std::int64_t>(w) * h;
   const PipelineOptions& opt = options_;
+  const bool trace = telemetry::pipeline_trace_on(options_);
+  telemetry::Span span(trace, "frame.begin", "frame", {"pixels", n});
 
   Ticket t;
   t.w = w;
@@ -172,6 +187,10 @@ FrameRunner::Ticket FrameRunner::begin_frame(const img::ImageU8& input,
 
   t.xfer_events_after_upload = xfer_->events().size();
   t.upload_done = xfer_->events().back();
+  if (trace) {
+    telemetry::bridge_queue_events(*xfer_, t.xfer_events_begin,
+                                   t.xfer_events_after_upload);
+  }
   return t;
 }
 
@@ -185,6 +204,8 @@ PipelineResult FrameRunner::finish_frame(const Ticket& t,
   const std::int64_t n = static_cast<std::int64_t>(w) * h;
   const PipelineOptions& opt = options_;
   const KernelEnv env = KernelEnv::from(opt);
+  const bool trace = telemetry::pipeline_trace_on(options_);
+  telemetry::Span span(trace, "frame.finish", "frame", {"pixels", n});
 
   CommandQueue& q = *comp_;
   const Mover mover{q, opt.transfer};
@@ -509,9 +530,21 @@ PipelineResult FrameRunner::finish_frame(const Ticket& t,
     // Latency of this frame on the overlapped timeline; queues keep
     // running, so there is no global finish to read a total from.
     result.total_modeled_us = last_end - first_start;
+    if (trace) {
+      telemetry::bridge_queue_events(*comp_, t.comp_events_begin,
+                                     comp_->events().size());
+      telemetry::bridge_queue_events(*xfer_, download_begin,
+                                     xfer_->events().size());
+    }
   } else {
     accumulate(q.events(), t.comp_events_begin, q.events().size());
     result.total_modeled_us = q.timeline_us();
+    if (trace) {
+      // begin_frame already bridged the upload range of this (shared)
+      // queue; start after it to keep every event bridged exactly once.
+      telemetry::bridge_queue_events(q, t.xfer_events_after_upload,
+                                     q.events().size());
+    }
   }
   for (const auto& phase : order) {
     result.stages.push_back({phase, by_phase[phase], 0.0});

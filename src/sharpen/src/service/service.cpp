@@ -8,22 +8,13 @@
 #include "sharpen/cpu_pipeline.hpp"
 #include "sharpen/service/buffer_pool.hpp"
 #include "sharpen/service/frame_runner.hpp"
+#include "sharpen/telemetry/pipeline_trace.hpp"
 #include "simcl/queue.hpp"
 
 namespace sharp::service {
 namespace {
 
 using Clock = std::chrono::steady_clock;
-
-/// Nearest-rank percentile of an already-sorted sample.
-double percentile(const std::vector<double>& sorted, double q) {
-  if (sorted.empty()) {
-    return 0.0;
-  }
-  const auto rank = static_cast<std::size_t>(
-      std::ceil(q * static_cast<double>(sorted.size())));
-  return sorted[std::min(rank == 0 ? 0 : rank - 1, sorted.size() - 1)];
-}
 
 }  // namespace
 
@@ -49,6 +40,7 @@ report::Table ServiceStats::to_table() const {
   t.add_row({"rejected", std::to_string(rejected)});
   t.add_row({"expired", std::to_string(expired)});
   t.add_row({"queue_depth", std::to_string(queue_depth)});
+  t.add_row({"queue_depth_hwm", std::to_string(queue_depth_hwm)});
   t.add_row({"p50_latency_us", report::fmt(p50_latency_us)});
   t.add_row({"p95_latency_us", report::fmt(p95_latency_us)});
   t.add_row({"p99_latency_us", report::fmt(p99_latency_us)});
@@ -68,6 +60,24 @@ SharpenService::SharpenService(ServiceConfig config)
   if (auto problem = config_.execution.options.validate()) {
     throw SharpenError("PipelineOptions: " + *problem);
   }
+  submitted_ = &registry_.counter("sharp_service_submitted_total",
+                                  "requests accepted by submit()");
+  completed_ = &registry_.counter("sharp_service_completed_total",
+                                  "requests served by a worker");
+  degraded_ = &registry_.counter("sharp_service_degraded_total",
+                                 "requests served by the CPU fallback");
+  rejected_ = &registry_.counter("sharp_service_rejected_total",
+                                 "requests dropped at admission");
+  expired_ = &registry_.counter("sharp_service_deadline_expired_total",
+                                "requests whose deadline passed in queue");
+  queue_depth_ = &registry_.gauge("sharp_service_queue_depth",
+                                  "requests waiting for a worker");
+  latency_us_ = &registry_.histogram("sharp_service_latency_us",
+                                     telemetry::default_latency_bounds_us(),
+                                     "modeled per-request latency");
+  queue_wait_us_ = &registry_.histogram(
+      "sharp_service_queue_wait_us", telemetry::default_latency_bounds_us(),
+      "wall time a request waited for a worker");
   worker_busy_us_.assign(static_cast<std::size_t>(config_.workers), 0.0);
   threads_.reserve(static_cast<std::size_t>(config_.workers));
   for (int i = 0; i < config_.workers; ++i) {
@@ -93,15 +103,13 @@ std::future<ServiceResponse> SharpenService::submit(img::ImageU8 frame,
   Job job;
   job.frame = std::move(frame);
   job.params = params;
+  job.submit_us = telemetry::now_us();
   if (opts.deadline.has_value()) {
     job.deadline = Clock::now() + *opts.deadline;
   }
   std::future<ServiceResponse> future = job.promise.get_future();
 
-  {
-    std::lock_guard<std::mutex> lk(stats_mu_);
-    ++submitted_;
-  }
+  submitted_->inc();
 
   std::unique_lock<std::mutex> lk(mu_);
   if (stop_) {
@@ -119,10 +127,7 @@ std::future<ServiceResponse> SharpenService::submit(img::ImageU8 frame,
         break;
       case BackpressurePolicy::kReject: {
         lk.unlock();
-        {
-          std::lock_guard<std::mutex> slk(stats_mu_);
-          ++rejected_;
-        }
+        rejected_->inc();
         ServiceResponse response;
         response.outcome = RequestOutcome::kRejected;
         job.promise.set_value(std::move(response));
@@ -137,16 +142,14 @@ std::future<ServiceResponse> SharpenService::submit(img::ImageU8 frame,
         response.result =
             CpuPipeline(config_.execution.host, config_.execution.options)
                 .run(job.frame, job.params);
-        {
-          std::lock_guard<std::mutex> slk(stats_mu_);
-          ++degraded_;
-        }
+        degraded_->inc();
         job.promise.set_value(std::move(response));
         return future;
       }
     }
   }
   queue_.push_back(std::move(job));
+  queue_depth_->set(static_cast<std::int64_t>(queue_.size()));
   lk.unlock();
   cv_not_empty_.notify_one();
   return future;
@@ -178,19 +181,21 @@ ServiceStats SharpenService::stats() const {
     std::lock_guard<std::mutex> lk(mu_);
     s.queue_depth = queue_.size();
   }
-  std::lock_guard<std::mutex> lk(stats_mu_);
-  s.submitted = submitted_;
-  s.completed = completed_;
-  s.degraded = degraded_;
-  s.rejected = rejected_;
-  s.expired = expired_;
-  std::vector<double> sorted = latencies_us_;
-  std::sort(sorted.begin(), sorted.end());
-  s.p50_latency_us = percentile(sorted, 0.50);
-  s.p95_latency_us = percentile(sorted, 0.95);
-  s.p99_latency_us = percentile(sorted, 0.99);
-  s.busy_us =
-      *std::max_element(worker_busy_us_.begin(), worker_busy_us_.end());
+  s.submitted = submitted_->value();
+  s.completed = completed_->value();
+  s.degraded = degraded_->value();
+  s.rejected = rejected_->value();
+  s.expired = expired_->value();
+  s.queue_depth_hwm =
+      static_cast<std::uint64_t>(queue_depth_->high_water());
+  s.p50_latency_us = latency_us_->percentile(0.50);
+  s.p95_latency_us = latency_us_->percentile(0.95);
+  s.p99_latency_us = latency_us_->percentile(0.99);
+  {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    s.busy_us =
+        *std::max_element(worker_busy_us_.begin(), worker_busy_us_.end());
+  }
   s.throughput_fps = s.busy_us > 0.0
                          ? static_cast<double>(s.completed) * 1e6 / s.busy_us
                          : 0.0;
@@ -198,6 +203,7 @@ ServiceStats SharpenService::stats() const {
 }
 
 void SharpenService::worker_loop(int index) {
+  telemetry::set_thread_name("service worker " + std::to_string(index));
   // Per-worker simulated device: persistent across requests so buffers,
   // the strength LUT, and (in overlapped mode) the queue timelines carry
   // over from frame to frame.
@@ -233,9 +239,9 @@ void SharpenService::worker_loop(int index) {
   double serial_busy_us = 0.0;
 
   const auto record_done = [&](double latency_us) {
+    completed_->inc();
+    latency_us_->observe(latency_us);
     std::lock_guard<std::mutex> lk(stats_mu_);
-    ++completed_;
-    latencies_us_.push_back(latency_us);
     if (is_gpu && runner->overlapped()) {
       worker_busy_us_[static_cast<std::size_t>(index)] =
           std::max(comp->timeline_us(), xfer->timeline_us());
@@ -249,7 +255,10 @@ void SharpenService::worker_loop(int index) {
     ServiceResponse response;
     response.worker = index;
     try {
+      telemetry::Span span(telemetry::pipeline_trace_on(exec.options),
+                           "job.execute", "service");
       response.result = runner->finish_frame(p.ticket, p.job.params);
+      span.set_arg("worker", index);
       record_done(response.result.total_modeled_us);
       p.job.promise.set_value(std::move(response));
     } catch (...) {
@@ -272,6 +281,7 @@ void SharpenService::worker_loop(int index) {
       if (!queue_.empty()) {
         job = std::move(queue_.front());
         queue_.pop_front();
+        queue_depth_->set(static_cast<std::int64_t>(queue_.size()));
         ++inflight_;
         cv_not_full_.notify_one();
       } else {
@@ -289,13 +299,18 @@ void SharpenService::worker_loop(int index) {
       }
     }
 
+    // Queue-wait split: wall time between submit() and this dequeue.
+    const double wait_us = telemetry::now_us() - job->submit_us;
+    queue_wait_us_->observe(wait_us);
+    if (telemetry::pipeline_trace_on(exec.options)) {
+      telemetry::emit_complete("job.queue_wait", "service", job->submit_us,
+                               wait_us, {"worker", index});
+    }
+
     // Lazily-checked deadline: a request that waited past its deadline is
     // cancelled here, before any device work is enqueued for it.
     if (job->deadline.has_value() && Clock::now() > *job->deadline) {
-      {
-        std::lock_guard<std::mutex> lk(stats_mu_);
-        ++expired_;
-      }
+      expired_->inc();
       ServiceResponse response;
       response.outcome = RequestOutcome::kExpired;
       job->promise.set_value(std::move(response));
@@ -311,6 +326,8 @@ void SharpenService::worker_loop(int index) {
       ServiceResponse response;
       response.worker = index;
       try {
+        telemetry::Span span(telemetry::pipeline_trace_on(exec.options),
+                             "job.execute", "service", {"worker", index});
         response.result = cpu->run(job->frame, job->params);
         record_done(response.result.total_modeled_us);
         job->promise.set_value(std::move(response));

@@ -1,0 +1,99 @@
+#include "sharpen/telemetry/chrome_trace.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "report/json.hpp"
+#include "sharpen/telemetry/telemetry.hpp"
+#include "simcl/queue.hpp"
+
+namespace sharp::telemetry {
+namespace {
+
+report::JsonRecord metadata_event(const char* what, std::uint32_t pid,
+                                  std::uint32_t tid, const std::string& name) {
+  report::JsonRecord rec;
+  rec.add("name", what);
+  rec.add("ph", "M");
+  rec.add("pid", static_cast<std::int64_t>(pid));
+  rec.add("tid", static_cast<std::int64_t>(tid));
+  report::JsonRecord args;
+  args.add("name", name);
+  rec.add("args", std::move(args));
+  return rec;
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os) {
+  report::JsonArray array;
+
+  array.add(metadata_event("process_name", kHostPid, 0,
+                           "host threads (wall time)"));
+  array.add(metadata_event("process_name", kDevicePid, 0,
+                           "simcl device queues (modeled time)"));
+  array.add(metadata_event("process_name", kModeledCpuPid, 0,
+                           "cpu cost model (modeled time)"));
+  for (const auto& [track, name] : track_names()) {
+    array.add(metadata_event("thread_name", track.first, track.second, name));
+  }
+
+  for (const SpanRecord& span : snapshot()) {
+    report::JsonRecord rec;
+    rec.add("name", span.name);
+    rec.add("cat", span.category);
+    rec.add("ph", "X");
+    rec.add("ts", span.start_us);
+    rec.add("dur", span.dur_us);
+    rec.add("pid", static_cast<std::int64_t>(span.pid));
+    rec.add("tid", static_cast<std::int64_t>(span.tid));
+    if (span.arg.key != nullptr) {
+      report::JsonRecord args;
+      args.add(span.arg.key, span.arg.value);
+      rec.add("args", std::move(args));
+    }
+    array.add(rec);
+  }
+
+  array.print(os);
+}
+
+bool write_chrome_trace(const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return false;
+  }
+  write_chrome_trace(out);
+  return static_cast<bool>(out);
+}
+
+void bridge_queue_events(const simcl::CommandQueue& queue, std::size_t begin,
+                         std::size_t end) {
+  const std::vector<simcl::Event>& events = queue.events();
+  if (end > events.size()) {
+    end = events.size();
+  }
+  if (begin >= end) {
+    return;
+  }
+  // Anchor the modeled range so its last event ends "now" on the wall
+  // clock; everything inside keeps exact modeled durations and spacing.
+  const double anchor = now_us() - events[end - 1].end_us;
+  for (std::size_t i = begin; i < end; ++i) {
+    const simcl::Event& ev = events[i];
+    SpanRecord rec;
+    rec.name = intern(ev.name);
+    rec.category =
+        ev.phase.empty() ? simcl::to_string(ev.kind) : intern(ev.phase);
+    rec.start_us = anchor + ev.start_us;
+    rec.dur_us = ev.duration_us();
+    rec.pid = kDevicePid;
+    rec.tid = queue.id();
+    if (ev.bytes > 0) {
+      rec.arg = {"bytes", static_cast<std::int64_t>(ev.bytes)};
+    }
+    record(rec);
+  }
+}
+
+}  // namespace sharp::telemetry

@@ -1,0 +1,192 @@
+#include "sharpen/telemetry/metrics.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace sharp::telemetry {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (!(bounds_[i - 1] < bounds_[i])) {
+      throw std::invalid_argument(
+          "Histogram bounds must be strictly increasing");
+    }
+  }
+}
+
+void Histogram::observe(double v) {
+  std::size_t i = 0;
+  while (i < bounds_.size() && v > bounds_[i]) {
+    ++i;
+  }
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double sum = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(sum, sum + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::percentile(double q) const {
+  const std::vector<std::uint64_t> counts = bucket_counts();
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) {
+    total += c;
+  }
+  if (total == 0) {
+    return 0.0;
+  }
+  // Nearest-rank target, then interpolate within the chosen bucket.
+  const double clamped = q < 0.0 ? 0.0 : (q > 1.0 ? 1.0 : q);
+  std::uint64_t rank =
+      static_cast<std::uint64_t>(std::ceil(clamped * static_cast<double>(total)));
+  if (rank == 0) {
+    rank = 1;
+  }
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) {
+      continue;
+    }
+    if (seen + counts[i] >= rank) {
+      const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      if (i >= bounds_.size()) {
+        return lo;  // overflow bucket: no finite upper bound
+      }
+      const double hi = bounds_[i];
+      const double frac = static_cast<double>(rank - seen) /
+                          static_cast<double>(counts[i]);
+      return lo + (hi - lo) * frac;
+    }
+    seen += counts[i];
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+std::vector<double> default_latency_bounds_us() {
+  std::vector<double> bounds;
+  double b = 1.0;
+  for (int i = 0; i < 24; ++i) {  // 1 us .. ~8.4 s
+    bounds.push_back(b);
+    b *= 2.0;
+  }
+  return bounds;
+}
+
+Registry::Entry& Registry::find_or_create(const std::string& name,
+                                          const std::string& help,
+                                          Kind kind) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& e : entries_) {
+    if (e->name == name) {
+      if (e->kind != kind) {
+        throw std::runtime_error("telemetry::Registry: instrument '" + name +
+                                 "' already registered with a different kind");
+      }
+      return *e;
+    }
+  }
+  auto e = std::make_unique<Entry>();
+  e->name = name;
+  e->help = help;
+  e->kind = kind;
+  entries_.push_back(std::move(e));
+  return *entries_.back();
+}
+
+Counter& Registry::counter(const std::string& name, const std::string& help) {
+  Entry& e = find_or_create(name, help, Kind::kCounter);
+  if (!e.counter) {
+    e.counter = std::make_unique<Counter>();
+  }
+  return *e.counter;
+}
+
+Gauge& Registry::gauge(const std::string& name, const std::string& help) {
+  Entry& e = find_or_create(name, help, Kind::kGauge);
+  if (!e.gauge) {
+    e.gauge = std::make_unique<Gauge>();
+  }
+  return *e.gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               std::vector<double> bounds,
+                               const std::string& help) {
+  Entry& e = find_or_create(name, help, Kind::kHistogram);
+  if (!e.histogram) {
+    e.histogram = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return *e.histogram;
+}
+
+namespace {
+
+void format_number(std::ostringstream& os, double v) {
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::abs(v) < 1e15) {
+    os << static_cast<long long>(v);
+  } else {
+    os << v;
+  }
+}
+
+}  // namespace
+
+std::string Registry::expose_text() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::ostringstream os;
+  for (const auto& e : entries_) {
+    if (!e->help.empty()) {
+      os << "# HELP " << e->name << " " << e->help << "\n";
+    }
+    switch (e->kind) {
+      case Kind::kCounter:
+        os << "# TYPE " << e->name << " counter\n";
+        os << e->name << " " << e->counter->value() << "\n";
+        break;
+      case Kind::kGauge:
+        os << "# TYPE " << e->name << " gauge\n";
+        os << e->name << " " << e->gauge->value() << "\n";
+        os << "# TYPE " << e->name << "_hwm gauge\n";
+        os << e->name << "_hwm " << e->gauge->high_water() << "\n";
+        break;
+      case Kind::kHistogram: {
+        os << "# TYPE " << e->name << " histogram\n";
+        const std::vector<std::uint64_t> counts =
+            e->histogram->bucket_counts();
+        const std::vector<double>& bounds = e->histogram->bounds();
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < bounds.size(); ++i) {
+          cumulative += counts[i];
+          os << e->name << "_bucket{le=\"";
+          format_number(os, bounds[i]);
+          os << "\"} " << cumulative << "\n";
+        }
+        cumulative += counts.back();
+        os << e->name << "_bucket{le=\"+Inf\"} " << cumulative << "\n";
+        os << e->name << "_sum " << e->histogram->sum() << "\n";
+        os << e->name << "_count " << e->histogram->count() << "\n";
+        break;
+      }
+    }
+  }
+  return os.str();
+}
+
+Registry& global_registry() {
+  static Registry* r = new Registry;  // leaked: usable from atexit hooks
+  return *r;
+}
+
+}  // namespace sharp::telemetry

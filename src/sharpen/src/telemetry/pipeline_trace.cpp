@@ -1,0 +1,33 @@
+#include "sharpen/telemetry/pipeline_trace.hpp"
+
+#include <string>
+
+namespace sharp::telemetry {
+
+std::uint32_t modeled_cpu_track() {
+  thread_local const std::uint32_t track = new_modeled_track(
+      "cpu model (thread " + std::to_string(this_thread_track()) + ")");
+  return track;
+}
+
+void emit_modeled_stages(const std::vector<StageTiming>& stages) {
+  double total = 0.0;
+  for (const StageTiming& s : stages) {
+    total += s.modeled_us;
+  }
+  const std::uint32_t tid = modeled_cpu_track();
+  double cursor = now_us() - total;
+  for (const StageTiming& s : stages) {
+    SpanRecord rec;
+    rec.name = intern(s.stage);
+    rec.category = "modeled";
+    rec.start_us = cursor;
+    rec.dur_us = s.modeled_us;
+    rec.pid = kModeledCpuPid;
+    rec.tid = tid;
+    record(rec);
+    cursor += s.modeled_us;
+  }
+}
+
+}  // namespace sharp::telemetry

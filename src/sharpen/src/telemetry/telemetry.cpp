@@ -1,0 +1,238 @@
+#include "sharpen/telemetry/telemetry.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <unordered_set>
+
+#include "sharpen/telemetry/chrome_trace.hpp"
+
+namespace sharp::telemetry {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Per-thread span ring. The owning thread is the only writer; pushes are
+/// a relaxed index load, a slot store, and a release index store. Readers
+/// (snapshot) take an acquire load of the index and copy slots — a reader
+/// racing a concurrent push can observe a torn slot, which is why
+/// exporters run after the instrumented work has completed (trace export
+/// is an end-of-run operation, not a live tap).
+class ThreadBuffer {
+ public:
+  static constexpr std::size_t kCapacity = 1 << 14;  // 16384 spans/thread
+
+  explicit ThreadBuffer(std::uint32_t tid) : tid_(tid), slots_(kCapacity) {}
+
+  void push(const SpanRecord& rec) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    slots_[head % kCapacity] = rec;
+    head_.store(head + 1, std::memory_order_release);
+  }
+
+  void drain_into(std::vector<SpanRecord>& out) const {
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    const std::uint64_t n = std::min<std::uint64_t>(head, kCapacity);
+    const std::uint64_t first = head - n;
+    for (std::uint64_t i = first; i < head; ++i) {
+      out.push_back(slots_[i % kCapacity]);
+    }
+  }
+
+  [[nodiscard]] std::uint64_t pushed() const {
+    return head_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::uint64_t dropped() const {
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    return head > kCapacity ? head - kCapacity : 0;
+  }
+  void clear() { head_.store(0, std::memory_order_release); }
+
+  [[nodiscard]] std::uint32_t tid() const { return tid_; }
+
+ private:
+  std::uint32_t tid_;
+  std::vector<SpanRecord> slots_;
+  std::atomic<std::uint64_t> head_{0};
+};
+
+void write_env_trace_at_exit();
+
+struct State {
+  std::atomic<bool> enabled{false};
+  std::string trace_path;
+  Clock::time_point epoch = Clock::now();
+
+  std::mutex mu;  ///< guards everything below
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  std::uint32_t next_host_tid = 1;
+  std::uint32_t next_modeled_tid = 1;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::string> names;
+  std::unordered_set<std::string> interned;
+
+  State() {
+    if (const char* env = std::getenv("SHARP_TRACE");
+        env != nullptr && env[0] != '\0') {
+      const std::string_view v(env);
+      if (v != "0") {
+        enabled.store(true, std::memory_order_relaxed);
+        if (v != "1") {
+          trace_path = env;
+          std::atexit(&write_env_trace_at_exit);
+        }
+      }
+    }
+  }
+};
+
+/// Leaked on purpose: worker threads and atexit hooks may record or
+/// export after static destruction would have run.
+State& state() {
+  static State* s = new State;
+  return *s;
+}
+
+ThreadBuffer& this_thread_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+    State& s = state();
+    std::lock_guard<std::mutex> lk(s.mu);
+    auto b = std::make_shared<ThreadBuffer>(s.next_host_tid++);
+    s.buffers.push_back(b);
+    return b;
+  }();
+  return *buffer;
+}
+
+void write_env_trace_at_exit() {
+  const std::string& path = state().trace_path;
+  if (path.empty()) {
+    return;
+  }
+  if (write_chrome_trace(path)) {
+    std::cerr << "telemetry: wrote " << path << " (" << spans_recorded()
+              << " spans; open in Perfetto or chrome://tracing)\n";
+  } else {
+    std::cerr << "telemetry: FAILED to write " << path << "\n";
+  }
+}
+
+}  // namespace
+
+bool enabled() {
+  return state().enabled.load(std::memory_order_relaxed);
+}
+
+void set_enabled(bool on) {
+  state().enabled.store(on, std::memory_order_relaxed);
+}
+
+const std::string& env_trace_path() { return state().trace_path; }
+
+double now_us() {
+  return std::chrono::duration<double, std::micro>(Clock::now() -
+                                                   state().epoch)
+      .count();
+}
+
+std::uint32_t this_thread_track() { return this_thread_buffer().tid(); }
+
+std::uint32_t new_modeled_track(std::string name) {
+  State& s = state();
+  std::lock_guard<std::mutex> lk(s.mu);
+  const std::uint32_t tid = s.next_modeled_tid++;
+  s.names[{kModeledCpuPid, tid}] = std::move(name);
+  return tid;
+}
+
+void set_track_name(std::uint32_t pid, std::uint32_t tid, std::string name) {
+  State& s = state();
+  std::lock_guard<std::mutex> lk(s.mu);
+  s.names[{pid, tid}] = std::move(name);
+}
+
+void set_thread_name(std::string name) {
+  set_track_name(kHostPid, this_thread_track(), std::move(name));
+}
+
+const char* intern(std::string_view s) {
+  State& st = state();
+  std::lock_guard<std::mutex> lk(st.mu);
+  return st.interned.emplace(s).first->c_str();
+}
+
+void record(const SpanRecord& rec) { this_thread_buffer().push(rec); }
+
+void emit_complete(const char* name, const char* category, double start_us,
+                   double dur_us, SpanArg arg) {
+  ThreadBuffer& buf = this_thread_buffer();
+  buf.push(SpanRecord{name, category, start_us, dur_us, kHostPid, buf.tid(),
+                      arg});
+}
+
+std::vector<SpanRecord> snapshot() {
+  State& s = state();
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lk(s.mu);
+    buffers = s.buffers;
+  }
+  std::vector<SpanRecord> out;
+  for (const auto& b : buffers) {
+    b->drain_into(out);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const SpanRecord& a, const SpanRecord& b) {
+                     return a.start_us < b.start_us;
+                   });
+  return out;
+}
+
+std::vector<std::pair<std::pair<std::uint32_t, std::uint32_t>, std::string>>
+track_names() {
+  State& s = state();
+  std::lock_guard<std::mutex> lk(s.mu);
+  return {s.names.begin(), s.names.end()};
+}
+
+std::uint64_t spans_recorded() {
+  State& s = state();
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lk(s.mu);
+    buffers = s.buffers;
+  }
+  std::uint64_t total = 0;
+  for (const auto& b : buffers) {
+    total += b->pushed();
+  }
+  return total;
+}
+
+std::uint64_t spans_dropped() {
+  State& s = state();
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lk(s.mu);
+    buffers = s.buffers;
+  }
+  std::uint64_t total = 0;
+  for (const auto& b : buffers) {
+    total += b->dropped();
+  }
+  return total;
+}
+
+void reset_for_test() {
+  State& s = state();
+  std::lock_guard<std::mutex> lk(s.mu);
+  for (const auto& b : s.buffers) {
+    b->clear();
+  }
+}
+
+}  // namespace sharp::telemetry

@@ -31,10 +31,27 @@ struct Line {
 /// map/unmap traffic).
 [[nodiscard]] std::size_t transferred_bytes(const std::vector<Event>& events);
 
+/// The first timeline defect timeline_consistent() found: which event
+/// broke the invariant, against which predecessor, and by how much.
+struct TimelineViolation {
+  std::size_t index = 0;      ///< offending event's position in the log
+  std::string prev_name;      ///< predecessor event ("<start>" for index 0)
+  std::string name;           ///< offending event
+  /// start_us - prev_end_us: positive = gap, negative = overlap. NaN-free;
+  /// 0 when the defect is a negative-duration event instead.
+  double gap_us = 0.0;
+  bool negative_duration = false;
+
+  /// One-line diagnostic for test failure messages.
+  [[nodiscard]] std::string describe() const;
+};
+
 /// Verifies the in-order-queue invariant: events abut (each starts where
 /// the previous ended) and never run backwards. Returns false on any gap
-/// or overlap beyond `tolerance_us`.
+/// or overlap beyond `tolerance_us`; when `violation` is non-null it
+/// receives the first offending event pair.
 [[nodiscard]] bool timeline_consistent(const std::vector<Event>& events,
-                                       double tolerance_us = 1e-9);
+                                       double tolerance_us = 1e-9,
+                                       TimelineViolation* violation = nullptr);
 
 }  // namespace simcl::profile

@@ -228,6 +228,9 @@ class CommandQueue {
   [[nodiscard]] double timeline_us() const { return timeline_us_; }
   [[nodiscard]] const std::vector<Event>& events() const { return events_; }
   [[nodiscard]] QueueMode mode() const { return mode_; }
+  /// Process-unique queue id (1-based, in construction order). Used as the
+  /// device track id when bridging events into sharp::telemetry traces.
+  [[nodiscard]] std::uint32_t id() const { return id_; }
   void reset();
 
   /// Stage label recorded into subsequent events (Fig. 13 breakdowns).
@@ -257,6 +260,7 @@ class CommandQueue {
 
   Context* ctx_;
   QueueMode mode_;
+  std::uint32_t id_ = 0;
   double timeline_us_ = 0.0;
   double lane_avail_[kLaneCount] = {0.0, 0.0, 0.0, 0.0};
   std::string phase_;

@@ -62,15 +62,40 @@ std::size_t transferred_bytes(const std::vector<Event>& events) {
   return acc;
 }
 
+std::string TimelineViolation::describe() const {
+  std::string s = "event #" + std::to_string(index) + " '" + name + "'";
+  if (negative_duration) {
+    return s + " has negative duration";
+  }
+  s += gap_us > 0.0 ? " starts " + std::to_string(gap_us) + " us after '"
+                    : " overlaps '" ;
+  s += prev_name;
+  s += gap_us > 0.0 ? "' ended (gap)"
+                    : "' by " + std::to_string(-gap_us) + " us";
+  return s;
+}
+
 bool timeline_consistent(const std::vector<Event>& events,
-                         double tolerance_us) {
+                         double tolerance_us,
+                         TimelineViolation* violation) {
   double prev_end = 0.0;
-  for (const Event& ev : events) {
-    if (ev.end_us < ev.start_us ||
-        std::abs(ev.start_us - prev_end) > tolerance_us) {
+  std::string prev_name = "<start>";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const Event& ev = events[i];
+    const bool negative = ev.end_us < ev.start_us;
+    const double gap = ev.start_us - prev_end;
+    if (negative || std::abs(gap) > tolerance_us) {
+      if (violation != nullptr) {
+        violation->index = i;
+        violation->prev_name = prev_name;
+        violation->name = ev.name;
+        violation->gap_us = negative ? 0.0 : gap;
+        violation->negative_duration = negative;
+      }
       return false;
     }
     prev_end = ev.end_us;
+    prev_name = ev.name;
   }
   return true;
 }

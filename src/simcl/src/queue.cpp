@@ -1,6 +1,7 @@
 #include "simcl/queue.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
 
 namespace simcl {
@@ -128,8 +129,14 @@ void Mapping::unmap() {
   }
 }
 
+namespace {
+std::atomic<std::uint32_t> g_next_queue_id{1};
+}  // namespace
+
 CommandQueue::CommandQueue(Context& ctx, QueueMode mode)
-    : ctx_(&ctx), mode_(mode) {
+    : ctx_(&ctx),
+      mode_(mode),
+      id_(g_next_queue_id.fetch_add(1, std::memory_order_relaxed)) {
   if (ctx.vstate_ != nullptr) {
     vstate_ = ctx.vstate_;
     vid_ = vstate_->on_create("queue", "CommandQueue");

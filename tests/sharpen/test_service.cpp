@@ -12,6 +12,7 @@
 #include "image/metrics.hpp"
 #include "sharpen/service/frame_runner.hpp"
 #include "sharpen/sharpen.hpp"
+#include "sharpen/telemetry/metrics.hpp"
 
 namespace {
 
@@ -317,12 +318,55 @@ TEST(Service, StatsSnapshotIsCoherent) {
   EXPECT_EQ(stats.submitted, frames.size());
   EXPECT_EQ(stats.completed, frames.size());
   EXPECT_EQ(stats.queue_depth, 0u);
+  // Every frame entered the queue, so the high-water mark saw at least
+  // one of them (and never more than everything submitted at once).
+  EXPECT_GE(stats.queue_depth_hwm, 1u);
+  EXPECT_LE(stats.queue_depth_hwm, frames.size());
   EXPECT_GT(stats.p50_latency_us, 0.0);
   EXPECT_LE(stats.p50_latency_us, stats.p95_latency_us);
   EXPECT_LE(stats.p95_latency_us, stats.p99_latency_us);
   EXPECT_GT(stats.busy_us, 0.0);
   EXPECT_GT(stats.throughput_fps, 0.0);
-  EXPECT_EQ(stats.to_table().rows(), 11u);
+  EXPECT_EQ(stats.to_table().rows(), 12u);
+
+  // The same numbers are scrapeable from the service registry.
+  const std::string text = sharp::telemetry::expose_text(service.registry());
+  EXPECT_NE(text.find("sharp_service_submitted_total 6"), std::string::npos);
+  EXPECT_NE(text.find("sharp_service_completed_total 6"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE sharp_service_latency_us histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("sharp_service_latency_us_count 6"),
+            std::string::npos);
+  EXPECT_NE(text.find("sharp_service_queue_depth_hwm"), std::string::npos);
+}
+
+TEST(Service, RegistryCountsRejectionsAndExpiries) {
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.queue_capacity = 1;
+  cfg.backpressure = BackpressurePolicy::kReject;
+  SharpenService service(cfg);
+
+  std::vector<std::future<ServiceResponse>> futures;
+  for (const ImageU8& f : test_frames(6, 256)) {
+    futures.push_back(service.submit(f));
+  }
+  std::uint64_t rejected = 0;
+  for (auto& f : futures) {
+    if (f.get().outcome == RequestOutcome::kRejected) {
+      ++rejected;
+    }
+  }
+  service.drain();
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.rejected, rejected);
+  const std::string text = sharp::telemetry::expose_text(service.registry());
+  EXPECT_NE(text.find("sharp_service_rejected_total " +
+                      std::to_string(rejected)),
+            std::string::npos);
+  EXPECT_NE(text.find("sharp_service_deadline_expired_total"),
+            std::string::npos);
 }
 
 }  // namespace

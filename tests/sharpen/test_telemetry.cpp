@@ -1,0 +1,463 @@
+// sharp::telemetry: span recording across threads, histogram percentile
+// math, Chrome-trace round trip (parse the JSON we emit and check the
+// trace-event schema), the disabled-is-free guarantee (zero spans, pixels
+// bit-identical), and agreement between bridged device spans and the
+// pipeline's reported per-stage breakdown.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "image/generate.hpp"
+#include "image/metrics.hpp"
+#include "sharpen/cpu_pipeline.hpp"
+#include "sharpen/gpu_pipeline.hpp"
+#include "sharpen/telemetry/chrome_trace.hpp"
+#include "sharpen/telemetry/metrics.hpp"
+#include "sharpen/telemetry/pipeline_trace.hpp"
+#include "sharpen/telemetry/telemetry.hpp"
+
+namespace {
+
+namespace telemetry = sharp::telemetry;
+using sharp::img::ImageU8;
+
+/// Every test starts and ends with recording off and empty rings, so the
+/// process-global recorder never leaks state between tests.
+class TelemetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    telemetry::set_enabled(false);
+    telemetry::reset_for_test();
+  }
+  void TearDown() override {
+    telemetry::set_enabled(false);
+    telemetry::reset_for_test();
+  }
+};
+
+// --- minimal JSON parser (round-trip validation only) ----------------------
+
+struct JsonValue;
+using JsonObject = std::map<std::string, JsonValue>;
+using JsonList = std::vector<JsonValue>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, double, std::string, JsonList,
+               JsonObject>
+      v;
+
+  [[nodiscard]] bool is_object() const {
+    return std::holds_alternative<JsonObject>(v);
+  }
+  [[nodiscard]] const JsonObject& object() const {
+    return std::get<JsonObject>(v);
+  }
+  [[nodiscard]] const JsonList& list() const { return std::get<JsonList>(v); }
+  [[nodiscard]] const std::string& str() const {
+    return std::get<std::string>(v);
+  }
+  [[nodiscard]] double num() const { return std::get<double>(v); }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string text) : text_(std::move(text)) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != text_.size()) {
+      throw std::runtime_error("trailing garbage at " + std::to_string(pos_));
+    }
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      throw std::runtime_error("unexpected end of input");
+    }
+    return text_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) {
+      throw std::runtime_error(std::string("expected '") + c + "' at " +
+                               std::to_string(pos_));
+    }
+    ++pos_;
+  }
+  JsonValue value() {
+    switch (peek()) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return JsonValue{string()};
+      case 't':
+        literal("true");
+        return JsonValue{true};
+      case 'f':
+        literal("false");
+        return JsonValue{false};
+      case 'n':
+        literal("null");
+        return JsonValue{nullptr};
+      default:
+        return JsonValue{number()};
+    }
+  }
+  void literal(const std::string& lit) {
+    skip_ws();
+    if (text_.compare(pos_, lit.size(), lit) != 0) {
+      throw std::runtime_error("bad literal at " + std::to_string(pos_));
+    }
+    pos_ += lit.size();
+  }
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) {
+          throw std::runtime_error("bad escape");
+        }
+        const char e = text_[pos_++];
+        switch (e) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'u':
+            pos_ += 4;  // tests never need the decoded code point
+            out += '?';
+            break;
+          default: out += e;
+        }
+      } else {
+        out += c;
+      }
+    }
+    if (pos_ >= text_.size()) {
+      throw std::runtime_error("unterminated string");
+    }
+    ++pos_;  // closing quote
+    return out;
+  }
+  double number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      throw std::runtime_error("bad number at " + std::to_string(pos_));
+    }
+    return std::stod(text_.substr(start, pos_ - start));
+  }
+  JsonValue array() {
+    expect('[');
+    JsonList items;
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue{std::move(items)};
+    }
+    while (true) {
+      items.push_back(value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return JsonValue{std::move(items)};
+    }
+  }
+  JsonValue object() {
+    expect('{');
+    JsonObject fields;
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue{std::move(fields)};
+    }
+    while (true) {
+      std::string key = string();
+      expect(':');
+      fields.emplace(std::move(key), value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return JsonValue{std::move(fields)};
+    }
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+};
+
+// --- spans -----------------------------------------------------------------
+
+TEST_F(TelemetryTest, DisabledSpanRecordsNothing) {
+  ASSERT_FALSE(telemetry::enabled());
+  {
+    telemetry::Span span("never", "test");
+    telemetry::Span inner(false, "also_never", "test", {"k", 1});
+  }
+  EXPECT_EQ(telemetry::spans_recorded(), 0u);
+  EXPECT_TRUE(telemetry::snapshot().empty());
+}
+
+TEST_F(TelemetryTest, SpansNestAndOrderAcrossThreads) {
+  telemetry::set_enabled(true);
+  constexpr int kThreads = 3;
+  std::vector<std::uint32_t> tids(kThreads, 0);
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([t, &tids] {
+      tids[static_cast<std::size_t>(t)] = telemetry::this_thread_track();
+      telemetry::Span outer("outer", "test");
+      telemetry::Span inner("inner", "test", {"thread", t});
+    });
+  }
+  for (auto& th : pool) {
+    th.join();
+  }
+
+  const std::vector<telemetry::SpanRecord> spans = telemetry::snapshot();
+  ASSERT_EQ(spans.size(), 2u * kThreads);
+  // snapshot() is sorted by start time globally.
+  for (std::size_t i = 1; i < spans.size(); ++i) {
+    EXPECT_LE(spans[i - 1].start_us, spans[i].start_us);
+  }
+  // Per thread: exactly one outer and one inner, properly nested.
+  for (int t = 0; t < kThreads; ++t) {
+    const std::uint32_t tid = tids[static_cast<std::size_t>(t)];
+    const telemetry::SpanRecord* outer = nullptr;
+    const telemetry::SpanRecord* inner = nullptr;
+    for (const auto& s : spans) {
+      EXPECT_EQ(s.pid, telemetry::kHostPid);
+      if (s.tid != tid) {
+        continue;
+      }
+      (std::string(s.name) == "outer" ? outer : inner) = &s;
+    }
+    ASSERT_NE(outer, nullptr);
+    ASSERT_NE(inner, nullptr);
+    EXPECT_LE(outer->start_us, inner->start_us);
+    EXPECT_GE(outer->start_us + outer->dur_us,
+              inner->start_us + inner->dur_us);
+    EXPECT_STREQ(inner->arg.key, "thread");
+    EXPECT_EQ(inner->arg.value, t);
+  }
+}
+
+TEST_F(TelemetryTest, InternReturnsCanonicalStablePointers) {
+  const char* a = telemetry::intern("downscale");
+  const char* b = telemetry::intern(std::string("down") + "scale");
+  EXPECT_EQ(a, b);
+  EXPECT_STREQ(a, "downscale");
+  EXPECT_NE(a, telemetry::intern("upscale"));
+}
+
+// --- histogram percentiles ---------------------------------------------------
+
+TEST_F(TelemetryTest, HistogramPercentilesMatchKnownDistribution) {
+  telemetry::Histogram h({10, 20, 30, 40, 50, 60, 70, 80, 90, 100});
+  for (int v = 1; v <= 100; ++v) {
+    h.observe(v);
+  }
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.sum(), 5050.0);
+  // Uniform integers align exactly with the bucket edges, so the
+  // interpolated nearest-rank percentiles are exact.
+  EXPECT_DOUBLE_EQ(h.percentile(0.50), 50.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.90), 90.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.99), 99.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 1.0);  // rank clamps to 1
+
+  telemetry::Histogram empty({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(empty.percentile(0.5), 0.0);
+
+  // Overflow bucket reports its lower bound.
+  telemetry::Histogram overflow({1.0});
+  overflow.observe(1000.0);
+  EXPECT_DOUBLE_EQ(overflow.percentile(0.5), 1.0);
+}
+
+TEST_F(TelemetryTest, RegistryExposesPrometheusText) {
+  telemetry::Registry reg;
+  reg.counter("frames_total", "frames processed").inc(3);
+  telemetry::Gauge& g = reg.gauge("depth");
+  g.set(7);
+  g.set(2);
+  reg.histogram("lat_us", {1, 10, 100}).observe(5.0);
+
+  const std::string text = telemetry::expose_text(reg);
+  EXPECT_NE(text.find("# HELP frames_total frames processed"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE frames_total counter"), std::string::npos);
+  EXPECT_NE(text.find("frames_total 3"), std::string::npos);
+  EXPECT_NE(text.find("depth 2"), std::string::npos);
+  EXPECT_NE(text.find("depth_hwm 7"), std::string::npos);
+  EXPECT_NE(text.find("lat_us_bucket{le=\"1\"} 0"), std::string::npos);
+  EXPECT_NE(text.find("lat_us_bucket{le=\"10\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("lat_us_bucket{le=\"+Inf\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("lat_us_sum 5"), std::string::npos);
+  EXPECT_NE(text.find("lat_us_count 1"), std::string::npos);
+
+  // Same name, different kind: rejected instead of silently shadowed.
+  EXPECT_THROW((void)reg.gauge("frames_total"), std::runtime_error);
+}
+
+// --- Chrome trace round trip -------------------------------------------------
+
+TEST_F(TelemetryTest, ChromeTraceRoundTripsThroughRealPipelines) {
+  telemetry::set_enabled(true);
+  const ImageU8 input = sharp::img::make_natural(64, 64, 7);
+  const sharp::PipelineResult cpu =
+      sharp::CpuPipeline(simcl::intel_core_i5_3470()).run(input);
+  const sharp::PipelineResult gpu = sharp::GpuPipeline().run(input);
+  telemetry::set_enabled(false);
+  ASSERT_GT(telemetry::spans_recorded(), 0u);
+
+  std::ostringstream os;
+  telemetry::write_chrome_trace(os);
+  JsonValue root = JsonParser(os.str()).parse();
+
+  const JsonList& events = root.list();
+  std::size_t complete = 0;
+  std::size_t metadata = 0;
+  bool saw_device = false;
+  bool saw_modeled = false;
+  for (const JsonValue& ev : events) {
+    ASSERT_TRUE(ev.is_object());
+    const JsonObject& o = ev.object();
+    ASSERT_TRUE(o.contains("name"));
+    ASSERT_TRUE(o.contains("ph"));
+    ASSERT_TRUE(o.contains("pid"));
+    ASSERT_TRUE(o.contains("tid"));
+    const std::string& ph = o.at("ph").str();
+    if (ph == "M") {
+      ++metadata;
+      EXPECT_TRUE(o.at("name").str() == "process_name" ||
+                  o.at("name").str() == "thread_name");
+      EXPECT_TRUE(o.at("args").is_object());
+      continue;
+    }
+    ASSERT_EQ(ph, "X");
+    ++complete;
+    EXPECT_GE(o.at("dur").num(), 0.0);
+    const auto pid = static_cast<std::uint32_t>(o.at("pid").num());
+    saw_device = saw_device || pid == telemetry::kDevicePid;
+    saw_modeled = saw_modeled || pid == telemetry::kModeledCpuPid;
+  }
+  EXPECT_EQ(complete, telemetry::snapshot().size());
+  EXPECT_GE(metadata, 3u);  // the three process_name records at minimum
+  EXPECT_TRUE(saw_device);   // GPU run bridged simcl events
+  EXPECT_TRUE(saw_modeled);  // CPU run emitted its cost-model stages
+  EXPECT_GT(cpu.total_modeled_us, 0.0);
+  EXPECT_GT(gpu.total_modeled_us, 0.0);
+}
+
+TEST_F(TelemetryTest, BridgedDeviceSpansAgreeWithReportedBreakdown) {
+  telemetry::set_enabled(true);
+  const ImageU8 input = sharp::img::make_natural(96, 64, 11);
+  sharp::GpuPipeline pipeline;
+  const sharp::PipelineResult result = pipeline.run(input);
+  telemetry::set_enabled(false);
+
+  // Sum bridged device spans by category (the event's phase label).
+  std::map<std::string, double> by_category;
+  for (const auto& s : telemetry::snapshot()) {
+    if (s.pid == telemetry::kDevicePid) {
+      by_category[s.category] += s.dur_us;
+    }
+  }
+  ASSERT_FALSE(by_category.empty());
+  for (const auto& stage : result.stages) {
+    ASSERT_TRUE(by_category.contains(stage.stage)) << stage.stage;
+    EXPECT_NEAR(by_category[stage.stage], stage.modeled_us,
+                1e-6 * (1.0 + stage.modeled_us))
+        << stage.stage;
+  }
+}
+
+TEST_F(TelemetryTest, ModeledCpuSpansMatchStageBreakdownExactly) {
+  telemetry::set_enabled(true);
+  const ImageU8 input = sharp::img::make_natural(64, 64, 3);
+  const sharp::PipelineResult result =
+      sharp::CpuPipeline(simcl::intel_core_i5_3470()).run(input);
+  telemetry::set_enabled(false);
+
+  std::map<std::string, double> modeled;
+  for (const auto& s : telemetry::snapshot()) {
+    if (s.pid == telemetry::kModeledCpuPid) {
+      modeled[s.name] += s.dur_us;
+    }
+  }
+  ASSERT_EQ(modeled.size(), result.stages.size());
+  for (const auto& stage : result.stages) {
+    EXPECT_DOUBLE_EQ(modeled[stage.stage], stage.modeled_us) << stage.stage;
+  }
+}
+
+// --- disabled ⇒ free and bit-identical --------------------------------------
+
+TEST_F(TelemetryTest, DisabledRecordsNothingAndPixelsAreBitIdentical) {
+  const ImageU8 input = sharp::img::make_natural(96, 96, 42);
+
+  ASSERT_FALSE(telemetry::enabled());
+  const sharp::PipelineResult off =
+      sharp::CpuPipeline(simcl::intel_core_i5_3470()).run(input);
+  EXPECT_EQ(telemetry::spans_recorded(), 0u);
+
+  telemetry::set_enabled(true);
+  const sharp::PipelineResult on =
+      sharp::CpuPipeline(simcl::intel_core_i5_3470()).run(input);
+  telemetry::set_enabled(false);
+  EXPECT_GT(telemetry::spans_recorded(), 0u);
+
+  EXPECT_EQ(sharp::img::max_abs_diff(off.output, on.output), 0);
+}
+
+TEST_F(TelemetryTest, PipelineOptionSwitchRecordsWithoutGlobalFlag) {
+  ASSERT_FALSE(telemetry::enabled());
+  sharp::PipelineOptions options;
+  options.telemetry = true;
+  const ImageU8 input = sharp::img::make_natural(64, 64, 5);
+  (void)sharp::CpuPipeline(simcl::intel_core_i5_3470(), options).run(input);
+  EXPECT_GT(telemetry::spans_recorded(), 0u);
+}
+
+TEST_F(TelemetryTest, DroppedSpanCountSurvivesRingWrap) {
+  telemetry::set_enabled(true);
+  constexpr std::uint64_t kOverfill = (1u << 14) + 100;
+  for (std::uint64_t i = 0; i < kOverfill; ++i) {
+    telemetry::emit_complete("tick", "test", 0.0, 1.0);
+  }
+  telemetry::set_enabled(false);
+  EXPECT_EQ(telemetry::spans_recorded(), kOverfill);
+  EXPECT_EQ(telemetry::spans_dropped(), 100u);
+  EXPECT_EQ(telemetry::snapshot().size(), std::size_t{1} << 14);
+}
+
+}  // namespace

@@ -128,7 +128,9 @@ TEST_F(QueueExtTest, ProfileAggregatesByNameAndPhase) {
   EXPECT_NEAR(simcl::profile::total_us(queue.events()),
               queue.timeline_us(), 1e-9);
   EXPECT_EQ(simcl::profile::transferred_bytes(queue.events()), 3 * 1024u);
-  EXPECT_TRUE(simcl::profile::timeline_consistent(queue.events()));
+  simcl::profile::TimelineViolation v;
+  EXPECT_TRUE(simcl::profile::timeline_consistent(queue.events(), 1e-9, &v))
+      << v.describe();
 }
 
 TEST_F(QueueExtTest, TimelineConsistencyDetectsTampering) {
@@ -138,11 +140,31 @@ TEST_F(QueueExtTest, TimelineConsistencyDetectsTampering) {
   queue.enqueue_read(buf, tmp, 64);
   auto events = queue.events();
   EXPECT_TRUE(simcl::profile::timeline_consistent(events));
+
   events[1].start_us += 1.0;  // introduce a gap
-  EXPECT_FALSE(simcl::profile::timeline_consistent(events));
+  simcl::profile::TimelineViolation v;
+  EXPECT_FALSE(simcl::profile::timeline_consistent(events, 1e-9, &v));
+  EXPECT_EQ(v.index, 1u);
+  EXPECT_EQ(v.prev_name, events[0].name);
+  EXPECT_EQ(v.name, events[1].name);
+  EXPECT_NEAR(v.gap_us, 1.0, 1e-9);
+  EXPECT_FALSE(v.negative_duration);
+  EXPECT_NE(v.describe().find("gap"), std::string::npos);
+
   events[1].start_us -= 1.0;
   events[1].end_us = events[1].start_us - 5.0;  // negative duration
-  EXPECT_FALSE(simcl::profile::timeline_consistent(events));
+  EXPECT_FALSE(simcl::profile::timeline_consistent(events, 1e-9, &v));
+  EXPECT_EQ(v.index, 1u);
+  EXPECT_TRUE(v.negative_duration);
+  EXPECT_NE(v.describe().find("negative duration"), std::string::npos);
+
+  // Overlap: event 1 starts before event 0 has ended.
+  events[1].end_us = events[1].start_us + 5.0;
+  events[1].start_us -= 2.0;
+  events[1].end_us -= 2.0;
+  EXPECT_FALSE(simcl::profile::timeline_consistent(events, 1e-9, &v));
+  EXPECT_NEAR(v.gap_us, -2.0, 1e-9);
+  EXPECT_NE(v.describe().find("overlaps"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""CI gate for SHARP_TRACE output.
+
+Usage: check_trace.py TRACE_JSON [BENCH_FIG13_JSON]
+
+Validates that the Chrome trace written by the telemetry layer is
+well-formed JSON with a non-empty set of complete ("ph":"X") span events
+and the expected process-name metadata. When the fig13 breakdown JSON is
+also given, cross-checks the trace against it: per stage, the summed
+durations of bridged device spans (pid 2, keyed by category) plus modeled
+CPU spans (pid 3, keyed by name) must agree with the summed modeled_us
+the bench reported, within 5%.
+
+Exits non-zero with a message on the first failure.
+"""
+
+import collections
+import json
+import sys
+
+REL_TOLERANCE = 0.05
+
+
+def fail(msg: str) -> None:
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main(argv: list[str]) -> None:
+    if len(argv) not in (2, 3):
+        fail(f"usage: {argv[0]} TRACE_JSON [BENCH_FIG13_JSON]")
+
+    try:
+        with open(argv[1], encoding="utf-8") as f:
+            events = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {argv[1]}: {e}")
+
+    if not isinstance(events, list):
+        fail("trace root is not an array")
+
+    spans = [e for e in events if e.get("ph") == "X"]
+    metadata = [e for e in events if e.get("ph") == "M"]
+    if not spans:
+        fail("trace contains no complete ('ph':'X') span events")
+    process_names = {
+        e["args"]["name"]
+        for e in metadata
+        if e.get("name") == "process_name"
+    }
+    if not process_names:
+        fail("trace has no process_name metadata")
+    for e in spans:
+        for key in ("name", "cat", "ts", "dur", "pid", "tid"):
+            if key not in e:
+                fail(f"span missing '{key}': {e}")
+        if e["dur"] < 0:
+            fail(f"span has negative duration: {e}")
+
+    print(
+        f"check_trace: {len(spans)} spans, {len(metadata)} metadata "
+        f"records, processes: {sorted(process_names)}"
+    )
+
+    if len(argv) == 2:
+        return
+
+    try:
+        with open(argv[2], encoding="utf-8") as f:
+            records = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {argv[2]}: {e}")
+
+    expected = collections.defaultdict(float)
+    for rec in records:
+        expected[rec["stage"]] += rec["modeled_us"]
+    if not expected:
+        fail(f"{argv[2]} contains no stage records")
+
+    # Device spans carry the stage as their category; modeled CPU spans
+    # carry it as their name (see DESIGN.md "Telemetry").
+    actual = collections.defaultdict(float)
+    for e in spans:
+        if e["pid"] == 2:
+            actual[e["cat"]] += e["dur"]
+        elif e["pid"] == 3:
+            actual[e["name"]] += e["dur"]
+
+    for stage, want in sorted(expected.items()):
+        got = actual.get(stage, 0.0)
+        rel = abs(got - want) / want if want > 0 else abs(got)
+        status = "ok" if rel <= REL_TOLERANCE else "MISMATCH"
+        print(
+            f"check_trace: stage {stage:12s} bench {want:12.1f} us  "
+            f"trace {got:12.1f} us  ({100 * rel:.2f}% off) {status}"
+        )
+        if rel > REL_TOLERANCE:
+            fail(
+                f"stage '{stage}': trace total {got:.1f} us disagrees "
+                f"with bench total {want:.1f} us by more than "
+                f"{100 * REL_TOLERANCE:.0f}%"
+            )
+    print("check_trace: trace agrees with the fig13 stage breakdown")
+
+
+if __name__ == "__main__":
+    main(sys.argv)
