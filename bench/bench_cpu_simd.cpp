@@ -1,14 +1,17 @@
-// Host hot-path ablation: scalar/SSE4.1/AVX2 x unfused/fused wall time of
-// the full CPU sharpen, against the original scalar stage-by-stage
-// pipeline as baseline. Every variant's output is checked bit-identical
-// to the baseline before its time is reported. Results land in
-// BENCH_cpu_simd.json for machine consumption.
+// Host hot-path ablation: scalar/SSE4.1/AVX2/AVX-512 x unfused/fused wall
+// time of the full CPU sharpen, against the original scalar stage-by-stage
+// pipeline as baseline, plus a per-stage micro-benchmark of the upscale
+// row kernel (the stage the SIMD tier vectorized last). Every variant's
+// output is checked bit-identical to the baseline before its time is
+// reported. Results land in BENCH_cpu_simd.json for machine consumption.
 //
 //   --smoke   512^2 only, one rep (CI sanity run)
 //
-// SHARP_SIMD / SHARP_FORCE_SCALAR cap the variant list the same way they
-// cap dispatch, so `SHARP_SIMD=scalar bench_cpu_simd` exercises exactly
-// the forced-scalar path CI runs.
+// Variants pin their tier through PipelineOptions::cpu_simd_level — the
+// public API — instead of reaching into dispatch internals. SHARP_SIMD /
+// SHARP_FORCE_SCALAR still cap the variant list the same way they cap
+// dispatch, so `SHARP_SIMD=scalar bench_cpu_simd` exercises exactly the
+// forced-scalar path CI runs.
 #include <chrono>
 #include <cstring>
 #include <iostream>
@@ -21,6 +24,8 @@
 #include "report/table.hpp"
 #include "sharpen/cpu_pipeline.hpp"
 #include "sharpen/detail/simd/dispatch.hpp"
+#include "sharpen/detail/simd/rows.hpp"
+#include "sharpen/simd_level.hpp"
 
 namespace {
 
@@ -30,7 +35,7 @@ using Clock = std::chrono::steady_clock;
 struct Variant {
   std::string name;
   sharp::PipelineOptions options;
-  std::optional<simd::Level> pin;  ///< force_level() for the runs
+  bool is_baseline = false;
 };
 
 double min_run_ns(const sharp::CpuPipeline& pipe,
@@ -61,6 +66,70 @@ bool same_pixels(const sharp::img::ImageU8& a, const sharp::img::ImageU8& b) {
   return std::memcmp(a.data(), b.data(), n) == 0;
 }
 
+/// Upscale-row micro-benchmark: every available tier over all rows of a
+/// size^2 upscale (down is size/4 per side), min-of-reps ns for the whole
+/// image, checked bit-identical to the scalar kernel first. Appends one
+/// "upscale_row/<level>" record per tier and returns false on a mismatch.
+bool bench_upscale_row(int size, int reps, sharp::SimdLevel max_level,
+                       sharp::report::Table& table,
+                       sharp::report::JsonArray& json) {
+  const int dn = size / 4;
+  sharp::img::ImageF32 down(dn, dn);
+  for (int y = 0; y < dn; ++y) {
+    for (int x = 0; x < dn; ++x) {
+      down.at(x, y) =
+          static_cast<float>(((x * 73 + y * 131) % 4096)) * 0.0625f;
+    }
+  }
+  sharp::img::ImageF32 reference(size, size);
+  simd::upscale_rows(sharp::SimdLevel::kScalar, down.view(),
+                     reference.view(), 0, size);
+
+  bool ok = true;
+  double scalar_ns = 0.0;
+  for (int l = 0; l <= static_cast<int>(max_level); ++l) {
+    const auto level = static_cast<sharp::SimdLevel>(l);
+    sharp::img::ImageF32 out(size, size);
+    double best = 0.0;
+    for (int r = 0; r < reps; ++r) {
+      const auto t0 = Clock::now();
+      simd::upscale_rows(level, down.view(), out.view(), 0, size);
+      const double ns =
+          std::chrono::duration<double, std::nano>(Clock::now() - t0)
+              .count();
+      if (r == 0 || ns < best) {
+        best = ns;
+      }
+    }
+    const std::size_t bytes = static_cast<std::size_t>(size) *
+                              static_cast<std::size_t>(size) * sizeof(float);
+    if (std::memcmp(out.data(), reference.data(), bytes) != 0) {
+      std::cerr << "FAIL: upscale_row/" << sharp::to_string(level) << " at "
+                << size << "^2 is not bit-identical to scalar\n";
+      ok = false;
+      continue;
+    }
+    if (level == sharp::SimdLevel::kScalar) {
+      scalar_ns = best;
+    }
+    const double speedup = best > 0.0 ? scalar_ns / best : 0.0;
+    const std::string name =
+        std::string("upscale_row/") + sharp::to_string(level);
+    table.add_row({sharp::report::size_label(size, size), name,
+                   sharp::report::fmt(best / 1e6, 3),
+                   sharp::report::fmt(speedup, 2)});
+    sharp::report::JsonRecord rec;
+    rec.add("bench", "cpu_simd");
+    rec.add("kind", "upscale_row");
+    rec.add("size", size);
+    rec.add("variant", name);
+    rec.add("ns_per_frame", best);
+    rec.add("speedup", speedup);
+    json.add(std::move(rec));
+  }
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -72,23 +141,24 @@ int main(int argc, char** argv) {
   }
 
   // Capture the dispatch cap once: env overrides shrink the variant list.
-  const simd::Level max_level = simd::active_level();
+  const sharp::SimdLevel max_level = simd::active_level();
 
   std::vector<Variant> variants;
   {
     sharp::PipelineOptions base;
     base.cpu_simd = false;
     base.cpu_fuse = false;
-    variants.push_back({"unfused/scalar-pow", base, std::nullopt});
+    variants.push_back({"unfused/scalar-pow", base, /*is_baseline=*/true});
     for (int l = 0; l <= static_cast<int>(max_level); ++l) {
-      const auto level = static_cast<simd::Level>(l);
+      const auto level = static_cast<sharp::SimdLevel>(l);
       for (const bool fuse : {false, true}) {
         sharp::PipelineOptions o;
         o.cpu_simd = true;
+        o.cpu_simd_level = level;
         o.cpu_fuse = fuse;
         variants.push_back({std::string(fuse ? "fused/" : "unfused/") +
-                                simd::to_string(level),
-                            o, level});
+                                sharp::to_string(level),
+                            o});
       }
     }
   }
@@ -97,8 +167,9 @@ int main(int argc, char** argv) {
                                        : std::vector<int>{512, 1024, 4096};
 
   sharp::report::banner(std::cout, "CPU hot path: SIMD x fusion ablation");
-  std::cout << "native level: " << simd::to_string(simd::native_level())
-            << ", dispatch cap: " << simd::to_string(max_level) << "\n\n";
+  std::cout << "native level: "
+            << sharp::to_string(sharp::native_simd_level())
+            << ", dispatch cap: " << sharp::to_string(max_level) << "\n\n";
 
   sharp::report::Table table({"size", "variant", "ms_per_frame", "speedup"});
   sharp::report::JsonArray json;
@@ -111,13 +182,11 @@ int main(int argc, char** argv) {
     double baseline_ns = 0.0;
     sharp::img::ImageU8 reference;
     for (const auto& v : variants) {
-      simd::force_level(v.pin);
       const sharp::CpuPipeline pipe(simcl::intel_core_i5_3470(), v.options);
       sharp::img::ImageU8 out;
       const double ns = min_run_ns(pipe, input, reps, &out);
-      simd::force_level(std::nullopt);
 
-      if (v.pin == std::nullopt) {  // the baseline runs first
+      if (v.is_baseline) {  // the baseline runs first
         baseline_ns = ns;
         reference = std::move(out);
       } else if (!same_pixels(reference, out)) {
@@ -133,11 +202,17 @@ int main(int argc, char** argv) {
                      sharp::report::fmt(speedup, 2)});
       sharp::report::JsonRecord rec;
       rec.add("bench", "cpu_simd");
+      rec.add("kind", "pipeline");
       rec.add("size", size);
       rec.add("variant", v.name);
       rec.add("ns_per_frame", ns);
       rec.add("speedup", speedup);
       json.add(std::move(rec));
+    }
+
+    // Per-stage record for the newly vectorized upscale row kernel.
+    if (!bench_upscale_row(size, smoke ? 3 : 7, max_level, table, json)) {
+      all_identical = false;
     }
   }
 

@@ -83,8 +83,7 @@ BENCHMARK(BM_StageOvershoot);
 void BM_FullCpuPipeline(benchmark::State& state) {
   const auto size = static_cast<int>(state.range(0));
   const ImageU8 img = sharp::img::make_natural(size, size, 42);
-  sharp::Execution exec;
-  exec.backend = sharp::Backend::kCpu;
+  const sharp::Execution exec = sharp::Execution::cpu();
   for (auto _ : state) {
     benchmark::DoNotOptimize(sharp::sharpen(img, {}, exec));
   }

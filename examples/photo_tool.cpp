@@ -108,8 +108,8 @@ int main(int argc, char** argv) {
         std::cout
             << "(no --in given; using a generated 768x512 test image)\n";
       }
-      sharp::Execution exec;
-      exec.backend = use_cpu ? sharp::Backend::kCpu : sharp::Backend::kGpu;
+      const sharp::Execution exec =
+          use_cpu ? sharp::Execution::cpu() : sharp::Execution::gpu();
       const sharp::img::ImageU8 result =
           sharp::sharpen(input, params, exec);
       sharp::img::write_pgm(out_path, result);

@@ -17,12 +17,12 @@ int main(int argc, char** argv) {
   //    multiples of 4 works; here we synthesize a natural-statistics one.
   const sharp::img::ImageU8 input = sharp::img::make_natural(512, 512, 7);
 
-  // 2. Sharpen. The default Execution runs the paper's optimized
-  //    OpenCL-style pipeline on the simulated FirePro W8000; switching
-  //    exec.backend to Backend::kCpu runs the host implementation
-  //    instead. Every backend produces identical pixels.
+  // 2. Sharpen. Execution::gpu() runs the paper's optimized OpenCL-style
+  //    pipeline on the simulated FirePro W8000; Execution::cpu() runs the
+  //    host implementation and Execution::max_throughput(n) fans it out
+  //    over n worker threads. Every backend produces identical pixels.
   sharp::SharpenParams params;  // amount/gamma/osc_gain are tunable
-  const sharp::Execution exec;  // Backend::kGpu with all optimizations
+  const sharp::Execution exec = sharp::Execution::gpu();
   const sharp::img::ImageU8 sharpened = sharp::sharpen(input, params, exec);
 
   // 3. Inspect the effect.

@@ -1,0 +1,38 @@
+// Per-host CPU cache topology, detected once at startup and consumed by
+// the fused band autotuner (fused::auto_band_rows): the band height that
+// keeps sweep-2 state L2-resident depends on how big this machine's L2 is
+// and how many workers share each L2 instance, not on a constant baked in
+// at the 2015 paper's hardware. Detection reads the Linux sysfs cache
+// directory and falls back to CPUID on x86; when both fail, the defaults
+// reproduce the previous fixed 512 KiB working-set target.
+#pragma once
+
+namespace sharp {
+
+struct CpuTopology {
+  /// Online logical CPUs (1 when undetectable).
+  int logical_cpus = 1;
+  /// Per-instance L2 capacity in bytes. The undetected default of 1 MiB,
+  /// halved by the autotuner's headroom factor, reproduces the former
+  /// fixed 512 KiB target.
+  long l2_bytes = 1024 * 1024;
+  /// Logical CPUs sharing one L2 instance (hyperthread pairs, clustered
+  /// designs); 1 means a private L2 per CPU.
+  int l2_shared_by = 1;
+  /// True when the numbers came from the machine rather than defaults.
+  bool detected = false;
+
+  /// The L2 bytes one of `workers` concurrent worker threads can call its
+  /// own: per-instance capacity divided by the number of workers that
+  /// land on the same L2 instance (ceil of workers over instances).
+  [[nodiscard]] long l2_share_bytes(int workers) const;
+};
+
+/// The host's topology, detected on first call and cached.
+[[nodiscard]] const CpuTopology& cpu_topology();
+
+/// Fresh detection (sysfs, then CPUID, then defaults) — for tests and
+/// diagnostics; prefer the cached cpu_topology().
+[[nodiscard]] CpuTopology detect_cpu_topology();
+
+}  // namespace sharp

@@ -26,8 +26,11 @@ namespace sharp::detail::fused {
 
 /// Band height targeting an L2-resident working set for the given image
 /// width (~18 bytes of band state per pixel column: four float rows plus
-/// the source and output bytes), clamped to [4, 128] rows.
-[[nodiscard]] int auto_band_rows(int width);
+/// the source and output bytes). The target is half of this worker's L2
+/// share on this host (sharp::cpu_topology(), split across `workers`
+/// concurrent threads), clamped to [4, 256] rows; SHARP_BAND_ROWS
+/// overrides the result (clamped to [2, 1024]).
+[[nodiscard]] int auto_band_rows(int width, int workers = 1);
 
 /// Sweep 1 over rows [y0, y1): Sobel + partial reduction in one pass,
 /// using one scratch row instead of a pEdge matrix. Exactly equals

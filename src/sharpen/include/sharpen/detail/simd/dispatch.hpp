@@ -1,35 +1,30 @@
 // Runtime selection of the CPU row-kernel instruction set. The default is
-// the best level both the build and the running CPU support (CPUID), which
-// users can cap with SHARP_SIMD=scalar|sse41|avx2 or SHARP_FORCE_SCALAR=1
-// (read once, at first use) and tests/benches can pin programmatically
-// with force_level(). Every level is bit-identical (see kernels.hpp), so
-// the override is a performance/testing knob, never a correctness one.
+// the best level both the build and the running CPU support (CPUID, plus
+// an OS-XSAVE check for the AVX-512 tier), which users can cap with
+// SHARP_SIMD=scalar|sse41|avx2|avx512 or SHARP_FORCE_SCALAR=1 (parsed
+// once by sharp::env) and callers can pin per pipeline with
+// PipelineOptions::cpu_simd_level (resolve()) or process-wide with
+// force_level(). Every level is bit-identical (see kernels.hpp), so the
+// override is a performance/testing knob, never a correctness one.
 #pragma once
 
 #include <optional>
-#include <string_view>
 
 #include "sharpen/detail/simd/kernels.hpp"
+#include "sharpen/simd_level.hpp"
 
 namespace sharp::detail::simd {
 
-enum class Level {
-  kScalar = 0,
-  kSse41 = 1,
-  kAvx2 = 2,
-};
+/// The dispatch level IS the public tier enum; the detail spelling stays
+/// for the kernel-side code.
+using Level = sharp::SimdLevel;
 
-[[nodiscard]] const char* to_string(Level level);
-
-/// Parses "scalar"/"sse41"/"avx2" (the SHARP_SIMD spellings); nullopt for
-/// anything else.
-[[nodiscard]] std::optional<Level> parse_level(std::string_view name);
-
-/// Best level this binary AND this CPU support (kScalar on non-x86 builds).
+/// Best level this binary AND this CPU support (kScalar on non-x86
+/// builds); the detail name behind sharp::native_simd_level().
 [[nodiscard]] Level native_level();
 
 /// native_level() capped by the SHARP_SIMD / SHARP_FORCE_SCALAR
-/// environment overrides (parsed once; unknown values are ignored).
+/// environment overrides (parsed once by sharp::env).
 [[nodiscard]] Level env_level();
 
 /// The level dispatch actually uses: force_level()'s value when set,
@@ -39,8 +34,14 @@ enum class Level {
 /// True when `level` can run here (level <= native_level()).
 [[nodiscard]] bool level_available(Level level);
 
-/// Programmatic override for tests and the ablation bench; clamped to
+/// Resolves a per-pipeline pin (PipelineOptions::cpu_simd_level) to a
+/// runnable level: the pin clamped to native_level() when set,
+/// active_level() otherwise.
+[[nodiscard]] Level resolve(std::optional<Level> pinned);
+
+/// Process-wide programmatic override (ablation bench); clamped to
 /// native_level(). nullopt returns control to the environment default.
+/// Prefer the per-pipeline PipelineOptions::cpu_simd_level pin.
 void force_level(std::optional<Level> level);
 
 /// Kernel table for `level`, falling back to scalar when the level is not

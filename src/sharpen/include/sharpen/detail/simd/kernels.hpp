@@ -1,12 +1,16 @@
-// Per-row CPU kernels of every sharpen stage, in three instruction-set
-// variants (portable scalar, SSE4.1, AVX2). All variants are bit-identical
-// per pixel — the SIMD lanes evaluate exactly the scalar expressions of
-// detail/stage_rows.hpp / pixel_ops.hpp — so dispatch can never change a
-// result, only its speed. Select a table through detail/simd/dispatch.hpp.
+// Per-row CPU kernels of every sharpen stage, in four instruction-set
+// variants (portable scalar, SSE4.1, AVX2, AVX-512). All variants are
+// bit-identical per pixel — the SIMD lanes evaluate exactly the scalar
+// expressions of detail/stage_rows.hpp / pixel_ops.hpp — so dispatch can
+// never change a result, only its speed. Select a table through
+// detail/simd/dispatch.hpp.
 //
 // Row semantics (raw pointers so the fused band pass can target band-local
 // buffers as easily as full images):
 //   * downscale_row    — one downscaled output row from its 4 source rows;
+//   * upscale_row      — one bilinear 4x-upscaled row (width 4 * n_cols)
+//                        from its two caller-clamped downscaled rows; the
+//                        row phase jy is the caller's (see phase_of);
 //   * difference_row   — pError row: float(orig) - upscaled;
 //   * sobel_row        — |Gx|+|Gy| of one *interior* image row; the first
 //                        and last column are set to 0 (frame semantics);
@@ -28,6 +32,8 @@ struct RowKernels {
   void (*downscale_row)(const std::uint8_t* s0, const std::uint8_t* s1,
                         const std::uint8_t* s2, const std::uint8_t* s3,
                         float* out, int dw);
+  void (*upscale_row)(const float* top, const float* bot, int jy,
+                      float* out, int n_cols);
   void (*difference_row)(const std::uint8_t* orig, const float* up,
                          float* out, int w);
   void (*sobel_row)(const std::uint8_t* rm1, const std::uint8_t* rmid,
@@ -47,5 +53,6 @@ struct RowKernels {
 /// falls back to scalar_kernels() elsewhere.
 [[nodiscard]] const RowKernels& sse41_kernels();
 [[nodiscard]] const RowKernels& avx2_kernels();
+[[nodiscard]] const RowKernels& avx512_kernels();
 
 }  // namespace sharp::detail::simd

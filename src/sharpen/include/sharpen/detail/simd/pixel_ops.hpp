@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <cstdlib>
 
+#include "sharpen/detail/interp.hpp"
 #include "sharpen/params.hpp"
 
 namespace sharp::detail::simd {
@@ -25,6 +26,21 @@ inline float downscale_pixel(const std::uint8_t* s0, const std::uint8_t* s1,
   sum += s2[0] + s2[1] + s2[2] + s2[3];
   sum += s3[0] + s3[1] + s3[2] + s3[3];
   return static_cast<float>(sum) / 16.0f;
+}
+
+/// One bilinear upscaled pixel at output column x from the two
+/// caller-clamped downscaled rows `top`/`bot` (length n_cols); jy is the
+/// row phase. Column clamping (full-image semantics) happens here, which
+/// is a no-op for interior columns — the vector bodies cover exactly the
+/// clamp-free range, and head/tail columns fall back to this helper.
+inline float upscale_pixel(const float* top, const float* bot, int jy,
+                           int x, int n_cols) {
+  int c = 0;
+  int jx = 0;
+  phase_of(x - 2, c, jx);
+  const int cc0 = std::clamp(c, 0, n_cols - 1);
+  const int cc1 = std::clamp(c + 1, 0, n_cols - 1);
+  return upscale_sample(top[cc0], top[cc1], bot[cc0], bot[cc1], jy, jx);
 }
 
 /// Sobel |Gx|+|Gy| at interior column x of an interior row; `rm1`, `rmid`,

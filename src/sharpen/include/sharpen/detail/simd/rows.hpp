@@ -24,6 +24,12 @@ namespace sharp::detail::simd {
 void downscale_rows(Level level, img::ImageView<const std::uint8_t> src,
                     img::ImageView<float> out, int r0, int r1);
 
+/// Upscale full-image rows [y0, y1) from the downscaled image (out must
+/// be 4x the size of `down`, as everywhere in the pipeline); bit-identical
+/// to detail::upscale_rect over the same rows.
+void upscale_rows(Level level, img::ImageView<const float> down,
+                  img::ImageView<float> out, int y0, int y1);
+
 void difference_rows(Level level, img::ImageView<const std::uint8_t> orig,
                      img::ImageView<const float> up,
                      img::ImageView<float> out, int y0, int y1);

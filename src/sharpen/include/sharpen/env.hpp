@@ -1,0 +1,60 @@
+// The library's environment-variable surface, in one place. Every knob the
+// process reads from the environment is declared, parsed and documented
+// here (see knobs() for the reference table rendered by README.md and the
+// demo binaries) instead of scattering getenv() calls per subsystem.
+//
+//   SHARP_SIMD         scalar|sse41|avx2|avx512 — caps the row-kernel tier
+//   SHARP_FORCE_SCALAR 1 — forces the scalar tier (wins over SHARP_SIMD)
+//   SHARP_TRACE        1 or a path — enables telemetry; a path also writes
+//                      a Chrome trace there at exit
+//   SHARP_BAND_ROWS    integer — overrides the fused band autotuner
+//   SIMCL_CHECKED      full|bounds,races,lifetime — simcl validation mode
+//                      (parsed by simcl::validation, documented here)
+//
+// Dispatch-shaping knobs (SHARP_SIMD, SHARP_FORCE_SCALAR, SHARP_TRACE)
+// are read once, at first use, and cached for the process lifetime;
+// SHARP_BAND_ROWS is re-read per query so tests can set and unset it.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sharpen/simd_level.hpp"
+
+namespace sharp::env {
+
+/// SHARP_SIMD: requested cap on the row-kernel tier. Unknown spellings
+/// are ignored (nullopt). Cached after the first call.
+[[nodiscard]] std::optional<SimdLevel> simd_cap();
+
+/// SHARP_FORCE_SCALAR=1: force the scalar tier regardless of SHARP_SIMD.
+/// Cached after the first call.
+[[nodiscard]] bool force_scalar();
+
+/// SHARP_TRACE: nullopt when unset/"0"; otherwise the raw value ("1"
+/// enables spans without an exit trace, anything else is the trace
+/// path). Cached after the first call.
+[[nodiscard]] std::optional<std::string> trace();
+
+/// SHARP_BAND_ROWS: override for fused::auto_band_rows. Values are
+/// clamped to [2, 1024]; non-numeric values are ignored. Re-read on
+/// every call (not cached).
+[[nodiscard]] std::optional<int> band_rows();
+
+/// One documented knob: name, accepted values, effect.
+struct Knob {
+  const char* name;
+  const char* values;
+  const char* effect;
+};
+
+/// The full reference table of environment knobs this process honours
+/// (including SIMCL_CHECKED, which simcl::validation parses).
+[[nodiscard]] const std::vector<Knob>& knobs();
+
+/// Human-readable rendering of knobs() with each knob's current value,
+/// for --help output and the demo binaries.
+[[nodiscard]] std::string describe();
+
+}  // namespace sharp::env

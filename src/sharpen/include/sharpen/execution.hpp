@@ -20,6 +20,15 @@ enum class Backend {
 /// Everything needed to pick and parameterize an execution path. The
 /// default runs the fully optimized GPU pipeline on the paper's platform
 /// (FirePro W8000 device, Core i5-3470 host).
+///
+/// Construct with a named preset — Execution::cpu(), Execution::gpu(),
+/// Execution::max_throughput(n) — then refine with the fluent with_*()
+/// builders, each of which returns a modified copy:
+///
+///   auto exec = Execution::cpu().with_options(PipelineOptions::naive());
+///
+/// The struct stays a plain aggregate, so existing field-by-field and
+/// designated-initializer construction keeps working unchanged.
 struct Execution {
   Backend backend = Backend::kGpu;
   /// §V optimization toggles. Backend::kCpu honours the cpu_* fields
@@ -32,6 +41,65 @@ struct Execution {
   simcl::DeviceSpec host = simcl::intel_core_i5_3470();
   /// Host threads executing simulated work-groups (kGpu only).
   int engine_threads = 1;
+  /// Worker threads of the CPU backend: 1 runs the serial CpuPipeline,
+  /// >1 the row-parallel ParallelCpuPipeline (kCpu only).
+  int cpu_threads = 1;
+
+  // --- presets --------------------------------------------------------------
+
+  /// Serial CPU execution with every host optimization on.
+  [[nodiscard]] static Execution cpu() {
+    Execution e;
+    e.backend = Backend::kCpu;
+    return e;
+  }
+
+  /// The fully optimized GPU pipeline on the paper's platform (also the
+  /// default-constructed value, named for readability at call sites).
+  [[nodiscard]] static Execution gpu() { return {}; }
+
+  /// Row-parallel CPU execution across `threads` workers — the highest-
+  /// throughput host configuration (fused band sweeps, SIMD row cores,
+  /// cache-topology band sizing).
+  [[nodiscard]] static Execution max_throughput(int threads) {
+    Execution e;
+    e.backend = Backend::kCpu;
+    e.cpu_threads = threads;
+    return e;
+  }
+
+  // --- fluent refinement (each returns a modified copy) ---------------------
+
+  [[nodiscard]] Execution with_backend(Backend b) const {
+    Execution e = *this;
+    e.backend = b;
+    return e;
+  }
+  [[nodiscard]] Execution with_options(PipelineOptions o) const {
+    Execution e = *this;
+    e.options = o;
+    return e;
+  }
+  [[nodiscard]] Execution with_device(simcl::DeviceSpec d) const {
+    Execution e = *this;
+    e.device = d;
+    return e;
+  }
+  [[nodiscard]] Execution with_host(simcl::DeviceSpec h) const {
+    Execution e = *this;
+    e.host = h;
+    return e;
+  }
+  [[nodiscard]] Execution with_engine_threads(int threads) const {
+    Execution e = *this;
+    e.engine_threads = threads;
+    return e;
+  }
+  [[nodiscard]] Execution with_cpu_threads(int threads) const {
+    Execution e = *this;
+    e.cpu_threads = threads;
+    return e;
+  }
 };
 
 /// Sharpens `input` on the backend selected by `exec`. Every backend and

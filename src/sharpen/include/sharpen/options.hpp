@@ -7,6 +7,8 @@
 #include <optional>
 #include <string>
 
+#include "sharpen/simd_level.hpp"
+
 namespace sharp {
 
 /// §V.A — how host<->device data moves.
@@ -105,16 +107,26 @@ struct PipelineOptions {
   int border_gpu_threshold = 768;  ///< image width at/above which GPU wins
 
   // --- host CPU hot path (extension; CpuPipeline/ParallelCpuPipeline) --------
-  /// true: dispatched SIMD row cores (AVX2/SSE4.1 by CPUID, scalar
-  /// fallback); false: the original scalar stage cores. Bit-identical
-  /// either way.
+  /// true: dispatched SIMD row cores (AVX-512/AVX2/SSE4.1 by CPUID,
+  /// scalar fallback); false: the original scalar stage cores (the
+  /// pow-path ablation baseline). Bit-identical either way.
   bool cpu_simd = true;
+  /// Pins the row-kernel tier when cpu_simd is on: nullopt follows
+  /// runtime dispatch (CPUID capped by SHARP_SIMD); a value is clamped to
+  /// what this machine supports. The tier a run actually used is reported
+  /// in PipelineResult::simd_level.
+  std::optional<SimdLevel> cpu_simd_level;
   /// true: the paper's kernel fusion applied on the host — two band
   /// sweeps over L2-resident tiles instead of materializing full-image
   /// up/pError/pEdge/prelim matrices (see detail/fused.hpp).
   bool cpu_fuse = true;
-  /// Rows per fused band; 0 sizes bands to an L2-resident working set.
+  /// Rows per fused band; 0 sizes bands to an L2-resident working set
+  /// via the cache-topology autotuner (fused::auto_band_rows).
   int cpu_band_rows = 0;
+  /// Worker threads the band autotuner assumes are sharing this host's
+  /// caches (SharpenService sets it to its worker count); 0 means "just
+  /// the threads this pipeline runs itself".
+  int cpu_cache_sharers = 0;
 
   // --- observability ---------------------------------------------------------
   /// true: this pipeline records sharp::telemetry spans (stage dispatch,
@@ -182,6 +194,10 @@ struct PipelineOptions {
     }
     if (cpu_band_rows < 0) {
       return "cpu_band_rows must be non-negative (0 = auto)";
+    }
+    if (cpu_cache_sharers < 0) {
+      return "cpu_cache_sharers must be non-negative (0 = this pipeline's "
+             "own threads only)";
     }
     return std::nullopt;
   }

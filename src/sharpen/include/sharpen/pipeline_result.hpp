@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "image/image.hpp"
+#include "sharpen/simd_level.hpp"
 
 namespace sharp {
 
@@ -48,6 +49,9 @@ struct PipelineResult {
   double total_wall_us = 0.0;
   /// Mean Sobel edge value (the reduction result), useful diagnostics.
   double mean_edge = 0.0;
+  /// The CPU row-kernel tier this run actually used (kScalar for GPU
+  /// runs and for the cpu_simd=false ablation baseline).
+  SimdLevel simd_level = SimdLevel::kScalar;
 
   [[nodiscard]] double stage_us(const std::string& name) const {
     double acc = 0.0;

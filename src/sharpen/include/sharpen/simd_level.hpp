@@ -1,0 +1,41 @@
+// The public name of the CPU row-kernel instruction-set tier. Formerly an
+// internal detail (detail::simd::Level); promoted so callers can pin a
+// tier through PipelineOptions::cpu_simd_level and read back the tier a
+// run actually used from PipelineResult::simd_level, instead of
+// round-tripping SHARP_SIMD environment strings or reaching into
+// detail::simd::force_level(). Every tier is bit-identical to the scalar
+// cores — selecting one is a performance/testing knob, never a
+// correctness one.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+namespace sharp {
+
+/// Instruction-set tiers of the CPU row kernels, in strictly increasing
+/// capability order (the numeric order is what dispatch clamps against).
+enum class SimdLevel {
+  kScalar = 0,  ///< portable scalar loops; always available
+  kSse41 = 1,   ///< 4-lane SSE4.1
+  kAvx2 = 2,    ///< 8-lane AVX2
+  kAvx512 = 3,  ///< 16-lane AVX-512 (F + BW)
+};
+
+/// "scalar" / "sse41" / "avx2" / "avx512" — the spellings SHARP_SIMD and
+/// parse_simd_level() share.
+[[nodiscard]] const char* to_string(SimdLevel level);
+
+/// Parses the to_string() spellings; nullopt for anything else.
+[[nodiscard]] std::optional<SimdLevel> parse_simd_level(
+    std::string_view name);
+
+/// Best tier this binary AND this CPU support (kScalar on non-x86
+/// builds). AVX-512 additionally requires the OS to save ZMM state
+/// (XCR0), checked via CPUID/XGETBV.
+[[nodiscard]] SimdLevel native_simd_level();
+
+/// True when `level` can run on this machine (level <= native).
+[[nodiscard]] bool simd_level_available(SimdLevel level);
+
+}  // namespace sharp

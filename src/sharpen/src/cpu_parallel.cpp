@@ -163,9 +163,11 @@ PipelineResult ParallelCpuPipeline::run_unfused(
   const int dh = h / kScale;
   const bool use_simd = options_.cpu_simd;
   const detail::simd::Level lvl =
-      use_simd ? detail::simd::active_level() : detail::simd::Level::kScalar;
+      use_simd ? detail::simd::resolve(options_.cpu_simd_level)
+               : detail::simd::Level::kScalar;
 
   PipelineResult result;
+  result.simd_level = lvl;
   const bool trace = telemetry::pipeline_trace_on(options_);
   const auto record = [&](const char* name, const simcl::HostWork& work,
                           Clock::time_point t0) {
@@ -193,7 +195,11 @@ PipelineResult ParallelCpuPipeline::run_unfused(
   img::ImageF32 up(w, h);
   parallel_for_rows(h, threads_, trace, stage::kUpscale,
                     [&](int y0, int y1) {
-    detail::upscale_rect(down.view(), up.view(), 0, y0, w, y1);
+    if (use_simd) {
+      detail::simd::upscale_rows(lvl, down.view(), up.view(), y0, y1);
+    } else {
+      detail::upscale_rect(down.view(), up.view(), 0, y0, w, y1);
+    }
   });
   record(stage::kUpscale, upscale_work(w, h), t0);
 
@@ -281,11 +287,12 @@ PipelineResult ParallelCpuPipeline::run_fused(
   const int w = input.width();
   const int h = input.height();
   const int dh = h / kScale;
-  const detail::simd::Level lvl = options_.cpu_simd
-                                      ? detail::simd::active_level()
-                                      : detail::simd::Level::kScalar;
+  const detail::simd::Level lvl =
+      options_.cpu_simd ? detail::simd::resolve(options_.cpu_simd_level)
+                        : detail::simd::Level::kScalar;
 
   PipelineResult result;
+  result.simd_level = lvl;
   const bool trace = telemetry::pipeline_trace_on(options_);
 
   auto t0 = Clock::now();
@@ -327,11 +334,19 @@ PipelineResult ParallelCpuPipeline::run_fused(
   t0 = Clock::now();
   const std::vector<float> lut = detail::simd::strength_lut(inv_mean, params);
   result.output = img::ImageU8(w, h);
+  // Band height from this host's cache topology: all threads_ workers run
+  // concurrently (plus any co-resident service workers the caller
+  // declared via cpu_cache_sharers), so each gets a smaller L2 share.
+  const int band =
+      options_.cpu_band_rows > 0
+          ? options_.cpu_band_rows
+          : detail::fused::auto_band_rows(
+                w, std::max(threads_, std::max(1, options_.cpu_cache_sharers)));
   parallel_for_rows(h, threads_, trace, "fused.sharpen",
                     [&](int y0, int y1) {
     detail::fused::sharpen_rows(input.view(), down.view(), lut.data(),
                                 params, result.output.view(), y0, y1, lvl,
-                                options_.cpu_band_rows);
+                                band);
   });
   std::vector<SweepStage> sweep2 = {
       {stage::kUpscale, model_.host_compute_us(upscale_work(w, h))},

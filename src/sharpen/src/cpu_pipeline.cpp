@@ -1,5 +1,6 @@
 #include "sharpen/cpu_pipeline.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <utility>
 #include <vector>
@@ -89,9 +90,11 @@ PipelineResult CpuPipeline::run_unfused(const img::ImageU8& input,
   const int h = input.height();
   const bool use_simd = options_.cpu_simd;
   const detail::simd::Level lvl =
-      use_simd ? detail::simd::active_level() : detail::simd::Level::kScalar;
+      use_simd ? detail::simd::resolve(options_.cpu_simd_level)
+               : detail::simd::Level::kScalar;
 
   PipelineResult result;
+  result.simd_level = lvl;
   const bool trace = telemetry::pipeline_trace_on(options_);
   const auto record = [&](const char* name, const simcl::HostWork& work,
                           Clock::time_point t0) {
@@ -114,11 +117,14 @@ PipelineResult CpuPipeline::run_unfused(const img::ImageU8& input,
   record(stage::kDownscale, cpu_cost::downscale(w, h), t0);
 
   // Upscale: body + border charged together under one Fig. 13a label.
-  // (No SIMD row core yet — see ROADMAP open items.)
   t0 = Clock::now();
   img::ImageF32 up(w, h);
-  stages::upscale_body(down, up.view());
-  stages::upscale_border(down, up.view());
+  if (use_simd) {
+    detail::simd::upscale_rows(lvl, down.view(), up.view(), 0, h);
+  } else {
+    stages::upscale_body(down, up.view());
+    stages::upscale_border(down, up.view());
+  }
   record(stage::kUpscale, upscale_work(w, h), t0);
 
   t0 = Clock::now();
@@ -179,11 +185,12 @@ PipelineResult CpuPipeline::run_fused(const img::ImageU8& input,
                                       const SharpenParams& params) const {
   const int w = input.width();
   const int h = input.height();
-  const detail::simd::Level lvl = options_.cpu_simd
-                                      ? detail::simd::active_level()
-                                      : detail::simd::Level::kScalar;
+  const detail::simd::Level lvl =
+      options_.cpu_simd ? detail::simd::resolve(options_.cpu_simd_level)
+                        : detail::simd::Level::kScalar;
 
   PipelineResult result;
+  result.simd_level = lvl;
   const bool trace = telemetry::pipeline_trace_on(options_);
 
   auto t0 = Clock::now();
@@ -221,9 +228,15 @@ PipelineResult CpuPipeline::run_fused(const img::ImageU8& input,
     const std::vector<float> lut =
         detail::simd::strength_lut(inv_mean, params);
     result.output = img::ImageU8(w, h);
+    // Resolve the band height here so cpu_cache_sharers (co-resident
+    // service workers) can shrink each band's L2 budget.
+    const int band =
+        options_.cpu_band_rows > 0
+            ? options_.cpu_band_rows
+            : detail::fused::auto_band_rows(
+                  w, std::max(1, options_.cpu_cache_sharers));
     detail::fused::sharpen_rows(input.view(), down.view(), lut.data(), params,
-                                result.output.view(), 0, h, lvl,
-                                options_.cpu_band_rows);
+                                result.output.view(), 0, h, lvl, band);
   }
   std::vector<SweepStage> sweep2 = {
       {stage::kUpscale, model_.host_compute_us(upscale_work(w, h))},

@@ -1,0 +1,145 @@
+#include "sharpen/cpu_topology.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
+#include <cpuid.h>
+#define SHARP_TOPOLOGY_CPUID 1
+#endif
+
+namespace sharp {
+namespace {
+
+bool read_line(const std::string& path, std::string& out) {
+  std::ifstream in(path);
+  return static_cast<bool>(std::getline(in, out));
+}
+
+/// "2048K" / "2M" → bytes; 0 on anything unparsable.
+long parse_size(const std::string& text) {
+  char* end = nullptr;
+  const long value = std::strtol(text.c_str(), &end, 10);
+  if (end == text.c_str() || value <= 0) {
+    return 0;
+  }
+  switch (*end) {
+    case 'K':
+    case 'k':
+      return value * 1024;
+    case 'M':
+    case 'm':
+      return value * 1024 * 1024;
+    default:
+      return value;
+  }
+}
+
+/// Counts CPUs in a sysfs cpulist like "0", "0-3", "0,4" or "0-1,8-9".
+int count_cpulist(const std::string& list) {
+  int count = 0;
+  const char* p = list.c_str();
+  while (*p != '\0') {
+    char* end = nullptr;
+    const long first = std::strtol(p, &end, 10);
+    if (end == p) {
+      break;
+    }
+    long last = first;
+    p = end;
+    if (*p == '-') {
+      last = std::strtol(p + 1, &end, 10);
+      if (end == p + 1) {
+        break;
+      }
+      p = end;
+    }
+    count += static_cast<int>(std::max<long>(0, last - first + 1));
+    if (*p == ',') {
+      ++p;
+    }
+  }
+  return count;
+}
+
+/// cpu0's L2 (unified or data) from the sysfs cache directory.
+bool detect_sysfs_l2(CpuTopology& topo) {
+  const std::string base = "/sys/devices/system/cpu/cpu0/cache/index";
+  for (int index = 0; index < 8; ++index) {
+    const std::string dir = base + std::to_string(index) + "/";
+    std::string level;
+    if (!read_line(dir + "level", level) || level != "2") {
+      continue;
+    }
+    std::string type;
+    if (!read_line(dir + "type", type) ||
+        (type != "Unified" && type != "Data")) {
+      continue;
+    }
+    std::string size;
+    const long bytes = read_line(dir + "size", size) ? parse_size(size) : 0;
+    if (bytes <= 0) {
+      continue;
+    }
+    topo.l2_bytes = bytes;
+    std::string shared;
+    if (read_line(dir + "shared_cpu_list", shared)) {
+      topo.l2_shared_by = std::max(1, count_cpulist(shared));
+    }
+    return true;
+  }
+  return false;
+}
+
+/// CPUID leaf 0x80000006: ECX[31:16] is the L2 size in KiB (AMD and most
+/// Intel parts report it); sharing is not available here, so the sysfs
+/// path is preferred.
+bool detect_cpuid_l2(CpuTopology& topo) {
+#if defined(SHARP_TOPOLOGY_CPUID)
+  unsigned eax = 0;
+  unsigned ebx = 0;
+  unsigned ecx = 0;
+  unsigned edx = 0;
+  if (__get_cpuid(0x80000006, &eax, &ebx, &ecx, &edx) == 0) {
+    return false;
+  }
+  const long l2_kib = static_cast<long>(ecx >> 16);
+  if (l2_kib <= 0) {
+    return false;
+  }
+  topo.l2_bytes = l2_kib * 1024;
+  topo.l2_shared_by = 1;
+  return true;
+#else
+  (void)topo;
+  return false;
+#endif
+}
+
+}  // namespace
+
+long CpuTopology::l2_share_bytes(int workers) const {
+  const int instances =
+      std::max(1, logical_cpus / std::max(1, l2_shared_by));
+  const int threads_per_l2 =
+      (std::max(1, workers) + instances - 1) / instances;
+  return l2_bytes / std::max(1, threads_per_l2);
+}
+
+CpuTopology detect_cpu_topology() {
+  CpuTopology topo;
+  const unsigned hw = std::thread::hardware_concurrency();
+  topo.logical_cpus = hw > 0 ? static_cast<int>(hw) : 1;
+  topo.detected = detect_sysfs_l2(topo) || detect_cpuid_l2(topo);
+  return topo;
+}
+
+const CpuTopology& cpu_topology() {
+  static const CpuTopology topo = detect_cpu_topology();
+  return topo;
+}
+
+}  // namespace sharp

@@ -1,0 +1,91 @@
+#include "sharpen/env.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+namespace sharp::env {
+namespace {
+
+std::optional<std::string> raw(const char* name) {
+  if (const char* v = std::getenv(name); v != nullptr && v[0] != '\0') {
+    return std::string(v);
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<SimdLevel> simd_cap() {
+  static const std::optional<SimdLevel> cached = [] {
+    const std::optional<std::string> v = raw("SHARP_SIMD");
+    return v ? parse_simd_level(*v) : std::nullopt;
+  }();
+  return cached;
+}
+
+bool force_scalar() {
+  static const bool cached = [] {
+    const std::optional<std::string> v = raw("SHARP_FORCE_SCALAR");
+    return v.has_value() && (*v)[0] == '1';
+  }();
+  return cached;
+}
+
+std::optional<std::string> trace() {
+  static const std::optional<std::string> cached = [] {
+    std::optional<std::string> v = raw("SHARP_TRACE");
+    if (v && *v == "0") {
+      v.reset();
+    }
+    return v;
+  }();
+  return cached;
+}
+
+std::optional<int> band_rows() {
+  const std::optional<std::string> v = raw("SHARP_BAND_ROWS");
+  if (!v) {
+    return std::nullopt;
+  }
+  char* end = nullptr;
+  const long parsed = std::strtol(v->c_str(), &end, 10);
+  if (end == v->c_str() || *end != '\0') {
+    return std::nullopt;  // not a number: ignore, like a bad SHARP_SIMD
+  }
+  return static_cast<int>(std::clamp<long>(parsed, 2, 1024));
+}
+
+const std::vector<Knob>& knobs() {
+  static const std::vector<Knob> table = {
+      {"SHARP_SIMD", "scalar|sse41|avx2|avx512",
+       "caps the CPU row-kernel tier (never raises it above what the "
+       "machine supports); read once at first use"},
+      {"SHARP_FORCE_SCALAR", "1",
+       "forces the scalar row kernels, overriding SHARP_SIMD; read once"},
+      {"SHARP_TRACE", "1 | <path>",
+       "enables sharp::telemetry spans process-wide; a path also writes a "
+       "Chrome trace there at exit; read once"},
+      {"SHARP_BAND_ROWS", "2..1024",
+       "overrides the cache-topology band autotuner of the fused CPU "
+       "sweep (fused::auto_band_rows); re-read per pipeline run"},
+      {"SIMCL_CHECKED", "full | bounds,races,lifetime",
+       "enables simcl validation-mode checkers (bounds / race / lifetime "
+       "attribution); parsed by simcl::validation at first use"},
+  };
+  return table;
+}
+
+std::string describe() {
+  std::ostringstream os;
+  os << "environment knobs (sharp::env):\n";
+  for (const Knob& k : knobs()) {
+    const char* current = std::getenv(k.name);
+    os << "  " << k.name << "=" << k.values << "\n      " << k.effect
+       << " [current: " << (current != nullptr ? current : "<unset>")
+       << "]\n";
+  }
+  return os.str();
+}
+
+}  // namespace sharp::env

@@ -1,5 +1,6 @@
 #include "sharpen/execution.hpp"
 
+#include "sharpen/cpu_parallel.hpp"
 #include "sharpen/cpu_pipeline.hpp"
 #include "sharpen/gpu_pipeline.hpp"
 
@@ -9,6 +10,11 @@ img::ImageU8 sharpen(const img::ImageU8& input, const SharpenParams& params,
                      const Execution& exec) {
   switch (exec.backend) {
     case Backend::kCpu:
+      if (exec.cpu_threads > 1) {
+        return ParallelCpuPipeline(exec.cpu_threads, exec.host, exec.options)
+            .run(input, params)
+            .output;
+      }
       return CpuPipeline(exec.host, exec.options).run(input, params).output;
     case Backend::kGpu:
       return GpuPipeline(exec.options, exec.device, exec.host,

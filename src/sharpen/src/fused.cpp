@@ -3,20 +3,26 @@
 #include <algorithm>
 #include <vector>
 
+#include "sharpen/cpu_topology.hpp"
+#include "sharpen/detail/interp.hpp"
 #include "sharpen/detail/simd/pixel_ops.hpp"
 #include "sharpen/detail/stage_rows.hpp"
+#include "sharpen/env.hpp"
 #include "sharpen/telemetry/telemetry.hpp"
 
 namespace sharp::detail::fused {
 
-int auto_band_rows(int width) {
+int auto_band_rows(int width, int workers) {
+  if (const std::optional<int> forced = env::band_rows()) {
+    return *forced;  // already clamped to [2, 1024] by sharp::env
+  }
   // ~18 bytes of band state per pixel column (up/err/edge/prelim floats
-  // plus source and output bytes); target ~512 KiB so two workers still
-  // share an L2 comfortably.
+  // plus source and output bytes); target half of this worker's L2 share
+  // so the streamed source rows and the downscaled image fit alongside.
   const std::int64_t bytes_per_row = static_cast<std::int64_t>(width) * 18;
-  const std::int64_t target = 512 * 1024;
+  const std::int64_t target = cpu_topology().l2_share_bytes(workers) / 2;
   const std::int64_t rows = target / std::max<std::int64_t>(1, bytes_per_row);
-  return static_cast<int>(std::clamp<std::int64_t>(rows, 4, 128));
+  return static_cast<int>(std::clamp<std::int64_t>(rows, 4, 256));
 }
 
 std::int64_t sobel_reduce(img::ImageView<const std::uint8_t> src, int y0,
@@ -59,7 +65,15 @@ void sharpen_rows(img::ImageView<const std::uint8_t> src,
     const int n = b1 - b0;
     telemetry::Span span(trace, "fused.band", "sweep", {"rows", n});
     for (int i = 0; i < n; ++i) {
-      detail::upscale_row(down, up.row(i), b0 + i, 0, w);
+      // Row clamping (full-image semantics) happens here; the kernel
+      // handles column clamping and writes all w == 4 * n_cols columns.
+      int r = 0;
+      int jy = 0;
+      phase_of(b0 + i - 2, r, jy);
+      const int rr0 = std::clamp(r, 0, down.height() - 1);
+      const int rr1 = std::clamp(r + 1, 0, down.height() - 1);
+      k.upscale_row(down.row(rr0), down.row(rr1), jy, up.row(i),
+                    down.width());
     }
     for (int i = 0; i < n; ++i) {
       k.difference_row(src.row(b0 + i), up.row(i), err.row(i), w);

@@ -139,8 +139,13 @@ std::future<ServiceResponse> SharpenService::submit(img::ImageU8 frame,
         // pipeline (every backend is bit-identical), host-modeled timing.
         ServiceResponse response;
         response.outcome = RequestOutcome::kDegraded;
+        PipelineOptions degrade_options = config_.execution.options;
+        if (degrade_options.cpu_cache_sharers == 0) {
+          // The fallback shares this host's caches with every worker.
+          degrade_options.cpu_cache_sharers = config_.workers + 1;
+        }
         response.result =
-            CpuPipeline(config_.execution.host, config_.execution.options)
+            CpuPipeline(config_.execution.host, degrade_options)
                 .run(job.frame, job.params);
         degraded_->inc();
         job.promise.set_value(std::move(response));
@@ -226,7 +231,13 @@ void SharpenService::worker_loop(int index) {
       runner.emplace(*ctx, *pool, *comp, *comp, exec.options, /*slots=*/1);
     }
   } else {
-    cpu.emplace(exec.host, exec.options);
+    PipelineOptions options = exec.options;
+    if (options.cpu_cache_sharers == 0) {
+      // All service workers sharpen concurrently on this host, so the
+      // fused band autotuner must split the L2 between them.
+      options.cpu_cache_sharers = config_.workers;
+    }
+    cpu.emplace(exec.host, options);
   }
 
   struct Pending {

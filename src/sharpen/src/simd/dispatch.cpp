@@ -1,7 +1,12 @@
 #include "sharpen/detail/simd/dispatch.hpp"
 
 #include <atomic>
-#include <cstdlib>
+
+#include "sharpen/env.hpp"
+
+#if defined(SHARP_SIMD_X86) && defined(__GNUC__)
+#include <cpuid.h>
+#endif
 
 namespace sharp::detail::simd {
 namespace {
@@ -10,8 +15,51 @@ Level min_level(Level a, Level b) {
   return static_cast<int>(a) < static_cast<int>(b) ? a : b;
 }
 
+#if defined(SHARP_SIMD_X86) && defined(__GNUC__)
+
+/// XCR0 via XGETBV: the OS must save the full AVX-512 register state
+/// (SSE | AVX | opmask | ZMM_hi256 | hi16_ZMM) or executing EVEX code
+/// faults regardless of what CPUID advertises.
+bool os_saves_zmm_state() {
+  unsigned eax = 0;
+  unsigned ebx = 0;
+  unsigned ecx = 0;
+  unsigned edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx) == 0 ||
+      (ecx & bit_OSXSAVE) == 0) {
+    return false;
+  }
+  unsigned lo = 0;
+  unsigned hi = 0;
+  __asm__ volatile("xgetbv" : "=a"(lo), "=d"(hi) : "c"(0));
+  constexpr unsigned kXmmYmmZmmOpmask = 0xE6;  // bits 1,2,5,6,7
+  return (lo & kXmmYmmZmmOpmask) == kXmmYmmZmmOpmask;
+}
+
+/// CPUID leaf 7: the avx512 kernels use foundation (F) lane ops plus the
+/// byte-granular maddubs of the downscale kernel (BW).
+bool cpu_has_avx512f_bw() {
+  unsigned eax = 0;
+  unsigned ebx = 0;
+  unsigned ecx = 0;
+  unsigned edx = 0;
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx) == 0) {
+    return false;
+  }
+  constexpr unsigned kAvx512F = 1u << 16;
+  constexpr unsigned kAvx512Bw = 1u << 30;
+  return (ebx & (kAvx512F | kAvx512Bw)) == (kAvx512F | kAvx512Bw);
+}
+
+#endif  // SHARP_SIMD_X86 && __GNUC__
+
 Level detect_native() {
 #if defined(SHARP_SIMD_X86) && defined(__GNUC__)
+  if (cpu_has_avx512f_bw() && os_saves_zmm_state()) {
+    return Level::kAvx512;
+  }
+  // __builtin_cpu_supports already folds in the OSXSAVE/YMM check for
+  // the AVX family.
   if (__builtin_cpu_supports("avx2")) {
     return Level::kAvx2;
   }
@@ -23,15 +71,12 @@ Level detect_native() {
 }
 
 Level detect_env() {
-  if (const char* force = std::getenv("SHARP_FORCE_SCALAR");
-      force != nullptr && force[0] == '1') {
+  if (env::force_scalar()) {
     return Level::kScalar;
   }
   Level cap = native_level();
-  if (const char* env = std::getenv("SHARP_SIMD"); env != nullptr) {
-    if (const std::optional<Level> requested = parse_level(env)) {
-      cap = min_level(cap, *requested);
-    }
+  if (const std::optional<Level> requested = env::simd_cap()) {
+    cap = min_level(cap, *requested);
   }
   return cap;
 }
@@ -40,31 +85,6 @@ Level detect_env() {
 std::atomic<int> g_forced{-1};
 
 }  // namespace
-
-const char* to_string(Level level) {
-  switch (level) {
-    case Level::kScalar:
-      return "scalar";
-    case Level::kSse41:
-      return "sse41";
-    case Level::kAvx2:
-      return "avx2";
-  }
-  return "?";
-}
-
-std::optional<Level> parse_level(std::string_view name) {
-  if (name == "scalar") {
-    return Level::kScalar;
-  }
-  if (name == "sse41") {
-    return Level::kSse41;
-  }
-  if (name == "avx2") {
-    return Level::kAvx2;
-  }
-  return std::nullopt;
-}
 
 Level native_level() {
   static const Level level = detect_native();
@@ -88,6 +108,13 @@ bool level_available(Level level) {
   return static_cast<int>(level) <= static_cast<int>(native_level());
 }
 
+Level resolve(std::optional<Level> pinned) {
+  if (pinned.has_value()) {
+    return min_level(*pinned, native_level());
+  }
+  return active_level();
+}
+
 void force_level(std::optional<Level> level) {
   if (!level.has_value()) {
     g_forced.store(-1, std::memory_order_relaxed);
@@ -101,6 +128,8 @@ const RowKernels& kernels(Level level) {
 #if defined(SHARP_SIMD_X86)
   if (level_available(level)) {
     switch (level) {
+      case Level::kAvx512:
+        return avx512_kernels();
       case Level::kAvx2:
         return avx2_kernels();
       case Level::kSse41:
@@ -116,3 +145,43 @@ const RowKernels& kernels(Level level) {
 }
 
 }  // namespace sharp::detail::simd
+
+namespace sharp {
+
+const char* to_string(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kSse41:
+      return "sse41";
+    case SimdLevel::kAvx2:
+      return "avx2";
+    case SimdLevel::kAvx512:
+      return "avx512";
+  }
+  return "?";
+}
+
+std::optional<SimdLevel> parse_simd_level(std::string_view name) {
+  if (name == "scalar") {
+    return SimdLevel::kScalar;
+  }
+  if (name == "sse41") {
+    return SimdLevel::kSse41;
+  }
+  if (name == "avx2") {
+    return SimdLevel::kAvx2;
+  }
+  if (name == "avx512") {
+    return SimdLevel::kAvx512;
+  }
+  return std::nullopt;
+}
+
+SimdLevel native_simd_level() { return detail::simd::native_level(); }
+
+bool simd_level_available(SimdLevel level) {
+  return detail::simd::level_available(level);
+}
+
+}  // namespace sharp

@@ -18,6 +18,9 @@
 //   VF cvt_i_to_f(VI), VI cvtt_f_to_i(VF) (truncating)
 //   VF cmp_gt/cmp_lt, select(mask, t, f)
 //   store_u8(p, VI)            — pack int32 lanes in [0,255] to kWidth bytes
+//   VF dup4_f(p)               — lane i = p[i / 4] (kWidth/4 nodes, each
+//                                repeated across its 4 upscale phases)
+//   VF pattern4_f(w)           — lane i = w[i % 4] (the 4 phase weights)
 #pragma once
 
 #include <cstdint>
@@ -46,6 +49,38 @@ struct KernelsImpl {
     for (; c < dw; ++c) {
       out[c] =
           downscale_pixel(s0 + 4 * c, s1 + 4 * c, s2 + 4 * c, s3 + 4 * c);
+    }
+  }
+
+  static void upscale_row(const float* top, const float* bot, int jy,
+                          float* out, int n_cols) {
+    const int w = 4 * n_cols;
+    // Lanes per step and downscaled nodes consumed per step: lane i of a
+    // step starting at output column x = 2 + 4c covers node c + i/4 at
+    // phase jx = i % 4 (phase 0 lines up at x = 2, where t = x - 2 = 0).
+    constexpr int kGroups = V::kWidth / 4;
+    int x = 0;
+    for (; x < (w < 2 ? w : 2); ++x) {
+      out[x] = upscale_pixel(top, bot, jy, x, n_cols);
+    }
+    const typename V::VF w0x = V::pattern4_f(kUpW0);
+    const typename V::VF w1x = V::pattern4_f(kUpW1);
+    const typename V::VF w0y = V::broadcast_f(kUpW0[jy]);
+    const typename V::VF w1y = V::broadcast_f(kUpW1[jy]);
+    // Loads reach node c + kGroups <= n_cols - 1: no clamping needed, and
+    // every lane evaluates exactly the upscale_sample() expression —
+    // d0*W0[jx] + d1*W1[jx] per row, then W0[jy]*top + W1[jy]*bot.
+    for (int c = 0; c + kGroups <= n_cols - 1; c += kGroups, x += V::kWidth) {
+      const typename V::VF t =
+          V::add_f(V::mul_f(V::dup4_f(top + c), w0x),
+                   V::mul_f(V::dup4_f(top + c + 1), w1x));
+      const typename V::VF b =
+          V::add_f(V::mul_f(V::dup4_f(bot + c), w0x),
+                   V::mul_f(V::dup4_f(bot + c + 1), w1x));
+      V::store_f(out + x, V::add_f(V::mul_f(w0y, t), V::mul_f(w1y, b)));
+    }
+    for (; x < w; ++x) {
+      out[x] = upscale_pixel(top, bot, jy, x, n_cols);
     }
   }
 
@@ -179,9 +214,10 @@ struct KernelsImpl {
 template <class V>
 const RowKernels& kernels_for() {
   static const RowKernels table{
-      &KernelsImpl<V>::downscale_row, &KernelsImpl<V>::difference_row,
-      &KernelsImpl<V>::sobel_row,     &KernelsImpl<V>::reduce_row,
-      &KernelsImpl<V>::preliminary_row, &KernelsImpl<V>::overshoot_row};
+      &KernelsImpl<V>::downscale_row,   &KernelsImpl<V>::upscale_row,
+      &KernelsImpl<V>::difference_row,  &KernelsImpl<V>::sobel_row,
+      &KernelsImpl<V>::reduce_row,      &KernelsImpl<V>::preliminary_row,
+      &KernelsImpl<V>::overshoot_row};
   return table;
 }
 

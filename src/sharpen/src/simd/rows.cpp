@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sharpen/detail/interp.hpp"
 #include "sharpen/detail/simd/pixel_ops.hpp"
 
 namespace sharp::detail::simd {
@@ -24,6 +25,21 @@ void downscale_rows(Level level, img::ImageView<const std::uint8_t> src,
     k.downscale_row(src.row(r * kScale), src.row(r * kScale + 1),
                     src.row(r * kScale + 2), src.row(r * kScale + 3),
                     out.row(r), dw);
+  }
+}
+
+void upscale_rows(Level level, img::ImageView<const float> down,
+                  img::ImageView<float> out, int y0, int y1) {
+  const RowKernels& k = kernels(level);
+  const int n_rows = down.height();
+  const int n_cols = down.width();
+  for (int y = y0; y < y1; ++y) {
+    int r = 0;
+    int jy = 0;
+    phase_of(y - 2, r, jy);
+    const int rr0 = std::clamp(r, 0, n_rows - 1);
+    const int rr1 = std::clamp(r + 1, 0, n_rows - 1);
+    k.upscale_row(down.row(rr0), down.row(rr1), jy, out.row(y), n_cols);
   }
 }
 

@@ -80,6 +80,12 @@ struct VecAvx2 {
     const __m128i p8 = _mm_packus_epi16(p16, p16);
     _mm_storel_epi64(reinterpret_cast<__m128i*>(p), p8);
   }
+  static VF dup4_f(const float* p) {
+    return _mm256_set_m128(_mm_set1_ps(p[1]), _mm_set1_ps(p[0]));
+  }
+  static VF pattern4_f(const float* w) {
+    return _mm256_broadcast_ps(reinterpret_cast<const __m128*>(w));
+  }
 };
 
 }  // namespace

@@ -1,0 +1,98 @@
+// 16-lane AVX-512 instantiation of the shared x86 row kernels (compiled
+// with -mavx512f -mavx512bw on x86 builds; reached through runtime
+// dispatch, which also checks OS ZMM-state support via XGETBV). Float
+// comparisons produce __mmask16 and select with mask-blend instead of the
+// byte-mask blendv of the narrower tiers; all float math still goes
+// through explicit mul/add intrinsics (no FMA), so lane results match the
+// scalar cores bit-for-bit.
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+#include "kernels_x86.hpp"
+
+namespace sharp::detail::simd {
+namespace {
+
+struct VecAvx512 {
+  static constexpr int kWidth = 16;
+  using VF = __m512;
+  using VI = __m512i;
+  using VB = __m128i;  // 16 raw bytes
+
+  static VI zero_i() { return _mm512_setzero_si512(); }
+  static VI load_i(const std::int32_t* p) { return _mm512_loadu_si512(p); }
+  static void store_i(std::int32_t* p, VI v) { _mm512_storeu_si512(p, v); }
+  static VB load_b(const std::uint8_t* p) {
+    return _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+  }
+  static VI widen(VB b) { return _mm512_cvtepu8_epi32(b); }
+  static VI load_u8(const std::uint8_t* p) { return widen(load_b(p)); }
+  static VI sum4_u8(const std::uint8_t* p) {
+    const __m512i bytes = _mm512_loadu_si512(p);
+    const __m512i pairs = _mm512_maddubs_epi16(bytes, _mm512_set1_epi8(1));
+    return _mm512_madd_epi16(pairs, _mm512_set1_epi16(1));
+  }
+  static VI add_i(VI a, VI b) { return _mm512_add_epi32(a, b); }
+  static VI sub_i(VI a, VI b) { return _mm512_sub_epi32(a, b); }
+  static VI abs_i(VI a) { return _mm512_abs_epi32(a); }
+  static VB min_b(VB a, VB b) { return _mm_min_epu8(a, b); }
+  static VB max_b(VB a, VB b) { return _mm_max_epu8(a, b); }
+  static std::int64_t hsum_i64(VI v) {
+    alignas(64) std::int32_t lanes[16];
+    _mm512_store_si512(lanes, v);
+    std::int64_t sum = 0;
+    for (const std::int32_t lane : lanes) {
+      sum += lane;
+    }
+    return sum;
+  }
+
+  static VF load_f(const float* p) { return _mm512_loadu_ps(p); }
+  static void store_f(float* p, VF v) { _mm512_storeu_ps(p, v); }
+  static VF broadcast_f(float v) { return _mm512_set1_ps(v); }
+  static VF add_f(VF a, VF b) { return _mm512_add_ps(a, b); }
+  static VF sub_f(VF a, VF b) { return _mm512_sub_ps(a, b); }
+  static VF mul_f(VF a, VF b) { return _mm512_mul_ps(a, b); }
+  static VF min_f(VF a, VF b) { return _mm512_min_ps(a, b); }
+  static VF max_f(VF a, VF b) { return _mm512_max_ps(a, b); }
+  static VF cvt_i_to_f(VI v) { return _mm512_cvtepi32_ps(v); }
+  static VI cvtt_f_to_i(VF v) { return _mm512_cvttps_epi32(v); }
+  static __mmask16 cmp_gt(VF a, VF b) {
+    return _mm512_cmp_ps_mask(a, b, _CMP_GT_OQ);
+  }
+  static __mmask16 cmp_lt(VF a, VF b) {
+    return _mm512_cmp_ps_mask(a, b, _CMP_LT_OQ);
+  }
+  static VF select(__mmask16 mask, VF t, VF f) {
+    return _mm512_mask_blend_ps(mask, f, t);
+  }
+  static VF gather_f(const float* base, VI idx) {
+    // NB: operand order differs from the AVX2 intrinsic (idx first).
+    return _mm512_i32gather_ps(idx, base, 4);
+  }
+  static void store_u8(std::uint8_t* p, VI v) {
+    // Unsigned-saturating VPMOVUSDB; lanes are already in [0, 255].
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(p),
+                     _mm512_cvtusepi32_epi8(v));
+  }
+  static VF dup4_f(const float* p) {
+    // broadcast_f32x4 (not castps128, whose upper lanes are undefined)
+    // keeps every source lane defined; the permute only reads lanes 0-3.
+    const __m512i idx = _mm512_set_epi32(3, 3, 3, 3, 2, 2, 2, 2, 1, 1, 1,
+                                         1, 0, 0, 0, 0);
+    return _mm512_permutexvar_ps(idx,
+                                 _mm512_broadcast_f32x4(_mm_loadu_ps(p)));
+  }
+  static VF pattern4_f(const float* w) {
+    return _mm512_broadcast_f32x4(_mm_loadu_ps(w));
+  }
+};
+
+}  // namespace
+
+const RowKernels& avx512_kernels() { return kernels_for<VecAvx512>(); }
+
+}  // namespace sharp::detail::simd
+
+#endif  // x86

@@ -19,6 +19,14 @@ void downscale_row(const std::uint8_t* s0, const std::uint8_t* s1,
   }
 }
 
+void upscale_row(const float* top, const float* bot, int jy, float* out,
+                 int n_cols) {
+  const int w = 4 * n_cols;
+  for (int x = 0; x < w; ++x) {
+    out[x] = upscale_pixel(top, bot, jy, x, n_cols);
+  }
+}
+
 void difference_row(const std::uint8_t* orig, const float* up, float* out,
                     int w) {
   for (int x = 0; x < w; ++x) {
@@ -73,7 +81,8 @@ void overshoot_row(const std::uint8_t* rm1, const std::uint8_t* rmid,
 }  // namespace
 
 const RowKernels& scalar_kernels() {
-  static const RowKernels table{&downscale_row, &difference_row, &sobel_row,
+  static const RowKernels table{&downscale_row, &upscale_row,
+                                &difference_row, &sobel_row,
                                 &reduce_row,    &preliminary_row,
                                 &overshoot_row};
   return table;

@@ -78,6 +78,8 @@ struct VecSse {
     const std::int32_t bytes = _mm_cvtsi128_si32(p8);
     std::memcpy(p, &bytes, 4);
   }
+  static VF dup4_f(const float* p) { return _mm_set1_ps(p[0]); }
+  static VF pattern4_f(const float* w) { return _mm_loadu_ps(w); }
 };
 
 }  // namespace

@@ -8,8 +8,11 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <string>
 #include <unordered_set>
 
+#include "sharpen/env.hpp"
 #include "sharpen/telemetry/chrome_trace.hpp"
 
 namespace sharp::telemetry {
@@ -76,15 +79,13 @@ struct State {
   std::unordered_set<std::string> interned;
 
   State() {
-    if (const char* env = std::getenv("SHARP_TRACE");
-        env != nullptr && env[0] != '\0') {
-      const std::string_view v(env);
-      if (v != "0") {
-        enabled.store(true, std::memory_order_relaxed);
-        if (v != "1") {
-          trace_path = env;
-          std::atexit(&write_env_trace_at_exit);
-        }
+    // SHARP_TRACE, parsed by the central knob surface: nullopt = off,
+    // "1" = spans only, anything else = Chrome-trace path at exit.
+    if (const std::optional<std::string> v = sharp::env::trace()) {
+      enabled.store(true, std::memory_order_relaxed);
+      if (*v != "1") {
+        trace_path = *v;
+        std::atexit(&write_env_trace_at_exit);
       }
     }
   }

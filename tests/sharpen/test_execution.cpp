@@ -1,0 +1,169 @@
+// The redesigned Execution surface: named presets and fluent builders,
+// the public SimdLevel type (pinning through PipelineOptions, reporting
+// through PipelineResult), and the unified sharp::env knob table. The
+// struct must stay a plain aggregate so pre-redesign spellings compile
+// unchanged.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <type_traits>
+
+#include "image/generate.hpp"
+#include "image/metrics.hpp"
+#include "sharpen/env.hpp"
+#include "sharpen/sharpen.hpp"
+
+namespace {
+
+using namespace sharp;
+using sharp::img::ImageU8;
+
+static_assert(std::is_aggregate_v<Execution>,
+              "Execution must stay an aggregate: designated-initializer "
+              "call sites predate the preset API");
+
+TEST(ExecutionApi, PresetsSelectTheDocumentedConfigurations) {
+  const Execution cpu = Execution::cpu();
+  EXPECT_EQ(cpu.backend, Backend::kCpu);
+  EXPECT_EQ(cpu.cpu_threads, 1);
+
+  const Execution gpu = Execution::gpu();
+  EXPECT_EQ(gpu.backend, Backend::kGpu);
+  // gpu() is the default-constructed value, spelled readably.
+  EXPECT_EQ(gpu.engine_threads, Execution{}.engine_threads);
+  EXPECT_EQ(gpu.device.name, Execution{}.device.name);
+
+  const Execution fast = Execution::max_throughput(4);
+  EXPECT_EQ(fast.backend, Backend::kCpu);
+  EXPECT_EQ(fast.cpu_threads, 4);
+  EXPECT_TRUE(fast.options.cpu_simd);
+  EXPECT_TRUE(fast.options.cpu_fuse);
+}
+
+TEST(ExecutionApi, FluentBuildersReturnModifiedCopies) {
+  const Execution base = Execution::gpu();
+  const Execution derived = base.with_backend(Backend::kCpu)
+                                .with_options(PipelineOptions::naive())
+                                .with_host(simcl::intel_core_i5_3470())
+                                .with_engine_threads(3)
+                                .with_cpu_threads(2);
+  EXPECT_EQ(derived.backend, Backend::kCpu);
+  EXPECT_FALSE(derived.options.fuse_sharpness);
+  EXPECT_EQ(derived.engine_threads, 3);
+  EXPECT_EQ(derived.cpu_threads, 2);
+  // The source of the chain is untouched.
+  EXPECT_EQ(base.backend, Backend::kGpu);
+  EXPECT_EQ(base.engine_threads, 1);
+  EXPECT_EQ(base.cpu_threads, 1);
+
+  const Execution retargeted =
+      Execution::cpu().with_device(simcl::amd_firepro_w8000());
+  EXPECT_EQ(retargeted.backend, Backend::kCpu);
+}
+
+TEST(ExecutionApi, PresetSpellingsMatchFieldByFieldConstruction) {
+  const ImageU8 input = img::make_natural(64, 48, 17);
+  EXPECT_EQ(img::max_abs_diff(sharpen(input, {}, Execution::cpu()),
+                              sharpen(input, {}, {.backend = Backend::kCpu})),
+            0);
+  EXPECT_EQ(img::max_abs_diff(sharpen(input, {}, Execution::gpu()),
+                              sharpen(input)),
+            0);
+}
+
+TEST(ExecutionApi, MaxThroughputIsBitIdenticalToSerialCpu) {
+  const ImageU8 input = img::make_natural(64, 64, 23);
+  const ImageU8 serial = sharpen(input, {}, Execution::cpu());
+  for (const int threads : {2, 3}) {
+    EXPECT_EQ(img::max_abs_diff(
+                  serial,
+                  sharpen(input, {}, Execution::max_throughput(threads))),
+              0)
+        << "threads=" << threads;
+  }
+}
+
+TEST(SimdLevelApi, ResultReportsThePinnedTier) {
+  const ImageU8 input = img::make_natural(32, 32, 5);
+  for (const SimdLevel level : {SimdLevel::kScalar, SimdLevel::kSse41,
+                                SimdLevel::kAvx2, SimdLevel::kAvx512}) {
+    if (!simd_level_available(level)) {
+      continue;
+    }
+    PipelineOptions o;
+    o.cpu_simd_level = level;
+    const auto result = CpuPipeline(simcl::intel_core_i5_3470(), o)
+                            .run(input);
+    EXPECT_EQ(result.simd_level, level) << to_string(level);
+  }
+}
+
+TEST(SimdLevelApi, PinsAboveNativeClampAndStayBitIdentical) {
+  const ImageU8 input = img::make_natural(48, 32, 11);
+  PipelineOptions scalar_opts;
+  scalar_opts.cpu_simd_level = SimdLevel::kScalar;
+  const auto ref = CpuPipeline(simcl::intel_core_i5_3470(), scalar_opts)
+                       .run(input);
+
+  PipelineOptions pinned;
+  pinned.cpu_simd_level = SimdLevel::kAvx512;  // may exceed this machine
+  const auto got =
+      CpuPipeline(simcl::intel_core_i5_3470(), pinned).run(input);
+  EXPECT_LE(got.simd_level, native_simd_level());
+  EXPECT_EQ(img::max_abs_diff(ref.output, got.output), 0);
+
+  // Unpinned runs report whatever dispatch resolved, never above native.
+  const auto dispatched =
+      CpuPipeline(simcl::intel_core_i5_3470(), PipelineOptions{})
+          .run(input);
+  EXPECT_LE(dispatched.simd_level, native_simd_level());
+}
+
+TEST(SimdLevelApi, SimdOffReportsScalar) {
+  const ImageU8 input = img::make_natural(32, 32, 9);
+  PipelineOptions o;
+  o.cpu_simd = false;
+  const auto result =
+      CpuPipeline(simcl::intel_core_i5_3470(), o).run(input);
+  EXPECT_EQ(result.simd_level, SimdLevel::kScalar);
+}
+
+TEST(SimdLevelApi, StringsRoundTripAndOrderIsCapability) {
+  for (const SimdLevel level : {SimdLevel::kScalar, SimdLevel::kSse41,
+                                SimdLevel::kAvx2, SimdLevel::kAvx512}) {
+    EXPECT_EQ(parse_simd_level(to_string(level)), level);
+  }
+  EXPECT_EQ(parse_simd_level("avx"), std::nullopt);
+  EXPECT_LT(SimdLevel::kScalar, SimdLevel::kSse41);
+  EXPECT_LT(SimdLevel::kAvx2, SimdLevel::kAvx512);
+  EXPECT_TRUE(simd_level_available(SimdLevel::kScalar));
+  EXPECT_TRUE(simd_level_available(native_simd_level()));
+}
+
+TEST(EnvSurface, KnobTableDocumentsEveryKnob) {
+  const auto& knobs = env::knobs();
+  auto has = [&](const std::string& name) {
+    for (const auto& k : knobs) {
+      if (name == k.name) {
+        return true;
+      }
+    }
+    return false;
+  };
+  EXPECT_TRUE(has("SHARP_SIMD"));
+  EXPECT_TRUE(has("SHARP_FORCE_SCALAR"));
+  EXPECT_TRUE(has("SHARP_TRACE"));
+  EXPECT_TRUE(has("SHARP_BAND_ROWS"));
+  EXPECT_TRUE(has("SIMCL_CHECKED"));
+  for (const auto& k : knobs) {
+    EXPECT_NE(std::string(k.values), "");
+    EXPECT_NE(std::string(k.effect), "");
+  }
+  // describe() renders one line per knob.
+  const std::string text = env::describe();
+  for (const auto& k : knobs) {
+    EXPECT_NE(text.find(k.name), std::string::npos) << k.name;
+  }
+}
+
+}  // namespace

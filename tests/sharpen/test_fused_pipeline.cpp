@@ -4,11 +4,13 @@
 // contract of the fused pipeline's stage report.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <cstring>
 #include <vector>
 
 #include "image/generate.hpp"
 #include "image/image.hpp"
+#include "sharpen/cpu_topology.hpp"
 #include "sharpen/detail/fused.hpp"
 #include "sharpen/detail/simd/dispatch.hpp"
 #include "sharpen/sharpen.hpp"
@@ -44,18 +46,54 @@ ImageU8 reference_output(const ImageU8& input, const SharpenParams& params) {
 
 TEST(FusedPipeline, AutoBandRowsStaysInRange) {
   for (const int w : {16, 512, 4096, 1 << 20}) {
-    const int band = fused::auto_band_rows(w);
-    EXPECT_GE(band, 4) << w;
-    EXPECT_LE(band, 128) << w;
+    for (const int workers : {1, 2, 4, 64}) {
+      const int band = fused::auto_band_rows(w, workers);
+      EXPECT_GE(band, 4) << w << " workers=" << workers;
+      EXPECT_LE(band, 256) << w << " workers=" << workers;
+    }
   }
+}
+
+TEST(FusedPipeline, AutoBandRowsShrinksWithCacheSharers) {
+  // More workers per L2 can never produce taller bands; huge images pin
+  // the band at the floor either way.
+  for (const int w : {512, 4096}) {
+    EXPECT_GE(fused::auto_band_rows(w, 1), fused::auto_band_rows(w, 8)) << w;
+  }
+}
+
+TEST(FusedPipeline, BandRowsEnvOverrideWins) {
+  ASSERT_EQ(setenv("SHARP_BAND_ROWS", "11", /*overwrite=*/1), 0);
+  EXPECT_EQ(fused::auto_band_rows(512, 1), 11);
+  EXPECT_EQ(fused::auto_band_rows(1 << 20, 64), 11);
+  // Out-of-range values clamp rather than breaking the sweep.
+  ASSERT_EQ(setenv("SHARP_BAND_ROWS", "1", /*overwrite=*/1), 0);
+  EXPECT_EQ(fused::auto_band_rows(512, 1), 2);
+  ASSERT_EQ(setenv("SHARP_BAND_ROWS", "99999", /*overwrite=*/1), 0);
+  EXPECT_EQ(fused::auto_band_rows(512, 1), 1024);
+  // Garbage is ignored (autotune resumes).
+  ASSERT_EQ(setenv("SHARP_BAND_ROWS", "tall", /*overwrite=*/1), 0);
+  EXPECT_GE(fused::auto_band_rows(512, 1), 4);
+  ASSERT_EQ(unsetenv("SHARP_BAND_ROWS"), 0);
+  EXPECT_GE(fused::auto_band_rows(512, 1), 4);
+}
+
+TEST(FusedPipeline, CpuTopologyIsSane) {
+  const sharp::CpuTopology& topo = sharp::cpu_topology();
+  EXPECT_GE(topo.logical_cpus, 1);
+  EXPECT_GT(topo.l2_bytes, 0);
+  EXPECT_GE(topo.l2_shared_by, 1);
+  // The share can only shrink as more workers pile on.
+  EXPECT_GE(topo.l2_share_bytes(1), topo.l2_share_bytes(4));
+  EXPECT_GT(topo.l2_share_bytes(1024), 0);
 }
 
 TEST(FusedPipeline, SobelReduceEqualsSobelThenReduce) {
   const ImageU8 img = sharp::img::make_natural(64, 48, 5);
   const auto edge = sharp::stages::sobel(img);
   const std::int64_t expect = sharp::stages::reduce_sum(edge);
-  for (const auto level :
-       {simd::Level::kScalar, simd::Level::kSse41, simd::Level::kAvx2}) {
+  for (const auto level : {simd::Level::kScalar, simd::Level::kSse41,
+                           simd::Level::kAvx2, simd::Level::kAvx512}) {
     if (!simd::level_available(level)) {
       continue;
     }

@@ -67,9 +67,10 @@ TEST(OptionsValidate, ServiceRejectsInvalidOptions) {
   EXPECT_THROW(SharpenService service(cfg), SharpenError);
 }
 
-// Field-by-field Execution construction and designated initializers (and
-// the all-defaults call) must select the same path — this pinned the
-// legacy sharpen_cpu()/sharpen_gpu() behavior when those were removed.
+// Preset, field-by-field, and designated-initializer Execution
+// construction (and the all-defaults call) must select the same path —
+// this pinned the legacy sharpen_cpu()/sharpen_gpu() behavior when those
+// were removed, and now pins the preset API to the raw spellings.
 TEST(UnifiedSharpen, ExecutionSpellingsAreEquivalent) {
   const ImageU8 input = img::make_natural(64, 48, 7);
 
@@ -78,14 +79,20 @@ TEST(UnifiedSharpen, ExecutionSpellingsAreEquivalent) {
   EXPECT_EQ(img::max_abs_diff(sharpen(input, {}, cpu_exec),
                               sharpen(input, {}, {.backend = Backend::kCpu})),
             0);
+  EXPECT_EQ(img::max_abs_diff(sharpen(input, {}, Execution::cpu()),
+                              sharpen(input, {}, cpu_exec)),
+            0);
 
   Execution gpu_exec;  // defaults: kGpu, optimized options
   EXPECT_EQ(img::max_abs_diff(sharpen(input, {}, gpu_exec),
                               sharpen(input)),
             0);
+  EXPECT_EQ(img::max_abs_diff(sharpen(input, {}, Execution::gpu()),
+                              sharpen(input)),
+            0);
 
-  Execution naive_exec;
-  naive_exec.options = PipelineOptions::naive();
+  const Execution naive_exec =
+      Execution::gpu().with_options(PipelineOptions::naive());
   EXPECT_EQ(
       img::max_abs_diff(sharpen(input, {}, naive_exec),
                         sharpen(input, {}, {.options = PipelineOptions::naive()})),

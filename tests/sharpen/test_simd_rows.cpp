@@ -26,8 +26,8 @@ using sharp::img::ImageU8;
 
 std::vector<simd::Level> available_levels() {
   std::vector<simd::Level> levels;
-  for (const auto l :
-       {simd::Level::kScalar, simd::Level::kSse41, simd::Level::kAvx2}) {
+  for (const auto l : {simd::Level::kScalar, simd::Level::kSse41,
+                       simd::Level::kAvx2, simd::Level::kAvx512}) {
     if (simd::level_available(l)) {
       levels.push_back(l);
     }
@@ -35,9 +35,10 @@ std::vector<simd::Level> available_levels() {
   return levels;
 }
 
-// Widths chosen to exercise every tail length of the 4- and 8-lane
+// Widths chosen to exercise every tail length of the 4-, 8- and 16-lane
 // kernels, plus degenerate 1/2/3-pixel rows.
-const std::vector<int> kAwkwardWidths = {1, 2, 3, 5, 7, 8, 9, 16, 31, 33, 69};
+const std::vector<int> kAwkwardWidths = {1, 2,  3,  5,  7,  8, 9,
+                                         16, 17, 31, 33, 37, 69};
 const std::vector<int> kAwkwardHeights = {1, 2, 3, 5, 8, 17};
 
 ImageU8 random_u8(int w, int h, unsigned seed) {
@@ -86,15 +87,33 @@ void expect_same_bits(const sharp::img::Image<T>& a,
                         a.view().pixel_count() * sizeof(T)),
             0)
       << what << " differs from scalar reference at level "
-      << simd::to_string(level) << " for " << w << "x" << h;
+      << sharp::to_string(level) << " for " << w << "x" << h;
 }
 
 TEST(SimdDispatch, ParseLevel) {
-  EXPECT_EQ(simd::parse_level("scalar"), simd::Level::kScalar);
-  EXPECT_EQ(simd::parse_level("sse41"), simd::Level::kSse41);
-  EXPECT_EQ(simd::parse_level("avx2"), simd::Level::kAvx2);
-  EXPECT_EQ(simd::parse_level("avx512"), std::nullopt);
-  EXPECT_EQ(simd::parse_level(""), std::nullopt);
+  EXPECT_EQ(sharp::parse_simd_level("scalar"), simd::Level::kScalar);
+  EXPECT_EQ(sharp::parse_simd_level("sse41"), simd::Level::kSse41);
+  EXPECT_EQ(sharp::parse_simd_level("avx2"), simd::Level::kAvx2);
+  EXPECT_EQ(sharp::parse_simd_level("avx512"), simd::Level::kAvx512);
+  EXPECT_EQ(sharp::parse_simd_level("avx"), std::nullopt);
+  EXPECT_EQ(sharp::parse_simd_level(""), std::nullopt);
+}
+
+TEST(SimdDispatch, ToStringRoundTrips) {
+  for (const auto l : {simd::Level::kScalar, simd::Level::kSse41,
+                       simd::Level::kAvx2, simd::Level::kAvx512}) {
+    EXPECT_EQ(sharp::parse_simd_level(sharp::to_string(l)), l);
+  }
+}
+
+TEST(SimdDispatch, ResolveClampsPinsAndFollowsDispatch) {
+  // No pin: resolve() is the ambient dispatch level.
+  EXPECT_EQ(simd::resolve(std::nullopt), simd::active_level());
+  // A pin above native clamps instead of selecting unrunnable code.
+  EXPECT_LE(static_cast<int>(simd::resolve(simd::Level::kAvx512)),
+            static_cast<int>(simd::native_level()));
+  // A scalar pin always resolves to scalar.
+  EXPECT_EQ(simd::resolve(simd::Level::kScalar), simd::Level::kScalar);
 }
 
 TEST(SimdDispatch, ScalarAlwaysAvailable) {
@@ -148,6 +167,45 @@ TEST(SimdRows, DownscaleMatchesScalar) {
         ImageF32 got(dw, dh);
         simd::downscale_rows(level, src.view(), got.view(), 0, dh);
         expect_same_bits(ref, got, "downscale", level, dw * 4, dh * 4);
+      }
+    }
+  }
+}
+
+TEST(SimdRows, UpscaleMatchesScalar) {
+  // Full-frame upscale at every level vs the stage_rows reference, over
+  // every downscaled size small enough to exercise head/tail-only rows
+  // (dn=1,2 leave no vector body at the wider tiers) and all 4 phases.
+  for (const auto level : available_levels()) {
+    for (const int dn : {1, 2, 3, 5, 9, 17}) {
+      const int w = dn * 4;
+      const ImageF32 down = random_f32(dn, dn, 77u, 0.0f, 255.0f);
+      ImageF32 ref(w, w, -1.0f);  // poison: every pixel must be written
+      detail::upscale_rect(down.view(), ref.view(), 0, 0, w, w);
+      ImageF32 got(w, w, -1.0f);
+      simd::upscale_rows(level, down.view(), got.view(), 0, w);
+      expect_same_bits(ref, got, "upscale", level, w, w);
+    }
+  }
+}
+
+TEST(SimdRows, UpscalePartialRangesMatchScalar) {
+  // Row subranges start at every phase alignment (y0 = 0..4 covers all
+  // four values of jy plus the clamped top rows).
+  const int dn = 9;
+  const int w = dn * 4;
+  const ImageF32 down = random_f32(dn, dn, 78u, 0.0f, 255.0f);
+  for (const auto level : available_levels()) {
+    for (const int y0 : {0, 1, 2, 3, 4, 5, w - 3}) {
+      for (const int y1 : {y0 + 1, (y0 + w) / 2, w}) {
+        if (y1 <= y0 || y1 > w) {
+          continue;
+        }
+        ImageF32 ref(w, w, 0.0f);
+        detail::upscale_rect(down.view(), ref.view(), 0, y0, w, y1);
+        ImageF32 got(w, w, 0.0f);
+        simd::upscale_rows(level, down.view(), got.view(), y0, y1);
+        expect_same_bits(ref, got, "upscale range", level, w, w);
       }
     }
   }
@@ -210,7 +268,7 @@ TEST(SimdRows, ReduceMatchesScalar) {
         EXPECT_EQ(detail::reduce_rows(edge.view(), 0, h),
                   simd::reduce_rows(level, edge.view(), 0, h))
             << "reduce " << w << "x" << h << " at "
-            << simd::to_string(level);
+            << sharp::to_string(level);
       }
     }
   }
