@@ -5,11 +5,49 @@
 // optimized version a further 1.2 -> 2.0x on top, reaching 10.7~69.3x.
 // Results land in BENCH_fig12_speedup.json; --smoke truncates the size
 // sweep for CI.
+//
+// The GPU pipelines additionally run once with warp-batched execution
+// disabled (SIMCL_WARP=0) to record how much host wall time the warp
+// engine saves simulating each figure path. The modeled times must be
+// bit-identical between the two modes (the stats-equivalence contract,
+// DESIGN.md §13) — the bench exits non-zero if they diverge. The wall_*
+// fields are machine-dependent; tools/diff_bench.py ignores them.
+#include <cstdlib>
 #include <iostream>
 
 #include "common.hpp"
 #include "report/json.hpp"
 #include "report/table.hpp"
+
+namespace {
+
+/// Scoped SIMCL_WARP override (restores the prior value on destruction).
+class WarpMode {
+ public:
+  explicit WarpMode(bool enabled) {
+    const char* prev = std::getenv("SIMCL_WARP");
+    had_prev_ = prev != nullptr;
+    if (had_prev_) {
+      prev_ = prev;
+    }
+    ::setenv("SIMCL_WARP", enabled ? "1" : "0", 1);
+  }
+  ~WarpMode() {
+    if (had_prev_) {
+      ::setenv("SIMCL_WARP", prev_.c_str(), 1);
+    } else {
+      ::unsetenv("SIMCL_WARP");
+    }
+  }
+  WarpMode(const WarpMode&) = delete;
+  WarpMode& operator=(const WarpMode&) = delete;
+
+ private:
+  bool had_prev_ = false;
+  std::string prev_;
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using sharp::report::fmt;
@@ -19,8 +57,10 @@ int main(int argc, char** argv) {
   sharp::report::banner(
       std::cout, "Fig. 12: CPU vs base GPU vs optimized GPU (simulated)");
   sharp::report::Table t({"size", "cpu_ms", "gpu_base_ms", "gpu_opt_ms",
-                          "speedup_base", "speedup_opt", "opt_vs_base"});
+                          "speedup_base", "speedup_opt", "opt_vs_base",
+                          "warp_wall_x"});
   sharp::report::JsonArray json;
+  bool modeled_identical = true;
 
   sharp::CpuPipeline cpu;
   sharp::GpuPipeline base(sharp::PipelineOptions::naive());
@@ -29,12 +69,35 @@ int main(int argc, char** argv) {
   for (const int size : bench::paper_sizes(smoke)) {
     const auto img = bench::input(size);
     const double t_cpu = cpu.run(img).total_modeled_us;
-    const double t_base = base.run(img).total_modeled_us;
-    const double t_opt = opt.run(img).total_modeled_us;
+    double t_base = 0.0;
+    double t_opt = 0.0;
+    double wall_warp = 0.0;
+    double wall_scalar = 0.0;
+    {
+      const WarpMode mode(true);
+      const auto rb = base.run(img);
+      const auto ro = opt.run(img);
+      t_base = rb.total_modeled_us;
+      t_opt = ro.total_modeled_us;
+      wall_warp = rb.total_wall_us + ro.total_wall_us;
+    }
+    {
+      const WarpMode mode(false);
+      const auto rb = base.run(img);
+      const auto ro = opt.run(img);
+      wall_scalar = rb.total_wall_us + ro.total_wall_us;
+      if (rb.total_modeled_us != t_base || ro.total_modeled_us != t_opt) {
+        std::cerr << "FAIL: modeled time diverges between warp and scalar "
+                     "execution at size "
+                  << size << "\n";
+        modeled_identical = false;
+      }
+    }
+    const double warp_speedup = wall_scalar / wall_warp;
     t.add_row({size_label(size, size), fmt(t_cpu / 1e3, 3),
                fmt(t_base / 1e3, 3), fmt(t_opt / 1e3, 3),
                fmt(t_cpu / t_base, 1), fmt(t_cpu / t_opt, 1),
-               fmt(t_base / t_opt, 2)});
+               fmt(t_base / t_opt, 2), fmt(warp_speedup, 2)});
     sharp::report::JsonRecord rec;
     rec.add("bench", "fig12_speedup");
     rec.add("size", size);
@@ -43,10 +106,16 @@ int main(int argc, char** argv) {
     rec.add("gpu_opt_us", t_opt);
     rec.add("speedup_base", t_cpu / t_base);
     rec.add("speedup_opt", t_cpu / t_opt);
+    rec.add("wall_gpu_warp_us", wall_warp);
+    rec.add("wall_gpu_scalar_us", wall_scalar);
+    rec.add("wall_warp_speedup", warp_speedup);
     json.add(std::move(rec));
   }
   t.print(std::cout);
   std::cout << "\npaper: speedup_base 9.8->35.3, speedup_opt 10.7->69.3, "
                "opt_vs_base 1.2->2.0\n";
+  if (!modeled_identical) {
+    return 1;
+  }
   return bench::write_json("fig12_speedup", json);
 }

@@ -10,6 +10,8 @@
 //   SHARP_BAND_ROWS    integer — overrides the fused band autotuner
 //   SIMCL_CHECKED      full|bounds,races,lifetime — simcl validation mode
 //                      (parsed by simcl::validation, documented here)
+//   SIMCL_WARP         0|off|false — forces scalar kernel execution in the
+//                      simulated GPU (parsed by simcl::Engine)
 //
 // Dispatch-shaping knobs (SHARP_SIMD, SHARP_FORCE_SCALAR, SHARP_TRACE)
 // are read once, at first use, and cached for the process lifetime;

@@ -72,6 +72,11 @@ const std::vector<Knob>& knobs() {
       {"SIMCL_CHECKED", "full | bounds,races,lifetime",
        "enables simcl validation-mode checkers (bounds / race / lifetime "
        "attribution); parsed by simcl::validation at first use"},
+      {"SIMCL_WARP", "0 | off | false",
+       "disables warp-batched kernel execution, forcing every kernel "
+       "through its scalar body (default: warp bodies run when present; "
+       "outputs and stats are identical either way); parsed by "
+       "simcl::Engine at context creation"},
   };
   return table;
 }

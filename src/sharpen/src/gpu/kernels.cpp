@@ -3,21 +3,40 @@
 #include <algorithm>
 
 #include "sharpen/detail/interp.hpp"
+#include "sharpen/detail/simd/pixel_ops.hpp"
 #include "sharpen/detail/simd/rows.hpp"
 #include "simcl/vec.hpp"
+#include "simcl/warp.hpp"
 
 namespace sharp::gpu {
 namespace {
 
 using simcl::Buffer;
 using simcl::Kernel;
+using simcl::VecN;
+using simcl::WarpItem;
 using simcl::WorkItem;
 using simcl::float4;
 using simcl::int4;
+using simcl::kWarpWidth;
 using simcl::uchar4;
 
 /// GCN wavefront width assumed by the unrolled reduction tails.
 constexpr int kWavefront = 64;
+
+/// Lane register: one slot per warp lane.
+template <typename T>
+using Lanes = VecN<T, kWarpWidth>;
+
+// Every `body_warp` below is bit-identical to its scalar `body` in both
+// output pixels and KernelStats (the warp differential suite enforces
+// this). Two porting styles are used:
+//  - statement-major: each scalar statement runs for the whole lane range
+//    through one batched span access (contiguous, ascending — see
+//    warp.hpp for why that preserves the L1 miss count);
+//  - lane-major: a lane loop replays the exact scalar access sequence,
+//    used where accesses are data-dependent (gathers, clamps) or strided
+//    so batching would reorder cache traffic.
 
 }  // namespace
 
@@ -45,6 +64,38 @@ Kernel make_downscale(const SrcView& src, Buffer& down, int dw, int dh,
         o.store(static_cast<std::size_t>(r * dw + c),
                 static_cast<float>(sum) / 16.0f);
         it.alu(alu);
+      },
+      // Statement-major: the four source rows of a warp's 4x4 blocks are
+      // contiguous byte runs; one span per row replaces 4*n scalar loads.
+      .body_warp = [=](WarpItem& wp) {
+        const int c0 = wp.base_global_x();
+        const int r = wp.global_y();
+        const int n = wp.lanes_below(dw);
+        if (r >= dh || n == 0) {
+          return;
+        }
+        auto in = wp.global<const std::uint8_t>(*s.buf);
+        auto o = wp.global<float>(*out);
+        const std::uint8_t* rows[kScale];
+        for (int dy = 0; dy < kScale; ++dy) {
+          rows[dy] = in.load_span(
+              s.index(c0 * kScale, r * kScale + dy),
+              static_cast<std::size_t>(kScale) * static_cast<std::size_t>(n),
+              static_cast<std::uint64_t>(kScale) *
+                  static_cast<std::uint64_t>(n),
+              static_cast<std::uint64_t>(kScale) *
+                  static_cast<std::uint64_t>(n));
+        }
+        float* op = o.store_span(static_cast<std::size_t>(r * dw + c0),
+                                 static_cast<std::size_t>(n),
+                                 static_cast<std::uint64_t>(n),
+                                 static_cast<std::uint64_t>(n) * sizeof(float));
+        for (int l = 0; l < n; ++l) {
+          op[l] = detail::simd::downscale_pixel(
+              rows[0] + 4 * l, rows[1] + 4 * l, rows[2] + 4 * l,
+              rows[3] + 4 * l);
+        }
+        wp.alu(alu * static_cast<std::uint64_t>(n));
       }};
 }
 
@@ -75,6 +126,44 @@ Kernel make_center_scalar(Buffer& down, int dw, int dh, Buffer& up, int w,
                                                jy, jx);
         o.store(static_cast<std::size_t>(y * w + x), v);
         it.alu(alu);
+      },
+      // Statement-major: lanes share downscaled columns in phase groups of
+      // four, so each of the four taps is one short ascending span.
+      .body_warp = [=](WarpItem& wp) {
+        const int x0 = 2 + wp.base_global_x();
+        const int y = 2 + wp.global_y();
+        const int n = wp.lanes_below(w - 4);
+        if (y > h - 3 || n == 0) {
+          return;
+        }
+        auto dp = wp.global<const float>(*d);
+        auto o = wp.global<float>(*u);
+        int r = 0;
+        int jy = 0;
+        detail::phase_of(y - 2, r, jy);
+        int c[kWarpWidth];
+        int jx[kWarpWidth];
+        for (int l = 0; l < n; ++l) {
+          detail::phase_of(x0 + l - 2, c[l], jx[l]);
+        }
+        const std::size_t i0 = static_cast<std::size_t>(r * dw + c[0]);
+        const std::size_t i1 = i0 + static_cast<std::size_t>(dw);
+        const std::size_t span =
+            static_cast<std::size_t>(c[n - 1] - c[0]) + 1;
+        const std::uint64_t slots = static_cast<std::uint64_t>(n);
+        const std::uint64_t bytes = slots * sizeof(float);
+        const float* d00 = dp.load_span(i0, span, slots, bytes);
+        const float* d01 = dp.load_span(i0 + 1, span, slots, bytes);
+        const float* d10 = dp.load_span(i1, span, slots, bytes);
+        const float* d11 = dp.load_span(i1 + 1, span, slots, bytes);
+        float* op = o.store_span(static_cast<std::size_t>(y * w + x0),
+                                 static_cast<std::size_t>(n), slots, bytes);
+        for (int l = 0; l < n; ++l) {
+          const int cc = c[l] - c[0];
+          op[l] = detail::upscale_sample(d00[cc], d01[cc], d10[cc], d11[cc],
+                                         jy, jx[l]);
+        }
+        wp.alu(alu * static_cast<std::uint64_t>(n));
       }};
 }
 
@@ -108,6 +197,39 @@ Kernel make_center_vec4(Buffer& down, int dw, int dh, Buffer& up, int w,
         }
         o.vstore4(v, static_cast<std::size_t>(y * w + 2 + 4 * c));
         it.alu(alu);
+      },
+      // Statement-major: lanes are adjacent quad columns, so each of the
+      // four taps is one n+1-element span and the vstore4s fuse into one
+      // contiguous 4n-float span.
+      .body_warp = [=](WarpItem& wp) {
+        const int c0 = wp.base_global_x();
+        const int y = 2 + wp.global_y();
+        const int n = wp.lanes_below(dw - 1);
+        if (y > h - 3 || n == 0) {
+          return;
+        }
+        auto dp = wp.global<const float>(*d);
+        auto o = wp.global<float>(*u);
+        const int r = (y - 2) / 4;
+        const int jy = (y - 2) % 4;
+        const std::size_t i0 = static_cast<std::size_t>(r * dw + c0);
+        const std::size_t i1 = i0 + static_cast<std::size_t>(dw);
+        const std::uint64_t slots = static_cast<std::uint64_t>(n);
+        const std::uint64_t bytes = slots * sizeof(float);
+        const std::size_t sn = static_cast<std::size_t>(n);
+        const float* d00 = dp.load_span(i0, sn, slots, bytes);
+        const float* d01 = dp.load_span(i0 + 1, sn, slots, bytes);
+        const float* d10 = dp.load_span(i1, sn, slots, bytes);
+        const float* d11 = dp.load_span(i1 + 1, sn, slots, bytes);
+        float* op = o.store_span(static_cast<std::size_t>(y * w + 2 + 4 * c0),
+                                 4 * sn, slots, 16 * slots);
+        for (int l = 0; l < n; ++l) {
+          for (int k = 0; k < 4; ++k) {
+            op[4 * l + k] = detail::upscale_sample(d00[l], d01[l], d10[l],
+                                                   d11[l], jy, k);
+          }
+        }
+        wp.alu(alu * static_cast<std::uint64_t>(n));
       }};
 }
 
@@ -164,6 +286,56 @@ Kernel make_border(Buffer& down, int dw, int dh, Buffer& up, int w, int h,
                                                jx);
         o.store(static_cast<std::size_t>(y * w + x), v);
         it.alu(alu);
+      },
+      // Lane-major: the index decode scatters lanes across the frame, so
+      // each lane replays the scalar clamped-gather sequence verbatim.
+      .body_warp = [=](WarpItem& wp) {
+        const int n = wp.lanes_below(total);
+        if (n == 0) {
+          return;
+        }
+        wp.divergent(static_cast<std::uint64_t>(n));
+        auto dp = wp.global<const float>(*d);
+        auto o = wp.global<float>(*u);
+        for (int l = 0; l < n; ++l) {
+          const int idx = wp.global_x(l);
+          int x = 0;
+          int y = 0;
+          if (idx < 2 * w) {  // top two rows
+            y = idx / w;
+            x = idx % w;
+          } else if (idx < 4 * w) {  // bottom two rows
+            const int i = idx - 2 * w;
+            y = h - 2 + i / w;
+            x = i % w;
+          } else {
+            const int i = idx - 4 * w;
+            const int side = 2 * (h - 4);
+            if (i < side) {  // left two columns
+              x = i % 2;
+              y = 2 + i / 2;
+            } else {  // right two columns
+              const int j = i - side;
+              x = w - 2 + j % 2;
+              y = 2 + j / 2;
+            }
+          }
+          int r = 0, jy = 0, c = 0, jx = 0;
+          detail::phase_of(y - 2, r, jy);
+          detail::phase_of(x - 2, c, jx);
+          const int r0 = std::clamp(r, 0, dh - 1);
+          const int r1 = std::clamp(r + 1, 0, dh - 1);
+          const int c0 = std::clamp(c, 0, dw - 1);
+          const int c1 = std::clamp(c + 1, 0, dw - 1);
+          const auto at = [&](int rr, int cc) {
+            return dp.load(static_cast<std::size_t>(rr * dw + cc));
+          };
+          const float v = detail::upscale_sample(at(r0, c0), at(r0, c1),
+                                                 at(r1, c0), at(r1, c1), jy,
+                                                 jx);
+          o.store(static_cast<std::size_t>(y * w + x), v);
+        }
+        wp.alu(alu * static_cast<std::uint64_t>(n));
       }};
 }
 
@@ -196,6 +368,57 @@ Kernel make_sobel_scalar(const SrcView& src, Buffer& edge, int w, int h,
                                 (p(-1, -1) + 2 * p(0, -1) + p(1, -1));
         o.store(oi, std::abs(gx) + std::abs(gy));
         it.alu(alu);
+      },
+      // Statement-major: the 12 scalar taps collapse to three row spans
+      // (5/2/5 issue slots per interior lane); frame lanes only store.
+      .body_warp = [=](WarpItem& wp) {
+        const int x0 = wp.base_global_x();
+        const int y = wp.global_y();
+        const int n = wp.lanes_below(w);
+        if (y >= h || n == 0) {
+          return;
+        }
+        auto o = wp.global<std::int32_t>(*e);
+        const std::size_t oi0 = static_cast<std::size_t>(y * w + x0);
+        const std::uint64_t un = static_cast<std::uint64_t>(n);
+        if (y == 0 || y == h - 1) {
+          std::int32_t* op =
+              o.store_span(oi0, static_cast<std::size_t>(n), un, 4 * un);
+          for (int l = 0; l < n; ++l) {
+            op[l] = 0;
+          }
+          return;
+        }
+        auto in = wp.global<const std::uint8_t>(*s.buf);
+        // Interior lanes: x in [1, w-2]; frame-column lanes only store 0.
+        const int lo = (x0 == 0) ? 1 : 0;
+        const int hi = std::min(n, (w - 1) - x0);
+        const int m = hi - lo;
+        std::int32_t result[kWarpWidth] = {};
+        if (m > 0) {
+          const int xf = x0 + lo;  // first interior x
+          const std::uint64_t um = static_cast<std::uint64_t>(m);
+          const std::size_t span = static_cast<std::size_t>(m) + 2;
+          const std::uint8_t* rows[3];
+          for (int dy = -1; dy <= 1; ++dy) {
+            const std::uint64_t slots = (dy == 0) ? 2 * um : 5 * um;
+            // Rebase each span pointer (at column xf-1) so the pixel
+            // helper indexes rows by absolute x.
+            rows[dy + 1] =
+                in.load_span(s.index(xf - 1, y + dy), span, slots, slots) -
+                (xf - 1);
+          }
+          for (int l = lo; l < hi; ++l) {
+            result[l] =
+                detail::simd::sobel_pixel(rows[0], rows[1], rows[2], x0 + l);
+          }
+        }
+        std::int32_t* op =
+            o.store_span(oi0, static_cast<std::size_t>(n), un, 4 * un);
+        for (int l = 0; l < n; ++l) {
+          op[l] = result[l];
+        }
+        wp.alu(alu * static_cast<std::uint64_t>(m > 0 ? m : 0));
       }};
 }
 
@@ -245,7 +468,9 @@ Kernel make_sobel_vec4(const SrcView& src, Buffer& edge, int w, int h,
           }
           // Window column j corresponds to original column x0-1+j; the
           // pixel (x+dx) is column k+1+dx.
-          const auto p = [&](int dx, int dy) { return win[dy + 1][k + 1 + dx]; };
+          const auto p = [&](int dx, int dy) {
+            return win[dy + 1][k + 1 + dx];
+          };
           const std::int32_t gx = (p(1, -1) + 2 * p(1, 0) + p(1, 1)) -
                                   (p(-1, -1) + 2 * p(-1, 0) + p(-1, 1));
           const std::int32_t gy = (p(-1, 1) + 2 * p(0, 1) + p(1, 1)) -
@@ -254,6 +479,57 @@ Kernel make_sobel_vec4(const SrcView& src, Buffer& edge, int w, int h,
         }
         o.vstore4(result, oi);
         it.alu(alu);
+      },
+      // Statement-major: per row the lane sequence (vload4, +4, +5) is
+      // ascending and contiguous across lanes — one 4n+2-byte span at 3n
+      // issue slots; the vstore4s fuse into one 4n-int span.
+      .body_warp = [=](WarpItem& wp) {
+        const int q0 = wp.base_global_x();
+        const int y = wp.global_y();
+        const int n = wp.lanes_below((w + 3) / 4);
+        if (y >= h || n == 0) {
+          return;
+        }
+        auto o = wp.global<std::int32_t>(*e);
+        const std::size_t oi0 = static_cast<std::size_t>(y * w + 4 * q0);
+        const std::uint64_t un = static_cast<std::uint64_t>(n);
+        const std::size_t sn = static_cast<std::size_t>(n);
+        if (y == 0 || y == h - 1) {
+          std::int32_t* op = o.store_span(oi0, 4 * sn, un, 16 * un);
+          for (int j = 0; j < 4 * n; ++j) {
+            op[j] = 0;
+          }
+          return;
+        }
+        auto in = wp.global<const std::uint8_t>(*s.buf);
+        const std::uint8_t* rows[3];
+        for (int dy = -1; dy <= 1; ++dy) {
+          rows[dy + 1] =
+              in.load_span(s.index(4 * q0 - 1, y + dy), 4 * sn + 2, 3 * un,
+                           6 * un);
+        }
+        std::int32_t* op = o.store_span(oi0, 4 * sn, un, 16 * un);
+        for (int l = 0; l < n; ++l) {
+          for (int k = 0; k < 4; ++k) {
+            const int x = 4 * (q0 + l) + k;
+            if (x == 0 || x == w - 1) {
+              op[4 * l + k] = 0;
+              continue;
+            }
+            // rows[r] points at column 4*q0-1; window column for pixel
+            // (x+dx) is 4l + k+1 + dx.
+            const auto p = [&](int dx, int dy) {
+              return static_cast<std::int32_t>(
+                  rows[dy + 1][4 * l + k + 1 + dx]);
+            };
+            const std::int32_t gx = (p(1, -1) + 2 * p(1, 0) + p(1, 1)) -
+                                    (p(-1, -1) + 2 * p(-1, 0) + p(-1, 1));
+            const std::int32_t gy = (p(-1, 1) + 2 * p(0, 1) + p(1, 1)) -
+                                    (p(-1, -1) + 2 * p(0, -1) + p(1, -1));
+            op[4 * l + k] = std::abs(gx) + std::abs(gy);
+          }
+        }
+        wp.alu(alu * static_cast<std::uint64_t>(n));
       }};
 }
 
@@ -310,6 +586,65 @@ Kernel make_sobel_lds(const SrcView& src, Buffer& edge, int w, int h,
                                 (p(-1, -1) + 2 * p(0, -1) + p(1, -1));
         o.store(oi, std::abs(gx) + std::abs(gy));
         it.alu(alu);
+      },
+      // Lane-major staging (each scalar fiber runs its whole strided copy
+      // loop before yielding at the barrier, and the i%t2 wrap makes the
+      // addresses non-monotonic, so the lane loop replays that order
+      // exactly); the post-barrier compute reads LDS only, which is
+      // order-free, so the global stores batch into one span.
+      .body_warp = [=](WarpItem& wp) {
+        const int t2 = tile + 2;
+        auto lds = wp.local_array<std::int32_t>(
+            static_cast<std::size_t>(t2 * t2));
+        auto in = wp.global<const std::uint8_t>(*s.buf);
+        const int gx0 = wp.group_id(0) * tile;
+        const int gy0 = wp.group_id(1) * tile;
+        const int items = wp.local_size(0) * wp.local_size(1);
+        for (int l = 0; l < wp.lane_count(); ++l) {
+          for (int i = wp.flat_local_id(l); i < t2 * t2; i += items) {
+            const int lx = std::min(gx0 + i % t2, w + 1);
+            const int ly = std::min(gy0 + i / t2, h + 1);
+            lds.store(static_cast<std::size_t>(i),
+                      in.load(static_cast<std::size_t>(
+                          s.offset - (s.stride + 1) + ly * s.stride + lx)));
+          }
+        }
+        wp.barrier();
+
+        const int x0 = wp.base_global_x();
+        const int y = wp.global_y();
+        const int n = wp.lanes_below(w);
+        if (y >= h || n == 0) {
+          return;
+        }
+        auto o = wp.global<std::int32_t>(*e);
+        std::int32_t result[kWarpWidth] = {};
+        std::uint64_t interior = 0;
+        for (int l = 0; l < n; ++l) {
+          const int x = x0 + l;
+          if (x == 0 || x == w - 1 || y == 0 || y == h - 1) {
+            continue;  // frame: result stays 0, no LDS reads, no ALU
+          }
+          const auto p = [&](int dx, int dy) {
+            const int cx = x - gx0 + 1 + dx;
+            const int cy = y - gy0 + 1 + dy;
+            return lds.load(static_cast<std::size_t>(cy * t2 + cx));
+          };
+          const std::int32_t gx = (p(1, -1) + 2 * p(1, 0) + p(1, 1)) -
+                                  (p(-1, -1) + 2 * p(-1, 0) + p(-1, 1));
+          const std::int32_t gy = (p(-1, 1) + 2 * p(0, 1) + p(1, 1)) -
+                                  (p(-1, -1) + 2 * p(0, -1) + p(1, -1));
+          result[l] = std::abs(gx) + std::abs(gy);
+          ++interior;
+        }
+        const std::uint64_t un = static_cast<std::uint64_t>(n);
+        std::int32_t* op = o.store_span(static_cast<std::size_t>(y * w + x0),
+                                        static_cast<std::size_t>(n), un,
+                                        4 * un);
+        for (int l = 0; l < n; ++l) {
+          op[l] = result[l];
+        }
+        wp.alu(alu * interior);
       }};
 }
 
@@ -414,6 +749,96 @@ Kernel make_reduce_stage1(Buffer& edge, std::int64_t count, Buffer& partials,
           dst.store(static_cast<std::size_t>(it.group_id(0)),
                     lds.load(0));
         }
+      },
+      // Lane-major: the strided pre-sum loads gain nothing from batching
+      // (stride g*4 spans whole cache lines), and the tree rounds are LDS
+      // only. A warp never straddles the kWavefront boundary, so the kTwo
+      // half-selection is uniform per warp. Within a round lanes read
+      // [s,2s) and write [0,s) — disjoint — so the sequential lane loop is
+      // value-identical to the scalar lock-step.
+      .body_warp = [=](WarpItem& wp) {
+        const int g = group_size;
+        const int lid0 = wp.base_local_x();
+        const int nl = wp.lane_count();
+        auto src = wp.global<const std::int32_t>(*in);
+        auto dst = wp.global<std::int32_t>(*out);
+        auto lds = wp.local_array<std::int32_t>(
+            static_cast<std::size_t>(g));
+        for (int l = 0; l < nl; ++l) {
+          const int lid = lid0 + l;
+          std::int32_t acc = 0;
+          const std::int64_t base =
+              static_cast<std::int64_t>(wp.group_id(0)) * g *
+                  items_per_thread + lid;
+          for (int k = 0; k < items_per_thread; ++k) {
+            const std::int64_t idx = base + static_cast<std::int64_t>(k) * g;
+            if (idx < count) {
+              acc += src.load(static_cast<std::size_t>(idx));
+            }
+          }
+          lds.store(static_cast<std::size_t>(lid), acc);
+        }
+        wp.alu(load_alu * static_cast<std::uint64_t>(nl));
+        wp.barrier();
+
+        const auto fold = [&](int i, int j) {
+          lds.add_from(static_cast<std::size_t>(i),
+                       static_cast<std::size_t>(j));
+          wp.alu(add_alu);
+        };
+        const auto fold_lanes = [&](int s, int base_i, int sub) {
+          // Lanes with (lid - sub) < s fold; reads and writes of one round
+          // never overlap, so lane order does not matter.
+          for (int l = 0; l < nl; ++l) {
+            const int l2 = lid0 + l - sub;
+            if (l2 < s && base_i + l2 + s < g) {
+              fold(base_i + l2, base_i + l2 + s);
+            }
+          }
+        };
+
+        switch (unroll) {
+          case ReductionUnroll::kNone:
+            for (int s = g / 2; s > 0; s /= 2) {
+              fold_lanes(s, 0, 0);
+              wp.barrier();
+            }
+            break;
+          case ReductionUnroll::kOne:
+            for (int s = g / 2; s > kWavefront; s /= 2) {
+              fold_lanes(s, 0, 0);
+              wp.barrier();
+            }
+            for (int s = std::min(g / 2, kWavefront); s > 0; s /= 2) {
+              fold_lanes(s, 0, 0);
+              wp.wavefront_fence();
+            }
+            break;
+          case ReductionUnroll::kTwo: {
+            for (int s = g / 2; s >= 2 * kWavefront; s /= 2) {
+              fold_lanes(s, 0, 0);
+              wp.barrier();
+            }
+            const int half = std::min(g, 2 * kWavefront) / 2;
+            const int base_i = (lid0 < kWavefront) ? 0 : half;
+            const int sub = (lid0 < kWavefront) ? 0 : kWavefront;
+            if (base_i < g) {
+              for (int s = half / 2; s > 0; s /= 2) {
+                fold_lanes(s, base_i, sub);
+                wp.wavefront_fence();
+              }
+            }
+            wp.barrier();
+            if (lid0 == 0) {
+              fold(0, half);
+            }
+            break;
+          }
+        }
+        if (lid0 == 0) {
+          dst.store(static_cast<std::size_t>(wp.group_id(0)),
+                    lds.load(0));
+        }
       }};
 }
 
@@ -451,6 +876,42 @@ Kernel make_reduce_stage2(Buffer& partials, std::int64_t count,
         if (lid == 0) {
           dst.store(0, lds.load(0));
         }
+      },
+      // Lane-major for the same reasons as reduce_stage1.
+      .body_warp = [=](WarpItem& wp) {
+        const int g = group_size;
+        const int lid0 = wp.base_local_x();
+        const int nl = wp.lane_count();
+        auto src = wp.global<const std::int32_t>(*in);
+        auto dst = wp.global<std::int64_t>(*out);
+        auto lds = wp.local_array<std::int64_t>(
+            static_cast<std::size_t>(g));
+        for (int l = 0; l < nl; ++l) {
+          const int lid = lid0 + l;
+          std::int64_t acc = 0;
+          std::uint64_t iters = 0;
+          for (std::int64_t idx = lid; idx < count; idx += g) {
+            acc += src.load(static_cast<std::size_t>(idx));
+            ++iters;
+          }
+          wp.alu(add_alu * iters);
+          lds.store(static_cast<std::size_t>(lid), acc);
+        }
+        wp.barrier();
+        for (int s = g / 2; s > 0; s /= 2) {
+          for (int l = 0; l < nl; ++l) {
+            const int lid = lid0 + l;
+            if (lid < s) {
+              lds.add_from(static_cast<std::size_t>(lid),
+                           static_cast<std::size_t>(lid + s));
+              wp.alu(add_alu);
+            }
+          }
+          wp.barrier();
+        }
+        if (lid0 == 0) {
+          dst.store(0, lds.load(0));
+        }
       }};
 }
 
@@ -473,6 +934,25 @@ Kernel make_reduce_stage2_atomic(Buffer& partials, std::int64_t count,
         }
         if (acc != 0) {
           dst.atomic_add(0, acc);
+        }
+      },
+      // Lane-major: strided loads, and the atomic sum is commutative so
+      // lane order inside the warp cannot change the result.
+      .body_warp = [=](WarpItem& wp) {
+        const int g = group_size * wp.num_groups(0);
+        auto src = wp.global<const std::int32_t>(*in);
+        auto dst = wp.global<std::int64_t>(*out);
+        for (int l = 0; l < wp.lane_count(); ++l) {
+          std::int64_t acc = 0;
+          std::uint64_t iters = 0;
+          for (std::int64_t idx = wp.global_x(l); idx < count; idx += g) {
+            acc += src.load(static_cast<std::size_t>(idx));
+            ++iters;
+          }
+          wp.alu(add_alu * iters);
+          if (acc != 0) {
+            dst.atomic_add(0, acc);
+          }
         }
       }};
 }
@@ -501,6 +981,30 @@ Kernel make_downscale_img(const simcl::Image2D& src, Buffer& down, int dw,
         o.store(static_cast<std::size_t>(r * dw + c),
                 static_cast<float>(sum) / 16.0f);
         it.alu(alu);
+      },
+      // Lane-major: texture reads clamp per coordinate, so each lane
+      // replays the scalar 4x4 read sequence verbatim.
+      .body_warp = [=](WarpItem& wp) {
+        const int c0 = wp.base_global_x();
+        const int r = wp.global_y();
+        const int n = wp.lanes_below(dw);
+        if (r >= dh || n == 0) {
+          return;
+        }
+        auto in = wp.image<const std::uint8_t>(*img);
+        auto o = wp.global<float>(*out);
+        for (int l = 0; l < n; ++l) {
+          const int c = c0 + l;
+          std::int32_t sum = 0;
+          for (int dy = 0; dy < kScale; ++dy) {
+            for (int dx = 0; dx < kScale; ++dx) {
+              sum += in.read(c * kScale + dx, r * kScale + dy);
+            }
+          }
+          o.store(static_cast<std::size_t>(r * dw + c),
+                  static_cast<float>(sum) / 16.0f);
+        }
+        wp.alu(alu * static_cast<std::uint64_t>(n));
       }};
 }
 
@@ -535,6 +1039,39 @@ Kernel make_sobel_img(const simcl::Image2D& src, Buffer& edge, int w, int h,
                                 (p(-1, -1) + 2 * p(0, -1) + p(1, -1));
         o.store(oi, std::abs(gx) + std::abs(gy));
         it.alu(alu);
+      },
+      // Lane-major: the sampler clamps per coordinate, so each lane
+      // replays the scalar read/store sequence verbatim.
+      .body_warp = [=](WarpItem& wp) {
+        const int x0 = wp.base_global_x();
+        const int y = wp.global_y();
+        const int n = wp.lanes_below(w);
+        if (y >= h || n == 0) {
+          return;
+        }
+        auto o = wp.global<std::int32_t>(*e);
+        auto in = wp.image<const std::uint8_t>(*img);
+        const simcl::Sampler clamp_edge;
+        std::uint64_t interior = 0;
+        for (int l = 0; l < n; ++l) {
+          const int x = x0 + l;
+          const std::size_t oi = static_cast<std::size_t>(y * w + x);
+          if (x == 0 || x == w - 1 || y == 0 || y == h - 1) {
+            o.store(oi, 0);
+            continue;
+          }
+          const auto p = [&](int dx, int dy) {
+            return static_cast<std::int32_t>(
+                in.read(x + dx, y + dy, clamp_edge));
+          };
+          const std::int32_t gx = (p(1, -1) + 2 * p(1, 0) + p(1, 1)) -
+                                  (p(-1, -1) + 2 * p(-1, 0) + p(-1, 1));
+          const std::int32_t gy = (p(-1, 1) + 2 * p(0, 1) + p(1, 1)) -
+                                  (p(-1, -1) + 2 * p(0, -1) + p(1, -1));
+          o.store(oi, std::abs(gx) + std::abs(gy));
+          ++interior;
+        }
+        wp.alu(alu * interior);
       }};
 }
 
@@ -588,6 +1125,53 @@ Kernel make_sharpness_fused_img(const simcl::Image2D& src, Buffer& up,
         }
         o.store(i, detail::to_u8(detail::overshoot_value(pm, mn, mx, params)));
         it.alu(alu);
+      },
+      // Lane-major: the fused stage mixes clamped texture reads with LUT
+      // gathers, so each lane replays the scalar sequence verbatim.
+      .body_warp = [=](WarpItem& wp) {
+        const int x0 = wp.base_global_x();
+        const int y = wp.global_y();
+        const int n = wp.lanes_below(w);
+        if (y >= h || n == 0) {
+          return;
+        }
+        auto in = wp.image<const std::uint8_t>(*img);
+        auto uv = wp.global<const float>(*u);
+        auto gv = wp.global<const std::int32_t>(*g);
+        auto o = wp.global<std::uint8_t>(*f);
+        std::uint64_t total_alu = 0;
+        for (int l = 0; l < n; ++l) {
+          const int x = x0 + l;
+          const std::size_t i = static_cast<std::size_t>(y * w + x);
+          const float up_v = uv.load(i);
+          const float err = static_cast<float>(in.read(x, y)) - up_v;
+          const std::int32_t edge_v = gv.load(i);
+          const float st =
+              lut != nullptr
+                  ? wp.global<const float>(*lut).load(
+                        static_cast<std::size_t>(edge_v))
+                  : detail::edge_strength(edge_v, inv_mean, params);
+          const float pm = up_v + st * err;
+          if (x == 0 || x == w - 1 || y == 0 || y == h - 1) {
+            o.store(i, detail::to_u8(std::min(std::max(pm, 0.0f), 255.0f)));
+            total_alu += alu / 2;
+            continue;
+          }
+          std::int32_t mx = 0;
+          std::int32_t mn = 255;
+          const simcl::Sampler clamp_edge;
+          for (int dy = -1; dy <= 1; ++dy) {
+            for (int dx = -1; dx <= 1; ++dx) {
+              const std::int32_t v = in.read(x + dx, y + dy, clamp_edge);
+              mx = std::max(mx, v);
+              mn = std::min(mn, v);
+            }
+          }
+          o.store(i,
+                  detail::to_u8(detail::overshoot_value(pm, mn, mx, params)));
+          total_alu += alu;
+        }
+        wp.alu(total_alu);
       }};
 }
 
@@ -618,6 +1202,29 @@ Kernel make_perror(const SrcView& src, Buffer& up, Buffer& error, int w,
         const std::size_t i = static_cast<std::size_t>(y * w + x);
         o.store(i, static_cast<float>(in.load(s.index(x, y))) - uv.load(i));
         it.alu(alu);
+      },
+      // Statement-major: three contiguous row spans (source bytes, upscale
+      // floats, error floats) replace 3n scalar accesses.
+      .body_warp = [=](WarpItem& wp) {
+        const int x0 = wp.base_global_x();
+        const int y = wp.global_y();
+        const int n = wp.lanes_below(w);
+        if (y >= h || n == 0) {
+          return;
+        }
+        auto in = wp.global<const std::uint8_t>(*s.buf);
+        auto uv = wp.global<const float>(*u);
+        auto o = wp.global<float>(*e);
+        const std::size_t i0 = static_cast<std::size_t>(y * w + x0);
+        const std::size_t sn = static_cast<std::size_t>(n);
+        const std::uint64_t un = static_cast<std::uint64_t>(n);
+        const std::uint8_t* inp = in.load_span(s.index(x0, y), sn, un, un);
+        const float* uvp = uv.load_span(i0, sn, un, 4 * un);
+        float* op = o.store_span(i0, sn, un, 4 * un);
+        for (int l = 0; l < n; ++l) {
+          op[l] = static_cast<float>(inp[l]) - uvp[l];
+        }
+        wp.alu(alu * un);
       }};
 }
 
@@ -653,6 +1260,50 @@ Kernel make_preliminary(Buffer& up, Buffer& error, Buffer& edge,
                 : detail::edge_strength(edge_v, inv_mean, params);
         o.store(i, uv.load(i) + s * ev.load(i));
         it.alu(alu);
+      },
+      // Statement-major on the pow path (pure ascending spans). The LUT
+      // gather addresses are data-dependent, so batching them at a
+      // different point of the access stream than the scalar body can
+      // shift L1 LRU state and hence the miss count; the LUT path
+      // replays the scalar sequence lane by lane instead (see the
+      // stats-equivalence contract in DESIGN.md §13).
+      .body_warp = [=](WarpItem& wp) {
+        const int x0 = wp.base_global_x();
+        const int y = wp.global_y();
+        const int n = wp.lanes_below(w);
+        if (y >= h || n == 0) {
+          return;
+        }
+        auto uv = wp.global<const float>(*u);
+        auto ev = wp.global<const float>(*e);
+        auto gv = wp.global<const std::int32_t>(*g);
+        auto o = wp.global<float>(*p);
+        const std::size_t i0 = static_cast<std::size_t>(y * w + x0);
+        const std::size_t sn = static_cast<std::size_t>(n);
+        const std::uint64_t un = static_cast<std::uint64_t>(n);
+        if (lut != nullptr) {
+          auto lutp = wp.global<const float>(*lut);
+          for (int l = 0; l < n; ++l) {
+            const std::size_t i = i0 + static_cast<std::size_t>(l);
+            const float st =
+                lutp.load(static_cast<std::size_t>(gv.load(i)));
+            o.store(i, uv.load(i) + st * ev.load(i));
+          }
+          wp.alu(alu * un);
+          return;
+        }
+        const std::int32_t* gvp = gv.load_span(i0, sn, un, 4 * un);
+        float st[kWarpWidth];
+        for (int l = 0; l < n; ++l) {
+          st[l] = detail::edge_strength(gvp[l], inv_mean, params);
+        }
+        const float* uvp = uv.load_span(i0, sn, un, 4 * un);
+        const float* evp = ev.load_span(i0, sn, un, 4 * un);
+        float* op = o.store_span(i0, sn, un, 4 * un);
+        for (int l = 0; l < n; ++l) {
+          op[l] = uvp[l] + st[l] * evp[l];
+        }
+        wp.alu(alu * un);
       }};
 }
 
@@ -692,6 +1343,57 @@ Kernel make_overshoot(const SrcView& padded, Buffer& prelim,
         }
         o.store(i, detail::to_u8(detail::overshoot_value(pm, mn, mx, params)));
         it.alu(alu);
+      },
+      // Statement-major: the 3x3 window folds into three row spans over
+      // the padded source (3 issue slots per interior lane per row).
+      .body_warp = [=](WarpItem& wp) {
+        const int x0 = wp.base_global_x();
+        const int y = wp.global_y();
+        const int n = wp.lanes_below(w);
+        if (y >= h || n == 0) {
+          return;
+        }
+        auto pv = wp.global<const float>(*p);
+        auto o = wp.global<std::uint8_t>(*f);
+        const std::size_t i0 = static_cast<std::size_t>(y * w + x0);
+        const std::size_t sn = static_cast<std::size_t>(n);
+        const std::uint64_t un = static_cast<std::uint64_t>(n);
+        const float* pvp = pv.load_span(i0, sn, un, 4 * un);
+        std::uint8_t result[kWarpWidth] = {};
+        const int lo = (y == 0 || y == h - 1) ? n : ((x0 == 0) ? 1 : 0);
+        const int hi = (y == 0 || y == h - 1)
+                           ? n
+                           : std::min(n, (w - 1) - x0);
+        const int m = hi > lo ? hi - lo : 0;
+        for (int l = 0; l < lo; ++l) {
+          result[l] = detail::simd::overshoot_clamp_pixel(pvp[l]);
+        }
+        if (m > 0) {
+          auto in = wp.global<const std::uint8_t>(*s.buf);
+          const int xf = x0 + lo;
+          const std::uint64_t um = static_cast<std::uint64_t>(m);
+          const std::size_t span = static_cast<std::size_t>(m) + 2;
+          const std::uint8_t* rows[3];
+          for (int dy = -1; dy <= 1; ++dy) {
+            // Rebase (span starts at column xf-1) so the pixel helper
+            // indexes rows by absolute x.
+            rows[dy + 1] =
+                in.load_span(s.index(xf - 1, y + dy), span, 3 * um, 3 * um) -
+                (xf - 1);
+          }
+          for (int l = lo; l < hi; ++l) {
+            result[l] = detail::simd::overshoot_interior_pixel(
+                rows[0], rows[1], rows[2], x0 + l, pvp[l], params);
+          }
+        }
+        for (int l = hi; l < n; ++l) {
+          result[l] = detail::simd::overshoot_clamp_pixel(pvp[l]);
+        }
+        std::uint8_t* op = o.store_span(i0, sn, un, un);
+        for (int l = 0; l < n; ++l) {
+          op[l] = result[l];
+        }
+        wp.alu(alu * static_cast<std::uint64_t>(m));
       }};
 }
 
@@ -748,6 +1450,104 @@ Kernel make_sharpness_fused_scalar(const SrcView& padded, Buffer& up,
         }
         o.store(i, detail::to_u8(detail::overshoot_value(pm, mn, mx, params)));
         it.alu(alu);
+      },
+      // Statement-major on the pow path: upscale/source/edge rows and the
+      // 3x3 window are contiguous spans. The LUT path replays the scalar
+      // access sequence lane by lane — its data-dependent gather
+      // addresses would otherwise land at a different point of the
+      // access stream than in the scalar body and could shift L1 misses
+      // (DESIGN.md §13).
+      .body_warp = [=](WarpItem& wp) {
+        const int x0 = wp.base_global_x();
+        const int y = wp.global_y();
+        const int n = wp.lanes_below(w);
+        if (y >= h || n == 0) {
+          return;
+        }
+        auto in = wp.global<const std::uint8_t>(*s.buf);
+        auto uv = wp.global<const float>(*u);
+        auto gv = wp.global<const std::int32_t>(*g);
+        auto o = wp.global<std::uint8_t>(*f);
+        const std::size_t i0 = static_cast<std::size_t>(y * w + x0);
+        const std::size_t sn = static_cast<std::size_t>(n);
+        const std::uint64_t un = static_cast<std::uint64_t>(n);
+        if (lut != nullptr) {
+          auto lutp = wp.global<const float>(*lut);
+          std::uint64_t total_alu = 0;
+          for (int l = 0; l < n; ++l) {
+            const int x = x0 + l;
+            const std::size_t i = i0 + static_cast<std::size_t>(l);
+            const float up_v = uv.load(i);
+            const float err =
+                static_cast<float>(in.load(s.index(x, y))) - up_v;
+            const float st =
+                lutp.load(static_cast<std::size_t>(gv.load(i)));
+            const float pmv = up_v + st * err;
+            if (x == 0 || x == w - 1 || y == 0 || y == h - 1) {
+              o.store(i, detail::simd::overshoot_clamp_pixel(pmv));
+              total_alu += alu / 2;
+              continue;
+            }
+            std::int32_t mx = 0;
+            std::int32_t mn = 255;
+            for (int dy = -1; dy <= 1; ++dy) {
+              const std::size_t base = s.index(x - 1, y + dy);
+              for (int dx = 0; dx < 3; ++dx) {
+                const std::int32_t v =
+                    in.load(base + static_cast<std::size_t>(dx));
+                mx = std::max(mx, v);
+                mn = std::min(mn, v);
+              }
+            }
+            o.store(i,
+                    detail::to_u8(detail::overshoot_value(pmv, mn, mx,
+                                                          params)));
+            total_alu += alu;
+          }
+          wp.alu(total_alu);
+          return;
+        }
+        const float* uvp = uv.load_span(i0, sn, un, 4 * un);
+        const std::uint8_t* inp = in.load_span(s.index(x0, y), sn, un, un);
+        const std::int32_t* gvp = gv.load_span(i0, sn, un, 4 * un);
+        float pm[kWarpWidth];
+        for (int l = 0; l < n; ++l) {
+          const float st = detail::edge_strength(gvp[l], inv_mean, params);
+          pm[l] = uvp[l] + st * (static_cast<float>(inp[l]) - uvp[l]);
+        }
+        std::uint8_t result[kWarpWidth] = {};
+        const int lo = (y == 0 || y == h - 1) ? n : ((x0 == 0) ? 1 : 0);
+        const int hi = (y == 0 || y == h - 1)
+                           ? n
+                           : std::min(n, (w - 1) - x0);
+        const int m = hi > lo ? hi - lo : 0;
+        for (int l = 0; l < lo; ++l) {
+          result[l] = detail::simd::overshoot_clamp_pixel(pm[l]);
+        }
+        if (m > 0) {
+          const int xf = x0 + lo;
+          const std::uint64_t um = static_cast<std::uint64_t>(m);
+          const std::size_t span = static_cast<std::size_t>(m) + 2;
+          const std::uint8_t* rows[3];
+          for (int dy = -1; dy <= 1; ++dy) {
+            rows[dy + 1] =
+                in.load_span(s.index(xf - 1, y + dy), span, 3 * um, 3 * um) -
+                (xf - 1);
+          }
+          for (int l = lo; l < hi; ++l) {
+            result[l] = detail::simd::overshoot_interior_pixel(
+                rows[0], rows[1], rows[2], x0 + l, pm[l], params);
+          }
+        }
+        for (int l = hi; l < n; ++l) {
+          result[l] = detail::simd::overshoot_clamp_pixel(pm[l]);
+        }
+        std::uint8_t* op = o.store_span(i0, sn, un, un);
+        for (int l = 0; l < n; ++l) {
+          op[l] = result[l];
+        }
+        wp.alu(alu * static_cast<std::uint64_t>(m) +
+               (alu / 2) * static_cast<std::uint64_t>(n - m));
       }};
 }
 
@@ -821,6 +1621,113 @@ Kernel make_sharpness_fused_vec4(const SrcView& padded, Buffer& up,
         }
         o.vstore4(result, i);
         it.alu(alu);
+      },
+      // Statement-major on the pow path: same span shapes as the vec4
+      // Sobel for the window rows, one 4n-element span each for the
+      // upscale/edge vloads and the final vstore4s. The LUT path replays
+      // the scalar access sequence lane by lane — its data-dependent
+      // gather addresses would otherwise shift L1 misses (DESIGN.md §13).
+      .body_warp = [=](WarpItem& wp) {
+        const int q0 = wp.base_global_x();
+        const int y = wp.global_y();
+        const int n = wp.lanes_below((w + 3) / 4);
+        if (y >= h || n == 0) {
+          return;
+        }
+        auto in = wp.global<const std::uint8_t>(*s.buf);
+        auto uv = wp.global<const float>(*u);
+        auto gv = wp.global<const std::int32_t>(*g);
+        auto o = wp.global<std::uint8_t>(*f);
+        if (lut != nullptr) {
+          auto lutp = wp.global<const float>(*lut);
+          for (int l = 0; l < n; ++l) {
+            const int x0 = 4 * (q0 + l);
+            const std::size_t i = static_cast<std::size_t>(y * w + x0);
+            const float4 up_v = uv.vload4(i);
+            const int4 ed = gv.vload4(i);
+            std::int32_t win[3][6];
+            for (int dy = -1; dy <= 1; ++dy) {
+              const std::size_t base = s.index(x0 - 1, y + dy);
+              const uchar4 v = in.vload4(base);
+              std::int32_t* row = win[dy + 1];
+              row[0] = v.x;
+              row[1] = v.y;
+              row[2] = v.z;
+              row[3] = v.w;
+              row[4] = in.load(base + 4);
+              row[5] = in.load(base + 5);
+            }
+            uchar4 result;
+            for (int k = 0; k < 4; ++k) {
+              const int x = x0 + k;
+              const float orig = static_cast<float>(win[1][k + 1]);
+              const float err = orig - up_v[k];
+              const float st =
+                  lutp.load(static_cast<std::size_t>(ed[k]));
+              const float pm = up_v[k] + st * err;
+              if (x == 0 || x == w - 1 || y == 0 || y == h - 1) {
+                result[k] =
+                    detail::to_u8(std::min(std::max(pm, 0.0f), 255.0f));
+                continue;
+              }
+              std::int32_t mx = 0;
+              std::int32_t mn = 255;
+              for (int dy = 0; dy < 3; ++dy) {
+                for (int dx = 0; dx < 3; ++dx) {
+                  const std::int32_t v = win[dy][k + dx];
+                  mx = std::max(mx, v);
+                  mn = std::min(mn, v);
+                }
+              }
+              result[k] =
+                  detail::to_u8(detail::overshoot_value(pm, mn, mx, params));
+            }
+            o.vstore4(result, i);
+          }
+          wp.alu(alu * static_cast<std::uint64_t>(n));
+          return;
+        }
+        const std::size_t i0 = static_cast<std::size_t>(y * w + 4 * q0);
+        const std::size_t sn = static_cast<std::size_t>(n);
+        const std::uint64_t un = static_cast<std::uint64_t>(n);
+        const float* uvp = uv.load_span(i0, 4 * sn, un, 16 * un);
+        const std::int32_t* gvp = gv.load_span(i0, 4 * sn, un, 16 * un);
+        const std::uint8_t* rows[3];
+        for (int dy = -1; dy <= 1; ++dy) {
+          rows[dy + 1] = in.load_span(s.index(4 * q0 - 1, y + dy), 4 * sn + 2,
+                                      3 * un, 6 * un);
+        }
+        std::uint8_t* op = o.store_span(i0, 4 * sn, un, 4 * un);
+        for (int l = 0; l < n; ++l) {
+          // Window column for pixel (x0+k+dx) is 4l + k+1 + dx; rows[]
+          // point at column 4*q0-1.
+          const std::uint8_t* win = rows[1] + 4 * l;
+          for (int k = 0; k < 4; ++k) {
+            const int x = 4 * (q0 + l) + k;
+            const float orig = static_cast<float>(win[k + 1]);
+            const float err = orig - uvp[4 * l + k];
+            const std::int32_t edge_v = gvp[4 * l + k];
+            const float st = detail::edge_strength(edge_v, inv_mean, params);
+            const float pm = uvp[4 * l + k] + st * err;
+            if (x == 0 || x == w - 1 || y == 0 || y == h - 1) {
+              op[4 * l + k] =
+                  detail::to_u8(std::min(std::max(pm, 0.0f), 255.0f));
+              continue;
+            }
+            std::int32_t mx = 0;
+            std::int32_t mn = 255;
+            for (int dy = 0; dy < 3; ++dy) {
+              for (int dx = 0; dx < 3; ++dx) {
+                const std::int32_t v = rows[dy][4 * l + k + dx];
+                mx = std::max(mx, v);
+                mn = std::min(mn, v);
+              }
+            }
+            op[4 * l + k] =
+                detail::to_u8(detail::overshoot_value(pm, mn, mx, params));
+          }
+        }
+        wp.alu(alu * un);
       }};
 }
 

@@ -2,13 +2,26 @@
 //
 // Functionally executes a Kernel over a LaunchConfig and returns the
 // KernelStats the cost model consumes. Work-groups are independent (as on
-// real hardware) and may be executed by a pool of host threads; within a
-// group, barrier-free kernels run as a plain loop over work-items while
-// kernels with barriers run on cooperative fibers so that true OpenCL
-// barrier semantics hold (see fiber.hpp).
+// real hardware) and may be executed by a persistent pool of host threads;
+// within a group, barrier-free kernels run as a plain loop while kernels
+// with barriers run on cooperative fibers so that true OpenCL barrier
+// semantics hold (see fiber.hpp).
+//
+// Kernels carrying a `body_warp` execute warp-batched (warp.hpp): one
+// invocation covers kWarpWidth work-items, and barrier kernels run one
+// fiber per *warp* instead of per work-item. The scalar and warp paths
+// are bit-identical in outputs and statistics; `SIMCL_WARP=0` (or
+// set_warp_enabled(false)) forces the scalar path, and active validation
+// (SIMCL_CHECKED) falls back to it automatically so the race detector
+// sees exact per-work-item identity.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 #include "simcl/device.hpp"
 #include "simcl/kernel.hpp"
@@ -21,6 +34,9 @@ class Engine {
   /// `num_threads` host threads execute work-groups; 0 = hardware
   /// concurrency. Statistics are identical regardless of thread count.
   explicit Engine(DeviceSpec spec, int num_threads = 1);
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+  ~Engine();
 
   /// Runs the kernel and returns aggregate statistics. Any exception
   /// thrown by the kernel body (including accessor KernelFaults) aborts
@@ -30,15 +46,44 @@ class Engine {
   [[nodiscard]] const DeviceSpec& spec() const { return spec_; }
   [[nodiscard]] int num_threads() const { return num_threads_; }
 
+  /// Whether kernels with a `body_warp` execute warp-batched. Defaults to
+  /// the SIMCL_WARP environment knob (on unless "0"/"off"/"false").
+  void set_warp_enabled(bool on) { warp_enabled_ = on; }
+  [[nodiscard]] bool warp_enabled() const { return warp_enabled_; }
+
+  /// Launches that carried a warp body but ran scalar because validation
+  /// was active (observable hook for tests; also logged once to stderr).
+  [[nodiscard]] std::uint64_t warp_fallback_launches() const {
+    return warp_fallback_launches_;
+  }
+
   /// Wires the owning context's validation state (null = validation off).
   /// Set by Context in checked builds; launches snapshot the settings and
   /// run under a per-launch ValidationLaunch when any checker is active.
   void set_validation_state(detail::ValidationState* vs) { vstate_ = vs; }
 
  private:
+  struct Launch;
+  void ensure_workers(std::size_t needed);
+  void worker_loop(std::size_t index);
+
   DeviceSpec spec_;
   int num_threads_;
   detail::ValidationState* vstate_ = nullptr;
+  bool warp_enabled_ = true;
+  bool warp_fallback_logged_ = false;
+  std::uint64_t warp_fallback_launches_ = 0;
+
+  // Persistent worker pool (lazily started on the first parallel launch;
+  // workers park between launches instead of being respawned per run()).
+  std::vector<std::thread> workers_;
+  std::mutex pool_mutex_;
+  std::condition_variable pool_cv_;
+  std::condition_variable done_cv_;
+  Launch* launch_ = nullptr;       ///< current launch; null when idle
+  std::uint64_t generation_ = 0;   ///< bumped per launch to wake workers
+  std::size_t workers_busy_ = 0;
+  bool stopping_ = false;
 };
 
 }  // namespace simcl

@@ -43,6 +43,7 @@
 namespace simcl {
 
 class WorkItem;
+class WarpItem;
 class Engine;
 class Fiber;
 
@@ -529,6 +530,12 @@ struct Kernel {
   /// ALU multiplier applied to divergent work-items (border kernels).
   double divergence_factor = 1.0;
   std::function<void(WorkItem&)> body;
+  /// Optional warp-batched body covering kWarpWidth contiguous work-items
+  /// per invocation (see warp.hpp). When present the engine prefers it
+  /// (SIMCL_WARP=0 forces the scalar `body`); its statistics and memory
+  /// effects must be bit-identical to running `body` per work-item — the
+  /// contract tests/simcl/test_warp_engine.cpp enforces.
+  std::function<void(WarpItem&)> body_warp;
 };
 
 }  // namespace simcl

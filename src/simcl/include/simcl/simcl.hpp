@@ -19,3 +19,4 @@
 #include "simcl/stats.hpp"      // IWYU pragma: export
 #include "simcl/validation.hpp" // IWYU pragma: export
 #include "simcl/vec.hpp"        // IWYU pragma: export
+#include "simcl/warp.hpp"       // IWYU pragma: export

@@ -50,6 +50,22 @@ struct KernelStats {
   [[nodiscard]] std::uint64_t global_accesses() const {
     return global_loads + global_stores;
   }
+
+  /// Field-wise equality — what the scalar-vs-warp differential suite
+  /// asserts (tests/simcl/test_warp_engine.cpp).
+  friend bool operator==(const KernelStats& a, const KernelStats& b) {
+    return a.work_items == b.work_items && a.work_groups == b.work_groups &&
+           a.alu_ops == b.alu_ops && a.global_loads == b.global_loads &&
+           a.global_stores == b.global_stores &&
+           a.global_load_bytes == b.global_load_bytes &&
+           a.global_store_bytes == b.global_store_bytes &&
+           a.l1_miss_lines == b.l1_miss_lines &&
+           a.local_accesses == b.local_accesses &&
+           a.local_bytes == b.local_bytes &&
+           a.barrier_events == b.barrier_events &&
+           a.divergent_items == b.divergent_items &&
+           a.atomic_ops == b.atomic_ops;
+  }
 };
 
 }  // namespace simcl

@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <cstdint>
 
 namespace simcl {
@@ -54,6 +55,72 @@ template <typename Dst, typename Src>
 constexpr Vec4<Dst> convert4(Vec4<Src> v) {
   return {static_cast<Dst>(v.x), static_cast<Dst>(v.y), static_cast<Dst>(v.z),
           static_cast<Dst>(v.w)};
+}
+
+/// Fixed-width lane vector: one element per work-item lane of a warp (see
+/// warp.hpp). The warp accessors traffic in VecN<T, kWarpWidth> so a
+/// `body_warp` reads/writes whole lane registers, the same role the
+/// per-lane arrays of `sharpen/detail/simd/` play on the host SIMD side.
+/// Plain aggregate-of-array: the compiler is free to auto-vectorize the
+/// element-wise operations.
+template <typename T, int N>
+struct VecN {
+  T v[static_cast<std::size_t>(N)] = {};
+
+  constexpr T& operator[](int i) { return v[i]; }
+  constexpr const T& operator[](int i) const { return v[i]; }
+
+  static constexpr int size() { return N; }
+
+  static constexpr VecN splat(T s) {
+    VecN r;
+    for (int i = 0; i < N; ++i) {
+      r.v[i] = s;
+    }
+    return r;
+  }
+
+  friend constexpr VecN operator+(const VecN& a, const VecN& b) {
+    VecN r;
+    for (int i = 0; i < N; ++i) {
+      r.v[i] = static_cast<T>(a.v[i] + b.v[i]);
+    }
+    return r;
+  }
+  friend constexpr VecN operator-(const VecN& a, const VecN& b) {
+    VecN r;
+    for (int i = 0; i < N; ++i) {
+      r.v[i] = static_cast<T>(a.v[i] - b.v[i]);
+    }
+    return r;
+  }
+  friend constexpr VecN operator*(const VecN& a, const VecN& b) {
+    VecN r;
+    for (int i = 0; i < N; ++i) {
+      r.v[i] = static_cast<T>(a.v[i] * b.v[i]);
+    }
+    return r;
+  }
+  friend constexpr bool operator==(const VecN& a, const VecN& b) {
+    for (int i = 0; i < N; ++i) {
+      if (!(a.v[i] == b.v[i])) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  VecN& operator+=(const VecN& b) { return *this = *this + b; }
+};
+
+/// Element-wise conversion between lane vectors.
+template <typename Dst, typename Src, int N>
+constexpr VecN<Dst, N> convertN(const VecN<Src, N>& a) {
+  VecN<Dst, N> r;
+  for (int i = 0; i < N; ++i) {
+    r.v[i] = static_cast<Dst>(a.v[i]);
+  }
+  return r;
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,464 @@
+// Warp-batched SIMT execution context.
+//
+// A WarpItem spans kWarpWidth contiguous work-items ("lanes") along the x
+// axis of one local row. Kernels may provide a `body_warp` alongside their
+// scalar `body` (see kernel.hpp); the engine then invokes the warp body
+// once per warp instead of the scalar body once per work-item, cutting
+// dispatch, accessor-construction and accounting overhead by the warp
+// width — and, for barrier kernels, running one fiber per warp instead of
+// one per work-item.
+//
+// Contract: a `body_warp` must be *observationally identical* to running
+// the scalar `body` for each of its lanes — same output bytes and the same
+// KernelStats, including the order-sensitive L1 miss count. The accessors
+// here make that practical:
+//
+//  - per-lane ops (`load`, `store`, `vload4`, `read`, ...) count exactly
+//    like their GlobalPtr/ImagePtr/LocalPtr counterparts, so a lane loop
+//    reproduces the scalar sequence verbatim ("lane-major" porting);
+//  - span ops (`load_span`, `store_span`) batch a statement executed by a
+//    contiguous lane range into one bounds check + one cache probe pass.
+//    A span is equivalent to `slots` scalar accesses of `bytes` total
+//    bytes whose addresses ascend and together cover the element range
+//    [first, first+n): ascending probes of one line hit after the first
+//    touch and leave the LRU state unchanged, so the single wide probe is
+//    state- and miss-identical ("statement-major" porting).
+//
+// Ragged edges (local size or image width not a multiple of kWarpWidth)
+// are handled by lane *counts*: active lanes are always a contiguous
+// range, so masks degenerate to [0, n) prefixes plus per-kernel interior
+// ranges. WarpMask is provided for kernels that need an explicit bitmask.
+//
+// Warp mode is never used while validation (SIMCL_CHECKED) is active —
+// the engine falls back to the scalar body so the race detector sees
+// exact per-work-item identity — hence the accessors carry no validation
+// hooks.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "simcl/kernel.hpp"
+
+namespace simcl {
+
+/// Work-items executed per warp (lanes along x). Chosen to match the
+/// 16-wide local tiles of the sharpening pipeline: every 16x16 group is
+/// exactly 16 full warps.
+inline constexpr int kWarpWidth = 16;
+
+/// Lane bitmask; bit i = lane i. Low kWarpWidth bits are meaningful.
+using WarpMask = std::uint32_t;
+
+/// Typed warp accessor for device global memory (GlobalPtr analogue).
+template <typename T>
+class WarpGlobal {
+ public:
+  using Value = std::remove_const_t<T>;
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+
+  // --- per-lane ops: bit-identical accounting to GlobalPtr ---------------
+  [[nodiscard]] Value load(std::size_t i) const {
+    check(i, 1);
+    note_load(1, sizeof(Value), addr(i), sizeof(Value));
+    return data_[i];
+  }
+
+  void store(std::size_t i, Value v) const
+    requires(!std::is_const_v<T>)
+  {
+    check(i, 1);
+    note_store(1, sizeof(Value), addr(i), sizeof(Value));
+    data_[i] = v;
+  }
+
+  [[nodiscard]] Vec4<Value> vload4(std::size_t i) const {
+    check(i, 4);
+    note_load(1, 4 * sizeof(Value), addr(i), 4 * sizeof(Value));
+    return {data_[i], data_[i + 1], data_[i + 2], data_[i + 3]};
+  }
+
+  void vstore4(Vec4<Value> v, std::size_t i) const
+    requires(!std::is_const_v<T>)
+  {
+    check(i, 4);
+    note_store(1, 4 * sizeof(Value), addr(i), 4 * sizeof(Value));
+    data_[i] = v.x;
+    data_[i + 1] = v.y;
+    data_[i + 2] = v.z;
+    data_[i + 3] = v.w;
+  }
+
+  Value atomic_add(std::size_t i, Value v) const
+    requires(!std::is_const_v<T> && std::is_integral_v<Value>)
+  {
+    check(i, 1);
+    gs_->stats.atomic_ops += 1;
+    gs_->cache.access(addr(i), sizeof(Value));
+    std::atomic_ref<Value> ref(data_[i]);
+    return ref.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  // --- span ops: one batched statement for a contiguous lane range -------
+  /// Equivalent to `slots` ascending scalar loads totalling `bytes` bytes
+  /// that together cover elements [first, first+n). Returns the raw data
+  /// at `first`; lanes index relative to it.
+  [[nodiscard]] const Value* load_span(std::size_t first, std::size_t n,
+                                       std::uint64_t slots,
+                                       std::uint64_t bytes) const {
+    check(first, n);
+    note_load(slots, bytes, addr(first), n * sizeof(Value));
+    return data_ + first;
+  }
+
+  /// Store-side dual of load_span; the caller writes [first, first+n)
+  /// through the returned pointer.
+  [[nodiscard]] Value* store_span(std::size_t first, std::size_t n,
+                                  std::uint64_t slots,
+                                  std::uint64_t bytes) const
+    requires(!std::is_const_v<T>)
+  {
+    check(first, n);
+    note_store(slots, bytes, addr(first), n * sizeof(Value));
+    return data_ + first;
+  }
+
+  // --- lane-register helpers on top of the spans -------------------------
+  /// Loads element base+lane for lanes [0, lanes): `lanes` scalar loads of
+  /// one element each, batched into one span.
+  template <int W = kWarpWidth>
+  [[nodiscard]] VecN<Value, W> load_lanes(std::size_t base, int lanes) const {
+    VecN<Value, W> r;
+    if (lanes > 0) {
+      const Value* p =
+          load_span(base, static_cast<std::size_t>(lanes),
+                    static_cast<std::uint64_t>(lanes),
+                    static_cast<std::uint64_t>(lanes) * sizeof(Value));
+      for (int l = 0; l < lanes; ++l) {
+        r[l] = p[l];
+      }
+    }
+    return r;
+  }
+
+  /// Stores element base+lane for lanes [0, lanes).
+  template <int W = kWarpWidth>
+  void store_lanes(std::size_t base, const VecN<Value, W>& v,
+                   int lanes) const
+    requires(!std::is_const_v<T>)
+  {
+    if (lanes > 0) {
+      Value* p = store_span(base, static_cast<std::size_t>(lanes),
+                            static_cast<std::uint64_t>(lanes),
+                            static_cast<std::uint64_t>(lanes) * sizeof(Value));
+      for (int l = 0; l < lanes; ++l) {
+        p[l] = v[l];
+      }
+    }
+  }
+
+ private:
+  friend class WarpItem;
+  WarpGlobal(Value* data, std::size_t count, std::uint64_t dev_addr,
+             detail::GroupState* gs)
+      : data_(data), count_(count), dev_addr_(dev_addr), gs_(gs) {}
+
+  [[nodiscard]] std::uint64_t addr(std::size_t i) const {
+    return dev_addr_ + i * sizeof(Value);
+  }
+
+  void check(std::size_t i, std::size_t n) const {
+    if (i > count_ || n > count_ - i) {
+      throw KernelFault("WarpGlobal: out-of-bounds access");
+    }
+  }
+
+  void note_load(std::uint64_t slots, std::uint64_t bytes, std::uint64_t a,
+                 std::size_t touch_bytes) const {
+    gs_->stats.global_loads += slots;
+    gs_->stats.global_load_bytes += bytes;
+    gs_->stats.l1_miss_lines +=
+        gs_->cache.access(a, static_cast<std::uint32_t>(touch_bytes));
+  }
+
+  void note_store(std::uint64_t slots, std::uint64_t bytes, std::uint64_t a,
+                  std::size_t touch_bytes) const {
+    gs_->stats.global_stores += slots;
+    gs_->stats.global_store_bytes += bytes;
+    gs_->stats.l1_miss_lines +=
+        gs_->cache.access(a, static_cast<std::uint32_t>(touch_bytes));
+  }
+
+  Value* data_;
+  std::size_t count_;
+  std::uint64_t dev_addr_;
+  detail::GroupState* gs_;
+};
+
+/// Typed warp accessor for image2d_t objects (ImagePtr analogue). Reads
+/// and writes are per-lane — the texture path's clamp handling is
+/// coordinate-dependent, so image kernels port lane-major.
+template <typename T>
+class WarpImage {
+ public:
+  using Value = std::remove_const_t<T>;
+
+  [[nodiscard]] int width() const { return w_; }
+  [[nodiscard]] int height() const { return h_; }
+
+  [[nodiscard]] Value read(int x, int y, const Sampler& s = {}) const {
+    gs_->stats.global_loads += 1;
+    gs_->stats.global_load_bytes += sizeof(Value);
+    if (x < 0 || x >= w_ || y < 0 || y >= h_) {
+      if (s.address == AddressMode::kClampToZero) {
+        return Value{};
+      }
+      x = std::min(std::max(x, 0), w_ - 1);
+      y = std::min(std::max(y, 0), h_ - 1);
+    }
+    const std::size_t i = static_cast<std::size_t>(y) *
+                              static_cast<std::size_t>(w_) +
+                          static_cast<std::size_t>(x);
+    gs_->stats.l1_miss_lines +=
+        gs_->cache.access(dev_addr_ + i * sizeof(Value), sizeof(Value));
+    return data_[i];
+  }
+
+  void write(int x, int y, Value v) const
+    requires(!std::is_const_v<T>)
+  {
+    if (x < 0 || x >= w_ || y < 0 || y >= h_) {
+      throw KernelFault("WarpImage::write: coordinates out of range");
+    }
+    const std::size_t i = static_cast<std::size_t>(y) *
+                              static_cast<std::size_t>(w_) +
+                          static_cast<std::size_t>(x);
+    gs_->stats.global_stores += 1;
+    gs_->stats.global_store_bytes += sizeof(Value);
+    gs_->stats.l1_miss_lines +=
+        gs_->cache.access(dev_addr_ + i * sizeof(Value), sizeof(Value));
+    data_[i] = v;
+  }
+
+ private:
+  friend class WarpItem;
+  WarpImage(Value* data, int w, int h, std::uint64_t dev_addr,
+            detail::GroupState* gs)
+      : data_(data), w_(w), h_(h), dev_addr_(dev_addr), gs_(gs) {}
+
+  Value* data_;
+  int w_;
+  int h_;
+  std::uint64_t dev_addr_;
+  detail::GroupState* gs_;
+};
+
+/// Typed warp accessor for work-group local (LDS) memory (LocalPtr
+/// analogue). LDS traffic never touches the L1 model, so its counters are
+/// order-free; per-lane ops suffice.
+template <typename T>
+class WarpLocal {
+ public:
+  [[nodiscard]] std::size_t count() const { return count_; }
+
+  [[nodiscard]] T load(std::size_t i) const {
+    check(i);
+    note(sizeof(T));
+    return data_[i];
+  }
+
+  void store(std::size_t i, T v) const {
+    check(i);
+    note(sizeof(T));
+    data_[i] = v;
+  }
+
+  /// data[i] += data[j] — counted exactly like LocalPtr::add_from.
+  void add_from(std::size_t i, std::size_t j) const {
+    check(i);
+    check(j);
+    note(3 * sizeof(T));
+    gs_->stats.local_accesses += 2;
+    data_[i] += data_[j];
+  }
+
+ private:
+  friend class WarpItem;
+  WarpLocal(T* data, std::size_t count, detail::GroupState* gs)
+      : data_(data), count_(count), gs_(gs) {}
+
+  void check(std::size_t i) const {
+    if (i >= count_) {
+      throw KernelFault("WarpLocal: out-of-bounds access");
+    }
+  }
+
+  void note(std::size_t bytes) const {
+    gs_->stats.local_accesses += 1;
+    gs_->stats.local_bytes += bytes;
+  }
+
+  T* data_;
+  std::size_t count_;
+  detail::GroupState* gs_;
+};
+
+namespace detail {
+/// Engine-internal initializer with field access to WarpItem.
+struct WarpItemInit;
+}  // namespace detail
+
+/// Execution context of one warp: kWarpWidth contiguous work-items along x
+/// within one local row. Lane `l` corresponds to the work-item with local
+/// id (base_local_x + l, local_y); ragged local sizes leave the trailing
+/// lanes of the last warp of a row inactive (`lane_count() < kWarpWidth`).
+class WarpItem {
+ public:
+  /// Active lanes of this warp — always the contiguous prefix [0, n).
+  [[nodiscard]] int lane_count() const { return lane_count_; }
+  [[nodiscard]] WarpMask active_mask() const {
+    return (WarpMask{1} << lane_count_) - 1;
+  }
+
+  [[nodiscard]] int base_global_x() const {
+    return group_id_x_ * local_size_x_ + base_local_x_;
+  }
+  [[nodiscard]] int global_x(int lane) const {
+    return base_global_x() + lane;
+  }
+  [[nodiscard]] int global_y() const {
+    return group_id_y_ * local_size_y_ + local_id_y_;
+  }
+  [[nodiscard]] int base_local_x() const { return base_local_x_; }
+  [[nodiscard]] int local_id_y() const { return local_id_y_; }
+  [[nodiscard]] int group_id(int dim = 0) const {
+    return dim == 0 ? group_id_x_ : group_id_y_;
+  }
+  [[nodiscard]] int global_size(int dim = 0) const {
+    return dim == 0 ? local_size_x_ * num_groups_x_
+                    : local_size_y_ * num_groups_y_;
+  }
+  [[nodiscard]] int local_size(int dim = 0) const {
+    return dim == 0 ? local_size_x_ : local_size_y_;
+  }
+  [[nodiscard]] int num_groups(int dim = 0) const {
+    return dim == 0 ? num_groups_x_ : num_groups_y_;
+  }
+  /// Flattened local id of lane 0.
+  [[nodiscard]] int base_flat_local_id() const {
+    return local_id_y_ * local_size_x_ + base_local_x_;
+  }
+  /// Flattened local id of lane `l`.
+  [[nodiscard]] int flat_local_id(int lane) const {
+    return base_flat_local_id() + lane;
+  }
+
+  /// Number of leading active lanes whose global x is < `x_limit` — the
+  /// warp form of the scalar `if (x >= limit) return;` guard.
+  [[nodiscard]] int lanes_below(int x_limit) const {
+    const int n = x_limit - base_global_x();
+    return n < 0 ? 0 : (n > lane_count_ ? lane_count_ : n);
+  }
+
+  /// Reports `ops` arithmetic operations (the *total* over the lanes that
+  /// would have reported in the scalar body).
+  void alu(std::uint64_t ops) const { gs_->stats.alu_ops += ops; }
+
+  /// Marks `items` lanes as divergent.
+  void divergent(std::uint64_t items) const {
+    gs_->stats.divergent_items += items;
+  }
+
+  /// Work-group barrier at warp granularity: yields this warp's fiber;
+  /// the engine resumes every warp of the group round-robin, so all warps
+  /// reach the barrier before any proceeds — OpenCL barrier semantics.
+  /// Counted once per group (the warp holding flat local id 0 scribes),
+  /// exactly like WorkItem::barrier().
+  void barrier();
+
+  /// Wavefront lock-step point; free in the timing model (see
+  /// WorkItem::wavefront_fence). Yields so warps of the same wavefront
+  /// stay in lock step.
+  void wavefront_fence();
+
+  template <typename T>
+  [[nodiscard]] WarpGlobal<T> global(Buffer& buf) const {
+    using Value = std::remove_const_t<T>;
+    return WarpGlobal<T>(reinterpret_cast<Value*>(buf.backing()),
+                         buf.size() / sizeof(Value), buf.device_addr(), gs_);
+  }
+  template <typename T>
+  [[nodiscard]] WarpGlobal<T> global(const Buffer& buf) const
+    requires(std::is_const_v<T>)
+  {
+    using Value = std::remove_const_t<T>;
+    return WarpGlobal<T>(
+        reinterpret_cast<Value*>(const_cast<std::byte*>(buf.backing())),
+        buf.size() / sizeof(Value), buf.device_addr(), gs_);
+  }
+
+  template <typename T>
+  [[nodiscard]] WarpImage<T> image(Image2D& img) const {
+    using Value = std::remove_const_t<T>;
+    if (sizeof(Value) != img.pixel_bytes()) {
+      throw KernelFault("WarpItem::image: type does not match texel format");
+    }
+    if (img.released()) {
+      throw KernelFault("WarpItem::image: image was released");
+    }
+    return WarpImage<T>(reinterpret_cast<Value*>(img.backing()), img.width(),
+                        img.height(), img.device_addr(), gs_);
+  }
+  template <typename T>
+  [[nodiscard]] WarpImage<T> image(const Image2D& img) const
+    requires(std::is_const_v<T>)
+  {
+    using Value = std::remove_const_t<T>;
+    if (sizeof(Value) != img.pixel_bytes()) {
+      throw KernelFault("WarpItem::image: type does not match texel format");
+    }
+    if (img.released()) {
+      throw KernelFault("WarpItem::image: image was released");
+    }
+    return WarpImage<T>(
+        reinterpret_cast<Value*>(const_cast<std::byte*>(img.backing())),
+        img.width(), img.height(), img.device_addr(), gs_);
+  }
+
+  /// Work-group local array; warps of a group calling in the same order
+  /// share storage, matching WorkItem::local_array.
+  template <typename T>
+  [[nodiscard]] WarpLocal<T> local_array(std::size_t n) {
+    const std::size_t idx = local_alloc_cursor_++;
+    auto& allocs = gs_->allocs;
+    const std::size_t bytes = n * sizeof(T);
+    if (idx == allocs.size()) {
+      std::size_t offset = (gs_->arena_used + 15) & ~std::size_t{15};
+      if (offset + bytes > gs_->arena.size()) {
+        throw KernelFault("local_array: LDS budget exceeded");
+      }
+      allocs.push_back({offset, bytes});
+      gs_->arena_used = offset + bytes;
+    } else if (allocs[idx].bytes != bytes) {
+      throw KernelFault("local_array: inconsistent allocation across items");
+    }
+    return WarpLocal<T>(
+        reinterpret_cast<T*>(gs_->arena.data() + allocs[idx].offset), n, gs_);
+  }
+
+ private:
+  friend class Engine;
+  friend struct detail::WarpItemInit;
+
+  detail::GroupState* gs_ = nullptr;
+  Fiber* fiber_ = nullptr;  // null in the barrier-free fast path
+  int base_local_x_ = 0, local_id_y_ = 0;
+  int group_id_x_ = 0, group_id_y_ = 0;
+  int local_size_x_ = 1, local_size_y_ = 1;
+  int num_groups_x_ = 1, num_groups_y_ = 1;
+  int lane_count_ = 1;
+  std::size_t local_alloc_cursor_ = 0;
+};
+
+}  // namespace simcl

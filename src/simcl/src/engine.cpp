@@ -1,10 +1,13 @@
 #include "simcl/engine.hpp"
 
-#include <exception>
-#include <thread>
-#include <vector>
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string_view>
 
 #include "simcl/fiber.hpp"
+#include "simcl/warp.hpp"
 
 namespace simcl {
 
@@ -30,6 +33,27 @@ void WorkItem::wavefront_fence() {
   fiber_->yield();
 }
 
+void WarpItem::barrier() {
+  if (fiber_ == nullptr) {
+    throw KernelFault(
+        "barrier() called in a kernel not declared uses_barriers");
+  }
+  // One event per group per barrier, as in the scalar path: the warp
+  // holding flat local id 0 scribes.
+  if (base_flat_local_id() == 0) {
+    gs_->stats.barrier_events += 1;
+  }
+  fiber_->yield();
+}
+
+void WarpItem::wavefront_fence() {
+  if (fiber_ == nullptr) {
+    throw KernelFault(
+        "wavefront_fence() called in a kernel not declared uses_barriers");
+  }
+  fiber_->yield();
+}
+
 namespace detail {
 
 struct WorkItemInit {
@@ -50,9 +74,38 @@ struct WorkItemInit {
   }
 };
 
+struct WarpItemInit {
+  static void set(WarpItem& wp, GroupState* gs, Fiber* fiber, int base_lx,
+                  int ly, int lanes, int gx, int gy, int lsx, int lsy,
+                  int ngx, int ngy) {
+    wp.gs_ = gs;
+    wp.fiber_ = fiber;
+    wp.base_local_x_ = base_lx;
+    wp.local_id_y_ = ly;
+    wp.lane_count_ = lanes;
+    wp.group_id_x_ = gx;
+    wp.group_id_y_ = gy;
+    wp.local_size_x_ = lsx;
+    wp.local_size_y_ = lsy;
+    wp.num_groups_x_ = ngx;
+    wp.num_groups_y_ = ngy;
+    wp.local_alloc_cursor_ = 0;
+  }
+};
+
 }  // namespace detail
 
 namespace {
+
+bool warp_env_enabled() {
+  const char* e = std::getenv("SIMCL_WARP");
+  if (e == nullptr) {
+    return true;
+  }
+  const std::string_view v(e);
+  return !(v == "0" || v == "off" || v == "OFF" || v == "false" ||
+           v == "FALSE");
+}
 
 /// Everything one work-item needs while scheduled on a fiber.
 struct FiberRunner {
@@ -71,22 +124,51 @@ void fiber_entry(void* arg) {
   }
 }
 
+/// Everything one *warp* needs while scheduled on a fiber: the warp-mode
+/// scheduler runs one fiber per warp, cutting the fiber count (and the
+/// context switches per barrier) by kWarpWidth.
+struct WarpFiberRunner {
+  const Kernel* kernel = nullptr;
+  WarpItem warp;
+  Fiber fiber;
+  std::exception_ptr error;
+};
+
+void warp_fiber_entry(void* arg) {
+  auto* runner = static_cast<WarpFiberRunner*>(arg);
+  try {
+    runner->kernel->body_warp(runner->warp);
+  } catch (...) {
+    runner->error = std::current_exception();
+  }
+}
+
 /// Per-thread execution scratch (group state, fibers, stacks) reused
 /// across all groups this thread executes.
 class GroupExecutor {
  public:
   GroupExecutor(const DeviceSpec& spec, const Kernel& kernel,
-                const LaunchConfig& cfg, detail::ValidationLaunch* vl)
+                const LaunchConfig& cfg, detail::ValidationLaunch* vl,
+                bool use_warp)
       : spec_(spec),
         kernel_(kernel),
         cfg_(cfg),
+        use_warp_(use_warp),
+        warps_per_row_(
+            (cfg.local.x + static_cast<std::size_t>(kWarpWidth) - 1) /
+            static_cast<std::size_t>(kWarpWidth)),
         gs_(spec.l1_bytes, static_cast<std::size_t>(spec.cache_line_bytes),
             spec.local_mem_bytes == 0 ? 1 : spec.local_mem_bytes) {
     gs_.vl = vl;
     if (kernel.uses_barriers) {
-      const std::size_t n = cfg.local.count();
+      const std::size_t n =
+          use_warp ? warps_per_row_ * cfg.local.y : cfg.local.count();
       stacks_ = std::make_unique<FiberStackPool>(n);
-      runners_.resize(n);
+      if (use_warp) {
+        warp_runners_.resize(n);
+      } else {
+        runners_.resize(n);
+      }
     }
   }
 
@@ -94,7 +176,13 @@ class GroupExecutor {
     gs_.begin_group();
     gs_.stats.work_groups += 1;
     gs_.stats.work_items += cfg_.local.count();
-    if (kernel_.uses_barriers) {
+    if (use_warp_) {
+      if (kernel_.uses_barriers) {
+        run_group_warp_fibers(gx, gy);
+      } else {
+        run_group_warp_plain(gx, gy);
+      }
+    } else if (kernel_.uses_barriers) {
       run_group_fibers(gx, gy);
     } else {
       run_group_plain(gx, gy);
@@ -114,12 +202,36 @@ class GroupExecutor {
         static_cast<int>(cfg_.num_groups_y()));
   }
 
+  void init_warp(WarpItem& wp, std::size_t gx, std::size_t gy,
+                 std::size_t warp_x, std::size_t ly, Fiber* fiber) {
+    const std::size_t base_lx = warp_x * static_cast<std::size_t>(kWarpWidth);
+    const std::size_t lanes =
+        std::min(static_cast<std::size_t>(kWarpWidth),
+                 cfg_.local.x - base_lx);
+    detail::WarpItemInit::set(
+        wp, &gs_, fiber, static_cast<int>(base_lx), static_cast<int>(ly),
+        static_cast<int>(lanes), static_cast<int>(gx), static_cast<int>(gy),
+        static_cast<int>(cfg_.local.x), static_cast<int>(cfg_.local.y),
+        static_cast<int>(cfg_.num_groups_x()),
+        static_cast<int>(cfg_.num_groups_y()));
+  }
+
   void run_group_plain(std::size_t gx, std::size_t gy) {
     WorkItem it;
     for (std::size_t ly = 0; ly < cfg_.local.y; ++ly) {
       for (std::size_t lx = 0; lx < cfg_.local.x; ++lx) {
         init_item(it, gx, gy, lx, ly, nullptr);
         kernel_.body(it);
+      }
+    }
+  }
+
+  void run_group_warp_plain(std::size_t gx, std::size_t gy) {
+    WarpItem wp;
+    for (std::size_t ly = 0; ly < cfg_.local.y; ++ly) {
+      for (std::size_t wx = 0; wx < warps_per_row_; ++wx) {
+        init_warp(wp, gx, gy, wx, ly, nullptr);
+        kernel_.body_warp(wp);
       }
     }
   }
@@ -156,28 +268,135 @@ class GroupExecutor {
     }
   }
 
+  void run_group_warp_fibers(std::size_t gx, std::size_t gy) {
+    const std::size_t n = warps_per_row_ * cfg_.local.y;
+    for (std::size_t i = 0; i < n; ++i) {
+      WarpFiberRunner& r = warp_runners_[i];
+      r.kernel = &kernel_;
+      r.error = nullptr;
+      const std::size_t wx = i % warps_per_row_;
+      const std::size_t ly = i / warps_per_row_;
+      init_warp(r.warp, gx, gy, wx, ly, &r.fiber);
+      r.fiber.reset(stacks_->stack(i), stacks_->stack_bytes(),
+                    &warp_fiber_entry, &r);
+    }
+    std::size_t active = n;
+    while (active > 0) {
+      for (std::size_t i = 0; i < n; ++i) {
+        WarpFiberRunner& r = warp_runners_[i];
+        if (r.fiber.finished()) {
+          continue;
+        }
+        r.fiber.resume();
+        if (r.error != nullptr) {
+          std::rethrow_exception(r.error);
+        }
+        if (r.fiber.finished()) {
+          --active;
+        }
+      }
+    }
+  }
+
   const DeviceSpec& spec_;
   const Kernel& kernel_;
   const LaunchConfig& cfg_;
+  bool use_warp_;
+  std::size_t warps_per_row_;
   detail::GroupState gs_;
   std::unique_ptr<FiberStackPool> stacks_;
   std::vector<FiberRunner> runners_;
+  std::vector<WarpFiberRunner> warp_runners_;
 };
 
 }  // namespace
+
+/// One parallel launch handed to the worker pool. Group indices are
+/// distributed statically (worker s takes groups s, s+threads, ...), and
+/// partial stats are summed in slice order, so the totals are identical
+/// for every thread count.
+struct Engine::Launch {
+  const Kernel* kernel = nullptr;
+  const LaunchConfig* cfg = nullptr;
+  const DeviceSpec* spec = nullptr;
+  detail::ValidationLaunch* vl = nullptr;
+  bool use_warp = false;
+  std::size_t ngroups = 0;
+  std::size_t ngx = 0;
+  std::size_t threads = 0;
+  std::vector<KernelStats> partial;
+  std::vector<std::exception_ptr> errors;
+
+  void run_slice(std::size_t slice) {
+    try {
+      GroupExecutor exec(*spec, *kernel, *cfg, vl, use_warp);
+      for (std::size_t g = slice; g < ngroups; g += threads) {
+        exec.run_group(g % ngx, g / ngx);
+      }
+      partial[slice] = exec.stats();
+    } catch (...) {
+      errors[slice] = std::current_exception();
+    }
+  }
+};
 
 Engine::Engine(DeviceSpec spec, int num_threads)
     : spec_(std::move(spec)),
       num_threads_(num_threads > 0
                        ? num_threads
-                       : static_cast<int>(std::thread::hardware_concurrency())) {
+                       : static_cast<int>(std::thread::hardware_concurrency())),
+      warp_enabled_(warp_env_enabled()) {
   if (num_threads_ < 1) {
     num_threads_ = 1;
   }
 }
 
+Engine::~Engine() {
+  {
+    std::lock_guard<std::mutex> lk(pool_mutex_);
+    stopping_ = true;
+  }
+  pool_cv_.notify_all();
+  for (auto& w : workers_) {
+    w.join();
+  }
+}
+
+void Engine::ensure_workers(std::size_t needed) {
+  while (workers_.size() < needed) {
+    workers_.emplace_back(&Engine::worker_loop, this, workers_.size());
+  }
+}
+
+void Engine::worker_loop(std::size_t index) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    Launch* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lk(pool_mutex_);
+      pool_cv_.wait(lk, [&] { return stopping_ || generation_ != seen; });
+      if (stopping_) {
+        return;
+      }
+      seen = generation_;
+      job = launch_;
+    }
+    // Slice 0 runs on the launching thread; worker `index` owns slice
+    // index+1. Workers beyond the launch's thread count sit this one out.
+    if (job == nullptr || index + 1 >= job->threads) {
+      continue;
+    }
+    job->run_slice(index + 1);
+    {
+      std::lock_guard<std::mutex> lk(pool_mutex_);
+      --workers_busy_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
 KernelStats Engine::run(const Kernel& kernel, const LaunchConfig& cfg) {
-  if (!kernel.body) {
+  if (!kernel.body && !kernel.body_warp) {
     throw InvalidArgument("Engine::run: kernel has no body");
   }
   cfg.validate(spec_.max_workgroup_size);
@@ -202,41 +421,70 @@ KernelStats Engine::run(const Kernel& kernel, const LaunchConfig& cfg) {
     }
   }
 
+  bool use_warp = warp_enabled_ && static_cast<bool>(kernel.body_warp);
+  if (use_warp && vl != nullptr) {
+    // The warp accessors do not carry per-lane validation identity;
+    // fall back to the scalar body so OOB/race reports attribute to the
+    // exact work-item. Logged once per engine, observable via
+    // warp_fallback_launches() for tests.
+    use_warp = false;
+    ++warp_fallback_launches_;
+    if (!warp_fallback_logged_) {
+      warp_fallback_logged_ = true;
+      std::fprintf(stderr,
+                   "simcl: validation active; kernel '%s' runs its scalar "
+                   "body instead of body_warp for exact attribution\n",
+                   kernel.name.c_str());
+    }
+  }
+  if (!use_warp && !kernel.body) {
+    throw InvalidArgument(
+        "Engine::run: kernel has only a warp body but warp execution is "
+        "disabled");
+  }
+
   if (threads <= 1) {
-    GroupExecutor exec(spec_, kernel, cfg, vl.get());
+    GroupExecutor exec(spec_, kernel, cfg, vl.get(), use_warp);
     for (std::size_t g = 0; g < ngroups; ++g) {
       exec.run_group(g % ngx, g / ngx);
     }
     return exec.stats();
   }
 
-  std::vector<KernelStats> partial(threads);
-  std::vector<std::exception_ptr> errors(threads);
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (std::size_t t = 0; t < threads; ++t) {
-    pool.emplace_back([&, t] {
-      try {
-        GroupExecutor exec(spec_, kernel, cfg, vl.get());
-        for (std::size_t g = t; g < ngroups; g += threads) {
-          exec.run_group(g % ngx, g / ngx);
-        }
-        partial[t] = exec.stats();
-      } catch (...) {
-        errors[t] = std::current_exception();
-      }
-    });
+  Launch launch;
+  launch.kernel = &kernel;
+  launch.cfg = &cfg;
+  launch.spec = &spec_;
+  launch.vl = vl.get();
+  launch.use_warp = use_warp;
+  launch.ngroups = ngroups;
+  launch.ngx = ngx;
+  launch.threads = threads;
+  launch.partial.resize(threads);
+  launch.errors.resize(threads);
+
+  ensure_workers(threads - 1);
+  {
+    std::lock_guard<std::mutex> lk(pool_mutex_);
+    launch_ = &launch;
+    workers_busy_ = threads - 1;
+    ++generation_;
   }
-  for (auto& th : pool) {
-    th.join();
+  pool_cv_.notify_all();
+  launch.run_slice(0);
+  {
+    std::unique_lock<std::mutex> lk(pool_mutex_);
+    done_cv_.wait(lk, [&] { return workers_busy_ == 0; });
+    launch_ = nullptr;
   }
-  for (const auto& e : errors) {
+
+  for (const auto& e : launch.errors) {
     if (e != nullptr) {
       std::rethrow_exception(e);
     }
   }
   KernelStats total;
-  for (const auto& p : partial) {
+  for (const auto& p : launch.partial) {
     total += p;
   }
   return total;

@@ -155,6 +155,7 @@ TEST(EnvSurface, KnobTableDocumentsEveryKnob) {
   EXPECT_TRUE(has("SHARP_TRACE"));
   EXPECT_TRUE(has("SHARP_BAND_ROWS"));
   EXPECT_TRUE(has("SIMCL_CHECKED"));
+  EXPECT_TRUE(has("SIMCL_WARP"));
   for (const auto& k : knobs) {
     EXPECT_NE(std::string(k.values), "");
     EXPECT_NE(std::string(k.effect), "");

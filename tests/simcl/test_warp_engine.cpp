@@ -1,0 +1,573 @@
+// Differential suite for warp-batched execution (warp.hpp, DESIGN.md §13):
+// a kernel's `body_warp` must be observationally identical to its scalar
+// `body` — same output bytes and the same KernelStats, including the
+// order-sensitive L1 miss count. Synthetic kernels cover the engine
+// semantics (dispatch preference, ragged lane masking, lockstep barriers,
+// the SIMCL_WARP knob, pool determinism); the pipeline tests run every
+// figure kernel of the sharpening pipeline in both modes and diff each
+// launch event. Validation interop (scalar fallback) is covered at the
+// bottom and skips outside SIMCL_CHECKED builds.
+#include "simcl/warp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <numeric>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "image/generate.hpp"
+#include "image/metrics.hpp"
+#include "sharpen/sharpen.hpp"
+#include "simcl/simcl.hpp"
+
+namespace {
+
+using namespace simcl;
+
+/// Sets an environment variable for the lifetime of the guard.
+class EnvGuard {
+ public:
+  EnvGuard(const char* name, const char* value) : name_(name) {
+    ::setenv(name, value, 1);
+  }
+  ~EnvGuard() { ::unsetenv(name_); }
+  EnvGuard(const EnvGuard&) = delete;
+  EnvGuard& operator=(const EnvGuard&) = delete;
+
+ private:
+  const char* name_;
+};
+
+std::vector<std::uint8_t> bytes_of(const Buffer& b) {
+  auto view = b.backing_as<std::uint8_t>();
+  return {view.begin(), view.end()};
+}
+
+// --- engine dispatch semantics ----------------------------------------------
+
+TEST(WarpDispatch, WarpBodyPreferredWhenEnabled) {
+  Context ctx(amd_firepro_w8000());
+  ctx.set_validation({});  // warp bodies must actually run
+  Buffer out = ctx.create_buffer("out", 64 * sizeof(std::int32_t));
+  Kernel k{.name = "which",
+           .body =
+               [&](WorkItem& it) {
+                 auto o = it.global<std::int32_t>(out);
+                 o.store(static_cast<std::size_t>(it.global_id(0)), 1);
+               },
+           .body_warp =
+               [&](WarpItem& wp) {
+                 auto o = wp.global<std::int32_t>(out);
+                 for (int l = 0; l < wp.lane_count(); ++l) {
+                   o.store(static_cast<std::size_t>(wp.global_x(l)), 2);
+                 }
+               }};
+  ctx.engine().set_warp_enabled(true);  // independent of ambient SIMCL_WARP
+  ctx.engine().run(k, {.global = NDRange(64), .local = NDRange(64)});
+  EXPECT_EQ(out.backing_as<std::int32_t>()[0], 2);
+  ctx.engine().set_warp_enabled(false);
+  ctx.engine().run(k, {.global = NDRange(64), .local = NDRange(64)});
+  EXPECT_EQ(out.backing_as<std::int32_t>()[0], 1);
+}
+
+TEST(WarpDispatch, EnvKnobDisablesWarpMode) {
+  for (const char* off : {"0", "off", "false"}) {
+    EnvGuard guard("SIMCL_WARP", off);
+    Context ctx(amd_firepro_w8000());
+    EXPECT_FALSE(ctx.engine().warp_enabled()) << off;
+  }
+  {
+    EnvGuard guard("SIMCL_WARP", "1");
+    Context ctx(amd_firepro_w8000());
+    EXPECT_TRUE(ctx.engine().warp_enabled());
+  }
+  Context ctx(amd_firepro_w8000());  // default: enabled
+  EXPECT_TRUE(ctx.engine().warp_enabled());
+}
+
+TEST(WarpDispatch, WarpOnlyKernelNeedsWarpMode) {
+  Context ctx(amd_firepro_w8000());
+  ctx.set_validation({});  // warp bodies must actually run
+  Buffer out = ctx.create_buffer("out", 32 * sizeof(std::int32_t));
+  Kernel k{.name = "warp_only",
+           .body = {},
+           .body_warp = [&](WarpItem& wp) {
+             auto o = wp.global<std::int32_t>(out);
+             for (int l = 0; l < wp.lane_count(); ++l) {
+               o.store(static_cast<std::size_t>(wp.global_x(l)),
+                       wp.global_x(l));
+             }
+           }};
+  ctx.engine().set_warp_enabled(true);
+  ctx.engine().run(k, {.global = NDRange(32), .local = NDRange(32)});
+  EXPECT_EQ(out.backing_as<std::int32_t>()[31], 31);
+  ctx.engine().set_warp_enabled(false);
+  EXPECT_THROW(
+      ctx.engine().run(k, {.global = NDRange(32), .local = NDRange(32)}),
+      InvalidArgument);
+}
+
+TEST(WarpDispatch, LaneGeometryMatchesScalarIds) {
+  // Every (lane, warp) coordinate must reproduce the scalar work-item ids.
+  Context ctx(amd_firepro_w8000());
+  ctx.set_validation({});  // warp bodies must actually run
+  constexpr int kW = 72, kH = 10;  // ragged: 72 = 4*16 + 8
+  Buffer out = ctx.create_buffer("ids", kW * kH * sizeof(std::int32_t));
+  Kernel k{.name = "geom",
+           .body = {},
+           .body_warp = [&](WarpItem& wp) {
+             EXPECT_EQ(wp.base_global_x() % kWarpWidth, 0);
+             EXPECT_EQ(wp.active_mask(),
+                       (WarpMask{1} << wp.lane_count()) - 1);
+             auto o = wp.global<std::int32_t>(out);
+             const int n = wp.lanes_below(kW);
+             for (int l = 0; l < n; ++l) {
+               EXPECT_EQ(wp.global_x(l), wp.base_global_x() + l);
+               EXPECT_EQ(wp.flat_local_id(l),
+                         wp.local_id_y() * wp.local_size(0) +
+                             wp.base_local_x() + l);
+               o.store(static_cast<std::size_t>(wp.global_y() * kW +
+                                                wp.global_x(l)),
+                       wp.global_y() * kW + wp.global_x(l));
+             }
+           }};
+  ctx.engine().set_warp_enabled(true);
+  ctx.engine().run(k, {.global = NDRange(80, kH), .local = NDRange(16, 2)});
+  auto vals = out.backing_as<std::int32_t>();
+  for (int i = 0; i < kW * kH; ++i) {
+    EXPECT_EQ(vals[static_cast<std::size_t>(i)], i);
+  }
+}
+
+// --- scalar/warp differential: synthetic kernels ----------------------------
+
+/// Runs `k` in scalar then warp mode on the same engine and expects
+/// identical stats; `reset` reinitializes the kernel's buffers between
+/// runs and `snapshot` captures the output bytes.
+template <typename Reset, typename Snapshot>
+void expect_modes_identical(Context& ctx, const Kernel& k,
+                            const LaunchConfig& cfg, Reset reset,
+                            Snapshot snapshot) {
+  reset();
+  ctx.engine().set_warp_enabled(false);
+  const KernelStats scalar = ctx.engine().run(k, cfg);
+  const auto scalar_out = snapshot();
+  reset();
+  ctx.engine().set_warp_enabled(true);
+  const KernelStats warp = ctx.engine().run(k, cfg);
+  const auto warp_out = snapshot();
+  EXPECT_TRUE(scalar == warp)
+      << "KernelStats diverge between scalar and warp mode";
+  EXPECT_EQ(scalar_out, warp_out);
+}
+
+TEST(WarpDifferential, SpanKernelAcrossRaggedWidths) {
+  Context ctx(amd_firepro_w8000());
+  ctx.set_validation({});  // warp bodies must actually run
+  for (int w : {1, 5, 16, 17, 31, 32, 100, 255}) {
+    const int h = 3;
+    Buffer a = ctx.create_buffer("a", static_cast<std::size_t>(w * h) *
+                                          sizeof(float));
+    Buffer out = ctx.create_buffer("o", static_cast<std::size_t>(w * h) *
+                                            sizeof(float));
+    {
+      auto vals = a.backing_as<float>();
+      std::iota(vals.begin(), vals.end(), 0.0f);
+    }
+    Kernel k{.name = "scale",
+             .body =
+                 [&, w](WorkItem& it) {
+                   const int x = it.global_id(0);
+                   const int y = it.global_id(1);
+                   if (x >= w) {
+                     return;
+                   }
+                   auto in = it.global<const float>(a);
+                   auto o = it.global<float>(out);
+                   const std::size_t i = static_cast<std::size_t>(y * w + x);
+                   o.store(i, in.load(i) * 2.0f);
+                   it.alu(3);
+                 },
+             .body_warp =
+                 [&, w](WarpItem& wp) {
+                   const int n = wp.lanes_below(w);
+                   if (n == 0) {
+                     return;
+                   }
+                   auto in = wp.global<const float>(a);
+                   auto o = wp.global<float>(out);
+                   const std::size_t i0 = static_cast<std::size_t>(
+                       wp.global_y() * w + wp.base_global_x());
+                   const std::size_t sn = static_cast<std::size_t>(n);
+                   const std::uint64_t un = static_cast<std::uint64_t>(n);
+                   const float* ip = in.load_span(i0, sn, un, 4 * un);
+                   float* op = o.store_span(i0, sn, un, 4 * un);
+                   for (int l = 0; l < n; ++l) {
+                     op[l] = ip[l] * 2.0f;
+                   }
+                   wp.alu(3 * un);
+                 }};
+    const LaunchConfig cfg{
+        .global = NDRange(static_cast<std::size_t>((w + 15) / 16 * 16),
+                          static_cast<std::size_t>(h)),
+        .local = NDRange(16, 1)};
+    expect_modes_identical(
+        ctx, k, cfg,
+        [&] {
+          auto vals = out.backing_as<float>();
+          std::fill(vals.begin(), vals.end(), -1.0f);
+        },
+        [&] { return bytes_of(out); });
+  }
+}
+
+TEST(WarpDifferential, BarrierKernelStaysInLockstepAcrossWarps) {
+  // Neighbor exchange through LDS: item lid reads the slot written by
+  // lid+1 — which lives in ANOTHER warp for lanes 15, 31, ... — so this
+  // fails unless warps observe barrier semantics, and it checks the
+  // barrier_events accounting (once per group).
+  Context ctx(amd_firepro_w8000());
+  ctx.set_validation({});  // warp bodies must actually run
+  constexpr int kLocal = 64, kGroups = 3;
+  Buffer out = ctx.create_buffer(
+      "out", static_cast<std::size_t>(kLocal * kGroups) *
+                 sizeof(std::int32_t));
+  Kernel k{.name = "neighbor",
+           .uses_barriers = true,
+           .body =
+               [&](WorkItem& it) {
+                 auto lds = it.local_array<std::int32_t>(kLocal);
+                 const auto lid = static_cast<std::size_t>(it.local_id(0));
+                 lds.store(lid, it.global_id(0) * 10);
+                 it.barrier();
+                 auto o = it.global<std::int32_t>(out);
+                 o.store(static_cast<std::size_t>(it.global_id(0)),
+                         lds.load((lid + 1) % kLocal));
+               },
+           .body_warp =
+               [&](WarpItem& wp) {
+                 auto lds = wp.local_array<std::int32_t>(kLocal);
+                 for (int l = 0; l < wp.lane_count(); ++l) {
+                   lds.store(static_cast<std::size_t>(wp.base_local_x() + l),
+                             wp.global_x(l) * 10);
+                 }
+                 wp.barrier();
+                 auto o = wp.global<std::int32_t>(out);
+                 for (int l = 0; l < wp.lane_count(); ++l) {
+                   const auto lid =
+                       static_cast<std::size_t>(wp.base_local_x() + l);
+                   o.store(static_cast<std::size_t>(wp.global_x(l)),
+                           lds.load((lid + 1) % kLocal));
+                 }
+               }};
+  const LaunchConfig cfg{.global = NDRange(kLocal * kGroups),
+                         .local = NDRange(kLocal)};
+  expect_modes_identical(
+      ctx, k, cfg,
+      [&] {
+        auto vals = out.backing_as<std::int32_t>();
+        std::fill(vals.begin(), vals.end(), -1);
+      },
+      [&] { return bytes_of(out); });
+  ctx.engine().set_warp_enabled(true);
+  const KernelStats s = ctx.engine().run(k, cfg);
+  EXPECT_EQ(s.barrier_events, kGroups);
+  auto vals = out.backing_as<std::int32_t>();
+  for (int g = 0; g < kGroups; ++g) {
+    for (int i = 0; i < kLocal; ++i) {
+      EXPECT_EQ(vals[static_cast<std::size_t>(g * kLocal + i)],
+                (g * kLocal + (i + 1) % kLocal) * 10);
+    }
+  }
+}
+
+TEST(WarpDifferential, AtomicsAndVectorAccessesMatch) {
+  Context ctx(amd_firepro_w8000());
+  ctx.set_validation({});  // warp bodies must actually run
+  constexpr int kN = 96;  // 96/4 = 24 quads: ragged against 16-wide warps
+  Buffer a = ctx.create_buffer("a", kN * sizeof(float));
+  Buffer out = ctx.create_buffer("o", kN * sizeof(float));
+  Buffer sum = ctx.create_buffer("s", sizeof(std::int32_t));
+  {
+    auto vals = a.backing_as<float>();
+    std::iota(vals.begin(), vals.end(), 1.0f);
+  }
+  Kernel k{.name = "vec_atomic",
+           .body =
+               [&](WorkItem& it) {
+                 auto in = it.global<const float>(a);
+                 auto o = it.global<float>(out);
+                 auto s = it.global<std::int32_t>(sum);
+                 const auto i = static_cast<std::size_t>(it.global_id(0)) * 4;
+                 o.vstore4(in.vload4(i) * 2.0f, i);
+                 s.atomic_add(0, it.global_id(0));
+               },
+           .body_warp =
+               [&](WarpItem& wp) {
+                 auto in = wp.global<const float>(a);
+                 auto o = wp.global<float>(out);
+                 auto s = wp.global<std::int32_t>(sum);
+                 const int n = wp.lane_count();
+                 const std::size_t i0 =
+                     static_cast<std::size_t>(wp.base_global_x()) * 4;
+                 const std::size_t sn = static_cast<std::size_t>(n);
+                 const std::uint64_t un = static_cast<std::uint64_t>(n);
+                 const float* ip = in.load_span(i0, 4 * sn, un, 16 * un);
+                 float* op = o.store_span(i0, 4 * sn, un, 16 * un);
+                 for (int j = 0; j < 4 * n; ++j) {
+                   op[j] = ip[j] * 2.0f;
+                 }
+                 for (int l = 0; l < n; ++l) {
+                   s.atomic_add(0, wp.global_x(l));
+                 }
+               }};
+  const LaunchConfig cfg{.global = NDRange(kN / 4), .local = NDRange(8)};
+  expect_modes_identical(
+      ctx, k, cfg,
+      [&] {
+        auto vals = out.backing_as<float>();
+        std::fill(vals.begin(), vals.end(), 0.0f);
+        sum.backing_as<std::int32_t>()[0] = 0;
+      },
+      [&] {
+        auto b = bytes_of(out);
+        const auto extra = bytes_of(sum);
+        b.insert(b.end(), extra.begin(), extra.end());
+        return b;
+      });
+}
+
+TEST(WarpDifferential, StatsDeterministicAcrossThreadCounts) {
+  // The persistent worker pool must not change accounting: warp stats and
+  // outputs are identical no matter how many host threads run the groups.
+  auto run_with = [](int threads) {
+    Context ctx(amd_firepro_w8000(), intel_core_i5_3470(), threads);
+    ctx.set_validation({});
+    Buffer out = ctx.create_buffer("o", 4096 * sizeof(float));
+    Kernel k{.name = "scale",
+             .body =
+                 [&](WorkItem& it) {
+                   auto o = it.global<float>(out);
+                   const auto i = static_cast<std::size_t>(it.global_id(0));
+                   o.store(i, static_cast<float>(i) * 0.5f);
+                   it.alu(2);
+                 },
+             .body_warp =
+                 [&](WarpItem& wp) {
+                   auto o = wp.global<float>(out);
+                   const int n = wp.lane_count();
+                   const std::size_t i0 =
+                       static_cast<std::size_t>(wp.base_global_x());
+                   const std::uint64_t un = static_cast<std::uint64_t>(n);
+                   float* op = o.store_span(i0, static_cast<std::size_t>(n),
+                                            un, 4 * un);
+                   for (int l = 0; l < n; ++l) {
+                     op[l] = static_cast<float>(i0 + static_cast<std::size_t>(
+                                                         l)) *
+                             0.5f;
+                   }
+                   wp.alu(2 * un);
+                 }};
+    KernelStats s = ctx.engine().run(
+        k, {.global = NDRange(4096), .local = NDRange(64)});
+    return std::pair{s, bytes_of(out)};
+  };
+  const auto [s1, b1] = run_with(1);
+  const auto [s4, b4] = run_with(4);
+  EXPECT_TRUE(s1 == s4);
+  EXPECT_EQ(b1, b4);
+  // Repeated multi-threaded launches on one engine reuse the pool and stay
+  // deterministic.
+  const auto [s4b, b4b] = run_with(4);
+  EXPECT_TRUE(s4 == s4b);
+  EXPECT_EQ(b4, b4b);
+}
+
+TEST(WarpDifferential, WarpAccessorFaultsPropagate) {
+  Context ctx(amd_firepro_w8000());
+  ctx.set_validation({});  // warp bodies must actually run
+  Buffer small = ctx.create_buffer("small", 16 * sizeof(float));
+  Kernel k{.name = "oob_warp",
+           .body = [&](WorkItem&) {},
+           .body_warp = [&](WarpItem& wp) {
+             auto p = wp.global<float>(small);
+             (void)p.load_span(8, 16, 16, 64);  // past the end
+           }};
+  ctx.engine().set_warp_enabled(true);
+  EXPECT_THROW(
+      ctx.engine().run(k, {.global = NDRange(16), .local = NDRange(16)}),
+      Error);
+}
+
+// --- scalar/warp differential: the full figure pipelines --------------------
+
+struct PipelineRun {
+  std::vector<Event> kernel_events;
+  sharp::img::ImageU8 output;
+};
+
+PipelineRun run_pipeline(const sharp::PipelineOptions& opts,
+                         const sharp::img::ImageU8& input, bool warp) {
+  EnvGuard guard("SIMCL_WARP", warp ? "1" : "0");
+  sharp::GpuPipeline pipeline(opts);
+  sharp::PipelineResult r = pipeline.run(input);
+  PipelineRun out{.kernel_events = {}, .output = std::move(r.output)};
+  for (const Event& ev : pipeline.last_events()) {
+    if (ev.kind == CommandKind::kKernel) {
+      out.kernel_events.push_back(ev);
+    }
+  }
+  return out;
+}
+
+void expect_pipeline_modes_identical(const sharp::PipelineOptions& opts,
+                                     int w, int h) {
+  const sharp::img::ImageU8 input = sharp::img::make_natural(w, h, 1234);
+  const PipelineRun scalar = run_pipeline(opts, input, false);
+  const PipelineRun warp = run_pipeline(opts, input, true);
+  EXPECT_EQ(sharp::img::max_abs_diff(scalar.output, warp.output), 0);
+  ASSERT_EQ(scalar.kernel_events.size(), warp.kernel_events.size());
+  for (std::size_t i = 0; i < scalar.kernel_events.size(); ++i) {
+    const Event& se = scalar.kernel_events[i];
+    const Event& we = warp.kernel_events[i];
+    EXPECT_EQ(se.name, we.name);
+    EXPECT_TRUE(se.stats == we.stats)
+        << "stats diverge for kernel '" << se.name << "' (launch " << i
+        << ") at " << w << "x" << h;
+  }
+}
+
+// Option sets chosen so every GPU kernel of the pipeline (all 18 warp
+// ports in sharpen/src/gpu/kernels.cpp) is exercised at least once.
+sharp::PipelineOptions opts_naive() { return sharp::PipelineOptions::naive(); }
+
+sharp::PipelineOptions opts_optimized_tree() {
+  sharp::PipelineOptions o = sharp::PipelineOptions::optimized();
+  o.reduction_stage2 = sharp::Placement::kGpu;  // reduce_stage2 tree kernel
+  return o;
+}
+
+sharp::PipelineOptions opts_lut_atomic_unroll2() {
+  sharp::PipelineOptions o = sharp::PipelineOptions::optimized();
+  o.strength = sharp::StrengthEval::kLut;
+  o.unroll = sharp::ReductionUnroll::kTwo;
+  o.reduction_stage2 = sharp::Placement::kGpu;
+  o.stage2_method = sharp::Stage2Method::kAtomic;
+  return o;
+}
+
+sharp::PipelineOptions opts_split_lds_border() {
+  sharp::PipelineOptions o = sharp::PipelineOptions::optimized();
+  o.fuse_sharpness = false;  // perror / preliminary / overshoot
+  o.sobel_impl = sharp::SobelImpl::kLds;
+  o.border = sharp::Placement::kGpu;
+  o.unroll = sharp::ReductionUnroll::kNone;
+  o.strength = sharp::StrengthEval::kLut;  // preliminary's LUT gather
+  return o;
+}
+
+sharp::PipelineOptions opts_images() {
+  sharp::PipelineOptions o = sharp::PipelineOptions::optimized();
+  o.use_image2d = true;  // downscale_img / sobel_img / sharpness_fused_img
+  return o;
+}
+
+sharp::PipelineOptions opts_fused_scalar() {
+  sharp::PipelineOptions o = sharp::PipelineOptions::optimized();
+  o.vectorize = false;  // center/sobel scalar + sharpness_fused_scalar
+  return o;
+}
+
+TEST(WarpPipelineDifferential, NaivePipeline) {
+  expect_pipeline_modes_identical(opts_naive(), 64, 48);
+  expect_pipeline_modes_identical(opts_naive(), 132, 76);  // ragged warps
+}
+
+TEST(WarpPipelineDifferential, OptimizedPipelineWithTreeStage2) {
+  expect_pipeline_modes_identical(opts_optimized_tree(), 64, 48);
+  expect_pipeline_modes_identical(opts_optimized_tree(), 132, 76);
+}
+
+TEST(WarpPipelineDifferential, LutAtomicUnrolledReduction) {
+  expect_pipeline_modes_identical(opts_lut_atomic_unroll2(), 64, 48);
+  expect_pipeline_modes_identical(opts_lut_atomic_unroll2(), 132, 76);
+}
+
+TEST(WarpPipelineDifferential, SplitStagesLdsSobelGpuBorder) {
+  expect_pipeline_modes_identical(opts_split_lds_border(), 64, 48);
+  expect_pipeline_modes_identical(opts_split_lds_border(), 132, 76);
+}
+
+TEST(WarpPipelineDifferential, ImageBackedKernels) {
+  expect_pipeline_modes_identical(opts_images(), 64, 48);
+  expect_pipeline_modes_identical(opts_images(), 132, 76);
+}
+
+TEST(WarpPipelineDifferential, FusedScalarSharpness) {
+  expect_pipeline_modes_identical(opts_fused_scalar(), 64, 48);
+  expect_pipeline_modes_identical(opts_fused_scalar(), 132, 76);
+}
+
+// --- validation interop -----------------------------------------------------
+
+class WarpValidationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!checked_build()) {
+      GTEST_SKIP() << "requires a SIMCL_CHECKED build";
+    }
+    ctx.emplace(amd_firepro_w8000());
+    ctx->set_validation(ValidationSettings::full());
+  }
+
+  std::optional<Context> ctx;
+};
+
+TEST_F(WarpValidationTest, ActiveValidationFallsBackToScalarBody) {
+  // The warp body is poisoned: if the engine ran it under validation the
+  // launch would fault. Instead the engine must run the scalar body (so
+  // the checkers see exact per-work-item identity) and count the fallback.
+  Buffer out = ctx->create_buffer("out", 64 * sizeof(std::int32_t));
+  Kernel k{.name = "fallback",
+           .body =
+               [&](WorkItem& it) {
+                 auto o = it.global<std::int32_t>(out);
+                 o.store(static_cast<std::size_t>(it.global_id(0)),
+                         it.global_id(0));
+               },
+           .body_warp = [](WarpItem&) {
+             throw KernelFault("body_warp must not run under validation");
+           }};
+  ctx->engine().set_warp_enabled(true);
+  EXPECT_EQ(ctx->engine().warp_fallback_launches(), 0u);
+  ctx->engine().run(k, {.global = NDRange(64), .local = NDRange(64)});
+  EXPECT_EQ(ctx->engine().warp_fallback_launches(), 1u);
+  auto vals = out.backing_as<std::int32_t>();
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(vals[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST_F(WarpValidationTest, SeededRaceStillAttributedWithWarpBodyPresent) {
+  // A racing kernel that also carries a (poisoned) warp body: validation
+  // must still catch the race via the scalar path.
+  Buffer cell = ctx->create_buffer("cell", sizeof(std::int32_t));
+  Kernel k{.name = "seeded_race",
+           .body =
+               [&](WorkItem& it) {
+                 auto p = it.global<std::int32_t>(cell);
+                 p.store(0, it.global_id(0));  // every item writes slot 0
+               },
+           .body_warp = [](WarpItem&) {
+             throw KernelFault("body_warp must not run under validation");
+           }};
+  EXPECT_THROW(
+      ctx->engine().run(k, {.global = NDRange(64), .local = NDRange(64)}),
+      Error);
+}
+
+}  // namespace

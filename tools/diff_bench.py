@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_*.json perf-trajectory files record by record.
+
+Usage: diff_bench.py BASELINE_JSON CURRENT_JSON [--threshold PCT]
+                     [--ignore REGEX]
+
+Both files must be JSON arrays of flat records as written by
+report::JsonArray (see bench/common.hpp). Records are matched across the
+two files by their identity fields — every string-, integer- or
+bool-valued field (e.g. "bench", "size", "stage", "version") — and each
+float-valued metric of a matched pair is reported as an absolute and
+relative delta.
+
+Fields whose name matches --ignore (default: "wall") are excluded from
+the report and the gate; wall-clock numbers are machine-dependent while
+the modeled *_us metrics are deterministic, which is what makes the
+committed baselines under bench/baselines/ meaningful to diff against.
+
+With --threshold the script becomes a CI gate: it exits non-zero when
+any compared metric deviates by more than PCT percent, when a baseline
+record has no counterpart (coverage shrank), or when the metric sets of
+a matched pair differ.
+
+Exit codes: 0 clean, 1 regression/mismatch, 2 usage or parse error.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"diff_bench: FAIL: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load_records(path: str) -> list[dict]:
+    try:
+        with open(path, encoding="utf-8") as f:
+            records = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {path}: {e}")
+    if not isinstance(records, list) or not all(
+        isinstance(r, dict) for r in records
+    ):
+        fail(f"{path}: root is not an array of records")
+    return records
+
+
+def identity(record: dict) -> tuple:
+    """The (key, value) pairs that name a record: everything non-float."""
+    return tuple(
+        sorted(
+            (k, v)
+            for k, v in record.items()
+            if isinstance(v, (str, bool)) or isinstance(v, int)
+        )
+    )
+
+
+def metrics(record: dict, ignore: re.Pattern) -> dict:
+    return {
+        k: v
+        for k, v in record.items()
+        if isinstance(v, float) and not isinstance(v, bool)
+        and not ignore.search(k)
+    }
+
+
+def index_by_identity(records: list[dict], path: str) -> dict:
+    out = {}
+    for r in records:
+        key = identity(r)
+        if key in out:
+            fail(f"{path}: duplicate record identity {dict(key)}")
+        out[key] = r
+    return out
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="diff_bench.py",
+        description="Diff two BENCH_*.json files record by record.",
+    )
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="fail when any metric deviates by more than PCT percent",
+    )
+    parser.add_argument(
+        "--ignore",
+        default="wall",
+        metavar="REGEX",
+        help="exclude metrics whose name matches (default: %(default)s)",
+    )
+    args = parser.parse_args(argv[1:])
+    ignore = re.compile(args.ignore)
+
+    base = index_by_identity(load_records(args.baseline), args.baseline)
+    cur = index_by_identity(load_records(args.current), args.current)
+
+    regressions = []
+    rows = []
+    for key, b in base.items():
+        label = " ".join(str(v) for _, v in key)
+        c = cur.get(key)
+        if c is None:
+            regressions.append(f"record gone from current set: {label}")
+            continue
+        bm, cm = metrics(b, ignore), metrics(c, ignore)
+        if bm.keys() != cm.keys():
+            regressions.append(
+                f"{label}: metric set changed "
+                f"({sorted(bm.keys() ^ cm.keys())})"
+            )
+            continue
+        for name in sorted(bm):
+            old, new = bm[name], cm[name]
+            delta = new - old
+            if old != 0:
+                pct = 100.0 * delta / old
+            elif delta == 0:
+                pct = 0.0
+            else:
+                pct = float("inf") if delta > 0 else float("-inf")
+            rows.append((label, name, old, new, pct))
+            if args.threshold is not None and abs(pct) > args.threshold:
+                regressions.append(
+                    f"{label}: {name} {old:g} -> {new:g} ({pct:+.2f}%)"
+                )
+    extra = [k for k in cur if k not in base]
+
+    width = max((len(r[0]) for r in rows), default=5)
+    nwidth = max((len(r[1]) for r in rows), default=6)
+    print(f"{'record':<{width}}  {'metric':<{nwidth}}  "
+          f"{'baseline':>14}  {'current':>14}  {'delta':>9}")
+    for label, name, old, new, pct in rows:
+        print(f"{label:<{width}}  {name:<{nwidth}}  "
+              f"{old:>14.4f}  {new:>14.4f}  {pct:>+8.2f}%")
+    for key in extra:
+        print("new record (not in baseline): "
+              + " ".join(str(v) for _, v in key))
+
+    if args.threshold is not None and regressions:
+        print(f"\ndiff_bench: {len(regressions)} regression(s) beyond "
+              f"{args.threshold:g}%:", file=sys.stderr)
+        for msg in regressions:
+            print(f"  {msg}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
