@@ -2,15 +2,25 @@
 // before/after images, and show the simulated CPU-vs-GPU timing.
 //
 //   ./examples/quickstart [output_dir]
+//   ./examples/quickstart --dump-knobs   # machine-readable env-knob table
 #include <iostream>
 #include <string>
 
 #include "image/generate.hpp"
 #include "image/metrics.hpp"
 #include "image/pnm.hpp"
+#include "sharpen/env.hpp"
 #include "sharpen/sharpen.hpp"
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "--dump-knobs") {
+    // One tab-separated "name<TAB>values" row per knob; consumed by
+    // tools/check_env_docs.py to lint code/README agreement.
+    for (const sharp::env::Knob& k : sharp::env::knobs()) {
+      std::cout << k.name << '\t' << k.values << '\n';
+    }
+    return 0;
+  }
   const std::string out_dir = argc > 1 ? argv[1] : ".";
 
   // 1. An input image. Any 8-bit grayscale image whose dimensions are

@@ -12,6 +12,8 @@
 //                      (parsed by simcl::validation, documented here)
 //   SIMCL_WARP         0|off|false — forces scalar kernel execution in the
 //                      simulated GPU (parsed by simcl::Engine)
+//   SIMCL_CONTRACT     off|warn|enforce — static kernel-contract analysis
+//                      policy per enqueue (parsed by simcl::contract)
 //
 // Dispatch-shaping knobs (SHARP_SIMD, SHARP_FORCE_SCALAR, SHARP_TRACE)
 // are read once, at first use, and cached for the process lifetime;

@@ -1,0 +1,76 @@
+// Static launch planning: the exact kernel enqueue sequence finish_frame
+// would perform for a given (options, size), materialized without running
+// a single work-item.
+//
+// A LaunchPlan binds real device objects (created from the given context,
+// never written to) to the same kernel factories the runtime uses, so the
+// contract analyzer can prove every launch of a configuration safe ahead
+// of time — tools/kernel_check sweeps the whole option matrix this way,
+// and the anti-drift test pins the plan against the kernels a live
+// pipeline actually enqueues. See DESIGN.md §14.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sharpen/options.hpp"
+#include "simcl/kernel.hpp"
+#include "simcl/ndrange.hpp"
+#include "simcl/queue.hpp"
+
+namespace sharp::gpu {
+
+/// 2-D work-group edge of every 2-D pipeline launch (16x16 = 256 items,
+/// one full FirePro W8000 work-group). Shared by FrameRunner and the
+/// planner so the two cannot disagree about launch geometry.
+inline constexpr std::size_t kTile = 16;
+
+/// Rounded-up 2-D launch over `wx` x `wy` items in kTile x kTile groups.
+[[nodiscard]] simcl::LaunchConfig grid2d(std::size_t wx, std::size_t wy);
+
+/// Rounded-up 1-D launch over `n` items in groups of `local`.
+[[nodiscard]] simcl::LaunchConfig grid1d(std::size_t n,
+                                         std::size_t local = 64);
+
+/// One kernel enqueue of the planned pipeline, in enqueue order.
+struct PlannedLaunch {
+  std::string stage;  ///< pipeline stage label (stage::k* constants)
+  simcl::Kernel kernel;
+  simcl::LaunchConfig cfg;
+};
+
+/// The full kernel sequence of one frame. Owns the device objects the
+/// kernels are bound to (they are allocated, never transferred to or
+/// executed on), so the plan stays analyzable for its whole lifetime.
+class LaunchPlan {
+ public:
+  LaunchPlan();
+  LaunchPlan(LaunchPlan&&) noexcept;
+  LaunchPlan& operator=(LaunchPlan&&) noexcept;
+  LaunchPlan(const LaunchPlan&) = delete;
+  LaunchPlan& operator=(const LaunchPlan&) = delete;
+  ~LaunchPlan();
+
+  [[nodiscard]] const std::vector<PlannedLaunch>& launches() const {
+    return launches_;
+  }
+
+ private:
+  friend LaunchPlan build_launch_plan(simcl::Context&,
+                                      const PipelineOptions&, int, int);
+  struct Storage;
+  std::unique_ptr<Storage> storage_;
+  std::vector<PlannedLaunch> launches_;
+};
+
+/// Plans one frame of `opt` at `w` x `h`: mirrors every enqueue decision
+/// of FrameRunner::finish_frame (border/reduction placement heuristics
+/// included) with a placeholder mean-edge value. Pure with respect to
+/// execution — it only allocates buffers from `ctx`.
+[[nodiscard]] LaunchPlan build_launch_plan(simcl::Context& ctx,
+                                           const PipelineOptions& opt,
+                                           int w, int h);
+
+}  // namespace sharp::gpu

@@ -77,6 +77,11 @@ const std::vector<Knob>& knobs() {
        "through its scalar body (default: warp bodies run when present; "
        "outputs and stats are identical either way); parsed by "
        "simcl::Engine at context creation"},
+      {"SIMCL_CONTRACT", "off | warn | enforce",
+       "static kernel-contract analysis policy: warn (default) logs and "
+       "counts diagnosed launches, enforce rejects them before any "
+       "work-item runs, off skips the analyzer; parsed by simcl::contract "
+       "at context creation"},
   };
   return table;
 }

@@ -1,10 +1,12 @@
 #include "sharpen/gpu/kernels.hpp"
 
 #include <algorithm>
+#include <memory>
 
 #include "sharpen/detail/interp.hpp"
 #include "sharpen/detail/simd/pixel_ops.hpp"
 #include "sharpen/detail/simd/rows.hpp"
+#include "simcl/contract.hpp"
 #include "simcl/vec.hpp"
 #include "simcl/warp.hpp"
 
@@ -23,6 +25,17 @@ using simcl::uchar4;
 
 /// GCN wavefront width assumed by the unrolled reduction tails.
 constexpr int kWavefront = 64;
+
+namespace ct = simcl::contract;
+
+// Contract shorthand. Every factory below attaches a KernelContract
+// declaring, per argument, the exact element-index interval each active
+// work-item touches (see contract.hpp). `plane(w)` is the canonical
+// one-item-per-pixel output index y*w + x; the Domain helpers encode the
+// `if (x >= w) return;` guards of rounded-up launches.
+ct::Expr plane(int w) { return ct::gy(w) + ct::gx(); }
+ct::Domain full_rect(int w, int h) { return {0, w - 1, 0, h - 1}; }
+ct::Domain inner_rect(int w, int h) { return {1, w - 2, 1, h - 2}; }
 
 /// Lane register: one slot per warp lane.
 template <typename T>
@@ -45,6 +58,15 @@ Kernel make_downscale(const SrcView& src, Buffer& down, int dw, int dh,
   SrcView s = src;
   Buffer* out = &down;
   const std::uint64_t alu = env.alu(22.0);  // 15 adds + scale + index math
+  auto kc = std::make_shared<ct::KernelContract>();
+  // Each item averages the 4x4 source block at (4c, 4r): four stride-
+  // separated 4-byte runs, covered by one interval per item.
+  kc->arg("src", *s.buf, 1).reads(
+      s.offset + ct::gy(4 * s.stride) + ct::gx(4),
+      s.offset + 3 * s.stride + 3 + ct::gy(4 * s.stride) + ct::gx(4),
+      full_rect(dw, dh));
+  kc->arg("down", down, sizeof(float))
+      .writes(plane(dw), plane(dw), full_rect(dw, dh));
   return Kernel{
       .name = "downscale",
       .body = [=](WorkItem& it) {
@@ -96,7 +118,8 @@ Kernel make_downscale(const SrcView& src, Buffer& down, int dw, int dh,
               rows[3] + 4 * l);
         }
         wp.alu(alu * static_cast<std::uint64_t>(n));
-      }};
+      },
+      .contract = std::move(kc)};
 }
 
 Kernel make_center_scalar(Buffer& down, int dw, int dh, Buffer& up, int w,
@@ -105,6 +128,16 @@ Kernel make_center_scalar(Buffer& down, int dw, int dh, Buffer& up, int w,
   Buffer* u = &up;
   const std::uint64_t alu = env.alu(16.0);
   (void)dh;
+  // Output pixel (2+gx, 2+gy); guard keeps it in the center region.
+  const ct::Domain center{0, w - 5, 0, h - 5};
+  auto kc = std::make_shared<ct::KernelContract>();
+  // The 2x2 downscaled window at (r, c) = ((y-2)/4, (x-2)/4): two rows of
+  // two, i.e. [r*dw + c, r*dw + c + dw + 1].
+  kc->arg("down", down, sizeof(float))
+      .reads(ct::gy(dw, 4) + ct::gx(1, 4),
+             dw + 1 + ct::gy(dw, 4) + ct::gx(1, 4), center);
+  kc->arg("up", up, sizeof(float))
+      .writes(2 * w + 2 + plane(w), 2 * w + 2 + plane(w), center);
   return Kernel{
       .name = "center",
       .body = [=](WorkItem& it) {
@@ -164,7 +197,8 @@ Kernel make_center_scalar(Buffer& down, int dw, int dh, Buffer& up, int w,
                                          jy, jx[l]);
         }
         wp.alu(alu * static_cast<std::uint64_t>(n));
-      }};
+      },
+      .contract = std::move(kc)};
 }
 
 Kernel make_center_vec4(Buffer& down, int dw, int dh, Buffer& up, int w,
@@ -173,6 +207,15 @@ Kernel make_center_vec4(Buffer& down, int dw, int dh, Buffer& up, int w,
   Buffer* u = &up;
   const std::uint64_t alu = env.alu(34.0);  // 4 samples + index math
   (void)dh;
+  // gx is the quad column c (outputs 2+4c .. 5+4c), gy the row y-2.
+  const ct::Domain quads{0, dw - 2, 0, h - 5};
+  auto kc = std::make_shared<ct::KernelContract>();
+  kc->arg("down", down, sizeof(float))
+      .reads(ct::gy(dw, 4) + ct::gx(), dw + 1 + ct::gy(dw, 4) + ct::gx(),
+             quads);
+  kc->arg("up", up, sizeof(float))
+      .writes(2 * w + 2 + ct::gy(w) + ct::gx(4),
+              2 * w + 5 + ct::gy(w) + ct::gx(4), quads);
   return Kernel{
       .name = "center",
       .body = [=](WorkItem& it) {
@@ -230,7 +273,8 @@ Kernel make_center_vec4(Buffer& down, int dw, int dh, Buffer& up, int w,
           }
         }
         wp.alu(alu * static_cast<std::uint64_t>(n));
-      }};
+      },
+      .contract = std::move(kc)};
 }
 
 Kernel make_border(Buffer& down, int dw, int dh, Buffer& up, int w, int h,
@@ -239,6 +283,13 @@ Kernel make_border(Buffer& down, int dw, int dh, Buffer& up, int w, int h,
   Buffer* u = &up;
   const int total = 4 * w + 4 * (h - 4);
   const std::uint64_t alu = env.alu(34.0);  // index decode + clamped sample
+  // The index decode scatters items across the 2-pixel frame and the
+  // clamped 2x2 gather can land anywhere in the downscaled image, so the
+  // footprints are whole-object hulls over the 1-D item range.
+  auto kc = std::make_shared<ct::KernelContract>();
+  kc->arg("down", down, sizeof(float))
+      .reads(0, dw * dh - 1, {0, total - 1});
+  kc->arg("up", up, sizeof(float)).writes(0, w * h - 1, {0, total - 1});
   return Kernel{
       .name = "border",
       .divergence_factor = 3.0,
@@ -336,7 +387,8 @@ Kernel make_border(Buffer& down, int dw, int dh, Buffer& up, int w, int h,
           o.store(static_cast<std::size_t>(y * w + x), v);
         }
         wp.alu(alu * static_cast<std::uint64_t>(n));
-      }};
+      },
+      .contract = std::move(kc)};
 }
 
 Kernel make_sobel_scalar(const SrcView& src, Buffer& edge, int w, int h,
@@ -344,6 +396,15 @@ Kernel make_sobel_scalar(const SrcView& src, Buffer& edge, int w, int h,
   SrcView s = src;
   Buffer* e = &edge;
   const std::uint64_t alu = env.alu(20.0);
+  auto kc = std::make_shared<ct::KernelContract>();
+  // Interior items gather the 3x3 window around (x, y); frame items only
+  // store the zero edge value.
+  kc->arg("src", *s.buf, 1).reads(
+      s.offset - s.stride - 1 + ct::gy(s.stride) + ct::gx(),
+      s.offset + s.stride + 1 + ct::gy(s.stride) + ct::gx(),
+      inner_rect(w, h));
+  kc->arg("edge", edge, sizeof(std::int32_t))
+      .writes(plane(w), plane(w), full_rect(w, h));
   return Kernel{
       .name = "sobel",
       .body = [=](WorkItem& it) {
@@ -419,7 +480,8 @@ Kernel make_sobel_scalar(const SrcView& src, Buffer& edge, int w, int h,
           op[l] = result[l];
         }
         wp.alu(alu * static_cast<std::uint64_t>(m > 0 ? m : 0));
-      }};
+      },
+      .contract = std::move(kc)};
 }
 
 Kernel make_sobel_vec4(const SrcView& src, Buffer& edge, int w, int h,
@@ -427,6 +489,17 @@ Kernel make_sobel_vec4(const SrcView& src, Buffer& edge, int w, int h,
   SrcView s = src;
   Buffer* e = &edge;
   const std::uint64_t alu = env.alu(64.0);  // 4 outputs worth of gradient math
+  // gx is the quad index (outputs 4q .. 4q+3); interior rows fetch the
+  // 3x6 node window, which needs the padded source view to stay in
+  // bounds at the left/right frame.
+  const ct::Domain quads{0, (w - 1) / 4, 0, h - 1};
+  auto kc = std::make_shared<ct::KernelContract>();
+  kc->arg("src", *s.buf, 1).reads(
+      s.offset - s.stride - 1 + ct::gy(s.stride) + ct::gx(4),
+      s.offset + s.stride + 4 + ct::gy(s.stride) + ct::gx(4),
+      {0, (w - 1) / 4, 1, h - 2});
+  kc->arg("edge", edge, sizeof(std::int32_t))
+      .writes(ct::gy(w) + ct::gx(4), 3 + ct::gy(w) + ct::gx(4), quads);
   return Kernel{
       .name = "sobel",
       .body = [=](WorkItem& it) {
@@ -530,7 +603,8 @@ Kernel make_sobel_vec4(const SrcView& src, Buffer& edge, int w, int h,
           }
         }
         wp.alu(alu * static_cast<std::uint64_t>(n));
-      }};
+      },
+      .contract = std::move(kc)};
 }
 
 Kernel make_sobel_lds(const SrcView& src, Buffer& edge, int w, int h,
@@ -538,6 +612,20 @@ Kernel make_sobel_lds(const SrcView& src, Buffer& edge, int w, int h,
   SrcView s = src;
   Buffer* e = &edge;
   const std::uint64_t alu = env.alu(26.0);  // gradient math + tile index
+  auto kc = std::make_shared<ct::KernelContract>();
+  kc->requires_local(static_cast<std::size_t>(tile),
+                     static_cast<std::size_t>(tile))
+      .uniform_barriers()
+      .lds_array(static_cast<std::size_t>((tile + 2) * (tile + 2)) *
+                 sizeof(std::int32_t));
+  // Cooperative staging runs before the guard and strides the whole
+  // padded window by flat local id (clamped at the image frame), so the
+  // source footprint is the whole padded image, for every item.
+  kc->arg("src", *s.buf, 1).reads(
+      s.offset - s.stride - 1,
+      s.offset - s.stride - 1 + (h + 1) * s.stride + w + 1);
+  kc->arg("edge", edge, sizeof(std::int32_t))
+      .writes(plane(w), plane(w), full_rect(w, h));
   return Kernel{
       .name = "sobel",
       .uses_barriers = true,
@@ -645,7 +733,8 @@ Kernel make_sobel_lds(const SrcView& src, Buffer& edge, int w, int h,
           op[l] = result[l];
         }
         wp.alu(alu * interior);
-      }};
+      },
+      .contract = std::move(kc)};
 }
 
 Kernel make_reduce_stage1(Buffer& edge, std::int64_t count, Buffer& partials,
@@ -659,6 +748,24 @@ Kernel make_reduce_stage1(Buffer& edge, std::int64_t count, Buffer& partials,
   if (unroll == ReductionUnroll::kTwo && group_size < 2 * kWavefront) {
     unroll = ReductionUnroll::kOne;
   }
+  auto kc = std::make_shared<ct::KernelContract>();
+  kc->requires_local(static_cast<std::size_t>(group_size))
+      .uniform_barriers()
+      .lds_array(0, sizeof(std::int32_t));
+  // First-add-during-load: lane `lid` of group `grp` pre-sums
+  // items_per_thread elements strided by the group size, each guarded by
+  // `idx < count` (the cap).
+  kc->arg("edge", edge, sizeof(std::int32_t))
+      .reads(ct::grx(static_cast<std::int64_t>(group_size) *
+                     items_per_thread) +
+                 ct::lx(),
+             static_cast<std::int64_t>(items_per_thread - 1) * group_size +
+                 ct::grx(static_cast<std::int64_t>(group_size) *
+                         items_per_thread) +
+                 ct::lx(),
+             {}, count - 1);
+  kc->arg("partials", partials, sizeof(std::int32_t))
+      .writes(ct::grx(), ct::grx());
   return Kernel{
       .name = "reduce_stage1",
       .uses_barriers = true,
@@ -839,7 +946,8 @@ Kernel make_reduce_stage1(Buffer& edge, std::int64_t count, Buffer& partials,
           dst.store(static_cast<std::size_t>(wp.group_id(0)),
                     lds.load(0));
         }
-      }};
+      },
+      .contract = std::move(kc)};
 }
 
 Kernel make_reduce_stage2(Buffer& partials, std::int64_t count,
@@ -848,6 +956,14 @@ Kernel make_reduce_stage2(Buffer& partials, std::int64_t count,
   Buffer* in = &partials;
   Buffer* out = &sum_out;
   const std::uint64_t add_alu = env.alu(2.0);
+  auto kc = std::make_shared<ct::KernelContract>();
+  kc->requires_local(static_cast<std::size_t>(group_size))
+      .uniform_barriers()
+      .lds_array(0, sizeof(std::int64_t));
+  // One group strides over all partials (lane lid reads lid, lid+g, ...).
+  kc->arg("partials", partials, sizeof(std::int32_t))
+      .reads(ct::lx(), count - 1);
+  kc->arg("sum", sum_out, sizeof(std::int64_t)).writes(0, 0);
   return Kernel{
       .name = "reduce_stage2",
       .uses_barriers = true,
@@ -912,7 +1028,8 @@ Kernel make_reduce_stage2(Buffer& partials, std::int64_t count,
         if (lid0 == 0) {
           dst.store(0, lds.load(0));
         }
-      }};
+      },
+      .contract = std::move(kc)};
 }
 
 Kernel make_reduce_stage2_atomic(Buffer& partials, std::int64_t count,
@@ -921,6 +1038,12 @@ Kernel make_reduce_stage2_atomic(Buffer& partials, std::int64_t count,
   Buffer* in = &partials;
   Buffer* out = &sum_out;
   const std::uint64_t add_alu = env.alu(2.0);
+  auto kc = std::make_shared<ct::KernelContract>();
+  // Grid-strided reads; the single-cell sum is atomic (exempt from the
+  // aliasing check — atomics synchronize by construction).
+  kc->arg("partials", partials, sizeof(std::int32_t))
+      .reads(ct::gx(), count - 1);
+  kc->arg("sum", sum_out, sizeof(std::int64_t)).atomics(0, 0);
   return Kernel{
       .name = "reduce_stage2_atomic",
       .body = [=](WorkItem& it) {
@@ -954,7 +1077,8 @@ Kernel make_reduce_stage2_atomic(Buffer& partials, std::int64_t count,
             dst.atomic_add(0, acc);
           }
         }
-      }};
+      },
+      .contract = std::move(kc)};
 }
 
 Kernel make_downscale_img(const simcl::Image2D& src, Buffer& down, int dw,
@@ -962,6 +1086,14 @@ Kernel make_downscale_img(const simcl::Image2D& src, Buffer& down, int dw,
   const simcl::Image2D* img = &src;
   Buffer* out = &down;
   const std::uint64_t alu = env.alu(24.0);
+  // Texel footprints are element indices y*width + x of the image.
+  const int iw = src.width();
+  auto kc = std::make_shared<ct::KernelContract>();
+  kc->arg("src", src, 1).reads(
+      ct::gy(4 * iw) + ct::gx(4),
+      3 * iw + 3 + ct::gy(4 * iw) + ct::gx(4), full_rect(dw, dh));
+  kc->arg("down", down, sizeof(float))
+      .writes(plane(dw), plane(dw), full_rect(dw, dh));
   return Kernel{
       .name = "downscale",
       .body = [=](WorkItem& it) {
@@ -1005,7 +1137,8 @@ Kernel make_downscale_img(const simcl::Image2D& src, Buffer& down, int dw,
                   static_cast<float>(sum) / 16.0f);
         }
         wp.alu(alu * static_cast<std::uint64_t>(n));
-      }};
+      },
+      .contract = std::move(kc)};
 }
 
 Kernel make_sobel_img(const simcl::Image2D& src, Buffer& edge, int w, int h,
@@ -1013,6 +1146,13 @@ Kernel make_sobel_img(const simcl::Image2D& src, Buffer& edge, int w, int h,
   const simcl::Image2D* img = &src;
   Buffer* e = &edge;
   const std::uint64_t alu = env.alu(20.0);
+  auto kc = std::make_shared<ct::KernelContract>();
+  // Interior items read the 3x3 texel window (the clamp sampler never
+  // fires there); frame items store zero without touching the image.
+  kc->arg("src", src, 1).reads(-(w + 1) + plane(w), w + 1 + plane(w),
+                               inner_rect(w, h));
+  kc->arg("edge", edge, sizeof(std::int32_t))
+      .writes(plane(w), plane(w), full_rect(w, h));
   return Kernel{
       .name = "sobel",
       .body = [=](WorkItem& it) {
@@ -1072,7 +1212,8 @@ Kernel make_sobel_img(const simcl::Image2D& src, Buffer& edge, int w, int h,
           ++interior;
         }
         wp.alu(alu * interior);
-      }};
+      },
+      .contract = std::move(kc)};
 }
 
 Kernel make_sharpness_fused_img(const simcl::Image2D& src, Buffer& up,
@@ -1086,6 +1227,22 @@ Kernel make_sharpness_fused_img(const simcl::Image2D& src, Buffer& up,
   Buffer* f = &final_out;
   Buffer* lut = strength_lut;
   const std::uint64_t alu = env.alu(lut != nullptr ? 42.0 : 72.0);
+  auto kc = std::make_shared<ct::KernelContract>();
+  // Every item reads its own texel for pError; interior items add the
+  // 3x3 overshoot window.
+  kc->arg("src", src, 1)
+      .reads(plane(w), plane(w), full_rect(w, h))
+      .reads(-(w + 1) + plane(w), w + 1 + plane(w), inner_rect(w, h));
+  kc->arg("up", up, sizeof(float))
+      .reads(plane(w), plane(w), full_rect(w, h));
+  kc->arg("edge", edge, sizeof(std::int32_t))
+      .reads(plane(w), plane(w), full_rect(w, h));
+  if (lut != nullptr) {
+    kc->arg("lut", *lut, sizeof(float))
+        .reads(0, kMaxEdgeValue, full_rect(w, h));
+  }
+  kc->arg("final", final_out, 1)
+      .writes(plane(w), plane(w), full_rect(w, h));
   return Kernel{
       .name = "sharpness",
       .body = [=](WorkItem& it) {
@@ -1172,7 +1329,8 @@ Kernel make_sharpness_fused_img(const simcl::Image2D& src, Buffer& up,
           total_alu += alu;
         }
         wp.alu(total_alu);
-      }};
+      },
+      .contract = std::move(kc)};
 }
 
 std::vector<float> build_strength_lut(float inv_mean,
@@ -1188,6 +1346,14 @@ Kernel make_perror(const SrcView& src, Buffer& up, Buffer& error, int w,
   Buffer* u = &up;
   Buffer* e = &error;
   const std::uint64_t alu = env.alu(4.0);
+  auto kc = std::make_shared<ct::KernelContract>();
+  kc->arg("src", *s.buf, 1).reads(
+      s.offset + ct::gy(s.stride) + ct::gx(),
+      s.offset + ct::gy(s.stride) + ct::gx(), full_rect(w, h));
+  kc->arg("up", up, sizeof(float))
+      .reads(plane(w), plane(w), full_rect(w, h));
+  kc->arg("error", error, sizeof(float))
+      .writes(plane(w), plane(w), full_rect(w, h));
   return Kernel{
       .name = "pError",
       .body = [=](WorkItem& it) {
@@ -1225,7 +1391,8 @@ Kernel make_perror(const SrcView& src, Buffer& up, Buffer& error, int w,
           op[l] = static_cast<float>(inp[l]) - uvp[l];
         }
         wp.alu(alu * un);
-      }};
+      },
+      .contract = std::move(kc)};
 }
 
 Kernel make_preliminary(Buffer& up, Buffer& error, Buffer& edge,
@@ -1239,6 +1406,19 @@ Kernel make_preliminary(Buffer& up, Buffer& error, Buffer& edge,
   Buffer* lut = strength_lut;
   // pow dominates the pow path; the LUT path is one extra load instead.
   const std::uint64_t alu = env.alu(lut != nullptr ? 10.0 : 40.0);
+  auto kc = std::make_shared<ct::KernelContract>();
+  kc->arg("up", up, sizeof(float))
+      .reads(plane(w), plane(w), full_rect(w, h));
+  kc->arg("error", error, sizeof(float))
+      .reads(plane(w), plane(w), full_rect(w, h));
+  kc->arg("edge", edge, sizeof(std::int32_t))
+      .reads(plane(w), plane(w), full_rect(w, h));
+  if (lut != nullptr) {
+    kc->arg("lut", *lut, sizeof(float))
+        .reads(0, kMaxEdgeValue, full_rect(w, h));
+  }
+  kc->arg("prelim", prelim, sizeof(float))
+      .writes(plane(w), plane(w), full_rect(w, h));
   return Kernel{
       .name = "preliminary",
       .body = [=](WorkItem& it) {
@@ -1304,7 +1484,8 @@ Kernel make_preliminary(Buffer& up, Buffer& error, Buffer& edge,
           op[l] = uvp[l] + st[l] * evp[l];
         }
         wp.alu(alu * un);
-      }};
+      },
+      .contract = std::move(kc)};
 }
 
 Kernel make_overshoot(const SrcView& padded, Buffer& prelim,
@@ -1314,6 +1495,15 @@ Kernel make_overshoot(const SrcView& padded, Buffer& prelim,
   Buffer* p = &prelim;
   Buffer* f = &final_out;
   const std::uint64_t alu = env.alu(32.0);
+  auto kc = std::make_shared<ct::KernelContract>();
+  kc->arg("src", *s.buf, 1).reads(
+      s.offset - s.stride - 1 + ct::gy(s.stride) + ct::gx(),
+      s.offset + s.stride + 1 + ct::gy(s.stride) + ct::gx(),
+      inner_rect(w, h));
+  kc->arg("prelim", prelim, sizeof(float))
+      .reads(plane(w), plane(w), full_rect(w, h));
+  kc->arg("final", final_out, 1)
+      .writes(plane(w), plane(w), full_rect(w, h));
   return Kernel{
       .name = "overshoot",
       .body = [=](WorkItem& it) {
@@ -1394,7 +1584,8 @@ Kernel make_overshoot(const SrcView& padded, Buffer& prelim,
           op[l] = result[l];
         }
         wp.alu(alu * static_cast<std::uint64_t>(m));
-      }};
+      },
+      .contract = std::move(kc)};
 }
 
 Kernel make_sharpness_fused_scalar(const SrcView& padded, Buffer& up,
@@ -1409,6 +1600,25 @@ Kernel make_sharpness_fused_scalar(const SrcView& padded, Buffer& up,
   Buffer* lut = strength_lut;
   const std::uint64_t alu =
       env.alu(lut != nullptr ? 42.0 : 72.0);  // pow + overshoot + pError
+  auto kc = std::make_shared<ct::KernelContract>();
+  // Two source footprints: the per-item pError pixel (every item) and
+  // the 3x3 overshoot window (interior items only).
+  kc->arg("src", *s.buf, 1)
+      .reads(s.offset + ct::gy(s.stride) + ct::gx(),
+             s.offset + ct::gy(s.stride) + ct::gx(), full_rect(w, h))
+      .reads(s.offset - s.stride - 1 + ct::gy(s.stride) + ct::gx(),
+             s.offset + s.stride + 1 + ct::gy(s.stride) + ct::gx(),
+             inner_rect(w, h));
+  kc->arg("up", up, sizeof(float))
+      .reads(plane(w), plane(w), full_rect(w, h));
+  kc->arg("edge", edge, sizeof(std::int32_t))
+      .reads(plane(w), plane(w), full_rect(w, h));
+  if (lut != nullptr) {
+    kc->arg("lut", *lut, sizeof(float))
+        .reads(0, kMaxEdgeValue, full_rect(w, h));
+  }
+  kc->arg("final", final_out, 1)
+      .writes(plane(w), plane(w), full_rect(w, h));
   return Kernel{
       .name = "sharpness",
       .body = [=](WorkItem& it) {
@@ -1548,7 +1758,8 @@ Kernel make_sharpness_fused_scalar(const SrcView& padded, Buffer& up,
         }
         wp.alu(alu * static_cast<std::uint64_t>(m) +
                (alu / 2) * static_cast<std::uint64_t>(n - m));
-      }};
+      },
+      .contract = std::move(kc)};
 }
 
 Kernel make_sharpness_fused_vec4(const SrcView& padded, Buffer& up,
@@ -1563,6 +1774,22 @@ Kernel make_sharpness_fused_vec4(const SrcView& padded, Buffer& up,
   Buffer* lut = strength_lut;
   const std::uint64_t alu =
       env.alu(lut != nullptr ? 126.0 : 246.0);  // 4 outputs worth
+  // gx is the quad index. The 3x6 node window is fetched for every row
+  // (the padded view's frame rows absorb y +/- 1 at the top and bottom).
+  const ct::Domain quads{0, (w - 1) / 4, 0, h - 1};
+  auto kc = std::make_shared<ct::KernelContract>();
+  kc->arg("src", *s.buf, 1).reads(
+      s.offset - s.stride - 1 + ct::gy(s.stride) + ct::gx(4),
+      s.offset + s.stride + 4 + ct::gy(s.stride) + ct::gx(4), quads);
+  kc->arg("up", up, sizeof(float))
+      .reads(ct::gy(w) + ct::gx(4), 3 + ct::gy(w) + ct::gx(4), quads);
+  kc->arg("edge", edge, sizeof(std::int32_t))
+      .reads(ct::gy(w) + ct::gx(4), 3 + ct::gy(w) + ct::gx(4), quads);
+  if (lut != nullptr) {
+    kc->arg("lut", *lut, sizeof(float)).reads(0, kMaxEdgeValue, quads);
+  }
+  kc->arg("final", final_out, 1)
+      .writes(ct::gy(w) + ct::gx(4), 3 + ct::gy(w) + ct::gx(4), quads);
   return Kernel{
       .name = "sharpness",
       .body = [=](WorkItem& it) {
@@ -1728,7 +1955,8 @@ Kernel make_sharpness_fused_vec4(const SrcView& padded, Buffer& up,
           }
         }
         wp.alu(alu * un);
-      }};
+      },
+      .contract = std::move(kc)};
 }
 
 }  // namespace sharp::gpu

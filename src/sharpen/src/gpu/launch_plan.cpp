@@ -1,0 +1,246 @@
+#include "sharpen/gpu/launch_plan.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "sharpen/gpu/kernels.hpp"
+#include "sharpen/params.hpp"
+#include "sharpen/pipeline_result.hpp"
+
+namespace sharp::gpu {
+
+simcl::LaunchConfig grid2d(std::size_t wx, std::size_t wy) {
+  return {.global = simcl::NDRange(round_up(wx, kTile), round_up(wy, kTile)),
+          .local = simcl::NDRange(kTile, kTile)};
+}
+
+simcl::LaunchConfig grid1d(std::size_t n, std::size_t local) {
+  return {.global = simcl::NDRange(round_up(n, local)),
+          .local = simcl::NDRange(local)};
+}
+
+/// The device objects a planned frame binds. Mirrors the BufferPool names
+/// and sizes of FrameRunner; kept behind a unique_ptr so the Buffer*
+/// captured inside the planned kernels stay valid across plan moves.
+struct LaunchPlan::Storage {
+  std::optional<simcl::Buffer> padded;
+  std::optional<simcl::Buffer> orig;
+  std::optional<simcl::Image2D> orig_img;
+  std::optional<simcl::Buffer> down;
+  std::optional<simcl::Buffer> up;
+  std::optional<simcl::Buffer> edge;
+  std::optional<simcl::Buffer> final_out;
+  std::optional<simcl::Buffer> partials;
+  std::optional<simcl::Buffer> sum;
+  std::optional<simcl::Buffer> lut;
+  std::optional<simcl::Buffer> error;
+  std::optional<simcl::Buffer> prelim;
+};
+
+LaunchPlan::LaunchPlan() : storage_(std::make_unique<Storage>()) {}
+LaunchPlan::LaunchPlan(LaunchPlan&&) noexcept = default;
+LaunchPlan& LaunchPlan::operator=(LaunchPlan&&) noexcept = default;
+LaunchPlan::~LaunchPlan() = default;
+
+LaunchPlan build_launch_plan(simcl::Context& ctx,
+                             const PipelineOptions& opt, int w, int h) {
+  if (auto problem = opt.validate()) {
+    throw SharpenError("PipelineOptions: " + *problem);
+  }
+  validate_size(w, h);
+
+  const int dw = w / kScale;
+  const int dh = h / kScale;
+  const std::int64_t n = static_cast<std::int64_t>(w) * h;
+  const KernelEnv env = KernelEnv::from(opt);
+  // The strength exponent's mean-edge input is a runtime value; footprints
+  // are independent of it, so any positive placeholder plans identically.
+  const float inv_mean = 1.0F;
+  const SharpenParams params;
+
+  LaunchPlan plan;
+  LaunchPlan::Storage& st = *plan.storage_;
+  const auto add = [&plan](const char* stage_name, simcl::Kernel kernel,
+                           simcl::LaunchConfig cfg) {
+    plan.launches_.push_back(
+        {stage_name, std::move(kernel), std::move(cfg)});
+  };
+
+  // --- device objects (same names/sizes as FrameRunner's pool) -------------
+  const int pw = w + 2;
+  st.padded.emplace(ctx.create_buffer(
+      "padded",
+      static_cast<std::size_t>(pw) * static_cast<std::size_t>(h + 2)));
+  const SrcView padded_view{&*st.padded, pw, pw + 1};
+  if (opt.use_image2d) {
+    st.orig_img.emplace(
+        ctx.create_image2d("orig_img", simcl::ChannelFormat::kR_U8, w, h));
+  }
+  if (!opt.transfer_padded_only) {
+    st.orig.emplace(ctx.create_buffer("orig", static_cast<std::size_t>(n)));
+  }
+  const SrcView plain_src = opt.transfer_padded_only
+                                ? padded_view
+                                : SrcView{&*st.orig, w, 0};
+  st.down.emplace(ctx.create_buffer(
+      "down", static_cast<std::size_t>(dw) * static_cast<std::size_t>(dh) *
+                  sizeof(float)));
+  st.up.emplace(
+      ctx.create_buffer("up", static_cast<std::size_t>(n) * sizeof(float)));
+  st.edge.emplace(ctx.create_buffer(
+      "edge", static_cast<std::size_t>(n) * sizeof(std::int32_t)));
+  st.final_out.emplace(
+      ctx.create_buffer("final", static_cast<std::size_t>(n)));
+
+  // --- downscale ------------------------------------------------------------
+  if (opt.use_image2d) {
+    add(stage::kDownscale,
+        make_downscale_img(*st.orig_img, *st.down, dw, dh, env),
+        grid2d(static_cast<std::size_t>(dw), static_cast<std::size_t>(dh)));
+  } else {
+    add(stage::kDownscale, make_downscale(plain_src, *st.down, dw, dh, env),
+        grid2d(static_cast<std::size_t>(dw), static_cast<std::size_t>(dh)));
+  }
+
+  // --- upscale border (§V.E) -------------------------------------------------
+  const bool border_on_gpu =
+      opt.border == Placement::kGpu ||
+      (opt.border == Placement::kAuto && w >= opt.border_gpu_threshold);
+  if (border_on_gpu) {
+    add(stage::kBorder, make_border(*st.down, dw, dh, *st.up, w, h, env),
+        grid1d(static_cast<std::size_t>(4 * w + 4 * (h - 4))));
+  }
+
+  // --- upscale body ("center") -----------------------------------------------
+  if (opt.vectorize) {
+    add(stage::kCenter, make_center_vec4(*st.down, dw, dh, *st.up, w, h, env),
+        grid2d(static_cast<std::size_t>(dw - 1),
+               static_cast<std::size_t>(h - 4)));
+  } else {
+    add(stage::kCenter,
+        make_center_scalar(*st.down, dw, dh, *st.up, w, h, env),
+        grid2d(static_cast<std::size_t>(w - 4),
+               static_cast<std::size_t>(h - 4)));
+  }
+
+  // --- Sobel -----------------------------------------------------------------
+  const auto whole =
+      grid2d(static_cast<std::size_t>(w), static_cast<std::size_t>(h));
+  if (opt.use_image2d) {
+    add(stage::kSobel, make_sobel_img(*st.orig_img, *st.edge, w, h, env),
+        whole);
+  } else {
+    SobelImpl sobel_impl = opt.sobel_impl;
+    if (sobel_impl == SobelImpl::kDefault) {
+      sobel_impl = opt.vectorize ? SobelImpl::kVec4 : SobelImpl::kScalar;
+    }
+    switch (sobel_impl) {
+      case SobelImpl::kVec4:
+        add(stage::kSobel, make_sobel_vec4(padded_view, *st.edge, w, h, env),
+            grid2d(static_cast<std::size_t>(w / 4),
+                   static_cast<std::size_t>(h)));
+        break;
+      case SobelImpl::kLds:
+        add(stage::kSobel,
+            make_sobel_lds(padded_view, *st.edge, w, h,
+                           static_cast<int>(kTile), env),
+            whole);
+        break;
+      case SobelImpl::kScalar:
+      case SobelImpl::kDefault:
+        add(stage::kSobel, make_sobel_scalar(plain_src, *st.edge, w, h, env),
+            whole);
+        break;
+    }
+  }
+
+  // --- reduction (§V.C) ------------------------------------------------------
+  if (opt.reduction != Placement::kCpu) {
+    const int g = opt.reduction_group_size;
+    const int ipt = opt.reduction_items_per_thread;
+    const std::int64_t groups =
+        (n + static_cast<std::int64_t>(g) * ipt - 1) /
+        (static_cast<std::int64_t>(g) * ipt);
+    st.partials.emplace(ctx.create_buffer(
+        "partials", static_cast<std::size_t>(groups) * sizeof(std::int32_t)));
+    add(stage::kReduction,
+        make_reduce_stage1(*st.edge, n, *st.partials, g, ipt, opt.unroll,
+                           env),
+        {.global = simcl::NDRange(static_cast<std::size_t>(groups * g)),
+         .local = simcl::NDRange(static_cast<std::size_t>(g))});
+    const bool stage2_gpu =
+        opt.reduction_stage2 == Placement::kGpu ||
+        (opt.reduction_stage2 == Placement::kAuto &&
+         groups > opt.stage2_gpu_threshold);
+    if (stage2_gpu) {
+      st.sum.emplace(ctx.create_buffer("sum", sizeof(std::int64_t)));
+      const int g2 = 256;
+      if (opt.stage2_method == Stage2Method::kAtomic) {
+        const std::size_t ngroups = static_cast<std::size_t>(
+            std::clamp<std::int64_t>(groups / (g2 * 4), 1, 64));
+        add(stage::kReduction,
+            make_reduce_stage2_atomic(*st.partials, groups, *st.sum, g2,
+                                      env),
+            {.global =
+                 simcl::NDRange(ngroups * static_cast<std::size_t>(g2)),
+             .local = simcl::NDRange(static_cast<std::size_t>(g2))});
+      } else {
+        add(stage::kReduction,
+            make_reduce_stage2(*st.partials, groups, *st.sum, g2, env),
+            {.global = simcl::NDRange(static_cast<std::size_t>(g2)),
+             .local = simcl::NDRange(static_cast<std::size_t>(g2))});
+      }
+    }
+  }
+
+  // --- sharpness -------------------------------------------------------------
+  simcl::Buffer* lut_ptr = nullptr;
+  if (opt.strength == StrengthEval::kLut) {
+    st.lut.emplace(ctx.create_buffer(
+        "strength_lut",
+        static_cast<std::size_t>(kEdgeLutSize) * sizeof(float)));
+    lut_ptr = &*st.lut;
+  }
+  if (opt.fuse_sharpness) {
+    if (opt.use_image2d) {
+      add(stage::kSharpness,
+          make_sharpness_fused_img(*st.orig_img, *st.up, *st.edge, inv_mean,
+                                   params, *st.final_out, w, h, env,
+                                   lut_ptr),
+          whole);
+    } else if (opt.vectorize) {
+      add(stage::kSharpness,
+          make_sharpness_fused_vec4(padded_view, *st.up, *st.edge, inv_mean,
+                                    params, *st.final_out, w, h, env,
+                                    lut_ptr),
+          grid2d(static_cast<std::size_t>(w / 4),
+                 static_cast<std::size_t>(h)));
+    } else {
+      add(stage::kSharpness,
+          make_sharpness_fused_scalar(padded_view, *st.up, *st.edge,
+                                      inv_mean, params, *st.final_out, w, h,
+                                      env, lut_ptr),
+          whole);
+    }
+  } else {
+    st.error.emplace(ctx.create_buffer(
+        "error", static_cast<std::size_t>(n) * sizeof(float)));
+    st.prelim.emplace(ctx.create_buffer(
+        "prelim", static_cast<std::size_t>(n) * sizeof(float)));
+    add(stage::kSharpness,
+        make_perror(plain_src, *st.up, *st.error, w, h, env), whole);
+    add(stage::kSharpness,
+        make_preliminary(*st.up, *st.error, *st.edge, inv_mean, params, w, h,
+                         *st.prelim, env, lut_ptr),
+        whole);
+    add(stage::kSharpness,
+        make_overshoot(padded_view, *st.prelim, *st.final_out, params, w, h,
+                       env),
+        whole);
+  }
+
+  return plan;
+}
+
+}  // namespace sharp::gpu

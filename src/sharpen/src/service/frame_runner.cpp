@@ -9,6 +9,7 @@
 #include "image/border.hpp"
 #include "sharpen/cpu_cost.hpp"
 #include "sharpen/gpu/kernels.hpp"
+#include "sharpen/gpu/launch_plan.hpp"
 #include "sharpen/stages.hpp"
 #include "sharpen/telemetry/chrome_trace.hpp"
 #include "sharpen/telemetry/pipeline_trace.hpp"
@@ -16,8 +17,12 @@
 namespace sharp::service {
 namespace {
 
+// Launch geometry (kTile, grid2d, grid1d) is shared with the static
+// launch planner — see sharpen/gpu/launch_plan.hpp.
+using gpu::grid1d;
+using gpu::grid2d;
 using gpu::KernelEnv;
-using gpu::round_up;
+using gpu::kTile;
 using gpu::SrcView;
 using simcl::Buffer;
 using simcl::CommandQueue;
@@ -25,17 +30,6 @@ using simcl::LaunchConfig;
 using simcl::MapMode;
 using simcl::NDRange;
 using simcl::RectRegion;
-
-constexpr std::size_t kTile = 16;  // 2-D work-group edge (16x16 = 256)
-
-LaunchConfig grid2d(std::size_t wx, std::size_t wy) {
-  return {.global = NDRange(round_up(wx, kTile), round_up(wy, kTile)),
-          .local = NDRange(kTile, kTile)};
-}
-
-LaunchConfig grid1d(std::size_t n, std::size_t local = 64) {
-  return {.global = NDRange(round_up(n, local)), .local = NDRange(local)};
-}
 
 /// Transfers that honor the §V.A transfer-mode option.
 struct Mover {

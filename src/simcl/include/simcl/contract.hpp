@@ -1,0 +1,332 @@
+// Static kernel-contract language and analyzer.
+//
+// A kernel may declare, per argument, how it will touch the bound object:
+// read / write / read-write / atomic intent plus an *affine footprint* —
+// the inclusive element-index interval [lo, hi] it accesses, where lo and
+// hi are affine expressions over the work-item coordinates
+// (global/local/group id, with floor division for phase decimation), an
+// optional active domain restricting which global ids perform the access
+// (modeling the `if (x >= w) return;` guards of rounded-up launches), and
+// an optional guard cap (modeling `if (idx < count)` bounds tests). It
+// also declares LDS usage as a function of the local size, a required
+// work-group shape, and its barrier placement.
+//
+// analyze() evaluates a declared kernel against a concrete LaunchConfig
+// and the bound buffers/images *before any work-item runs*: because every
+// footprint term is monotone in its variable (floor division preserves
+// monotonicity), evaluating lo at the per-variable minima and hi at the
+// maxima is an exact interval bound, so an in-bounds verdict is a proof —
+// not a sample. The checks:
+//
+//   * arg mismatch    — unbound/released object, buffer size not a
+//                       multiple of the declared element size (the
+//                       reinterpret_cast in WorkItem::global today),
+//                       image texel size vs. declared element size
+//   * out-of-bounds   — footprint interval outside the bound object
+//   * aliasing        — two args bound to the same device object with
+//                       overlapping footprints, at least one writing
+//                       (atomic footprints are exempt: they synchronize)
+//   * LDS overflow    — declared allocations (with the engine's 16-byte
+//                       arena alignment) vs. DeviceSpec::local_mem_bytes
+//   * local shape     — declared required local size vs. the launch
+//   * barrier flow    — barriers declared in potentially divergent
+//                       control flow are rejected; a declaration that
+//                       disagrees with Kernel::uses_barriers is an error
+//
+// Engine::run consults the analyzer per enqueue under ContractMode kWarn
+// (log + count) or kEnforce (throw ContractError); in SIMCL_CHECKED
+// builds the validation layer additionally cross-checks every *observed*
+// access against the declared footprint, so a lying contract is itself a
+// detected bug (ViolationKind::kContractMismatch). See DESIGN.md §14.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "simcl/device.hpp"
+#include "simcl/error.hpp"
+#include "simcl/ndrange.hpp"
+
+namespace simcl {
+
+class Buffer;
+class Image2D;
+struct Kernel;
+
+namespace contract {
+
+/// Work-item coordinates a footprint expression may reference.
+enum class Var : std::uint8_t {
+  kGlobalX,
+  kGlobalY,
+  kLocalX,
+  kLocalY,
+  kGroupX,
+  kGroupY,
+};
+inline constexpr int kVarCount = 6;
+
+/// Sentinel for "no bound" in Domain / Footprint::cap.
+inline constexpr std::int64_t kUnbounded =
+    std::numeric_limits<std::int64_t>::max();
+
+/// One monotone term: coeff * floor(var / div). Work-item coordinates are
+/// never negative, so floor(var / div) is plain integer division.
+struct Term {
+  Var var = Var::kGlobalX;
+  std::int64_t coeff = 1;
+  std::int64_t div = 1;
+};
+
+/// base + sum of terms. Built by the v()/gx()/gy()/... helpers and
+/// operator+; evaluated exactly per item or as an interval extreme.
+struct Expr {
+  std::int64_t base = 0;
+  std::vector<Term> terms;
+
+  Expr() = default;
+  /*implicit*/ Expr(std::int64_t c) : base(c) {}  // NOLINT(google-explicit-constructor)
+  /*implicit*/ Expr(int c) : base(c) {}           // NOLINT(google-explicit-constructor)
+
+  /// Exact value at one work-item (vals indexed by Var).
+  [[nodiscard]] std::int64_t eval(const std::int64_t (&vals)[kVarCount]) const {
+    std::int64_t r = base;
+    for (const Term& t : terms) {
+      r += t.coeff * (vals[static_cast<int>(t.var)] / t.div);
+    }
+    return r;
+  }
+
+  /// Interval extreme over per-variable inclusive ranges. Each term is
+  /// monotone in its variable, so the extreme lies at a range endpoint
+  /// selected by the coefficient's sign.
+  [[nodiscard]] std::int64_t eval_extreme(
+      const std::int64_t (&lo)[kVarCount], const std::int64_t (&hi)[kVarCount],
+      bool want_max) const {
+    std::int64_t r = base;
+    for (const Term& t : terms) {
+      const bool take_hi = (t.coeff >= 0) == want_max;
+      const std::int64_t v = take_hi ? hi[static_cast<int>(t.var)]
+                                     : lo[static_cast<int>(t.var)];
+      r += t.coeff * (v / t.div);
+    }
+    return r;
+  }
+};
+
+[[nodiscard]] inline Expr v(Var var, std::int64_t coeff = 1,
+                            std::int64_t div = 1) {
+  Expr e;
+  e.terms.push_back({var, coeff, div});
+  return e;
+}
+[[nodiscard]] inline Expr gx(std::int64_t coeff = 1, std::int64_t div = 1) {
+  return v(Var::kGlobalX, coeff, div);
+}
+[[nodiscard]] inline Expr gy(std::int64_t coeff = 1, std::int64_t div = 1) {
+  return v(Var::kGlobalY, coeff, div);
+}
+[[nodiscard]] inline Expr lx(std::int64_t coeff = 1, std::int64_t div = 1) {
+  return v(Var::kLocalX, coeff, div);
+}
+[[nodiscard]] inline Expr ly(std::int64_t coeff = 1, std::int64_t div = 1) {
+  return v(Var::kLocalY, coeff, div);
+}
+[[nodiscard]] inline Expr grx(std::int64_t coeff = 1, std::int64_t div = 1) {
+  return v(Var::kGroupX, coeff, div);
+}
+[[nodiscard]] inline Expr gry(std::int64_t coeff = 1, std::int64_t div = 1) {
+  return v(Var::kGroupY, coeff, div);
+}
+
+[[nodiscard]] inline Expr operator+(Expr a, const Expr& b) {
+  a.base += b.base;
+  a.terms.insert(a.terms.end(), b.terms.begin(), b.terms.end());
+  return a;
+}
+[[nodiscard]] inline Expr operator+(Expr a, std::int64_t c) {
+  a.base += c;
+  return a;
+}
+[[nodiscard]] inline Expr operator+(std::int64_t c, Expr a) {
+  a.base += c;
+  return a;
+}
+
+/// Active global-id domain of a footprint: only work-items with
+/// x_lo <= global_id(0) <= x_hi (and likewise in y) perform the access.
+/// This models the early-return guards kernels use on rounded-up
+/// launches; the analyzer additionally clamps to the launch extent.
+struct Domain {
+  std::int64_t x_lo = 0;
+  std::int64_t x_hi = kUnbounded;
+  std::int64_t y_lo = 0;
+  std::int64_t y_hi = kUnbounded;
+};
+
+enum class Access : std::uint8_t { kRead, kWrite, kReadWrite, kAtomic };
+[[nodiscard]] const char* to_string(Access a);
+
+/// One declared access pattern: every active item touches element indices
+/// within [eval(lo), min(eval(hi), cap)] (inclusive; empty when reversed).
+struct Footprint {
+  Access access = Access::kRead;
+  Expr lo;
+  Expr hi;
+  Domain domain;
+  std::int64_t cap = kUnbounded;  ///< guard `idx <= cap` inside the kernel
+};
+
+/// One kernel argument: the bound object, the element size its accessors
+/// reinterpret the backing store as, and its footprints.
+struct ArgSpec {
+  std::string name;
+  const Buffer* buffer = nullptr;
+  const Image2D* image = nullptr;
+  std::size_t elem_bytes = 1;
+  std::vector<Footprint> footprints;
+
+  ArgSpec& reads(Expr lo, Expr hi, Domain d = {},
+                 std::int64_t cap = kUnbounded) {
+    footprints.push_back(
+        {Access::kRead, std::move(lo), std::move(hi), d, cap});
+    return *this;
+  }
+  ArgSpec& writes(Expr lo, Expr hi, Domain d = {},
+                  std::int64_t cap = kUnbounded) {
+    footprints.push_back(
+        {Access::kWrite, std::move(lo), std::move(hi), d, cap});
+    return *this;
+  }
+  ArgSpec& read_writes(Expr lo, Expr hi, Domain d = {},
+                       std::int64_t cap = kUnbounded) {
+    footprints.push_back(
+        {Access::kReadWrite, std::move(lo), std::move(hi), d, cap});
+    return *this;
+  }
+  ArgSpec& atomics(Expr lo, Expr hi, Domain d = {},
+                   std::int64_t cap = kUnbounded) {
+    footprints.push_back(
+        {Access::kAtomic, std::move(lo), std::move(hi), d, cap});
+    return *this;
+  }
+};
+
+/// One `WorkItem::local_array` allocation, sized as a function of the
+/// work-group: fixed_bytes + bytes_per_item * local.count().
+struct LdsBlock {
+  std::size_t fixed_bytes = 0;
+  std::size_t bytes_per_item = 0;
+};
+
+/// Barrier placement. kUniform promises every work-item of a group
+/// reaches each barrier (the only provably safe shape); kDivergent
+/// declares barriers under item-dependent control flow and is rejected.
+enum class BarrierFlow : std::uint8_t { kNone, kUniform, kDivergent };
+
+/// The full declared contract of one kernel.
+struct KernelContract {
+  std::vector<ArgSpec> args;
+  std::vector<LdsBlock> lds;
+  BarrierFlow barriers = BarrierFlow::kNone;
+  std::size_t required_local_x = 0;  ///< 0 = any
+  std::size_t required_local_y = 0;  ///< 0 = any
+
+  ArgSpec& arg(std::string name, const Buffer& buf, std::size_t elem_bytes) {
+    args.push_back(ArgSpec{std::move(name), &buf, nullptr, elem_bytes, {}});
+    return args.back();
+  }
+  ArgSpec& arg(std::string name, const Image2D& img, std::size_t elem_bytes) {
+    args.push_back(ArgSpec{std::move(name), nullptr, &img, elem_bytes, {}});
+    return args.back();
+  }
+  KernelContract& lds_array(std::size_t fixed_bytes,
+                            std::size_t bytes_per_item = 0) {
+    lds.push_back({fixed_bytes, bytes_per_item});
+    return *this;
+  }
+  KernelContract& requires_local(std::size_t x, std::size_t y = 1) {
+    required_local_x = x;
+    required_local_y = y;
+    return *this;
+  }
+  KernelContract& uniform_barriers() {
+    barriers = BarrierFlow::kUniform;
+    return *this;
+  }
+  KernelContract& divergent_barriers() {
+    barriers = BarrierFlow::kDivergent;
+    return *this;
+  }
+};
+
+/// What a failed check is about; every diagnostic carries one.
+enum class CheckKind : std::uint8_t {
+  kArgMismatch,        ///< unbound / released / element-size mismatch
+  kOutOfBounds,        ///< proven footprint outside the bound object
+  kAliasing,           ///< overlapping bindings with a writer involved
+  kLdsOverflow,        ///< declared LDS exceeds the device limit
+  kLocalShape,         ///< launch local size violates the requirement
+  kBarrierDivergence,  ///< barrier under divergent control flow
+  kInconsistent,       ///< contract disagrees with kernel metadata
+};
+[[nodiscard]] const char* to_string(CheckKind kind);
+
+/// One attributed finding: which kernel, which argument, which object.
+struct Diagnostic {
+  CheckKind kind = CheckKind::kArgMismatch;
+  std::string kernel;
+  std::string arg;     ///< empty for kernel-level findings (LDS, barriers)
+  std::string object;  ///< bound buffer/image name, when applicable
+  std::string message;
+};
+
+/// Result of analyzing one enqueue. ok() == true is a proof that every
+/// declared access is in bounds for this launch geometry.
+struct Report {
+  std::vector<Diagnostic> diagnostics;
+
+  [[nodiscard]] bool ok() const { return diagnostics.empty(); }
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Thrown by Engine::run under ContractMode::kEnforce.
+class ContractError : public Error {
+ public:
+  explicit ContractError(Report report)
+      : Error(report.to_string()), report_(std::move(report)) {}
+  [[nodiscard]] const Report& report() const { return report_; }
+
+ private:
+  Report report_;
+};
+
+/// Engine-level policy for kernels that carry a contract. Kernels
+/// without one are never checked.
+enum class Mode : std::uint8_t {
+  kOff,      ///< analyzer skipped entirely
+  kWarn,     ///< violations logged to stderr and counted (default)
+  kEnforce,  ///< violations throw ContractError before execution
+};
+[[nodiscard]] const char* to_string(Mode mode);
+
+/// Parses a SIMCL_CONTRACT-style spec: "off"/"0"/"false" -> kOff,
+/// "warn" (or unset/empty) -> kWarn, "enforce"/"1"/"on" -> kEnforce.
+/// Throws InvalidArgument on anything else.
+[[nodiscard]] Mode parse_mode(const char* spec);
+/// Reads $SIMCL_CONTRACT (see parse_mode).
+[[nodiscard]] Mode mode_from_env();
+
+/// Statically checks one enqueue of `kernel` (which must carry a
+/// contract) against the launch geometry and the bound objects. Pure:
+/// runs no work-item and touches no backing store.
+[[nodiscard]] Report analyze(const Kernel& kernel, const LaunchConfig& cfg,
+                             const DeviceSpec& spec);
+
+}  // namespace contract
+}  // namespace simcl

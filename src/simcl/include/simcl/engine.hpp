@@ -20,9 +20,12 @@
 #include <cstdint>
 #include <exception>
 #include <mutex>
+#include <string>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
+#include "simcl/contract.hpp"
 #include "simcl/device.hpp"
 #include "simcl/kernel.hpp"
 #include "simcl/ndrange.hpp"
@@ -57,6 +60,22 @@ class Engine {
     return warp_fallback_launches_;
   }
 
+  /// Policy for kernels carrying a declared contract (contract.hpp).
+  /// Defaults to the SIMCL_CONTRACT environment knob (off|warn|enforce;
+  /// unset = warn). Under warn, violating launches still run but are
+  /// logged (once per kernel) and counted; under enforce they throw
+  /// ContractError before any work-item executes.
+  void set_contract_mode(contract::Mode mode) { contract_mode_ = mode; }
+  [[nodiscard]] contract::Mode contract_mode() const { return contract_mode_; }
+  /// Enqueues of contract-carrying kernels that went through the analyzer.
+  [[nodiscard]] std::uint64_t contract_checked_launches() const {
+    return contract_checked_launches_;
+  }
+  /// Of those, how many had at least one diagnostic.
+  [[nodiscard]] std::uint64_t contract_violation_launches() const {
+    return contract_violation_launches_;
+  }
+
   /// Wires the owning context's validation state (null = validation off).
   /// Set by Context in checked builds; launches snapshot the settings and
   /// run under a per-launch ValidationLaunch when any checker is active.
@@ -73,6 +92,10 @@ class Engine {
   bool warp_enabled_ = true;
   bool warp_fallback_logged_ = false;
   std::uint64_t warp_fallback_launches_ = 0;
+  contract::Mode contract_mode_ = contract::Mode::kWarn;
+  std::uint64_t contract_checked_launches_ = 0;
+  std::uint64_t contract_violation_launches_ = 0;
+  std::unordered_set<std::string> contract_warned_;  ///< one log per kernel
 
   // Persistent worker pool (lazily started on the first parallel launch;
   // workers park between launches instead of being respawned per run()).

@@ -29,6 +29,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -46,6 +47,10 @@ class WorkItem;
 class WarpItem;
 class Engine;
 class Fiber;
+
+namespace contract {
+struct KernelContract;
+}  // namespace contract
 
 namespace detail {
 
@@ -179,8 +184,8 @@ class GlobalPtr {
     gs_->stats.l1_miss_lines +=
         gs_->cache.access(a, static_cast<std::uint32_t>(bytes));
 #if SIMCL_CHECKED
-    if (gs_->vl != nullptr && gs_->vl->races()) {
-      gs_->vl->record_access(iref(), dev_addr_, a - dev_addr_, bytes, false);
+    if (gs_->vl != nullptr && gs_->vl->observes()) {
+      gs_->vl->observe_access(iref(), dev_addr_, a - dev_addr_, bytes, false);
     }
 #endif
   }
@@ -191,8 +196,8 @@ class GlobalPtr {
     gs_->stats.l1_miss_lines +=
         gs_->cache.access(a, static_cast<std::uint32_t>(bytes));
 #if SIMCL_CHECKED
-    if (gs_->vl != nullptr && gs_->vl->races()) {
-      gs_->vl->record_access(iref(), dev_addr_, a - dev_addr_, bytes, true);
+    if (gs_->vl != nullptr && gs_->vl->observes()) {
+      gs_->vl->observe_access(iref(), dev_addr_, a - dev_addr_, bytes, true);
     }
 #endif
   }
@@ -237,9 +242,9 @@ class ImagePtr {
     gs_->stats.l1_miss_lines += gs_->cache.access(
         dev_addr_ + i * sizeof(Value), sizeof(Value));
 #if SIMCL_CHECKED
-    if (gs_->vl != nullptr && gs_->vl->races()) {
-      gs_->vl->record_access(iref(), dev_addr_, i * sizeof(Value),
-                             sizeof(Value), false);
+    if (gs_->vl != nullptr && gs_->vl->observes()) {
+      gs_->vl->observe_access(iref(), dev_addr_, i * sizeof(Value),
+                              sizeof(Value), false);
     }
 #endif
     return data_[i];
@@ -265,9 +270,9 @@ class ImagePtr {
     gs_->stats.l1_miss_lines += gs_->cache.access(
         dev_addr_ + i * sizeof(Value), sizeof(Value));
 #if SIMCL_CHECKED
-    if (gs_->vl != nullptr && gs_->vl->races()) {
-      gs_->vl->record_access(iref(), dev_addr_, i * sizeof(Value),
-                             sizeof(Value), true);
+    if (gs_->vl != nullptr && gs_->vl->observes()) {
+      gs_->vl->observe_access(iref(), dev_addr_, i * sizeof(Value),
+                              sizeof(Value), true);
     }
 #endif
     data_[i] = v;
@@ -406,7 +411,7 @@ class WorkItem {
   [[nodiscard]] GlobalPtr<T> global(Buffer& buf) const {
     using Value = std::remove_const_t<T>;
     note_validation(buf.device_addr(), buf.name(), buf.size(),
-                    buf.released());
+                    buf.released(), sizeof(Value));
     return GlobalPtr<T>(reinterpret_cast<Value*>(buf.backing()),
                         buf.size() / sizeof(Value), buf.device_addr(), gs_,
                         this);
@@ -417,7 +422,7 @@ class WorkItem {
   {
     using Value = std::remove_const_t<T>;
     note_validation(buf.device_addr(), buf.name(), buf.size(),
-                    buf.released());
+                    buf.released(), sizeof(Value));
     return GlobalPtr<T>(
         reinterpret_cast<Value*>(const_cast<std::byte*>(buf.backing())),
         buf.size() / sizeof(Value), buf.device_addr(), gs_, this);
@@ -432,7 +437,7 @@ class WorkItem {
       throw KernelFault("WorkItem::image: type does not match texel format");
     }
     note_validation(img.device_addr(), img.name(), img.byte_size(),
-                    img.released());
+                    img.released(), sizeof(Value));
     if (img.released()) {
       throw KernelFault("WorkItem::image: image was released");
     }
@@ -448,7 +453,7 @@ class WorkItem {
       throw KernelFault("WorkItem::image: type does not match texel format");
     }
     note_validation(img.device_addr(), img.name(), img.byte_size(),
-                    img.released());
+                    img.released(), sizeof(Value));
     if (img.released()) {
       throw KernelFault("WorkItem::image: image was released");
     }
@@ -485,17 +490,20 @@ class WorkItem {
   friend class Engine;
   friend struct detail::WorkItemInit;
 
-  /// Lifetime check + object registration for violation attribution and
-  /// the race detector. Compiles to nothing in unchecked builds.
+  /// Lifetime check + object registration for violation attribution, the
+  /// race detector and the contract observation cross-check (the accessor
+  /// element size is compared against the declared footprint's). Compiles
+  /// to nothing in unchecked builds.
   void note_validation([[maybe_unused]] std::uint64_t dev_addr,
                        [[maybe_unused]] const std::string& name,
                        [[maybe_unused]] std::size_t bytes,
-                       [[maybe_unused]] bool released) const {
+                       [[maybe_unused]] bool released,
+                       [[maybe_unused]] std::size_t elem_bytes) const {
 #if SIMCL_CHECKED
     if (gs_->vl != nullptr) {
       gs_->vl->note_object(
           detail::ItemRef{global_id(0), global_id(1), validation_epoch_},
-          dev_addr, name, bytes, released);
+          dev_addr, name, bytes, released, elem_bytes);
     }
 #endif
   }
@@ -536,6 +544,11 @@ struct Kernel {
   /// effects must be bit-identical to running `body` per work-item — the
   /// contract tests/simcl/test_warp_engine.cpp enforces.
   std::function<void(WarpItem&)> body_warp;
+  /// Optional declared access contract (contract.hpp). When present and
+  /// the engine's ContractMode is warn/enforce, every enqueue is first
+  /// checked by contract::analyze; in validation mode the observed
+  /// accesses are additionally cross-checked against it.
+  std::shared_ptr<const contract::KernelContract> contract;
 };
 
 }  // namespace simcl

@@ -168,6 +168,12 @@ class CommandQueue {
   /// Forwards to Context::set_validation (the cl-style entry point).
   void set_validation(ValidationSettings s);
 
+  /// Contract-analysis policy for kernels enqueued on this context
+  /// (forwards to Engine; see contract.hpp). Initialized from the
+  /// SIMCL_CONTRACT environment knob at context construction.
+  void set_contract_mode(contract::Mode mode);
+  [[nodiscard]] contract::Mode contract_mode() const;
+
   // --- transfers -----------------------------------------------------------
   Event enqueue_write(Buffer& dst, const void* src, std::size_t bytes,
                       std::size_t offset = 0, const WaitList& waits = {});

@@ -6,6 +6,7 @@
 
 #include "simcl/buffer.hpp"     // IWYU pragma: export
 #include "simcl/cache_sim.hpp"  // IWYU pragma: export
+#include "simcl/contract.hpp"   // IWYU pragma: export
 #include "simcl/cost_model.hpp" // IWYU pragma: export
 #include "simcl/device.hpp"     // IWYU pragma: export
 #include "simcl/engine.hpp"     // IWYU pragma: export

@@ -32,6 +32,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "simcl/error.hpp"
@@ -41,6 +42,11 @@
 #endif
 
 namespace simcl {
+
+namespace contract {
+struct KernelContract;
+struct ArgSpec;
+}  // namespace contract
 
 /// True when the library was compiled with validation hooks (cmake option
 /// SIMCL_CHECKED). Runtime settings have no effect in unchecked builds.
@@ -71,6 +77,10 @@ enum class ViolationKind : std::uint8_t {
   kUseAfterRelease,
   kDeadQueue,
   kLeak,
+  /// An observed access fell outside the kernel's declared contract
+  /// footprint (or touched an undeclared object / mismatched element
+  /// size) — the lying-contract detector (see contract.hpp).
+  kContractMismatch,
 };
 
 [[nodiscard]] const char* to_string(ViolationKind kind);
@@ -157,19 +167,35 @@ class ValidationState {
 /// executors of the launch (thread-safe).
 class ValidationLaunch {
  public:
+  /// `contract` (optional) enables the observation cross-check: every
+  /// recorded access is verified against the declared footprints.
   ValidationLaunch(std::string kernel, ValidationSettings settings,
-                   int global_size_x, int local_size_x, int local_size_y);
+                   int global_size_x, int local_size_x, int local_size_y,
+                   const contract::KernelContract* contract = nullptr);
 
   [[nodiscard]] bool bounds() const { return settings_.bounds; }
   [[nodiscard]] bool races() const { return settings_.races; }
   [[nodiscard]] bool lifetime() const { return settings_.lifetime; }
+  /// Whether accessors must report each access (race detector and/or
+  /// contract observation active) — the kernel-side hook guard.
+  [[nodiscard]] bool observes() const {
+    return settings_.races || contract_ != nullptr;
+  }
   [[nodiscard]] const std::string& kernel() const { return kernel_; }
 
   /// Registers a buffer/image the kernel obtained an accessor for; fails
   /// with kUseAfterRelease when lifetime checking is on and the object was
-  /// released.
+  /// released, and with kContractMismatch when a contract is attached but
+  /// does not declare the object (or declares a different element size
+  /// than the accessor's).
   void note_object(const ItemRef& it, std::uint64_t dev_addr,
-                   const std::string& name, std::size_t bytes, bool released);
+                   const std::string& name, std::size_t bytes, bool released,
+                   std::size_t elem_bytes);
+  /// Accessor-side entry for each access: cross-checks the byte range
+  /// [offset, offset+bytes) against the declared contract footprint (when
+  /// attached), then feeds the race detector (when races are on).
+  void observe_access(const ItemRef& it, std::uint64_t dev_addr,
+                      std::size_t offset, std::size_t bytes, bool is_write);
   /// Race-detector entry: byte range [offset, offset+bytes) of the object
   /// at dev_addr accessed by `it`. Throws on a detected race.
   void record_access(const ItemRef& it, std::uint64_t dev_addr,
@@ -197,12 +223,26 @@ class ValidationLaunch {
   [[noreturn]] void fail_race(ViolationKind kind, const ItemRef& it,
                               const ObjectShadow& os, std::size_t offset,
                               std::uint32_t other_flat) const;
+  [[noreturn]] void fail_contract(const ItemRef& it, const std::string& object,
+                                  std::size_t byte_offset, std::size_t bytes,
+                                  const std::string& what) const;
+  /// True when some declared footprint of an arg bound at dev_addr covers
+  /// the access. Lock-free: the contract index is immutable post-ctor.
+  [[nodiscard]] bool contract_allows(const ItemRef& it, std::uint64_t dev_addr,
+                                     std::size_t offset, std::size_t bytes,
+                                     bool is_write) const;
 
   std::string kernel_;
   ValidationSettings settings_;
   int gsx_;
   int lsx_;
   int lsy_;
+  const contract::KernelContract* contract_;
+  /// (device address, arg) pairs of the contract; linear-scanned (a
+  /// kernel binds a handful of args, and one address may repeat in
+  /// aliasing scenarios).
+  std::vector<std::pair<std::uint64_t, const contract::ArgSpec*>>
+      contract_args_;
   mutable std::mutex mu_;
   std::unordered_map<std::uint64_t, ObjectShadow> objects_;
 };

@@ -1,0 +1,328 @@
+#include "simcl/contract.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+#include <string_view>
+
+#include "simcl/buffer.hpp"
+#include "simcl/image2d.hpp"
+#include "simcl/kernel.hpp"
+
+namespace simcl::contract {
+
+const char* to_string(Access a) {
+  switch (a) {
+    case Access::kRead: return "read";
+    case Access::kWrite: return "write";
+    case Access::kReadWrite: return "read-write";
+    case Access::kAtomic: return "atomic";
+  }
+  return "?";
+}
+
+const char* to_string(CheckKind kind) {
+  switch (kind) {
+    case CheckKind::kArgMismatch: return "arg-mismatch";
+    case CheckKind::kOutOfBounds: return "out-of-bounds";
+    case CheckKind::kAliasing: return "aliasing";
+    case CheckKind::kLdsOverflow: return "lds-overflow";
+    case CheckKind::kLocalShape: return "local-shape";
+    case CheckKind::kBarrierDivergence: return "barrier-divergence";
+    case CheckKind::kInconsistent: return "inconsistent-contract";
+  }
+  return "?";
+}
+
+const char* to_string(Mode mode) {
+  switch (mode) {
+    case Mode::kOff: return "off";
+    case Mode::kWarn: return "warn";
+    case Mode::kEnforce: return "enforce";
+  }
+  return "?";
+}
+
+Mode parse_mode(const char* spec) {
+  if (spec == nullptr) {
+    return Mode::kWarn;
+  }
+  const std::string_view s(spec);
+  if (s.empty() || s == "warn") {
+    return Mode::kWarn;
+  }
+  if (s == "off" || s == "0" || s == "false" || s == "none") {
+    return Mode::kOff;
+  }
+  if (s == "enforce" || s == "1" || s == "on" || s == "true") {
+    return Mode::kEnforce;
+  }
+  throw InvalidArgument("SIMCL_CONTRACT: unknown mode '" + std::string(s) +
+                        "' (expected off|warn|enforce)");
+}
+
+Mode mode_from_env() { return parse_mode(std::getenv("SIMCL_CONTRACT")); }
+
+std::string Report::to_string() const {
+  std::ostringstream os;
+  os << "simcl contract: " << diagnostics.size() << " violation(s):";
+  for (const Diagnostic& d : diagnostics) {
+    os << "\n  [" << contract::to_string(d.kind) << "] kernel '" << d.kernel
+       << "'";
+    if (!d.arg.empty()) {
+      os << " arg '" << d.arg << "'";
+    }
+    if (!d.object.empty()) {
+      os << " object '" << d.object << "'";
+    }
+    os << ": " << d.message;
+  }
+  return os.str();
+}
+
+namespace {
+
+/// Per-variable inclusive ranges of one footprint under one launch:
+/// global ids clamped by the domain, local/group ids by the geometry.
+/// active == false when the domain excludes every launched item.
+struct VarRanges {
+  std::int64_t lo[kVarCount] = {};
+  std::int64_t hi[kVarCount] = {};
+  bool active = true;
+};
+
+VarRanges ranges_for(const Footprint& f, const LaunchConfig& cfg) {
+  VarRanges r;
+  const auto set = [&r](Var var, std::int64_t lo, std::int64_t hi) {
+    r.lo[static_cast<int>(var)] = lo;
+    r.hi[static_cast<int>(var)] = hi;
+  };
+  const auto gx_hi = std::min<std::int64_t>(
+      static_cast<std::int64_t>(cfg.global.x) - 1, f.domain.x_hi);
+  const auto gy_hi = std::min<std::int64_t>(
+      static_cast<std::int64_t>(cfg.global.y) - 1, f.domain.y_hi);
+  const std::int64_t gx_lo = std::max<std::int64_t>(0, f.domain.x_lo);
+  const std::int64_t gy_lo = std::max<std::int64_t>(0, f.domain.y_lo);
+  if (gx_lo > gx_hi || gy_lo > gy_hi) {
+    r.active = false;
+    return r;
+  }
+  set(Var::kGlobalX, gx_lo, gx_hi);
+  set(Var::kGlobalY, gy_lo, gy_hi);
+  set(Var::kLocalX, 0, static_cast<std::int64_t>(cfg.local.x) - 1);
+  set(Var::kLocalY, 0, static_cast<std::int64_t>(cfg.local.y) - 1);
+  set(Var::kGroupX, 0, static_cast<std::int64_t>(cfg.num_groups_x()) - 1);
+  set(Var::kGroupY, 0, static_cast<std::int64_t>(cfg.num_groups_y()) - 1);
+  return r;
+}
+
+/// Element-index interval [lo, hi] of a footprint over the whole launch;
+/// returns false when the footprint is inactive or provably empty.
+bool footprint_interval(const Footprint& f, const LaunchConfig& cfg,
+                        std::int64_t& lo, std::int64_t& hi) {
+  const VarRanges r = ranges_for(f, cfg);
+  if (!r.active) {
+    return false;
+  }
+  lo = f.lo.eval_extreme(r.lo, r.hi, /*want_max=*/false);
+  hi = std::min(f.hi.eval_extreme(r.lo, r.hi, /*want_max=*/true), f.cap);
+  return lo <= hi;
+}
+
+[[nodiscard]] bool writes_memory(Access a) {
+  return a == Access::kWrite || a == Access::kReadWrite;
+}
+
+struct ObjectInfo {
+  std::uint64_t dev_addr = 0;
+  std::size_t bytes = 0;
+  std::string name;
+  bool released = false;
+  bool bound = false;
+};
+
+ObjectInfo object_of(const ArgSpec& a) {
+  ObjectInfo o;
+  if (a.buffer != nullptr) {
+    o.dev_addr = a.buffer->device_addr();
+    o.bytes = a.buffer->size();
+    o.name = a.buffer->name();
+    o.released = a.buffer->released();
+    o.bound = true;
+  } else if (a.image != nullptr) {
+    o.dev_addr = a.image->device_addr();
+    o.bytes = a.image->byte_size();
+    o.name = a.image->name();
+    o.released = a.image->released();
+    o.bound = true;
+  }
+  return o;
+}
+
+}  // namespace
+
+Report analyze(const Kernel& kernel, const LaunchConfig& cfg,
+               const DeviceSpec& spec) {
+  Report report;
+  if (kernel.contract == nullptr) {
+    Diagnostic d;
+    d.kind = CheckKind::kInconsistent;
+    d.kernel = kernel.name;
+    d.message = "kernel carries no contract to analyze";
+    report.diagnostics.push_back(std::move(d));
+    return report;
+  }
+  const KernelContract& c = *kernel.contract;
+  const auto add = [&report, &kernel](CheckKind kind, std::string arg,
+                                      std::string object, std::string msg) {
+    report.diagnostics.push_back(Diagnostic{
+        kind, kernel.name, std::move(arg), std::move(object), std::move(msg)});
+  };
+
+  // --- barrier placement ----------------------------------------------------
+  if (c.barriers == BarrierFlow::kDivergent) {
+    add(CheckKind::kBarrierDivergence, "", "",
+        "barrier in potentially divergent control flow: a work-item that "
+        "skips the barrier deadlocks its group; restructure so every item "
+        "of the group reaches it (declare uniform_barriers)");
+  }
+  if ((c.barriers != BarrierFlow::kNone) != kernel.uses_barriers) {
+    std::ostringstream os;
+    os << "contract declares barriers=" << (c.barriers != BarrierFlow::kNone)
+       << " but Kernel::uses_barriers=" << kernel.uses_barriers;
+    add(CheckKind::kInconsistent, "", "", os.str());
+  }
+
+  // --- work-group shape -----------------------------------------------------
+  if (c.required_local_x != 0 && cfg.local.x != c.required_local_x) {
+    std::ostringstream os;
+    os << "launch local.x=" << cfg.local.x << " but the kernel requires "
+       << c.required_local_x;
+    add(CheckKind::kLocalShape, "", "", os.str());
+  }
+  if (c.required_local_y != 0 && cfg.local.y != c.required_local_y) {
+    std::ostringstream os;
+    os << "launch local.y=" << cfg.local.y << " but the kernel requires "
+       << c.required_local_y;
+    add(CheckKind::kLocalShape, "", "", os.str());
+  }
+
+  // --- LDS budget (mirrors the 16-byte arena alignment of local_array) -----
+  std::size_t arena_used = 0;
+  for (const LdsBlock& b : c.lds) {
+    const std::size_t offset = (arena_used + 15) & ~std::size_t{15};
+    arena_used = offset + b.fixed_bytes + b.bytes_per_item * cfg.local.count();
+  }
+  if (arena_used > spec.local_mem_bytes) {
+    std::ostringstream os;
+    os << "declared LDS usage " << arena_used << " bytes for local ("
+       << cfg.local.x << "," << cfg.local.y << ") exceeds the device limit of "
+       << spec.local_mem_bytes << " bytes";
+    add(CheckKind::kLdsOverflow, "", "", os.str());
+  }
+
+  // --- per-argument checks --------------------------------------------------
+  std::vector<ObjectInfo> objects;
+  objects.reserve(c.args.size());
+  for (const ArgSpec& a : c.args) {
+    const ObjectInfo o = object_of(a);
+    objects.push_back(o);
+    if (!o.bound) {
+      add(CheckKind::kArgMismatch, a.name, "", "no buffer or image bound");
+      continue;
+    }
+    if (o.released) {
+      add(CheckKind::kArgMismatch, a.name, o.name,
+          "bound object was already released");
+      continue;
+    }
+    if (a.elem_bytes == 0) {
+      add(CheckKind::kArgMismatch, a.name, o.name,
+          "declared element size is zero");
+      continue;
+    }
+    if (a.buffer != nullptr && o.bytes % a.elem_bytes != 0) {
+      std::ostringstream os;
+      os << "buffer size " << o.bytes << " bytes is not a multiple of the "
+         << "declared " << a.elem_bytes << "-byte element (type mismatch in "
+         << "the accessor reinterpret)";
+      add(CheckKind::kArgMismatch, a.name, o.name, os.str());
+      continue;
+    }
+    if (a.image != nullptr &&
+        a.elem_bytes != static_cast<std::size_t>(a.image->pixel_bytes())) {
+      std::ostringstream os;
+      os << "declared " << a.elem_bytes << "-byte element does not match the "
+         << "image's " << a.image->pixel_bytes() << "-byte texel format";
+      add(CheckKind::kArgMismatch, a.name, o.name, os.str());
+      continue;
+    }
+    const std::int64_t count =
+        static_cast<std::int64_t>(o.bytes / a.elem_bytes);
+    for (const Footprint& f : a.footprints) {
+      std::int64_t lo = 0;
+      std::int64_t hi = 0;
+      if (!footprint_interval(f, cfg, lo, hi)) {
+        continue;  // no active work-item performs this access
+      }
+      if (lo < 0 || hi >= count) {
+        std::ostringstream os;
+        os << to_string(f.access) << " footprint covers elements [" << lo
+           << ", " << hi << "] (" << a.elem_bytes << "-byte each) but '"
+           << o.name << "' holds elements [0, " << count - 1
+           << "] for this launch geometry";
+        add(CheckKind::kOutOfBounds, a.name, o.name, os.str());
+      }
+    }
+  }
+
+  // --- aliasing between distinct args bound to one object -------------------
+  for (std::size_t i = 0; i < c.args.size(); ++i) {
+    for (std::size_t j = i + 1; j < c.args.size(); ++j) {
+      if (!objects[i].bound || !objects[j].bound ||
+          objects[i].dev_addr != objects[j].dev_addr) {
+        continue;
+      }
+      for (const Footprint& fi : c.args[i].footprints) {
+        for (const Footprint& fj : c.args[j].footprints) {
+          if (fi.access == Access::kAtomic || fj.access == Access::kAtomic) {
+            continue;  // atomics synchronize; overlap is well-defined
+          }
+          if (!writes_memory(fi.access) && !writes_memory(fj.access)) {
+            continue;  // read/read overlap is harmless
+          }
+          std::int64_t lo_i = 0, hi_i = 0, lo_j = 0, hi_j = 0;
+          if (!footprint_interval(fi, cfg, lo_i, hi_i) ||
+              !footprint_interval(fj, cfg, lo_j, hi_j)) {
+            continue;
+          }
+          // Compare in bytes: the two args may declare different element
+          // sizes over the same backing store.
+          const auto bytes_lo_i =
+              lo_i * static_cast<std::int64_t>(c.args[i].elem_bytes);
+          const auto bytes_hi_i =
+              (hi_i + 1) * static_cast<std::int64_t>(c.args[i].elem_bytes);
+          const auto bytes_lo_j =
+              lo_j * static_cast<std::int64_t>(c.args[j].elem_bytes);
+          const auto bytes_hi_j =
+              (hi_j + 1) * static_cast<std::int64_t>(c.args[j].elem_bytes);
+          if (bytes_lo_i < bytes_hi_j && bytes_lo_j < bytes_hi_i) {
+            std::ostringstream os;
+            os << to_string(fi.access) << " footprint of arg '"
+               << c.args[i].name << "' (bytes [" << bytes_lo_i << ", "
+               << bytes_hi_i << ")) overlaps " << to_string(fj.access)
+               << " footprint of arg '" << c.args[j].name << "' (bytes ["
+               << bytes_lo_j << ", " << bytes_hi_j
+               << ")) on the same object";
+            add(CheckKind::kAliasing, c.args[i].name + "/" + c.args[j].name,
+                objects[i].name, os.str());
+          }
+        }
+      }
+    }
+  }
+
+  return report;
+}
+
+}  // namespace simcl::contract

@@ -345,7 +345,8 @@ Engine::Engine(DeviceSpec spec, int num_threads)
       num_threads_(num_threads > 0
                        ? num_threads
                        : static_cast<int>(std::thread::hardware_concurrency())),
-      warp_enabled_(warp_env_enabled()) {
+      warp_enabled_(warp_env_enabled()),
+      contract_mode_(contract::mode_from_env()) {
   if (num_threads_ < 1) {
     num_threads_ = 1;
   }
@@ -401,6 +402,24 @@ KernelStats Engine::run(const Kernel& kernel, const LaunchConfig& cfg) {
   }
   cfg.validate(spec_.max_workgroup_size);
 
+  // Static contract analysis, before any work-item runs. Kernels without
+  // a contract are never checked; enforce turns a diagnosed launch into a
+  // ContractError at enqueue time.
+  if (contract_mode_ != contract::Mode::kOff && kernel.contract != nullptr) {
+    ++contract_checked_launches_;
+    contract::Report report = contract::analyze(kernel, cfg, spec_);
+    if (!report.ok()) {
+      ++contract_violation_launches_;
+      if (contract_mode_ == contract::Mode::kEnforce) {
+        throw contract::ContractError(std::move(report));
+      }
+      if (contract_warned_.insert(kernel.name).second) {
+        std::fprintf(stderr, "%s\n  (SIMCL_CONTRACT=warn: launch runs anyway)\n",
+                     report.to_string().c_str());
+      }
+    }
+  }
+
   const std::size_t ngx = cfg.num_groups_x();
   const std::size_t ngy = cfg.num_groups_y();
   const std::size_t ngroups = ngx * ngy;
@@ -415,9 +434,15 @@ KernelStats Engine::run(const Kernel& kernel, const LaunchConfig& cfg) {
   if (vstate_ != nullptr) {
     const ValidationSettings vs = vstate_->snapshot();
     if (vs.any()) {
+      // The contract observation cross-check rides on the validation
+      // launch: with a contract attached, every observed access must fall
+      // inside a declared footprint (off-mode contracts are not checked).
+      const contract::KernelContract* kc =
+          contract_mode_ != contract::Mode::kOff ? kernel.contract.get()
+                                                 : nullptr;
       vl = std::make_unique<detail::ValidationLaunch>(
           kernel.name, vs, static_cast<int>(cfg.global.x),
-          static_cast<int>(cfg.local.x), static_cast<int>(cfg.local.y));
+          static_cast<int>(cfg.local.x), static_cast<int>(cfg.local.y), kc);
     }
   }
 

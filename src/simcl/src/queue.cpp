@@ -155,6 +155,14 @@ void CommandQueue::set_validation(ValidationSettings s) {
   }
 }
 
+void CommandQueue::set_contract_mode(contract::Mode mode) {
+  ctx_->engine().set_contract_mode(mode);
+}
+
+contract::Mode CommandQueue::contract_mode() const {
+  return ctx_->engine().contract_mode();
+}
+
 void CommandQueue::check_alive(const char* what) const {
   if (vstate_ == nullptr || !vstate_->snapshot().lifetime) {
     return;

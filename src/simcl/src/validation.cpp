@@ -6,6 +6,10 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "simcl/buffer.hpp"
+#include "simcl/contract.hpp"
+#include "simcl/image2d.hpp"
+
 namespace simcl {
 
 namespace {
@@ -73,6 +77,7 @@ const char* to_string(ViolationKind kind) {
     case ViolationKind::kUseAfterRelease: return "use-after-release";
     case ViolationKind::kDeadQueue: return "dead-queue";
     case ViolationKind::kLeak: return "leak";
+    case ViolationKind::kContractMismatch: return "contract-mismatch";
   }
   return "?";
 }
@@ -145,12 +150,25 @@ std::vector<std::string> ValidationState::live_objects() const {
 ValidationLaunch::ValidationLaunch(std::string kernel,
                                    ValidationSettings settings,
                                    int global_size_x, int local_size_x,
-                                   int local_size_y)
+                                   int local_size_y,
+                                   const contract::KernelContract* contract)
     : kernel_(std::move(kernel)),
       settings_(settings),
       gsx_(global_size_x < 1 ? 1 : global_size_x),
       lsx_(local_size_x < 1 ? 1 : local_size_x),
-      lsy_(local_size_y < 1 ? 1 : local_size_y) {}
+      lsy_(local_size_y < 1 ? 1 : local_size_y),
+      contract_(contract) {
+  if (contract_ != nullptr) {
+    contract_args_.reserve(contract_->args.size());
+    for (const contract::ArgSpec& a : contract_->args) {
+      if (a.buffer != nullptr) {
+        contract_args_.emplace_back(a.buffer->device_addr(), &a);
+      } else if (a.image != nullptr) {
+        contract_args_.emplace_back(a.image->device_addr(), &a);
+      }
+    }
+  }
+}
 
 bool ValidationLaunch::same_group(std::uint32_t a, std::uint32_t b) const {
   const auto gsx = static_cast<std::uint32_t>(gsx_);
@@ -171,7 +189,29 @@ std::string ValidationLaunch::object_name(std::uint64_t dev_addr) const {
 
 void ValidationLaunch::note_object(const ItemRef& it, std::uint64_t dev_addr,
                                    const std::string& name, std::size_t bytes,
-                                   bool released) {
+                                   bool released, std::size_t elem_bytes) {
+  if (contract_ != nullptr) {
+    const contract::ArgSpec* found = nullptr;
+    for (const auto& [addr, arg] : contract_args_) {
+      if (addr == dev_addr) {
+        found = arg;
+        if (arg->elem_bytes == elem_bytes) {
+          break;  // an exact declaration wins over a mismatched alias
+        }
+      }
+    }
+    if (found == nullptr) {
+      fail_contract(it, name, 0, 0,
+                    "kernel obtained an accessor for an object its contract "
+                    "does not declare");
+    } else if (found->elem_bytes != elem_bytes) {
+      std::ostringstream os;
+      os << "accessor element size " << elem_bytes
+         << " does not match the declared " << found->elem_bytes
+         << "-byte element of arg '" << found->name << "'";
+      fail_contract(it, name, 0, 0, os.str());
+    }
+  }
   if (settings_.lifetime && released) {
     Violation v;
     v.kind = ViolationKind::kUseAfterRelease;
@@ -186,7 +226,7 @@ void ValidationLaunch::note_object(const ItemRef& it, std::uint64_t dev_addr,
     v.message = os.str();
     throw ValidationError(std::move(v));
   }
-  if (!settings_.races && !settings_.bounds) {
+  if (!settings_.races && !settings_.bounds && contract_ == nullptr) {
     return;
   }
   std::lock_guard<std::mutex> lk(mu_);
@@ -194,6 +234,90 @@ void ValidationLaunch::note_object(const ItemRef& it, std::uint64_t dev_addr,
   if (inserted) {
     pos->second.name = name;
     pos->second.bytes = bytes;
+  }
+}
+
+bool ValidationLaunch::contract_allows(const ItemRef& it,
+                                       std::uint64_t dev_addr,
+                                       std::size_t offset, std::size_t bytes,
+                                       bool is_write) const {
+  using contract::Access;
+  // Exact per-item coordinates; the declared footprint must cover the
+  // whole accessed byte range for this item.
+  std::int64_t vals[contract::kVarCount] = {};
+  vals[static_cast<int>(contract::Var::kGlobalX)] = it.gx;
+  vals[static_cast<int>(contract::Var::kGlobalY)] = it.gy;
+  vals[static_cast<int>(contract::Var::kLocalX)] = it.gx % lsx_;
+  vals[static_cast<int>(contract::Var::kLocalY)] = it.gy % lsy_;
+  vals[static_cast<int>(contract::Var::kGroupX)] = it.gx / lsx_;
+  vals[static_cast<int>(contract::Var::kGroupY)] = it.gy / lsy_;
+  const auto off = static_cast<std::int64_t>(offset);
+  const auto end = static_cast<std::int64_t>(offset + bytes);
+  for (const auto& [addr, arg] : contract_args_) {
+    if (addr != dev_addr) {
+      continue;
+    }
+    const auto elem = static_cast<std::int64_t>(arg->elem_bytes);
+    for (const contract::Footprint& f : arg->footprints) {
+      const bool covers_write =
+          f.access == Access::kWrite || f.access == Access::kReadWrite;
+      const bool covers_read =
+          f.access == Access::kRead || f.access == Access::kReadWrite;
+      if (is_write ? !covers_write : !covers_read) {
+        continue;
+      }
+      if (it.gx < f.domain.x_lo || it.gx > f.domain.x_hi ||
+          it.gy < f.domain.y_lo || it.gy > f.domain.y_hi) {
+        continue;
+      }
+      const std::int64_t lo = f.lo.eval(vals);
+      const std::int64_t hi = std::min(f.hi.eval(vals), f.cap);
+      if (lo > hi) {
+        continue;  // empty interval for this item
+      }
+      if (off >= lo * elem && end <= (hi + 1) * elem) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+void ValidationLaunch::fail_contract(const ItemRef& it,
+                                     const std::string& object,
+                                     std::size_t byte_offset,
+                                     std::size_t bytes,
+                                     const std::string& what) const {
+  Violation v;
+  v.kind = ViolationKind::kContractMismatch;
+  v.kernel = kernel_;
+  v.object = object;
+  v.byte_offset = byte_offset;
+  v.bytes = bytes;
+  v.global_id[0] = it.gx;
+  v.global_id[1] = it.gy;
+  std::ostringstream os;
+  os << "simcl validation: contract mismatch in kernel '" << kernel_
+     << "': work-item (" << it.gx << "," << it.gy << ") on object '" << object
+     << "': " << what;
+  v.message = os.str();
+  throw ValidationError(std::move(v));
+}
+
+void ValidationLaunch::observe_access(const ItemRef& it, std::uint64_t dev_addr,
+                                      std::size_t offset, std::size_t bytes,
+                                      bool is_write) {
+  if (contract_ != nullptr &&
+      !contract_allows(it, dev_addr, offset, bytes, is_write)) {
+    std::ostringstream os;
+    os << (is_write ? "write of" : "read of") << " bytes [" << offset << ", "
+       << offset + bytes << ") is outside every declared "
+       << (is_write ? "write" : "read")
+       << " footprint of the kernel's contract";
+    fail_contract(it, object_name(dev_addr), offset, bytes, os.str());
+  }
+  if (settings_.races) {
+    record_access(it, dev_addr, offset, bytes, is_write);
   }
 }
 

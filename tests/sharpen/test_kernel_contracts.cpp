@@ -1,0 +1,154 @@
+// The pipeline's kernel contracts and the static launch planner: every
+// configuration's planned kernel sequence must carry contracts and be
+// proven safe with zero kernel executions, the plan must not drift from
+// what a live pipeline actually enqueues, and turning enforcement on
+// must not change a single pixel.
+#include "sharpen/gpu/launch_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "image/generate.hpp"
+#include "image/metrics.hpp"
+#include "sharpen/gpu_pipeline.hpp"
+#include "simcl/contract.hpp"
+
+namespace {
+
+using namespace sharp;
+namespace ct = simcl::contract;
+
+/// Representative configurations covering all 18 kernel factories: both
+/// sobel/center/sharpness variants, the LDS tile, the image2d path, both
+/// stage-2 reductions, the LUT strength path and the unfused chain.
+std::vector<std::pair<std::string, PipelineOptions>> configs() {
+  std::vector<std::pair<std::string, PipelineOptions>> cs;
+  cs.emplace_back("optimized", PipelineOptions::optimized());
+  cs.emplace_back("naive", PipelineOptions::naive());
+  {
+    PipelineOptions o;
+    o.vectorize = false;
+    o.fuse_sharpness = false;
+    cs.emplace_back("scalar-unfused", o);
+  }
+  {
+    PipelineOptions o;
+    o.sobel_impl = SobelImpl::kLds;
+    cs.emplace_back("sobel-lds", o);
+  }
+  {
+    PipelineOptions o;
+    o.use_image2d = true;
+    cs.emplace_back("image2d", o);
+  }
+  {
+    PipelineOptions o;
+    o.strength = StrengthEval::kLut;
+    o.border = Placement::kGpu;
+    cs.emplace_back("lut-gpu-border", o);
+  }
+  {
+    PipelineOptions o;
+    o.reduction_stage2 = Placement::kGpu;
+    o.stage2_method = Stage2Method::kAtomic;
+    cs.emplace_back("stage2-atomic", o);
+  }
+  {
+    PipelineOptions o;
+    o.reduction_stage2 = Placement::kGpu;
+    o.stage2_method = Stage2Method::kTreeKernel;
+    o.transfer_padded_only = false;
+    cs.emplace_back("stage2-tree", o);
+  }
+  return cs;
+}
+
+TEST(LaunchGeometry, GridHelpersRoundUpToTiles) {
+  const simcl::LaunchConfig c = gpu::grid2d(100, 52);
+  EXPECT_EQ(c.global.x, 112u);
+  EXPECT_EQ(c.global.y, 64u);
+  EXPECT_EQ(c.local.x, gpu::kTile);
+  EXPECT_EQ(c.local.y, gpu::kTile);
+  const simcl::LaunchConfig l = gpu::grid1d(100, 64);
+  EXPECT_EQ(l.global.x, 128u);
+  EXPECT_EQ(l.local.x, 64u);
+}
+
+TEST(LaunchPlan, EveryConfigurationIsProvenSafeWithoutExecuting) {
+  simcl::Context ctx(simcl::amd_firepro_w8000());
+  for (const auto& [label, opt] : configs()) {
+    for (const auto& [w, h] : {std::pair{64, 64}, std::pair{100, 52}}) {
+      const gpu::LaunchPlan plan = gpu::build_launch_plan(ctx, opt, w, h);
+      ASSERT_FALSE(plan.launches().empty()) << label;
+      for (const gpu::PlannedLaunch& pl : plan.launches()) {
+        ASSERT_NE(pl.kernel.contract, nullptr)
+            << label << ": kernel '" << pl.kernel.name << "' (stage "
+            << pl.stage << ") carries no contract";
+        const ct::Report r =
+            ct::analyze(pl.kernel, pl.cfg, ctx.device());
+        EXPECT_TRUE(r.ok()) << label << " " << w << "x" << h << " kernel '"
+                            << pl.kernel.name << "': " << r.to_string();
+      }
+    }
+  }
+  // Pure analysis: nothing was enqueued, so the engine never saw a launch.
+  EXPECT_EQ(ctx.engine().contract_checked_launches(), 0u);
+}
+
+TEST(LaunchPlan, RejectsInvalidGeometryInputs) {
+  simcl::Context ctx(simcl::amd_firepro_w8000());
+  EXPECT_THROW((void)gpu::build_launch_plan(ctx, {}, 10, 64), SharpenError);
+  PipelineOptions bad;
+  bad.use_image2d = true;
+  bad.fuse_sharpness = false;
+  EXPECT_THROW((void)gpu::build_launch_plan(ctx, bad, 64, 64), SharpenError);
+}
+
+// The anti-drift pin: the planner must mirror FrameRunner's enqueue
+// decisions exactly, or kernel_check would be proving the wrong launches
+// safe. Compares the planned kernel-name sequence against the kKernel
+// events of a live run, configuration by configuration.
+TEST(LaunchPlan, MatchesTheKernelsALivePipelineEnqueues) {
+  const img::ImageU8 input = img::make_natural(64, 64, 3);
+  for (const auto& [label, opt] : configs()) {
+    GpuPipeline pipeline(opt);
+    (void)pipeline.run(input);
+    std::vector<std::string> executed;
+    for (const simcl::Event& ev : pipeline.last_events()) {
+      if (ev.kind == simcl::CommandKind::kKernel) {
+        executed.push_back(ev.name);
+      }
+    }
+
+    simcl::Context ctx(simcl::amd_firepro_w8000());
+    const gpu::LaunchPlan plan =
+        gpu::build_launch_plan(ctx, opt, input.width(), input.height());
+    std::vector<std::string> planned;
+    planned.reserve(plan.launches().size());
+    for (const gpu::PlannedLaunch& pl : plan.launches()) {
+      planned.push_back(pl.kernel.name);
+    }
+    EXPECT_EQ(planned, executed) << label;
+  }
+}
+
+// Enforcement must be pure observation: pixels are bit-identical whether
+// the analyzer is off, warning, or gating every enqueue.
+TEST(ContractMode, EnforcementIsPixelIdentical) {
+  const img::ImageU8 input = img::make_natural(64, 48, 11);
+  std::vector<img::ImageU8> outputs;
+  for (const char* mode : {"off", "warn", "enforce"}) {
+    ::setenv("SIMCL_CONTRACT", mode, 1);
+    GpuPipeline pipeline;  // context (and mode) bound at run time
+    outputs.push_back(pipeline.run(input).output);
+  }
+  ::unsetenv("SIMCL_CONTRACT");
+  EXPECT_EQ(img::max_abs_diff(outputs[0], outputs[1]), 0);
+  EXPECT_EQ(img::max_abs_diff(outputs[0], outputs[2]), 0);
+}
+
+}  // namespace

@@ -1,0 +1,423 @@
+// The static kernel-contract analyzer (contract.hpp): seeded violations
+// of every check kind — out-of-bounds launch geometry, aliased
+// read/write bindings, LDS overflow, work-group shape, element-size
+// mismatch, divergent barriers — must be rejected with kernel/arg/object
+// attribution *before any work-item runs*; valid declarations must be
+// proven safe; and the engine's off/warn/enforce policy (plus the
+// SIMCL_CHECKED observation cross-check that catches lying contracts)
+// must behave.
+#include "simcl/contract.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "simcl/queue.hpp"
+
+namespace {
+
+using namespace simcl;
+namespace ct = simcl::contract;
+
+/// A kernel whose body touches nothing: every diagnostic of these tests
+/// comes from the *declaration*, proving the analyzer needs no execution.
+Kernel noop_kernel(std::shared_ptr<ct::KernelContract> kc,
+                   bool uses_barriers = false) {
+  return Kernel{.name = "contract_probe",
+                .uses_barriers = uses_barriers,
+                .body = [](WorkItem&) {},
+                .body_warp = {},
+                .contract = std::move(kc)};
+}
+
+bool has_kind(const ct::Report& r, ct::CheckKind kind) {
+  for (const auto& d : r.diagnostics) {
+    if (d.kind == kind) {
+      return true;
+    }
+  }
+  return false;
+}
+
+class ContractTest : public ::testing::Test {
+ protected:
+  ContractTest() : ctx(amd_firepro_w8000()) {}
+
+  ct::Report analyze(const Kernel& k, const LaunchConfig& cfg) {
+    return ct::analyze(k, cfg, ctx.device());
+  }
+
+  Context ctx;
+};
+
+// --- mode parsing -----------------------------------------------------------
+
+TEST(ContractModeTest, ParseRecognizesEverySpelling) {
+  EXPECT_EQ(ct::parse_mode(nullptr), ct::Mode::kWarn);
+  EXPECT_EQ(ct::parse_mode(""), ct::Mode::kWarn);
+  EXPECT_EQ(ct::parse_mode("warn"), ct::Mode::kWarn);
+  EXPECT_EQ(ct::parse_mode("off"), ct::Mode::kOff);
+  EXPECT_EQ(ct::parse_mode("0"), ct::Mode::kOff);
+  EXPECT_EQ(ct::parse_mode("none"), ct::Mode::kOff);
+  EXPECT_EQ(ct::parse_mode("enforce"), ct::Mode::kEnforce);
+  EXPECT_EQ(ct::parse_mode("1"), ct::Mode::kEnforce);
+  EXPECT_EQ(ct::parse_mode("on"), ct::Mode::kEnforce);
+  EXPECT_THROW((void)ct::parse_mode("sometimes"), InvalidArgument);
+}
+
+// --- expression evaluation --------------------------------------------------
+
+TEST(ContractExprTest, IntervalExtremesFollowCoefficientSigns) {
+  // 10 + 8*gy - 2*floor(gx/4): max at gy_hi & gx_lo, min at gy_lo & gx_hi.
+  const ct::Expr e = 10 + ct::gy(8) + ct::gx(-2, 4);
+  const std::int64_t lo[ct::kVarCount] = {0, 0, 0, 0, 0, 0};
+  const std::int64_t hi[ct::kVarCount] = {15, 3, 0, 0, 0, 0};
+  EXPECT_EQ(e.eval_extreme(lo, hi, /*want_max=*/true), 10 + 24 - 0);
+  EXPECT_EQ(e.eval_extreme(lo, hi, /*want_max=*/false), 10 + 0 - 6);
+  std::int64_t at[ct::kVarCount] = {9, 2, 0, 0, 0, 0};
+  EXPECT_EQ(e.eval(at), 10 + 16 - 4);
+}
+
+// --- out-of-bounds proofs ---------------------------------------------------
+
+TEST_F(ContractTest, RejectsOutOfBoundsLaunchGeometry) {
+  Buffer buf = ctx.create_buffer("out", 16 * sizeof(float));
+  auto kc = std::make_shared<ct::KernelContract>();
+  kc->arg("dst", buf, sizeof(float)).writes(ct::gx(), ct::gx());
+  const Kernel k = noop_kernel(kc);
+
+  // 16 elements, 16 items: provably safe.
+  EXPECT_TRUE(analyze(k, {.global = NDRange(16), .local = NDRange(8)}).ok());
+
+  // 32 items with no guard domain: item 31 writes element 31.
+  const ct::Report r =
+      analyze(k, {.global = NDRange(32), .local = NDRange(8)});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.diagnostics[0].kind, ct::CheckKind::kOutOfBounds);
+  EXPECT_EQ(r.diagnostics[0].kernel, "contract_probe");
+  EXPECT_EQ(r.diagnostics[0].arg, "dst");
+  EXPECT_EQ(r.diagnostics[0].object, "out");
+  EXPECT_NE(r.to_string().find("out-of-bounds"), std::string::npos);
+}
+
+TEST_F(ContractTest, DomainGuardMakesRoundedUpLaunchSafe) {
+  Buffer buf = ctx.create_buffer("out", 16 * sizeof(float));
+  auto kc = std::make_shared<ct::KernelContract>();
+  // The `if (x >= 16) return;` guard of a rounded-up launch.
+  kc->arg("dst", buf, sizeof(float))
+      .writes(ct::gx(), ct::gx(), {.x_lo = 0, .x_hi = 15});
+  EXPECT_TRUE(analyze(noop_kernel(kc),
+                      {.global = NDRange(32), .local = NDRange(8)})
+                  .ok());
+}
+
+TEST_F(ContractTest, CapModelsIndexCountGuard) {
+  Buffer buf = ctx.create_buffer("out", 16 * sizeof(float));
+  auto kc = std::make_shared<ct::KernelContract>();
+  // Strided access gx*4 with an `idx < 16` guard inside the kernel.
+  kc->arg("dst", buf, sizeof(float))
+      .writes(ct::gx(4), ct::gx(4), {}, /*cap=*/15);
+  EXPECT_TRUE(analyze(noop_kernel(kc),
+                      {.global = NDRange(32), .local = NDRange(8)})
+                  .ok());
+}
+
+TEST_F(ContractTest, EmptyDomainMeansNoItemAccesses) {
+  Buffer buf = ctx.create_buffer("out", 4);
+  auto kc = std::make_shared<ct::KernelContract>();
+  kc->arg("dst", buf, 1).writes(ct::gx(), ct::gx(), {.x_lo = 100});
+  EXPECT_TRUE(analyze(noop_kernel(kc),
+                      {.global = NDRange(8), .local = NDRange(8)})
+                  .ok());
+}
+
+// --- aliasing ---------------------------------------------------------------
+
+TEST_F(ContractTest, RejectsAliasedReadWriteBinding) {
+  Buffer buf = ctx.create_buffer("shared", 64 * sizeof(float));
+  auto kc = std::make_shared<ct::KernelContract>();
+  kc->arg("src", buf, sizeof(float)).reads(0, 63);
+  kc->arg("dst", buf, sizeof(float)).writes(ct::gx(), ct::gx());
+  const ct::Report r = analyze(noop_kernel(kc),
+                               {.global = NDRange(64), .local = NDRange(8)});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.diagnostics[0].kind, ct::CheckKind::kAliasing);
+  EXPECT_EQ(r.diagnostics[0].arg, "src/dst");
+  EXPECT_EQ(r.diagnostics[0].object, "shared");
+}
+
+TEST_F(ContractTest, DisjointFootprintsOnOneObjectAreSafe) {
+  Buffer buf = ctx.create_buffer("shared", 64 * sizeof(float));
+  auto kc = std::make_shared<ct::KernelContract>();
+  kc->arg("src", buf, sizeof(float)).reads(0, 31);
+  kc->arg("dst", buf, sizeof(float))
+      .writes(32 + ct::gx(), 32 + ct::gx(), {.x_hi = 31});
+  EXPECT_TRUE(analyze(noop_kernel(kc),
+                      {.global = NDRange(32), .local = NDRange(8)})
+                  .ok());
+}
+
+TEST_F(ContractTest, AtomicFootprintsAreAliasingExempt) {
+  Buffer buf = ctx.create_buffer("acc", 64 * sizeof(std::int32_t));
+  auto kc = std::make_shared<ct::KernelContract>();
+  kc->arg("in", buf, sizeof(std::int32_t)).reads(0, 63);
+  kc->arg("acc", buf, sizeof(std::int32_t)).atomics(0, 0);
+  EXPECT_TRUE(analyze(noop_kernel(kc),
+                      {.global = NDRange(64), .local = NDRange(8)})
+                  .ok());
+}
+
+// --- LDS / local shape ------------------------------------------------------
+
+TEST_F(ContractTest, RejectsLdsOverflow) {
+  auto kc = std::make_shared<ct::KernelContract>();
+  kc->lds_array(ctx.device().local_mem_bytes + 1);
+  kc->uniform_barriers();
+  const ct::Report r = analyze(noop_kernel(kc, /*uses_barriers=*/true),
+                               {.global = NDRange(64), .local = NDRange(64)});
+  ASSERT_TRUE(has_kind(r, ct::CheckKind::kLdsOverflow));
+}
+
+TEST_F(ContractTest, PerItemLdsScalesWithLocalSize) {
+  auto kc = std::make_shared<ct::KernelContract>();
+  // One i64 per work-item: fine at 64 items, overflows at 32Ki items.
+  kc->lds_array(0, sizeof(std::int64_t));
+  EXPECT_TRUE(analyze(noop_kernel(kc),
+                      {.global = NDRange(64), .local = NDRange(64)})
+                  .ok());
+  const std::size_t huge = ctx.device().local_mem_bytes;
+  const ct::Report r = analyze(
+      noop_kernel(kc), {.global = NDRange(huge), .local = NDRange(huge)});
+  EXPECT_TRUE(has_kind(r, ct::CheckKind::kLdsOverflow));
+}
+
+TEST_F(ContractTest, RejectsWrongWorkGroupShape) {
+  auto kc = std::make_shared<ct::KernelContract>();
+  kc->requires_local(16, 16);
+  const ct::Report r =
+      analyze(noop_kernel(kc),
+              {.global = NDRange(64, 64), .local = NDRange(8, 8)});
+  ASSERT_EQ(r.diagnostics.size(), 2u);  // x and y both wrong
+  EXPECT_EQ(r.diagnostics[0].kind, ct::CheckKind::kLocalShape);
+  EXPECT_TRUE(analyze(noop_kernel(kc), {.global = NDRange(64, 64),
+                                        .local = NDRange(16, 16)})
+                  .ok());
+}
+
+// --- argument mismatch ------------------------------------------------------
+
+TEST_F(ContractTest, RejectsElementSizeMismatch) {
+  // 10 bytes cannot be reinterpreted as float[]: the accessor would
+  // truncate, so the declared element size is a type mismatch.
+  Buffer buf = ctx.create_buffer("odd", 10);
+  auto kc = std::make_shared<ct::KernelContract>();
+  kc->arg("dst", buf, sizeof(float)).writes(0, 0);
+  const ct::Report r = analyze(noop_kernel(kc),
+                               {.global = NDRange(8), .local = NDRange(8)});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.diagnostics[0].kind, ct::CheckKind::kArgMismatch);
+  EXPECT_EQ(r.diagnostics[0].object, "odd");
+}
+
+TEST_F(ContractTest, RejectsImageTexelMismatch) {
+  Image2D img = ctx.create_image2d("tex", ChannelFormat::kR_U8, 8, 8);
+  auto kc = std::make_shared<ct::KernelContract>();
+  kc->arg("src", img, sizeof(float)).reads(0, 63);
+  const ct::Report r = analyze(noop_kernel(kc),
+                               {.global = NDRange(8), .local = NDRange(8)});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.diagnostics[0].kind, ct::CheckKind::kArgMismatch);
+}
+
+TEST_F(ContractTest, RejectsReleasedObject) {
+  Buffer buf = ctx.create_buffer("gone", 16);
+  auto kc = std::make_shared<ct::KernelContract>();
+  kc->arg("dst", buf, 1).writes(0, 0);
+  buf.release();
+  const ct::Report r = analyze(noop_kernel(kc),
+                               {.global = NDRange(8), .local = NDRange(8)});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.diagnostics[0].kind, ct::CheckKind::kArgMismatch);
+}
+
+// --- barriers ---------------------------------------------------------------
+
+TEST_F(ContractTest, RejectsBarrierInDivergentFlow) {
+  auto kc = std::make_shared<ct::KernelContract>();
+  kc->divergent_barriers();
+  const ct::Report r = analyze(noop_kernel(kc, /*uses_barriers=*/true),
+                               {.global = NDRange(64), .local = NDRange(64)});
+  ASSERT_TRUE(has_kind(r, ct::CheckKind::kBarrierDivergence));
+}
+
+TEST_F(ContractTest, RejectsBarrierDeclarationMismatch) {
+  auto kc = std::make_shared<ct::KernelContract>();
+  kc->uniform_barriers();
+  const ct::Report r = analyze(noop_kernel(kc, /*uses_barriers=*/false),
+                               {.global = NDRange(64), .local = NDRange(64)});
+  ASSERT_TRUE(has_kind(r, ct::CheckKind::kInconsistent));
+}
+
+TEST_F(ContractTest, KernelWithoutContractIsItselfADiagnostic) {
+  const Kernel bare{
+      .name = "bare", .body = [](WorkItem&) {}, .body_warp = {},
+      .contract = {}};
+  const ct::Report r = analyze(bare,
+                               {.global = NDRange(8), .local = NDRange(8)});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.diagnostics[0].kind, ct::CheckKind::kInconsistent);
+}
+
+// --- engine policy ----------------------------------------------------------
+
+class ContractModeFixture : public ::testing::Test {
+ protected:
+  ContractModeFixture() : ctx(amd_firepro_w8000()), queue(ctx) {}
+
+  /// A launch whose declared write provably overruns its buffer (the body
+  /// itself stays in bounds, so warn mode can execute it).
+  Kernel violating_kernel() {
+    buf.emplace(ctx.create_buffer("small", 16 * sizeof(float)));
+    auto kc = std::make_shared<ct::KernelContract>();
+    kc->arg("dst", *buf, sizeof(float)).writes(ct::gx(), ct::gx());
+    return Kernel{.name = "overrun_probe",
+                  .body =
+                      [this](WorkItem& it) {
+                        auto p = it.global<float>(*buf);
+                        if (it.global_id(0) == 0) {
+                          p.store(0, 1.0F);
+                        }
+                      },
+                  .body_warp = {},
+                  .contract = std::move(kc)};
+  }
+
+  Context ctx;
+  CommandQueue queue;
+  std::optional<Buffer> buf;
+  const LaunchConfig oob_cfg{.global = NDRange(32), .local = NDRange(8)};
+};
+
+TEST_F(ContractModeFixture, EnforceRejectsBeforeExecution) {
+  queue.set_contract_mode(ct::Mode::kEnforce);
+  const Kernel k = violating_kernel();
+  try {
+    queue.enqueue_kernel(k, oob_cfg);
+    FAIL() << "expected ContractError";
+  } catch (const ct::ContractError& e) {
+    ASSERT_FALSE(e.report().ok());
+    EXPECT_EQ(e.report().diagnostics[0].kind, ct::CheckKind::kOutOfBounds);
+    EXPECT_NE(std::string(e.what()).find("overrun_probe"), std::string::npos);
+  }
+  EXPECT_EQ(ctx.engine().contract_checked_launches(), 1u);
+  EXPECT_EQ(ctx.engine().contract_violation_launches(), 1u);
+  // Nothing executed: no kernel event was recorded.
+  EXPECT_TRUE(queue.events().empty());
+}
+
+TEST_F(ContractModeFixture, WarnCountsButStillExecutes) {
+  queue.set_contract_mode(ct::Mode::kWarn);
+  const Kernel k = violating_kernel();
+  queue.enqueue_kernel(k, oob_cfg);
+  queue.enqueue_kernel(k, oob_cfg);  // second warning is deduplicated
+  EXPECT_EQ(ctx.engine().contract_checked_launches(), 2u);
+  EXPECT_EQ(ctx.engine().contract_violation_launches(), 2u);
+  EXPECT_EQ(queue.events().size(), 2u);
+}
+
+TEST_F(ContractModeFixture, OffSkipsTheAnalyzerEntirely) {
+  queue.set_contract_mode(ct::Mode::kOff);
+  EXPECT_EQ(queue.contract_mode(), ct::Mode::kOff);
+  queue.enqueue_kernel(violating_kernel(), oob_cfg);
+  EXPECT_EQ(ctx.engine().contract_checked_launches(), 0u);
+  EXPECT_EQ(ctx.engine().contract_violation_launches(), 0u);
+}
+
+TEST_F(ContractModeFixture, CleanLaunchPassesUnderEnforce) {
+  queue.set_contract_mode(ct::Mode::kEnforce);
+  const Kernel k = violating_kernel();
+  // Same kernel, a launch the guard-free footprint actually fits.
+  queue.enqueue_kernel(k, {.global = NDRange(16), .local = NDRange(8)});
+  EXPECT_EQ(ctx.engine().contract_checked_launches(), 1u);
+  EXPECT_EQ(ctx.engine().contract_violation_launches(), 0u);
+}
+
+// --- observation cross-check (lying contracts; SIMCL_CHECKED builds) --------
+
+class ContractObservationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!checked_build()) {
+      GTEST_SKIP() << "requires a SIMCL_CHECKED build";
+    }
+    ctx.emplace(amd_firepro_w8000());
+    ctx->set_validation(ValidationSettings::full());
+    ctx->engine().set_contract_mode(ct::Mode::kWarn);
+  }
+
+  std::optional<Context> ctx;
+};
+
+TEST_F(ContractObservationTest, ObservedAccessOutsideFootprintIsCaught) {
+  Buffer buf = ctx->create_buffer("narrow", 16 * sizeof(float));
+  auto kc = std::make_shared<ct::KernelContract>();
+  kc->arg("dst", buf, sizeof(float)).writes(0, 0);  // claims element 0 only
+  const Kernel k{.name = "lying_contract",
+                 .body =
+                     [&](WorkItem& it) {
+                       if (it.global_id(0) == 2) {
+                         // In bounds for the buffer, outside the contract.
+                         it.global<float>(buf).store(5, 1.0F);
+                       }
+                     },
+                 .body_warp = {},
+                 .contract = std::move(kc)};
+  try {
+    ctx->engine().run(k, {.global = NDRange(4), .local = NDRange(4)});
+    FAIL() << "expected ValidationError";
+  } catch (const ValidationError& e) {
+    EXPECT_EQ(e.violation().kind, ViolationKind::kContractMismatch);
+    EXPECT_EQ(e.violation().kernel, "lying_contract");
+    EXPECT_EQ(e.violation().object, "narrow");
+    EXPECT_EQ(e.violation().global_id[0], 2);
+  }
+}
+
+TEST_F(ContractObservationTest, AccessorElementSizeMismatchIsCaught) {
+  Buffer buf = ctx->create_buffer("typed", 16 * sizeof(float));
+  auto kc = std::make_shared<ct::KernelContract>();
+  // Declares 8-byte elements; the body's float accessor uses 4.
+  kc->arg("dst", buf, sizeof(double)).writes(0, 1);
+  const Kernel k{.name = "size_liar",
+                 .body =
+                     [&](WorkItem& it) {
+                       it.global<float>(buf).store(0, 1.0F);
+                     },
+                 .body_warp = {},
+                 .contract = std::move(kc)};
+  EXPECT_THROW(
+      ctx->engine().run(k, {.global = NDRange(1), .local = NDRange(1)}),
+      ValidationError);
+}
+
+TEST_F(ContractObservationTest, TruthfulContractRunsCleanUnderValidation) {
+  Buffer buf = ctx->create_buffer("honest", 16 * sizeof(float));
+  auto kc = std::make_shared<ct::KernelContract>();
+  kc->arg("dst", buf, sizeof(float)).writes(ct::gx(), ct::gx());
+  const Kernel k{.name = "honest_kernel",
+                 .body =
+                     [&](WorkItem& it) {
+                       it.global<float>(buf).store(
+                           static_cast<std::size_t>(it.global_id(0)), 1.0F);
+                     },
+                 .body_warp = {},
+                 .contract = std::move(kc)};
+  EXPECT_NO_THROW(
+      ctx->engine().run(k, {.global = NDRange(16), .local = NDRange(8)}));
+}
+
+}  // namespace

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Lint agreement of the environment-knob documentation surfaces.
+
+The process has exactly one authoritative knob table — sharp::env::knobs()
+— but it is documented in three places that can silently drift:
+
+  1. the runtime table itself, dumped via `quickstart --dump-knobs`
+     (one "name<TAB>values" row per knob),
+  2. the README.md environment-variable table (rows of the form
+     "| `NAME` | values | effect |"),
+  3. the header comment of src/sharpen/include/sharpen/env.hpp
+     ("//   NAME  description" lines).
+
+This script fails (exit 1) when any knob is present in one surface and
+missing from another, so adding a knob (e.g. SIMCL_CONTRACT) without
+documenting it everywhere turns CI red.
+
+usage: check_env_docs.py <quickstart-binary> [--repo-root DIR]
+"""
+
+import argparse
+import pathlib
+import re
+import subprocess
+import sys
+
+KNOB_NAME = re.compile(r"^(SHARP|SIMCL)_[A-Z0-9_]+$")
+
+
+def knobs_from_binary(quickstart):
+    out = subprocess.run(
+        [quickstart, "--dump-knobs"],
+        check=True,
+        capture_output=True,
+        text=True,
+    ).stdout
+    knobs = set()
+    for line in out.splitlines():
+        name = line.split("\t", 1)[0].strip()
+        if not KNOB_NAME.match(name):
+            raise SystemExit(
+                f"--dump-knobs produced a malformed row: {line!r}"
+            )
+        knobs.add(name)
+    return knobs
+
+
+def knobs_from_readme(readme):
+    # Table rows whose first cell is a backticked env-style name.
+    row = re.compile(r"^\|\s*`((?:SHARP|SIMCL)_[A-Z0-9_]+)`\s*\|")
+    knobs = set()
+    for line in readme.read_text().splitlines():
+        m = row.match(line)
+        if m:
+            knobs.add(m.group(1))
+    return knobs
+
+
+def knobs_from_header(header):
+    # "//   NAME  description" lines of the env.hpp leading comment.
+    line_re = re.compile(r"^//\s{3}((?:SHARP|SIMCL)_[A-Z0-9_]+)\s")
+    knobs = set()
+    for line in header.read_text().splitlines():
+        m = line_re.match(line)
+        if m:
+            knobs.add(m.group(1))
+    return knobs
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("quickstart", help="path to the quickstart binary")
+    ap.add_argument(
+        "--repo-root",
+        type=pathlib.Path,
+        default=pathlib.Path(__file__).resolve().parent.parent,
+    )
+    args = ap.parse_args()
+
+    surfaces = {
+        "knobs() (via --dump-knobs)": knobs_from_binary(args.quickstart),
+        "README.md": knobs_from_readme(args.repo_root / "README.md"),
+        "env.hpp": knobs_from_header(
+            args.repo_root / "src/sharpen/include/sharpen/env.hpp"
+        ),
+    }
+    for name, knobs in surfaces.items():
+        if not knobs:
+            raise SystemExit(f"{name}: found no knobs — parser broken?")
+
+    union = set().union(*surfaces.values())
+    failed = False
+    for name, knobs in surfaces.items():
+        missing = sorted(union - knobs)
+        if missing:
+            failed = True
+            print(f"FAIL {name} is missing: {', '.join(missing)}")
+    if failed:
+        return 1
+    names = sorted(union)
+    print(f"env docs agree on {len(names)} knobs: {', '.join(names)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

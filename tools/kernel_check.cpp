@@ -1,0 +1,261 @@
+// kernel_check: dry-run every GPU pipeline configuration through the
+// static contract analyzer without executing a single work-item.
+//
+// For each (options, size) in a pruned cross product of every
+// enqueue-relevant PipelineOptions dimension, builds the exact kernel
+// sequence FrameRunner::finish_frame would enqueue (sharp::gpu::
+// build_launch_plan) and runs simcl::contract::analyze over every launch.
+// The tool never constructs a CommandQueue and never calls Engine::run,
+// so a clean exit is a static proof: every kernel the pipeline can ever
+// launch is in-bounds, alias-free and barrier-safe for its geometry.
+//
+// Exit status: 0 = every launch proven safe; 1 = a diagnostic or a
+// planned kernel without a contract; 2 = usage error.
+//
+//   kernel_check [--json] [--verbose]
+//
+// --json emits a machine-readable report on stdout (CI artifact);
+// --verbose lists every analyzed configuration.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "sharpen/gpu/launch_plan.hpp"
+#include "sharpen/options.hpp"
+#include "simcl/contract.hpp"
+#include "simcl/device.hpp"
+#include "simcl/kernel.hpp"
+#include "simcl/queue.hpp"
+
+namespace {
+
+using sharp::Placement;
+using sharp::PipelineOptions;
+using sharp::SobelImpl;
+using sharp::Stage2Method;
+using sharp::StrengthEval;
+
+const char* name_of(Placement p) {
+  switch (p) {
+    case Placement::kCpu: return "cpu";
+    case Placement::kGpu: return "gpu";
+    case Placement::kAuto: return "auto";
+  }
+  return "?";
+}
+
+const char* name_of(SobelImpl s) {
+  switch (s) {
+    case SobelImpl::kDefault: return "default";
+    case SobelImpl::kScalar: return "scalar";
+    case SobelImpl::kVec4: return "vec4";
+    case SobelImpl::kLds: return "lds";
+  }
+  return "?";
+}
+
+/// One configuration of the sweep plus a human-readable label.
+struct Case {
+  PipelineOptions opt;
+  int w = 0;
+  int h = 0;
+
+  [[nodiscard]] std::string label() const {
+    std::string s = std::to_string(w) + "x" + std::to_string(h);
+    s += opt.vectorize ? " vec4" : " scalar";
+    s += opt.fuse_sharpness ? " fused" : " unfused";
+    if (opt.use_image2d) s += " image2d";
+    if (!opt.transfer_padded_only) s += " orig-upload";
+    s += std::string(" sobel=") + name_of(opt.sobel_impl);
+    s += std::string(" border=") + name_of(opt.border);
+    s += std::string(" reduction=") + name_of(opt.reduction);
+    if (opt.reduction != Placement::kCpu) {
+      s += std::string("/") + name_of(opt.reduction_stage2);
+      s += opt.stage2_method == Stage2Method::kAtomic ? "+atomic" : "+tree";
+    }
+    s += opt.strength == StrengthEval::kLut ? " lut" : " pow";
+    return s;
+  }
+};
+
+/// The pruned cross product: every dimension that changes which kernels
+/// are enqueued or how they are launched, with combinations that a
+/// dimension cannot influence (e.g. stage-2 method under a CPU reduction)
+/// collapsed to one representative.
+std::vector<Case> build_matrix() {
+  // 100x52 is deliberately not a multiple of the 16x16 tile: it exercises
+  // the rounded-up launches whose safety rests on the declared guard
+  // domains rather than on exact geometry.
+  constexpr struct { int w, h; } kSizes[] = {{64, 64}, {100, 52}, {512, 384}};
+  constexpr Placement kPlacements[] = {Placement::kCpu, Placement::kGpu,
+                                       Placement::kAuto};
+  constexpr StrengthEval kStrengths[] = {StrengthEval::kPow,
+                                         StrengthEval::kLut};
+  constexpr Stage2Method kMethods[] = {Stage2Method::kTreeKernel,
+                                       Stage2Method::kAtomic};
+
+  std::vector<Case> cases;
+  for (const auto& size : kSizes) {
+    for (const bool image2d : {false, true}) {
+      for (const bool fuse : image2d ? std::vector<bool>{true}
+                                     : std::vector<bool>{false, true}) {
+        const std::vector<SobelImpl> sobels =
+            image2d ? std::vector<SobelImpl>{SobelImpl::kDefault}
+                    : std::vector<SobelImpl>{SobelImpl::kDefault,
+                                             SobelImpl::kScalar,
+                                             SobelImpl::kVec4, SobelImpl::kLds};
+        for (const bool vectorize : {false, true}) {
+          for (const bool padded_only : {false, true}) {
+            for (const SobelImpl sobel : sobels) {
+              for (const Placement border : kPlacements) {
+                for (const StrengthEval strength : kStrengths) {
+                  PipelineOptions base;
+                  base.use_image2d = image2d;
+                  base.fuse_sharpness = fuse;
+                  base.vectorize = vectorize;
+                  base.transfer_padded_only = padded_only;
+                  base.sobel_impl = sobel;
+                  base.border = border;
+                  base.strength = strength;
+
+                  {  // reduction on the CPU: stage 2 never launches
+                    PipelineOptions o = base;
+                    o.reduction = Placement::kCpu;
+                    cases.push_back({o, size.w, size.h});
+                  }
+                  for (const Placement stage2 : kPlacements) {
+                    for (const Stage2Method method : kMethods) {
+                      PipelineOptions o = base;
+                      o.reduction = Placement::kGpu;
+                      o.reduction_stage2 = stage2;
+                      o.stage2_method = method;
+                      // Forces stage 2 onto the GPU even at these small
+                      // partial counts, so the kAuto row still exercises
+                      // both sides of the threshold across sizes.
+                      if (stage2 == Placement::kAuto) {
+                        o.stage2_gpu_threshold = 100;
+                      }
+                      cases.push_back({o, size.w, size.h});
+                    }
+                  }
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return cases;
+}
+
+/// One finding, attributed all the way down to the argument.
+struct Finding {
+  std::string config;
+  std::string stage;
+  std::string kernel;
+  std::string detail;  ///< analyzer diagnostic or "missing contract"
+};
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool verbose = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: kernel_check [--json] [--verbose]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "kernel_check: unknown argument '%s'\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+
+  // One context for the whole sweep; plans allocate (and release) their
+  // device objects from it but nothing is ever enqueued on it.
+  simcl::Context ctx(simcl::amd_firepro_w8000());
+  const std::vector<Case> cases = build_matrix();
+
+  std::vector<Finding> findings;
+  std::size_t launches = 0;
+  for (const Case& c : cases) {
+    const sharp::gpu::LaunchPlan plan =
+        sharp::gpu::build_launch_plan(ctx, c.opt, c.w, c.h);
+    for (const sharp::gpu::PlannedLaunch& pl : plan.launches()) {
+      ++launches;
+      if (!pl.kernel.contract) {
+        findings.push_back(
+            {c.label(), pl.stage, pl.kernel.name, "missing contract"});
+        continue;
+      }
+      const simcl::contract::Report report =
+          simcl::contract::analyze(pl.kernel, pl.cfg, ctx.device());
+      for (const simcl::contract::Diagnostic& d : report.diagnostics) {
+        std::string detail = simcl::contract::to_string(d.kind);
+        if (!d.arg.empty()) detail += std::string(" arg=") + d.arg;
+        if (!d.object.empty()) detail += std::string(" object=") + d.object;
+        detail += std::string(": ") + d.message;
+        findings.push_back({c.label(), pl.stage, pl.kernel.name, detail});
+      }
+    }
+    if (verbose && !json) {
+      std::printf("checked %-70s %zu launches\n", c.label().c_str(),
+                  plan.launches().size());
+    }
+  }
+
+  if (json) {
+    std::printf("{\n  \"configs\": %zu,\n  \"launches\": %zu,\n",
+                cases.size(), launches);
+    std::printf("  \"kernels_executed\": 0,\n  \"findings\": [");
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+      const Finding& f = findings[i];
+      std::printf(
+          "%s\n    {\"config\": \"%s\", \"stage\": \"%s\", "
+          "\"kernel\": \"%s\", \"detail\": \"%s\"}",
+          i == 0 ? "" : ",", json_escape(f.config).c_str(),
+          json_escape(f.stage).c_str(), json_escape(f.kernel).c_str(),
+          json_escape(f.detail).c_str());
+    }
+    std::printf("%s],\n  \"ok\": %s\n}\n", findings.empty() ? "" : "\n  ",
+                findings.empty() ? "true" : "false");
+  } else {
+    std::printf(
+        "kernel_check: %zu configurations, %zu kernel launches analyzed, "
+        "0 executed\n",
+        cases.size(), launches);
+    for (const Finding& f : findings) {
+      std::fprintf(stderr, "FAIL [%s] stage=%s kernel=%s: %s\n",
+                   f.config.c_str(), f.stage.c_str(), f.kernel.c_str(),
+                   f.detail.c_str());
+    }
+    if (findings.empty()) {
+      std::printf("kernel_check: every launch proven safe\n");
+    } else {
+      std::printf("kernel_check: %zu findings\n", findings.size());
+    }
+  }
+  return findings.empty() ? 0 : 1;
+}

@@ -1,0 +1,222 @@
+#!/usr/bin/env python3
+"""Unit tests for the CI gate scripts (diff_bench.py, check_trace.py).
+
+Run directly (python3 tools/test_tools.py) or via ctest (PyTools.*).
+Each test drives a script end to end through a subprocess, asserting the
+documented exit codes: the gates' contract is their exit status, so that
+is what is pinned here. Uses only the standard library (unittest), which
+is all the container has.
+"""
+
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+import unittest
+
+TOOLS = pathlib.Path(__file__).resolve().parent
+
+
+def run_script(script, *args):
+    return subprocess.run(
+        [sys.executable, str(TOOLS / script), *map(str, args)],
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+
+
+class ScriptTest(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.tmp = pathlib.Path(self._tmp.name)
+        self.addCleanup(self._tmp.cleanup)
+
+    def write_json(self, name, payload):
+        path = self.tmp / name
+        path.write_text(json.dumps(payload))
+        return path
+
+
+def bench_record(stage, modeled, wall=1.0, size=512):
+    return {
+        "bench": "fig13",
+        "stage": stage,
+        "size": size,
+        "modeled_us": modeled,
+        "wall_us": wall,
+    }
+
+
+class DiffBenchTest(ScriptTest):
+    def diff(self, baseline, current, *extra):
+        return run_script(
+            "diff_bench.py",
+            self.write_json("baseline.json", baseline),
+            self.write_json("current.json", current),
+            *extra,
+        )
+
+    def test_identical_files_pass(self):
+        recs = [bench_record("sobel", 100.0), bench_record("center", 50.0)]
+        r = self.diff(recs, recs, "--threshold", 5)
+        self.assertEqual(r.returncode, 0, r.stderr)
+        self.assertIn("sobel", r.stdout)
+
+    def test_small_drift_within_threshold_passes(self):
+        r = self.diff(
+            [bench_record("sobel", 100.0)],
+            [bench_record("sobel", 104.0)],
+            "--threshold", 5,
+        )
+        self.assertEqual(r.returncode, 0, r.stderr)
+
+    def test_regression_beyond_threshold_fails(self):
+        r = self.diff(
+            [bench_record("sobel", 100.0)],
+            [bench_record("sobel", 110.0)],
+            "--threshold", 5,
+        )
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("modeled_us", r.stderr)
+        self.assertIn("+10.00%", r.stderr)
+
+    def test_wall_clock_metrics_are_ignored_by_default(self):
+        r = self.diff(
+            [bench_record("sobel", 100.0, wall=1.0)],
+            [bench_record("sobel", 100.0, wall=9000.0)],
+            "--threshold", 5,
+        )
+        self.assertEqual(r.returncode, 0, r.stderr)
+
+    def test_missing_record_fails_the_gate(self):
+        r = self.diff(
+            [bench_record("sobel", 100.0), bench_record("center", 50.0)],
+            [bench_record("sobel", 100.0)],
+            "--threshold", 5,
+        )
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("record gone", r.stderr)
+
+    def test_changed_metric_set_fails_the_gate(self):
+        changed = dict(bench_record("sobel", 100.0))
+        changed["extra_us"] = 1.0
+        r = self.diff(
+            [bench_record("sobel", 100.0)], [changed], "--threshold", 5
+        )
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("metric set changed", r.stderr)
+
+    def test_new_record_is_reported_but_passes(self):
+        r = self.diff(
+            [bench_record("sobel", 100.0)],
+            [bench_record("sobel", 100.0), bench_record("center", 50.0)],
+            "--threshold", 5,
+        )
+        self.assertEqual(r.returncode, 0, r.stderr)
+        self.assertIn("new record", r.stdout)
+
+    def test_without_threshold_deviations_only_report(self):
+        r = self.diff(
+            [bench_record("sobel", 100.0)], [bench_record("sobel", 200.0)]
+        )
+        self.assertEqual(r.returncode, 0, r.stderr)
+
+    def test_malformed_json_is_a_usage_error(self):
+        bad = self.tmp / "bad.json"
+        bad.write_text("{not json")
+        ok = self.write_json("ok.json", [bench_record("sobel", 1.0)])
+        r = run_script("diff_bench.py", bad, ok)
+        self.assertEqual(r.returncode, 2)
+
+    def test_duplicate_identity_is_a_usage_error(self):
+        rec = bench_record("sobel", 100.0)
+        r = self.diff([rec, rec], [rec])
+        self.assertEqual(r.returncode, 2)
+        self.assertIn("duplicate", r.stderr)
+
+
+def span(name, cat, dur, pid=2, tid=1, ts=0.0):
+    return {
+        "name": name,
+        "cat": cat,
+        "ph": "X",
+        "ts": ts,
+        "dur": dur,
+        "pid": pid,
+        "tid": tid,
+    }
+
+
+def process_meta(pid=2, name="simcl device"):
+    return {
+        "name": "process_name",
+        "ph": "M",
+        "pid": pid,
+        "args": {"name": name},
+    }
+
+
+class CheckTraceTest(ScriptTest):
+    def check(self, trace, bench=None):
+        args = [self.write_json("trace.json", trace)]
+        if bench is not None:
+            args.append(self.write_json("fig13.json", bench))
+        return run_script("check_trace.py", *args)
+
+    def test_wellformed_trace_passes(self):
+        r = self.check([process_meta(), span("sobel_vec4", "sobel", 10.0)])
+        self.assertEqual(r.returncode, 0, r.stderr)
+        self.assertIn("1 spans", r.stdout)
+
+    def test_non_array_root_fails(self):
+        r = self.check({"traceEvents": []})
+        self.assertEqual(r.returncode, 1)
+
+    def test_trace_without_spans_fails(self):
+        r = self.check([process_meta()])
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("no complete", r.stderr)
+
+    def test_trace_without_process_metadata_fails(self):
+        r = self.check([span("sobel_vec4", "sobel", 10.0)])
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("process_name", r.stderr)
+
+    def test_span_missing_field_fails(self):
+        bad = span("sobel_vec4", "sobel", 10.0)
+        del bad["tid"]
+        r = self.check([process_meta(), bad])
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("missing 'tid'", r.stderr)
+
+    def test_negative_duration_fails(self):
+        r = self.check([process_meta(), span("sobel_vec4", "sobel", -1.0)])
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("negative", r.stderr)
+
+    def test_bench_agreement_within_tolerance_passes(self):
+        trace = [
+            process_meta(),
+            span("sobel_vec4", "sobel", 98.0, pid=2),
+            span("reduction", "host", 49.0, pid=3),
+        ]
+        bench = [
+            bench_record("sobel", 100.0),
+            bench_record("reduction", 50.0),
+        ]
+        r = self.check(trace, bench)
+        self.assertEqual(r.returncode, 0, r.stderr)
+        self.assertIn("agrees", r.stdout)
+
+    def test_bench_disagreement_fails(self):
+        trace = [process_meta(), span("sobel_vec4", "sobel", 80.0, pid=2)]
+        bench = [bench_record("sobel", 100.0)]
+        r = self.check(trace, bench)
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("disagrees", r.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)
