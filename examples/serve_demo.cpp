@@ -1,25 +1,90 @@
 // Serving demo: a SharpenService pool handling mixed-resolution traffic
-// (512^2 .. 4096^2) submitted concurrently, with per-request deadlines
-// and a final stats snapshot. Shows the futures API end to end:
+// (512^2 .. 4096^2) submitted concurrently, with per-request deadlines,
+// request-id trace correlation, and the live observability plane:
 //
 //   submit -> future<ServiceResponse> -> outcome + pixels + modeled time
+//   GET /metrics | /healthz | /trace  -> embedded HTTP endpoint
+//   SHARP_TRACE_STREAM=<path>         -> streamed JSONL span trace
+//
+// The demo binds the endpoint on an ephemeral port (or
+// $SHARP_METRICS_PORT), prints the scrape URL, and scrapes /metrics over
+// a real client socket before shutting down. An optional argv[1] saves
+// that scrape body to a file so CI can validate it with
+// tools/check_metrics.py.
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <fstream>
 #include <future>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "image/generate.hpp"
 #include "report/table.hpp"
+#include "sharpen/env.hpp"
 #include "sharpen/sharpen.hpp"
 #include "sharpen/telemetry/metrics.hpp"
+#include "sharpen/telemetry/stream_sink.hpp"
+#include "sharpen/telemetry/telemetry.hpp"
 
-int main() {
+namespace {
+
+/// Minimal loopback HTTP GET (the in-process scrape): returns the
+/// response body, or an empty string on any socket failure.
+std::string http_get(int port, const std::string& target) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return {};
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return {};
+  }
+  const std::string request =
+      "GET " + target + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  ::send(fd, request.data(), request.size(), 0);
+  std::string response;
+  char buf[4096];
+  ssize_t n = 0;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  const std::size_t body = response.find("\r\n\r\n");
+  return body == std::string::npos ? std::string{} : response.substr(body + 4);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using sharp::report::fmt;
+
+  // Record spans so /trace and the streamed JSONL have content; the
+  // stream sink itself only runs when $SHARP_TRACE_STREAM is set.
+  sharp::telemetry::set_enabled(true);
 
   sharp::ServiceConfig cfg;
   cfg.workers = 2;
   cfg.queue_capacity = 8;
   cfg.backpressure = sharp::BackpressurePolicy::kBlock;
+  // Ephemeral port unless $SHARP_METRICS_PORT picks a fixed one.
+  cfg.metrics_port = sharp::env::metrics_port().value_or(0);
   sharp::SharpenService service(cfg);
+
+  const int port = service.metrics_port().value_or(0);
+  std::cout << "observability endpoint: http://127.0.0.1:" << port
+            << "  (GET /metrics, /healthz, /trace)\n";
+  if (const auto stream = sharp::env::trace_stream()) {
+    std::cout << "streaming spans to: " << *stream << " (JSONL)\n";
+  }
+  std::cout << '\n';
 
   // Mixed traffic: mostly HD-ish frames with occasional large stills.
   const std::vector<int> sizes{512, 1024, 512, 2048, 1024, 512,
@@ -36,10 +101,10 @@ int main() {
 
   sharp::report::banner(std::cout, "Serving mixed 512^2..4096^2 traffic");
   sharp::report::Table t(
-      {"request", "size", "outcome", "worker", "modeled_ms"});
+      {"request", "req_id", "size", "outcome", "worker", "modeled_ms"});
   for (std::size_t i = 0; i < futures.size(); ++i) {
     const sharp::ServiceResponse r = futures[i].get();
-    t.add_row({std::to_string(i),
+    t.add_row({std::to_string(i), std::to_string(r.request_id),
                sharp::report::size_label(sizes[i], sizes[i]),
                sharp::service::to_string(r.outcome),
                std::to_string(r.worker),
@@ -51,9 +116,27 @@ int main() {
   sharp::report::banner(std::cout, "Service stats");
   service.stats().to_table().print(std::cout);
 
-  // The same numbers, as a Prometheus-style scrape a sidecar would serve.
+  // Scrape the live endpoint the way Prometheus would: a real HTTP GET
+  // against the listening socket, while the service is still up.
+  const std::string health = http_get(port, "/healthz");
+  const std::string metrics = http_get(port, "/metrics");
   std::cout << '\n';
-  sharp::report::banner(std::cout, "Metrics exposition (/metrics)");
-  std::cout << sharp::telemetry::expose_text(service.registry());
-  return 0;
+  sharp::report::banner(std::cout, "GET /healthz");
+  std::cout << health << '\n';
+  sharp::report::banner(std::cout, "GET /metrics (scraped over HTTP)");
+  std::cout << metrics;
+
+  if (argc > 1) {
+    std::ofstream out(argv[1], std::ios::trunc);
+    out << metrics;
+    std::cout << "\nsaved /metrics scrape to " << argv[1] << '\n';
+  }
+  if (sharp::telemetry::StreamSink* sink =
+          sharp::telemetry::env_stream_sink()) {
+    sink->flush();
+    std::cout << "streamed " << sink->spans_streamed() << " spans ("
+              << sink->bytes_written() << " bytes, " << sink->rotations()
+              << " rotations)\n";
+  }
+  return metrics.empty() ? 1 : 0;
 }

@@ -7,6 +7,10 @@
 //   SHARP_FORCE_SCALAR 1 — forces the scalar tier (wins over SHARP_SIMD)
 //   SHARP_TRACE        1 or a path — enables telemetry; a path also writes
 //                      a Chrome trace there at exit
+//   SHARP_TRACE_STREAM path — enables telemetry and streams spans to a
+//                      rotating newline-delimited-JSON file during the run
+//   SHARP_METRICS_PORT 0..65535 — SharpenService serves GET /metrics,
+//                      /healthz and /trace on this port (0 = ephemeral)
 //   SHARP_BAND_ROWS    integer — overrides the fused band autotuner
 //   SIMCL_CHECKED      full|bounds,races,lifetime — simcl validation mode
 //                      (parsed by simcl::validation, documented here)
@@ -45,6 +49,16 @@ namespace sharp::env {
 /// clamped to [2, 1024]; non-numeric values are ignored. Re-read on
 /// every call (not cached).
 [[nodiscard]] std::optional<int> band_rows();
+
+/// SHARP_TRACE_STREAM: target path for the streaming JSONL span sink
+/// (telemetry::env_stream_sink); setting it also enables span recording.
+/// Re-read on every call (not cached) so tests can set and unset it.
+[[nodiscard]] std::optional<std::string> trace_stream();
+
+/// SHARP_METRICS_PORT: TCP port for the SharpenService observability
+/// endpoint (0 = ephemeral). Non-numeric or out-of-range values are
+/// ignored. Re-read on every call (not cached).
+[[nodiscard]] std::optional<int> metrics_port();
 
 /// One documented knob: name, accepted values, effect.
 struct Knob {

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
 #include "image/image.hpp"
@@ -54,13 +55,18 @@ class FrameRunner {
     std::size_t xfer_events_begin = 0;
     std::size_t xfer_events_after_upload = 0;
     simcl::Event upload_done;  ///< last H2D event; compute waits on it
+    /// Request-trace correlation id (SharpenService); 0 = untagged.
+    std::uint64_t request_id = 0;
   };
 
   /// Enqueues the upload of `input` on the transfer queue.
   /// `charge_allocations` additionally charges the one-time flat buffer
   /// allocation cost into this frame (first frame of a pool's life).
+  /// A non-zero `request_id` tags the frame spans and every bridged
+  /// device event with a {"req", id} trace argument.
   [[nodiscard]] Ticket begin_frame(const img::ImageU8& input,
-                                   bool charge_allocations, int slot = 0);
+                                   bool charge_allocations, int slot = 0,
+                                   std::uint64_t request_id = 0);
 
   /// Enqueues kernels, host stages and the readback for an uploaded
   /// frame and returns the completed result. In overlapped (two-queue)

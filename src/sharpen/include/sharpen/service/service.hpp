@@ -10,11 +10,13 @@
 // one-shot sharp::sharpen() path in every mode.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <thread>
@@ -24,6 +26,7 @@
 #include "report/table.hpp"
 #include "sharpen/execution.hpp"
 #include "sharpen/pipeline_result.hpp"
+#include "sharpen/telemetry/http_exporter.hpp"
 #include "sharpen/telemetry/metrics.hpp"
 
 namespace sharp::service {
@@ -50,6 +53,12 @@ struct ServiceResponse {
   PipelineResult result;
   /// Index of the worker that served the request; -1 when no worker did.
   int worker = -1;
+  /// The id submit() assigned (or the caller supplied): every telemetry
+  /// span of this request — queue wait, execute, frame begin/finish and
+  /// the bridged per-stage device events — carries it as a "req" span
+  /// argument, so one request's timeline can be filtered out of a
+  /// streamed trace.
+  std::uint64_t request_id = 0;
 
   /// True when `result` holds sharpened pixels.
   [[nodiscard]] bool ok() const {
@@ -63,6 +72,10 @@ struct SubmitOptions {
   /// this long after submission (checked at dequeue; an expired request
   /// completes its future with RequestOutcome::kExpired).
   std::optional<std::chrono::milliseconds> deadline;
+  /// Caller-chosen request id for trace correlation (e.g. an upstream
+  /// trace id). 0 (the default) assigns the service's next monotonically
+  /// increasing id. Reported back in ServiceResponse::request_id.
+  std::uint64_t request_id = 0;
 };
 
 struct ServiceConfig {
@@ -76,6 +89,11 @@ struct ServiceConfig {
   /// Worker execution descriptor: options/device/host for Backend::kGpu
   /// workers, or the host spec for (unusual) Backend::kCpu workers.
   Execution execution;
+  /// TCP port for the embedded observability endpoint (GET /metrics,
+  /// /healthz, /trace). nullopt defers to $SHARP_METRICS_PORT (unset =
+  /// no endpoint); 0 binds an ephemeral port — read the kernel's choice
+  /// from SharpenService::metrics_port().
+  std::optional<int> metrics_port;
 };
 
 /// Point-in-time statistics snapshot; all times are simulated-device time.
@@ -137,6 +155,14 @@ class SharpenService {
     return registry_;
   }
 
+  /// Port the embedded observability endpoint is answering on (resolves
+  /// ephemeral port 0), or nullopt when no endpoint is running.
+  [[nodiscard]] std::optional<int> metrics_port() const;
+
+  /// The /healthz response body: liveness plus worker/queue state as a
+  /// one-line JSON document.
+  [[nodiscard]] std::string healthz_json() const;
+
  private:
   struct Job {
     img::ImageU8 frame;
@@ -144,6 +170,7 @@ class SharpenService {
     std::promise<ServiceResponse> promise;
     std::optional<std::chrono::steady_clock::time_point> deadline;
     double submit_us = 0.0;  ///< telemetry clock at submit (queue-wait split)
+    std::uint64_t request_id = 0;
   };
 
   void worker_loop(int index);
@@ -169,11 +196,23 @@ class SharpenService {
   telemetry::Gauge* queue_depth_ = nullptr;
   telemetry::Histogram* latency_us_ = nullptr;
   telemetry::Histogram* queue_wait_us_ = nullptr;
+  /// Wall time from submit() to response (admission to completion) —
+  /// the end-to-end number a caller actually experiences, as opposed to
+  /// latency_us_'s modeled device time.
+  telemetry::Histogram* e2e_latency_us_ = nullptr;
+
+  std::atomic<std::uint64_t> next_request_id_{1};
 
   mutable std::mutex stats_mu_;  ///< guards worker_busy_us_
   std::vector<double> worker_busy_us_;
 
   std::vector<std::thread> threads_;
+  /// Embedded /metrics·/healthz·/trace endpoint; null when no port is
+  /// configured. Declared after threads_ so it is destroyed (acceptor
+  /// joined) before the workers only in construction order terms — the
+  /// destructor stops it explicitly before joining workers so scrapes
+  /// never observe half-torn-down state.
+  std::unique_ptr<telemetry::HttpExporter> exporter_;
 };
 
 }  // namespace sharp::service

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
@@ -34,9 +35,12 @@ void write_chrome_trace(std::ostream& os);
 /// Records events [begin, end) of `queue.events()` as spans on the
 /// queue's kDevicePid track (tid = queue.id()); the span category is the
 /// event's pipeline phase (or its command kind when no phase is set).
-/// Records unconditionally — callers gate on enabled() or the pipeline's
-/// trace switch. No-op on an empty/out-of-bounds range.
+/// A non-zero `request_id` tags every bridged span with a {"req", id}
+/// argument so the device events of one service request can be filtered
+/// out of a streamed trace. Records unconditionally — callers gate on
+/// enabled() or the pipeline's trace switch. No-op on an
+/// empty/out-of-bounds range.
 void bridge_queue_events(const simcl::CommandQueue& queue, std::size_t begin,
-                         std::size_t end);
+                         std::size_t end, std::uint64_t request_id = 0);
 
 }  // namespace sharp::telemetry

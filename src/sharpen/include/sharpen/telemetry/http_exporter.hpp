@@ -1,0 +1,69 @@
+// Embedded HTTP observability endpoint: a minimal blocking-accept POSIX
+// socket server (one acceptor thread, zero third-party dependencies)
+// that answers
+//
+//   GET /metrics  -> Prometheus text exposition (telemetry::Registry)
+//   GET /healthz  -> liveness + worker/queue state as JSON
+//   GET /trace    -> Chrome-trace snapshot of every recorded span
+//
+// on a loopback-reachable TCP port. SharpenService starts one when
+// ServiceConfig::metrics_port (or $SHARP_METRICS_PORT) is set, wiring the
+// three routes to its registry, stats and the process trace; the class is
+// also usable standalone (defaults serve the global registry and a
+// minimal health document). Requests are handled serially on the
+// acceptor thread — a scrape is a few kilobytes, and serialization keeps
+// the server at one thread with a trivially clean shutdown (stop flag +
+// poll timeout + join).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace sharp::telemetry {
+
+struct HttpExporterConfig {
+  /// TCP port to bind on 0.0.0.0; 0 picks an ephemeral port (read the
+  /// result from HttpExporter::port()).
+  int port = 0;
+  /// Route bodies. Defaults (when empty): /metrics serves the global
+  /// registry, /healthz a minimal {"status":"ok"} document, /trace the
+  /// write_chrome_trace snapshot.
+  std::function<std::string()> metrics;
+  std::function<std::string()> healthz;
+  std::function<std::string()> trace;
+};
+
+class HttpExporter {
+ public:
+  /// Binds, listens and starts the acceptor thread. Throws
+  /// std::runtime_error when the socket cannot be bound.
+  explicit HttpExporter(HttpExporterConfig config);
+  /// Stops accepting, closes the socket, joins the acceptor.
+  ~HttpExporter();
+
+  HttpExporter(const HttpExporter&) = delete;
+  HttpExporter& operator=(const HttpExporter&) = delete;
+
+  /// The port actually bound (resolves port 0 to the kernel's choice).
+  [[nodiscard]] int port() const { return port_; }
+  /// Requests answered so far (any status).
+  [[nodiscard]] std::uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void acceptor_loop();
+  void handle_connection(int fd);
+
+  HttpExporterConfig config_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  std::thread acceptor_;
+};
+
+}  // namespace sharp::telemetry

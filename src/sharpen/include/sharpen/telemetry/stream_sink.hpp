@@ -1,0 +1,111 @@
+// Streaming span sink: the long-run counterpart of the one-shot Chrome
+// trace export. A background drainer thread consumes every per-thread
+// span ring incrementally (telemetry::drain_new_spans) and appends the
+// spans as newline-delimited JSON to a rotating file — each line is a
+// complete Chrome-trace event object, so a streamed file (or any rotated
+// generation) can be wrapped in "[...]" and loaded in Perfetto, and
+// tools/check_trace.py accepts the JSONL form directly.
+//
+// Why a sink at all: the rings are bounded (16384 spans/thread), so a
+// SharpenService run of hours would silently overwrite history between
+// post-mortem exports. The sink bounds memory (rings never grow) and
+// bounds loss: a span is only lost when the ring wraps faster than the
+// drainer runs, and every such loss is counted — per-ring (spans_dropped)
+// and in the global registry (sharp_telemetry_spans_dropped_total) — at
+// the moment of the overwrite, whether or not a sink is running.
+//
+// Exactly one sink may run per process (drain_new_spans is single-
+// consumer). $SHARP_TRACE_STREAM=<path> starts the process-global one
+// (see env_stream_sink); tests construct their own with a private path
+// after making sure the env sink is not active.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace sharp::telemetry {
+
+struct StreamSinkConfig {
+  /// Target file. Rotated generations are `<path>.1` (newest) through
+  /// `<path>.<max_rotated_files>` (oldest).
+  std::string path;
+  /// Rotate when the current file would exceed this many bytes. A single
+  /// drain batch larger than the limit is written whole (the file rotates
+  /// on the next drain) so no span is ever split across files.
+  std::size_t rotate_bytes = std::size_t{64} << 20;
+  /// Rotated generations kept; older ones are deleted at rotation.
+  int max_rotated_files = 3;
+  /// Drainer wake-up period. Each cycle drains every ring once; spans only
+  /// drop when a ring wraps completely within one period.
+  std::chrono::milliseconds drain_interval{20};
+  /// Durability policy: how often the sink fsync()s the stream file.
+  enum class Fsync {
+    kNever,   ///< OS page cache decides (fastest, default)
+    kRotate,  ///< fsync a generation as it is sealed
+    kDrain,   ///< fsync after every drain batch (crash-safe, slowest)
+  };
+  Fsync fsync = Fsync::kNever;
+};
+
+class StreamSink {
+ public:
+  /// Opens the stream file (append) and starts the drainer thread.
+  /// Throws std::runtime_error when the file cannot be opened. Recording
+  /// itself is not touched: enable spans via set_enabled() /
+  /// $SHARP_TRACE / $SHARP_TRACE_STREAM as usual.
+  explicit StreamSink(StreamSinkConfig config);
+  /// Final drain, close, join.
+  ~StreamSink();
+
+  StreamSink(const StreamSink&) = delete;
+  StreamSink& operator=(const StreamSink&) = delete;
+
+  /// Synchronously drains everything recorded so far into the file
+  /// (callers that are about to read the file; the drainer keeps
+  /// running).
+  void flush();
+
+  [[nodiscard]] const StreamSinkConfig& config() const { return config_; }
+  /// Spans written to the stream so far.
+  [[nodiscard]] std::uint64_t spans_streamed() const;
+  /// Completed rotations (generations sealed).
+  [[nodiscard]] std::uint64_t rotations() const;
+  /// Bytes written across all generations.
+  [[nodiscard]] std::uint64_t bytes_written() const;
+
+ private:
+  void drainer_loop();
+  /// Drains the rings once and appends the batch; caller holds io_mu_.
+  void drain_once_locked();
+  /// Opens config_.path for append and writes the metadata header
+  /// (process_name / thread_name events) so every generation is
+  /// self-contained; caller holds io_mu_.
+  void open_locked();
+  void rotate_locked();
+  void write_locked(const std::string& data);
+
+  StreamSinkConfig config_;
+
+  std::mutex io_mu_;  ///< serializes drainer cycles and flush()
+  int fd_ = -1;
+  std::size_t file_bytes_ = 0;  ///< bytes in the current generation
+
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  bool stop_ = false;
+
+  std::thread drainer_;
+};
+
+/// Starts (once) and returns the process-global sink configured by
+/// $SHARP_TRACE_STREAM, also enabling span recording; nullptr when the
+/// variable is unset. SharpenService calls this at construction so any
+/// service run streams without code changes.
+StreamSink* env_stream_sink();
+
+}  // namespace sharp::telemetry

@@ -58,6 +58,9 @@ struct SpanRecord {
   std::uint32_t pid = kHostPid;
   std::uint32_t tid = 0;  ///< host: this_thread_track(); device: queue id
   SpanArg arg;
+  /// Second argument slot: request-scoped tracing tags spans with the
+  /// serving request id ("req") next to the primary payload argument.
+  SpanArg arg2;
 };
 
 /// True when span recording is on. One relaxed atomic load — callers may
@@ -96,17 +99,33 @@ void record(const SpanRecord& rec);
 
 /// Convenience: record a wall-time span on this thread's host track.
 void emit_complete(const char* name, const char* category, double start_us,
-                   double dur_us, SpanArg arg = {});
+                   double dur_us, SpanArg arg = {}, SpanArg arg2 = {});
 
 /// All spans currently held in every thread's ring, sorted by start time.
 [[nodiscard]] std::vector<SpanRecord> snapshot();
+
+/// Incremental single-consumer drain: appends every span pushed since the
+/// previous call to `out` and advances the process-wide consume cursor.
+/// Spans a consumer has taken are no longer counted as lost when their
+/// ring slot is overwritten, which is how the streaming sink keeps long
+/// runs from dropping anything. snapshot() stays non-destructive (it
+/// ignores the cursor). Exactly one consumer may call this (the stream
+/// sink's drainer thread; tests must not run one concurrently). Returns
+/// the number of spans appended. A slot overwritten mid-copy is discarded
+/// from `out` (it was already accounted as dropped by the writer).
+std::size_t drain_new_spans(std::vector<SpanRecord>& out);
 
 /// Registered track names as ((pid, tid), name) pairs.
 [[nodiscard]] std::vector<
     std::pair<std::pair<std::uint32_t, std::uint32_t>, std::string>>
 track_names();
 
-/// Total spans ever recorded / dropped to ring wrap-around.
+/// Total spans ever recorded / lost to ring wrap-around. A span only
+/// counts as dropped when its slot is overwritten before any consumer
+/// (drain_new_spans) took it; every such loss is also accounted in the
+/// global registry's `sharp_telemetry_spans_dropped_total` counter at
+/// the moment of the overwrite — full rings never lose spans silently,
+/// stream sink or not.
 [[nodiscard]] std::uint64_t spans_recorded();
 [[nodiscard]] std::uint64_t spans_dropped();
 
@@ -131,7 +150,8 @@ class Span {
   }
   ~Span() {
     if (on_) {
-      emit_complete(name_, category_, start_us_, now_us() - start_us_, arg_);
+      emit_complete(name_, category_, start_us_, now_us() - start_us_, arg_,
+                    arg2_);
     }
   }
   Span(const Span&) = delete;
@@ -141,12 +161,15 @@ class Span {
 
   /// Attaches/overwrites the numeric argument before destruction.
   void set_arg(const char* key, std::int64_t value) { arg_ = {key, value}; }
+  /// Attaches the secondary argument (request-id tagging).
+  void set_arg2(const char* key, std::int64_t value) { arg2_ = {key, value}; }
 
  private:
   bool on_;
   const char* name_;
   const char* category_;
   SpanArg arg_;
+  SpanArg arg2_;
   double start_us_ = 0.0;
 };
 

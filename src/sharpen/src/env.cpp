@@ -56,6 +56,21 @@ std::optional<int> band_rows() {
   return static_cast<int>(std::clamp<long>(parsed, 2, 1024));
 }
 
+std::optional<std::string> trace_stream() { return raw("SHARP_TRACE_STREAM"); }
+
+std::optional<int> metrics_port() {
+  const std::optional<std::string> v = raw("SHARP_METRICS_PORT");
+  if (!v) {
+    return std::nullopt;
+  }
+  char* end = nullptr;
+  const long parsed = std::strtol(v->c_str(), &end, 10);
+  if (end == v->c_str() || *end != '\0' || parsed < 0 || parsed > 65535) {
+    return std::nullopt;  // not a port: ignore, like a bad SHARP_SIMD
+  }
+  return static_cast<int>(parsed);
+}
+
 const std::vector<Knob>& knobs() {
   static const std::vector<Knob> table = {
       {"SHARP_SIMD", "scalar|sse41|avx2|avx512",
@@ -66,6 +81,16 @@ const std::vector<Knob>& knobs() {
       {"SHARP_TRACE", "1 | <path>",
        "enables sharp::telemetry spans process-wide; a path also writes a "
        "Chrome trace there at exit; read once"},
+      {"SHARP_TRACE_STREAM", "<path>",
+       "enables telemetry and streams every span to <path> as rotating "
+       "newline-delimited JSON (Chrome-trace events, one per line) while "
+       "the process runs; started by SharpenService or "
+       "telemetry::env_stream_sink(); re-read per query"},
+      {"SHARP_METRICS_PORT", "0..65535",
+       "SharpenService serves GET /metrics (Prometheus text), /healthz "
+       "(JSON) and /trace (Chrome trace) on this TCP port; 0 binds an "
+       "ephemeral port (SharpenService::metrics_port() reports it); "
+       "re-read per service construction"},
       {"SHARP_BAND_ROWS", "2..1024",
        "overrides the cache-topology band autotuner of the fused CPU "
        "sweep (fused::auto_band_rows); re-read per pipeline run"},

@@ -95,7 +95,8 @@ std::string FrameRunner::slot_name(const char* base, int slot) const {
 
 FrameRunner::Ticket FrameRunner::begin_frame(const img::ImageU8& input,
                                              bool charge_allocations,
-                                             int slot) {
+                                             int slot,
+                                             std::uint64_t request_id) {
   validate_size(input.width(), input.height());
   if (slot < 0 || slot >= slots_) {
     throw SharpenError("FrameRunner: slot out of range");
@@ -106,11 +107,15 @@ FrameRunner::Ticket FrameRunner::begin_frame(const img::ImageU8& input,
   const PipelineOptions& opt = options_;
   const bool trace = telemetry::pipeline_trace_on(options_);
   telemetry::Span span(trace, "frame.begin", "frame", {"pixels", n});
+  if (request_id != 0) {
+    span.set_arg2("req", static_cast<std::int64_t>(request_id));
+  }
 
   Ticket t;
   t.w = w;
   t.h = h;
   t.slot = slot;
+  t.request_id = request_id;
   t.comp_events_begin = comp_->events().size();
   t.xfer_events_begin = xfer_->events().size();
 
@@ -183,7 +188,7 @@ FrameRunner::Ticket FrameRunner::begin_frame(const img::ImageU8& input,
   t.upload_done = xfer_->events().back();
   if (trace) {
     telemetry::bridge_queue_events(*xfer_, t.xfer_events_begin,
-                                   t.xfer_events_after_upload);
+                                   t.xfer_events_after_upload, request_id);
   }
   return t;
 }
@@ -200,6 +205,9 @@ PipelineResult FrameRunner::finish_frame(const Ticket& t,
   const KernelEnv env = KernelEnv::from(opt);
   const bool trace = telemetry::pipeline_trace_on(options_);
   telemetry::Span span(trace, "frame.finish", "frame", {"pixels", n});
+  if (t.request_id != 0) {
+    span.set_arg2("req", static_cast<std::int64_t>(t.request_id));
+  }
 
   CommandQueue& q = *comp_;
   const Mover mover{q, opt.transfer};
@@ -526,9 +534,9 @@ PipelineResult FrameRunner::finish_frame(const Ticket& t,
     result.total_modeled_us = last_end - first_start;
     if (trace) {
       telemetry::bridge_queue_events(*comp_, t.comp_events_begin,
-                                     comp_->events().size());
+                                     comp_->events().size(), t.request_id);
       telemetry::bridge_queue_events(*xfer_, download_begin,
-                                     xfer_->events().size());
+                                     xfer_->events().size(), t.request_id);
     }
   } else {
     accumulate(q.events(), t.comp_events_begin, q.events().size());
@@ -537,7 +545,7 @@ PipelineResult FrameRunner::finish_frame(const Ticket& t,
       // begin_frame already bridged the upload range of this (shared)
       // queue; start after it to keep every event bridged exactly once.
       telemetry::bridge_queue_events(q, t.xfer_events_after_upload,
-                                     q.events().size());
+                                     q.events().size(), t.request_id);
     }
   }
   for (const auto& phase : order) {

@@ -5,10 +5,15 @@
 #include <exception>
 #include <utility>
 
+#include <sstream>
+
 #include "sharpen/cpu_pipeline.hpp"
+#include "sharpen/env.hpp"
 #include "sharpen/service/buffer_pool.hpp"
 #include "sharpen/service/frame_runner.hpp"
+#include "sharpen/telemetry/chrome_trace.hpp"
 #include "sharpen/telemetry/pipeline_trace.hpp"
+#include "sharpen/telemetry/stream_sink.hpp"
 #include "simcl/queue.hpp"
 
 namespace sharp::service {
@@ -78,14 +83,37 @@ SharpenService::SharpenService(ServiceConfig config)
   queue_wait_us_ = &registry_.histogram(
       "sharp_service_queue_wait_us", telemetry::default_latency_bounds_us(),
       "wall time a request waited for a worker");
+  e2e_latency_us_ = &registry_.histogram(
+      "sharp_service_e2e_latency_us", telemetry::default_latency_bounds_us(),
+      "wall time from submit() to response (queue wait + execution)");
   worker_busy_us_.assign(static_cast<std::size_t>(config_.workers), 0.0);
   threads_.reserve(static_cast<std::size_t>(config_.workers));
   for (int i = 0; i < config_.workers; ++i) {
     threads_.emplace_back([this, i] { worker_loop(i); });
   }
+  // Observability plane: $SHARP_TRACE_STREAM starts the process-global
+  // streaming span sink; metrics_port (config first, env fallback) starts
+  // the embedded HTTP endpoint wired to this service's registry, health
+  // and the process trace.
+  (void)telemetry::env_stream_sink();
+  const std::optional<int> port =
+      config_.metrics_port ? config_.metrics_port : env::metrics_port();
+  if (port) {
+    telemetry::HttpExporterConfig http;
+    http.port = *port;
+    http.metrics = [this] {
+      return registry_.expose_text() +
+             telemetry::global_registry().expose_text();
+    };
+    http.healthz = [this] { return healthz_json(); };
+    exporter_ = std::make_unique<telemetry::HttpExporter>(std::move(http));
+  }
 }
 
 SharpenService::~SharpenService() {
+  // Stop answering scrapes before the worker state they report on is torn
+  // down; the acceptor thread is joined inside the reset.
+  exporter_.reset();
   {
     std::lock_guard<std::mutex> lk(mu_);
     stop_ = true;
@@ -104,6 +132,10 @@ std::future<ServiceResponse> SharpenService::submit(img::ImageU8 frame,
   job.frame = std::move(frame);
   job.params = params;
   job.submit_us = telemetry::now_us();
+  job.request_id = opts.request_id != 0
+                       ? opts.request_id
+                       : next_request_id_.fetch_add(
+                             1, std::memory_order_relaxed);
   if (opts.deadline.has_value()) {
     job.deadline = Clock::now() + *opts.deadline;
   }
@@ -130,6 +162,7 @@ std::future<ServiceResponse> SharpenService::submit(img::ImageU8 frame,
         rejected_->inc();
         ServiceResponse response;
         response.outcome = RequestOutcome::kRejected;
+        response.request_id = job.request_id;
         job.promise.set_value(std::move(response));
         return future;
       }
@@ -139,6 +172,7 @@ std::future<ServiceResponse> SharpenService::submit(img::ImageU8 frame,
         // pipeline (every backend is bit-identical), host-modeled timing.
         ServiceResponse response;
         response.outcome = RequestOutcome::kDegraded;
+        response.request_id = job.request_id;
         PipelineOptions degrade_options = config_.execution.options;
         if (degrade_options.cpu_cache_sharers == 0) {
           // The fallback shares this host's caches with every worker.
@@ -148,6 +182,7 @@ std::future<ServiceResponse> SharpenService::submit(img::ImageU8 frame,
             CpuPipeline(config_.execution.host, degrade_options)
                 .run(job.frame, job.params);
         degraded_->inc();
+        e2e_latency_us_->observe(telemetry::now_us() - job.submit_us);
         job.promise.set_value(std::move(response));
         return future;
       }
@@ -207,6 +242,38 @@ ServiceStats SharpenService::stats() const {
   return s;
 }
 
+std::optional<int> SharpenService::metrics_port() const {
+  if (!exporter_) {
+    return std::nullopt;
+  }
+  return exporter_->port();
+}
+
+std::string SharpenService::healthz_json() const {
+  std::size_t depth = 0;
+  int inflight = 0;
+  bool stopping = false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    depth = queue_.size();
+    inflight = inflight_;
+    stopping = stop_;
+  }
+  std::ostringstream os;
+  os << "{\"status\":\"" << (stopping ? "stopping" : "ok") << "\""
+     << ",\"workers\":" << config_.workers
+     << ",\"queue_depth\":" << depth
+     << ",\"queue_capacity\":" << config_.queue_capacity
+     << ",\"inflight\":" << inflight
+     << ",\"submitted\":" << submitted_->value()
+     << ",\"completed\":" << completed_->value()
+     << ",\"degraded\":" << degraded_->value()
+     << ",\"rejected\":" << rejected_->value()
+     << ",\"expired\":" << expired_->value()
+     << ",\"spans_dropped\":" << telemetry::spans_dropped() << "}";
+  return os.str();
+}
+
 void SharpenService::worker_loop(int index) {
   telemetry::set_thread_name("service worker " + std::to_string(index));
   // Per-worker simulated device: persistent across requests so buffers,
@@ -249,9 +316,10 @@ void SharpenService::worker_loop(int index) {
   int slot = 0;
   double serial_busy_us = 0.0;
 
-  const auto record_done = [&](double latency_us) {
+  const auto record_done = [&](double latency_us, double submit_us) {
     completed_->inc();
     latency_us_->observe(latency_us);
+    e2e_latency_us_->observe(telemetry::now_us() - submit_us);
     std::lock_guard<std::mutex> lk(stats_mu_);
     if (is_gpu && runner->overlapped()) {
       worker_busy_us_[static_cast<std::size_t>(index)] =
@@ -262,23 +330,38 @@ void SharpenService::worker_loop(int index) {
     }
   };
 
+  // Accounting-before-fulfilment: the inflight decrement (and every
+  // counter record_done touches) must land before the promise is set, so
+  // a caller who scrapes /healthz right after fut.get() never sees its
+  // own finished request still counted as in flight.
+  const auto retire = [&] {
+    std::lock_guard<std::mutex> lk(mu_);
+    --inflight_;
+    if (queue_.empty() && inflight_ == 0) {
+      cv_idle_.notify_all();
+    }
+  };
+
   const auto complete = [&](Pending p) {
     ServiceResponse response;
     response.worker = index;
+    response.request_id = p.job.request_id;
+    bool ok = true;
     try {
       telemetry::Span span(telemetry::pipeline_trace_on(exec.options),
                            "job.execute", "service");
       response.result = runner->finish_frame(p.ticket, p.job.params);
       span.set_arg("worker", index);
-      record_done(response.result.total_modeled_us);
-      p.job.promise.set_value(std::move(response));
+      span.set_arg2("req", static_cast<std::int64_t>(p.job.request_id));
+      record_done(response.result.total_modeled_us, p.job.submit_us);
     } catch (...) {
+      ok = false;
+      retire();
       p.job.promise.set_exception(std::current_exception());
     }
-    std::lock_guard<std::mutex> lk(mu_);
-    --inflight_;
-    if (queue_.empty() && inflight_ == 0) {
-      cv_idle_.notify_all();
+    if (ok) {
+      retire();
+      p.job.promise.set_value(std::move(response));
     }
   };
 
@@ -314,8 +397,10 @@ void SharpenService::worker_loop(int index) {
     const double wait_us = telemetry::now_us() - job->submit_us;
     queue_wait_us_->observe(wait_us);
     if (telemetry::pipeline_trace_on(exec.options)) {
-      telemetry::emit_complete("job.queue_wait", "service", job->submit_us,
-                               wait_us, {"worker", index});
+      telemetry::emit_complete(
+          "job.queue_wait", "service", job->submit_us, wait_us,
+          {"worker", index},
+          {"req", static_cast<std::int64_t>(job->request_id)});
     }
 
     // Lazily-checked deadline: a request that waited past its deadline is
@@ -324,31 +409,31 @@ void SharpenService::worker_loop(int index) {
       expired_->inc();
       ServiceResponse response;
       response.outcome = RequestOutcome::kExpired;
+      response.request_id = job->request_id;
+      retire();
       job->promise.set_value(std::move(response));
-      std::lock_guard<std::mutex> lk(mu_);
-      --inflight_;
-      if (queue_.empty() && inflight_ == 0) {
-        cv_idle_.notify_all();
-      }
       continue;
     }
 
     if (!is_gpu) {
       ServiceResponse response;
       response.worker = index;
+      response.request_id = job->request_id;
+      bool ok = true;
       try {
         telemetry::Span span(telemetry::pipeline_trace_on(exec.options),
                              "job.execute", "service", {"worker", index});
+        span.set_arg2("req", static_cast<std::int64_t>(job->request_id));
         response.result = cpu->run(job->frame, job->params);
-        record_done(response.result.total_modeled_us);
-        job->promise.set_value(std::move(response));
+        record_done(response.result.total_modeled_us, job->submit_us);
       } catch (...) {
+        ok = false;
+        retire();
         job->promise.set_exception(std::current_exception());
       }
-      std::lock_guard<std::mutex> lk(mu_);
-      --inflight_;
-      if (queue_.empty() && inflight_ == 0) {
-        cv_idle_.notify_all();
+      if (ok) {
+        retire();
+        job->promise.set_value(std::move(response));
       }
       continue;
     }
@@ -364,15 +449,12 @@ void SharpenService::worker_loop(int index) {
         // like VideoPipeline.
         comp->reset();
       }
-      next.ticket = runner->begin_frame(next.job.frame, !charged, slot);
+      next.ticket = runner->begin_frame(next.job.frame, !charged, slot,
+                                        next.job.request_id);
       charged = true;
     } catch (...) {
+      retire();
       next.job.promise.set_exception(std::current_exception());
-      std::lock_guard<std::mutex> lk(mu_);
-      --inflight_;
-      if (queue_.empty() && inflight_ == 0) {
-        cv_idle_.notify_all();
-      }
       continue;
     }
     if (runner->overlapped()) {

@@ -47,9 +47,14 @@ void write_chrome_trace(std::ostream& os) {
     rec.add("dur", span.dur_us);
     rec.add("pid", static_cast<std::int64_t>(span.pid));
     rec.add("tid", static_cast<std::int64_t>(span.tid));
-    if (span.arg.key != nullptr) {
+    if (span.arg.key != nullptr || span.arg2.key != nullptr) {
       report::JsonRecord args;
-      args.add(span.arg.key, span.arg.value);
+      if (span.arg.key != nullptr) {
+        args.add(span.arg.key, span.arg.value);
+      }
+      if (span.arg2.key != nullptr) {
+        args.add(span.arg2.key, span.arg2.value);
+      }
       rec.add("args", std::move(args));
     }
     array.add(rec);
@@ -68,7 +73,7 @@ bool write_chrome_trace(const std::string& path) {
 }
 
 void bridge_queue_events(const simcl::CommandQueue& queue, std::size_t begin,
-                         std::size_t end) {
+                         std::size_t end, std::uint64_t request_id) {
   const std::vector<simcl::Event>& events = queue.events();
   if (end > events.size()) {
     end = events.size();
@@ -91,6 +96,9 @@ void bridge_queue_events(const simcl::CommandQueue& queue, std::size_t begin,
     rec.tid = queue.id();
     if (ev.bytes > 0) {
       rec.arg = {"bytes", static_cast<std::int64_t>(ev.bytes)};
+    }
+    if (request_id != 0) {
+      rec.arg2 = {"req", static_cast<std::int64_t>(request_id)};
     }
     record(rec);
   }

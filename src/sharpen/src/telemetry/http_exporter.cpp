@@ -1,0 +1,201 @@
+#include "sharpen/telemetry/http_exporter.hpp"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "sharpen/telemetry/chrome_trace.hpp"
+#include "sharpen/telemetry/metrics.hpp"
+
+namespace sharp::telemetry {
+namespace {
+
+/// Trailing CRLFCRLF marks the end of the request head; we never read a
+/// body (every route is GET).
+constexpr std::size_t kMaxRequestBytes = 8192;
+
+std::string status_line(int code) {
+  switch (code) {
+    case 200:
+      return "HTTP/1.1 200 OK";
+    case 400:
+      return "HTTP/1.1 400 Bad Request";
+    case 404:
+      return "HTTP/1.1 404 Not Found";
+    case 405:
+      return "HTTP/1.1 405 Method Not Allowed";
+    default:
+      return "HTTP/1.1 500 Internal Server Error";
+  }
+}
+
+void send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return;  // peer went away mid-response; nothing to salvage
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+void respond(int fd, int code, const std::string& content_type,
+             const std::string& body) {
+  std::ostringstream os;
+  os << status_line(code) << "\r\n"
+     << "Content-Type: " << content_type << "\r\n"
+     << "Content-Length: " << body.size() << "\r\n"
+     << "Connection: close\r\n\r\n"
+     << body;
+  send_all(fd, os.str());
+}
+
+std::string default_metrics() { return global_registry().expose_text(); }
+
+std::string default_healthz() { return "{\"status\":\"ok\"}\n"; }
+
+std::string default_trace() {
+  std::ostringstream os;
+  write_chrome_trace(os);
+  return os.str();
+}
+
+}  // namespace
+
+HttpExporter::HttpExporter(HttpExporterConfig config)
+    : config_(std::move(config)) {
+  if (!config_.metrics) {
+    config_.metrics = default_metrics;
+  }
+  if (!config_.healthz) {
+    config_.healthz = default_healthz;
+  }
+  if (!config_.trace) {
+    config_.trace = default_trace;
+  }
+  if (config_.port < 0 || config_.port > 65535) {
+    throw std::runtime_error("HttpExporter: port out of range");
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error(std::string("HttpExporter: socket: ") +
+                             std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(static_cast<std::uint16_t>(config_.port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listen_fd_, 16) < 0) {
+    const std::string why = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("HttpExporter: cannot listen on port " +
+                             std::to_string(config_.port) + ": " + why);
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = static_cast<int>(ntohs(addr.sin_port));
+
+  acceptor_ = std::thread([this] { acceptor_loop(); });
+}
+
+HttpExporter::~HttpExporter() {
+  stop_.store(true, std::memory_order_relaxed);
+  if (acceptor_.joinable()) {
+    acceptor_.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void HttpExporter::acceptor_loop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    // Poll with a short timeout instead of a bare blocking accept: the
+    // destructor only has to flip the stop flag and join — no self-pipe,
+    // no cross-thread close of an fd accept() is sleeping in.
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/50);
+    if (ready <= 0) {
+      continue;  // timeout or EINTR: re-check the stop flag
+    }
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      continue;
+    }
+    handle_connection(fd);
+    ::close(fd);
+  }
+}
+
+void HttpExporter::handle_connection(int fd) {
+  // A stuck client must not wedge the acceptor.
+  timeval tv{};
+  tv.tv_sec = 2;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+
+  std::string request;
+  char buf[1024];
+  while (request.size() < kMaxRequestBytes &&
+         request.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      break;
+    }
+    request.append(buf, static_cast<std::size_t>(n));
+  }
+  requests_.fetch_add(1, std::memory_order_relaxed);
+
+  // Request line: METHOD SP TARGET SP "HTTP/x.y".
+  const std::size_t eol = request.find("\r\n");
+  const std::string line =
+      eol == std::string::npos ? request : request.substr(0, eol);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
+  if (line.empty() || sp1 == std::string::npos ||
+      sp2 == std::string::npos ||
+      line.compare(sp2 + 1, 5, "HTTP/") != 0) {
+    respond(fd, 400, "text/plain", "malformed request\n");
+    return;
+  }
+  const std::string method = line.substr(0, sp1);
+  std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (const std::size_t q = target.find('?'); q != std::string::npos) {
+    target.resize(q);  // query strings are accepted and ignored
+  }
+  if (method != "GET") {
+    respond(fd, 405, "text/plain", "only GET is supported\n");
+    return;
+  }
+  if (target == "/metrics") {
+    respond(fd, 200, "text/plain; version=0.0.4", config_.metrics());
+  } else if (target == "/healthz") {
+    respond(fd, 200, "application/json", config_.healthz());
+  } else if (target == "/trace") {
+    respond(fd, 200, "application/json", config_.trace());
+  } else {
+    respond(fd, 404, "text/plain",
+            "unknown route (try /metrics, /healthz, /trace)\n");
+  }
+}
+
+}  // namespace sharp::telemetry

@@ -1,0 +1,294 @@
+#include "sharpen/telemetry/stream_sink.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "sharpen/env.hpp"
+#include "sharpen/telemetry/metrics.hpp"
+#include "sharpen/telemetry/telemetry.hpp"
+
+namespace sharp::telemetry {
+namespace {
+
+/// JSON string escaping for span names/categories and track names (the
+/// only free-form strings on a line; everything else is numeric).
+void append_json_string(std::string& out, const char* s) {
+  out += '"';
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_double(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  out += buf;
+}
+
+/// One Chrome-trace "complete" event as a single JSONL line.
+void append_span_line(std::string& out, const SpanRecord& span) {
+  out += "{\"name\":";
+  append_json_string(out, span.name);
+  out += ",\"cat\":";
+  append_json_string(out, span.category);
+  out += ",\"ph\":\"X\",\"ts\":";
+  append_double(out, span.start_us);
+  out += ",\"dur\":";
+  append_double(out, span.dur_us);
+  out += ",\"pid\":" + std::to_string(span.pid);
+  out += ",\"tid\":" + std::to_string(span.tid);
+  if (span.arg.key != nullptr || span.arg2.key != nullptr) {
+    out += ",\"args\":{";
+    bool first = true;
+    for (const SpanArg* a : {&span.arg, &span.arg2}) {
+      if (a->key == nullptr) {
+        continue;
+      }
+      if (!first) {
+        out += ',';
+      }
+      first = false;
+      append_json_string(out, a->key);
+      out += ':' + std::to_string(a->value);
+    }
+    out += '}';
+  }
+  out += "}\n";
+}
+
+void append_metadata_line(std::string& out, const char* what,
+                          std::uint32_t pid, std::uint32_t tid,
+                          const std::string& name) {
+  out += "{\"name\":\"";
+  out += what;
+  out += "\",\"ph\":\"M\",\"pid\":" + std::to_string(pid) +
+         ",\"tid\":" + std::to_string(tid) + ",\"args\":{\"name\":";
+  append_json_string(out, name.c_str());
+  out += "}}\n";
+}
+
+Counter& streamed_counter() {
+  static Counter& c = global_registry().counter(
+      "sharp_telemetry_spans_streamed_total",
+      "spans written to the streaming JSONL sink");
+  return c;
+}
+
+Counter& rotations_counter() {
+  static Counter& c = global_registry().counter(
+      "sharp_telemetry_stream_rotations_total",
+      "streamed-trace file generations sealed by size-based rotation");
+  return c;
+}
+
+Counter& stream_bytes_counter() {
+  static Counter& c = global_registry().counter(
+      "sharp_telemetry_stream_bytes_total",
+      "bytes appended to the streaming JSONL sink");
+  return c;
+}
+
+}  // namespace
+
+StreamSink::StreamSink(StreamSinkConfig config)
+    : config_(std::move(config)) {
+  if (config_.path.empty()) {
+    throw std::runtime_error("StreamSink: path must be set");
+  }
+  if (config_.max_rotated_files < 1) {
+    config_.max_rotated_files = 1;
+  }
+  // Touch the registry counters up front so /metrics shows the families
+  // (at zero) from the first scrape, and so the drainer never takes the
+  // registry lock on its hot path.
+  (void)streamed_counter();
+  (void)rotations_counter();
+  (void)stream_bytes_counter();
+  {
+    std::lock_guard<std::mutex> lk(io_mu_);
+    open_locked();
+  }
+  drainer_ = std::thread([this] { drainer_loop(); });
+}
+
+StreamSink::~StreamSink() {
+  {
+    std::lock_guard<std::mutex> lk(wake_mu_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  if (drainer_.joinable()) {
+    drainer_.join();
+  }
+  std::lock_guard<std::mutex> lk(io_mu_);
+  drain_once_locked();  // final drain: nothing recorded before stop is lost
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void StreamSink::flush() {
+  std::lock_guard<std::mutex> lk(io_mu_);
+  drain_once_locked();
+}
+
+std::uint64_t StreamSink::spans_streamed() const {
+  return streamed_counter().value();
+}
+
+std::uint64_t StreamSink::rotations() const {
+  return rotations_counter().value();
+}
+
+std::uint64_t StreamSink::bytes_written() const {
+  return stream_bytes_counter().value();
+}
+
+void StreamSink::drainer_loop() {
+  set_thread_name("telemetry stream sink");
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lk(wake_mu_);
+      wake_cv_.wait_for(lk, config_.drain_interval, [&] { return stop_; });
+      if (stop_) {
+        return;  // the destructor runs the final drain after the join
+      }
+    }
+    std::lock_guard<std::mutex> lk(io_mu_);
+    drain_once_locked();
+  }
+}
+
+void StreamSink::drain_once_locked() {
+  std::vector<SpanRecord> batch;
+  drain_new_spans(batch);
+  if (batch.empty()) {
+    return;
+  }
+  if (file_bytes_ > 0 && file_bytes_ >= config_.rotate_bytes) {
+    rotate_locked();
+  }
+  std::string out;
+  out.reserve(batch.size() * 96);
+  for (const SpanRecord& span : batch) {
+    append_span_line(out, span);
+  }
+  write_locked(out);
+  streamed_counter().inc(batch.size());
+  if (config_.fsync == StreamSinkConfig::Fsync::kDrain && fd_ >= 0) {
+    ::fsync(fd_);
+  }
+}
+
+void StreamSink::open_locked() {
+  fd_ = ::open(config_.path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0) {
+    throw std::runtime_error("StreamSink: cannot open '" + config_.path +
+                             "': " + std::strerror(errno));
+  }
+  const off_t at = ::lseek(fd_, 0, SEEK_END);
+  file_bytes_ = at > 0 ? static_cast<std::size_t>(at) : 0;
+  // Metadata header: every generation carries the process/track names, so
+  // a rotated file loads into Perfetto without its siblings.
+  std::string header;
+  append_metadata_line(header, "process_name", kHostPid, 0,
+                       "host threads (wall time)");
+  append_metadata_line(header, "process_name", kDevicePid, 0,
+                       "simcl device queues (modeled time)");
+  append_metadata_line(header, "process_name", kModeledCpuPid, 0,
+                       "cpu cost model (modeled time)");
+  for (const auto& [track, name] : track_names()) {
+    append_metadata_line(header, "thread_name", track.first, track.second,
+                         name);
+  }
+  write_locked(header);
+}
+
+void StreamSink::rotate_locked() {
+  if (fd_ >= 0) {
+    if (config_.fsync != StreamSinkConfig::Fsync::kNever) {
+      ::fsync(fd_);
+    }
+    ::close(fd_);
+    fd_ = -1;
+  }
+  // Shift generations: path.N-1 -> path.N (oldest falls off), path -> .1.
+  const std::string oldest =
+      config_.path + "." + std::to_string(config_.max_rotated_files);
+  ::unlink(oldest.c_str());
+  for (int i = config_.max_rotated_files - 1; i >= 1; --i) {
+    const std::string from = config_.path + "." + std::to_string(i);
+    const std::string to = config_.path + "." + std::to_string(i + 1);
+    ::rename(from.c_str(), to.c_str());  // ENOENT is fine: gap not filled yet
+  }
+  ::rename(config_.path.c_str(), (config_.path + ".1").c_str());
+  rotations_counter().inc();
+  open_locked();
+}
+
+void StreamSink::write_locked(const std::string& data) {
+  if (fd_ < 0) {
+    return;
+  }
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd_, data.data() + off, data.size() - off);
+    if (n <= 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return;  // disk full / closed: drop the rest of this batch
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  file_bytes_ += data.size();
+  stream_bytes_counter().inc(data.size());
+}
+
+StreamSink* env_stream_sink() {
+  static std::unique_ptr<StreamSink> sink = []() -> std::unique_ptr<StreamSink> {
+    const std::optional<std::string> path = sharp::env::trace_stream();
+    if (!path) {
+      return nullptr;
+    }
+    set_enabled(true);
+    StreamSinkConfig cfg;
+    cfg.path = *path;
+    return std::make_unique<StreamSink>(cfg);
+  }();
+  return sink.get();
+}
+
+}  // namespace sharp::telemetry

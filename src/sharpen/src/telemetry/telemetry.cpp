@@ -14,18 +14,26 @@
 
 #include "sharpen/env.hpp"
 #include "sharpen/telemetry/chrome_trace.hpp"
+#include "sharpen/telemetry/metrics.hpp"
 
 namespace sharp::telemetry {
 namespace {
 
 using Clock = std::chrono::steady_clock;
 
+void count_global_drop();
+
 /// Per-thread span ring. The owning thread is the only writer; pushes are
 /// a relaxed index load, a slot store, and a release index store. Readers
 /// (snapshot) take an acquire load of the index and copy slots — a reader
 /// racing a concurrent push can observe a torn slot, which is why
-/// exporters run after the instrumented work has completed (trace export
-/// is an end-of-run operation, not a live tap).
+/// snapshot exporters run after the instrumented work has completed
+/// (trace export is an end-of-run operation). The streaming sink instead
+/// consumes incrementally through consume_into(), which re-checks the
+/// head after copying and discards any slot the writer may have reused
+/// mid-copy. A span is *dropped* when its slot is overwritten before a
+/// consumer took it; every drop is counted at the overwrite, here and in
+/// the global registry, so a wrapping ring is never silent about loss.
 class ThreadBuffer {
  public:
   static constexpr std::size_t kCapacity = 1 << 14;  // 16384 spans/thread
@@ -34,6 +42,12 @@ class ThreadBuffer {
 
   void push(const SpanRecord& rec) {
     const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head >= kCapacity &&
+        head - kCapacity >= consumed_.load(std::memory_order_relaxed)) {
+      // The span being overwritten was never consumed: account the loss.
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      count_global_drop();
+    }
     slots_[head % kCapacity] = rec;
     head_.store(head + 1, std::memory_order_release);
   }
@@ -47,14 +61,44 @@ class ThreadBuffer {
     }
   }
 
+  /// Copies every span in [consume cursor, head) into `out` and advances
+  /// the cursor. Single consumer. Entries the writer overwrote while we
+  /// were copying are discarded (their loss was counted in push()).
+  std::size_t consume_into(std::vector<SpanRecord>& out) {
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    const std::uint64_t oldest = head > kCapacity ? head - kCapacity : 0;
+    const std::uint64_t from =
+        std::max(consumed_.load(std::memory_order_relaxed), oldest);
+    const std::size_t mark = out.size();
+    for (std::uint64_t i = from; i < head; ++i) {
+      out.push_back(slots_[i % kCapacity]);
+    }
+    // Re-check: anything below the new oldest index may be a torn copy of
+    // a slot the writer reused while we read it.
+    const std::uint64_t head_after = head_.load(std::memory_order_acquire);
+    const std::uint64_t safe_from =
+        head_after > kCapacity ? std::max(from, head_after - kCapacity)
+                               : from;
+    if (safe_from > from) {
+      out.erase(out.begin() + static_cast<std::ptrdiff_t>(mark),
+                out.begin() +
+                    static_cast<std::ptrdiff_t>(mark + (safe_from - from)));
+    }
+    consumed_.store(head, std::memory_order_relaxed);
+    return out.size() - mark;
+  }
+
   [[nodiscard]] std::uint64_t pushed() const {
     return head_.load(std::memory_order_acquire);
   }
   [[nodiscard]] std::uint64_t dropped() const {
-    const std::uint64_t head = head_.load(std::memory_order_acquire);
-    return head > kCapacity ? head - kCapacity : 0;
+    return dropped_.load(std::memory_order_relaxed);
   }
-  void clear() { head_.store(0, std::memory_order_release); }
+  void clear() {
+    head_.store(0, std::memory_order_release);
+    consumed_.store(0, std::memory_order_relaxed);
+    dropped_.store(0, std::memory_order_relaxed);
+  }
 
   [[nodiscard]] std::uint32_t tid() const { return tid_; }
 
@@ -62,6 +106,8 @@ class ThreadBuffer {
   std::uint32_t tid_;
   std::vector<SpanRecord> slots_;
   std::atomic<std::uint64_t> head_{0};
+  std::atomic<std::uint64_t> consumed_{0};  ///< advanced by consume_into
+  std::atomic<std::uint64_t> dropped_{0};   ///< overwritten unconsumed
 };
 
 void write_env_trace_at_exit();
@@ -88,6 +134,12 @@ struct State {
         std::atexit(&write_env_trace_at_exit);
       }
     }
+    // SHARP_TRACE_STREAM implies recording from the first span on; the
+    // sink itself starts lazily (telemetry::env_stream_sink, called by
+    // SharpenService) so this constructor never spawns a thread.
+    if (sharp::env::trace_stream()) {
+      enabled.store(true, std::memory_order_relaxed);
+    }
   }
 };
 
@@ -96,6 +148,14 @@ struct State {
 State& state() {
   static State* s = new State;
   return *s;
+}
+
+/// Global-registry drop counter, created once outside the push hot path.
+void count_global_drop() {
+  static Counter& counter = global_registry().counter(
+      "sharp_telemetry_spans_dropped_total",
+      "telemetry spans lost to ring overwrite before being consumed");
+  counter.inc();
 }
 
 ThreadBuffer& this_thread_buffer() {
@@ -169,10 +229,24 @@ const char* intern(std::string_view s) {
 void record(const SpanRecord& rec) { this_thread_buffer().push(rec); }
 
 void emit_complete(const char* name, const char* category, double start_us,
-                   double dur_us, SpanArg arg) {
+                   double dur_us, SpanArg arg, SpanArg arg2) {
   ThreadBuffer& buf = this_thread_buffer();
   buf.push(SpanRecord{name, category, start_us, dur_us, kHostPid, buf.tid(),
-                      arg});
+                      arg, arg2});
+}
+
+std::size_t drain_new_spans(std::vector<SpanRecord>& out) {
+  State& s = state();
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lk(s.mu);
+    buffers = s.buffers;
+  }
+  std::size_t total = 0;
+  for (const auto& b : buffers) {
+    total += b->consume_into(out);
+  }
+  return total;
 }
 
 std::vector<SpanRecord> snapshot() {

@@ -1,0 +1,185 @@
+// Minimal JSON parser shared by the telemetry/observability tests — just
+// enough to round-trip-validate the trace exporters' output (objects,
+// arrays, strings with the escapes our emitters produce, numbers). Not a
+// general JSON library.
+#pragma once
+
+#include <cctype>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace testjson {
+
+struct JsonValue;
+using JsonObject = std::map<std::string, JsonValue>;
+using JsonList = std::vector<JsonValue>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, double, std::string, JsonList,
+               JsonObject>
+      v;
+
+  [[nodiscard]] bool is_object() const {
+    return std::holds_alternative<JsonObject>(v);
+  }
+  [[nodiscard]] const JsonObject& object() const {
+    return std::get<JsonObject>(v);
+  }
+  [[nodiscard]] const JsonList& list() const { return std::get<JsonList>(v); }
+  [[nodiscard]] const std::string& str() const {
+    return std::get<std::string>(v);
+  }
+  [[nodiscard]] double num() const { return std::get<double>(v); }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string text) : text_(std::move(text)) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != text_.size()) {
+      throw std::runtime_error("trailing garbage at " + std::to_string(pos_));
+    }
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      throw std::runtime_error("unexpected end of input");
+    }
+    return text_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) {
+      throw std::runtime_error(std::string("expected '") + c + "' at " +
+                               std::to_string(pos_));
+    }
+    ++pos_;
+  }
+  JsonValue value() {
+    switch (peek()) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return JsonValue{string()};
+      case 't':
+        literal("true");
+        return JsonValue{true};
+      case 'f':
+        literal("false");
+        return JsonValue{false};
+      case 'n':
+        literal("null");
+        return JsonValue{nullptr};
+      default:
+        return JsonValue{number()};
+    }
+  }
+  void literal(const std::string& lit) {
+    skip_ws();
+    if (text_.compare(pos_, lit.size(), lit) != 0) {
+      throw std::runtime_error("bad literal at " + std::to_string(pos_));
+    }
+    pos_ += lit.size();
+  }
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) {
+          throw std::runtime_error("bad escape");
+        }
+        const char e = text_[pos_++];
+        switch (e) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'u':
+            pos_ += 4;  // tests never need the decoded code point
+            out += '?';
+            break;
+          default: out += e;
+        }
+      } else {
+        out += c;
+      }
+    }
+    if (pos_ >= text_.size()) {
+      throw std::runtime_error("unterminated string");
+    }
+    ++pos_;  // closing quote
+    return out;
+  }
+  double number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      throw std::runtime_error("bad number at " + std::to_string(pos_));
+    }
+    return std::stod(text_.substr(start, pos_ - start));
+  }
+  JsonValue array() {
+    expect('[');
+    JsonList items;
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue{std::move(items)};
+    }
+    while (true) {
+      items.push_back(value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return JsonValue{std::move(items)};
+    }
+  }
+  JsonValue object() {
+    expect('{');
+    JsonObject fields;
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue{std::move(fields)};
+    }
+    while (true) {
+      std::string key = string();
+      expect(':');
+      fields.emplace(std::move(key), value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return JsonValue{std::move(fields)};
+    }
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace testjson

@@ -1,0 +1,394 @@
+// The live observability plane end to end: the embedded HTTP endpoint
+// (real client-socket scrapes of /metrics, /healthz and /trace while the
+// service is up, error routes, concurrent scraping under load), the
+// streaming JSONL span sink (well-formed lines, metadata headers,
+// size-based rotation, drop accounting), request-scoped tracing
+// (request ids threaded from submit() through frame and device spans),
+// and the inertness guarantee (identical pixels with everything on).
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "image/generate.hpp"
+#include "image/metrics.hpp"
+#include "sharpen/gpu_pipeline.hpp"
+#include "sharpen/sharpen.hpp"
+#include "sharpen/telemetry/http_exporter.hpp"
+#include "sharpen/telemetry/metrics.hpp"
+#include "sharpen/telemetry/stream_sink.hpp"
+#include "sharpen/telemetry/telemetry.hpp"
+#include "test_json.hpp"
+
+namespace {
+
+namespace telemetry = sharp::telemetry;
+using sharp::img::ImageU8;
+using testjson::JsonObject;
+using testjson::JsonParser;
+using testjson::JsonValue;
+
+/// Same recording hygiene as TelemetryTest: every test starts and ends
+/// with spans off and empty rings.
+class ObservabilityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    telemetry::set_enabled(false);
+    telemetry::reset_for_test();
+  }
+  void TearDown() override {
+    telemetry::set_enabled(false);
+    telemetry::reset_for_test();
+  }
+};
+
+// --- a real HTTP client (loopback, one request per connection) --------------
+
+std::string http_request_raw(int port, const std::string& raw) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return {};
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return {};
+  }
+  ::send(fd, raw.data(), raw.size(), 0);
+  std::string response;
+  char buf[4096];
+  ssize_t n = 0;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string http_get(int port, const std::string& target) {
+  return http_request_raw(
+      port, "GET " + target + " HTTP/1.1\r\nHost: test\r\n\r\n");
+}
+
+std::string body_of(const std::string& response) {
+  const std::size_t at = response.find("\r\n\r\n");
+  return at == std::string::npos ? std::string{} : response.substr(at + 4);
+}
+
+std::string unique_path(const std::string& stem) {
+  return ::testing::TempDir() + stem + "." +
+         std::to_string(::getpid()) + ".jsonl";
+}
+
+// --- embedded HTTP endpoint --------------------------------------------------
+
+TEST_F(ObservabilityTest, ServiceServesMetricsHealthzAndTraceOverHttp) {
+  telemetry::set_enabled(true);
+  sharp::ServiceConfig cfg;
+  cfg.workers = 2;
+  cfg.metrics_port = 0;  // ephemeral
+  sharp::SharpenService service(cfg);
+  ASSERT_TRUE(service.metrics_port().has_value());
+  const int port = *service.metrics_port();
+  ASSERT_GT(port, 0);
+
+  const std::vector<sharp::ServiceResponse> responses = service.sharpen_batch(
+      {sharp::img::make_natural(64, 64, 1),
+       sharp::img::make_natural(64, 64, 2)});
+  ASSERT_EQ(responses.size(), 2u);
+
+  // /metrics: Prometheus text with the service families and live values.
+  const std::string metrics = http_get(port, "/metrics");
+  EXPECT_EQ(metrics.rfind("HTTP/1.1 200", 0), 0u) << metrics;
+  EXPECT_NE(metrics.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos);
+  const std::string metrics_body = body_of(metrics);
+  EXPECT_NE(metrics_body.find("# TYPE sharp_service_submitted_total counter"),
+            std::string::npos);
+  EXPECT_NE(metrics_body.find("sharp_service_submitted_total 2"),
+            std::string::npos);
+  EXPECT_NE(metrics_body.find("sharp_service_e2e_latency_us_count 2"),
+            std::string::npos);
+
+  // /healthz: one JSON object with liveness and queue/worker state.
+  const std::string health = http_get(port, "/healthz");
+  EXPECT_EQ(health.rfind("HTTP/1.1 200", 0), 0u);
+  const JsonValue doc = JsonParser(body_of(health)).parse();
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.object().at("status").str(), "ok");
+  EXPECT_DOUBLE_EQ(doc.object().at("workers").num(), 2.0);
+  EXPECT_DOUBLE_EQ(doc.object().at("completed").num(), 2.0);
+  EXPECT_DOUBLE_EQ(doc.object().at("inflight").num(), 0.0);
+
+  // /trace: the Chrome-trace snapshot, parseable, with span events.
+  const std::string trace = http_get(port, "/trace?dummy=1");
+  EXPECT_EQ(trace.rfind("HTTP/1.1 200", 0), 0u);
+  const JsonValue events = JsonParser(body_of(trace)).parse();
+  std::size_t complete = 0;
+  for (const JsonValue& ev : events.list()) {
+    if (ev.object().at("ph").str() == "X") {
+      ++complete;
+    }
+  }
+  EXPECT_GT(complete, 0u);
+
+  // Error routes: unknown -> 404, non-GET -> 405, junk -> 400.
+  EXPECT_EQ(http_get(port, "/nope").rfind("HTTP/1.1 404", 0), 0u);
+  EXPECT_EQ(http_request_raw(port, "POST /metrics HTTP/1.1\r\n\r\n")
+                .rfind("HTTP/1.1 405", 0),
+            0u);
+  EXPECT_EQ(http_request_raw(port, "GARBAGE\r\n\r\n").rfind("HTTP/1.1 400", 0),
+            0u);
+}
+
+TEST_F(ObservabilityTest, StandaloneExporterServesDefaults) {
+  telemetry::HttpExporterConfig cfg;
+  cfg.port = 0;
+  telemetry::HttpExporter exporter(cfg);
+  ASSERT_GT(exporter.port(), 0);
+
+  const std::string health = http_get(exporter.port(), "/healthz");
+  EXPECT_EQ(health.rfind("HTTP/1.1 200", 0), 0u);
+  EXPECT_NE(body_of(health).find("\"status\":\"ok\""), std::string::npos);
+  const std::string metrics = http_get(exporter.port(), "/metrics");
+  EXPECT_EQ(metrics.rfind("HTTP/1.1 200", 0), 0u);
+  EXPECT_EQ(exporter.requests_served(), 2u);
+}
+
+TEST_F(ObservabilityTest, ScrapesSucceedConcurrentlyWithLoad) {
+  sharp::ServiceConfig cfg;
+  cfg.workers = 2;
+  cfg.metrics_port = 0;
+  sharp::SharpenService service(cfg);
+  const int port = *service.metrics_port();
+
+  std::thread load([&] {
+    for (std::uint64_t i = 0; i < 6; ++i) {
+      (void)service.submit(sharp::img::make_natural(128, 128, i + 1)).get();
+    }
+  });
+  int ok = 0;
+  for (int i = 0; i < 10; ++i) {
+    const std::string metrics = http_get(port, "/metrics");
+    const std::string health = http_get(port, "/healthz");
+    if (metrics.rfind("HTTP/1.1 200", 0) == 0 &&
+        health.rfind("HTTP/1.1 200", 0) == 0) {
+      ++ok;
+    }
+    // Scrape bodies parse mid-load too.
+    EXPECT_NO_THROW((void)JsonParser(body_of(health)).parse());
+  }
+  load.join();
+  EXPECT_EQ(ok, 10);
+  const std::string after = body_of(http_get(port, "/metrics"));
+  EXPECT_NE(after.find("sharp_service_completed_total 6"), std::string::npos);
+}
+
+// --- streaming span sink -----------------------------------------------------
+
+TEST_F(ObservabilityTest, StreamSinkWritesWellFormedJsonl) {
+  const std::string path = unique_path("stream_basic");
+  telemetry::set_enabled(true);
+  const std::uint64_t streamed_before =
+      telemetry::global_registry()
+          .counter("sharp_telemetry_spans_streamed_total")
+          .value();
+  {
+    telemetry::StreamSinkConfig cfg;
+    cfg.path = path;
+    cfg.drain_interval = std::chrono::milliseconds(5);
+    telemetry::StreamSink sink(cfg);
+    for (int i = 0; i < 100; ++i) {
+      telemetry::emit_complete("tick", "test", i * 2.0, 1.0, {"i", i},
+                               {"req", i % 7});
+    }
+    sink.flush();
+    EXPECT_EQ(sink.spans_streamed() - streamed_before, 100u);
+  }
+  telemetry::set_enabled(false);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::size_t metadata = 0;
+  std::size_t spans = 0;
+  bool first_is_metadata = false;
+  while (std::getline(in, line)) {
+    const JsonValue v = JsonParser(line).parse();  // every line stands alone
+    ASSERT_TRUE(v.is_object());
+    const JsonObject& o = v.object();
+    if (o.at("ph").str() == "M") {
+      if (metadata == 0 && spans == 0) {
+        first_is_metadata = true;
+      }
+      ++metadata;
+      continue;
+    }
+    EXPECT_EQ(o.at("ph").str(), "X");
+    EXPECT_EQ(o.at("name").str(), "tick");
+    EXPECT_TRUE(o.at("args").object().contains("req"));
+    ++spans;
+  }
+  EXPECT_TRUE(first_is_metadata);  // header precedes spans
+  EXPECT_GE(metadata, 3u);         // the three process_name records
+  EXPECT_EQ(spans, 100u);
+  std::remove(path.c_str());
+}
+
+TEST_F(ObservabilityTest, StreamSinkRotatesBySizeAndKeepsGenerationsValid) {
+  const std::string path = unique_path("stream_rotate");
+  telemetry::set_enabled(true);
+  const std::uint64_t rotations_before =
+      telemetry::global_registry()
+          .counter("sharp_telemetry_stream_rotations_total")
+          .value();
+  std::uint64_t rotations_after = 0;
+  {
+    telemetry::StreamSinkConfig cfg;
+    cfg.path = path;
+    cfg.rotate_bytes = 2048;  // tiny: rotate every couple of batches
+    cfg.max_rotated_files = 2;
+    cfg.drain_interval = std::chrono::hours(1);  // flush() drives drains
+    cfg.fsync = telemetry::StreamSinkConfig::Fsync::kRotate;
+    telemetry::StreamSink sink(cfg);
+    for (int batch = 0; batch < 12; ++batch) {
+      for (int i = 0; i < 40; ++i) {
+        telemetry::emit_complete("rot", "test", i * 1.0, 0.5);
+      }
+      sink.flush();
+    }
+    rotations_after = sink.rotations();
+  }
+  telemetry::set_enabled(false);
+  ASSERT_GE(rotations_after - rotations_before, 2u);
+
+  // Live file and the newest rotated generation both exist, and every
+  // generation is self-contained: metadata header first, all lines valid.
+  for (const std::string& file : {path, path + ".1"}) {
+    std::ifstream in(file);
+    ASSERT_TRUE(in.good()) << file;
+    std::string line;
+    ASSERT_TRUE(std::getline(in, line));
+    EXPECT_NE(line.find("process_name"), std::string::npos) << file;
+    do {
+      EXPECT_NO_THROW((void)JsonParser(line).parse()) << file;
+    } while (std::getline(in, line));
+  }
+  for (int i = 0; i <= 3; ++i) {
+    const std::string victim =
+        i == 0 ? path : path + "." + std::to_string(i);
+    std::remove(victim.c_str());
+  }
+}
+
+// --- request-scoped tracing --------------------------------------------------
+
+TEST_F(ObservabilityTest, RequestIdsThreadThroughServiceFrameAndDeviceSpans) {
+  sharp::ServiceConfig cfg;
+  cfg.workers = 2;
+  cfg.execution.options.telemetry = true;
+  sharp::SharpenService service(cfg);
+
+  std::vector<sharp::ServiceResponse> responses;
+  {
+    std::vector<std::future<sharp::ServiceResponse>> futures;
+    for (std::uint64_t i = 0; i < 4; ++i) {
+      futures.push_back(
+          service.submit(sharp::img::make_natural(64, 64, i + 1)));
+    }
+    for (auto& f : futures) {
+      responses.push_back(f.get());
+    }
+  }
+  service.drain();
+
+  std::set<std::uint64_t> ids;
+  for (const sharp::ServiceResponse& r : responses) {
+    EXPECT_EQ(r.outcome, sharp::RequestOutcome::kOk);
+    EXPECT_NE(r.request_id, 0u);
+    ids.insert(r.request_id);
+  }
+  EXPECT_EQ(ids.size(), responses.size());  // ids are unique
+
+  // Every request's id shows up on host frame spans AND bridged device
+  // spans — one request's full timeline is filterable by "req".
+  for (const std::uint64_t id : ids) {
+    bool on_frame_span = false;
+    bool on_device_span = false;
+    for (const telemetry::SpanRecord& s : telemetry::snapshot()) {
+      const bool tagged =
+          s.arg2.key != nullptr && std::string(s.arg2.key) == "req" &&
+          s.arg2.value == static_cast<std::int64_t>(id);
+      if (!tagged) {
+        continue;
+      }
+      if (s.pid == telemetry::kDevicePid) {
+        on_device_span = true;
+      } else if (std::string(s.name) == "frame.finish" ||
+                 std::string(s.name) == "job.execute") {
+        on_frame_span = true;
+      }
+    }
+    EXPECT_TRUE(on_frame_span) << "request " << id;
+    EXPECT_TRUE(on_device_span) << "request " << id;
+  }
+}
+
+TEST_F(ObservabilityTest, CallerSuppliedRequestIdIsHonored) {
+  sharp::ServiceConfig cfg;
+  cfg.workers = 1;
+  sharp::SharpenService service(cfg);
+  sharp::SubmitOptions opts;
+  opts.request_id = 7777;
+  const sharp::ServiceResponse r =
+      service.submit(sharp::img::make_natural(64, 64, 5), {}, opts).get();
+  EXPECT_EQ(r.request_id, 7777u);
+
+  // Auto-assigned ids keep flowing after a caller-supplied one.
+  const sharp::ServiceResponse next =
+      service.submit(sharp::img::make_natural(64, 64, 6)).get();
+  EXPECT_NE(next.request_id, 0u);
+  EXPECT_NE(next.request_id, 7777u);
+}
+
+// --- inertness ---------------------------------------------------------------
+
+TEST_F(ObservabilityTest, PixelsAreBitIdenticalWithFullObservabilityOn) {
+  const ImageU8 input = sharp::img::make_natural(128, 96, 21);
+  const sharp::PipelineResult plain = sharp::GpuPipeline().run(input);
+
+  const std::string path = unique_path("stream_identity");
+  {
+    telemetry::set_enabled(true);
+    telemetry::StreamSinkConfig sink_cfg;
+    sink_cfg.path = path;
+    telemetry::StreamSink sink(sink_cfg);
+    sharp::ServiceConfig cfg;
+    cfg.workers = 1;
+    cfg.metrics_port = 0;
+    cfg.execution.options.telemetry = true;
+    sharp::SharpenService service(cfg);
+    const sharp::ServiceResponse r =
+        service.submit(input).get();
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(sharp::img::max_abs_diff(plain.output, r.result.output), 0);
+    (void)http_get(*service.metrics_port(), "/metrics");
+  }
+  telemetry::set_enabled(false);
+  std::remove(path.c_str());
+}
+
+}  // namespace

@@ -5,13 +5,11 @@
 // pipeline's reported per-stage breakdown.
 #include <gtest/gtest.h>
 
-#include <cctype>
 #include <cstdint>
 #include <map>
 #include <sstream>
 #include <string>
 #include <thread>
-#include <variant>
 #include <vector>
 
 #include "image/generate.hpp"
@@ -22,11 +20,16 @@
 #include "sharpen/telemetry/metrics.hpp"
 #include "sharpen/telemetry/pipeline_trace.hpp"
 #include "sharpen/telemetry/telemetry.hpp"
+#include "test_json.hpp"
 
 namespace {
 
 namespace telemetry = sharp::telemetry;
 using sharp::img::ImageU8;
+using testjson::JsonList;
+using testjson::JsonObject;
+using testjson::JsonParser;
+using testjson::JsonValue;
 
 /// Every test starts and ends with recording off and empty rings, so the
 /// process-global recorder never leaks state between tests.
@@ -40,176 +43,6 @@ class TelemetryTest : public ::testing::Test {
     telemetry::set_enabled(false);
     telemetry::reset_for_test();
   }
-};
-
-// --- minimal JSON parser (round-trip validation only) ----------------------
-
-struct JsonValue;
-using JsonObject = std::map<std::string, JsonValue>;
-using JsonList = std::vector<JsonValue>;
-
-struct JsonValue {
-  std::variant<std::nullptr_t, bool, double, std::string, JsonList,
-               JsonObject>
-      v;
-
-  [[nodiscard]] bool is_object() const {
-    return std::holds_alternative<JsonObject>(v);
-  }
-  [[nodiscard]] const JsonObject& object() const {
-    return std::get<JsonObject>(v);
-  }
-  [[nodiscard]] const JsonList& list() const { return std::get<JsonList>(v); }
-  [[nodiscard]] const std::string& str() const {
-    return std::get<std::string>(v);
-  }
-  [[nodiscard]] double num() const { return std::get<double>(v); }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(std::string text) : text_(std::move(text)) {}
-
-  JsonValue parse() {
-    JsonValue v = value();
-    skip_ws();
-    if (pos_ != text_.size()) {
-      throw std::runtime_error("trailing garbage at " + std::to_string(pos_));
-    }
-    return v;
-  }
-
- private:
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
-      ++pos_;
-    }
-  }
-  char peek() {
-    skip_ws();
-    if (pos_ >= text_.size()) {
-      throw std::runtime_error("unexpected end of input");
-    }
-    return text_[pos_];
-  }
-  void expect(char c) {
-    if (peek() != c) {
-      throw std::runtime_error(std::string("expected '") + c + "' at " +
-                               std::to_string(pos_));
-    }
-    ++pos_;
-  }
-  JsonValue value() {
-    switch (peek()) {
-      case '{':
-        return object();
-      case '[':
-        return array();
-      case '"':
-        return JsonValue{string()};
-      case 't':
-        literal("true");
-        return JsonValue{true};
-      case 'f':
-        literal("false");
-        return JsonValue{false};
-      case 'n':
-        literal("null");
-        return JsonValue{nullptr};
-      default:
-        return JsonValue{number()};
-    }
-  }
-  void literal(const std::string& lit) {
-    skip_ws();
-    if (text_.compare(pos_, lit.size(), lit) != 0) {
-      throw std::runtime_error("bad literal at " + std::to_string(pos_));
-    }
-    pos_ += lit.size();
-  }
-  std::string string() {
-    expect('"');
-    std::string out;
-    while (pos_ < text_.size() && text_[pos_] != '"') {
-      char c = text_[pos_++];
-      if (c == '\\') {
-        if (pos_ >= text_.size()) {
-          throw std::runtime_error("bad escape");
-        }
-        const char e = text_[pos_++];
-        switch (e) {
-          case 'n': out += '\n'; break;
-          case 't': out += '\t'; break;
-          case 'u':
-            pos_ += 4;  // tests never need the decoded code point
-            out += '?';
-            break;
-          default: out += e;
-        }
-      } else {
-        out += c;
-      }
-    }
-    if (pos_ >= text_.size()) {
-      throw std::runtime_error("unterminated string");
-    }
-    ++pos_;  // closing quote
-    return out;
-  }
-  double number() {
-    skip_ws();
-    const std::size_t start = pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
-            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
-            text_[pos_] == 'e' || text_[pos_] == 'E')) {
-      ++pos_;
-    }
-    if (pos_ == start) {
-      throw std::runtime_error("bad number at " + std::to_string(pos_));
-    }
-    return std::stod(text_.substr(start, pos_ - start));
-  }
-  JsonValue array() {
-    expect('[');
-    JsonList items;
-    if (peek() == ']') {
-      ++pos_;
-      return JsonValue{std::move(items)};
-    }
-    while (true) {
-      items.push_back(value());
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect(']');
-      return JsonValue{std::move(items)};
-    }
-  }
-  JsonValue object() {
-    expect('{');
-    JsonObject fields;
-    if (peek() == '}') {
-      ++pos_;
-      return JsonValue{std::move(fields)};
-    }
-    while (true) {
-      std::string key = string();
-      expect(':');
-      fields.emplace(std::move(key), value());
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect('}');
-      return JsonValue{std::move(fields)};
-    }
-  }
-
-  std::string text_;
-  std::size_t pos_ = 0;
 };
 
 // --- spans -----------------------------------------------------------------
@@ -458,6 +291,78 @@ TEST_F(TelemetryTest, DroppedSpanCountSurvivesRingWrap) {
   EXPECT_EQ(telemetry::spans_recorded(), kOverfill);
   EXPECT_EQ(telemetry::spans_dropped(), 100u);
   EXPECT_EQ(telemetry::snapshot().size(), std::size_t{1} << 14);
+}
+
+// --- drop accounting and the incremental drain cursor ------------------------
+
+TEST_F(TelemetryTest, RingWrapDropsAreCountedInGlobalRegistryWithoutSink) {
+  // No stream sink runs in this test: the loss must still be accounted in
+  // the global registry (satellite: no silent span loss).
+  telemetry::Counter& dropped = telemetry::global_registry().counter(
+      "sharp_telemetry_spans_dropped_total");
+  const std::uint64_t before = dropped.value();
+  telemetry::set_enabled(true);
+  constexpr std::uint64_t kOverfill = (1u << 14) + 37;
+  for (std::uint64_t i = 0; i < kOverfill; ++i) {
+    telemetry::emit_complete("tick", "test", 0.0, 1.0);
+  }
+  telemetry::set_enabled(false);
+  EXPECT_EQ(dropped.value() - before, 37u);
+  EXPECT_EQ(telemetry::spans_dropped(), 37u);
+}
+
+TEST_F(TelemetryTest, DrainedSpansAreNotCountedAsDroppedOnWrap) {
+  telemetry::set_enabled(true);
+  constexpr std::uint64_t kFill = 1u << 14;  // exactly one ring
+  for (std::uint64_t i = 0; i < kFill; ++i) {
+    telemetry::emit_complete("tick", "test", 0.0, 1.0);
+  }
+  std::vector<telemetry::SpanRecord> out;
+  EXPECT_EQ(telemetry::drain_new_spans(out), kFill);
+  EXPECT_EQ(out.size(), kFill);
+
+  // The ring wraps over slots the drain already consumed: no loss.
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    telemetry::emit_complete("tock", "test", 0.0, 1.0);
+  }
+  telemetry::set_enabled(false);
+  EXPECT_EQ(telemetry::spans_dropped(), 0u);
+
+  // A second drain returns exactly the spans pushed since the first.
+  out.clear();
+  EXPECT_EQ(telemetry::drain_new_spans(out), 200u);
+  for (const telemetry::SpanRecord& s : out) {
+    EXPECT_STREQ(s.name, "tock");
+  }
+  // Nothing new: the drain is empty, and snapshot() stays non-destructive.
+  out.clear();
+  EXPECT_EQ(telemetry::drain_new_spans(out), 0u);
+  EXPECT_EQ(telemetry::snapshot().size(), std::size_t{kFill});
+}
+
+TEST_F(TelemetryTest, SpanArg2ExportsNextToPrimaryArg) {
+  telemetry::set_enabled(true);
+  {
+    telemetry::Span span("tagged", "test", {"pixels", 4096});
+    span.set_arg2("req", 17);
+  }
+  telemetry::set_enabled(false);
+
+  std::ostringstream os;
+  telemetry::write_chrome_trace(os);
+  JsonValue root = JsonParser(os.str()).parse();
+  bool found = false;
+  for (const JsonValue& ev : root.list()) {
+    const JsonObject& o = ev.object();
+    if (o.at("ph").str() != "X" || o.at("name").str() != "tagged") {
+      continue;
+    }
+    found = true;
+    const JsonObject& args = o.at("args").object();
+    EXPECT_DOUBLE_EQ(args.at("pixels").num(), 4096.0);
+    EXPECT_DOUBLE_EQ(args.at("req").num(), 17.0);
+  }
+  EXPECT_TRUE(found);
 }
 
 }  // namespace

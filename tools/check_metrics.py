@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""CI gate for the /metrics endpoint's Prometheus text exposition.
+
+Usage: check_metrics.py METRICS_TXT [--require FAMILY ...]
+
+Validates the scrape body against the Prometheus text-format grammar:
+
+  * every line is blank, a '# HELP <name> <text>' / '# TYPE <name> <type>'
+    comment, or a sample '<name>[{labels}] <value>';
+  * metric and label names match the Prometheus identifier charset;
+  * sample values parse as floats (+Inf/-Inf/NaN included);
+  * a family's TYPE comment precedes its first sample;
+  * every histogram family has _bucket/_sum/_count series, a le="+Inf"
+    bucket, and cumulative (non-decreasing) bucket counts.
+
+--require FAMILY asserts the family is present with at least one sample
+(histogram families count their _bucket/_sum/_count series). Exits
+non-zero with a message on the first failure.
+"""
+
+import math
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)"
+    r"(?:\s+(?P<timestamp>-?\d+))?$"
+)
+LABEL_RE = re.compile(r'^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$')
+TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def fail(msg: str) -> None:
+    print(f"check_metrics: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def parse_value(raw: str, where: str) -> float:
+    try:
+        return float(raw)  # accepts +Inf / -Inf / NaN spellings
+    except ValueError:
+        fail(f"{where}: not a float value: {raw!r}")
+    raise AssertionError  # unreachable
+
+
+def family_of(name: str, types: dict) -> str:
+    """Histogram series (and the emitter's gauge `_hwm` high-water-mark
+    sibling) fold back onto their declared family name."""
+    for suffix in HISTOGRAM_SUFFIXES:
+        if name.endswith(suffix):
+            base = name[: -len(suffix)]
+            if types.get(base) == "histogram":
+                return base
+    if name.endswith("_hwm") and types.get(name[: -len("_hwm")]) == "gauge":
+        return name[: -len("_hwm")]
+    return name
+
+
+def main(argv: list[str]) -> None:
+    args = argv[1:]
+    required = []
+    if "--require" in args:
+        at = args.index("--require")
+        required = args[at + 1 :]
+        args = args[:at]
+    if len(args) != 1:
+        fail(f"usage: {argv[0]} METRICS_TXT [--require FAMILY ...]")
+
+    try:
+        with open(args[0], encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        fail(f"cannot read {args[0]}: {e}")
+
+    types: dict[str, str] = {}
+    samples: dict[str, int] = {}
+    buckets: dict[str, list[tuple[float, float]]] = {}
+
+    for i, line in enumerate(lines, start=1):
+        where = f"line {i}"
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                fail(f"{where}: malformed comment: {line!r}")
+            name = parts[2]
+            if not NAME_RE.match(name):
+                fail(f"{where}: bad metric name in comment: {name!r}")
+            if parts[1] == "TYPE":
+                kind = parts[3].strip() if len(parts) > 3 else ""
+                if kind not in TYPES:
+                    fail(f"{where}: unknown TYPE {kind!r} for {name}")
+                if name in types:
+                    fail(f"{where}: duplicate TYPE for {name}")
+                types[name] = kind
+            continue
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            fail(f"{where}: malformed sample: {line!r}")
+        name = m.group("name")
+        labels = {}
+        if m.group("labels"):
+            for item in m.group("labels").split(","):
+                lm = LABEL_RE.match(item.strip())
+                if not lm:
+                    fail(f"{where}: malformed label: {item!r}")
+                labels[lm.group(1)] = lm.group(2)
+        value = parse_value(m.group("value"), where)
+
+        family = family_of(name, types)
+        if family in types and family not in samples:
+            pass  # first sample of a declared family: fine, TYPE came first
+        if family not in types:
+            # Samples before their TYPE comment (or without one) break the
+            # per-family grouping Prometheus expects from our emitter.
+            fail(f"{where}: sample {name!r} has no preceding TYPE comment")
+        samples[family] = samples.get(family, 0) + 1
+
+        if types.get(family) == "histogram" and name.endswith("_bucket"):
+            if "le" not in labels:
+                fail(f"{where}: histogram bucket without le label: {line!r}")
+            le = parse_value(labels["le"], where)
+            buckets.setdefault(family, []).append((le, value))
+
+    for family, series in sorted(buckets.items()):
+        if not any(math.isinf(le) and le > 0 for le, _ in series):
+            fail(f"histogram {family} has no le=\"+Inf\" bucket")
+        counts = [v for _, v in series]  # emitter writes buckets in order
+        if any(b < a for a, b in zip(counts, counts[1:])):
+            fail(f"histogram {family} bucket counts are not cumulative")
+        for suffix in ("_sum", "_count"):
+            # _sum/_count are folded into the family's sample tally; make
+            # sure they were actually present.
+            if not any(
+                re.match(rf"^{re.escape(family + suffix)}(\s|{{)", line)
+                for line in lines
+            ):
+                fail(f"histogram {family} is missing {family + suffix}")
+
+    for family in required:
+        if family not in types:
+            fail(f"required family {family!r} is not declared")
+        if samples.get(family, 0) == 0:
+            fail(f"required family {family!r} has no samples")
+
+    print(
+        f"check_metrics: {len(types)} families, "
+        f"{sum(samples.values())} samples, "
+        f"{len(buckets)} histograms ok"
+        + (f", required present: {', '.join(required)}" if required else "")
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv)

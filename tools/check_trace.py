@@ -1,11 +1,13 @@
 #!/usr/bin/env python3
-"""CI gate for SHARP_TRACE output.
+"""CI gate for SHARP_TRACE / SHARP_TRACE_STREAM output.
 
-Usage: check_trace.py TRACE_JSON [BENCH_FIG13_JSON]
+Usage: check_trace.py TRACE_JSON_OR_JSONL [BENCH_FIG13_JSON]
 
 Validates that the Chrome trace written by the telemetry layer is
 well-formed JSON with a non-empty set of complete ("ph":"X") span events
-and the expected process-name metadata. When the fig13 breakdown JSON is
+and the expected process-name metadata. Accepts both the one-shot export
+(a JSON array of events) and the streaming sink's newline-delimited form
+(one complete event object per line, as written to $SHARP_TRACE_STREAM). When the fig13 breakdown JSON is
 also given, cross-checks the trace against it: per stage, the summed
 durations of bridged device spans (pid 2, keyed by category) plus modeled
 CPU spans (pid 3, keyed by name) must agree with the summed modeled_us
@@ -26,18 +28,43 @@ def fail(msg: str) -> None:
     sys.exit(1)
 
 
+def load_events(path: str) -> list:
+    """One-shot traces are a JSON array; streamed traces are JSONL (one
+    event object per line). A single-object file is treated as JSONL of
+    length one."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+    except OSError as e:
+        fail(f"cannot read {path}: {e}")
+    try:
+        parsed = json.loads(text)
+        if isinstance(parsed, list):
+            return parsed
+        if isinstance(parsed, dict):
+            return [parsed]
+        fail("trace root is not an array")
+    except json.JSONDecodeError:
+        pass  # not a single document: try line-by-line
+    events = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as e:
+            fail(f"{path}:{lineno}: neither trace JSON nor JSONL: {e}")
+        if not isinstance(event, dict):
+            fail(f"{path}:{lineno}: JSONL line is not an event object")
+        events.append(event)
+    return events
+
+
 def main(argv: list[str]) -> None:
     if len(argv) not in (2, 3):
-        fail(f"usage: {argv[0]} TRACE_JSON [BENCH_FIG13_JSON]")
+        fail(f"usage: {argv[0]} TRACE_JSON_OR_JSONL [BENCH_FIG13_JSON]")
 
-    try:
-        with open(argv[1], encoding="utf-8") as f:
-            events = json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
-        fail(f"cannot parse {argv[1]}: {e}")
-
-    if not isinstance(events, list):
-        fail("trace root is not an array")
+    events = load_events(argv[1])
 
     spans = [e for e in events if e.get("ph") == "X"]
     metadata = [e for e in events if e.get("ph") == "M"]

@@ -1,5 +1,6 @@
 #!/usr/bin/env python3
-"""Unit tests for the CI gate scripts (diff_bench.py, check_trace.py).
+"""Unit tests for the CI gate scripts (diff_bench.py, check_trace.py,
+check_metrics.py).
 
 Run directly (python3 tools/test_tools.py) or via ctest (PyTools.*).
 Each test drives a script end to end through a subprocess, asserting the
@@ -216,6 +217,128 @@ class CheckTraceTest(ScriptTest):
         r = self.check(trace, bench)
         self.assertEqual(r.returncode, 1)
         self.assertIn("disagrees", r.stderr)
+
+    # --- streamed JSONL traces (SHARP_TRACE_STREAM) ---------------------
+
+    def write_jsonl(self, name, events):
+        path = self.tmp / name
+        path.write_text("".join(json.dumps(e) + "\n" for e in events))
+        return path
+
+    def test_streamed_jsonl_trace_passes(self):
+        path = self.write_jsonl(
+            "trace.jsonl",
+            [process_meta(), span("sobel_vec4", "sobel", 10.0),
+             span("frame.finish", "frame", 5.0, pid=1)],
+        )
+        r = run_script("check_trace.py", path)
+        self.assertEqual(r.returncode, 0, r.stderr)
+        self.assertIn("2 spans", r.stdout)
+
+    def test_jsonl_with_corrupt_line_fails(self):
+        path = self.tmp / "trace.jsonl"
+        path.write_text(
+            json.dumps(process_meta()) + "\n{truncated\n"
+        )
+        r = run_script("check_trace.py", path)
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("JSONL", r.stderr)
+
+    def test_jsonl_trace_without_spans_fails(self):
+        path = self.write_jsonl("trace.jsonl", [process_meta()])
+        r = run_script("check_trace.py", path)
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("no complete", r.stderr)
+
+
+METRICS_OK = """\
+# HELP sharp_service_submitted_total requests accepted
+# TYPE sharp_service_submitted_total counter
+sharp_service_submitted_total 4
+# TYPE sharp_service_queue_depth gauge
+sharp_service_queue_depth 0
+sharp_service_queue_depth_hwm 3
+# TYPE sharp_service_e2e_latency_us histogram
+sharp_service_e2e_latency_us_bucket{le="1"} 0
+sharp_service_e2e_latency_us_bucket{le="100"} 2
+sharp_service_e2e_latency_us_bucket{le="+Inf"} 4
+sharp_service_e2e_latency_us_sum 350.5
+sharp_service_e2e_latency_us_count 4
+"""
+
+
+class CheckMetricsTest(ScriptTest):
+    def check_text(self, text, *extra):
+        path = self.tmp / "metrics.txt"
+        path.write_text(text)
+        return run_script("check_metrics.py", path, *extra)
+
+    def test_valid_exposition_passes(self):
+        r = self.check_text(METRICS_OK)
+        self.assertEqual(r.returncode, 0, r.stderr)
+        self.assertIn("histograms ok", r.stdout)
+
+    def test_required_families_are_checked(self):
+        r = self.check_text(
+            METRICS_OK,
+            "--require",
+            "sharp_service_submitted_total",
+            "sharp_service_e2e_latency_us",
+        )
+        self.assertEqual(r.returncode, 0, r.stderr)
+        r = self.check_text(
+            METRICS_OK, "--require", "sharp_service_missing_total"
+        )
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("required family", r.stderr)
+
+    def test_sample_without_type_comment_fails(self):
+        r = self.check_text("orphan_metric 1\n")
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("no preceding TYPE", r.stderr)
+
+    def test_malformed_sample_fails(self):
+        r = self.check_text(
+            "# TYPE x counter\nx not_a_number\n"
+        )
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("not a float", r.stderr)
+
+    def test_bad_metric_name_fails(self):
+        r = self.check_text("# TYPE 9bad counter\n9bad 1\n")
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("bad metric name", r.stderr)
+
+    def test_histogram_without_inf_bucket_fails(self):
+        text = (
+            "# TYPE lat histogram\n"
+            'lat_bucket{le="1"} 0\n'
+            "lat_sum 0\nlat_count 0\n"
+        )
+        r = self.check_text(text)
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("+Inf", r.stderr)
+
+    def test_non_cumulative_histogram_fails(self):
+        text = (
+            "# TYPE lat histogram\n"
+            'lat_bucket{le="1"} 5\n'
+            'lat_bucket{le="+Inf"} 3\n'
+            "lat_sum 0\nlat_count 3\n"
+        )
+        r = self.check_text(text)
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("cumulative", r.stderr)
+
+    def test_histogram_missing_sum_fails(self):
+        text = (
+            "# TYPE lat histogram\n"
+            'lat_bucket{le="+Inf"} 3\n'
+            "lat_count 3\n"
+        )
+        r = self.check_text(text)
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("lat_sum", r.stderr)
 
 
 if __name__ == "__main__":
