@@ -8,13 +8,16 @@
 //
 // The demo binds the endpoint on an ephemeral port (or
 // $SHARP_METRICS_PORT), prints the scrape URL, and scrapes /metrics over
-// a real client socket before shutting down. An optional argv[1] saves
-// that scrape body to a file so CI can validate it with
-// tools/check_metrics.py.
+// a real client socket before shutting down. An optional positional
+// argument saves that scrape body to a file so CI can validate it with
+// tools/check_metrics.py; --batch N turns the micro-batching plane on
+// (ServiceConfig::max_batch) and adds a same-geometry 512^2 burst to the
+// traffic so the planner has something to coalesce.
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <future>
@@ -70,10 +73,27 @@ int main(int argc, char** argv) {
   // stream sink itself only runs when $SHARP_TRACE_STREAM is set.
   sharp::telemetry::set_enabled(true);
 
+  int max_batch = 0;  // 0 = defer to $SHARP_BATCH (unset: batching off)
+  const char* scrape_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--batch") == 0 && i + 1 < argc) {
+      max_batch = std::atoi(argv[++i]);
+    } else {
+      scrape_path = argv[i];
+    }
+  }
+
   sharp::ServiceConfig cfg;
   cfg.workers = 2;
   cfg.queue_capacity = 8;
   cfg.backpressure = sharp::BackpressurePolicy::kBlock;
+  if (max_batch > 0) {
+    cfg.max_batch = max_batch;
+    // A short gather window so a worker that drains ahead of the
+    // submitters still coalesces the burst below.
+    cfg.batch_window_us = 2000;
+    cfg.queue_capacity = 16;
+  }
   // Ephemeral port unless $SHARP_METRICS_PORT picks a fixed one.
   cfg.metrics_port = sharp::env::metrics_port().value_or(0);
   sharp::SharpenService service(cfg);
@@ -87,8 +107,13 @@ int main(int argc, char** argv) {
   std::cout << '\n';
 
   // Mixed traffic: mostly HD-ish frames with occasional large stills.
-  const std::vector<int> sizes{512, 1024, 512, 2048, 1024, 512,
-                               4096, 512, 1024, 2048};
+  std::vector<int> sizes{512, 1024, 512, 2048, 1024, 512,
+                         4096, 512, 1024, 2048};
+  if (max_batch > 1) {
+    // Same-geometry burst: the batch planner can only coalesce
+    // compatible neighbors, so give it a run of identical frames.
+    sizes.insert(sizes.end(), 8, 512);
+  }
 
   std::vector<std::future<sharp::ServiceResponse>> futures;
   futures.reserve(sizes.size());
@@ -114,7 +139,12 @@ int main(int argc, char** argv) {
 
   std::cout << '\n';
   sharp::report::banner(std::cout, "Service stats");
-  service.stats().to_table().print(std::cout);
+  const sharp::ServiceStats stats = service.stats();
+  stats.to_table().print(std::cout);
+  std::cout << "batch occupancy: " << fmt(stats.avg_batch_size, 2)
+            << " requests/dequeue over " << stats.batches
+            << " dequeue groups (max_batch="
+            << service.config().max_batch << ")\n";
 
   // Scrape the live endpoint the way Prometheus would: a real HTTP GET
   // against the listening socket, while the service is still up.
@@ -126,10 +156,10 @@ int main(int argc, char** argv) {
   sharp::report::banner(std::cout, "GET /metrics (scraped over HTTP)");
   std::cout << metrics;
 
-  if (argc > 1) {
-    std::ofstream out(argv[1], std::ios::trunc);
+  if (scrape_path != nullptr) {
+    std::ofstream out(scrape_path, std::ios::trunc);
     out << metrics;
-    std::cout << "\nsaved /metrics scrape to " << argv[1] << '\n';
+    std::cout << "\nsaved /metrics scrape to " << scrape_path << '\n';
   }
   if (sharp::telemetry::StreamSink* sink =
           sharp::telemetry::env_stream_sink()) {

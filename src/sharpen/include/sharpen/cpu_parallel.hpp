@@ -11,6 +11,8 @@
 // Reported time uses a multi-core scaling of the i5 model.
 #pragma once
 
+#include <vector>
+
 #include "image/image.hpp"
 #include "sharpen/options.hpp"
 #include "sharpen/params.hpp"
@@ -39,15 +41,34 @@ class ParallelCpuPipeline {
   [[nodiscard]] PipelineResult run(const img::ImageU8& input,
                                    const SharpenParams& params = {}) const;
 
+  /// Runs every member of a micro-batch (all sharing one geometry)
+  /// back to back with ONE shared band plan: the fused sweep's
+  /// cache-topology band height is computed once for the batch instead
+  /// of once per member (SharpenService batching). Pixels and modeled
+  /// stage costs are bit-identical to run() per member.
+  [[nodiscard]] std::vector<PipelineResult> run_batch(
+      const std::vector<const img::ImageU8*>& inputs,
+      const SharpenParams& params = {}) const;
+
   [[nodiscard]] int threads() const { return threads_; }
   [[nodiscard]] const simcl::DeviceSpec& device() const { return cpu_; }
   [[nodiscard]] const PipelineOptions& options() const { return options_; }
 
  private:
+  /// Band height of the fused second sweep for width `w` — from the
+  /// explicit cpu_band_rows override or the cache-topology autotuner
+  /// (width is the only geometric input, so batch members share it).
+  [[nodiscard]] int fused_band(int w) const;
+  /// One frame, inputs already validated; `band` only applies to the
+  /// fused path.
+  [[nodiscard]] PipelineResult run_one(const img::ImageU8& input,
+                                       const SharpenParams& params,
+                                       int band) const;
   [[nodiscard]] PipelineResult run_unfused(const img::ImageU8& input,
                                            const SharpenParams& params) const;
   [[nodiscard]] PipelineResult run_fused(const img::ImageU8& input,
-                                         const SharpenParams& params) const;
+                                         const SharpenParams& params,
+                                         int band) const;
 
   int threads_;
   simcl::DeviceSpec cpu_;  ///< already scaled to `threads_` cores

@@ -12,6 +12,12 @@
 //   SHARP_METRICS_PORT 0..65535 — SharpenService serves GET /metrics,
 //                      /healthz and /trace on this port (0 = ephemeral)
 //   SHARP_BAND_ROWS    integer — overrides the fused band autotuner
+//   SHARP_BATCH        1..64 — default SharpenService micro-batch size
+//                      (ServiceConfig::max_batch = 0 resolves to this)
+//   SHARP_BATCH_WINDOW_US 0..1000000 — how long a worker waits for
+//                      batch-compatible requests before running short
+//   SHARP_PIPELINE_DEPTH 2..16 — in-flight frames per GPU service worker
+//                      (> 2 enables the three-queue deep pipeline)
 //   SIMCL_CHECKED      full|bounds,races,lifetime — simcl validation mode
 //                      (parsed by simcl::validation, documented here)
 //   SIMCL_WARP         0|off|false — forces scalar kernel execution in the
@@ -59,6 +65,23 @@ namespace sharp::env {
 /// endpoint (0 = ephemeral). Non-numeric or out-of-range values are
 /// ignored. Re-read on every call (not cached).
 [[nodiscard]] std::optional<int> metrics_port();
+
+/// SHARP_BATCH: default micro-batch size for SharpenService workers
+/// (ServiceConfig::max_batch = 0 resolves to this). Clamped to [1, 64];
+/// non-numeric values are ignored. Re-read on every call (not cached).
+[[nodiscard]] std::optional<int> batch();
+
+/// SHARP_BATCH_WINDOW_US: how long a worker waits for batch-compatible
+/// requests before running a short batch (ServiceConfig::batch_window_us
+/// = -1 resolves to this). Clamped to [0, 1000000]; non-numeric values
+/// are ignored. Re-read on every call (not cached).
+[[nodiscard]] std::optional<int> batch_window_us();
+
+/// SHARP_PIPELINE_DEPTH: in-flight frames per GPU service worker
+/// (ServiceConfig::pipeline_depth = 0 resolves to this; > 2 selects the
+/// three-queue deep pipeline). Clamped to [2, 16]; non-numeric values
+/// are ignored. Re-read on every call (not cached).
+[[nodiscard]] std::optional<int> pipeline_depth();
 
 /// One documented knob: name, accepted values, effect.
 struct Knob {

@@ -97,6 +97,26 @@ struct KernelEnv {
                                             simcl::Buffer& edge, int w,
                                             int h, const KernelEnv& env);
 
+/// Sobel over one horizontal slab of the frame: rows [y0, y0 + rows).
+/// Launched per upload slab by the slice-pipelined frame path so gradient
+/// work can start while later slabs are still in DMA flight; the slab
+/// sequence covering [0, h) is pixel-identical to one whole-frame launch
+/// (frame rows y == 0 / h-1 still store the zero edge). Requires the
+/// padded source view. Scalar variant: one pixel per work-item.
+[[nodiscard]] simcl::Kernel make_sobel_slab_scalar(const SrcView& src,
+                                                   simcl::Buffer& edge,
+                                                   int w, int h, int y0,
+                                                   int rows,
+                                                   const KernelEnv& env);
+
+/// Slab Sobel, vectorized: one aligned quad of outputs per work-item
+/// (the §V.D 18-node window), rows [y0, y0 + rows) only. Requires the
+/// padded source view.
+[[nodiscard]] simcl::Kernel make_sobel_slab_vec4(const SrcView& src,
+                                                 simcl::Buffer& edge, int w,
+                                                 int h, int y0, int rows,
+                                                 const KernelEnv& env);
+
 /// Sobel via a local-memory tile (related work [11], Brown et al.): each
 /// (tile x tile) work-group cooperatively stages its (tile+2)^2 padded
 /// neighborhood into LDS, barriers once, and computes from LDS. Requires

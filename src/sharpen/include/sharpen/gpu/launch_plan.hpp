@@ -34,6 +34,20 @@ inline constexpr std::size_t kTile = 16;
 [[nodiscard]] simcl::LaunchConfig grid1d(std::size_t n,
                                          std::size_t local = 64);
 
+/// One horizontal slab of a slice-pipelined frame: image rows
+/// [y0, y0 + rows).
+struct SlabRange {
+  int y0 = 0;
+  int rows = 0;
+};
+
+/// Splits `h` rows into `slices` near-equal contiguous slabs (the first
+/// h % slices slabs get one extra row). Shared by FrameRunner's sliced
+/// upload path and the launch planner so transfer and kernel geometry
+/// cannot disagree. `slices` is clamped to [1, h / 2] so every slab spans
+/// at least two rows.
+[[nodiscard]] std::vector<SlabRange> slice_rows(int h, int slices);
+
 /// One kernel enqueue of the planned pipeline, in enqueue order.
 struct PlannedLaunch {
   std::string stage;  ///< pipeline stage label (stage::k* constants)
@@ -59,7 +73,7 @@ class LaunchPlan {
 
  private:
   friend LaunchPlan build_launch_plan(simcl::Context&,
-                                      const PipelineOptions&, int, int);
+                                      const PipelineOptions&, int, int, int);
   struct Storage;
   std::unique_ptr<Storage> storage_;
   std::vector<PlannedLaunch> launches_;
@@ -69,8 +83,16 @@ class LaunchPlan {
 /// of FrameRunner::finish_frame (border/reduction placement heuristics
 /// included) with a placeholder mean-edge value. Pure with respect to
 /// execution — it only allocates buffers from `ctx`.
+///
+/// `sobel_slices > 1` plans the slice-pipelined Sobel phase instead: one
+/// slab kernel per slice_rows(h, sobel_slices) slab (the shape
+/// FrameRunner enqueues when SharpenService slices an oversized frame's
+/// upload). Slicing requires the padded transfer path and a scalar/vec4
+/// Sobel; configurations outside that gate plan the whole-frame kernel
+/// regardless of `sobel_slices`, exactly like the runtime.
 [[nodiscard]] LaunchPlan build_launch_plan(simcl::Context& ctx,
                                            const PipelineOptions& opt,
-                                           int w, int h);
+                                           int w, int h,
+                                           int sobel_slices = 1);
 
 }  // namespace sharp::gpu

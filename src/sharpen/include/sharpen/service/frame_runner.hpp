@@ -19,9 +19,12 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "image/image.hpp"
+#include "sharpen/gpu/launch_plan.hpp"
 #include "sharpen/options.hpp"
 #include "sharpen/params.hpp"
 #include "sharpen/pipeline_result.hpp"
@@ -43,6 +46,20 @@ class FrameRunner {
               simcl::CommandQueue& comp, simcl::CommandQueue& xfer,
               PipelineOptions options, int slots = 1);
 
+  /// Deep (three-queue) mode: `upload` carries H2D traffic, `download`
+  /// carries every D2H read, and `comp` runs only kernels and host
+  /// stages. With `slots` >= 3 this sustains a pipeline depth beyond the
+  /// classic double buffer: while frame i computes, frames i+1..i+slots-1
+  /// upload and frames i-1... drain, with precise per-buffer hazard
+  /// fences (enqueue_wait) instead of whole-queue barriers keeping the
+  /// modeled timeline honest. Commands and pixels are identical to the
+  /// two-queue mode — only their queue placement (and therefore overlap)
+  /// changes, so per-frame KernelStats are unchanged by depth.
+  FrameRunner(simcl::Context& ctx, gpu::BufferPool& pool,
+              simcl::CommandQueue& comp, simcl::CommandQueue& upload,
+              simcl::CommandQueue& download, PipelineOptions options,
+              int slots = 1);
+
   /// Handle to an uploaded-but-not-computed frame. Holds no reference to
   /// the input image: uploads copy at enqueue time, so the caller may
   /// free or reuse the frame as soon as begin_frame() returns (the
@@ -57,16 +74,27 @@ class FrameRunner {
     simcl::Event upload_done;  ///< last H2D event; compute waits on it
     /// Request-trace correlation id (SharpenService); 0 = untagged.
     std::uint64_t request_id = 0;
+    /// Slice pipelining (slices > 1): the upload was split into
+    /// horizontal slabs so finish_frame can start each Sobel slab as soon
+    /// as its covering slabs have landed, hiding PCIe behind compute
+    /// within the frame.
+    int slices = 1;
+    std::vector<gpu::SlabRange> slabs;
+    std::vector<simcl::Event> slab_uploads;  ///< one H2D event per slab
   };
 
   /// Enqueues the upload of `input` on the transfer queue.
   /// `charge_allocations` additionally charges the one-time flat buffer
   /// allocation cost into this frame (first frame of a pool's life).
   /// A non-zero `request_id` tags the frame spans and every bridged
-  /// device event with a {"req", id} trace argument.
+  /// device event with a {"req", id} trace argument. `slices > 1`
+  /// requests slice pipelining; it degrades to 1 when the configuration
+  /// cannot slice (image2d / host-padded / mapped transfers, or no
+  /// overlap to exploit).
   [[nodiscard]] Ticket begin_frame(const img::ImageU8& input,
                                    bool charge_allocations, int slot = 0,
-                                   std::uint64_t request_id = 0);
+                                   std::uint64_t request_id = 0,
+                                   int slices = 1);
 
   /// Enqueues kernels, host stages and the readback for an uploaded
   /// frame and returns the completed result. In overlapped (two-queue)
@@ -76,18 +104,38 @@ class FrameRunner {
                                             const SharpenParams& params);
 
   [[nodiscard]] bool overlapped() const { return comp_ != xfer_; }
+  /// Deep mode: downloads run on their own queue (three-queue ctor).
+  [[nodiscard]] bool deep() const { return down_ != xfer_; }
   [[nodiscard]] const PipelineOptions& options() const { return options_; }
   [[nodiscard]] int slots() const { return slots_; }
 
  private:
   [[nodiscard]] std::string slot_name(const char* base, int slot) const;
+  void wait_on(simcl::CommandQueue& q,
+               const std::optional<simcl::Event>& ev) const;
 
   simcl::Context* ctx_;
   gpu::BufferPool* pool_;
   simcl::CommandQueue* comp_;
   simcl::CommandQueue* xfer_;
+  simcl::CommandQueue* down_;  ///< == xfer_ outside deep mode
   PipelineOptions options_;
   int slots_;
+
+  // Deep-mode hazard fences: the completion event of the last command
+  // that read (WAR) each shared buffer from another queue. A writer
+  // waits the matching fence before reuse, which is exactly the
+  // dependency a real three-queue OpenCL pipeline would express with
+  // cl_event wait lists — precise per-buffer edges, never whole-queue
+  // barriers (those would serialize compute with the previous frame's
+  // drain and forfeit the overlap).
+  std::vector<std::optional<simcl::Event>> slot_compute_done_;
+  std::vector<std::optional<simcl::Event>> slot_final_read_;
+  std::optional<simcl::Event> down_read_;      ///< `down` (border on host)
+  std::optional<simcl::Event> partials_read_;  ///< `partials` (host stage2)
+  std::optional<simcl::Event> sum_read_;       ///< `sum` (GPU stage2)
+  std::optional<simcl::Event> edge_read_;      ///< `edge` (CPU reduction)
+  std::optional<simcl::Event> up_read_;        ///< `up` (border strips WAR)
 
   // Strength-LUT reuse across frames: rebuilding + re-uploading is skipped
   // when the table would be bit-identical to the resident one.

@@ -86,6 +86,30 @@ struct ServiceConfig {
   /// result downloads so neighboring frames overlap on the modeled
   /// timeline (double buffering). Off = one serial queue per worker.
   bool overlap_transfers = true;
+  /// Micro-batching (the throughput plane): the most geometry-compatible
+  /// queued requests one worker coalesces per dequeue, so a batch shares
+  /// one strength-LUT residency, launch plan and buffer-pool reservation
+  /// and its members pipeline back to back. 0 resolves to $SHARP_BATCH
+  /// (unset = 1); 1 disables batching. Batched and unbatched runs are
+  /// bit-identical per request — batching amortizes host/setup cost,
+  /// never alters device work.
+  int max_batch = 0;
+  /// Wall-clock microseconds a worker waits for more batch-compatible
+  /// requests before running a short batch. Negative resolves to
+  /// $SHARP_BATCH_WINDOW_US (unset = 0: never wait).
+  int batch_window_us = -1;
+  /// In-flight frames per GPU worker. 0 resolves to $SHARP_PIPELINE_DEPTH
+  /// (unset = 2, the classic double buffer). Depths > 2 add a third
+  /// in-order queue per worker (upload / compute / download) and keep a
+  /// ring of pipeline_depth in-flight tickets with per-buffer hazard
+  /// fences. Ignored (treated as 2) when overlap_transfers is off.
+  int pipeline_depth = 0;
+  /// Frames with at least this many pixels skip batching; their upload is
+  /// instead sliced into `slice_count` horizontal slabs so dependent
+  /// kernels start as each slab lands (slice pipelining — hides PCIe
+  /// behind compute within one oversized frame).
+  std::int64_t slice_threshold_pixels = std::int64_t{8} * 1024 * 1024;
+  int slice_count = 4;
   /// Worker execution descriptor: options/device/host for Backend::kGpu
   /// workers, or the host spec for (unusual) Backend::kCpu workers.
   Execution execution;
@@ -116,6 +140,11 @@ struct ServiceStats {
   double busy_us = 0.0;
   /// completed / busy_us — modeled frames per second of the service.
   double throughput_fps = 0.0;
+  /// Dequeue groups the workers ran (every dequeue counts, size-1 ones
+  /// included, so avg_batch_size = completed / batches reads as batch
+  /// occupancy: 1.0 = batching never coalesced anything).
+  std::uint64_t batches = 0;
+  double avg_batch_size = 0.0;
 
   /// Two-column metric/value table for the report harness.
   [[nodiscard]] report::Table to_table() const;
@@ -200,6 +229,9 @@ class SharpenService {
   /// the end-to-end number a caller actually experiences, as opposed to
   /// latency_us_'s modeled device time.
   telemetry::Histogram* e2e_latency_us_ = nullptr;
+  /// Batch occupancy: one observation per dequeue group with the number
+  /// of member requests (family "sharp_service_batch_size").
+  telemetry::Histogram* batch_size_ = nullptr;
 
   std::atomic<std::uint64_t> next_request_id_{1};
 

@@ -134,17 +134,27 @@ ParallelCpuPipeline::ParallelCpuPipeline(int threads, simcl::DeviceSpec cpu,
   }
 }
 
-PipelineResult ParallelCpuPipeline::run(const img::ImageU8& input,
-                                        const SharpenParams& params) const {
-  validate_size(input.width(), input.height());
-  params.validate();
+int ParallelCpuPipeline::fused_band(int w) const {
+  // Band height from this host's cache topology: all threads_ workers run
+  // concurrently (plus any co-resident service workers the caller
+  // declared via cpu_cache_sharers), so each gets a smaller L2 share.
+  return options_.cpu_band_rows > 0
+             ? options_.cpu_band_rows
+             : detail::fused::auto_band_rows(
+                   w, std::max(threads_,
+                               std::max(1, options_.cpu_cache_sharers)));
+}
+
+PipelineResult ParallelCpuPipeline::run_one(const img::ImageU8& input,
+                                            const SharpenParams& params,
+                                            int band) const {
   const bool trace = telemetry::pipeline_trace_on(options_);
   telemetry::Span span(
       trace, options_.cpu_fuse ? "pcpu.run_fused" : "pcpu.run_unfused",
       "pipeline",
       {"pixels",
        static_cast<std::int64_t>(input.width()) * input.height()});
-  PipelineResult result = options_.cpu_fuse ? run_fused(input, params)
+  PipelineResult result = options_.cpu_fuse ? run_fused(input, params, band)
                                             : run_unfused(input, params);
   for (const auto& s : result.stages) {
     result.total_modeled_us += s.modeled_us;
@@ -154,6 +164,40 @@ PipelineResult ParallelCpuPipeline::run(const img::ImageU8& input,
     telemetry::emit_modeled_stages(result.stages);
   }
   return result;
+}
+
+PipelineResult ParallelCpuPipeline::run(const img::ImageU8& input,
+                                        const SharpenParams& params) const {
+  validate_size(input.width(), input.height());
+  params.validate();
+  return run_one(input, params, fused_band(input.width()));
+}
+
+std::vector<PipelineResult> ParallelCpuPipeline::run_batch(
+    const std::vector<const img::ImageU8*>& inputs,
+    const SharpenParams& params) const {
+  std::vector<PipelineResult> results;
+  if (inputs.empty()) {
+    return results;
+  }
+  const img::ImageU8& first = *inputs.front();
+  validate_size(first.width(), first.height());
+  params.validate();
+  for (const img::ImageU8* input : inputs) {
+    if (input == nullptr || input->width() != first.width() ||
+        input->height() != first.height()) {
+      throw SharpenError(
+          "ParallelCpuPipeline::run_batch: members must share geometry");
+    }
+  }
+  // The shared band plan: computed once here, reused by every member
+  // (the autotuner only looks at width, which members share).
+  const int band = fused_band(first.width());
+  results.reserve(inputs.size());
+  for (const img::ImageU8* input : inputs) {
+    results.push_back(run_one(*input, params, band));
+  }
+  return results;
 }
 
 PipelineResult ParallelCpuPipeline::run_unfused(
@@ -282,8 +326,9 @@ PipelineResult ParallelCpuPipeline::run_unfused(
   return result;
 }
 
-PipelineResult ParallelCpuPipeline::run_fused(
-    const img::ImageU8& input, const SharpenParams& params) const {
+PipelineResult ParallelCpuPipeline::run_fused(const img::ImageU8& input,
+                                              const SharpenParams& params,
+                                              int band) const {
   const int w = input.width();
   const int h = input.height();
   const int dh = h / kScale;
@@ -334,14 +379,6 @@ PipelineResult ParallelCpuPipeline::run_fused(
   t0 = Clock::now();
   const std::vector<float> lut = detail::simd::strength_lut(inv_mean, params);
   result.output = img::ImageU8(w, h);
-  // Band height from this host's cache topology: all threads_ workers run
-  // concurrently (plus any co-resident service workers the caller
-  // declared via cpu_cache_sharers), so each gets a smaller L2 share.
-  const int band =
-      options_.cpu_band_rows > 0
-          ? options_.cpu_band_rows
-          : detail::fused::auto_band_rows(
-                w, std::max(threads_, std::max(1, options_.cpu_cache_sharers)));
   parallel_for_rows(h, threads_, trace, "fused.sharpen",
                     [&](int y0, int y1) {
     detail::fused::sharpen_rows(input.view(), down.view(), lut.data(),

@@ -71,6 +71,35 @@ std::optional<int> metrics_port() {
   return static_cast<int>(parsed);
 }
 
+namespace {
+
+/// Shared shape of the clamped-integer service knobs: non-numeric values
+/// are ignored (like a bad SHARP_SIMD), numeric ones are clamped.
+std::optional<int> clamped_int(const char* name, long lo, long hi) {
+  const std::optional<std::string> v = raw(name);
+  if (!v) {
+    return std::nullopt;
+  }
+  char* end = nullptr;
+  const long parsed = std::strtol(v->c_str(), &end, 10);
+  if (end == v->c_str() || *end != '\0') {
+    return std::nullopt;
+  }
+  return static_cast<int>(std::clamp(parsed, lo, hi));
+}
+
+}  // namespace
+
+std::optional<int> batch() { return clamped_int("SHARP_BATCH", 1, 64); }
+
+std::optional<int> batch_window_us() {
+  return clamped_int("SHARP_BATCH_WINDOW_US", 0, 1000000);
+}
+
+std::optional<int> pipeline_depth() {
+  return clamped_int("SHARP_PIPELINE_DEPTH", 2, 16);
+}
+
 const std::vector<Knob>& knobs() {
   static const std::vector<Knob> table = {
       {"SHARP_SIMD", "scalar|sse41|avx2|avx512",
@@ -91,6 +120,22 @@ const std::vector<Knob>& knobs() {
        "(JSON) and /trace (Chrome trace) on this TCP port; 0 binds an "
        "ephemeral port (SharpenService::metrics_port() reports it); "
        "re-read per service construction"},
+      {"SHARP_BATCH", "1..64",
+       "default SharpenService micro-batch size: how many geometry- and "
+       "option-compatible queued requests one worker coalesces into a "
+       "batch sharing a single LUT build, launch plan and pool "
+       "reservation (ServiceConfig::max_batch = 0 resolves to this; 1 "
+       "disables batching); re-read per service construction"},
+      {"SHARP_BATCH_WINDOW_US", "0..1000000",
+       "how long a SharpenService worker waits for more batch-compatible "
+       "requests before running a short batch "
+       "(ServiceConfig::batch_window_us = -1 resolves to this; 0 never "
+       "waits); re-read per service construction"},
+      {"SHARP_PIPELINE_DEPTH", "2..16",
+       "in-flight frames per GPU SharpenService worker "
+       "(ServiceConfig::pipeline_depth = 0 resolves to this); depths > 2 "
+       "run the three-queue deep pipeline (upload / compute / download) "
+       "with per-buffer hazard fences; re-read per service construction"},
       {"SHARP_BAND_ROWS", "2..1024",
        "overrides the cache-topology band autotuner of the fused CPU "
        "sweep (fused::auto_band_rows); re-read per pipeline run"},

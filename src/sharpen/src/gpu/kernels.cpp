@@ -607,6 +607,127 @@ Kernel make_sobel_vec4(const SrcView& src, Buffer& edge, int w, int h,
       .contract = std::move(kc)};
 }
 
+Kernel make_sobel_slab_scalar(const SrcView& src, Buffer& edge, int w,
+                              int h, int y0, int rows,
+                              const KernelEnv& env) {
+  SrcView s = src;
+  Buffer* e = &edge;
+  // Same per-pixel cost as the whole-frame sobel kernel.
+  const std::uint64_t alu = env.alu(20.0);
+  auto kc = std::make_shared<ct::KernelContract>();
+  // Slab-local row gy maps to image row y0 + gy; the y0 offset folds into
+  // the affine base. Interior rows gather the 3x3 window, frame rows
+  // (absolute y == 0 / h-1) only store the zero edge.
+  const int int_lo = std::max(0, 1 - y0);
+  const int int_hi = std::min(rows - 1, (h - 2) - y0);
+  if (int_lo <= int_hi) {
+    kc->arg("src", *s.buf, 1).reads(
+        s.offset + (y0 - 1) * s.stride - 1 + ct::gy(s.stride) + ct::gx(),
+        s.offset + (y0 + 1) * s.stride + 1 + ct::gy(s.stride) + ct::gx(),
+        {1, w - 2, int_lo, int_hi});
+  }
+  kc->arg("edge", edge, sizeof(std::int32_t))
+      .writes(y0 * w + plane(w), y0 * w + plane(w), {0, w - 1, 0, rows - 1});
+  return Kernel{
+      .name = "sobel",
+      .body = [=](WorkItem& it) {
+        const int x = it.global_id(0);
+        const int sy = it.global_id(1);
+        if (x >= w || sy >= rows) {
+          return;
+        }
+        const int y = y0 + sy;
+        auto o = it.global<std::int32_t>(*e);
+        const std::size_t oi = static_cast<std::size_t>(y * w + x);
+        if (x == 0 || x == w - 1 || y == 0 || y == h - 1) {
+          o.store(oi, 0);
+          return;
+        }
+        auto in = it.global<const std::uint8_t>(*s.buf);
+        const auto p = [&](int dx, int dy) {
+          return static_cast<std::int32_t>(in.load(s.index(x + dx, y + dy)));
+        };
+        const std::int32_t gx = (p(1, -1) + 2 * p(1, 0) + p(1, 1)) -
+                                (p(-1, -1) + 2 * p(-1, 0) + p(-1, 1));
+        const std::int32_t gy = (p(-1, 1) + 2 * p(0, 1) + p(1, 1)) -
+                                (p(-1, -1) + 2 * p(0, -1) + p(1, -1));
+        o.store(oi, std::abs(gx) + std::abs(gy));
+        it.alu(alu);
+      },
+      .body_warp = {},  // scalar-replay kernel: slabs reuse the scalar body
+      .contract = std::move(kc)};
+}
+
+Kernel make_sobel_slab_vec4(const SrcView& src, Buffer& edge, int w, int h,
+                            int y0, int rows, const KernelEnv& env) {
+  SrcView s = src;
+  Buffer* e = &edge;
+  const std::uint64_t alu = env.alu(64.0);  // same per-quad cost as whole-frame
+  const ct::Domain quads{0, (w - 1) / 4, 0, rows - 1};
+  auto kc = std::make_shared<ct::KernelContract>();
+  const int int_lo = std::max(0, 1 - y0);
+  const int int_hi = std::min(rows - 1, (h - 2) - y0);
+  if (int_lo <= int_hi) {
+    kc->arg("src", *s.buf, 1).reads(
+        s.offset + (y0 - 1) * s.stride - 1 + ct::gy(s.stride) + ct::gx(4),
+        s.offset + (y0 + 1) * s.stride + 4 + ct::gy(s.stride) + ct::gx(4),
+        {0, (w - 1) / 4, int_lo, int_hi});
+  }
+  kc->arg("edge", edge, sizeof(std::int32_t))
+      .writes(y0 * w + ct::gy(w) + ct::gx(4),
+              y0 * w + 3 + ct::gy(w) + ct::gx(4), quads);
+  return Kernel{
+      .name = "sobel",
+      .body = [=](WorkItem& it) {
+        const int q = it.global_id(0);
+        const int sy = it.global_id(1);
+        const int x0 = 4 * q;
+        if (x0 >= w || sy >= rows) {
+          return;
+        }
+        const int y = y0 + sy;
+        auto o = it.global<std::int32_t>(*e);
+        const std::size_t oi = static_cast<std::size_t>(y * w + x0);
+        if (y == 0 || y == h - 1) {
+          o.vstore4(int4(0), oi);
+          return;
+        }
+        auto in = it.global<const std::uint8_t>(*s.buf);
+        std::int32_t win[3][6];
+        for (int dy = -1; dy <= 1; ++dy) {
+          const std::size_t base = s.index(x0 - 1, y + dy);
+          const uchar4 v = in.vload4(base);
+          std::int32_t* row = win[dy + 1];
+          row[0] = v.x;
+          row[1] = v.y;
+          row[2] = v.z;
+          row[3] = v.w;
+          row[4] = in.load(base + 4);
+          row[5] = in.load(base + 5);
+        }
+        int4 result(0);
+        for (int k = 0; k < 4; ++k) {
+          const int x = x0 + k;
+          if (x == 0 || x == w - 1) {
+            result[k] = 0;
+            continue;
+          }
+          const auto p = [&](int dx, int dy) {
+            return win[dy + 1][k + 1 + dx];
+          };
+          const std::int32_t gx = (p(1, -1) + 2 * p(1, 0) + p(1, 1)) -
+                                  (p(-1, -1) + 2 * p(-1, 0) + p(-1, 1));
+          const std::int32_t gy = (p(-1, 1) + 2 * p(0, 1) + p(1, 1)) -
+                                  (p(-1, -1) + 2 * p(0, -1) + p(1, -1));
+          result[k] = std::abs(gx) + std::abs(gy);
+        }
+        o.vstore4(result, oi);
+        it.alu(alu);
+      },
+      .body_warp = {},  // scalar-replay kernel: slabs reuse the scalar body
+      .contract = std::move(kc)};
+}
+
 Kernel make_sobel_lds(const SrcView& src, Buffer& edge, int w, int h,
                       int tile, const KernelEnv& env) {
   SrcView s = src;

@@ -20,6 +20,21 @@ simcl::LaunchConfig grid1d(std::size_t n, std::size_t local) {
           .local = simcl::NDRange(local)};
 }
 
+std::vector<SlabRange> slice_rows(int h, int slices) {
+  slices = std::clamp(slices, 1, std::max(1, h / 2));
+  const int base = h / slices;
+  const int extra = h % slices;
+  std::vector<SlabRange> out;
+  out.reserve(static_cast<std::size_t>(slices));
+  int y0 = 0;
+  for (int i = 0; i < slices; ++i) {
+    const int rows = base + (i < extra ? 1 : 0);
+    out.push_back({y0, rows});
+    y0 += rows;
+  }
+  return out;
+}
+
 /// The device objects a planned frame binds. Mirrors the BufferPool names
 /// and sizes of FrameRunner; kept behind a unique_ptr so the Buffer*
 /// captured inside the planned kernels stay valid across plan moves.
@@ -44,7 +59,8 @@ LaunchPlan& LaunchPlan::operator=(LaunchPlan&&) noexcept = default;
 LaunchPlan::~LaunchPlan() = default;
 
 LaunchPlan build_launch_plan(simcl::Context& ctx,
-                             const PipelineOptions& opt, int w, int h) {
+                             const PipelineOptions& opt, int w, int h,
+                             int sobel_slices) {
   if (auto problem = opt.validate()) {
     throw SharpenError("PipelineOptions: " + *problem);
   }
@@ -135,7 +151,30 @@ LaunchPlan build_launch_plan(simcl::Context& ctx,
     if (sobel_impl == SobelImpl::kDefault) {
       sobel_impl = opt.vectorize ? SobelImpl::kVec4 : SobelImpl::kScalar;
     }
-    switch (sobel_impl) {
+    // Slab-sliced Sobel: same gate as FrameRunner's slice-pipelined path
+    // (padded view required; LDS stays whole-frame — its cooperative
+    // staging window spans the full image).
+    const bool slice_sobel =
+        sobel_slices > 1 && opt.transfer_padded_only &&
+        (sobel_impl == SobelImpl::kVec4 || sobel_impl == SobelImpl::kScalar);
+    if (slice_sobel) {
+      for (const SlabRange& slab : slice_rows(h, sobel_slices)) {
+        if (sobel_impl == SobelImpl::kVec4) {
+          add(stage::kSobel,
+              make_sobel_slab_vec4(padded_view, *st.edge, w, h, slab.y0,
+                                   slab.rows, env),
+              grid2d(static_cast<std::size_t>(w / 4),
+                     static_cast<std::size_t>(slab.rows)));
+        } else {
+          add(stage::kSobel,
+              make_sobel_slab_scalar(padded_view, *st.edge, w, h, slab.y0,
+                                     slab.rows, env),
+              grid2d(static_cast<std::size_t>(w),
+                     static_cast<std::size_t>(slab.rows)));
+        }
+      }
+    } else {
+      switch (sobel_impl) {
       case SobelImpl::kVec4:
         add(stage::kSobel, make_sobel_vec4(padded_view, *st.edge, w, h, env),
             grid2d(static_cast<std::size_t>(w / 4),
@@ -152,6 +191,7 @@ LaunchPlan build_launch_plan(simcl::Context& ctx,
         add(stage::kSobel, make_sobel_scalar(plain_src, *st.edge, w, h, env),
             whole);
         break;
+      }
     }
   }
 

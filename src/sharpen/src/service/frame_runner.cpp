@@ -61,10 +61,18 @@ FrameRunner::FrameRunner(simcl::Context& ctx, gpu::BufferPool& pool,
                          simcl::CommandQueue& comp,
                          simcl::CommandQueue& xfer, PipelineOptions options,
                          int slots)
+    : FrameRunner(ctx, pool, comp, xfer, xfer, options, slots) {}
+
+FrameRunner::FrameRunner(simcl::Context& ctx, gpu::BufferPool& pool,
+                         simcl::CommandQueue& comp,
+                         simcl::CommandQueue& upload,
+                         simcl::CommandQueue& download,
+                         PipelineOptions options, int slots)
     : ctx_(&ctx),
       pool_(&pool),
       comp_(&comp),
-      xfer_(&xfer),
+      xfer_(&upload),
+      down_(&download),
       options_(options),
       slots_(slots) {
   if (auto problem = options_.validate()) {
@@ -73,7 +81,24 @@ FrameRunner::FrameRunner(simcl::Context& ctx, gpu::BufferPool& pool,
   if (slots_ < 1) {
     throw SharpenError("FrameRunner: slots must be >= 1");
   }
-  if (overlapped()) {
+  if (deep() && !overlapped()) {
+    throw SharpenError(
+        "FrameRunner: a distinct download queue requires a distinct "
+        "upload queue");
+  }
+  slot_compute_done_.resize(static_cast<std::size_t>(slots_));
+  slot_final_read_.resize(static_cast<std::size_t>(slots_));
+  if (deep()) {
+    telemetry::set_track_name(telemetry::kDevicePid, comp_->id(),
+                              "simcl comp queue #" +
+                                  std::to_string(comp_->id()));
+    telemetry::set_track_name(telemetry::kDevicePid, xfer_->id(),
+                              "simcl upload queue #" +
+                                  std::to_string(xfer_->id()));
+    telemetry::set_track_name(telemetry::kDevicePid, down_->id(),
+                              "simcl download queue #" +
+                                  std::to_string(down_->id()));
+  } else if (overlapped()) {
     telemetry::set_track_name(telemetry::kDevicePid, comp_->id(),
                               "simcl comp queue #" +
                                   std::to_string(comp_->id()));
@@ -93,10 +118,18 @@ std::string FrameRunner::slot_name(const char* base, int slot) const {
   return std::string(base) + "@" + std::to_string(slot);
 }
 
+void FrameRunner::wait_on(simcl::CommandQueue& q,
+                          const std::optional<simcl::Event>& ev) const {
+  if (ev.has_value()) {
+    q.enqueue_wait(*ev);
+  }
+}
+
 FrameRunner::Ticket FrameRunner::begin_frame(const img::ImageU8& input,
                                              bool charge_allocations,
                                              int slot,
-                                             std::uint64_t request_id) {
+                                             std::uint64_t request_id,
+                                             int slices) {
   validate_size(input.width(), input.height());
   if (slot < 0 || slot >= slots_) {
     throw SharpenError("FrameRunner: slot out of range");
@@ -137,6 +170,25 @@ FrameRunner::Ticket FrameRunner::begin_frame(const img::ImageU8& input,
   CommandQueue& q = *xfer_;
   const Mover mover{q, opt.transfer};
 
+  // Slicing needs the rect-transfer padded path (slabs scatter straight
+  // into the padded layout) and an overlapped runner to profit from.
+  const bool can_slice = slices > 1 && overlapped() && !opt.use_image2d &&
+                         opt.transfer_padded_only &&
+                         opt.transfer == TransferMode::kReadWrite;
+  if (can_slice) {
+    t.slices = slices;
+    t.slabs = gpu::slice_rows(h, slices);
+    t.slices = static_cast<int>(t.slabs.size());
+  }
+
+  // --- WAR fence: the previous occupant of this slot must have read its
+  // padded input before we overwrite it (deep mode only; the two-queue
+  // double buffer is protected transitively by its queue order).
+  if (deep()) {
+    q.set_phase(stage::kDataInit);
+    wait_on(q, slot_compute_done_[static_cast<std::size_t>(slot)]);
+  }
+
   // --- buffer allocation cost (paid once per pool lifetime) ----------------
   if (charge_allocations) {
     // Real host code allocates the full worst-case buffer set once at
@@ -155,6 +207,28 @@ FrameRunner::Ticket FrameRunner::begin_frame(const img::ImageU8& input,
     // CLAMP_TO_EDGE addressing stands in for the paper's padding.
     q.set_phase(stage::kDataInit);
     q.enqueue_write_image(*orig_img, input.data());
+  } else if (t.slices > 1) {
+    // Slice pipelining: the same interior rect write, split into
+    // horizontal slabs so finish_frame can start per-slab kernels the
+    // moment their rows have landed instead of waiting for the whole
+    // frame (extends the paper's data-transfer optimization past frame
+    // granularity).
+    q.set_phase(stage::kDataInit);
+    t.slab_uploads.reserve(t.slabs.size());
+    for (const gpu::SlabRange& slab : t.slabs) {
+      RectRegion r;
+      r.row_bytes = static_cast<std::size_t>(w);
+      r.rows = static_cast<std::size_t>(slab.rows);
+      r.buffer_offset =
+          static_cast<std::size_t>(slab.y0 + 1) * static_cast<std::size_t>(pw) +
+          1;
+      r.buffer_row_pitch = static_cast<std::size_t>(pw);
+      r.host_offset =
+          static_cast<std::size_t>(slab.y0) * static_cast<std::size_t>(w);
+      r.host_row_pitch = static_cast<std::size_t>(w);
+      q.enqueue_write_rect(padded, input.data(), r);
+      t.slab_uploads.push_back(q.events().back());
+    }
   } else if (opt.transfer_padded_only &&
              opt.transfer == TransferMode::kReadWrite) {
     // Padding happens on-transfer: one rect write of the interior; the
@@ -216,6 +290,18 @@ PipelineResult FrameRunner::finish_frame(const Ticket& t,
       q.finish();
     }
   };
+  // Deep mode: every event this call adds to the download (and, for the
+  // border strips, upload) queue lives in a contiguous range starting
+  // here — the worker thread owns its queues, so the indices are exact.
+  const std::size_t down_begin = down_->events().size();
+  // With depth > 2 several frames begin before the oldest finishes, so
+  // the begin-time compute index may predate other frames' kernels; all
+  // of THIS frame's compute events are added by this very call.
+  const std::size_t comp_begin = comp_->events().size();
+  std::size_t strip_begin = 0;
+  std::size_t strip_end = 0;
+  std::vector<simcl::Event> strip_events;
+  const std::size_t slot_idx = static_cast<std::size_t>(t.slot);
 
   // --- pooled device memory (same names/sizes as begin_frame) --------------
   const int pw = w + 2;
@@ -247,6 +333,49 @@ PipelineResult FrameRunner::finish_frame(const Ticket& t,
   Buffer& final_out =
       pool_->get(slot_name("final", t.slot), static_cast<std::size_t>(n));
 
+  // --- slice-pipelined Sobel (before the whole-frame upload barrier) --------
+  // Each slab kernel fans in on just the uploads covering its rows plus a
+  // one-row halo, so gradient work starts while later slabs are still in
+  // DMA flight. Pixel-identical to the whole-frame kernel; the normal
+  // Sobel section below is skipped.
+  bool sobel_enqueued = false;
+  if (t.slices > 1 && !opt.use_image2d) {
+    SobelImpl sobel_impl = opt.sobel_impl;
+    if (sobel_impl == SobelImpl::kDefault) {
+      sobel_impl = opt.vectorize ? SobelImpl::kVec4 : SobelImpl::kScalar;
+    }
+    if (sobel_impl == SobelImpl::kVec4 || sobel_impl == SobelImpl::kScalar) {
+      q.set_phase(stage::kSobel);
+      if (deep()) {
+        wait_on(q, edge_read_);  // WAR: CPU-reduction readback of `edge`
+      }
+      for (std::size_t k = 0; k < t.slabs.size(); ++k) {
+        std::vector<simcl::Event> deps;
+        const std::size_t lo = k == 0 ? 0 : k - 1;
+        const std::size_t hi = std::min(k + 1, t.slabs.size() - 1);
+        for (std::size_t j = lo; j <= hi; ++j) {
+          deps.push_back(t.slab_uploads[j]);
+        }
+        q.enqueue_wait(deps);
+        const gpu::SlabRange& slab = t.slabs[k];
+        if (sobel_impl == SobelImpl::kVec4) {
+          q.enqueue_kernel(
+              gpu::make_sobel_slab_vec4(padded_view, edge, w, h, slab.y0,
+                                        slab.rows, env),
+              grid2d(static_cast<std::size_t>(w / 4),
+                     static_cast<std::size_t>(slab.rows)));
+        } else {
+          q.enqueue_kernel(
+              gpu::make_sobel_slab_scalar(padded_view, edge, w, h, slab.y0,
+                                          slab.rows, env),
+              grid2d(static_cast<std::size_t>(w),
+                     static_cast<std::size_t>(slab.rows)));
+        }
+      }
+      sobel_enqueued = true;
+    }
+  }
+
   // --- cross-queue handoff: kernels wait for this frame's upload -----------
   if (overlapped()) {
     q.set_phase(stage::kDataInit);
@@ -255,6 +384,9 @@ PipelineResult FrameRunner::finish_frame(const Ticket& t,
 
   // --- downscale ------------------------------------------------------------
   q.set_phase(stage::kDownscale);
+  if (deep()) {
+    wait_on(q, down_read_);  // WAR: previous frame's `down` readback
+  }
   if (opt.use_image2d) {
     q.enqueue_kernel(gpu::make_downscale_img(*orig_img, down, dw, dh, env),
                      grid2d(static_cast<std::size_t>(dw),
@@ -276,12 +408,34 @@ PipelineResult FrameRunner::finish_frame(const Ticket& t,
                      grid1d(static_cast<std::size_t>(4 * w + 4 * (h - 4))));
   } else {
     // CPU path: fetch the downscaled image, interpolate the frame on the
-    // host, push the four frame strips back.
+    // host, push the four frame strips back. In deep mode the readback
+    // runs on the download queue and the strips on the upload queue, so
+    // the compute queue carries only the host interpolation — the paper's
+    // division of labor extended to three hardware lanes.
     img::ImageF32 host_down(dw, dh);
-    mover.download(down, host_down.data(), host_down.byte_size());
+    if (deep()) {
+      down_->set_phase(stage::kBorder);
+      down_->enqueue_wait(q.events().back());  // after downscale
+      const Mover down_mover{*down_, opt.transfer};
+      down_mover.download(down, host_down.data(), host_down.byte_size());
+      down_read_ = down_->events().back();
+      wait_on(q, down_read_);  // host stage consumes the readback
+    } else {
+      mover.download(down, host_down.data(), host_down.byte_size());
+    }
     img::ImageF32 host_up(w, h);
     stages::upscale_border(host_down, host_up.view());
     q.host_work("border_on_host", cpu_cost::upscale_border(w, h));
+    CommandQueue& sq = deep() ? *xfer_ : q;
+    if (deep()) {
+      xfer_->set_phase(stage::kBorder);
+      strip_begin = xfer_->events().size();
+      std::vector<simcl::Event> deps{q.events().back()};  // border_on_host
+      if (up_read_.has_value()) {
+        deps.push_back(*up_read_);  // WAR: previous frame still reads `up`
+      }
+      xfer_->enqueue_wait(deps);
+    }
     const std::size_t pitch = static_cast<std::size_t>(w) * sizeof(float);
     const auto strip = [&](std::size_t row_bytes, std::size_t rows,
                            std::size_t origin_bytes) {
@@ -292,7 +446,10 @@ PipelineResult FrameRunner::finish_frame(const Ticket& t,
       r.buffer_row_pitch = pitch;
       r.host_offset = origin_bytes;
       r.host_row_pitch = pitch;
-      q.enqueue_write_rect(up, host_up.data(), r);
+      sq.enqueue_write_rect(up, host_up.data(), r);
+      if (deep()) {
+        strip_events.push_back(sq.events().back());
+      }
     };
     strip(pitch, 2, 0);                                      // top rows
     strip(pitch, 2, static_cast<std::size_t>(h - 2) * pitch);  // bottom
@@ -300,6 +457,7 @@ PipelineResult FrameRunner::finish_frame(const Ticket& t,
           2 * pitch);                                        // left cols
     strip(2 * sizeof(float), static_cast<std::size_t>(h - 4),
           2 * pitch + (static_cast<std::size_t>(w) - 2) * sizeof(float));
+    strip_end = deep() ? xfer_->events().size() : 0;
   }
   sync();
 
@@ -317,7 +475,13 @@ PipelineResult FrameRunner::finish_frame(const Ticket& t,
   sync();
 
   // --- Sobel -----------------------------------------------------------------
+  if (sobel_enqueued) {
+    // Slab kernels already cover the frame (slice-pipelined pre-pass).
+  } else {
   q.set_phase(stage::kSobel);
+  if (deep()) {
+    wait_on(q, edge_read_);  // WAR: CPU-reduction readback of `edge`
+  }
   if (opt.use_image2d) {
     q.enqueue_kernel(gpu::make_sobel_img(*orig_img, edge, w, h, env),
                      grid2d(static_cast<std::size_t>(w),
@@ -348,6 +512,7 @@ PipelineResult FrameRunner::finish_frame(const Ticket& t,
         break;
     }
   }
+  }
   sync();
 
   // --- reduction (§V.C) --------------------------------------------------------
@@ -356,8 +521,18 @@ PipelineResult FrameRunner::finish_frame(const Ticket& t,
   if (opt.reduction == Placement::kCpu) {
     // Naive: read the whole pEdge matrix back and sum on the host.
     std::vector<std::int32_t> host_edge(static_cast<std::size_t>(n));
-    mover.download(edge, host_edge.data(),
-                   host_edge.size() * sizeof(std::int32_t));
+    if (deep()) {
+      down_->set_phase(stage::kReduction);
+      down_->enqueue_wait(q.events().back());
+      const Mover down_mover{*down_, opt.transfer};
+      down_mover.download(edge, host_edge.data(),
+                          host_edge.size() * sizeof(std::int32_t));
+      edge_read_ = down_->events().back();
+      wait_on(q, edge_read_);  // host sum consumes the readback
+    } else {
+      mover.download(edge, host_edge.data(),
+                     host_edge.size() * sizeof(std::int32_t));
+    }
     for (std::int32_t v : host_edge) {
       edge_sum += v;
     }
@@ -371,6 +546,9 @@ PipelineResult FrameRunner::finish_frame(const Ticket& t,
     Buffer& partials = pool_->get(
         "partials",
         static_cast<std::size_t>(groups) * sizeof(std::int32_t));
+    if (deep()) {
+      wait_on(q, partials_read_);  // WAR: previous `partials` readback
+    }
     q.enqueue_kernel(
         gpu::make_reduce_stage1(edge, n, partials, g, ipt, opt.unroll, env),
         {.global = NDRange(static_cast<std::size_t>(groups * g)),
@@ -382,6 +560,9 @@ PipelineResult FrameRunner::finish_frame(const Ticket& t,
          groups > opt.stage2_gpu_threshold);
     if (stage2_gpu) {
       Buffer& sum_buf = pool_->get("sum", sizeof(std::int64_t));
+      if (deep()) {
+        wait_on(q, sum_read_);  // WAR: previous `sum` readback
+      }
       const int g2 = 256;
       if (opt.stage2_method == Stage2Method::kAtomic) {
         const std::int64_t zero = 0;
@@ -399,12 +580,33 @@ PipelineResult FrameRunner::finish_frame(const Ticket& t,
             {.global = NDRange(static_cast<std::size_t>(g2)),
              .local = NDRange(static_cast<std::size_t>(g2))});
       }
-      mover.download(sum_buf, &edge_sum, sizeof(edge_sum));
+      if (deep()) {
+        down_->set_phase(stage::kReduction);
+        down_->enqueue_wait(q.events().back());
+        const Mover down_mover{*down_, opt.transfer};
+        down_mover.download(sum_buf, &edge_sum, sizeof(edge_sum));
+        sum_read_ = down_->events().back();
+        // True dependency: the mean feeds the sharpness kernel's
+        // arguments, so compute stalls until the 8-byte readback lands.
+        wait_on(q, sum_read_);
+      } else {
+        mover.download(sum_buf, &edge_sum, sizeof(edge_sum));
+      }
     } else {
       std::vector<std::int32_t> host_partials(
           static_cast<std::size_t>(groups));
-      mover.download(partials, host_partials.data(),
-                     host_partials.size() * sizeof(std::int32_t));
+      if (deep()) {
+        down_->set_phase(stage::kReduction);
+        down_->enqueue_wait(q.events().back());
+        const Mover down_mover{*down_, opt.transfer};
+        down_mover.download(partials, host_partials.data(),
+                            host_partials.size() * sizeof(std::int32_t));
+        partials_read_ = down_->events().back();
+        wait_on(q, partials_read_);  // host sum consumes the readback
+      } else {
+        mover.download(partials, host_partials.data(),
+                       host_partials.size() * sizeof(std::int32_t));
+      }
       for (std::int32_t v : host_partials) {
         edge_sum += v;
       }
@@ -417,6 +619,14 @@ PipelineResult FrameRunner::finish_frame(const Ticket& t,
 
   // --- sharpness (pError + strength/preliminary + overshoot) -----------------
   q.set_phase(stage::kSharpness);
+  if (deep()) {
+    // WAR: the previous occupant's result must leave `final@slot` first.
+    wait_on(q, slot_final_read_[slot_idx]);
+    if (!strip_events.empty()) {
+      // True dependency: the border strips (upload queue) complete `up`.
+      q.enqueue_wait(strip_events);
+    }
+  }
   // Optional strength LUT (StrengthEval::kLut): built on the host from the
   // just-computed mean, uploaded once (8 KiB), bit-identical to pow().
   // The table only depends on (inv_mean, params), so a pooled runner skips
@@ -488,7 +698,18 @@ PipelineResult FrameRunner::finish_frame(const Ticket& t,
   PipelineResult result;
   result.output = img::ImageU8(w, h);
   std::size_t download_begin = 0;
-  if (overlapped()) {
+  if (deep()) {
+    down_->set_phase(stage::kDataOut);
+    down_->enqueue_wait(q.events().back());
+    const Mover out_mover{*down_, opt.transfer};
+    out_mover.download(final_out, result.output.data(),
+                       result.output.byte_size());
+    slot_final_read_[slot_idx] = down_->events().back();
+    // The next occupant of this slot may overwrite `padded` only after
+    // our last kernel (which reads it) has retired.
+    slot_compute_done_[slot_idx] = q.events().back();
+    up_read_ = q.events().back();
+  } else if (overlapped()) {
     // Hand off to the transfer queue: the readback may not start before
     // the sharpness kernel has completed on the compute queue.
     xfer_->set_phase(stage::kDataOut);
@@ -523,7 +744,26 @@ PipelineResult FrameRunner::finish_frame(const Ticket& t,
       last_end = std::max(last_end, ev.end_us);
     }
   };
-  if (overlapped()) {
+  if (deep()) {
+    accumulate(xfer_->events(), t.xfer_events_begin,
+               t.xfer_events_after_upload);
+    if (strip_end > strip_begin) {
+      accumulate(xfer_->events(), strip_begin, strip_end);
+    }
+    accumulate(comp_->events(), comp_begin, comp_->events().size());
+    accumulate(down_->events(), down_begin, down_->events().size());
+    result.total_modeled_us = last_end - first_start;
+    if (trace) {
+      telemetry::bridge_queue_events(*comp_, comp_begin,
+                                     comp_->events().size(), t.request_id);
+      if (strip_end > strip_begin) {
+        telemetry::bridge_queue_events(*xfer_, strip_begin, strip_end,
+                                       t.request_id);
+      }
+      telemetry::bridge_queue_events(*down_, down_begin,
+                                     down_->events().size(), t.request_id);
+    }
+  } else if (overlapped()) {
     accumulate(xfer_->events(), t.xfer_events_begin,
                t.xfer_events_after_upload);
     accumulate(comp_->events(), t.comp_events_begin,

@@ -7,6 +7,7 @@
 
 #include <sstream>
 
+#include "sharpen/cpu_parallel.hpp"
 #include "sharpen/cpu_pipeline.hpp"
 #include "sharpen/env.hpp"
 #include "sharpen/service/buffer_pool.hpp"
@@ -51,6 +52,8 @@ report::Table ServiceStats::to_table() const {
   t.add_row({"p99_latency_us", report::fmt(p99_latency_us)});
   t.add_row({"busy_us", report::fmt(busy_us)});
   t.add_row({"throughput_fps", report::fmt(throughput_fps)});
+  t.add_row({"batches", std::to_string(batches)});
+  t.add_row({"avg_batch_size", report::fmt(avg_batch_size)});
   return t;
 }
 
@@ -64,6 +67,30 @@ SharpenService::SharpenService(ServiceConfig config)
   }
   if (auto problem = config_.execution.options.validate()) {
     throw SharpenError("PipelineOptions: " + *problem);
+  }
+  // Throughput-plane knobs: 0 / negative sentinels defer to the
+  // environment (sharp::env), then defaults that keep batching off and
+  // the classic double buffer on. Resolved once here so config() reports
+  // the effective values.
+  if (config_.max_batch == 0) {
+    config_.max_batch = env::batch().value_or(1);
+  }
+  if (config_.max_batch < 1 || config_.max_batch > 64) {
+    throw SharpenError("SharpenService: max_batch must be in [1, 64]");
+  }
+  if (config_.batch_window_us < 0) {
+    config_.batch_window_us = env::batch_window_us().value_or(0);
+  }
+  if (config_.pipeline_depth == 0) {
+    config_.pipeline_depth = env::pipeline_depth().value_or(2);
+  }
+  if (config_.pipeline_depth < 2 || config_.pipeline_depth > 16) {
+    throw SharpenError("SharpenService: pipeline_depth must be in [2, 16]");
+  }
+  if (config_.slice_count < 1 || config_.slice_threshold_pixels < 0) {
+    throw SharpenError(
+        "SharpenService: slice_count must be >= 1 and "
+        "slice_threshold_pixels >= 0");
   }
   submitted_ = &registry_.counter("sharp_service_submitted_total",
                                   "requests accepted by submit()");
@@ -86,6 +113,9 @@ SharpenService::SharpenService(ServiceConfig config)
   e2e_latency_us_ = &registry_.histogram(
       "sharp_service_e2e_latency_us", telemetry::default_latency_bounds_us(),
       "wall time from submit() to response (queue wait + execution)");
+  batch_size_ = &registry_.histogram(
+      "sharp_service_batch_size", {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0},
+      "requests coalesced per worker dequeue (batch occupancy)");
   worker_busy_us_.assign(static_cast<std::size_t>(config_.workers), 0.0);
   threads_.reserve(static_cast<std::size_t>(config_.workers));
   for (int i = 0; i < config_.workers; ++i) {
@@ -239,6 +269,10 @@ ServiceStats SharpenService::stats() const {
   s.throughput_fps = s.busy_us > 0.0
                          ? static_cast<double>(s.completed) * 1e6 / s.busy_us
                          : 0.0;
+  s.batches = batch_size_->count();
+  s.avg_batch_size =
+      s.batches > 0 ? batch_size_->sum() / static_cast<double>(s.batches)
+                    : 0.0;
   return s;
 }
 
@@ -281,17 +315,28 @@ void SharpenService::worker_loop(int index) {
   // over from frame to frame.
   const Execution& exec = config_.execution;
   const bool is_gpu = exec.backend == Backend::kGpu;
+  // Depth > 2 (deep pipelining) needs the third queue; without overlap
+  // there is no pipeline to deepen, so depth degrades to the serial path.
+  const bool deep =
+      is_gpu && config_.overlap_transfers && config_.pipeline_depth > 2;
   std::optional<CpuPipeline> cpu;
+  std::optional<ParallelCpuPipeline> pcpu;
   std::optional<simcl::Context> ctx;
   std::optional<simcl::CommandQueue> comp;
   std::optional<simcl::CommandQueue> xfer;
+  std::optional<simcl::CommandQueue> down;
   std::optional<gpu::BufferPool> pool;
   std::optional<FrameRunner> runner;
   if (is_gpu) {
     ctx.emplace(exec.device, exec.host, exec.engine_threads);
     comp.emplace(*ctx);
     pool.emplace(*ctx);
-    if (config_.overlap_transfers) {
+    if (deep) {
+      xfer.emplace(*ctx);
+      down.emplace(*ctx);
+      runner.emplace(*ctx, *pool, *comp, *xfer, *down, exec.options,
+                     /*slots=*/config_.pipeline_depth);
+    } else if (config_.overlap_transfers) {
       xfer.emplace(*ctx);
       runner.emplace(*ctx, *pool, *comp, *xfer, exec.options, /*slots=*/2);
     } else {
@@ -301,17 +346,47 @@ void SharpenService::worker_loop(int index) {
     PipelineOptions options = exec.options;
     if (options.cpu_cache_sharers == 0) {
       // All service workers sharpen concurrently on this host, so the
-      // fused band autotuner must split the L2 between them.
-      options.cpu_cache_sharers = config_.workers;
+      // fused band autotuner must split the L2 between them (and between
+      // each worker's own threads when the workers are multi-threaded).
+      options.cpu_cache_sharers =
+          config_.workers * std::max(1, exec.cpu_threads);
     }
-    cpu.emplace(exec.host, options);
+    if (exec.cpu_threads > 1) {
+      pcpu.emplace(exec.cpu_threads, exec.host, options);
+    } else {
+      cpu.emplace(exec.host, options);
+    }
   }
+
+  // Batch compatibility: members share geometry and parameters, so one
+  // resident strength LUT, one launch plan and one pool reservation serve
+  // the whole micro-batch. Oversized frames opt out of batching — they
+  // get slice pipelining inside the frame instead.
+  const auto sliceable = [&](const img::ImageU8& frame) {
+    return is_gpu && static_cast<std::int64_t>(frame.width()) *
+                             frame.height() >=
+                         config_.slice_threshold_pixels;
+  };
+  const auto batch_compatible = [&](const Job& a, const Job& b) {
+    return a.frame.width() == b.frame.width() &&
+           a.frame.height() == b.frame.height() &&
+           a.params.amount == b.params.amount &&
+           a.params.gamma == b.params.gamma &&
+           a.params.strength_max == b.params.strength_max &&
+           a.params.osc_gain == b.params.osc_gain &&
+           a.params.mean_epsilon == b.params.mean_epsilon &&
+           !sliceable(b.frame);
+  };
 
   struct Pending {
     Job job;
     FrameRunner::Ticket ticket;
   };
-  std::optional<Pending> pending;
+  /// In-flight frames, oldest first. At depth d (= runner->slots()) up to
+  /// d - 1 frames stay begun-but-unfinished, so frame i's kernels overlap
+  /// the uploads of frames i+1..i+d-1 and the drains of frames before it.
+  std::deque<Pending> ring;
+  const int ring_cap = is_gpu && runner->overlapped() ? runner->slots() - 1 : 0;
   bool charged = false;
   int slot = 0;
   double serial_busy_us = 0.0;
@@ -322,8 +397,11 @@ void SharpenService::worker_loop(int index) {
     e2e_latency_us_->observe(telemetry::now_us() - submit_us);
     std::lock_guard<std::mutex> lk(stats_mu_);
     if (is_gpu && runner->overlapped()) {
-      worker_busy_us_[static_cast<std::size_t>(index)] =
-          std::max(comp->timeline_us(), xfer->timeline_us());
+      double busy = std::max(comp->timeline_us(), xfer->timeline_us());
+      if (down.has_value()) {
+        busy = std::max(busy, down->timeline_us());
+      }
+      worker_busy_us_[static_cast<std::size_t>(index)] = busy;
     } else {
       serial_busy_us += latency_us;
       worker_busy_us_[static_cast<std::size_t>(index)] = serial_busy_us;
@@ -366,24 +444,53 @@ void SharpenService::worker_loop(int index) {
   };
 
   while (true) {
-    std::optional<Job> job;
+    std::vector<Job> group;
     {
       std::unique_lock<std::mutex> lk(mu_);
-      if (!pending.has_value()) {
+      if (ring.empty()) {
         cv_not_empty_.wait(lk, [&] { return stop_ || !queue_.empty(); });
       }
       if (!queue_.empty()) {
-        job = std::move(queue_.front());
-        queue_.pop_front();
-        queue_depth_->set(static_cast<std::int64_t>(queue_.size()));
-        ++inflight_;
-        cv_not_full_.notify_one();
+        const auto take_front = [&] {
+          group.push_back(std::move(queue_.front()));
+          queue_.pop_front();
+          queue_depth_->set(static_cast<std::int64_t>(queue_.size()));
+          ++inflight_;
+          cv_not_full_.notify_one();
+        };
+        take_front();
+        // Batch planner: coalesce the FIFO prefix of batch-compatible
+        // requests into one micro-batch, waiting up to batch_window_us
+        // of wall time for more to arrive. An incompatible FIFO head
+        // ends the batch (requests are never reordered past it).
+        if (config_.max_batch > 1 && !sliceable(group.front().frame)) {
+          const auto window_end =
+              Clock::now() +
+              std::chrono::microseconds(config_.batch_window_us);
+          while (static_cast<int>(group.size()) < config_.max_batch) {
+            if (!queue_.empty()) {
+              if (!batch_compatible(group.front(), queue_.front())) {
+                break;
+              }
+              take_front();
+              continue;
+            }
+            if (stop_ || config_.batch_window_us <= 0) {
+              break;
+            }
+            if (!cv_not_empty_.wait_until(lk, window_end, [&] {
+                  return stop_ || !queue_.empty();
+                })) {
+              break;  // window elapsed: run the short batch
+            }
+          }
+        }
       } else {
-        if (pending.has_value()) {
-          // No more work queued: stop pipelining and release the result.
+        if (!ring.empty()) {
+          // No more work queued: stop pipelining and release the oldest.
           lk.unlock();
-          complete(std::move(*pending));
-          pending.reset();
+          complete(std::move(ring.front()));
+          ring.pop_front();
           continue;
         }
         if (stop_) {
@@ -393,88 +500,156 @@ void SharpenService::worker_loop(int index) {
       }
     }
 
-    // Queue-wait split: wall time between submit() and this dequeue.
-    const double wait_us = telemetry::now_us() - job->submit_us;
-    queue_wait_us_->observe(wait_us);
-    if (telemetry::pipeline_trace_on(exec.options)) {
-      telemetry::emit_complete(
-          "job.queue_wait", "service", job->submit_us, wait_us,
-          {"worker", index},
-          {"req", static_cast<std::int64_t>(job->request_id)});
+    // Per-member queue-wait split and lazily-checked deadline: a request
+    // that waited past its deadline is cancelled here, before any device
+    // work is enqueued for it.
+    const bool trace_on = telemetry::pipeline_trace_on(exec.options);
+    const auto now = Clock::now();
+    std::vector<Job> live;
+    live.reserve(group.size());
+    for (Job& job : group) {
+      const double wait_us = telemetry::now_us() - job.submit_us;
+      queue_wait_us_->observe(wait_us);
+      if (trace_on) {
+        telemetry::emit_complete(
+            "job.queue_wait", "service", job.submit_us, wait_us,
+            {"worker", index},
+            {"req", static_cast<std::int64_t>(job.request_id)});
+      }
+      if (job.deadline.has_value() && now > *job.deadline) {
+        expired_->inc();
+        ServiceResponse response;
+        response.outcome = RequestOutcome::kExpired;
+        response.request_id = job.request_id;
+        retire();
+        job.promise.set_value(std::move(response));
+        continue;
+      }
+      live.push_back(std::move(job));
+    }
+    if (live.empty()) {
+      continue;
     }
 
-    // Lazily-checked deadline: a request that waited past its deadline is
-    // cancelled here, before any device work is enqueued for it.
-    if (job->deadline.has_value() && Clock::now() > *job->deadline) {
-      expired_->inc();
-      ServiceResponse response;
-      response.outcome = RequestOutcome::kExpired;
-      response.request_id = job->request_id;
-      retire();
-      job->promise.set_value(std::move(response));
-      continue;
+    // Batch occupancy: every dequeue group observes (size-1 groups
+    // included), so avg_batch_size == 1.0 reads as "never coalesced".
+    batch_size_->observe(static_cast<double>(live.size()));
+    if (trace_on && live.size() > 1) {
+      // One marker per member ties the batch together in a filtered
+      // trace: filtering by any member's req id surfaces its batch size.
+      const double batch_ts = telemetry::now_us();
+      for (const Job& job : live) {
+        telemetry::emit_complete(
+            "job.batch_member", "service", batch_ts, 0.0,
+            {"batch_size", static_cast<std::int64_t>(live.size())},
+            {"req", static_cast<std::int64_t>(job.request_id)});
+      }
     }
 
     if (!is_gpu) {
-      ServiceResponse response;
-      response.worker = index;
-      response.request_id = job->request_id;
-      bool ok = true;
-      try {
-        telemetry::Span span(telemetry::pipeline_trace_on(exec.options),
-                             "job.execute", "service", {"worker", index});
-        span.set_arg2("req", static_cast<std::int64_t>(job->request_id));
-        response.result = cpu->run(job->frame, job->params);
-        record_done(response.result.total_modeled_us, job->submit_us);
-      } catch (...) {
-        ok = false;
-        retire();
-        job->promise.set_exception(std::current_exception());
+      if (pcpu.has_value() && live.size() > 1) {
+        // Batched CPU execution: one shared fused-band plan serves every
+        // member (they share geometry by construction).
+        std::vector<const img::ImageU8*> inputs;
+        inputs.reserve(live.size());
+        for (const Job& job : live) {
+          inputs.push_back(&job.frame);
+        }
+        std::vector<PipelineResult> results;
+        std::exception_ptr err;
+        try {
+          telemetry::Span span(trace_on, "job.execute.batch", "service",
+                               {"worker", index});
+          span.set_arg2("batch_size", static_cast<std::int64_t>(live.size()));
+          results = pcpu->run_batch(inputs, live.front().params);
+        } catch (...) {
+          err = std::current_exception();
+        }
+        for (std::size_t i = 0; i < live.size(); ++i) {
+          if (err) {
+            retire();
+            live[i].promise.set_exception(err);
+            continue;
+          }
+          ServiceResponse response;
+          response.worker = index;
+          response.request_id = live[i].request_id;
+          response.result = std::move(results[i]);
+          record_done(response.result.total_modeled_us, live[i].submit_us);
+          retire();
+          live[i].promise.set_value(std::move(response));
+        }
+        continue;
       }
-      if (ok) {
-        retire();
-        job->promise.set_value(std::move(response));
+      for (Job& job : live) {
+        ServiceResponse response;
+        response.worker = index;
+        response.request_id = job.request_id;
+        bool ok = true;
+        try {
+          telemetry::Span span(trace_on, "job.execute", "service",
+                               {"worker", index});
+          span.set_arg2("req", static_cast<std::int64_t>(job.request_id));
+          response.result = pcpu.has_value()
+                                ? pcpu->run(job.frame, job.params)
+                                : cpu->run(job.frame, job.params);
+          record_done(response.result.total_modeled_us, job.submit_us);
+        } catch (...) {
+          ok = false;
+          retire();
+          job.promise.set_exception(std::current_exception());
+        }
+        if (ok) {
+          retire();
+          job.promise.set_value(std::move(response));
+        }
       }
       continue;
     }
 
-    // GPU path. Software pipelining in overlapped mode: enqueue the NEW
-    // frame's upload (transfer queue) before finishing the PREVIOUS frame
-    // (compute queue), so the upload hides behind those kernels on the
-    // modeled timeline. Serial mode begins and finishes immediately.
-    Pending next{std::move(*job), {}};
-    try {
-      if (!runner->overlapped()) {
-        // Fresh modeled timeline per frame (the pool persists), exactly
-        // like VideoPipeline.
-        comp->reset();
+    // GPU path. Software pipelining in overlapped mode: enqueue each NEW
+    // frame's upload (transfer queue) before finishing OLDER frames
+    // (compute queue), so uploads hide behind kernels on the modeled
+    // timeline. The ring holds up to slots-1 begun frames; at depth 2
+    // this reproduces the classic double buffer command for command.
+    // Serial mode begins and finishes immediately. Oversized members
+    // (sliceable) arrive in size-1 groups and slice their upload so
+    // dependent kernels start as each slab lands.
+    for (Job& job : live) {
+      Pending next{std::move(job), {}};
+      try {
+        if (!runner->overlapped()) {
+          // Fresh modeled timeline per frame (the pool persists), exactly
+          // like VideoPipeline.
+          comp->reset();
+        }
+        const bool slice = sliceable(next.job.frame);
+        next.ticket = runner->begin_frame(
+            next.job.frame, !charged, slot, next.job.request_id,
+            slice ? config_.slice_count : 1);
+        charged = true;
+      } catch (...) {
+        retire();
+        next.job.promise.set_exception(std::current_exception());
+        continue;
       }
-      next.ticket = runner->begin_frame(next.job.frame, !charged, slot,
-                                        next.job.request_id);
-      charged = true;
-    } catch (...) {
-      retire();
-      next.job.promise.set_exception(std::current_exception());
-      continue;
-    }
-    if (runner->overlapped()) {
-      slot = 1 - slot;
-      if (pending.has_value()) {
-        Pending done = std::move(*pending);
-        pending = std::move(next);
-        complete(std::move(done));
+      if (runner->overlapped()) {
+        slot = (slot + 1) % runner->slots();
+        ring.push_back(std::move(next));
+        while (static_cast<int>(ring.size()) > ring_cap) {
+          complete(std::move(ring.front()));
+          ring.pop_front();
+        }
       } else {
-        pending = std::move(next);
+        complete(std::move(next));
       }
-    } else {
-      complete(std::move(next));
     }
   }
 
-  // Shutdown: the queue is already empty; finish any still-pending frame.
-  if (pending.has_value()) {
-    complete(std::move(*pending));
-    pending.reset();
+  // Shutdown: the queue is already empty; drain every in-flight frame.
+  while (!ring.empty()) {
+    complete(std::move(ring.front()));
+    ring.pop_front();
   }
 }
 

@@ -227,6 +227,13 @@ class CommandQueue {
   /// queues plus this hook are what the double-buffered upload/compute/
   /// readback overlap of sharp::SharpenService is built from.
   Event enqueue_wait(const Event& ev);
+  /// Event fan-in: stalls this queue until *every* event in `evs` has
+  /// completed (clEnqueueBarrierWithWaitList with a multi-event list).
+  /// Equivalent to waiting each event in turn, but records one marker —
+  /// the natural shape for slab-sliced uploads where a kernel depends on
+  /// several rect transfers landing. Empty lists record a zero-stall
+  /// marker.
+  Event enqueue_wait(const std::vector<Event>& evs);
   /// clFinish: host/device sync with its fixed overhead. In out-of-order
   /// mode this is a full barrier across all hardware lanes. Returns the
   /// timeline after the sync.

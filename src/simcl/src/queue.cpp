@@ -483,6 +483,32 @@ Event CommandQueue::enqueue_wait(const Event& ev) {
   return push_event("wait:" + ev.name, CommandKind::kMarker, 0.0);
 }
 
+Event CommandQueue::enqueue_wait(const std::vector<Event>& evs) {
+  check_alive("enqueue_wait");
+  double latest = 0.0;
+  const Event* last = nullptr;
+  for (const Event& ev : evs) {
+    if (last == nullptr || ev.end_us > latest) {
+      latest = ev.end_us;
+      last = &ev;
+    }
+  }
+  if (mode_ == QueueMode::kInOrder) {
+    timeline_us_ = std::max(timeline_us_, latest);
+  } else {
+    for (double& lane : lane_avail_) {
+      lane = std::max(lane, latest);
+    }
+  }
+  const std::string name =
+      last == nullptr
+          ? std::string("wait:<none>")
+          : "wait:" + last->name + (evs.size() > 1
+                                        ? "+" + std::to_string(evs.size() - 1)
+                                        : std::string());
+  return push_event(name, CommandKind::kMarker, 0.0);
+}
+
 double CommandQueue::finish() {
   check_alive("finish");
   if (mode_ == QueueMode::kOutOfOrder) {

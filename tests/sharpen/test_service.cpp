@@ -4,8 +4,15 @@
 // worker pool reusable.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
+#include <deque>
+#include <future>
 #include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "image/generate.hpp"
@@ -64,6 +71,24 @@ TEST(OptionsValidate, ServiceRejectsInvalidOptions) {
   ServiceConfig cfg;
   cfg.execution.options.use_image2d = true;
   cfg.execution.options.fuse_sharpness = false;
+  EXPECT_THROW(SharpenService service(cfg), SharpenError);
+}
+
+TEST(OptionsValidate, ServiceRejectsBadBatchingKnobs) {
+  ServiceConfig cfg;
+  cfg.max_batch = 65;  // valid range is [1, 64]
+  EXPECT_THROW(SharpenService service(cfg), SharpenError);
+
+  cfg = {};
+  cfg.pipeline_depth = 1;  // 0 defers to the env; explicit values need >= 2
+  EXPECT_THROW(SharpenService service(cfg), SharpenError);
+
+  cfg = {};
+  cfg.pipeline_depth = 17;
+  EXPECT_THROW(SharpenService service(cfg), SharpenError);
+
+  cfg = {};
+  cfg.slice_count = 0;
   EXPECT_THROW(SharpenService service(cfg), SharpenError);
 }
 
@@ -334,7 +359,11 @@ TEST(Service, StatsSnapshotIsCoherent) {
   EXPECT_LE(stats.p95_latency_us, stats.p99_latency_us);
   EXPECT_GT(stats.busy_us, 0.0);
   EXPECT_GT(stats.throughput_fps, 0.0);
-  EXPECT_EQ(stats.to_table().rows(), 12u);
+  // Batching off (max_batch=1): every dequeue group holds one request,
+  // so occupancy reads exactly 1.0 and groups == completed requests.
+  EXPECT_EQ(stats.batches, frames.size());
+  EXPECT_DOUBLE_EQ(stats.avg_batch_size, 1.0);
+  EXPECT_EQ(stats.to_table().rows(), 14u);
 
   // The same numbers are scrapeable from the service registry.
   const std::string text = sharp::telemetry::expose_text(service.registry());
@@ -345,6 +374,9 @@ TEST(Service, StatsSnapshotIsCoherent) {
   EXPECT_NE(text.find("sharp_service_latency_us_count 6"),
             std::string::npos);
   EXPECT_NE(text.find("sharp_service_queue_depth_hwm"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE sharp_service_batch_size histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("sharp_service_batch_size_count 6"), std::string::npos);
 }
 
 TEST(Service, RegistryCountsRejectionsAndExpiries) {
@@ -374,6 +406,267 @@ TEST(Service, RegistryCountsRejectionsAndExpiries) {
             std::string::npos);
   EXPECT_NE(text.find("sharp_service_deadline_expired_total"),
             std::string::npos);
+}
+
+// Deep (three-queue) mode: a ring of slots-1 in-flight tickets must stay
+// bit-identical to the serial pooled loop while beating its makespan —
+// the per-buffer hazard fences only move commands between queues, they
+// never change what executes.
+TEST(FrameRunner, DeepTripleQueueMatchesSerialPixelsAndIsFaster) {
+  const std::vector<ImageU8> frames = test_frames(6, 512);
+  const PipelineOptions options = PipelineOptions::optimized();
+
+  VideoPipeline video(512, 512, options);
+  std::vector<ImageU8> serial_out;
+  for (const ImageU8& f : frames) {
+    serial_out.push_back(video.process_frame(f).output);
+  }
+  const double serial_total_us = video.stats().total_modeled_us;
+
+  simcl::Context ctx(simcl::amd_firepro_w8000());
+  simcl::CommandQueue comp(ctx);
+  simcl::CommandQueue upload(ctx);
+  simcl::CommandQueue download(ctx);
+  gpu::BufferPool pool(ctx);
+  service::FrameRunner runner(ctx, pool, comp, upload, download, options,
+                              /*slots=*/4);
+  ASSERT_TRUE(runner.overlapped());
+  ASSERT_TRUE(runner.deep());
+
+  // Depth-4 software pipeline: keep up to slots-1 frames in flight.
+  std::deque<service::FrameRunner::Ticket> ring;
+  std::vector<PipelineResult> results;
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    ring.push_back(runner.begin_frame(frames[i],
+                                      /*charge_allocations=*/i == 0,
+                                      static_cast<int>(i % 4)));
+    while (ring.size() > 3) {
+      results.push_back(runner.finish_frame(ring.front(), {}));
+      ring.pop_front();
+    }
+  }
+  while (!ring.empty()) {
+    results.push_back(runner.finish_frame(ring.front(), {}));
+    ring.pop_front();
+  }
+
+  ASSERT_EQ(results.size(), frames.size());
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    EXPECT_EQ(img::max_abs_diff(results[i].output, serial_out[i]), 0) << i;
+  }
+  const double makespan =
+      std::max(comp.timeline_us(),
+               std::max(upload.timeline_us(), download.timeline_us()));
+  EXPECT_LT(makespan, serial_total_us);
+}
+
+// Slice pipelining: an upload split into horizontal slabs must produce
+// the same pixels while emitting one Sobel launch per slab (each slab
+// starts as soon as its covering uploads land).
+TEST(FrameRunner, SlicedUploadIsBitIdenticalAndSplitsSobel) {
+  const ImageU8 frame = img::make_natural(256, 256, 11);
+  const ImageU8 expected = sharpen(frame);
+  const PipelineOptions options = PipelineOptions::optimized();
+  const auto count_sobel = [](const simcl::CommandQueue& q) {
+    return std::count_if(q.events().begin(), q.events().end(),
+                         [](const simcl::Event& e) {
+                           return e.kind == simcl::CommandKind::kKernel &&
+                                  e.name == "sobel";
+                         });
+  };
+
+  simcl::Context ctx(simcl::amd_firepro_w8000());
+  simcl::CommandQueue comp(ctx);
+  simcl::CommandQueue xfer(ctx);
+  gpu::BufferPool pool(ctx);
+  service::FrameRunner runner(ctx, pool, comp, xfer, options, /*slots=*/2);
+
+  const auto whole = runner.begin_frame(frame, /*charge_allocations=*/true, 0);
+  EXPECT_EQ(whole.slices, 1);
+  const PipelineResult whole_result = runner.finish_frame(whole, {});
+  const auto whole_sobels = count_sobel(comp);
+  EXPECT_EQ(whole_sobels, 1);
+
+  const auto sliced =
+      runner.begin_frame(frame, /*charge_allocations=*/false, 1,
+                         /*request_id=*/0, /*slices=*/4);
+  EXPECT_EQ(sliced.slices, 4);
+  EXPECT_EQ(sliced.slabs.size(), 4u);
+  EXPECT_EQ(sliced.slab_uploads.size(), 4u);
+  const PipelineResult sliced_result = runner.finish_frame(sliced, {});
+  EXPECT_EQ(count_sobel(comp) - whole_sobels, 4);
+
+  EXPECT_EQ(img::max_abs_diff(whole_result.output, expected), 0);
+  EXPECT_EQ(img::max_abs_diff(sliced_result.output, expected), 0);
+  EXPECT_DOUBLE_EQ(sliced_result.mean_edge, whole_result.mean_edge);
+}
+
+// The tentpole contract: coalescing compatible requests into micro-
+// batches must be invisible in every per-request field — pixels, stage
+// timings, mean edge, request ids — while the occupancy stats show that
+// batching actually engaged.
+TEST(Service, BatchedRequestsAreBitIdenticalToUnbatched) {
+  const std::vector<ImageU8> frames = test_frames(12, 64);
+
+  // Unbatched reference: one serial worker, batching off.
+  ServiceConfig ref_cfg;
+  ref_cfg.workers = 1;
+  ref_cfg.overlap_transfers = false;
+  ref_cfg.max_batch = 1;
+  SharpenService ref(ref_cfg);
+  const std::vector<ServiceResponse> ref_responses = ref.sharpen_batch(frames);
+
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.queue_capacity = frames.size();
+  cfg.overlap_transfers = true;
+  cfg.max_batch = 4;
+  cfg.batch_window_us = 50000;  // generous gather window: always coalesces
+  cfg.pipeline_depth = 4;
+  SharpenService service(cfg);
+
+  std::vector<std::future<ServiceResponse>> futures;
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    SubmitOptions opts;
+    opts.request_id = 7000 + i;  // caller-chosen id must round-trip
+    futures.push_back(service.submit(frames[i], {}, opts));
+  }
+  std::vector<ServiceResponse> responses;
+  responses.reserve(futures.size());
+  for (auto& f : futures) {
+    responses.push_back(f.get());
+  }
+  service.drain();
+
+  std::set<std::uint64_t> ids;
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    EXPECT_EQ(responses[i].outcome, RequestOutcome::kOk) << i;
+    EXPECT_EQ(responses[i].request_id, 7000 + i) << i;
+    ids.insert(responses[i].request_id);
+    EXPECT_EQ(img::max_abs_diff(responses[i].result.output,
+                                ref_responses[i].result.output),
+              0)
+        << i;
+    EXPECT_EQ(img::max_abs_diff(responses[i].result.output,
+                                sharpen(frames[i])),
+              0)
+        << i;
+    // Per-member device work is unchanged by batching: the modeled
+    // kernel stages and the reduction result match the unbatched run
+    // (stage durations are end-start differences at different timeline
+    // offsets, so allow last-ulp float noise, nothing more).
+    EXPECT_DOUBLE_EQ(responses[i].result.mean_edge,
+                     ref_responses[i].result.mean_edge)
+        << i;
+    EXPECT_NEAR(responses[i].result.stage_us(stage::kCenter),
+                ref_responses[i].result.stage_us(stage::kCenter), 1e-6)
+        << i;
+    EXPECT_NEAR(responses[i].result.stage_us(stage::kSobel),
+                ref_responses[i].result.stage_us(stage::kSobel), 1e-6)
+        << i;
+  }
+  EXPECT_EQ(ids.size(), frames.size());
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.completed, frames.size());
+  EXPECT_GE(stats.batches, 1u);
+  // The 50ms window dwarfs the submit loop, so the single worker must
+  // have coalesced at least one multi-request group.
+  EXPECT_LT(stats.batches, stats.completed);
+  EXPECT_GT(stats.avg_batch_size, 1.0);
+}
+
+// Saturation accounting must stay exact when batching dequeues several
+// requests at once and submitters race: every submitted request resolves
+// to exactly one outcome and the counters agree with the responses.
+TEST(Service, BackpressureAccountingHoldsWithBatching) {
+  const auto run = [](BackpressurePolicy policy, int submitters,
+                      int per_thread, int size) {
+    const std::vector<ImageU8> frames =
+        test_frames(submitters * per_thread, size);
+    ServiceConfig cfg;
+    cfg.workers = 1;
+    cfg.queue_capacity = 2;
+    cfg.backpressure = policy;
+    cfg.max_batch = 4;
+    SharpenService service(cfg);
+
+    std::mutex mu;
+    std::vector<std::pair<std::size_t, ServiceResponse>> responses;
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(submitters));
+    for (int t = 0; t < submitters; ++t) {
+      threads.emplace_back([&, t] {
+        // Submit the whole share first so the threads genuinely race
+        // the queue (getting each response before the next submit would
+        // cap the concurrency at one request per thread).
+        std::vector<std::pair<std::size_t, std::future<ServiceResponse>>>
+            inflight;
+        for (int j = 0; j < per_thread; ++j) {
+          const std::size_t i = static_cast<std::size_t>(t * per_thread + j);
+          inflight.emplace_back(i, service.submit(frames[i]));
+        }
+        for (auto& [i, fut] : inflight) {
+          ServiceResponse r = fut.get();
+          const std::lock_guard<std::mutex> lock(mu);
+          responses.emplace_back(i, std::move(r));
+        }
+      });
+    }
+    for (auto& th : threads) {
+      th.join();
+    }
+    service.drain();
+
+    std::uint64_t ok = 0;
+    std::uint64_t degraded = 0;
+    std::uint64_t rejected = 0;
+    for (const auto& [i, r] : responses) {
+      switch (r.outcome) {
+        case RequestOutcome::kOk:
+          ++ok;
+          break;
+        case RequestOutcome::kDegraded:
+          ++degraded;
+          break;
+        case RequestOutcome::kRejected:
+          ++rejected;
+          EXPECT_FALSE(r.ok());
+          break;
+        default:
+          ADD_FAILURE() << "unexpected outcome for request " << i;
+      }
+      if (r.ok()) {
+        EXPECT_EQ(img::max_abs_diff(r.result.output, sharpen(frames[i])),
+                  0)
+            << i;
+      }
+    }
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(responses.size(), frames.size());
+    EXPECT_EQ(stats.submitted, frames.size());
+    EXPECT_EQ(stats.completed, ok);
+    EXPECT_EQ(stats.degraded, degraded);
+    EXPECT_EQ(stats.rejected, rejected);
+    EXPECT_EQ(ok + degraded + rejected, frames.size());
+    return stats;
+  };
+
+  // kBlock is lossless: every request waits for a slot and completes.
+  const ServiceStats blocked = run(BackpressurePolicy::kBlock, 2, 4, 64);
+  EXPECT_EQ(blocked.completed, 8u);
+  EXPECT_EQ(blocked.rejected, 0u);
+  EXPECT_EQ(blocked.degraded, 0u);
+
+  // kReject drops at admission once the queue saturates.
+  const ServiceStats rejected = run(BackpressurePolicy::kReject, 3, 4, 512);
+  EXPECT_GT(rejected.rejected, 0u);
+
+  // kDegrade falls back to the CPU baseline in the submitting thread —
+  // nothing is lost, some requests just bypass the batching plane.
+  const ServiceStats degraded = run(BackpressurePolicy::kDegrade, 3, 4, 256);
+  EXPECT_GT(degraded.degraded, 0u);
+  EXPECT_EQ(degraded.rejected, 0u);
 }
 
 }  // namespace

@@ -19,7 +19,9 @@ committed baselines under bench/baselines/ meaningful to diff against.
 With --threshold the script becomes a CI gate: it exits non-zero when
 any compared metric deviates by more than PCT percent, when a baseline
 record has no counterpart (coverage shrank), or when the metric sets of
-a matched pair differ.
+a matched pair differ. Records present only in the current set are
+reported as "new, no baseline" rows (with their metric values, so the
+report can seed the next baseline) and never fail the gate.
 
 Exit codes: 0 clean, 1 regression/mismatch, 2 usage or parse error.
 """
@@ -133,18 +135,30 @@ def main(argv: list[str]) -> int:
                 regressions.append(
                     f"{label}: {name} {old:g} -> {new:g} ({pct:+.2f}%)"
                 )
-    extra = [k for k in cur if k not in base]
+    # Records only the current set has are informational, never a gate
+    # failure: new coverage (a new bench variant) must not require the
+    # baseline to be regenerated first. They render with their metric
+    # values so a reviewer can seed the baseline from the report.
+    extra_rows = []
+    for key in cur:
+        if key in base:
+            continue
+        label = " ".join(str(v) for _, v in key)
+        for name, value in sorted(metrics(cur[key], ignore).items()):
+            extra_rows.append((label, name, value))
 
-    width = max((len(r[0]) for r in rows), default=5)
-    nwidth = max((len(r[1]) for r in rows), default=6)
+    width = max(
+        (len(r[0]) for r in rows + extra_rows), default=5
+    )
+    nwidth = max((len(r[1]) for r in rows + extra_rows), default=6)
     print(f"{'record':<{width}}  {'metric':<{nwidth}}  "
-          f"{'baseline':>14}  {'current':>14}  {'delta':>9}")
+          f"{'baseline':>16}  {'current':>14}  {'delta':>9}")
     for label, name, old, new, pct in rows:
         print(f"{label:<{width}}  {name:<{nwidth}}  "
-              f"{old:>14.4f}  {new:>14.4f}  {pct:>+8.2f}%")
-    for key in extra:
-        print("new record (not in baseline): "
-              + " ".join(str(v) for _, v in key))
+              f"{old:>16.4f}  {new:>14.4f}  {pct:>+8.2f}%")
+    for label, name, value in extra_rows:
+        print(f"{label:<{width}}  {name:<{nwidth}}  "
+              f"{'new, no baseline':>16}  {value:>14.4f}  {'-':>9}")
 
     if args.threshold is not None and regressions:
         print(f"\ndiff_bench: {len(regressions)} regression(s) beyond "

@@ -116,7 +116,27 @@ class DiffBenchTest(ScriptTest):
             "--threshold", 5,
         )
         self.assertEqual(r.returncode, 0, r.stderr)
-        self.assertIn("new record", r.stdout)
+        self.assertIn("new, no baseline", r.stdout)
+
+    def test_new_record_row_carries_its_metric_values(self):
+        # Current-only records render as table rows with their metric
+        # values (so the report can seed the next baseline), one row per
+        # non-ignored metric, and never trip the gate.
+        r = self.diff(
+            [bench_record("sobel", 100.0)],
+            [bench_record("sobel", 100.0), bench_record("center", 50.5)],
+            "--threshold", 0.01,
+        )
+        self.assertEqual(r.returncode, 0, r.stderr)
+        row = next(
+            line for line in r.stdout.splitlines()
+            if "new, no baseline" in line
+        )
+        self.assertIn("center", row)
+        self.assertIn("modeled_us", row)
+        self.assertIn("50.5000", row)
+        # wall_us is ignored by default: no second "new" row for it.
+        self.assertEqual(r.stdout.count("new, no baseline"), 1)
 
     def test_without_threshold_deviations_only_report(self):
         r = self.diff(
